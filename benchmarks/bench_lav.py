@@ -1,0 +1,65 @@
+"""EX5 — Appendix: the LAV three-layer program.
+
+Measures building + solving the annotated (td/ta/fa/tss) program.
+Expected shape: 4 stable models M1-M4, 3 distinct solutions, identical to
+the GAV route's output.
+"""
+
+from repro.core import GavSpecification, LavSpecification, SourceLabel
+from repro.workloads import appendix_instance, section31_dec
+
+LABELS = {
+    "R1": SourceLabel.CLOSED,
+    "R2": SourceLabel.OPEN,
+    "S1": SourceLabel.CLOPEN,
+    "S2": SourceLabel.CLOPEN,
+}
+
+
+def build_lav():
+    return LavSpecification(appendix_instance(), [section31_dec()],
+                            LABELS)
+
+
+def run_lav_models():
+    return build_lav().answer_sets()
+
+
+def run_lav_solutions():
+    return build_lav().solutions()
+
+
+def test_ex5_lav_models(benchmark):
+    models = benchmark(run_lav_models)
+    assert len(models) == 4
+
+
+def test_ex5_lav_solutions(benchmark):
+    solutions = benchmark(run_lav_solutions)
+    assert len(solutions) == 3
+
+
+def test_ex5_lav_equals_gav():
+    gav = GavSpecification(appendix_instance(), [section31_dec()],
+                           changeable={"R1", "R2"})
+    assert build_lav().solutions() == gav.solutions()
+
+
+def main() -> None:
+    import time
+    print("EX5 — Appendix: LAV three-layer program (td/ta/fa/tss)")
+    start = time.perf_counter()
+    spec = build_lav()
+    models = spec.answer_sets()
+    elapsed = time.perf_counter() - start
+    print(f"  stable models: {len(models)} (expected: M1..M4)")
+    print(f"  time: {elapsed * 1000:.1f} ms")
+    for index, model in enumerate(models, 1):
+        tss = sorted(str(l) for l in model
+                     if l.positive and l.atom.args
+                     and str(l.atom.args[-1]) == "tss")
+        print(f"    M{index}: {tss}")
+
+
+if __name__ == "__main__":
+    main()

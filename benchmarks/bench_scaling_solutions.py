@@ -1,0 +1,77 @@
+"""SC1 — Section 3.2: exponential solution blow-up vs compact program.
+
+The number of solutions doubles with each independent same-trust conflict
+(2^n for n conflicts), while the ASP *specification* of all of them stays
+linear in n — the paper's point that "Program Π represents in a compact
+form all the solutions for a peer".  Peer-consistent answering therefore
+pays for enumeration only when it must.
+
+Expected series shape: #solutions = 2^n; program size O(n); enumeration
+time grows exponentially while program construction stays flat.
+"""
+
+import pytest
+
+from repro.core import GavSpecification, solutions_for_peer
+from repro.core.trust import TrustLevel
+from repro.workloads import conflict_chain_system
+
+SIZES = [1, 2, 3, 4, 5, 6]
+
+
+def _stage2_spec(system):
+    same = [e.constraint for e in
+            system.trusted_decs_of("P1", TrustLevel.SAME)]
+    return GavSpecification(system.global_instance(), same,
+                            changeable={"R1", "R3"})
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sc1_asp_enumeration(benchmark, n):
+    system = conflict_chain_system(n)
+
+    def run():
+        return _stage2_spec(system).solutions()
+
+    solutions = benchmark(run)
+    assert len(solutions) == 2 ** n
+    benchmark.extra_info["conflicts"] = n
+    benchmark.extra_info["solutions"] = len(solutions)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_sc1_model_theoretic(benchmark, n):
+    system = conflict_chain_system(n)
+    solutions = benchmark(lambda: solutions_for_peer(system, "P1"))
+    assert len(solutions) == 2 ** n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sc1_program_size_linear(n):
+    system = conflict_chain_system(n)
+    program = _stage2_spec(system).program
+    # facts + per-relation persistence + one rule per equality: O(n)
+    assert len(program) <= 8 * n + 10
+
+
+def main() -> None:
+    import time
+    print("SC1 — solution blow-up: n conflicts -> 2^n solutions")
+    print(f"  {'n':>3s} {'#solutions':>11s} {'|program|':>10s} "
+          f"{'build_ms':>9s} {'enum_ms':>9s}")
+    for n in SIZES:
+        system = conflict_chain_system(n)
+        start = time.perf_counter()
+        spec = _stage2_spec(system)
+        program_size = len(spec.program)
+        build = (time.perf_counter() - start) * 1000
+        start = time.perf_counter()
+        solutions = spec.solutions()
+        enum = (time.perf_counter() - start) * 1000
+        print(f"  {n:3d} {len(solutions):11d} {program_size:10d} "
+              f"{build:9.1f} {enum:9.1f}")
+    print("  expected: #solutions = 2^n, |program| linear in n")
+
+
+if __name__ == "__main__":
+    main()

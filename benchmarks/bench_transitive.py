@@ -1,0 +1,59 @@
+"""EX6 — Example 4: the combined (transitive) specification program.
+
+Measures building + solving the combined program of Section 4.3 on the
+Example 4 network.  Expected shape: 3 global solutions; the direct
+semantics sees only 1 (the original instance) for P.
+"""
+
+from repro.core import (
+    TransitiveSpecification,
+    global_solutions,
+    solutions_for_peer,
+)
+from repro.workloads import example4_system
+
+
+def run_combined():
+    return global_solutions(example4_system(), "P")
+
+
+def run_direct():
+    return solutions_for_peer(example4_system(), "P")
+
+
+def test_ex6_combined(benchmark):
+    solutions = benchmark(run_combined)
+    assert len(solutions) == 3
+
+
+def test_ex6_direct(benchmark):
+    solutions = benchmark(run_direct)
+    assert len(solutions) == 1
+
+
+def test_ex6_shapes_differ():
+    assert len(run_combined()) == 3 and len(run_direct()) == 1
+
+
+def main() -> None:
+    import time
+    print("EX6 — Example 4: transitive vs direct semantics for P")
+    start = time.perf_counter()
+    combined = run_combined()
+    combined_time = time.perf_counter() - start
+    start = time.perf_counter()
+    direct = run_direct()
+    direct_time = time.perf_counter() - start
+    print(f"  direct semantics:   {len(direct)} solution(s) "
+          f"in {direct_time * 1000:.1f} ms (expected: 1 — no local "
+          f"violation)")
+    print(f"  combined program:   {len(combined)} solution(s) "
+          f"in {combined_time * 1000:.1f} ms (expected: 3)")
+    for solution in combined:
+        print(f"    {solution}")
+    spec = TransitiveSpecification(example4_system(), "P")
+    print(f"  cycle check: has_cycles={spec.has_cycles} (expected: False)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""SC4 — Section 4.3: cost of the combined program over peer chains.
+
+Sweeps import chains of growing length: the direct semantics stays flat
+(P0 only consults its immediate neighbour, importing nothing because
+intermediate peers are empty), while the combined program grows linearly
+with the chain and propagates the far-end data all the way to the root.
+
+Expected series shape: direct time ~ constant and imports nothing;
+combined time grows roughly linearly in the chain length; the root's
+relation in every global solution equals the far end's data.
+"""
+
+import pytest
+
+from repro.core import global_solutions, solutions_for_peer
+from repro.workloads import peer_chain_system
+
+LENGTHS = [2, 3, 4, 5]
+N_TUPLES = 3
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_sc4_combined(benchmark, length):
+    system = peer_chain_system(length, n_tuples=N_TUPLES)
+    solutions = benchmark(lambda: global_solutions(system, "P0"))
+    assert len(solutions) == 1
+    assert len(solutions[0].tuples("T0")) == N_TUPLES
+    benchmark.extra_info["chain_length"] = length
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_sc4_direct(benchmark, length):
+    system = peer_chain_system(length, n_tuples=N_TUPLES)
+    solutions = benchmark(lambda: solutions_for_peer(system, "P0"))
+    assert len(solutions) == 1
+    assert solutions[0].tuples("T0") == frozenset()
+    benchmark.extra_info["chain_length"] = length
+
+
+def main() -> None:
+    import time
+    print(f"SC4 — transitive chains ({N_TUPLES} tuples at the far end)")
+    print(f"  {'length':>6s} {'direct_ms':>10s} {'combined_ms':>12s} "
+          f"{'T0_direct':>10s} {'T0_global':>10s}")
+    for length in LENGTHS:
+        system = peer_chain_system(length, n_tuples=N_TUPLES)
+        start = time.perf_counter()
+        direct = solutions_for_peer(system, "P0")
+        direct_ms = (time.perf_counter() - start) * 1000
+        start = time.perf_counter()
+        combined = global_solutions(system, "P0")
+        combined_ms = (time.perf_counter() - start) * 1000
+        print(f"  {length:6d} {direct_ms:10.1f} {combined_ms:12.1f} "
+              f"{len(direct[0].tuples('T0')):10d} "
+              f"{len(combined[0].tuples('T0')):10d}")
+    print("  expected: direct imports nothing (0 tuples); the combined "
+          "program\n  delivers all far-end tuples at every length")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shared configuration for the benchmark harness.
+
+Run the full harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*.py`` module is also runnable as a plain script
+(``python benchmarks/bench_example1.py``) and then prints the experiment's
+report rows — the paper-shape summary recorded in EXPERIMENTS.md.
+"""

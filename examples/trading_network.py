@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""A realistic scenario: a retailer in a trading network.
+
+The kind of workload the paper's introduction motivates — autonomous
+sources with exchange constraints and asymmetric trust:
+
+* **Retail** keeps a product catalog ``Catalog(sku, price)`` with the
+  local functional dependency  sku → price  (one listed price per SKU);
+* **Supplier** publishes the official price list ``Official(sku, price)``;
+  Retail trusts it *more* than its own data, and maintains the exchange
+  constraint  ∀s,p (Official(s,p) → Catalog(s,p))  — official prices must
+  be reflected in the catalog;
+* **Partner** is a marketplace Retail trusts *the same*:
+  ∀s,p,p' (Catalog(s,p) ∧ PartnerListing(s,p') → p = p') — a SKU listed on
+  both sides must carry one price; conflicts may be settled at either
+  side.
+
+The retailer then answers catalog queries with peer-consistent semantics:
+answers that hold no matter how the conflicts are resolved.
+
+Run:  python examples/trading_network.py
+"""
+
+from repro.core import (
+    DataExchange,
+    Peer,
+    PeerConsistentEngine,
+    PeerSystem,
+    TrustRelation,
+)
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    FunctionalDependency,
+    InclusionDependency,
+    EqualityGeneratingConstraint,
+    RelAtom,
+    Variable,
+    parse_query,
+)
+
+S, P, P2 = Variable("S"), Variable("P"), Variable("P2")
+
+
+def build_network() -> PeerSystem:
+    retail = Peer(
+        "Retail", DatabaseSchema.of({"Catalog": 2}),
+        local_ics=[FunctionalDependency("Catalog", [0], [1], arity=2,
+                                        name="one_price_per_sku")])
+    supplier = Peer("Supplier", DatabaseSchema.of({"Official": 2}))
+    partner = Peer("Partner", DatabaseSchema.of({"PartnerListing": 2}))
+
+    instances = {
+        "Retail": DatabaseInstance(retail.schema, {"Catalog": [
+            ("umbrella", 12),     # agrees with the official list
+            ("teapot", 30),       # official says 25: must be corrected
+            ("lamp", 40),         # partner lists 45: disputed
+            ("chair", 75),        # retail-only product
+        ]}),
+        "Supplier": DatabaseInstance(supplier.schema, {"Official": [
+            ("umbrella", 12),
+            ("teapot", 25),
+            ("rug", 99),          # new product to import
+        ]}),
+        "Partner": DatabaseInstance(partner.schema, {"PartnerListing": [
+            ("lamp", 45),
+            ("chair", 75),        # agrees
+        ]}),
+    }
+
+    official_into_catalog = InclusionDependency(
+        "Official", "Catalog", child_arity=2, parent_arity=2,
+        name="official_prices_bind")
+    price_agreement = EqualityGeneratingConstraint(
+        antecedent=[RelAtom("Catalog", [S, P]),
+                    RelAtom("PartnerListing", [S, P2])],
+        equalities=[(P, P2)], name="price_agreement")
+
+    return PeerSystem(
+        [retail, supplier, partner], instances,
+        [DataExchange("Retail", "Supplier", official_into_catalog),
+         DataExchange("Retail", "Partner", price_agreement)],
+        TrustRelation([("Retail", "less", "Supplier"),
+                       ("Retail", "same", "Partner")]))
+
+
+def main() -> None:
+    system = build_network()
+    print("=== The trading network ===")
+    for name in sorted(system.peers):
+        print(f"  {name}: {system.instances[name]}")
+
+    engine = PeerConsistentEngine(system, method="asp")
+
+    print("\n=== Solutions for Retail ===")
+    for index, solution in enumerate(engine.solutions("Retail"), 1):
+        print(f"  solution {index}: "
+              f"Catalog = {sorted(solution.tuples('Catalog'))}")
+
+    print("\n=== Peer consistent catalog queries ===")
+    full = parse_query("q(S, P) := Catalog(S, P)")
+    result = engine.peer_consistent_answers("Retail", full)
+    print(f"  certified catalog: {sorted(result.answers)}")
+    print("""
+  reading:
+   * (umbrella, 12) — own data confirmed by the supplier;
+   * (teapot, 25)   — the official price wins over retail's 30 (trust!),
+                      and the local FD evicts the stale listing;
+   * (rug, 99)      — imported: a PCA that was never in Retail's data;
+   * (chair, 75)    — partner agrees, nothing disputes it;
+   * lamp           — missing: the 40-vs-45 dispute with an equal-trust
+                      peer can be settled either way, so no price is
+                      certain.""")
+
+    lamp = parse_query("q(P) := Catalog(lamp, P)")
+    print(f"  certified lamp price: "
+          f"{sorted(engine.peer_consistent_answers('Retail', lamp).answers) or 'none (disputed)'}")
+
+    skus = parse_query("q(S) := exists P Catalog(S, P)")
+    result = engine.peer_consistent_answers("Retail", skus)
+    print(f"  SKUs certainly in the catalog: "
+          f"{sorted(s for (s,) in result.answers)}")
+    print("  (lamp is absent even from this projection: one way to settle "
+          "the dispute\n   with the equally-trusted partner is to drop "
+          "the lamp listing altogether)")
+
+
+if __name__ == "__main__":
+    main()

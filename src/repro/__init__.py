@@ -1,0 +1,25 @@
+"""repro — reproduction of Bertossi & Bravo (EDBT 2004):
+*Query Answering in Peer-to-Peer Data Exchange Systems*.
+
+Subpackages
+-----------
+``repro.datalog``
+    Disjunctive ASP engine (grounder + stable-model solver + choice operator
+    + HCF shifting) standing in for DLV.
+``repro.relational``
+    Relational substrate: schemas, instances, FO queries, integrity and
+    data-exchange constraints.
+``repro.cqa``
+    Consistent query answering over single databases (repairs, consistent
+    answers) — the baseline framework the paper builds on.
+``repro.core``
+    The paper's contribution: peer-to-peer data-exchange systems, trust,
+    solutions for a peer, peer consistent answers, and the FO-rewriting,
+    ASP (GAV), LAV, and transitive computation mechanisms.
+``repro.workloads``
+    Synthetic peer-network and instance generators for benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["datalog", "relational", "cqa", "core", "workloads"]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``query SYSTEM.json PEER QUERY [--method M] [--brave]``
+    Answer a query posed to a peer of a JSON-defined system
+    (see :mod:`repro.core.io` for the file format).
+
+``solutions SYSTEM.json PEER [--transitive]``
+    Print the solutions for a peer (Definition 4, or the Section 4.3
+    global solutions with ``--transitive``).
+
+``report``
+    Regenerate every experiment report (EX1–EX6, SC1–SC4) — the rows
+    recorded in EXPERIMENTS.md.
+
+``examples``
+    Run the four bundled example scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .core import PeerConsistentEngine, load_system
+    from .core.pca import possible_peer_answers
+    from .relational import parse_query
+    system = load_system(args.system)
+    query = parse_query(args.query)
+    if args.brave:
+        result = possible_peer_answers(system, args.peer, query)
+        kind = "possible"
+    else:
+        engine = PeerConsistentEngine(system, method=args.method)
+        result = engine.peer_consistent_answers(args.peer, query)
+        kind = "peer consistent"
+    if result.no_solutions:
+        print(f"peer {args.peer} has NO solutions "
+              f"(contradictory exchange constraints)")
+        return 1
+    print(f"{kind} answers to {query} at {args.peer} "
+          f"(method={args.method}):")
+    for row in sorted(result.answers):
+        print("  " + ", ".join(str(v) for v in row))
+    if not result.answers:
+        print("  (none)")
+    return 0
+
+
+def _cmd_solutions(args: argparse.Namespace) -> int:
+    from .core import PeerConsistentEngine, load_system
+    system = load_system(args.system)
+    engine = PeerConsistentEngine(system, method="asp",
+                                  transitive=args.transitive)
+    solutions = engine.solutions(args.peer)
+    flavour = "global" if args.transitive else "direct"
+    print(f"{len(solutions)} {flavour} solution(s) for {args.peer}:")
+    for index, solution in enumerate(solutions, 1):
+        print(f"  {index}: {solution}")
+    return 0 if solutions else 1
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    import importlib
+    names = ["bench_example1", "bench_example2", "bench_section31",
+             "bench_hcf_shift", "bench_lav", "bench_transitive",
+             "bench_scaling_solutions", "bench_rewriting_vs_asp",
+             "bench_hcf_ablation", "bench_transitive_scaling",
+             "bench_engine_ablation"]
+    import os
+    sys.path.insert(0, os.path.join(os.path.dirname(
+        os.path.dirname(os.path.dirname(__file__))), "benchmarks"))
+    for name in names:
+        try:
+            module = importlib.import_module(name)
+        except ImportError as exc:
+            print(f"[skip] {name}: {exc}")
+            continue
+        module.main()
+        print()
+    return 0
+
+
+def _cmd_examples(_args: argparse.Namespace) -> int:
+    import importlib.util
+    import os
+    base = os.path.join(os.path.dirname(
+        os.path.dirname(os.path.dirname(__file__))), "examples")
+    for name in ["quickstart", "referential_exchange",
+                 "transitive_network", "trading_network"]:
+        path = os.path.join(base, f"{name}.py")
+        if not os.path.exists(path):
+            print(f"[skip] {name}: not found at {path}")
+            continue
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Peer-to-peer data exchange query answering "
+                    "(Bertossi & Bravo, EDBT 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="answer a query at a peer")
+    query.add_argument("system", help="JSON system definition")
+    query.add_argument("peer")
+    query.add_argument("query", help='e.g. "q(X, Y) := R1(X, Y)"')
+    query.add_argument("--method", default="asp",
+                       choices=["model", "asp", "lav", "rewrite"])
+    query.add_argument("--brave", action="store_true",
+                       help="possible (brave) answers instead of certain")
+    query.set_defaults(func=_cmd_query)
+
+    solutions = sub.add_parser("solutions",
+                               help="print the solutions for a peer")
+    solutions.add_argument("system")
+    solutions.add_argument("peer")
+    solutions.add_argument("--transitive", action="store_true")
+    solutions.set_defaults(func=_cmd_solutions)
+
+    report = sub.add_parser("report",
+                            help="regenerate the experiment reports")
+    report.set_defaults(func=_cmd_report)
+
+    examples = sub.add_parser("examples",
+                              help="run the bundled examples")
+    examples.set_defaults(func=_cmd_examples)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

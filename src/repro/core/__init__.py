@@ -1,0 +1,109 @@
+"""The paper's contribution: query answering in P2P data exchange systems.
+
+Implements, from Bertossi & Bravo (EDBT 2004):
+
+* the system model — peers, schemas, instances, local ICs, data exchange
+  constraints Σ(P,Q), and the trust relation (Definition 2);
+* **solutions for a peer** — the two-stage prioritised-repair semantics
+  (Definition 4, direct case);
+* **peer consistent answers** — certain answers over all solutions
+  (Definition 5);
+* the four computation mechanisms: direct model-theoretic enumeration,
+  first-order query rewriting (Example 2), the GAV answer-set
+  specification with the choice operator (Section 3.1), the LAV
+  three-layer specification (Section 4.2 + Appendix); and
+* the transitive combined-program semantics (Section 4.3, Example 4).
+
+Quick start::
+
+    from repro.core import (Peer, DataExchange, PeerSystem, TrustRelation,
+                            PeerConsistentEngine)
+    from repro.relational import (DatabaseSchema, DatabaseInstance,
+                                  InclusionDependency, parse_query)
+
+    p1 = Peer("P1", DatabaseSchema.of({"R1": 2}))
+    p2 = Peer("P2", DatabaseSchema.of({"R2": 2}))
+    system = PeerSystem(
+        [p1, p2],
+        {"P1": DatabaseInstance(p1.schema, {"R1": [("a", "b")]}),
+         "P2": DatabaseInstance(p2.schema, {"R2": [("c", "d")]})},
+        [DataExchange("P1", "P2",
+                      InclusionDependency("R2", "R1", child_arity=2,
+                                          parent_arity=2))],
+        TrustRelation([("P1", "less", "P2")]))
+    engine = PeerConsistentEngine(system, method="asp")
+    engine.peer_consistent_answers("P1", parse_query("q(X, Y) := R1(X, Y)"))
+"""
+
+from .asp_gav import (
+    GavSpecification,
+    asp_peer_consistent_answers,
+    asp_solutions_for_peer,
+)
+from .asp_lav import LavSpecification, SourceLabel, labels_for_peer
+from .engine import PeerConsistentEngine
+from .errors import (
+    NoSolutionsError,
+    P2PError,
+    QueryScopeError,
+    RewritingNotSupported,
+    SystemError_,
+    TrustError,
+)
+from .fo_rewriting import (
+    PeerQueryRewriter,
+    answers_via_rewriting,
+    rewrite_peer_query,
+)
+from .explain import AnswerExplanation, explain_answer, explain_query
+from .io import (
+    constraint_from_dict,
+    constraint_to_dict,
+    dump_system,
+    load_system,
+    system_from_dict,
+    system_to_dict,
+)
+from .messaging import ExchangeEvent, ExchangeLog
+from .naming import NameMap
+from .pca import (
+    PCAResult,
+    pca_from_solutions,
+    peer_consistent_answers,
+    possible_peer_answers,
+)
+from .solutions import SolutionSearch, solutions_for_peer
+from .system import DataExchange, Peer, PeerSystem
+from .transitive import (
+    TransitiveSpecification,
+    global_solutions,
+    transitive_peer_consistent_answers,
+)
+from .trust import TrustLevel, TrustRelation
+
+__all__ = [
+    # system model
+    "Peer", "DataExchange", "PeerSystem", "TrustRelation", "TrustLevel",
+    # semantics
+    "SolutionSearch", "solutions_for_peer",
+    "PCAResult", "peer_consistent_answers", "pca_from_solutions",
+    "possible_peer_answers",
+    # declarative definitions
+    "system_from_dict", "system_to_dict", "load_system", "dump_system",
+    "constraint_from_dict", "constraint_to_dict",
+    # explanations
+    "AnswerExplanation", "explain_answer", "explain_query",
+    # mechanisms
+    "PeerQueryRewriter", "rewrite_peer_query", "answers_via_rewriting",
+    "GavSpecification", "asp_solutions_for_peer",
+    "asp_peer_consistent_answers",
+    "LavSpecification", "SourceLabel", "labels_for_peer",
+    "TransitiveSpecification", "global_solutions",
+    "transitive_peer_consistent_answers",
+    "PeerConsistentEngine",
+    # support
+    "NameMap", "ExchangeLog", "ExchangeEvent",
+    # errors
+    "P2PError", "SystemError_", "TrustError", "QueryScopeError",
+    "RewritingNotSupported", "NoSolutionsError",
+]

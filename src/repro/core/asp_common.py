@@ -1,0 +1,375 @@
+"""Shared machinery for the ASP specifications (GAV, LAV, transitive).
+
+Translates relational-layer objects (instances, FO atoms, constraints)
+into Datalog-layer objects (facts, rules) under a :class:`NameMap`,
+implementing the rule shapes of Section 3.1:
+
+* persistence defaults (4)–(5),
+* deletion exceptions with ``aux1``/``aux2`` (6)–(8),
+* the disjunctive choice rule (9), generalised to multiple deletable
+  antecedent atoms and multiple insertable consequent atoms, and
+* hard-constraint encodings for DECs that must *stay* satisfied
+  (the stage-2 side conditions of Definition 4(c3)) and for local ICs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..datalog.program import Rule
+from ..datalog.terms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    Constant,
+    Literal,
+    Variable,
+)
+from ..relational.constraints import (
+    Constraint,
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+    TupleGeneratingConstraint,
+)
+from ..relational.instance import DatabaseInstance
+from ..relational.query import Cmp, RelAtom
+from .errors import SystemError_
+from .naming import NameMap
+
+__all__ = ["TranslationContext", "instance_facts", "translate_atom",
+           "translate_cmp", "dec_rules", "hard_constraint_rules",
+           "local_ic_rules", "decode_model"]
+
+
+class TranslationContext:
+    """Everything a constraint translation needs to know.
+
+    ``changeable``: relations whose primed version may differ from the
+    source (deletions/insertions allowed).
+    ``foreign_primed``: relations owned by *other* peers whose primed
+    versions are defined elsewhere in a combined (transitive) program —
+    references to them use the primed predicate (rules (10)–(13)), while
+    the owner's own relations are referenced through their sources.
+    """
+
+    def __init__(self, name_map: NameMap, changeable: Iterable[str],
+                 foreign_primed: Iterable[str] = (),
+                 domain_pred: str = "dom") -> None:
+        self.name_map = name_map
+        self.changeable = frozenset(changeable)
+        self.foreign_primed = frozenset(foreign_primed)
+        overlap = self.changeable & self.foreign_primed
+        if overlap:
+            raise SystemError_(
+                f"relations {sorted(overlap)} cannot be both locally "
+                f"changeable and foreign-primed")
+        # Existential witnesses with no fixed guard atom (the same-trust
+        # variant of Section 3.1, where S1, S2 get virtual versions too)
+        # range over an explicit active-domain predicate; `domain_used`
+        # tells the program builder to emit its facts.
+        self.domain_pred = domain_pred
+        self.domain_used = False
+
+    # -- predicate selection -------------------------------------------
+    def body_pred(self, relation: str) -> str:
+        """Predicate used when *reading* a relation in rule bodies:
+        sources for local relations (changeable or not), primed versions
+        for foreign-primed ones."""
+        if relation in self.foreign_primed:
+            return self.name_map.primed(relation)
+        return self.name_map.source(relation)
+
+    def solution_pred(self, relation: str) -> str:
+        """Predicate holding the relation's *solution-level* contents."""
+        if relation in self.changeable or relation in self.foreign_primed:
+            return self.name_map.primed(relation)
+        return self.name_map.source(relation)
+
+
+def instance_facts(instance: DatabaseInstance, relations: Iterable[str],
+                   name_map: NameMap) -> list[Rule]:
+    """Source facts for the given relations, deterministic order."""
+    facts: list[Rule] = []
+    for relation in sorted(set(relations)):
+        pred = name_map.source(relation)
+        for values in sorted(instance.tuples(relation),
+                             key=lambda row: tuple(
+                                 (isinstance(v, str), str(v))
+                                 for v in row)):
+            facts.append(Rule(head=[Atom(pred, values)]))
+    return facts
+
+
+def translate_atom(atom: RelAtom, pred: str) -> Atom:
+    """A relational FO atom as a Datalog atom under the given predicate."""
+    return Atom(pred, atom.terms)
+
+
+def translate_cmp(cmp_: Cmp) -> Comparison:
+    return cmp_.comparison
+
+
+def _universal_args(variables: Iterable[Variable]) -> tuple[Variable, ...]:
+    return tuple(sorted(set(variables), key=lambda v: v.name))
+
+
+class _AuxNames:
+    """Fresh aux/ins predicate names per translated constraint."""
+
+    def __init__(self, reserved: set[str]) -> None:
+        self._reserved = set(reserved)
+        self._counter = 0
+
+    def fresh(self, base: str) -> str:
+        while True:
+            self._counter += 1
+            candidate = f"{base}{self._counter}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+
+def dec_rules(constraint: Constraint, context: TranslationContext,
+              aux: _AuxNames) -> list[Rule]:
+    """Repair rules for one DEC (the rules (6)-(9) generalisation).
+
+    Dispatches on the constraint family; see the per-family helpers.
+    """
+    if isinstance(constraint, TupleGeneratingConstraint):
+        return _tgd_rules(constraint, context, aux)
+    if isinstance(constraint, EqualityGeneratingConstraint):
+        return _egd_rules(constraint, context)
+    if isinstance(constraint, DenialConstraint):
+        return _denial_rules(constraint, context)
+    raise SystemError_(
+        f"unsupported constraint type {type(constraint).__name__} in ASP "
+        f"translation")
+
+
+def _deletion_heads(antecedent: Sequence[RelAtom],
+                    context: TranslationContext) -> list[Literal]:
+    """``-R'(x̄)`` head literals for the changeable antecedent atoms."""
+    heads = []
+    for atom in antecedent:
+        if atom.relation in context.changeable:
+            primed = context.name_map.primed(atom.relation)
+            heads.append(Literal(translate_atom(atom, primed),
+                                 positive=False))
+    return heads
+
+
+def _trigger_body(antecedent: Sequence[RelAtom],
+                  conditions: Sequence[Cmp],
+                  context: TranslationContext) -> list:
+    body: list = [Literal(translate_atom(a, context.body_pred(a.relation)))
+                  for a in antecedent]
+    body.extend(translate_cmp(c) for c in conditions)
+    return body
+
+
+def _tgd_rules(constraint: TupleGeneratingConstraint,
+               context: TranslationContext, aux: _AuxNames) -> list[Rule]:
+    rules: list[Rule] = []
+    trigger = _trigger_body(constraint.antecedent, constraint.conditions,
+                            context)
+    deletions = _deletion_heads(constraint.antecedent, context)
+
+    fixed_consequent = [a for a in constraint.consequent
+                        if a.relation not in context.changeable]
+    insertable = [a for a in constraint.consequent
+                  if a.relation in context.changeable]
+
+    for condition in constraint.cons_conditions:
+        allowed = constraint.universal_vars | set().union(
+            *(a.free_variables() for a in fixed_consequent)) \
+            if fixed_consequent else constraint.universal_vars
+        allowed = set(allowed) | constraint.existential_vars
+        if not condition.free_variables() <= allowed:
+            raise SystemError_(
+                f"consequent condition {condition} of {constraint.name} "
+                f"is outside the supported ASP fragment")
+
+    # aux1: the consequent is already satisfied at the source level
+    # (rule (7): aux1(x,z) <- R2(x,w), S2(z,w)).
+    consequent_uvars = _universal_args(
+        v for a in constraint.consequent
+        for v in a.free_variables() & constraint.universal_vars)
+    aux1 = aux.fresh("aux1_")
+    aux1_head = Atom(aux1, consequent_uvars)
+    aux1_body: list = [
+        Literal(translate_atom(a, context.body_pred(a.relation)))
+        for a in constraint.consequent]
+    aux1_body.extend(translate_cmp(c) for c in constraint.cons_conditions)
+    rules.append(Rule(head=[aux1_head], body=aux1_body))
+    aux1_literal = Literal(Atom(aux1, consequent_uvars), naf=True)
+
+    if constraint.existential_vars and fixed_consequent:
+        # aux2: a witness value exists among the fixed consequent atoms
+        # (rule (8): aux2(z) <- S2(z,w)).
+        aux2_uvars = _universal_args(
+            v for a in fixed_consequent
+            for v in a.free_variables() & constraint.universal_vars)
+        aux2 = aux.fresh("aux2_")
+        aux2_body: list = [
+            Literal(translate_atom(a, context.body_pred(a.relation)))
+            for a in fixed_consequent]
+        rules.append(Rule(head=[Atom(aux2, aux2_uvars)], body=aux2_body))
+        no_witness_literal: Optional[Literal] = Literal(
+            Atom(aux2, aux2_uvars), naf=True)
+    else:
+        no_witness_literal = None
+
+    if not insertable:
+        # No insertions possible: violations force deletions (or are
+        # outright inconsistencies when nothing is deletable either).
+        body = trigger + [aux1_literal]
+        rules.append(Rule(head=deletions, body=body))
+        return rules
+
+    # Rule (6) generalisation: when no witness is available, delete.
+    if no_witness_literal is not None:
+        rules.append(Rule(head=deletions,
+                          body=trigger + [aux1_literal,
+                                          no_witness_literal]))
+
+    # Rule (9) generalisation: delete or insert a chosen witness.
+    witness_atoms = [
+        Literal(translate_atom(a, context.body_pred(a.relation)))
+        for a in fixed_consequent]
+    choice_domain = _universal_args(
+        v for a in constraint.consequent
+        for v in a.free_variables() & constraint.universal_vars)
+    exist_vars = _universal_args(constraint.existential_vars)
+    body = trigger + [aux1_literal] + witness_atoms
+    body.extend(translate_cmp(c) for c in constraint.cons_conditions)
+    if exist_vars and not fixed_consequent:
+        # unguarded witnesses range over the active domain
+        context.domain_used = True
+        body.extend(Literal(Atom(context.domain_pred, (v,)))
+                    for v in exist_vars)
+    if exist_vars:
+        body.append(ChoiceGoal(choice_domain, exist_vars))
+
+    if len(insertable) == 1:
+        insert_heads = [Literal(translate_atom(
+            insertable[0],
+            context.name_map.primed(insertable[0].relation)))]
+        rules.append(Rule(head=deletions + insert_heads, body=body))
+    else:
+        # several atoms must be inserted together: use an `ins` marker
+        ins = aux.fresh("ins_")
+        ins_args = tuple(choice_domain) + tuple(exist_vars)
+        ins_atom = Atom(ins, ins_args)
+        rules.append(Rule(head=deletions + [Literal(ins_atom)], body=body))
+        for atom in insertable:
+            rules.append(Rule(
+                head=[translate_atom(
+                    atom, context.name_map.primed(atom.relation))],
+                body=[Literal(ins_atom)]))
+    return rules
+
+
+def _egd_rules(constraint: EqualityGeneratingConstraint,
+               context: TranslationContext) -> list[Rule]:
+    rules = []
+    deletions = _deletion_heads(constraint.antecedent, context)
+    trigger = _trigger_body(constraint.antecedent, constraint.conditions,
+                            context)
+    for left, right in constraint.equalities:
+        body = trigger + [Comparison("!=", left, right)]
+        rules.append(Rule(head=deletions, body=body))
+    return rules
+
+
+def _denial_rules(constraint: DenialConstraint,
+                  context: TranslationContext) -> list[Rule]:
+    deletions = _deletion_heads(constraint.antecedent, context)
+    trigger = _trigger_body(constraint.antecedent, constraint.conditions,
+                            context)
+    return [Rule(head=deletions, body=trigger)]
+
+
+def hard_constraint_rules(constraint: Constraint,
+                          context: TranslationContext,
+                          aux: _AuxNames) -> list[Rule]:
+    """Encode a constraint that must HOLD of the solution state (no repair
+    options): used for the stage-2 `less` DECs (Definition 4(c3)) and for
+    local ICs expressed over the virtual relations (Section 3.2)."""
+    if isinstance(constraint, TupleGeneratingConstraint):
+        rules: list[Rule] = []
+        sat = aux.fresh("sat_")
+        uvars = _universal_args(
+            v for a in constraint.consequent
+            for v in a.free_variables() & constraint.universal_vars)
+        sat_body: list = [
+            Literal(translate_atom(a, context.solution_pred(a.relation)))
+            for a in constraint.consequent]
+        sat_body.extend(translate_cmp(c)
+                        for c in constraint.cons_conditions)
+        rules.append(Rule(head=[Atom(sat, uvars)], body=sat_body))
+        constraint_body: list = [
+            Literal(translate_atom(a, context.solution_pred(a.relation)))
+            for a in constraint.antecedent]
+        constraint_body.extend(translate_cmp(c)
+                               for c in constraint.conditions)
+        constraint_body.append(Literal(Atom(sat, uvars), naf=True))
+        rules.append(Rule(head=(), body=constraint_body))
+        return rules
+    if isinstance(constraint, EqualityGeneratingConstraint):
+        rules = []
+        body_atoms: list = [
+            Literal(translate_atom(a, context.solution_pred(a.relation)))
+            for a in constraint.antecedent]
+        body_atoms.extend(translate_cmp(c) for c in constraint.conditions)
+        for left, right in constraint.equalities:
+            rules.append(Rule(head=(), body=body_atoms
+                              + [Comparison("!=", left, right)]))
+        return rules
+    if isinstance(constraint, DenialConstraint):
+        body_atoms = [
+            Literal(translate_atom(a, context.solution_pred(a.relation)))
+            for a in constraint.antecedent]
+        body_atoms.extend(translate_cmp(c) for c in constraint.conditions)
+        return [Rule(head=(), body=body_atoms)]
+    raise SystemError_(
+        f"unsupported constraint type {type(constraint).__name__} in ASP "
+        f"translation")
+
+
+def local_ic_rules(constraints: Iterable[Constraint],
+                   context: TranslationContext,
+                   aux: _AuxNames) -> list[Rule]:
+    """Local ICs as program denial constraints over the solution state
+    (Section 3.2: "program should take care of those constraints ...
+    using program denial constraints")."""
+    rules: list[Rule] = []
+    for constraint in constraints:
+        rules.extend(hard_constraint_rules(constraint, context, aux))
+    return rules
+
+
+def decode_model(model: Iterable[Literal], base: DatabaseInstance,
+                 context: TranslationContext) -> DatabaseInstance:
+    """Read a solution instance off an answer set.
+
+    Changeable (and foreign-primed) relations take their primed contents;
+    all other relations keep their source tuples from ``base``.
+    """
+    replaced: dict[str, set[tuple]] = {
+        relation: set()
+        for relation in context.changeable | context.foreign_primed
+        if relation in base.schema}
+    for literal in model:
+        if not literal.positive or literal.naf:
+            continue
+        relation = context.name_map.relation_of_primed(literal.predicate)
+        if relation is None or relation not in replaced:
+            continue
+        replaced[relation].add(literal.atom.value_tuple())
+    return base.replace_relations(replaced)
+
+
+def make_aux_names(name_map: NameMap,
+                   extra_reserved: Iterable[str] = ()) -> _AuxNames:
+    """Aux-name factory avoiding the relation predicates."""
+    return _AuxNames(name_map.reserved_predicates() | set(extra_reserved))

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the P2P data-exchange core."""
+
+from __future__ import annotations
+
+
+class P2PError(Exception):
+    """Base class for all errors raised by :mod:`repro.core`."""
+
+
+class SystemError_(P2PError):
+    """Malformed P2P system (unknown peer, DEC over foreign relations,
+    local IC escaping the peer's schema, instance/schema mismatch)."""
+
+
+class TrustError(P2PError):
+    """Malformed trust relation — the second argument must functionally
+    depend on the other two (Definition 2(f))."""
+
+
+class QueryScopeError(P2PError):
+    """A query posed to a peer uses relations outside the peer's own
+    language L(P) (Definition 5 requires Q(x̄) ∈ L(P))."""
+
+
+class RewritingNotSupported(P2PError):
+    """The FO-rewriting mechanism does not cover this system/query
+    combination — the paper itself notes the approach has "intrinsic
+    limitations" (Section 1); fall back to the ASP method."""
+
+
+class NoSolutionsError(P2PError):
+    """Raised by APIs asked to certify answers for a peer without
+    solutions (the specification program has no answer sets)."""

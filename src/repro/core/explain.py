@@ -1,0 +1,129 @@
+"""Answer certification: *why* is a tuple (not) peer consistent?
+
+Definition 5 makes a tuple certain when it holds in every solution; this
+module materialises the evidence — for each candidate tuple it reports
+
+* ``certain`` — holds in all solutions (with the solution count),
+* ``possible`` — holds in some solutions only, together with one
+  *countersolution* in which it fails (the witness that blocks
+  certification),
+* ``absent`` — holds in no solution,
+* ``no_solutions`` — the peer has no solutions at all.
+
+This is release convenience on top of the paper's semantics: the
+countersolution is exactly the object the Definition-5 universal
+quantifier demands to inspect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..relational.instance import DatabaseInstance
+from ..relational.query import Query
+from .solutions import SolutionSearch
+from .system import PeerSystem
+
+__all__ = ["AnswerExplanation", "explain_answer", "explain_query"]
+
+
+class AnswerExplanation:
+    """Evidence for one candidate answer tuple."""
+
+    CERTAIN = "certain"
+    POSSIBLE = "possible"
+    ABSENT = "absent"
+    NO_SOLUTIONS = "no_solutions"
+
+    def __init__(self, tuple_: tuple, status: str,
+                 supporting: int, total: int,
+                 countersolution: Optional[DatabaseInstance]) -> None:
+        self.tuple = tuple_
+        self.status = status
+        self.supporting_solutions = supporting
+        self.total_solutions = total
+        self.countersolution = countersolution
+
+    def __repr__(self) -> str:
+        return (f"AnswerExplanation({self.tuple}, {self.status}, "
+                f"{self.supporting_solutions}/{self.total_solutions})")
+
+    def render(self) -> str:
+        """One-paragraph human-readable explanation."""
+        if self.status == self.NO_SOLUTIONS:
+            return (f"{self.tuple}: the peer has no solutions — the "
+                    f"exchange constraints are unsatisfiable against the "
+                    f"trusted peers' data.")
+        if self.status == self.CERTAIN:
+            return (f"{self.tuple}: CERTAIN — holds in all "
+                    f"{self.total_solutions} solution(s).")
+        if self.status == self.POSSIBLE:
+            return (f"{self.tuple}: possible but not certain — holds in "
+                    f"{self.supporting_solutions} of "
+                    f"{self.total_solutions} solutions; countersolution: "
+                    f"{self.countersolution}.")
+        return (f"{self.tuple}: absent — holds in none of the "
+                f"{self.total_solutions} solutions.")
+
+
+def _explanations_over(system: PeerSystem, peer: str, query: Query,
+                       solutions: Sequence[DatabaseInstance],
+                       candidates: Sequence[tuple]
+                       ) -> list[AnswerExplanation]:
+    total = len(solutions)
+    per_solution_answers = []
+    for solution in solutions:
+        restricted = system.restrict_to_peer(solution, peer)
+        per_solution_answers.append((solution,
+                                     query.answers(restricted)))
+    explanations = []
+    for candidate in candidates:
+        if total == 0:
+            explanations.append(AnswerExplanation(
+                candidate, AnswerExplanation.NO_SOLUTIONS, 0, 0, None))
+            continue
+        supporting = 0
+        countersolution = None
+        for solution, answers in per_solution_answers:
+            if candidate in answers:
+                supporting += 1
+            elif countersolution is None:
+                countersolution = solution
+        if supporting == total:
+            status = AnswerExplanation.CERTAIN
+        elif supporting > 0:
+            status = AnswerExplanation.POSSIBLE
+        else:
+            status = AnswerExplanation.ABSENT
+        explanations.append(AnswerExplanation(
+            candidate, status, supporting, total, countersolution))
+    return explanations
+
+
+def explain_answer(system: PeerSystem, peer: str, query: Query,
+                   candidate: tuple, **search_kwargs
+                   ) -> AnswerExplanation:
+    """Explain the status of one candidate tuple (Definition 5 evidence)."""
+    system.validate_query_scope(peer, query)
+    solutions = SolutionSearch(system, peer, **search_kwargs).solutions()
+    return _explanations_over(system, peer, query, solutions,
+                              [tuple(candidate)])[0]
+
+
+def explain_query(system: PeerSystem, peer: str, query: Query,
+                  **search_kwargs) -> list[AnswerExplanation]:
+    """Explanations for every tuple that holds in at least one solution,
+    sorted certain-first then lexicographically."""
+    system.validate_query_scope(peer, query)
+    solutions = SolutionSearch(system, peer, **search_kwargs).solutions()
+    union: set[tuple] = set()
+    for solution in solutions:
+        restricted = system.restrict_to_peer(solution, peer)
+        union |= query.answers(restricted)
+    explanations = _explanations_over(system, peer, query, solutions,
+                                      sorted(union))
+    order = {AnswerExplanation.CERTAIN: 0, AnswerExplanation.POSSIBLE: 1,
+             AnswerExplanation.ABSENT: 2,
+             AnswerExplanation.NO_SOLUTIONS: 3}
+    explanations.sort(key=lambda e: (order[e.status], e.tuple))
+    return explanations

@@ -1,0 +1,234 @@
+"""Declarative (JSON-friendly) system definitions.
+
+A downstream user should not have to write Python object constructions to
+describe a peer network.  :func:`system_from_dict` builds a
+:class:`~repro.core.system.PeerSystem` from a plain dictionary (e.g.
+loaded from a JSON file), and :func:`system_to_dict` round-trips it back.
+
+Schema (all atoms and conditions use the FO query syntax of
+:mod:`repro.relational.query_parser`)::
+
+    {
+      "peers": {
+        "P1": {
+          "schema":    {"R1": 2},
+          "instance":  {"R1": [["a", "b"], ["s", "t"]]},
+          "local_ics": [{"type": "fd", "relation": "R1",
+                         "lhs": [0], "rhs": [1]}]
+        },
+        ...
+      },
+      "exchanges": [
+        {"owner": "P1", "other": "P2",
+         "constraint": {"type": "inclusion",
+                        "child": "R2", "parent": "R1"}},
+        {"owner": "P1", "other": "P3",
+         "constraint": {"type": "egd",
+                        "antecedent": ["R1(X, Y)", "R3(X, Z)"],
+                        "equalities": [["Y", "Z"]]}}
+      ],
+      "trust": [["P1", "less", "P2"], ["P1", "same", "P3"]]
+    }
+
+Constraint types: ``inclusion`` (full or positional), ``tgd``, ``egd``,
+``fd``, ``key``, ``denial``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional, Sequence
+
+from ..datalog.terms import Constant, Variable
+from ..relational.constraints import (
+    Constraint,
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyConstraint,
+    TupleGeneratingConstraint,
+)
+from ..relational.instance import DatabaseInstance
+from ..relational.query import Cmp, RelAtom
+from ..relational.query_parser import parse_formula
+from ..relational.schema import DatabaseSchema
+from .errors import SystemError_
+from .system import DataExchange, Peer, PeerSystem
+from .trust import TrustRelation
+
+__all__ = ["system_from_dict", "system_to_dict", "load_system",
+           "dump_system", "constraint_from_dict", "constraint_to_dict"]
+
+
+def _parse_atom(text: str) -> RelAtom:
+    formula = parse_formula(text)
+    if not isinstance(formula, RelAtom):
+        raise SystemError_(f"expected a relation atom, got {text!r}")
+    return formula
+
+
+def _parse_atoms(texts: Sequence[str]) -> list[RelAtom]:
+    return [_parse_atom(t) for t in texts]
+
+
+def _parse_conditions(texts: Sequence[str]) -> list[Cmp]:
+    out = []
+    for text in texts:
+        formula = parse_formula(text)
+        if not isinstance(formula, Cmp):
+            raise SystemError_(f"expected a comparison, got {text!r}")
+        out.append(formula)
+    return out
+
+
+def _parse_term(text: str):
+    if isinstance(text, int):
+        return Constant(text)
+    if text and (text[0].isupper() or text[0] == "_"):
+        return Variable(text)
+    return Constant(text)
+
+
+def constraint_from_dict(data: Mapping) -> Constraint:
+    """Build a constraint from its dictionary form."""
+    kind = data.get("type")
+    name = data.get("name")
+    if kind == "inclusion":
+        return InclusionDependency(
+            data["child"], data["parent"],
+            child_positions=data.get("child_positions"),
+            parent_positions=data.get("parent_positions"),
+            child_arity=data.get("child_arity"),
+            parent_arity=data.get("parent_arity"),
+            name=name)
+    if kind == "tgd":
+        return TupleGeneratingConstraint(
+            antecedent=_parse_atoms(data["antecedent"]),
+            consequent=_parse_atoms(data["consequent"]),
+            conditions=_parse_conditions(data.get("conditions", [])),
+            cons_conditions=_parse_conditions(
+                data.get("cons_conditions", [])),
+            name=name)
+    if kind == "egd":
+        equalities = [(_parse_term(left), _parse_term(right))
+                      for left, right in data["equalities"]]
+        return EqualityGeneratingConstraint(
+            antecedent=_parse_atoms(data["antecedent"]),
+            equalities=equalities,
+            conditions=_parse_conditions(data.get("conditions", [])),
+            name=name)
+    if kind == "fd":
+        return FunctionalDependency(
+            data["relation"], data["lhs"], data["rhs"],
+            arity=data["arity"], name=name)
+    if kind == "key":
+        return KeyConstraint(data["relation"], data["key"],
+                             arity=data["arity"], name=name)
+    if kind == "denial":
+        return DenialConstraint(
+            antecedent=_parse_atoms(data["antecedent"]),
+            conditions=_parse_conditions(data.get("conditions", [])),
+            name=name)
+    raise SystemError_(f"unknown constraint type {kind!r}")
+
+
+def constraint_to_dict(constraint: Constraint) -> dict:
+    """Serialise a constraint (inverse of :func:`constraint_from_dict`)."""
+    if isinstance(constraint, KeyConstraint):
+        return {"type": "key", "relation": constraint.relation_name,
+                "key": list(constraint.key_positions),
+                "arity": constraint.arity, "name": constraint.name}
+    if isinstance(constraint, FunctionalDependency):
+        return {"type": "fd", "relation": constraint.relation_name,
+                "lhs": list(constraint.lhs), "rhs": list(constraint.rhs),
+                "arity": constraint.arity, "name": constraint.name}
+    if isinstance(constraint, InclusionDependency):
+        return {"type": "inclusion", "child": constraint.child,
+                "parent": constraint.parent,
+                "child_positions": list(constraint.child_positions),
+                "parent_positions": list(constraint.parent_positions),
+                "child_arity": len(constraint.antecedent[0].terms),
+                "parent_arity": len(constraint.consequent[0].terms),
+                "name": constraint.name}
+    if isinstance(constraint, TupleGeneratingConstraint):
+        return {"type": "tgd",
+                "antecedent": [str(a) for a in constraint.antecedent],
+                "consequent": [str(a) for a in constraint.consequent],
+                "conditions": [str(c) for c in constraint.conditions],
+                "cons_conditions": [str(c) for c in
+                                    constraint.cons_conditions],
+                "name": constraint.name}
+    if isinstance(constraint, EqualityGeneratingConstraint):
+        return {"type": "egd",
+                "antecedent": [str(a) for a in constraint.antecedent],
+                "equalities": [[str(left), str(right)]
+                               for left, right in constraint.equalities],
+                "conditions": [str(c) for c in constraint.conditions],
+                "name": constraint.name}
+    if isinstance(constraint, DenialConstraint):
+        return {"type": "denial",
+                "antecedent": [str(a) for a in constraint.antecedent],
+                "conditions": [str(c) for c in constraint.conditions],
+                "name": constraint.name}
+    raise SystemError_(
+        f"cannot serialise constraint type {type(constraint).__name__}")
+
+
+def system_from_dict(data: Mapping, *,
+                     enforce_local_ics: bool = True) -> PeerSystem:
+    """Build a :class:`PeerSystem` from its dictionary form."""
+    peers = []
+    instances = {}
+    for name, spec in data.get("peers", {}).items():
+        schema = DatabaseSchema.of(spec["schema"])
+        local_ics = [constraint_from_dict(c)
+                     for c in spec.get("local_ics", [])]
+        peers.append(Peer(name, schema, local_ics=local_ics))
+        rows = {relation: [tuple(row) for row in row_list]
+                for relation, row_list in spec.get("instance",
+                                                   {}).items()}
+        instances[name] = DatabaseInstance(schema, rows)
+    exchanges = [DataExchange(e["owner"], e["other"],
+                              constraint_from_dict(e["constraint"]))
+                 for e in data.get("exchanges", [])]
+    trust = TrustRelation([tuple(edge) for edge in data.get("trust", [])])
+    return PeerSystem(peers, instances, exchanges, trust,
+                      enforce_local_ics=enforce_local_ics)
+
+
+def system_to_dict(system: PeerSystem) -> dict:
+    """Serialise a system (inverse of :func:`system_from_dict`)."""
+    peers: dict = {}
+    for name, peer in system.peers.items():
+        instance = system.instances[name]
+        peers[name] = {
+            "schema": {r.name: r.arity for r in peer.schema},
+            "instance": {relation: sorted(
+                [list(row) for row in instance.tuples(relation)])
+                for relation in peer.schema.names
+                if instance.tuples(relation)},
+            "local_ics": [constraint_to_dict(c)
+                          for c in peer.local_ics],
+        }
+    return {
+        "peers": peers,
+        "exchanges": [{"owner": e.owner, "other": e.other,
+                       "constraint": constraint_to_dict(e.constraint)}
+                      for e in system.exchanges],
+        "trust": [[owner, str(level), other]
+                  for owner, level, other in system.trust.edges()],
+    }
+
+
+def load_system(path: str, **kwargs) -> PeerSystem:
+    """Load a system from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return system_from_dict(json.load(handle), **kwargs)
+
+
+def dump_system(system: PeerSystem, path: str) -> None:
+    """Write a system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(system_to_dict(system), handle, indent=2,
+                  sort_keys=True)

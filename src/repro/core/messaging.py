@@ -1,0 +1,63 @@
+"""In-process peer messaging log.
+
+The semantics of the paper is defined over the global instance (Definition
+3), so no real networking is needed — but the *narrative* of query
+answering is peer-to-peer: "P1 will first issue a query to P2 to retrieve
+the tuples in R2; next, a query is issued to P3 ..." (Example 2).  The
+:class:`ExchangeLog` records exactly those data requests so examples and
+tests can observe who asked whom for what, and how many tuples flowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["ExchangeEvent", "ExchangeLog"]
+
+
+@dataclass(frozen=True)
+class ExchangeEvent:
+    """One peer-to-peer data request."""
+
+    requester: str
+    provider: str
+    relation: str
+    tuples_transferred: int
+    purpose: str = ""
+
+    def __str__(self) -> str:
+        note = f" ({self.purpose})" if self.purpose else ""
+        return (f"{self.requester} <- {self.provider}: "
+                f"{self.relation} [{self.tuples_transferred} tuples]{note}")
+
+
+class ExchangeLog:
+    """An append-only log of :class:`ExchangeEvent`."""
+
+    def __init__(self) -> None:
+        self._events: list[ExchangeEvent] = []
+
+    def record(self, requester: str, provider: str, relation: str,
+               tuples_transferred: int, purpose: str = "") -> None:
+        if requester != provider:  # local reads are not exchanges
+            self._events.append(ExchangeEvent(
+                requester, provider, relation, tuples_transferred, purpose))
+
+    def events(self, requester: Optional[str] = None
+               ) -> list[ExchangeEvent]:
+        if requester is None:
+            return list(self._events)
+        return [e for e in self._events if e.requester == requester]
+
+    def total_tuples(self) -> int:
+        return sum(e.tuples_transferred for e in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ExchangeEvent]:
+        return iter(self._events)

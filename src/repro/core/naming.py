@@ -1,0 +1,79 @@
+"""Relation-to-predicate naming for the ASP specifications.
+
+The paper writes source relations ``R1`` and their virtual (solution-level)
+versions ``R'1``.  Program predicates must start lowercase, so relation
+``R1`` maps to source predicate ``r1`` and primed predicate ``r1_p``
+(read: "R1-prime").  The map is bijective and validated: two relations may
+not collide after lowercasing, and generated auxiliary names must stay
+clear of relation predicates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .errors import SystemError_
+
+__all__ = ["NameMap"]
+
+_VALID = re.compile(r"\A[A-Za-z][A-Za-z0-9_]*\Z")
+
+PRIMED_SUFFIX = "_p"
+FINAL_SUFFIX = "_f"
+
+
+class NameMap:
+    """Bijective relation <-> predicate naming."""
+
+    def __init__(self, relations: Iterable[str]) -> None:
+        self._source: dict[str, str] = {}
+        self._relation_of_source: dict[str, str] = {}
+        self._relation_of_primed: dict[str, str] = {}
+        self._relation_of_final: dict[str, str] = {}
+        for relation in sorted(set(relations)):
+            if not _VALID.match(relation):
+                raise SystemError_(
+                    f"relation name {relation!r} cannot be mapped to a "
+                    f"program predicate (letters, digits, underscores "
+                    f"only, starting with a letter)")
+            pred = relation[0].lower() + relation[1:]
+            if pred in self._relation_of_source:
+                raise SystemError_(
+                    f"relations {self._relation_of_source[pred]!r} and "
+                    f"{relation!r} collide on predicate name {pred!r}")
+            self._source[relation] = pred
+            self._relation_of_source[pred] = relation
+            self._relation_of_primed[pred + PRIMED_SUFFIX] = relation
+            self._relation_of_final[pred + FINAL_SUFFIX] = relation
+
+    def source(self, relation: str) -> str:
+        """Predicate holding the material (source) tuples."""
+        try:
+            return self._source[relation]
+        except KeyError:
+            raise SystemError_(f"unmapped relation {relation!r}") from None
+
+    def primed(self, relation: str) -> str:
+        """Predicate holding the virtual, solution-level tuples (R')."""
+        return self.source(relation) + PRIMED_SUFFIX
+
+    def final(self, relation: str) -> str:
+        """Predicate of the second repair layer (Section 3.2's "more
+        flexible alternative": solutions re-repaired w.r.t. local ICs)."""
+        return self.source(relation) + FINAL_SUFFIX
+
+    def relation_of_primed(self, predicate: str) -> str | None:
+        """Reverse lookup for decoding answer sets."""
+        return self._relation_of_primed.get(predicate)
+
+    def relation_of_final(self, predicate: str) -> str | None:
+        return self._relation_of_final.get(predicate)
+
+    def relation_of_source(self, predicate: str) -> str | None:
+        return self._relation_of_source.get(predicate)
+
+    def reserved_predicates(self) -> set[str]:
+        return (set(self._relation_of_source)
+                | set(self._relation_of_primed)
+                | set(self._relation_of_final))

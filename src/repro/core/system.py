@@ -1,0 +1,271 @@
+"""The P2P data exchange system of Definition 2.
+
+A :class:`PeerSystem` bundles
+
+(a) a finite set of :class:`Peer` objects,
+(b) per-peer disjoint schemas ``R(P)``,
+(c) per-peer instances ``r(P)``,
+(d) per-peer local ICs ``IC(P)``,
+(e) data exchange constraints ``Σ(P, Q)`` (:class:`DataExchange`), and
+(f) a :class:`~repro.core.trust.TrustRelation`.
+
+Derived notions of Definition 3 are provided as methods: the extended
+schema ``R̄(P)`` (:meth:`PeerSystem.extended_schema_names`), the combined
+instance ``r̄`` (:meth:`PeerSystem.global_instance`), and restrictions
+``r|P`` (:meth:`PeerSystem.restrict_to_peer`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..relational.constraints import Constraint, TupleGeneratingConstraint
+from ..relational.instance import DatabaseInstance
+from ..relational.query import Query
+from ..relational.schema import DatabaseSchema
+from .errors import QueryScopeError, SystemError_
+from .messaging import ExchangeLog
+from .trust import TrustLevel, TrustRelation
+
+__all__ = ["Peer", "DataExchange", "PeerSystem"]
+
+
+class Peer:
+    """A peer: name, schema R(P), and local integrity constraints IC(P)."""
+
+    __slots__ = ("name", "schema", "local_ics")
+
+    def __init__(self, name: str, schema: DatabaseSchema,
+                 local_ics: Iterable[Constraint] = ()) -> None:
+        if not name:
+            raise SystemError_("peer name must be non-empty")
+        local_ics = tuple(local_ics)
+        for constraint in local_ics:
+            foreign = constraint.relations() - set(schema.names)
+            if foreign:
+                raise SystemError_(
+                    f"local IC {constraint.name} of peer {name!r} uses "
+                    f"foreign relations {sorted(foreign)}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "local_ics", local_ics)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Peer is immutable")
+
+    def __repr__(self) -> str:
+        return f"Peer({self.name!r}, {sorted(self.schema.names)})"
+
+
+class DataExchange:
+    """One data exchange constraint in Σ(owner, other).
+
+    ``constraint`` is a sentence over ``R(owner) ∪ R(other)``
+    (Definition 2(e)); the builder validates that scoping against the
+    system's schemas.
+    """
+
+    __slots__ = ("owner", "other", "constraint")
+
+    def __init__(self, owner: str, other: str,
+                 constraint: Constraint) -> None:
+        if owner == other:
+            raise SystemError_(
+                f"DEC of peer {owner!r} must involve a second peer")
+        object.__setattr__(self, "owner", owner)
+        object.__setattr__(self, "other", other)
+        object.__setattr__(self, "constraint", constraint)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DataExchange is immutable")
+
+    def __repr__(self) -> str:
+        return (f"DataExchange({self.owner!r}, {self.other!r}, "
+                f"{self.constraint.name!r})")
+
+
+class PeerSystem:
+    """A complete P2P data exchange system (Definition 2).
+
+    Construction validates every component: disjoint peer schemas,
+    instances matching their peer's schema, DECs scoped to the two peers
+    involved, trust edges between known peers, and (optionally) that each
+    peer's instance satisfies its local ICs — the paper's standing
+    assumption ``r(P) |= IC(P)``.
+    """
+
+    def __init__(self, peers: Iterable[Peer],
+                 instances: Mapping[str, DatabaseInstance],
+                 exchanges: Iterable[DataExchange] = (),
+                 trust: Optional[TrustRelation] = None,
+                 *, enforce_local_ics: bool = True) -> None:
+        self.peers: dict[str, Peer] = {}
+        for peer in peers:
+            if peer.name in self.peers:
+                raise SystemError_(f"duplicate peer {peer.name!r}")
+            self.peers[peer.name] = peer
+        if not self.peers:
+            raise SystemError_("a P2P system needs at least one peer")
+
+        # global schema R: disjoint union of the R(P) (Definition 2(b)).
+        from ..relational.errors import SchemaError
+        schemas = [p.schema for p in self.peers.values()]
+        try:
+            self.global_schema = schemas[0].disjoint_union(*schemas[1:])
+        except SchemaError as exc:
+            raise SystemError_(str(exc)) from exc
+        self._owner_of: dict[str, str] = {}
+        for peer in self.peers.values():
+            for name in peer.schema.names:
+                self._owner_of[name] = peer.name
+
+        self.instances: dict[str, DatabaseInstance] = {}
+        for name, peer in self.peers.items():
+            instance = instances.get(name)
+            if instance is None:
+                instance = DatabaseInstance(peer.schema)
+            if instance.schema != peer.schema:
+                raise SystemError_(
+                    f"instance of peer {name!r} does not match its schema")
+            self.instances[name] = instance
+
+        self.exchanges: tuple[DataExchange, ...] = tuple(exchanges)
+        for exchange in self.exchanges:
+            for peer_name in (exchange.owner, exchange.other):
+                if peer_name not in self.peers:
+                    raise SystemError_(
+                        f"DEC references unknown peer {peer_name!r}")
+            allowed = set(self.peers[exchange.owner].schema.names) | \
+                set(self.peers[exchange.other].schema.names)
+            foreign = exchange.constraint.relations() - allowed
+            if foreign:
+                raise SystemError_(
+                    f"DEC {exchange.constraint.name} of "
+                    f"Σ({exchange.owner}, {exchange.other}) uses relations "
+                    f"{sorted(foreign)} outside the two peers")
+
+        self.trust = trust if trust is not None else TrustRelation()
+        for owner, _level, other in self.trust.edges():
+            for peer_name in (owner, other):
+                if peer_name not in self.peers:
+                    raise SystemError_(
+                        f"trust edge references unknown peer {peer_name!r}")
+
+        if enforce_local_ics:
+            for name, peer in self.peers.items():
+                for constraint in peer.local_ics:
+                    if not constraint.holds_in(self.instances[name]):
+                        raise SystemError_(
+                            f"instance of peer {name!r} violates local IC "
+                            f"{constraint.name} (the paper assumes "
+                            f"r(P) |= IC(P); pass enforce_local_ics=False "
+                            f"to allow)")
+
+        self.exchange_log = ExchangeLog()
+
+    # ------------------------------------------------------------------
+    # Definition 2/3 derived notions
+    # ------------------------------------------------------------------
+    def peer(self, name: str) -> Peer:
+        try:
+            return self.peers[name]
+        except KeyError:
+            raise SystemError_(f"unknown peer {name!r}") from None
+
+    def owner_of(self, relation: str) -> str:
+        try:
+            return self._owner_of[relation]
+        except KeyError:
+            raise SystemError_(f"unknown relation {relation!r}") from None
+
+    def decs_of(self, peer_name: str) -> tuple[DataExchange, ...]:
+        """Σ(P): the DECs owned by the peer."""
+        self.peer(peer_name)
+        return tuple(e for e in self.exchanges if e.owner == peer_name)
+
+    def trusted_decs_of(self, peer_name: str,
+                        level: Optional[TrustLevel] = None
+                        ) -> tuple[DataExchange, ...]:
+        """The DECs of P toward peers trusted at least `same` (optionally a
+        specific level).  Untrusted DECs are ignored, per Section 2."""
+        result = []
+        for exchange in self.decs_of(peer_name):
+            edge = self.trust.level(peer_name, exchange.other)
+            if edge is None:
+                continue
+            if level is not None and edge is not level:
+                continue
+            result.append(exchange)
+        return tuple(result)
+
+    def extended_schema_names(self, peer_name: str) -> tuple[str, ...]:
+        """R̄(P): R(P) plus relations appearing in Σ(P) (Definition 3(a))."""
+        names = set(self.peer(peer_name).schema.names)
+        for exchange in self.decs_of(peer_name):
+            names |= exchange.constraint.relations()
+        return tuple(sorted(names))
+
+    def global_instance(self) -> DatabaseInstance:
+        """r̄: the union of all peers' instances over the global schema."""
+        data: dict[str, frozenset] = {}
+        for name in self.peers:
+            instance = self.instances[name]
+            for relation in instance.relations():
+                data[relation] = instance.tuples(relation)
+        return DatabaseInstance(self.global_schema, data)
+
+    def restrict_to_peer(self, instance: DatabaseInstance,
+                         peer_name: str) -> DatabaseInstance:
+        """r|P: restriction of a global instance to R(P) (Definition 3(c))."""
+        names = [n for n in self.peer(peer_name).schema.names
+                 if n in instance.schema]
+        return instance.restrict(names)
+
+    def neighbours(self, peer_name: str) -> tuple[str, ...]:
+        """Peers appearing in Σ(P), sorted."""
+        return tuple(sorted({e.other for e in self.decs_of(peer_name)}))
+
+    # ------------------------------------------------------------------
+    # Query scoping (Definition 5) and peer-to-peer data access
+    # ------------------------------------------------------------------
+    def validate_query_scope(self, peer_name: str, query: Query) -> None:
+        """Ensure ``query`` ∈ L(P) — only P's own relations."""
+        own = set(self.peer(peer_name).schema.names)
+        foreign = query.relations() - own
+        if foreign:
+            raise QueryScopeError(
+                f"query to peer {peer_name!r} uses foreign relations "
+                f"{sorted(foreign)}; Definition 5 requires Q(x̄) ∈ L(P)")
+
+    def fetch_relation(self, requester: str, relation: str,
+                       purpose: str = "") -> frozenset:
+        """Tuples of ``relation``, logging cross-peer requests.
+
+        This is the (simulated) data exchange step of Example 2: the
+        requesting peer pulls another peer's relation to answer a query.
+        """
+        provider = self.owner_of(relation)
+        tuples = self.instances[provider].tuples(relation)
+        self.exchange_log.record(requester, provider, relation,
+                                 len(tuples), purpose)
+        return tuples
+
+    # ------------------------------------------------------------------
+    # Functional updates (used by stage-wise solution computation)
+    # ------------------------------------------------------------------
+    def with_global_instance(self, instance: DatabaseInstance
+                             ) -> "PeerSystem":
+        """A copy of the system whose peer instances are taken from a
+        global instance (splitting it by ownership)."""
+        per_peer: dict[str, DatabaseInstance] = {}
+        for name, peer in self.peers.items():
+            data = {relation: instance.tuples(relation)
+                    for relation in peer.schema.names}
+            per_peer[name] = DatabaseInstance(peer.schema, data)
+        return PeerSystem(self.peers.values(), per_peer, self.exchanges,
+                          self.trust, enforce_local_ics=False)
+
+    def __repr__(self) -> str:
+        return (f"PeerSystem({sorted(self.peers)}, "
+                f"{len(self.exchanges)} DECs, {len(self.trust)} trust "
+                f"edges)")

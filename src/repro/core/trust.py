@@ -1,0 +1,122 @@
+"""The trust relation of Definition 2(f).
+
+``trust ⊆ P × {less, same} × P``: ``(A, less, B)`` means peer A trusts
+itself *less* than B (B's data wins conflicts); ``(A, same, B)`` means A
+trusts itself the *same* as B (conflicts may be resolved at either side).
+The second argument functionally depends on the other two — enforced here.
+
+A missing edge means A does not trust B's data at least as much as its own,
+so B's data is simply not consulted ("only some peers' databases are
+relevant to P, those ... trusted by P at least as much as it trusts its own
+data", Section 2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Iterator, Optional
+
+from .errors import TrustError
+
+__all__ = ["TrustLevel", "TrustRelation"]
+
+
+class TrustLevel(str, Enum):
+    """How much a peer trusts itself relative to another peer."""
+
+    LESS = "less"   # the other peer's data is more reliable
+    SAME = "same"   # equally reliable
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _coerce_level(level: object) -> TrustLevel:
+    if isinstance(level, TrustLevel):
+        return level
+    if isinstance(level, str):
+        try:
+            return TrustLevel(level)
+        except ValueError:
+            raise TrustError(f"unknown trust level {level!r}; "
+                             f"use 'less' or 'same'") from None
+    raise TrustError(f"unknown trust level {level!r}")
+
+
+class TrustRelation:
+    """An immutable set of trust edges with the functional-dependency check.
+
+    Construct from triples ``(owner, level, other)`` mirroring the paper's
+    notation, e.g. ``TrustRelation([("P1", "less", "P2"),
+    ("P1", "same", "P3")])``.
+    """
+
+    __slots__ = ("_edges",)
+
+    def __init__(self, triples: Iterable[tuple[str, object, str]] = ()
+                 ) -> None:
+        edges: dict[tuple[str, str], TrustLevel] = {}
+        for owner, level, other in triples:
+            coerced = _coerce_level(level)
+            if owner == other:
+                raise TrustError(
+                    f"peer {owner!r} cannot appear on both sides of a "
+                    f"trust edge")
+            key = (owner, other)
+            existing = edges.get(key)
+            if existing is not None and existing != coerced:
+                raise TrustError(
+                    f"trust level for ({owner!r}, {other!r}) is ambiguous: "
+                    f"{existing.value} vs {coerced.value} (the level must "
+                    f"functionally depend on the pair, Definition 2(f))")
+            edges[key] = coerced
+        object.__setattr__(self, "_edges", edges)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TrustRelation is immutable")
+
+    # ------------------------------------------------------------------
+    def level(self, owner: str, other: str) -> Optional[TrustLevel]:
+        """The trust level of ``owner`` toward ``other`` (None = untrusted)."""
+        return self._edges.get((owner, other))
+
+    def trusts_less(self, owner: str, other: str) -> bool:
+        return self._edges.get((owner, other)) is TrustLevel.LESS
+
+    def trusts_same(self, owner: str, other: str) -> bool:
+        return self._edges.get((owner, other)) is TrustLevel.SAME
+
+    def trusts_at_least_same(self, owner: str, other: str) -> bool:
+        """True when ``other``'s data is at least as reliable as own data."""
+        return (owner, other) in self._edges
+
+    def peers_trusted_by(self, owner: str,
+                         level: Optional[TrustLevel] = None) -> list[str]:
+        """Peers ``owner`` trusts (optionally filtered by level), sorted."""
+        result = []
+        for (edge_owner, other), edge_level in self._edges.items():
+            if edge_owner != owner:
+                continue
+            if level is not None and edge_level is not level:
+                continue
+            result.append(other)
+        return sorted(result)
+
+    def edges(self) -> Iterator[tuple[str, TrustLevel, str]]:
+        for (owner, other), level in sorted(self._edges.items()):
+            yield owner, level, other
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TrustRelation) and \
+            self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._edges.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({o}, {lv.value}, {t})"
+                          for o, lv, t in self.edges())
+        return f"TrustRelation([{inner}])"

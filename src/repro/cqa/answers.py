@@ -1,0 +1,53 @@
+"""Consistent query answers over a single database.
+
+A tuple is a *consistent answer* to a query when it is an answer in every
+repair of the database (Arenas, Bertossi & Chomicki [1]).  This is the
+single-database baseline the paper generalises: peer consistent answers
+replace "repairs" by "solutions for a peer" (Definition 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..relational.constraints import Constraint
+from ..relational.instance import DatabaseInstance
+from ..relational.query import Query
+from .repairs import RepairProblem, repairs
+
+__all__ = ["consistent_answers", "possible_answers"]
+
+
+def consistent_answers(instance: DatabaseInstance, query: Query,
+                       constraints: Sequence[Constraint],
+                       changeable: Optional[Sequence[str]] = None
+                       ) -> set[tuple]:
+    """Answers to ``query`` true in *every* repair.
+
+    When the database admits no repair (possible under fixed relations),
+    there are no consistent answers — callers who need to distinguish the
+    inconsistent-specification case should inspect :func:`repro.cqa.repairs`
+    directly.
+    """
+    result = repairs(RepairProblem(instance, constraints,
+                                   changeable=changeable))
+    answer_sets = [query.answers(repair) for repair in result]
+    if not answer_sets:
+        return set()
+    common = set(answer_sets[0])
+    for answers in answer_sets[1:]:
+        common &= answers
+    return common
+
+
+def possible_answers(instance: DatabaseInstance, query: Query,
+                     constraints: Sequence[Constraint],
+                     changeable: Optional[Sequence[str]] = None
+                     ) -> set[tuple]:
+    """Answers true in *some* repair (the brave counterpart)."""
+    result = repairs(RepairProblem(instance, constraints,
+                                   changeable=changeable))
+    union: set[tuple] = set()
+    for repair in result:
+        union |= query.answers(repair)
+    return union

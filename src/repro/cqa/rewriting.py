@@ -1,0 +1,220 @@
+"""Residue-based FO query rewriting for CQA (the [1]/[8] baseline).
+
+The paper contrasts its P2P rewriting with the classical consistent-query-
+answering rewriting: "literals in the query are resolved (using resolution)
+against the ICs in order to generate residues that are appended as extra
+conditions to the query" (Section 2).  This module implements that
+baseline for the constraint classes where it is sound and complete:
+*denial constraints* and *equality-generating constraints* (functional
+dependencies in particular) against quantifier-free conjunctions of
+positive literals — the fragment identified by Arenas, Bertossi &
+Chomicki [1].  Existential queries are rejected rather than answered
+incompletely (the paper's Section 2 makes the same point: FO rewriting
+"is bound to have important limitations in terms of completeness ... for
+example in the case of existential queries").
+
+Example: with the FD ``R: 0 -> 1`` the query ``R(X, Y)`` rewrites to::
+
+    R(X, Y) & forall Z0 (R(X, Z0) -> Z0 = Y)
+
+whose ordinary answers over the inconsistent database are exactly the
+consistent answers.
+
+The P2P rewriting of Example 2 is different in kind — it must *relax* the
+query to import other peers' data rather than only constrain it; see
+:mod:`repro.core.fo_rewriting`.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional, Sequence
+
+from ..datalog.terms import Constant, Term, Variable
+from ..relational.constraints import (
+    Constraint,
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+)
+from ..relational.query import (
+    And,
+    Cmp,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Query,
+    RelAtom,
+)
+
+__all__ = ["RewritingNotApplicable", "ResidueRewriter", "rewrite_query"]
+
+
+class RewritingNotApplicable(Exception):
+    """The query/constraint combination falls outside the sound fragment."""
+
+
+class ResidueRewriter:
+    """Appends constraint residues to the positive atoms of a query."""
+
+    def __init__(self, constraints: Sequence[Constraint]) -> None:
+        for constraint in constraints:
+            if not isinstance(constraint, (DenialConstraint,
+                                           EqualityGeneratingConstraint)):
+                raise RewritingNotApplicable(
+                    f"residue rewriting supports denial and equality-"
+                    f"generating constraints, not "
+                    f"{type(constraint).__name__}")
+        self.constraints = tuple(constraints)
+        self._fresh = count()
+
+    # ------------------------------------------------------------------
+    def rewrite(self, query: Query) -> Query:
+        """Rewritten query whose plain answers are the consistent answers.
+
+        Supported query shapes: positive relation atoms combined with
+        conjunction, comparisons, and existential quantification.
+        """
+        rewritten = self._rewrite_formula(query.formula)
+        return Query(query.name, query.head, rewritten)
+
+    def _rewrite_formula(self, formula: Formula) -> Formula:
+        if isinstance(formula, RelAtom):
+            return self._with_residues(formula)
+        if isinstance(formula, And):
+            return And(*(self._rewrite_formula(p) for p in formula.parts))
+        if isinstance(formula, Cmp):
+            return formula
+        # Exists is rejected on purpose: naive residues under ∃ are sound
+        # but *incomplete* (e.g. q(X) := ∃Y R(X,Y) under the FD R:0→1 has
+        # the consistent answer X=a even when no single Y survives every
+        # repair) — the fragment of [1] is quantifier-free.
+        raise RewritingNotApplicable(
+            f"residue rewriting handles quantifier-free conjunctions of "
+            f"positive atoms; found {type(formula).__name__}")
+
+    # ------------------------------------------------------------------
+    def _with_residues(self, atom: RelAtom) -> Formula:
+        residues: list[Formula] = []
+        for constraint in self.constraints:
+            for index, c_atom in enumerate(constraint.antecedent):
+                if c_atom.relation != atom.relation:
+                    continue
+                if len(c_atom.terms) != len(atom.terms):
+                    continue
+                residue = self._residue(constraint, index, atom)
+                if residue is not None:
+                    residues.append(residue)
+        if not residues:
+            return atom
+        return And(atom, *residues)
+
+    def _residue(self, constraint: Constraint, index: int,
+                 atom: RelAtom) -> Optional[Formula]:
+        """Resolve ``atom`` against antecedent position ``index``."""
+        c_atom = constraint.antecedent[index]
+        # rename all constraint variables apart from the query's
+        renaming: dict[Variable, Variable] = {}
+
+        def fresh(var: Variable) -> Variable:
+            if var not in renaming:
+                renaming[var] = Variable(f"_r{next(self._fresh)}")
+            return renaming[var]
+
+        sigma: dict[Variable, Term] = {}
+        extra_conditions: list[Formula] = []
+        for c_term, q_term in zip(c_atom.terms, atom.terms):
+            if isinstance(c_term, Variable):
+                c_var = fresh(c_term)
+                bound = sigma.get(c_var)
+                if bound is None:
+                    sigma[c_var] = q_term
+                elif bound != q_term:
+                    extra_conditions.append(Cmp("=", bound, q_term))
+            else:
+                assert isinstance(c_term, Constant)
+                if isinstance(q_term, Constant):
+                    if q_term != c_term:
+                        return None  # cannot unify: no residue
+                else:
+                    extra_conditions.append(Cmp("=", q_term, c_term))
+
+        def substitute_term(term: Term) -> Term:
+            if isinstance(term, Variable):
+                renamed = fresh(term)
+                return sigma.get(renamed, renamed)
+            return term
+
+        def substitute_atom(rel_atom: RelAtom) -> RelAtom:
+            return RelAtom(rel_atom.relation,
+                           [substitute_term(t) for t in rel_atom.terms])
+
+        def substitute_cmp(cmp_: Cmp) -> Cmp:
+            comparison = cmp_.comparison
+            return Cmp(comparison.op, substitute_term(comparison.left),
+                       substitute_term(comparison.right))
+
+        rest_atoms = [substitute_atom(a)
+                      for i, a in enumerate(constraint.antecedent)
+                      if i != index]
+        conditions = [substitute_cmp(c) for c in constraint.conditions]
+
+        premise_parts: list[Formula] = list(rest_atoms) + conditions
+        if isinstance(constraint, EqualityGeneratingConstraint):
+            equalities = [
+                Cmp("=", substitute_term(left), substitute_term(right))
+                for left, right in constraint.equalities]
+            conclusion: Formula = (equalities[0] if len(equalities) == 1
+                                   else And(*equalities))
+        else:
+            conclusion = None  # denial: residue is pure negation
+
+        # variables of the residue not bound by the resolved atom
+        used_vars: set[Variable] = set()
+        for part in premise_parts:
+            used_vars |= part.free_variables()
+        if conclusion is not None:
+            used_vars |= conclusion.free_variables()
+        bound_by_atom = {sigma[v] for v in sigma
+                         if isinstance(sigma[v], Variable)} \
+            | atom.free_variables()
+        quantified = sorted((v for v in used_vars
+                             if v.name.startswith("_r")
+                             and v not in bound_by_atom),
+                            key=lambda v: v.name)
+
+        if conclusion is None:
+            if premise_parts:
+                body = premise_parts[0] if len(premise_parts) == 1 \
+                    else And(*premise_parts)
+                residue: Formula = Not(body)
+                if quantified:
+                    residue = Not(Exists(quantified, body))
+            else:
+                return None  # denial fully covered by this atom: the
+                # query atom itself is always inconsistent; callers see it
+                # via extra_conditions only when they are contradictory
+        else:
+            if premise_parts:
+                premise = premise_parts[0] if len(premise_parts) == 1 \
+                    else And(*premise_parts)
+                implication = Implies(premise, conclusion)
+            else:
+                implication = conclusion
+            if quantified:
+                residue = Forall(quantified, implication)
+            else:
+                residue = implication
+        if extra_conditions:
+            # the residue only applies when the unifying conditions hold
+            condition = extra_conditions[0] if len(extra_conditions) == 1 \
+                else And(*extra_conditions)
+            residue = Implies(condition, residue)
+        return residue
+
+
+def rewrite_query(query: Query,
+                  constraints: Sequence[Constraint]) -> Query:
+    """Convenience wrapper around :class:`ResidueRewriter`."""
+    return ResidueRewriter(constraints).rewrite(query)

@@ -1,0 +1,88 @@
+"""A from-scratch Datalog / answer-set-programming engine.
+
+This package plays the role DLV [14, 23] plays in the paper: it grounds and
+solves *disjunctive extended logic programs* — rules with disjunctive heads,
+classical negation, negation as failure, comparison builtins, denial
+constraints, and the non-deterministic ``choice`` operator — under the
+stable-model (answer-set) semantics of Gelfond & Lifschitz [16].
+
+Typical usage::
+
+    from repro.datalog import parse_program, AnswerSetEngine, parse_atom
+
+    program = parse_program('''
+        r1p(X, Y) :- r1(X, Y), not -r1p(X, Y).
+        -r1p(X, Y) :- r1(X, Y), s1(Z, Y), not aux1(X, Z), not aux2(Z).
+        aux1(X, Z) :- r2(X, W), s2(Z, W).
+        aux2(Z) :- s2(Z, W).
+        r1(a, b).  s1(c, b).  s2(c, e).
+    ''')
+    engine = AnswerSetEngine(program)
+    for model in engine.answer_sets():
+        print(sorted(str(lit) for lit in model))
+    engine.skeptical_answers(parse_atom("r1p(X, Y)"))
+"""
+
+from .choice import unfold_choice
+from .engine import (
+    AnswerSetEngine,
+    answer_sets,
+    brave_answers,
+    has_answer_set,
+    skeptical_answers,
+)
+from .errors import (
+    DatalogError,
+    GroundingError,
+    ParseError,
+    ProgramError,
+    SafetyError,
+    SolverError,
+)
+from .fixpoint import (
+    gelfond_lifschitz_reduct,
+    is_minimal_model,
+    is_model,
+    least_model,
+)
+from .graphs import (
+    is_head_cycle_free,
+    is_stratified,
+    stratification,
+)
+from .grounding import AtomTable, GroundProgram, GroundRule, ground_program
+from .hcf import can_shift, shift_program, shift_rule
+from .parser import parse_atom, parse_body, parse_program, parse_rule
+from .program import Program, Rule, denial, fact
+from .stable import StableModelSolver, is_stable_model, stable_models
+from .terms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    Constant,
+    Literal,
+    Term,
+    Variable,
+)
+
+__all__ = [
+    # terms & programs
+    "Term", "Constant", "Variable", "Atom", "Literal", "Comparison",
+    "ChoiceGoal", "Rule", "Program", "fact", "denial",
+    # parsing
+    "parse_program", "parse_rule", "parse_atom", "parse_body",
+    # analysis & transformations
+    "is_stratified", "stratification", "is_head_cycle_free",
+    "can_shift", "shift_program", "shift_rule", "unfold_choice",
+    # grounding & solving
+    "ground_program", "GroundProgram", "GroundRule", "AtomTable",
+    "StableModelSolver", "stable_models", "is_stable_model",
+    "least_model", "gelfond_lifschitz_reduct", "is_model",
+    "is_minimal_model",
+    # engine
+    "AnswerSetEngine", "answer_sets", "skeptical_answers", "brave_answers",
+    "has_answer_set",
+    # errors
+    "DatalogError", "ParseError", "SafetyError", "GroundingError",
+    "SolverError", "ProgramError",
+]

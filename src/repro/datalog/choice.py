@@ -1,0 +1,117 @@
+"""The non-deterministic choice operator and its *stable version*.
+
+The paper's rule (9) uses ``choice((x,z), w)`` — Giannotti et al.'s [17]
+operator that, for each binding of the domain variables ``(x,z)`` admitted
+by the rest of the rule body, non-deterministically selects exactly one
+value for ``w`` among those the body admits.
+
+Section 3.2 notes the operator "can be replaced by a predicate that can be
+defined by means of extra rules, producing the so-called *stable version* of
+the choice program", which "has a completely standard answer set semantics".
+The Appendix shows the unfolding concretely::
+
+    chosen(X,Z,W)     :- Body, not diffchoice(X,Z,W).
+    diffchoice(X,Z,W) :- chosen(X,Z,U), Domain(W), U != W.
+
+:func:`unfold_choice` performs that transformation for every choice rule in
+a program: the choice goal in the original rule is replaced by a
+``chosen_k`` literal, and the two defining rules are added.  The rule body
+itself serves as the domain provider for the chosen variables, which
+generalises the Appendix (where the single body atom binding ``W`` was used).
+
+In every stable model of the unfolded program, ``chosen_k`` is a function
+from domain-variable bindings to chosen-variable bindings — exactly the
+choice semantics (tested in ``tests/datalog/test_choice.py``).
+"""
+
+from __future__ import annotations
+
+from .program import Program, Rule
+from .terms import Atom, ChoiceGoal, Comparison, Literal, Variable
+
+__all__ = ["unfold_choice", "CHOSEN_PREFIX", "DIFFCHOICE_PREFIX"]
+
+CHOSEN_PREFIX = "chosen"
+DIFFCHOICE_PREFIX = "diffchoice"
+
+
+def _fresh_name(base: str, used: set[str], index: int,
+                multiple: bool) -> str:
+    """Prefer the bare base name (matching the paper's Appendix) when there
+    is a single choice rule and no clash; otherwise suffix with the index."""
+    if not multiple and base not in used:
+        return base
+    candidate = f"{base}_{index}"
+    while candidate in used:
+        candidate += "_x"
+    return candidate
+
+
+def unfold_choice(program: Program) -> Program:
+    """Replace every choice goal by its stable version.
+
+    Returns a choice-free program with the same answer sets modulo the fresh
+    ``chosen``/``diffchoice`` predicates.  Programs without choice goals are
+    returned unchanged (same object).
+    """
+    if not program.has_choice():
+        return program
+    used = program.predicates()
+    choice_rules = [r for r in program if r.has_choice()]
+    multiple = len(choice_rules) > 1
+    new_rules: list[Rule] = []
+    counter = 0
+    for rule in program:
+        goal = rule.choice_goal()
+        if goal is None:
+            new_rules.append(rule)
+            continue
+        counter += 1
+        chosen_name = _fresh_name(CHOSEN_PREFIX, used, counter, multiple)
+        used.add(chosen_name)
+        diff_name = _fresh_name(DIFFCHOICE_PREFIX, used, counter, multiple)
+        used.add(diff_name)
+        new_rules.extend(_stable_version(rule, goal, chosen_name, diff_name))
+    return Program(new_rules)
+
+
+def _stable_version(rule: Rule, goal: ChoiceGoal, chosen_name: str,
+                    diff_name: str) -> list[Rule]:
+    body_rest = tuple(item for item in rule.body
+                      if not isinstance(item, ChoiceGoal))
+    all_vars = goal.domain + goal.chosen
+    chosen_atom = Atom(chosen_name, all_vars)
+    diff_atom = Atom(diff_name, all_vars)
+
+    rules: list[Rule] = []
+    # Original rule, with the choice goal replaced by `chosen`.
+    rules.append(Rule(head=rule.head,
+                      body=body_rest + (Literal(chosen_atom),)))
+    # chosen(x̄, ȳ) :- Body, not diffchoice(x̄, ȳ).
+    rules.append(Rule(
+        head=[chosen_atom],
+        body=body_rest + (Literal(diff_atom, naf=True),)))
+    # One diffchoice rule per chosen variable: ȳ differs from a previous
+    # choice in that component.  The rule body re-binds ȳ (domain), while
+    # `chosen` carries fresh variables ȳ'.
+    rule_vars = {v.name for v in rule.variables()} | {v.name for v in
+                                                      all_vars}
+    for position, chosen_var in enumerate(goal.chosen):
+        fresh = _fresh_variable(chosen_var, rule_vars)
+        alt_args = list(goal.domain) + list(goal.chosen)
+        alt_args[len(goal.domain) + position] = fresh
+        rules.append(Rule(
+            head=[diff_atom],
+            body=body_rest + (
+                Literal(Atom(chosen_name, tuple(alt_args))),
+                Comparison("!=", fresh, chosen_var),
+            )))
+    return rules
+
+
+def _fresh_variable(base: Variable, used_names: set[str]) -> Variable:
+    candidate = f"{base.name}_prev"
+    while candidate in used_names:
+        candidate += "_x"
+    used_names.add(candidate)
+    return Variable(candidate)

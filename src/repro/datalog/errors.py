@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Datalog/ASP engine.
+
+All engine errors derive from :class:`DatalogError` so callers can catch a
+single base class.  The distinct subclasses exist because callers react
+differently to them: parse errors are user-input problems, safety errors are
+program-construction problems, and solver errors indicate resource limits.
+"""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for all errors raised by :mod:`repro.datalog`."""
+
+
+class ParseError(DatalogError):
+    """Raised when program text cannot be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending token, when known.
+        column: 1-based column number of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SafetyError(DatalogError):
+    """Raised when a rule is unsafe.
+
+    A rule is *safe* when every variable occurring anywhere in the rule also
+    occurs in a positive, non-builtin body literal.  Unsafe rules cannot be
+    grounded over a finite relevant universe.
+    """
+
+
+class GroundingError(DatalogError):
+    """Raised when grounding fails or would exceed configured limits."""
+
+
+class SolverError(DatalogError):
+    """Raised when answer-set search exceeds configured limits."""
+
+
+class ProgramError(DatalogError):
+    """Raised when a structurally invalid program is constructed.
+
+    Examples: a denial constraint with an empty body, a choice goal whose
+    chosen variable does not occur in the rule, facts with variables.
+    """

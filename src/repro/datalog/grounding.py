@@ -1,0 +1,498 @@
+"""Relevant (intelligent) grounding of safe programs.
+
+The grounder computes an over-approximation ``possible`` of the objective
+literals derivable in *any* answer set (ignoring negation-as-failure and
+treating every disjunct of a head as derivable), then instantiates rules so
+that
+
+* every positive body literal ranges only over ``possible``,
+* comparisons are evaluated and eliminated,
+* NAF literals whose atom is not in ``possible`` are removed (they are
+  certainly true), and
+* the resulting ground program is represented over dense integer atom ids
+  for the solver.
+
+Choice goals must be unfolded (see :mod:`repro.datalog.choice`) before
+grounding; the grounder refuses programs that still contain them.
+
+The fixpoint loop is semi-naive: each round only re-evaluates rule bodies in
+ways that touch at least one atom discovered in the previous round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .errors import GroundingError
+from .graphs import objective_key
+from .program import Program, Rule
+from .terms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    Constant,
+    Literal,
+    Term,
+    Variable,
+)
+from .unify import Substitution
+
+__all__ = ["AtomTable", "GroundRule", "GroundProgram", "ground_program"]
+
+
+class AtomTable:
+    """Bidirectional map between ground objective literals and dense ids."""
+
+    __slots__ = ("_by_id", "_by_literal")
+
+    def __init__(self) -> None:
+        self._by_id: list[Literal] = []
+        self._by_literal: dict[Literal, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def add(self, literal: Literal) -> int:
+        """Intern ``literal`` (objective, ground) and return its id."""
+        existing = self._by_literal.get(literal)
+        if existing is not None:
+            return existing
+        if literal.naf:
+            raise ValueError("atom table holds objective literals only")
+        new_id = len(self._by_id)
+        self._by_id.append(literal)
+        self._by_literal[literal] = new_id
+        return new_id
+
+    def id_for(self, literal: Literal) -> Optional[int]:
+        return self._by_literal.get(literal)
+
+    def literal_for(self, atom_id: int) -> Literal:
+        return self._by_id[atom_id]
+
+    def literals(self) -> tuple[Literal, ...]:
+        return tuple(self._by_id)
+
+    def complement_pairs(self) -> list[tuple[int, int]]:
+        """Pairs ``(id(p(t)), id(-p(t)))`` present in the table."""
+        pairs = []
+        for literal, ident in self._by_literal.items():
+            if literal.positive:
+                continue
+            complement = self._by_literal.get(Literal(literal.atom, True))
+            if complement is not None:
+                pairs.append((complement, ident))
+        return pairs
+
+
+class GroundRule:
+    """A ground rule over atom ids.
+
+    ``head`` empty means a denial constraint.  ``pos``/``naf`` are the ids of
+    the positive and NAF body literals respectively (comparisons are already
+    evaluated away by the grounder).
+    """
+
+    __slots__ = ("head", "pos", "naf", "_hash")
+
+    def __init__(self, head: tuple[int, ...], pos: tuple[int, ...],
+                 naf: tuple[int, ...]) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "pos", pos)
+        object.__setattr__(self, "naf", naf)
+        object.__setattr__(self, "_hash", hash((head, pos, naf)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("GroundRule is immutable")
+
+    def is_constraint(self) -> bool:
+        return not self.head
+
+    def is_fact(self) -> bool:
+        return len(self.head) == 1 and not self.pos and not self.naf
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, GroundRule) and self.head == other.head
+                and self.pos == other.pos and self.naf == other.naf)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"GroundRule(head={self.head}, pos={self.pos}, naf={self.naf})"
+
+
+class GroundProgram:
+    """A fully ground program over an :class:`AtomTable`."""
+
+    __slots__ = ("table", "rules")
+
+    def __init__(self, table: AtomTable, rules: list[GroundRule]) -> None:
+        self.table = table
+        self.rules = rules
+
+    @property
+    def atom_count(self) -> int:
+        return len(self.table)
+
+    def is_disjunctive(self) -> bool:
+        return any(len(r.head) > 1 for r in self.rules)
+
+    def pretty(self) -> str:
+        """Human-readable listing (sorted; for debugging and golden tests)."""
+        lines = []
+        for rule in self.rules:
+            head = " v ".join(str(self.table.literal_for(h))
+                              for h in rule.head)
+            body_parts = [str(self.table.literal_for(b)) for b in rule.pos]
+            body_parts += [f"not {self.table.literal_for(b)}"
+                           for b in rule.naf]
+            if body_parts and head:
+                lines.append(f"{head} :- {', '.join(body_parts)}.")
+            elif head:
+                lines.append(f"{head}.")
+            else:
+                lines.append(f":- {', '.join(body_parts)}.")
+        return "\n".join(sorted(lines))
+
+
+# ---------------------------------------------------------------------------
+# Possible-set computation and rule instantiation
+# ---------------------------------------------------------------------------
+
+class _Relation:
+    """Ground tuples of one objective predicate, with per-column indexes."""
+
+    __slots__ = ("tuples", "_indexes")
+
+    def __init__(self) -> None:
+        self.tuples: set[tuple] = set()
+        self._indexes: dict[int, dict[Constant, list[tuple]]] = {}
+
+    def add(self, values: tuple) -> bool:
+        if values in self.tuples:
+            return False
+        self.tuples.add(values)
+        for position, index in self._indexes.items():
+            index.setdefault(values[position], []).append(values)
+        return True
+
+    def candidates(self, bound: dict[int, Constant]) -> Iterator[tuple]:
+        """Tuples matching the given column bindings (may over-approximate).
+
+        Uses (and lazily builds) a hash index on one bound column; callers
+        still verify the full pattern.
+        """
+        if not bound:
+            # snapshot: callers may derive into this very relation mid-scan
+            yield from list(self.tuples)
+            return
+        position = next(iter(bound))
+        index = self._indexes.get(position)
+        if index is None:
+            index = {}
+            for values in self.tuples:
+                index.setdefault(values[position], []).append(values)
+            self._indexes[position] = index
+        yield from list(index.get(bound[position], ()))
+
+
+class _PossibleSet:
+    """The over-approximation of derivable literals, per objective key."""
+
+    __slots__ = ("relations",)
+
+    def __init__(self) -> None:
+        self.relations: dict[str, _Relation] = {}
+
+    def add(self, key: str, values: tuple) -> bool:
+        relation = self.relations.get(key)
+        if relation is None:
+            relation = self.relations[key] = _Relation()
+        return relation.add(values)
+
+    def contains(self, key: str, values: tuple) -> bool:
+        relation = self.relations.get(key)
+        return relation is not None and values in relation.tuples
+
+    def relation(self, key: str) -> Optional[_Relation]:
+        return self.relations.get(key)
+
+
+def _literal_values(literal: Literal) -> tuple:
+    return tuple(literal.atom.args)
+
+
+def _seed_substitution(rule: Rule) -> tuple[dict[Variable, Constant],
+                                            list[Comparison]]:
+    """Extract variable bindings from ``=``-to-constant comparisons.
+
+    Returns the seed substitution plus the comparisons that still need
+    runtime evaluation.  Iterates to a fixpoint so chains like
+    ``X = a, Y = X`` resolve fully.
+    """
+    seed: dict[Variable, Constant] = {}
+    pending = list(rule.comparisons())
+    changed = True
+    while changed:
+        changed = False
+        remaining: list[Comparison] = []
+        for comparison in pending:
+            if comparison.op != "=":
+                remaining.append(comparison)
+                continue
+            left = seed.get(comparison.left, comparison.left) \
+                if isinstance(comparison.left, Variable) else comparison.left
+            right = seed.get(comparison.right, comparison.right) \
+                if isinstance(comparison.right, Variable) \
+                else comparison.right
+            if isinstance(left, Variable) and isinstance(right, Constant):
+                seed[left] = right
+                changed = True
+            elif isinstance(right, Variable) and isinstance(left, Constant):
+                seed[right] = left
+                changed = True
+            else:
+                remaining.append(comparison)
+        pending = remaining
+    return seed, pending
+
+
+def _order_positive_body(rule: Rule) -> list[Literal]:
+    """Greedy join order: literals sharing variables with earlier ones first."""
+    remaining = list(rule.positive_body())
+    if len(remaining) <= 1:
+        return remaining
+    ordered: list[Literal] = []
+    bound: set[Variable] = set()
+    while remaining:
+        def score(lit: Literal) -> tuple[int, int]:
+            vars_ = lit.variables()
+            return (-len(vars_ & bound), len(vars_ - bound))
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+class _RuleGrounder:
+    """Instantiation engine for one rule against a possible set."""
+
+    def __init__(self, rule: Rule) -> None:
+        rule.check_safety()
+        if rule.choice_goal() is not None:
+            raise GroundingError(
+                f"choice goal must be unfolded before grounding: {rule}")
+        self.rule = rule
+        self.seed, self.residual_comparisons = _seed_substitution(rule)
+        self.ordered_body = _order_positive_body(rule)
+
+    def substitutions(self, possible: _PossibleSet,
+                      delta: Optional[dict[str, set[tuple]]] = None
+                      ) -> Iterator[dict[Variable, Constant]]:
+        """All substitutions making the positive body hold in ``possible``.
+
+        When ``delta`` is given, only substitutions where at least one body
+        literal matches a delta tuple are produced (semi-naive evaluation).
+        """
+        if delta is None:
+            yield from self._join(0, dict(self.seed), possible, None, -1)
+            return
+        for pivot in range(len(self.ordered_body)):
+            key = objective_key(self.ordered_body[pivot])
+            if key not in delta or not delta[key]:
+                continue
+            yield from self._join(0, dict(self.seed), possible, delta, pivot)
+        if not self.ordered_body:
+            return
+
+    def _join(self, position: int, subst: dict[Variable, Constant],
+              possible: _PossibleSet, delta: Optional[dict[str, set[tuple]]],
+              pivot: int) -> Iterator[dict[Variable, Constant]]:
+        if position == len(self.ordered_body):
+            if self._comparisons_hold(subst):
+                yield subst
+            return
+        literal = self.ordered_body[position]
+        key = objective_key(literal)
+        pattern = _literal_values(literal)
+        bound: dict[int, Constant] = {}
+        for idx, term in enumerate(pattern):
+            if isinstance(term, Constant):
+                bound[idx] = term
+            elif isinstance(term, Variable) and term in subst:
+                bound[idx] = subst[term]
+        if position == pivot:
+            assert delta is not None
+            source: Iterator[tuple] = iter(delta.get(key, ()))
+        else:
+            relation = possible.relation(key)
+            if relation is None:
+                return
+            source = relation.candidates(bound)
+        for values in source:
+            extended = self._match(pattern, values, subst)
+            if extended is not None:
+                yield from self._join(position + 1, extended, possible,
+                                      delta, pivot)
+
+    @staticmethod
+    def _match(pattern: tuple, values: tuple,
+               subst: dict[Variable, Constant]
+               ) -> Optional[dict[Variable, Constant]]:
+        if len(pattern) != len(values):
+            return None
+        extended: Optional[dict[Variable, Constant]] = None
+        for pat, val in zip(pattern, values):
+            if isinstance(pat, Constant):
+                if pat != val:
+                    return None
+                continue
+            assert isinstance(pat, Variable)
+            current = (extended or subst).get(pat)
+            if current is None:
+                if extended is None:
+                    extended = dict(subst)
+                extended[pat] = val
+            elif current != val:
+                return None
+        return extended if extended is not None else dict(subst)
+
+    def _comparisons_hold(self, subst: Substitution) -> bool:
+        for comparison in self.residual_comparisons:
+            left = comparison.left
+            right = comparison.right
+            if isinstance(left, Variable):
+                left = subst.get(left, left)
+            if isinstance(right, Variable):
+                right = subst.get(right, right)
+            grounded = Comparison(comparison.op, left, right)
+            if not grounded.is_ground():
+                raise GroundingError(
+                    f"comparison {comparison} not bound in rule {self.rule}")
+            if not grounded.evaluate():
+                return False
+        return True
+
+
+def _instantiate(term_args: tuple[Term, ...],
+                 subst: Substitution) -> Optional[tuple]:
+    values = []
+    for term in term_args:
+        if isinstance(term, Constant):
+            values.append(term)
+        else:
+            assert isinstance(term, Variable)
+            value = subst.get(term)
+            if value is None:
+                return None
+            values.append(value)
+    return tuple(values)
+
+
+def ground_program(program: Program, *,
+                   max_atoms: int = 2_000_000) -> GroundProgram:
+    """Ground ``program`` into a :class:`GroundProgram`.
+
+    Raises :class:`GroundingError` if the program contains choice goals,
+    unsafe rules, or exceeds ``max_atoms`` interned ground literals.
+    """
+    if program.has_choice():
+        raise GroundingError(
+            "program contains choice goals; unfold them first "
+            "(repro.datalog.choice.unfold_choice)")
+    grounders = [_RuleGrounder(rule) for rule in program]
+
+    # Pass 1: possible-set fixpoint (semi-naive).
+    possible = _PossibleSet()
+    delta: dict[str, set[tuple]] = {}
+
+    def derive(key: str, values: tuple,
+               next_delta: dict[str, set[tuple]]) -> None:
+        if possible.add(key, values):
+            next_delta.setdefault(key, set()).add(values)
+
+    # Round 0: every rule evaluated naively (facts, bodyless rules, and
+    # rules over the initially empty set).
+    round_delta: dict[str, set[tuple]] = {}
+    for grounder in grounders:
+        if grounder.rule.is_constraint():
+            continue
+        for subst in grounder.substitutions(possible):
+            for head_literal in grounder.rule.head:
+                values = _instantiate(head_literal.atom.args, subst)
+                if values is None:
+                    raise GroundingError(
+                        f"unbound head variable in rule {grounder.rule}")
+                derive(objective_key(head_literal), values, round_delta)
+    delta = round_delta
+    total_atoms = sum(len(rel.tuples) for rel in possible.relations.values())
+    while delta:
+        if total_atoms > max_atoms:
+            raise GroundingError(
+                f"grounding exceeded {max_atoms} atoms; "
+                "the program may be unintentionally large")
+        next_delta: dict[str, set[tuple]] = {}
+        for grounder in grounders:
+            rule = grounder.rule
+            if rule.is_constraint() or not rule.positive_body():
+                continue
+            for subst in grounder.substitutions(possible, delta):
+                for head_literal in rule.head:
+                    values = _instantiate(head_literal.atom.args, subst)
+                    if values is None:
+                        raise GroundingError(
+                            f"unbound head variable in rule {rule}")
+                    derive(objective_key(head_literal), values, next_delta)
+        total_atoms += sum(len(v) for v in next_delta.values())
+        delta = next_delta
+
+    # Pass 2: instantiate rules over the final possible set.
+    table = AtomTable()
+
+    def intern(literal_template: Literal, subst: Substitution
+               ) -> Optional[int]:
+        values = _instantiate(literal_template.atom.args, subst)
+        if values is None:
+            return None
+        atom = Atom(literal_template.atom.predicate, values)
+        return table.add(Literal(atom, literal_template.positive))
+
+    rules: dict[GroundRule, None] = {}
+    for grounder in grounders:
+        rule = grounder.rule
+        for subst in grounder.substitutions(possible):
+            head_ids = []
+            for head_literal in rule.head:
+                ident = intern(head_literal, subst)
+                assert ident is not None
+                head_ids.append(ident)
+            pos_ids = []
+            for body_literal in rule.positive_body():
+                ident = intern(body_literal, subst)
+                assert ident is not None
+                pos_ids.append(ident)
+            naf_ids = []
+            for body_literal in rule.naf_body():
+                values = _instantiate(body_literal.atom.args, subst)
+                if values is None:
+                    raise GroundingError(
+                        f"unbound NAF variable in rule {rule}")
+                key = objective_key(body_literal)
+                if not possible.contains(key, values):
+                    continue  # atom never derivable: `not atom` is true
+                atom = Atom(body_literal.atom.predicate, values)
+                naf_ids.append(table.add(Literal(atom,
+                                                 body_literal.positive)))
+            pos_set = set(pos_ids)
+            if pos_set & set(naf_ids):
+                continue  # body requires both a and `not a`: never fires
+            if set(head_ids) & pos_set:
+                continue  # tautology (h :- h, ...): redundant for stability
+            # dedupe head atoms (`a v a` is just `a`), preserving order
+            ground_rule = GroundRule(tuple(dict.fromkeys(head_ids)),
+                                     tuple(sorted(pos_set)),
+                                     tuple(sorted(set(naf_ids))))
+            rules.setdefault(ground_rule)
+    return GroundProgram(table, list(rules))

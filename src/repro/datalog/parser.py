@@ -1,0 +1,314 @@
+"""Parser for a DLV-like textual program syntax.
+
+Grammar (informal)::
+
+    program     := (rule | comment)*
+    rule        := head? (":-" body)? "."
+    head        := headlit ("v" headlit)*
+    headlit     := ["-"] atom
+    body        := bodyitem ("," bodyitem)*
+    bodyitem    := ["not"] ["-"] atom | term OP term | choice
+    choice      := "choice" "(" "(" vars ")" "," "(" vars ")" ")"
+    atom        := IDENT [ "(" term ("," term)* ")" ]
+    term        := IDENT | VARIABLE | INTEGER | STRING
+    OP          := "=" | "!=" | "<" | "<=" | ">" | ">="
+
+Identifiers starting with a lowercase letter are constants/predicates;
+identifiers starting with an uppercase letter or ``_`` are variables.
+``%`` starts a line comment.  ``v`` is the disjunction keyword (as in DLV);
+``|`` is accepted as a synonym.  Classical negation is a ``-`` prefix.
+
+Examples from the paper parse directly, e.g. rule (6) of Section 3.1::
+
+    -r1p(X, Y) :- r1(X, Y), s1(Z, Y), not aux1(X, Z), not aux2(Z).
+
+and the choice rule (9)::
+
+    -r1p(X, Y) v r2p(X, W) :- r1(X, Y), s1(Z, Y), not aux1(X, Z),
+                               s2(Z, W), choice((X, Z), (W)).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import ParseError
+from .program import Program, Rule
+from .terms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    Constant,
+    Literal,
+    Term,
+    Variable,
+)
+
+__all__ = ["parse_program", "parse_rule", "parse_atom", "parse_body"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>%[^\n]*)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<INTEGER>-?\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<IMPL>:-)
+  | (?P<OP><=|>=|!=|=|<|>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<MINUS>-)
+  | (?P<PIPE>\|)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {text[pos]!r}",
+                             line=line, column=column)
+        kind = match.lastgroup
+        assert kind is not None
+        value = match.group()
+        if kind not in ("WS", "COMMENT"):
+            yield _Token(kind, value, line, pos - line_start + 1)
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
+        pos = match.end()
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            found = token.text if token else "end of input"
+            line = token.line if token else None
+            column = token.column if token else None
+            raise ParseError(f"expected {kind}, found {found!r}",
+                             line=line, column=column)
+        return self._next()
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind and (
+                text is None or token.text == text):
+            return self._next()
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar productions -------------------------------------------
+    def parse_program(self) -> Program:
+        rules = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return Program(rules)
+
+    def parse_rule(self) -> Rule:
+        head: list[Literal] = []
+        body: list = []
+        if self._peek() is not None and self._peek().kind != "IMPL":
+            head.append(self._parse_head_literal())
+            while True:
+                if self._accept("PIPE"):
+                    head.append(self._parse_head_literal())
+                    continue
+                token = self._peek()
+                if (token is not None and token.kind == "IDENT"
+                        and token.text == "v"):
+                    self._next()
+                    head.append(self._parse_head_literal())
+                    continue
+                break
+        if self._accept("IMPL"):
+            body.append(self._parse_body_item())
+            while self._accept("COMMA"):
+                body.append(self._parse_body_item())
+        self._expect("DOT")
+        try:
+            return Rule(head=head, body=body)
+        except Exception as exc:  # ProgramError -> ParseError with location
+            raise ParseError(str(exc)) from exc
+
+    def _parse_head_literal(self) -> Literal:
+        positive = not self._accept("MINUS")
+        atom = self._parse_atom()
+        return Literal(atom, positive=positive)
+
+    def _parse_body_item(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in rule body")
+        if token.kind == "IDENT" and token.text == "not":
+            self._next()
+            positive = not self._accept("MINUS")
+            atom = self._parse_atom()
+            return Literal(atom, positive=positive, naf=True)
+        if token.kind == "IDENT" and token.text == "choice":
+            return self._parse_choice()
+        if token.kind == "MINUS":
+            self._next()
+            atom = self._parse_atom()
+            return Literal(atom, positive=False)
+        # Either an atom or a comparison; parse a term first and look ahead.
+        term = self._parse_term()
+        op_token = self._peek()
+        if op_token is not None and op_token.kind == "OP":
+            self._next()
+            right = self._parse_term()
+            return Comparison(op_token.text, term, right)
+        # Not a comparison: the term must have been a propositional atom or
+        # the start of a normal atom.  Only constants name predicates.
+        if isinstance(term, Constant) and isinstance(term.value, str):
+            return Literal(self._finish_atom(term.value))
+        raise ParseError(
+            f"expected atom or comparison, found {op_token.text!r}"
+            if op_token else "unexpected end of input",
+            line=op_token.line if op_token else None,
+            column=op_token.column if op_token else None)
+
+    def _parse_choice(self) -> ChoiceGoal:
+        self._expect("IDENT")  # the 'choice' keyword itself
+        self._expect("LPAREN")
+        self._expect("LPAREN")
+        domain = self._parse_variable_list()
+        self._expect("RPAREN")
+        self._expect("COMMA")
+        self._expect("LPAREN")
+        chosen = self._parse_variable_list()
+        self._expect("RPAREN")
+        self._expect("RPAREN")
+        try:
+            return ChoiceGoal(domain, chosen)
+        except ValueError as exc:
+            raise ParseError(str(exc)) from exc
+
+    def _parse_variable_list(self) -> list[Variable]:
+        variables: list[Variable] = []
+        token = self._peek()
+        if token is not None and token.kind == "RPAREN":
+            return variables
+        while True:
+            term = self._parse_term()
+            if not isinstance(term, Variable):
+                raise ParseError(f"choice arguments must be variables, "
+                                 f"found {term}")
+            variables.append(term)
+            if not self._accept("COMMA"):
+                return variables
+
+    def _parse_atom(self) -> Atom:
+        name_token = self._expect("IDENT")
+        name = name_token.text
+        if name in ("not", "choice", "v"):
+            raise ParseError(f"{name!r} is a reserved word",
+                             line=name_token.line, column=name_token.column)
+        if name[0].isupper() or name[0] == "_":
+            raise ParseError(f"predicate names start lowercase: {name!r}",
+                             line=name_token.line, column=name_token.column)
+        return self._finish_atom(name)
+
+    def _finish_atom(self, name: str) -> Atom:
+        if not self._accept("LPAREN"):
+            return Atom(name)
+        args = [self._parse_term()]
+        while self._accept("COMMA"):
+            args.append(self._parse_term())
+        self._expect("RPAREN")
+        return Atom(name, args)
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "IDENT":
+            if token.text in ("not", "choice"):
+                raise ParseError(f"{token.text!r} is a reserved word",
+                                 line=token.line, column=token.column)
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        if token.kind == "INTEGER":
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            raw = token.text[1:-1]
+            unescaped = raw.replace('\\"', '"').replace("\\\\", "\\")
+            return Constant(unescaped)
+        if token.kind == "MINUS":
+            number = self._expect("INTEGER")
+            return Constant(-int(number.text))
+        raise ParseError(f"expected a term, found {token.text!r}",
+                         line=token.line, column=token.column)
+
+
+def parse_program(text: str) -> Program:
+    """Parse full program text into a :class:`Program`."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (must consume all input)."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise ParseError("trailing input after rule")
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"p(a, X)"``."""
+    parser = _Parser(text)
+    atom = parser._parse_atom()
+    if not parser.at_end():
+        raise ParseError("trailing input after atom")
+    return atom
+
+
+def parse_body(text: str) -> tuple:
+    """Parse a comma-separated body, e.g. ``"p(X), not q(X), X != a"``."""
+    parser = _Parser(text)
+    items = [parser._parse_body_item()]
+    while parser._accept("COMMA"):
+        items.append(parser._parse_body_item())
+    if not parser.at_end():
+        raise ParseError("trailing input after body")
+    return tuple(items)

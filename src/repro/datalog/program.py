@@ -1,0 +1,365 @@
+"""Rules, denial constraints, and programs.
+
+A :class:`Rule` is a disjunctive extended rule
+
+    ``h1 v ... v hk :- b1, ..., bm.``
+
+where the ``hi`` are objective literals (atoms or classically negated atoms)
+and the ``bj`` are objective literals under optional negation-as-failure,
+comparison builtins, or at most one :class:`~repro.datalog.terms.ChoiceGoal`.
+``k = 0`` makes the rule a *denial constraint* (``:- body``); ``m = 0`` with a
+single ground head makes it a fact.
+
+:class:`Program` is an immutable collection of rules with the derived
+structure (predicate sets, safety validation) computed on construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .errors import ProgramError, SafetyError
+from .terms import (
+    Atom,
+    BodyItem,
+    ChoiceGoal,
+    Comparison,
+    Constant,
+    Literal,
+    Variable,
+)
+
+__all__ = ["Rule", "Program", "fact", "denial"]
+
+
+def _as_head_literal(item: object) -> Literal:
+    if isinstance(item, Literal):
+        if item.naf:
+            raise ProgramError(
+                f"negation-as-failure cannot appear in a head: {item}")
+        return item
+    if isinstance(item, Atom):
+        return Literal(item)
+    raise TypeError(f"head items must be atoms or literals, got {item!r}")
+
+
+def _as_body_item(item: object) -> BodyItem:
+    if isinstance(item, (Literal, Comparison, ChoiceGoal)):
+        return item
+    if isinstance(item, Atom):
+        return Literal(item)
+    raise TypeError(
+        f"body items must be literals, comparisons or choice goals, "
+        f"got {item!r}")
+
+
+class Rule:
+    """A single disjunctive extended rule; immutable and hashable."""
+
+    __slots__ = ("head", "body", "_hash")
+
+    def __init__(self, head: Iterable[object] = (),
+                 body: Iterable[object] = ()) -> None:
+        head_lits = tuple(_as_head_literal(h) for h in head)
+        body_items = tuple(_as_body_item(b) for b in body)
+        if not head_lits and not body_items:
+            raise ProgramError("a rule needs a head or a body")
+        choice_goals = [b for b in body_items if isinstance(b, ChoiceGoal)]
+        if len(choice_goals) > 1:
+            raise ProgramError("at most one choice goal per rule")
+        object.__setattr__(self, "head", head_lits)
+        object.__setattr__(self, "body", body_items)
+        object.__setattr__(self, "_hash", hash((head_lits, body_items)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Rule is immutable")
+
+    # ------------------------------------------------------------------
+    # Structure predicates
+    # ------------------------------------------------------------------
+    def is_constraint(self) -> bool:
+        """True for denial constraints (empty head)."""
+        return not self.head
+
+    def is_fact(self) -> bool:
+        """True for ground, positive-body-free single-head rules."""
+        return (len(self.head) == 1 and not self.body
+                and self.head[0].atom.is_ground())
+
+    def is_disjunctive(self) -> bool:
+        return len(self.head) > 1
+
+    def choice_goal(self) -> Optional[ChoiceGoal]:
+        for item in self.body:
+            if isinstance(item, ChoiceGoal):
+                return item
+        return None
+
+    def has_choice(self) -> bool:
+        return self.choice_goal() is not None
+
+    # ------------------------------------------------------------------
+    # Variables / safety
+    # ------------------------------------------------------------------
+    def positive_body(self) -> tuple[Literal, ...]:
+        """Non-NAF objective body literals."""
+        return tuple(b for b in self.body
+                     if isinstance(b, Literal) and not b.naf)
+
+    def naf_body(self) -> tuple[Literal, ...]:
+        """Body literals under negation-as-failure."""
+        return tuple(b for b in self.body
+                     if isinstance(b, Literal) and b.naf)
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(b for b in self.body if isinstance(b, Comparison))
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for lit in self.head:
+            result |= lit.variables()
+        for item in self.body:
+            result |= item.variables()
+        return result
+
+    def safe_variables(self) -> set[Variable]:
+        """Variables bound by a positive body literal or an `=`-to-constant.
+
+        The grounder instantiates exactly these; all other variables make the
+        rule unsafe.  An equality ``X = c`` (or ``c = X``) also binds ``X``,
+        matching DLV behaviour.
+        """
+        bound: set[Variable] = set()
+        for lit in self.positive_body():
+            bound |= lit.variables()
+        changed = True
+        while changed:
+            changed = False
+            for cmp_item in self.comparisons():
+                if cmp_item.op != "=":
+                    continue
+                left, right = cmp_item.left, cmp_item.right
+                if isinstance(left, Variable) and left not in bound:
+                    if isinstance(right, Constant) or right in bound:
+                        bound.add(left)
+                        changed = True
+                if isinstance(right, Variable) and right not in bound:
+                    if isinstance(left, Constant) or left in bound:
+                        bound.add(right)
+                        changed = True
+        return bound
+
+    def check_safety(self) -> None:
+        """Raise :class:`SafetyError` if the rule is unsafe."""
+        unsafe = self.variables() - self.safe_variables()
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise SafetyError(f"unsafe variables {{{names}}} in rule: {self}")
+
+    def is_ground(self) -> bool:
+        return (all(lit.is_ground() for lit in self.head)
+                and all(not isinstance(b, ChoiceGoal) and b.is_ground()
+                        for b in self.body))
+
+    # ------------------------------------------------------------------
+    # Predicates mentioned
+    # ------------------------------------------------------------------
+    def head_predicates(self) -> set[str]:
+        return {lit.predicate for lit in self.head}
+
+    def body_predicates(self) -> set[str]:
+        return {b.predicate for b in self.body if isinstance(b, Literal)}
+
+    def predicates(self) -> set[str]:
+        return self.head_predicates() | self.body_predicates()
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Rule) and self.head == other.head
+                and self.body == other.body)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Rule(head={self.head!r}, body={self.body!r})"
+
+    def __str__(self) -> str:
+        head_text = " v ".join(str(lit) for lit in self.head)
+        if not self.body:
+            return f"{head_text}."
+        body_text = ", ".join(str(b) for b in self.body)
+        if not self.head:
+            return f":- {body_text}."
+        return f"{head_text} :- {body_text}."
+
+
+def fact(predicate: str, *values: object) -> Rule:
+    """Build a ground fact rule ``predicate(values...).``"""
+    atom = Atom(predicate, values)
+    if not atom.is_ground():
+        raise ProgramError(f"facts must be ground: {atom}")
+    return Rule(head=[atom])
+
+
+def denial(body: Iterable[object]) -> Rule:
+    """Build a denial constraint ``:- body.``"""
+    return Rule(head=(), body=body)
+
+
+class Program:
+    """An immutable set of rules with cached structural metadata.
+
+    Iteration order is deterministic (insertion order with duplicates
+    removed), which keeps grounding, solving, and printed output stable
+    across runs.
+    """
+
+    __slots__ = ("rules", "_facts", "_proper_rules", "_constraints")
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        seen: dict[Rule, None] = {}
+        for rule in rules:
+            if not isinstance(rule, Rule):
+                raise TypeError(f"programs hold Rule objects, got {rule!r}")
+            seen.setdefault(rule)
+        ordered = tuple(seen)
+        object.__setattr__(self, "rules", ordered)
+        object.__setattr__(self, "_facts",
+                           tuple(r for r in ordered if r.is_fact()))
+        object.__setattr__(self, "_proper_rules",
+                           tuple(r for r in ordered
+                                 if not r.is_fact() and not r.is_constraint()))
+        object.__setattr__(self, "_constraints",
+                           tuple(r for r in ordered if r.is_constraint()))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Program is immutable")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def facts(self) -> tuple[Rule, ...]:
+        return self._facts
+
+    @property
+    def proper_rules(self) -> tuple[Rule, ...]:
+        return self._proper_rules
+
+    @property
+    def constraints(self) -> tuple[Rule, ...]:
+        return self._constraints
+
+    def fact_atoms(self) -> set[Atom]:
+        """The positive ground atoms asserted as facts."""
+        return {r.head[0].atom for r in self._facts if r.head[0].positive}
+
+    def fact_literals(self) -> set[Literal]:
+        return {r.head[0] for r in self._facts}
+
+    # ------------------------------------------------------------------
+    # Predicates and structure
+    # ------------------------------------------------------------------
+    def predicates(self) -> set[str]:
+        result: set[str] = set()
+        for rule in self.rules:
+            result |= rule.predicates()
+        return result
+
+    def head_predicates(self) -> set[str]:
+        result: set[str] = set()
+        for rule in self.rules:
+            result |= rule.head_predicates()
+        return result
+
+    def edb_predicates(self) -> set[str]:
+        """Predicates that never occur in a proper rule head."""
+        idb = set()
+        for rule in self._proper_rules:
+            idb |= rule.head_predicates()
+        return self.predicates() - idb
+
+    def constants(self) -> set[Constant]:
+        result: set[Constant] = set()
+        for rule in self.rules:
+            for lit in rule.head:
+                result |= {a for a in lit.atom.args if isinstance(a, Constant)}
+            for item in rule.body:
+                if isinstance(item, Literal):
+                    result |= {a for a in item.atom.args
+                               if isinstance(a, Constant)}
+                elif isinstance(item, Comparison):
+                    for side in (item.left, item.right):
+                        if isinstance(side, Constant):
+                            result.add(side)
+        return result
+
+    def has_disjunction(self) -> bool:
+        return any(r.is_disjunctive() for r in self.rules)
+
+    def has_choice(self) -> bool:
+        return any(r.has_choice() for r in self.rules)
+
+    def has_classical_negation(self) -> bool:
+        for rule in self.rules:
+            if any(not lit.positive for lit in rule.head):
+                return True
+            for item in rule.body:
+                if isinstance(item, Literal) and not item.positive:
+                    return True
+        return False
+
+    def check_safety(self) -> None:
+        for rule in self.rules:
+            rule.check_safety()
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def extend(self, extra: Iterable[Rule]) -> "Program":
+        """A new program with ``extra`` rules appended."""
+        return Program(tuple(self.rules) + tuple(extra))
+
+    def union(self, other: "Program") -> "Program":
+        return self.extend(other.rules)
+
+    def with_facts(self, atoms: Iterable[Atom]) -> "Program":
+        """A new program with the given ground atoms appended as facts."""
+        extra = []
+        for atom in atoms:
+            if not atom.is_ground():
+                raise ProgramError(f"facts must be ground: {atom}")
+            extra.append(Rule(head=[atom]))
+        return self.extend(extra)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Program) and set(self.rules) == set(
+            other.rules)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.rules))
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.rules)} rules)"
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+    def pretty(self, *, sort: bool = False) -> str:
+        """Program text; optionally sorted for stable golden-file tests."""
+        lines = [str(r) for r in self.rules]
+        if sort:
+            lines.sort()
+        return "\n".join(lines)

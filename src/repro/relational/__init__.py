@@ -1,0 +1,67 @@
+"""Relational substrate: schemas, instances, FO queries, constraints.
+
+Implements the database vocabulary of the paper's Definitions 1–3: relation
+and peer schemas, immutable instances with the fact-set Σ(r), the symmetric
+difference Δ and the ≤_r order, full first-order query evaluation under
+active-domain semantics, and the constraint families used as local ICs and
+data-exchange constraints (TGDs, EGDs/FDs/keys, denials).
+"""
+
+from ..datalog.terms import Constant, Variable
+from .algebra import NamedRelation, from_instance
+from .constraints import (
+    Constraint,
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyConstraint,
+    TupleGeneratingConstraint,
+    Violation,
+)
+from .errors import (
+    ConstraintError,
+    InstanceError,
+    QueryError,
+    RelationalError,
+    SchemaError,
+)
+from .instance import DatabaseInstance, Fact
+from .query import (
+    And,
+    Cmp,
+    Exists,
+    FALSE,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Query,
+    RelAtom,
+    TRUE,
+    evaluation_domain,
+    holds,
+)
+from .query_parser import parse_formula, parse_query
+from .schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    # schema / instance
+    "RelationSchema", "DatabaseSchema", "DatabaseInstance", "Fact",
+    # query AST and evaluation
+    "Formula", "RelAtom", "Cmp", "And", "Or", "Not", "Implies",
+    "Exists", "Forall", "TRUE", "FALSE", "Query", "holds",
+    "evaluation_domain", "parse_formula", "parse_query",
+    # terms re-exported for convenience
+    "Constant", "Variable",
+    # algebra
+    "NamedRelation", "from_instance",
+    # constraints
+    "Constraint", "TupleGeneratingConstraint", "InclusionDependency",
+    "EqualityGeneratingConstraint", "FunctionalDependency",
+    "KeyConstraint", "DenialConstraint", "Violation",
+    # errors
+    "RelationalError", "SchemaError", "InstanceError", "QueryError",
+    "ConstraintError",
+]

@@ -1,0 +1,168 @@
+"""A small named-column relational algebra.
+
+This is the classical select/project/join/union/difference/rename algebra
+over set-semantics relations.  The FO query evaluator in
+:mod:`repro.relational.query` does not need it (it evaluates formulas
+directly), but the algebra is the natural target for the *safe-range*
+fragment and is used by the FO-rewriting baseline benchmarks to execute
+rewritten unions of conjunctive queries fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from .errors import QueryError
+from .instance import DatabaseInstance
+
+__all__ = ["NamedRelation", "from_instance"]
+
+
+class NamedRelation:
+    """An immutable set of rows with named columns."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str],
+                 rows: Iterable[tuple] = ()) -> None:
+        columns = tuple(columns)
+        if len(set(columns)) != len(columns):
+            raise QueryError(f"duplicate column names: {columns}")
+        frozen = frozenset(tuple(r) for r in rows)
+        for row in frozen:
+            if len(row) != len(columns):
+                raise QueryError(
+                    f"row {row} does not match columns {columns}")
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(self, "rows", frozen)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("NamedRelation is immutable")
+
+    # ------------------------------------------------------------------
+    def _index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise QueryError(f"no column {column!r} in {self.columns}") \
+                from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, NamedRelation)
+                and self.columns == other.columns
+                and self.rows == other.rows)
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.rows))
+
+    def __repr__(self) -> str:
+        return f"NamedRelation({self.columns}, {len(self.rows)} rows)"
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[Mapping[str, object]], bool]
+               ) -> "NamedRelation":
+        """σ: keep rows satisfying ``predicate`` (given as a dict view)."""
+        kept = [row for row in self.rows
+                if predicate(dict(zip(self.columns, row)))]
+        return NamedRelation(self.columns, kept)
+
+    def select_eq(self, column: str, value: object) -> "NamedRelation":
+        """σ_{column = value}."""
+        index = self._index(column)
+        return NamedRelation(self.columns,
+                             [r for r in self.rows if r[index] == value])
+
+    def project(self, columns: Sequence[str]) -> "NamedRelation":
+        """π: keep (and reorder to) the named columns."""
+        indexes = [self._index(c) for c in columns]
+        return NamedRelation(columns,
+                             {tuple(r[i] for i in indexes)
+                              for r in self.rows})
+
+    def rename(self, mapping: Mapping[str, str]) -> "NamedRelation":
+        """ρ: rename columns."""
+        new_columns = tuple(mapping.get(c, c) for c in self.columns)
+        return NamedRelation(new_columns, self.rows)
+
+    def natural_join(self, other: "NamedRelation") -> "NamedRelation":
+        """⋈ on shared column names (hash join)."""
+        shared = [c for c in self.columns if c in other.columns]
+        other_only = [c for c in other.columns if c not in shared]
+        result_columns = tuple(self.columns) + tuple(other_only)
+        left_idx = [self._index(c) for c in shared]
+        right_idx = [other._index(c) for c in shared]
+        other_only_idx = [other._index(c) for c in other_only]
+        # build hash index on the smaller side
+        index: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in right_idx)
+            index.setdefault(key, []).append(row)
+        joined = set()
+        for row in self.rows:
+            key = tuple(row[i] for i in left_idx)
+            for match in index.get(key, ()):
+                joined.add(row + tuple(match[i] for i in other_only_idx))
+        return NamedRelation(result_columns, joined)
+
+    def union(self, other: "NamedRelation") -> "NamedRelation":
+        """∪ (requires identical column lists)."""
+        if self.columns != other.columns:
+            raise QueryError(
+                f"union of incompatible columns {self.columns} vs "
+                f"{other.columns}")
+        return NamedRelation(self.columns, self.rows | other.rows)
+
+    def difference(self, other: "NamedRelation") -> "NamedRelation":
+        """∖ (requires identical column lists)."""
+        if self.columns != other.columns:
+            raise QueryError(
+                f"difference of incompatible columns {self.columns} vs "
+                f"{other.columns}")
+        return NamedRelation(self.columns, self.rows - other.rows)
+
+    def cross(self, other: "NamedRelation") -> "NamedRelation":
+        """× (column lists must be disjoint)."""
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise QueryError(f"cross product shares columns {overlap}")
+        rows = {left + right for left in self.rows for right in other.rows}
+        return NamedRelation(self.columns + other.columns, rows)
+
+    def semijoin(self, other: "NamedRelation") -> "NamedRelation":
+        """⋉: rows of self with a join partner in other."""
+        shared = [c for c in self.columns if c in other.columns]
+        right_keys = {tuple(row[other._index(c)] for c in shared)
+                      for row in other.rows}
+        left_idx = [self._index(c) for c in shared]
+        return NamedRelation(
+            self.columns,
+            [r for r in self.rows
+             if tuple(r[i] for i in left_idx) in right_keys])
+
+    def antijoin(self, other: "NamedRelation") -> "NamedRelation":
+        """▷: rows of self with no join partner in other."""
+        shared = [c for c in self.columns if c in other.columns]
+        right_keys = {tuple(row[other._index(c)] for c in shared)
+                      for row in other.rows}
+        left_idx = [self._index(c) for c in shared]
+        return NamedRelation(
+            self.columns,
+            [r for r in self.rows
+             if tuple(r[i] for i in left_idx) not in right_keys])
+
+
+def from_instance(instance: DatabaseInstance, relation: str,
+                  columns: Optional[Sequence[str]] = None) -> NamedRelation:
+    """Wrap one relation of an instance as a :class:`NamedRelation`."""
+    schema = instance.schema.relation(relation)
+    if columns is None:
+        columns = schema.attributes
+    if len(columns) != schema.arity:
+        raise QueryError(
+            f"{len(columns)} column names for arity {schema.arity}")
+    return NamedRelation(columns, instance.tuples(relation))

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the relational substrate."""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """Schema construction or lookup problem (unknown relation, arity
+    mismatch, duplicate relation names across supposedly disjoint
+    schemas)."""
+
+
+class InstanceError(RelationalError):
+    """Instance construction problem (tuple arity mismatch, unknown
+    relation)."""
+
+
+class QueryError(RelationalError):
+    """Malformed first-order query (unbound answer variable, arity
+    mismatch, parse failure)."""
+
+
+class ConstraintError(RelationalError):
+    """Malformed constraint (unsafe variables, empty antecedent where one
+    is required, position out of range)."""

@@ -1,0 +1,247 @@
+"""Database instances, Σ(r), the distance Δ, and the ≤_r order.
+
+Implements Definition 1 of the paper:
+
+* ``Σ(r)`` — the set of ground atomic facts of an instance;
+* ``Δ(r1, r2)`` — the symmetric difference ``(Σ(r1)∖Σ(r2)) ∪ (Σ(r2)∖Σ(r1))``;
+* ``r1 ≤_r r2``  iff  ``Δ(r, r1) ⊆ Δ(r, r2)``.
+
+Instances are immutable: mutation-style methods return new instances, which
+keeps repair search and solution enumeration free of aliasing bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .errors import InstanceError
+from .schema import DatabaseSchema
+
+__all__ = ["Fact", "DatabaseInstance"]
+
+
+class Fact:
+    """A ground database atom ``relation(values...)``.
+
+    ``values`` are raw Python scalars (str/int) — the relational layer does
+    not wrap them in logic terms; conversion happens at the Datalog border.
+    """
+
+    __slots__ = ("relation", "values", "_hash")
+
+    def __init__(self, relation: str, values: Iterable[object]) -> None:
+        values = tuple(values)
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_hash", hash((relation, values)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Fact is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Fact) and self.relation == other.relation
+                and self.values == other.values)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Fact({self.relation!r}, {self.values!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+    def __lt__(self, other: "Fact") -> bool:
+        return (self.relation, _sort_key(self.values)) < \
+            (other.relation, _sort_key(other.values))
+
+
+def _sort_key(values: tuple) -> tuple:
+    return tuple((0, v) if isinstance(v, int) else (1, str(v))
+                 for v in values)
+
+
+class DatabaseInstance:
+    """An immutable instance: relation name -> frozenset of value tuples.
+
+    The schema is carried along and enforced (arity checks on
+    construction).  Relations present in the schema but without tuples are
+    empty, not missing.
+    """
+
+    __slots__ = ("schema", "_data", "_hash")
+
+    def __init__(self, schema: DatabaseSchema,
+                 data: Optional[Mapping[str, Iterable[tuple]]] = None
+                 ) -> None:
+        table: dict[str, frozenset] = {name: frozenset()
+                                       for name in schema.names}
+        if data:
+            for name, rows in data.items():
+                if name not in schema:
+                    raise InstanceError(
+                        f"relation {name!r} not in schema")
+                arity = schema.arity(name)
+                frozen = frozenset(tuple(row) for row in rows)
+                for row in frozen:
+                    if len(row) != arity:
+                        raise InstanceError(
+                            f"tuple {row} has arity {len(row)}, relation "
+                            f"{name!r} expects {arity}")
+                table[name] = frozen
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "_data", table)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DatabaseInstance is immutable")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def tuples(self, relation: str) -> frozenset:
+        try:
+            return self._data[relation]
+        except KeyError:
+            raise InstanceError(f"unknown relation {relation!r}") from None
+
+    def __contains__(self, fact: Fact) -> bool:
+        rows = self._data.get(fact.relation)
+        return rows is not None and fact.values in rows
+
+    def relations(self) -> tuple[str, ...]:
+        return tuple(self._data)
+
+    def facts(self) -> set[Fact]:
+        """Σ(r): the set of ground atomic facts (Definition 1)."""
+        return {Fact(name, row)
+                for name, rows in self._data.items() for row in rows}
+
+    def size(self) -> int:
+        return sum(len(rows) for rows in self._data.values())
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def active_domain(self) -> set:
+        """All values occurring anywhere in the instance."""
+        domain: set = set()
+        for rows in self._data.values():
+            for row in rows:
+                domain.update(row)
+        return domain
+
+    # ------------------------------------------------------------------
+    # Definition 1: distance and order
+    # ------------------------------------------------------------------
+    def delta(self, other: "DatabaseInstance") -> set[Fact]:
+        """Δ(self, other): symmetric difference of fact sets."""
+        return self.facts() ^ other.facts()
+
+    def insertions_from(self, base: "DatabaseInstance") -> set[Fact]:
+        """Facts of ``self`` missing from ``base`` (Σ(self) ∖ Σ(base))."""
+        return self.facts() - base.facts()
+
+    def deletions_from(self, base: "DatabaseInstance") -> set[Fact]:
+        """Facts of ``base`` missing from ``self``."""
+        return base.facts() - self.facts()
+
+    @staticmethod
+    def closer_or_equal(origin: "DatabaseInstance",
+                        first: "DatabaseInstance",
+                        second: "DatabaseInstance") -> bool:
+        """``first ≤_origin second``: Δ(origin, first) ⊆ Δ(origin, second)."""
+        return origin.delta(first) <= origin.delta(second)
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def with_facts(self, facts: Iterable[Fact]) -> "DatabaseInstance":
+        """New instance with ``facts`` added."""
+        additions: dict[str, set] = {}
+        for fact in facts:
+            additions.setdefault(fact.relation, set()).add(fact.values)
+        if not additions:
+            return self
+        data = {name: (rows | additions[name]
+                       if name in additions else rows)
+                for name, rows in self._data.items()}
+        for name in additions:
+            if name not in self._data:
+                raise InstanceError(f"unknown relation {name!r}")
+        return DatabaseInstance(self.schema, data)
+
+    def without_facts(self, facts: Iterable[Fact]) -> "DatabaseInstance":
+        """New instance with ``facts`` removed (absent facts are ignored)."""
+        removals: dict[str, set] = {}
+        for fact in facts:
+            removals.setdefault(fact.relation, set()).add(fact.values)
+        if not removals:
+            return self
+        data = {name: (rows - removals[name]
+                       if name in removals else rows)
+                for name, rows in self._data.items()}
+        return DatabaseInstance(self.schema, data)
+
+    def apply_change(self, insertions: Iterable[Fact],
+                     deletions: Iterable[Fact]) -> "DatabaseInstance":
+        return self.with_facts(insertions).without_facts(deletions)
+
+    # ------------------------------------------------------------------
+    # Restriction and combination (Definition 3)
+    # ------------------------------------------------------------------
+    def restrict(self, names: Iterable[str]) -> "DatabaseInstance":
+        """r|S': restriction to a subschema (Definition 3(c))."""
+        names = list(names)
+        sub_schema = self.schema.restrict(names)
+        return DatabaseInstance(
+            sub_schema, {name: self._data[name] for name in names})
+
+    def combine(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Union of instances over disjoint schemas (Definition 3(b))."""
+        schema = self.schema.disjoint_union(other.schema)
+        data = dict(self._data)
+        data.update(other._data)
+        return DatabaseInstance(schema, data)
+
+    def replace_relations(self, replacement: Mapping[str, Iterable[tuple]]
+                          ) -> "DatabaseInstance":
+        """New instance with whole relations swapped out."""
+        data = dict(self._data)
+        for name, rows in replacement.items():
+            if name not in data:
+                raise InstanceError(f"unknown relation {name!r}")
+            data[name] = frozenset(tuple(row) for row in rows)
+        return DatabaseInstance(self.schema, data)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, DatabaseInstance)
+                and self.schema == other.schema
+                and self._data == other._data)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.schema,
+                           frozenset(self._data.items())))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        return f"DatabaseInstance({self.size()} tuples)"
+
+    def __str__(self) -> str:
+        parts = []
+        for name in sorted(self._data):
+            for row in sorted(self._data[name], key=_sort_key):
+                parts.append(str(Fact(name, row)))
+        return "{" + ", ".join(parts) + "}"
+
+    def sorted_facts(self) -> list[Fact]:
+        """All facts in a stable display order."""
+        return sorted(self.facts())
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.sorted_facts())

@@ -1,0 +1,176 @@
+"""Relation and database schemas (Definition 2 of the paper).
+
+A :class:`RelationSchema` is a named relation with a fixed arity and
+optional attribute names.  A :class:`DatabaseSchema` is a collection of
+relation schemas — one per peer in the P2P setting, where the paper assumes
+the per-peer schemas are *disjoint* (shared domain aside).  The
+:meth:`DatabaseSchema.disjoint_union` constructor enforces exactly that
+assumption and builds the global schema ``R`` of Definition 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from .errors import SchemaError
+
+__all__ = ["RelationSchema", "DatabaseSchema"]
+
+
+class RelationSchema:
+    """A relation name with arity and optional attribute names.
+
+    Attribute names default to ``a0, a1, ...`` and are used only for
+    display and for naming positions in constraints (positions themselves
+    are integers throughout the library).
+    """
+
+    __slots__ = ("name", "arity", "attributes")
+
+    def __init__(self, name: str, arity: int,
+                 attributes: Optional[Sequence[str]] = None) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if arity < 0:
+            raise SchemaError(f"negative arity for relation {name!r}")
+        if attributes is None:
+            attributes = tuple(f"a{i}" for i in range(arity))
+        else:
+            attributes = tuple(attributes)
+            if len(attributes) != arity:
+                raise SchemaError(
+                    f"relation {name!r}: {len(attributes)} attribute names "
+                    f"for arity {arity}")
+            if len(set(attributes)) != arity:
+                raise SchemaError(
+                    f"relation {name!r}: duplicate attribute names")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arity", arity)
+        object.__setattr__(self, "attributes", attributes)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("RelationSchema is immutable")
+
+    def position_of(self, attribute: str) -> int:
+        """Index of a named attribute; raises :class:`SchemaError`."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RelationSchema)
+                and self.name == other.name and self.arity == other.arity
+                and self.attributes == other.attributes)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self.name!r}, {self.arity})"
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class DatabaseSchema:
+    """An immutable mapping of relation names to :class:`RelationSchema`.
+
+    Plays the role of ``R(P)`` for a single peer, and — via
+    :meth:`disjoint_union` — of the global schema ``R`` and the extended
+    schema ``R̄(P)`` of Definition 3(a).
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        by_name: dict[str, RelationSchema] = {}
+        for relation in relations:
+            if not isinstance(relation, RelationSchema):
+                raise SchemaError(
+                    f"expected RelationSchema, got {relation!r}")
+            if relation.name in by_name:
+                raise SchemaError(
+                    f"duplicate relation name {relation.name!r}")
+            by_name[relation.name] = relation
+        object.__setattr__(self, "_relations", by_name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DatabaseSchema is immutable")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def arity(self, name: str) -> int:
+        return self.relation(name).arity
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def disjoint_union(self, *others: "DatabaseSchema") -> "DatabaseSchema":
+        """Union of schemas that must not share relation names.
+
+        This mirrors the paper's standing assumption "the schemata R(P)
+        are disjoint" (Definition 2(b)).
+        """
+        relations: list[RelationSchema] = list(self)
+        seen = set(self.names)
+        for other in others:
+            for relation in other:
+                if relation.name in seen:
+                    raise SchemaError(
+                        f"peer schemas are not disjoint: relation "
+                        f"{relation.name!r} appears twice")
+                seen.add(relation.name)
+                relations.append(relation)
+        return DatabaseSchema(relations)
+
+    def restrict(self, names: Iterable[str]) -> "DatabaseSchema":
+        """Subschema with only the named relations (must exist)."""
+        return DatabaseSchema(self.relation(name) for name in names)
+
+    def is_subschema_of(self, other: "DatabaseSchema") -> bool:
+        return all(name in other
+                   and other.relation(name) == self.relation(name)
+                   for name in self.names)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, DatabaseSchema)
+                and self._relations == other._relations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.values()))
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({sorted(self._relations)})"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(r) for r in self) + "}"
+
+    @staticmethod
+    def of(spec: Mapping[str, int]) -> "DatabaseSchema":
+        """Shorthand: ``DatabaseSchema.of({"R1": 2, "R2": 2})``."""
+        return DatabaseSchema(RelationSchema(name, arity)
+                              for name, arity in spec.items())

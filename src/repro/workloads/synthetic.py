@@ -1,0 +1,179 @@
+"""Synthetic workload generators for the scaling studies.
+
+The paper has no quantitative evaluation, but Section 3.2 makes
+complexity claims (Π^p_2 data complexity; exponentially many repairs) and
+Section 4.1 an optimisation claim (HCF shifting).  These generators
+produce the parameterised families the benchmarks sweep:
+
+* :func:`conflict_chain_system` — n independent same-trust conflicts, so
+  the peer has exactly 2^n solutions (the exponential blow-up of SC1);
+* :func:`import_star_system` — one peer importing from k more-trusted
+  neighbours via full inclusions, with adjustable consistent/conflicting
+  tuple counts (the FO-rewriting-friendly family of SC2);
+* :func:`referential_system` — Section 3.1-shaped referential DECs with a
+  tunable number of violations and witnesses (SC3's HCF ablation);
+* :func:`peer_chain_system` — a transitive chain of k peers propagating
+  imports (SC4).
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..datalog.terms import Variable
+from ..relational.constraints import (
+    EqualityGeneratingConstraint,
+    InclusionDependency,
+    TupleGeneratingConstraint,
+)
+from ..relational.instance import DatabaseInstance
+from ..relational.query import RelAtom
+from ..relational.schema import DatabaseSchema
+from ..core.system import DataExchange, Peer, PeerSystem
+from ..core.trust import TrustRelation
+
+__all__ = [
+    "conflict_chain_system",
+    "import_star_system",
+    "referential_system",
+    "peer_chain_system",
+]
+
+_X, _Y, _Z, _W = (Variable("X"), Variable("Y"), Variable("Z"),
+                  Variable("W"))
+
+
+def conflict_chain_system(n_conflicts: int, *,
+                          n_clean: int = 0) -> PeerSystem:
+    """P1 vs an equally-trusted P3: ``n_conflicts`` independent EGD
+    conflicts (each resolvable two ways → 2^n solutions) plus ``n_clean``
+    conflict-free tuples."""
+    r1 = [(f"k{i}", f"v{i}") for i in range(n_conflicts)]
+    r3 = [(f"k{i}", f"w{i}") for i in range(n_conflicts)]
+    r1 += [(f"c{i}", f"cv{i}") for i in range(n_clean)]
+    p1 = Peer("P1", DatabaseSchema.of({"R1": 2}))
+    p3 = Peer("P3", DatabaseSchema.of({"R3": 2}))
+    instances = {
+        "P1": DatabaseInstance(p1.schema, {"R1": r1}),
+        "P3": DatabaseInstance(p3.schema, {"R3": r3}),
+    }
+    egd = EqualityGeneratingConstraint(
+        antecedent=[RelAtom("R1", [_X, _Y]), RelAtom("R3", [_X, _Z])],
+        equalities=[(_Y, _Z)], name="conflict")
+    trust = TrustRelation([("P1", "same", "P3")])
+    return PeerSystem([p1, p3], instances,
+                      [DataExchange("P1", "P3", egd)], trust)
+
+
+def import_star_system(n_tuples: int, n_neighbours: int = 1, *,
+                       overlap: float = 0.3,
+                       conflicts: int = 0,
+                       seed: int = 7) -> PeerSystem:
+    """P0 imports from ``n_neighbours`` more-trusted peers via full
+    inclusions; optionally an equally-trusted conflict peer adds EGD
+    violations.
+
+    ``overlap`` is the fraction of each neighbour's tuples already present
+    at P0 (imports that change nothing).  The query family of SC2 runs
+    over this system at growing ``n_tuples``.
+    """
+    rng = random.Random(seed)
+    own = [(f"k{i}", f"v{i}") for i in range(n_tuples)]
+    peers = [Peer("P0", DatabaseSchema.of({"R0": 2}))]
+    instances = {"P0": None}  # placeholder; filled below
+    exchanges = []
+    trust_edges = []
+    for j in range(1, n_neighbours + 1):
+        relation = f"M{j}"
+        neighbour = Peer(f"P{j}", DatabaseSchema.of({relation: 2}))
+        peers.append(neighbour)
+        shared = rng.sample(own, int(overlap * len(own))) if own else []
+        fresh = [(f"n{j}_{i}", f"nv{j}_{i}")
+                 for i in range(max(0, n_tuples // n_neighbours))]
+        instances[neighbour.name] = DatabaseInstance(
+            neighbour.schema, {relation: shared + fresh})
+        exchanges.append(DataExchange(
+            "P0", neighbour.name,
+            InclusionDependency(relation, "R0", child_arity=2,
+                                parent_arity=2,
+                                name=f"import_{relation}")))
+        trust_edges.append(("P0", "less", neighbour.name))
+    if conflicts:
+        conflict_peer = Peer("PC", DatabaseSchema.of({"C0": 2}))
+        peers.append(conflict_peer)
+        conflicting = [(f"k{i}", f"w{i}") for i in range(conflicts)]
+        instances["PC"] = DatabaseInstance(conflict_peer.schema,
+                                           {"C0": conflicting})
+        egd = EqualityGeneratingConstraint(
+            antecedent=[RelAtom("R0", [_X, _Y]),
+                        RelAtom("C0", [_X, _Z])],
+            equalities=[(_Y, _Z)], name="conflict_C0")
+        exchanges.append(DataExchange("P0", "PC", egd))
+        trust_edges.append(("P0", "same", "PC"))
+    instances["P0"] = DatabaseInstance(peers[0].schema, {"R0": own})
+    return PeerSystem(peers, instances, exchanges,
+                      TrustRelation(trust_edges))
+
+
+def referential_system(n_violations: int, n_witnesses: int = 2, *,
+                       n_satisfied: int = 0) -> PeerSystem:
+    """Section 3.1-shaped referential DEC with ``n_violations`` violating
+    antecedent pairs, each with ``n_witnesses`` candidate S2-witnesses
+    (every violation admits 1 deletion + ``n_witnesses`` insertions →
+    ``(n_witnesses + 1)^n_violations`` solutions)."""
+    r1 = [(f"d{i}", f"m{i}") for i in range(n_violations)]
+    s1 = [(f"a{i}", f"m{i}") for i in range(n_violations)]
+    s2 = [(f"a{i}", f"t{i}_{j}")
+          for i in range(n_violations) for j in range(n_witnesses)]
+    r2 = []
+    for i in range(n_satisfied):
+        r1.append((f"sd{i}", f"sm{i}"))
+        s1.append((f"sa{i}", f"sm{i}"))
+        r2.append((f"sd{i}", f"st{i}"))
+        s2.append((f"sa{i}", f"st{i}"))
+    peer_p = Peer("P", DatabaseSchema.of({"R1": 2, "R2": 2}))
+    peer_q = Peer("Q", DatabaseSchema.of({"S1": 2, "S2": 2}))
+    instances = {
+        "P": DatabaseInstance(peer_p.schema, {"R1": r1, "R2": r2}),
+        "Q": DatabaseInstance(peer_q.schema, {"S1": s1, "S2": s2}),
+    }
+    dec = TupleGeneratingConstraint(
+        antecedent=[RelAtom("R1", [_X, _Y]), RelAtom("S1", [_Z, _Y])],
+        consequent=[RelAtom("R2", [_X, _W]), RelAtom("S2", [_Z, _W])],
+        name="dec3")
+    trust = TrustRelation([("P", "less", "Q")])
+    return PeerSystem([peer_p, peer_q], instances,
+                      [DataExchange("P", "Q", dec)], trust)
+
+
+def peer_chain_system(length: int, n_tuples: int = 2) -> PeerSystem:
+    """A chain P0 ← P1 ← ... ← P_{length}: each peer imports its
+    successor's relation via a full inclusion with `less` trust, so data
+    entered at the far end propagates transitively to P0."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    peers = []
+    instances = {}
+    exchanges = []
+    trust_edges = []
+    for index in range(length + 1):
+        relation = f"T{index}"
+        peer = Peer(f"P{index}", DatabaseSchema.of({relation: 2}))
+        peers.append(peer)
+        rows = []
+        if index == length:  # only the far end holds data
+            rows = [(f"x{i}", f"y{i}") for i in range(n_tuples)]
+        instances[peer.name] = DatabaseInstance(peer.schema,
+                                                {relation: rows})
+        if index < length:
+            exchanges.append(DataExchange(
+                f"P{index}", f"P{index + 1}",
+                InclusionDependency(f"T{index + 1}", relation,
+                                    child_arity=2, parent_arity=2,
+                                    name=f"chain_{index}")))
+            trust_edges.append((f"P{index}", "less", f"P{index + 1}"))
+    return PeerSystem(peers, instances, exchanges,
+                      TrustRelation(trust_edges))

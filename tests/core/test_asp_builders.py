@@ -1,0 +1,221 @@
+"""Unit tests for the ASP builders: naming, translation details, decode,
+staged composition, and randomized cross-validation vs Definition 4."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DataExchange,
+    GavSpecification,
+    NameMap,
+    Peer,
+    PeerSystem,
+    SystemError_,
+    TrustRelation,
+    asp_peer_consistent_answers,
+    asp_solutions_for_peer,
+    peer_consistent_answers,
+    solutions_for_peer,
+)
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    RelAtom,
+    TupleGeneratingConstraint,
+    Variable,
+    parse_query,
+)
+from repro.workloads import example1_system, section31_system
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+class TestNameMap:
+    def test_basic_mapping(self):
+        names = NameMap(["R1", "emp"])
+        assert names.source("R1") == "r1"
+        assert names.primed("R1") == "r1_p"
+        assert names.source("emp") == "emp"
+
+    def test_reverse_lookup(self):
+        names = NameMap(["R1"])
+        assert names.relation_of_primed("r1_p") == "R1"
+        assert names.relation_of_source("r1") == "R1"
+        assert names.relation_of_primed("zz") is None
+
+    def test_collision_detected(self):
+        with pytest.raises(SystemError_):
+            NameMap(["Abc", "abc"])
+
+    def test_invalid_relation_name(self):
+        with pytest.raises(SystemError_):
+            NameMap(["1bad"])
+
+    def test_unmapped_lookup(self):
+        with pytest.raises(SystemError_):
+            NameMap(["R1"]).source("R9")
+
+
+class TestGavTranslationDetails:
+    def test_fd_local_ic_becomes_denial(self):
+        schema = DatabaseSchema.of({"A": 2})
+        instance = DatabaseInstance(schema, {"A": [("k", "v")]})
+        fd = FunctionalDependency("A", [0], [1], arity=2)
+        spec = GavSpecification(instance, [], changeable={"A"},
+                                local_ics=[fd])
+        text = spec.program.pretty(sort=True)
+        assert ":- a_p(X0, X1), a_p(X0, Y1), X1 != Y1." in text
+
+    def test_denial_dec_translated(self):
+        schema = DatabaseSchema.of({"A": 1, "B": 1})
+        instance = DatabaseInstance(schema, {"A": [("x",)],
+                                             "B": [("x",)]})
+        denial = DenialConstraint(
+            antecedent=[RelAtom("A", [X]), RelAtom("B", [X])])
+        spec = GavSpecification(instance, [denial], changeable={"A"})
+        solutions = spec.solutions()
+        assert len(solutions) == 1
+        assert solutions[0].tuples("A") == frozenset()
+
+    def test_unfixable_violation_yields_no_answer_sets(self):
+        schema = DatabaseSchema.of({"A": 1, "B": 1})
+        instance = DatabaseInstance(schema, {"A": [("x",)],
+                                             "B": [("x",)]})
+        denial = DenialConstraint(
+            antecedent=[RelAtom("A", [X]), RelAtom("B", [X])])
+        spec = GavSpecification(instance, [denial], changeable=set())
+        assert spec.answer_sets() == []
+        assert spec.solutions() == []
+
+    def test_multi_atom_insertable_consequent_uses_marker(self):
+        # same-trust variant: both R2 and S2 insertable → ins marker
+        schema = DatabaseSchema.of({"R1": 2, "R2": 2, "S1": 2, "S2": 2})
+        instance = DatabaseInstance(schema, {
+            "R1": [("d", "m")], "S1": [("a", "m")]})
+        dec = TupleGeneratingConstraint(
+            antecedent=[RelAtom("R1", [X, Y]), RelAtom("S1", [Z, Y])],
+            consequent=[RelAtom("R2", [X, W]), RelAtom("S2", [Z, W])],
+            name="dec3")
+        spec = GavSpecification(instance, [dec],
+                                changeable={"R1", "R2", "S1", "S2"})
+        text = spec.program.pretty(sort=True)
+        assert "ins_" in text
+        assert "dom(" in text  # unguarded witness domain
+        solutions = spec.solutions()
+        # deletions of R1(d,m) or S1(a,m), or paired insertions with any
+        # active-domain witness
+        assert len(solutions) >= 3
+        for solution in solutions:
+            assert dec.holds_in(solution)
+
+    def test_enforce_blocks_deletion(self):
+        schema = DatabaseSchema.of({"A": 2, "B": 2, "C": 2})
+        instance = DatabaseInstance(schema, {
+            "A": [("k", "v")], "B": [("k", "v")], "C": [("k", "w")]})
+        # repair DEC: A and C conflict -> delete A(k,v) or C(k,w)
+        from repro.relational import EqualityGeneratingConstraint
+        conflict = EqualityGeneratingConstraint(
+            antecedent=[RelAtom("A", [X, Y]), RelAtom("C", [X, Z])],
+            equalities=[(Y, Z)], name="conflict")
+        # hard constraint: B ⊆ A (pins A(k,v))
+        pin = InclusionDependency("B", "A", child_arity=2, parent_arity=2,
+                                  name="pin")
+        spec = GavSpecification(instance, [conflict],
+                                changeable={"A", "C"}, enforce=[pin])
+        solutions = spec.solutions()
+        assert len(solutions) == 1
+        assert solutions[0].tuples("A") == frozenset({("k", "v")})
+        assert solutions[0].tuples("C") == frozenset()
+
+    def test_scope_validation(self):
+        schema = DatabaseSchema.of({"A": 1})
+        instance = DatabaseInstance(schema, {"A": [("x",)]})
+        stray = DenialConstraint(antecedent=[RelAtom("Z", [X])])
+        with pytest.raises(SystemError_):
+            GavSpecification(instance, [stray], changeable={"A"})
+
+
+class TestStagedComposition:
+    def test_no_decs_identity(self):
+        p = Peer("P", DatabaseSchema.of({"A": 1}))
+        system = PeerSystem(
+            [p], {"P": DatabaseInstance(p.schema, {"A": [("x",)]})})
+        assert asp_solutions_for_peer(system, "P") == \
+            [system.global_instance()]
+
+    def test_less_only(self):
+        system = section31_system()
+        assert asp_solutions_for_peer(system, "P") == \
+            solutions_for_peer(system, "P")
+
+    def test_same_only(self):
+        system = example1_system(r2=[])  # kill the import content
+        assert asp_solutions_for_peer(system, "P1") == \
+            solutions_for_peer(system, "P1")
+
+    def test_both_stages(self):
+        system = example1_system()
+        assert asp_solutions_for_peer(system, "P1") == \
+            solutions_for_peer(system, "P1")
+
+    def test_pca_wrapper(self):
+        system = example1_system()
+        asp = asp_peer_consistent_answers(
+            system, "P1", parse_query("q(X, Y) := R1(X, Y)"))
+        model = peer_consistent_answers(
+            system, "P1", parse_query("q(X, Y) := R1(X, Y)"))
+        assert asp.answers == model.answers
+
+
+def _random_rows(rng, n, keys, values):
+    return list({(rng.choice(keys), rng.choice(values))
+                 for _ in range(n)})
+
+
+class TestRandomizedCrossValidation:
+    """ASP solutions == Definition 4 solutions on random small systems."""
+
+    def test_example1_shaped(self):
+        rng = random.Random(42)
+        for trial in range(25):
+            r1 = _random_rows(rng, rng.randint(0, 3), ["a", "s"],
+                              ["b", "e", "f"])
+            r2 = _random_rows(rng, rng.randint(0, 2), ["a", "c"],
+                              ["d", "e"])
+            r3 = _random_rows(rng, rng.randint(0, 2), ["a", "s"],
+                              ["f", "u", "b"])
+            system = example1_system(r1=r1, r2=r2, r3=r3)
+            asp = asp_solutions_for_peer(system, "P1")
+            model = solutions_for_peer(system, "P1")
+            assert asp == model, (trial, r1, r2, r3)
+
+    def test_section31_shaped(self):
+        rng = random.Random(7)
+        for trial in range(25):
+            r1 = _random_rows(rng, rng.randint(0, 2), ["d", "e"],
+                              ["m", "n"])
+            s1 = _random_rows(rng, rng.randint(0, 2), ["a", "b"],
+                              ["m", "n"])
+            r2 = _random_rows(rng, rng.randint(0, 1), ["d"], ["t"])
+            s2 = _random_rows(rng, rng.randint(0, 3), ["a", "b"],
+                              ["t", "u"])
+            system = section31_system(r1=r1, s1=s1, r2=r2, s2=s2)
+            asp = asp_solutions_for_peer(system, "P")
+            model = solutions_for_peer(system, "P")
+            assert asp == model, (trial, r1, s1, r2, s2)
+
+    def test_minimality_filter_noop_on_paper_class(self):
+        rng = random.Random(99)
+        for _trial in range(15):
+            r1 = _random_rows(rng, rng.randint(0, 2), ["d"], ["m", "n"])
+            s1 = _random_rows(rng, rng.randint(0, 2), ["a"], ["m", "n"])
+            s2 = _random_rows(rng, rng.randint(0, 2), ["a"], ["t", "u"])
+            system = section31_system(r1=r1, s1=s1, r2=[], s2=s2)
+            filtered = asp_solutions_for_peer(system, "P",
+                                              minimal_only=True)
+            raw = asp_solutions_for_peer(system, "P", minimal_only=False)
+            assert filtered == raw

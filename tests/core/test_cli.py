@@ -1,0 +1,116 @@
+"""Unit tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.core import dump_system
+from repro.workloads import example1_system
+
+
+@pytest.fixture()
+def system_file(tmp_path):
+    path = tmp_path / "net.json"
+    dump_system(example1_system(), str(path))
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_certain_answers(self, system_file, capsys):
+        code = main(["query", system_file, "P1", "q(X, Y) := R1(X, Y)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "a, b" in out and "c, d" in out and "a, e" in out
+        assert "s, t" not in out
+
+    def test_brave_answers(self, system_file, capsys):
+        code = main(["query", system_file, "P1", "q(X, Y) := R1(X, Y)",
+                     "--brave"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "s, t" in out
+
+    def test_method_selection(self, system_file, capsys):
+        for method in ("model", "rewrite"):
+            code = main(["query", system_file, "P1",
+                         "q(X, Y) := R1(X, Y)", "--method", method])
+            assert code == 0
+            assert "a, e" in capsys.readouterr().out
+
+    def test_empty_answers_reported(self, system_file, capsys):
+        code = main(["query", system_file, "P1",
+                     "q(X, Y) := R1(zzz, Y) & R1(X, Y)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(none)" in out
+
+    def test_no_solutions_exit_code(self, tmp_path, capsys):
+        data = {
+            "peers": {
+                "P1": {"schema": {"A": 2}},
+                "P2": {"schema": {"B": 2},
+                       "instance": {"B": [["c", "d"]]}},
+            },
+            "exchanges": [
+                {"owner": "P1", "other": "P2",
+                 "constraint": {"type": "inclusion", "child": "B",
+                                "parent": "A", "child_arity": 2,
+                                "parent_arity": 2}},
+                {"owner": "P1", "other": "P2",
+                 "constraint": {"type": "denial",
+                                "antecedent": ["A(X, Y)", "B(X, Y)"]}},
+            ],
+            "trust": [["P1", "less", "P2"]],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        code = main(["query", str(path), "P1", "q(X, Y) := A(X, Y)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NO solutions" in out
+
+
+class TestSolutionsCommand:
+    def test_direct(self, system_file, capsys):
+        code = main(["solutions", system_file, "P1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 direct solution(s)" in out
+
+    def test_transitive(self, tmp_path, capsys):
+        from repro.workloads import example4_system
+        path = tmp_path / "ex4.json"
+        dump_system(example4_system(), str(path))
+        code = main(["solutions", str(path), "P", "--transitive"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 global solution(s)" in out
+
+
+class TestReportAndExamples:
+    def test_report_runs_every_experiment(self, capsys):
+        code = main(["report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for marker in ("EX1", "EX6", "SC1", "SC5"):
+            assert marker in out
+
+    def test_examples_run(self, capsys):
+        code = main(["examples"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Solutions for P1" in out
+        assert "certified catalog" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "x.json", "P", "q() := true",
+                 "--method", "quantum"])

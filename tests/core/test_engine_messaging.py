@@ -1,0 +1,96 @@
+"""Unit tests for the engine façade and the exchange log."""
+
+import pytest
+
+from repro.core import (
+    ExchangeEvent,
+    ExchangeLog,
+    P2PError,
+    PeerConsistentEngine,
+)
+from repro.relational import parse_query
+from repro.workloads import example1_system, section31_system
+
+QUERY = parse_query("q(X, Y) := R1(X, Y)")
+EXPECTED = {("a", "b"), ("c", "d"), ("a", "e")}
+
+
+class TestEngineMethods:
+    @pytest.mark.parametrize("method", ["model", "asp", "rewrite"])
+    def test_methods_agree_on_example1(self, method):
+        engine = PeerConsistentEngine(example1_system(), method=method)
+        result = engine.peer_consistent_answers("P1", QUERY)
+        assert set(result.answers) == EXPECTED
+
+    def test_lav_method_solutions(self):
+        engine = PeerConsistentEngine(section31_system(), method="lav")
+        assert len(engine.solutions("P")) == 3
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(P2PError):
+            PeerConsistentEngine(example1_system(), method="quantum")
+
+    def test_transitive_requires_asp(self):
+        with pytest.raises(P2PError):
+            PeerConsistentEngine(example1_system(), method="rewrite",
+                                 transitive=True)
+
+    def test_compare_methods(self):
+        engine = PeerConsistentEngine(example1_system())
+        results = engine.compare_methods("P1", QUERY,
+                                         methods=("model", "asp",
+                                                  "rewrite"))
+        assert results["model"] == results["asp"] == results["rewrite"] \
+            == EXPECTED
+
+    def test_transitive_engine(self):
+        from repro.workloads import example4_system
+        engine = PeerConsistentEngine(example4_system(), method="asp",
+                                      transitive=True)
+        assert len(engine.solutions("P")) == 3
+
+    def test_solutions_model_vs_asp(self):
+        system = example1_system()
+        model = PeerConsistentEngine(system, method="model")
+        asp = PeerConsistentEngine(system, method="asp")
+        assert model.solutions("P1") == asp.solutions("P1")
+
+
+class TestAspExchangeLogging:
+    def test_asp_route_logs_neighbour_fetches(self):
+        from repro.core import asp_solutions_for_peer
+        system = example1_system()
+        asp_solutions_for_peer(system, "P1")
+        fetched = {(e.provider, e.relation)
+                   for e in system.exchange_log.events("P1")}
+        assert fetched == {("P2", "R2"), ("P3", "R3")}
+        assert all(e.purpose == "asp specification"
+                   for e in system.exchange_log.events("P1"))
+
+
+class TestExchangeLog:
+    def test_record_and_query(self):
+        log = ExchangeLog()
+        log.record("P1", "P2", "R2", 5, purpose="import")
+        log.record("P1", "P3", "R3", 2)
+        log.record("P2", "P3", "R3", 2)
+        assert len(log) == 3
+        assert len(log.events("P1")) == 2
+        assert log.total_tuples() == 9
+
+    def test_local_reads_skipped(self):
+        log = ExchangeLog()
+        log.record("P1", "P1", "R1", 10)
+        assert len(log) == 0
+
+    def test_clear(self):
+        log = ExchangeLog()
+        log.record("P1", "P2", "R2", 1)
+        log.clear()
+        assert len(log) == 0
+
+    def test_event_rendering(self):
+        event = ExchangeEvent("P1", "P2", "R2", 5, "import")
+        assert "P1 <- P2" in str(event)
+        assert "5 tuples" in str(event)
+        assert "import" in str(event)

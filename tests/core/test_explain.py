@@ -1,0 +1,88 @@
+"""Unit tests for answer certification / explanations."""
+
+import pytest
+
+from repro.core import (
+    AnswerExplanation,
+    QueryScopeError,
+    explain_answer,
+    explain_query,
+    peer_consistent_answers,
+    possible_peer_answers,
+)
+from repro.relational import Fact, parse_query
+from repro.workloads import example1_system
+
+QUERY = parse_query("q(X, Y) := R1(X, Y)")
+
+
+class TestExplainAnswer:
+    def test_certain_tuple(self):
+        explanation = explain_answer(example1_system(), "P1", QUERY,
+                                     ("c", "d"))
+        assert explanation.status == AnswerExplanation.CERTAIN
+        assert explanation.supporting_solutions == \
+            explanation.total_solutions == 2
+        assert explanation.countersolution is None
+        assert "CERTAIN" in explanation.render()
+
+    def test_possible_tuple_has_countersolution(self):
+        explanation = explain_answer(example1_system(), "P1", QUERY,
+                                     ("s", "t"))
+        assert explanation.status == AnswerExplanation.POSSIBLE
+        assert explanation.supporting_solutions == 1
+        counter = explanation.countersolution
+        assert counter is not None
+        assert Fact("R1", ("s", "t")) not in counter
+        assert "countersolution" in explanation.render()
+
+    def test_absent_tuple(self):
+        explanation = explain_answer(example1_system(), "P1", QUERY,
+                                     ("zz", "zz"))
+        assert explanation.status == AnswerExplanation.ABSENT
+        assert explanation.supporting_solutions == 0
+
+    def test_no_solutions_status(self):
+        from tests.core.test_failure_modes import \
+            TestContradictorySystems
+        system = TestContradictorySystems().make_pinned_contradiction()
+        explanation = explain_answer(
+            system, "P1", parse_query("q(X, Y) := A(X, Y)"), ("c", "d"))
+        assert explanation.status == AnswerExplanation.NO_SOLUTIONS
+        assert "no solutions" in explanation.render()
+
+    def test_query_scope_enforced(self):
+        with pytest.raises(QueryScopeError):
+            explain_answer(example1_system(), "P1",
+                           parse_query("q(X, Y) := R2(X, Y)"), ("c", "d"))
+
+
+class TestExplainQuery:
+    def test_partitions_possible_answers(self):
+        system = example1_system()
+        explanations = explain_query(system, "P1", QUERY)
+        by_status = {}
+        for explanation in explanations:
+            by_status.setdefault(explanation.status,
+                                 set()).add(explanation.tuple)
+        certain = set(peer_consistent_answers(system, "P1",
+                                              QUERY).answers)
+        possible = set(possible_peer_answers(system, "P1",
+                                             QUERY).answers)
+        assert by_status[AnswerExplanation.CERTAIN] == certain
+        assert by_status.get(AnswerExplanation.POSSIBLE, set()) == \
+            possible - certain
+        # explain_query only lists tuples holding somewhere
+        assert AnswerExplanation.ABSENT not in by_status
+
+    def test_certain_first_ordering(self):
+        explanations = explain_query(example1_system(), "P1", QUERY)
+        statuses = [e.status for e in explanations]
+        if AnswerExplanation.POSSIBLE in statuses:
+            assert statuses.index(AnswerExplanation.POSSIBLE) > \
+                statuses.index(AnswerExplanation.CERTAIN)
+
+    def test_counts_consistent(self):
+        for explanation in explain_query(example1_system(), "P1", QUERY):
+            assert 0 < explanation.supporting_solutions <= \
+                explanation.total_solutions == 2

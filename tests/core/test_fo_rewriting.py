@@ -1,0 +1,126 @@
+"""Unit tests for the P2P FO rewriting beyond the paper's instance:
+fragment boundaries and randomized cross-validation against Definition 5."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    PeerQueryRewriter,
+    RewritingNotSupported,
+    answers_via_rewriting,
+    peer_consistent_answers,
+    rewrite_peer_query,
+)
+from repro.relational import parse_query
+from repro.workloads import example1_system
+
+
+class TestFragmentBoundaries:
+    def test_same_trust_inclusion_rejected(self):
+        from repro.core import (DataExchange, Peer, PeerSystem,
+                                TrustRelation)
+        from repro.relational import (DatabaseInstance, DatabaseSchema,
+                                      InclusionDependency)
+        p = Peer("P", DatabaseSchema.of({"A": 2}))
+        q = Peer("Q", DatabaseSchema.of({"B": 2}))
+        system = PeerSystem(
+            [p, q],
+            {"P": DatabaseInstance(p.schema),
+             "Q": DatabaseInstance(q.schema)},
+            [DataExchange("P", "Q", InclusionDependency(
+                "B", "A", child_arity=2, parent_arity=2))],
+            TrustRelation([("P", "same", "Q")]))
+        with pytest.raises(RewritingNotSupported):
+            rewrite_peer_query(system, "P", parse_query("q(X,Y) := A(X,Y)"))
+
+    def test_negation_in_query_rejected(self):
+        system = example1_system()
+        with pytest.raises(RewritingNotSupported):
+            rewrite_peer_query(system, "P1",
+                               parse_query("q(X, Y) := ~R1(X, Y)"))
+
+    def test_untrusted_decs_simply_ignored(self):
+        # drop the trust edges: no DECs are trusted, the query rewrites
+        # to itself
+        from repro.core import PeerSystem, TrustRelation
+        base = example1_system()
+        system = PeerSystem(base.peers.values(), base.instances,
+                            base.exchanges, TrustRelation())
+        query = parse_query("q(X, Y) := R1(X, Y)")
+        rewritten = rewrite_peer_query(system, "P1", query)
+        assert rewritten.formula == query.formula
+
+    def test_query_scope_still_enforced(self):
+        from repro.core import QueryScopeError
+        system = example1_system()
+        with pytest.raises(QueryScopeError):
+            rewrite_peer_query(system, "P1",
+                               parse_query("q(X, Y) := R3(X, Y)"))
+
+
+class TestQueryShapes:
+    def test_projection_query(self):
+        system = example1_system()
+        query = parse_query("q(X) := exists Y R1(X, Y)")
+        rewriting = answers_via_rewriting(system, "P1", query)
+        model = peer_consistent_answers(system, "P1", query)
+        assert rewriting == set(model.answers)
+
+    def test_conjunctive_self_join(self):
+        system = example1_system()
+        query = parse_query(
+            "q(X, Y, Z) := R1(X, Y) & R1(X, Z) & Y != Z")
+        rewriting = answers_via_rewriting(system, "P1", query)
+        model = peer_consistent_answers(system, "P1", query)
+        assert rewriting == set(model.answers)
+
+    def test_union_query(self):
+        system = example1_system()
+        query = parse_query("q(X, Y) := R1(X, Y) | R1(Y, X)")
+        rewriting = answers_via_rewriting(system, "P1", query)
+        model = peer_consistent_answers(system, "P1", query)
+        assert rewriting == set(model.answers)
+
+    def test_constant_query(self):
+        system = example1_system()
+        query = parse_query("q(Y) := R1(a, Y)")
+        rewriting = answers_via_rewriting(system, "P1", query)
+        model = peer_consistent_answers(system, "P1", query)
+        assert rewriting == set(model.answers)
+
+
+def _random_example1_instances(rng):
+    keys = ["a", "s", "k"]
+    values = ["b", "e", "f", "t"]
+    def rows(n):
+        return list({(rng.choice(keys), rng.choice(values))
+                     for _ in range(n)})
+    return (rows(rng.randint(0, 3)), rows(rng.randint(0, 2)),
+            rows(rng.randint(0, 2)))
+
+
+class TestRandomizedCrossValidation:
+    """Rewriting == Definition 5 on 40 random Example-1-shaped systems."""
+
+    def test_random_instances(self):
+        rng = random.Random(20040120)
+        query = parse_query("q(X, Y) := R1(X, Y)")
+        for trial in range(40):
+            r1, r2, r3 = _random_example1_instances(rng)
+            system = example1_system(r1=r1, r2=r2, r3=r3)
+            rewriting = answers_via_rewriting(system, "P1", query)
+            model = peer_consistent_answers(system, "P1", query)
+            if model.no_solutions:
+                continue
+            assert rewriting == set(model.answers), \
+                (trial, r1, r2, r3, rewriting, sorted(model.answers))
+
+
+class TestRewriterReuse:
+    def test_rewriter_handles_multiple_queries(self):
+        system = example1_system()
+        rewriter = PeerQueryRewriter(system, "P1")
+        q1 = rewriter.rewrite(parse_query("q(X, Y) := R1(X, Y)"))
+        q2 = rewriter.rewrite(parse_query("q(X) := exists Y R1(X, Y)"))
+        assert q1.arity == 2 and q2.arity == 1

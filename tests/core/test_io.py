@@ -1,0 +1,166 @@
+"""Unit tests for declarative (JSON) system definitions."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    SystemError_,
+    constraint_from_dict,
+    constraint_to_dict,
+    dump_system,
+    load_system,
+    peer_consistent_answers,
+    solutions_for_peer,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.relational import (
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyConstraint,
+    TupleGeneratingConstraint,
+    parse_query,
+)
+from repro.workloads import example1_system, example4_system, \
+    section31_system
+
+EXAMPLE1_DICT = {
+    "peers": {
+        "P1": {"schema": {"R1": 2},
+               "instance": {"R1": [["a", "b"], ["s", "t"]]}},
+        "P2": {"schema": {"R2": 2},
+               "instance": {"R2": [["c", "d"], ["a", "e"]]}},
+        "P3": {"schema": {"R3": 2},
+               "instance": {"R3": [["a", "f"], ["s", "u"]]}},
+    },
+    "exchanges": [
+        {"owner": "P1", "other": "P2",
+         "constraint": {"type": "inclusion", "child": "R2",
+                        "parent": "R1", "child_arity": 2,
+                        "parent_arity": 2}},
+        {"owner": "P1", "other": "P3",
+         "constraint": {"type": "egd",
+                        "antecedent": ["R1(X, Y)", "R3(X, Z)"],
+                        "equalities": [["Y", "Z"]]}},
+    ],
+    "trust": [["P1", "less", "P2"], ["P1", "same", "P3"]],
+}
+
+
+class TestSystemFromDict:
+    def test_example1_from_dict_behaves_like_fixture(self):
+        system = system_from_dict(EXAMPLE1_DICT)
+        query = parse_query("q(X, Y) := R1(X, Y)")
+        result = peer_consistent_answers(system, "P1", query)
+        assert set(result.answers) == {("a", "b"), ("c", "d"),
+                                       ("a", "e")}
+
+    def test_solutions_match_fixture(self):
+        from_dict = solutions_for_peer(system_from_dict(EXAMPLE1_DICT),
+                                       "P1")
+        from_fixture = solutions_for_peer(example1_system(), "P1")
+        assert [s.facts() for s in from_dict] == \
+            [s.facts() for s in from_fixture]
+
+    def test_local_ics_parsed_and_enforced(self):
+        data = {
+            "peers": {"P": {
+                "schema": {"A": 2},
+                "instance": {"A": [["k", "v1"], ["k", "v2"]]},
+                "local_ics": [{"type": "fd", "relation": "A",
+                               "lhs": [0], "rhs": [1], "arity": 2}]}},
+        }
+        with pytest.raises(SystemError_):
+            system_from_dict(data)
+        system = system_from_dict(data, enforce_local_ics=False)
+        assert len(system.peer("P").local_ics) == 1
+
+    def test_unknown_constraint_type(self):
+        with pytest.raises(SystemError_):
+            constraint_from_dict({"type": "quantum"})
+
+    def test_bad_atom_rejected(self):
+        with pytest.raises(SystemError_):
+            constraint_from_dict({"type": "denial",
+                                  "antecedent": ["X != Y"]})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [example1_system,
+                                         section31_system,
+                                         example4_system])
+    def test_system_round_trip(self, factory):
+        system = factory()
+        data = system_to_dict(system)
+        rebuilt = system_from_dict(data)
+        assert rebuilt.global_instance() == system.global_instance()
+        assert system_to_dict(rebuilt) == data
+        # semantics preserved: same solutions for every peer with DECs
+        for peer in system.peers:
+            if system.trusted_decs_of(peer):
+                assert [s.facts()
+                        for s in solutions_for_peer(rebuilt, peer)] == \
+                    [s.facts() for s in solutions_for_peer(system, peer)]
+
+    def test_json_serialisable(self):
+        text = json.dumps(system_to_dict(example1_system()))
+        rebuilt = system_from_dict(json.loads(text))
+        assert rebuilt.global_instance() == \
+            example1_system().global_instance()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "network.json"
+        dump_system(example1_system(), str(path))
+        system = load_system(str(path))
+        assert system.global_instance() == \
+            example1_system().global_instance()
+
+
+class TestConstraintRoundTrip:
+    CONSTRAINTS = [
+        InclusionDependency("R2", "R1", child_arity=2, parent_arity=2,
+                            name="ind"),
+        InclusionDependency("R2", "R1", child_positions=[0],
+                            parent_positions=[1], child_arity=2,
+                            parent_arity=2, name="proj_ind"),
+        FunctionalDependency("R1", [0], [1], arity=2, name="fd"),
+        KeyConstraint("R1", [0], arity=2, name="key"),
+    ]
+
+    @pytest.mark.parametrize("constraint", CONSTRAINTS,
+                             ids=lambda c: c.name)
+    def test_named_round_trip(self, constraint):
+        data = constraint_to_dict(constraint)
+        rebuilt = constraint_from_dict(data)
+        assert constraint_to_dict(rebuilt) == data
+
+    def test_tgd_round_trip_semantics(self):
+        from repro.workloads import section31_dec, appendix_instance
+        dec = section31_dec()
+        rebuilt = constraint_from_dict(constraint_to_dict(dec))
+        instance = appendix_instance()
+        assert rebuilt.holds_in(instance) == dec.holds_in(instance)
+        assert len(rebuilt.violations(instance)) == \
+            len(dec.violations(instance))
+
+    def test_egd_round_trip_semantics(self):
+        from repro.workloads.paper import sigma_p1_p3
+        from repro.workloads import example1_system
+        egd = sigma_p1_p3()
+        rebuilt = constraint_from_dict(constraint_to_dict(egd))
+        instance = example1_system().global_instance()
+        assert len(rebuilt.violations(instance)) == \
+            len(egd.violations(instance)) == 2
+
+    def test_denial_round_trip(self):
+        from repro.relational import RelAtom, Variable, Cmp
+        X = Variable("X")
+        denial = DenialConstraint(
+            antecedent=[RelAtom("R1", [X, X])],
+            conditions=[Cmp("!=", X, "ok")], name="no_diag")
+        data = constraint_to_dict(denial)
+        rebuilt = constraint_from_dict(data)
+        assert constraint_to_dict(rebuilt) == data

@@ -1,0 +1,63 @@
+"""Unit tests for the brave counterpart of Definition 5."""
+
+from repro.core import (
+    peer_consistent_answers,
+    possible_peer_answers,
+)
+from repro.relational import parse_query
+from repro.workloads import example1_system, section31_system
+
+QUERY = parse_query("q(X, Y) := R1(X, Y)")
+
+
+class TestPossiblePeerAnswers:
+    def test_bracket_certain_answers(self):
+        system = example1_system()
+        certain = peer_consistent_answers(system, "P1", QUERY)
+        possible = possible_peer_answers(system, "P1", QUERY)
+        assert certain.answers <= possible.answers
+
+    def test_example1_possible_answers(self):
+        system = example1_system()
+        possible = possible_peer_answers(system, "P1", QUERY)
+        # R1(s,t) survives only in solution r': possible but not certain
+        assert ("s", "t") in possible.answers
+        assert possible.answers == {("a", "b"), ("a", "e"), ("c", "d"),
+                                    ("s", "t")}
+
+    def test_disputed_values_are_possible(self):
+        system = section31_system()
+        query = parse_query("q(X, Y) := R2(X, Y)")
+        possible = possible_peer_answers(system, "P", query)
+        certain = peer_consistent_answers(system, "P", query)
+        assert possible.answers == {("a", "e"), ("a", "f")}
+        assert certain.answers == set()
+
+    def test_consistent_system_certain_equals_possible(self):
+        system = example1_system(r1=[("a", "b")], r2=[("a", "b")],
+                                 r3=[("a", "b")])
+        certain = peer_consistent_answers(system, "P1", QUERY)
+        possible = possible_peer_answers(system, "P1", QUERY)
+        assert certain.answers == possible.answers
+
+    def test_no_solutions_empty_both_ways(self):
+        from tests.core.test_failure_modes import \
+            TestContradictorySystems
+        system = TestContradictorySystems().make_pinned_contradiction()
+        query = parse_query("q(X, Y) := A(X, Y)")
+        possible = possible_peer_answers(system, "P1", query)
+        assert possible.no_solutions and possible.answers == set()
+
+    def test_matches_brave_answer_set_semantics(self):
+        """Brave PCA == brave answers of the query program over the
+        specification (the answer-set counterpart)."""
+        from repro.core import GavSpecification
+        from repro.workloads import appendix_instance, section31_dec
+        system = section31_system()
+        spec = GavSpecification(appendix_instance(), [section31_dec()],
+                                changeable={"R1", "R2"})
+        query = parse_query("q(X, Y) := R2(X, Y)")
+        brave_program = spec.query_program_answers(query,
+                                                   skeptical=False)
+        brave_solutions = possible_peer_answers(system, "P", query)
+        assert brave_program == brave_solutions.answers

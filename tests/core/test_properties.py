@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the P2P solution semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import solutions_for_peer
+from repro.core.asp_gav import asp_solutions_for_peer
+from repro.workloads import example1_system, section31_system
+
+keys = st.sampled_from(["a", "s", "k"])
+values = st.sampled_from(["b", "e", "f", "u"])
+pair_rows = st.lists(st.tuples(keys, values),
+                     max_size=3).map(lambda rs: list(set(rs)))
+
+
+@st.composite
+def example1_instances(draw):
+    return (draw(pair_rows), draw(pair_rows), draw(pair_rows))
+
+
+@settings(max_examples=40, deadline=None)
+@given(example1_instances())
+def test_solutions_satisfy_trusted_decs(data):
+    r1, r2, r3 = data
+    system = example1_system(r1=r1, r2=r2, r3=r3)
+    for solution in solutions_for_peer(system, "P1"):
+        for exchange in system.trusted_decs_of("P1"):
+            assert exchange.constraint.holds_in(solution)
+
+
+@settings(max_examples=40, deadline=None)
+@given(example1_instances())
+def test_solutions_fix_less_trusted_and_foreign_relations(data):
+    r1, r2, r3 = data
+    system = example1_system(r1=r1, r2=r2, r3=r3)
+    original = system.global_instance()
+    for solution in solutions_for_peer(system, "P1"):
+        # condition (b)+(c2): the less-trusted P2 never changes
+        assert solution.tuples("R2") == original.tuples("R2")
+
+
+@settings(max_examples=40, deadline=None)
+@given(example1_instances())
+def test_solution_deltas_touch_extended_schema_only(data):
+    r1, r2, r3 = data
+    system = example1_system(r1=r1, r2=r2, r3=r3)
+    original = system.global_instance()
+    allowed = set(system.extended_schema_names("P1"))
+    for solution in solutions_for_peer(system, "P1"):
+        for fact in solution.delta(original):
+            assert fact.relation in allowed
+
+
+@settings(max_examples=30, deadline=None)
+@given(example1_instances())
+def test_asp_route_equals_reference(data):
+    r1, r2, r3 = data
+    system = example1_system(r1=r1, r2=r2, r3=r3)
+    assert asp_solutions_for_peer(system, "P1") == \
+        solutions_for_peer(system, "P1")
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair_rows, pair_rows, pair_rows)
+def test_section31_asp_equals_reference(r1, s1, s2):
+    system = section31_system(r1=r1, s1=s1, r2=[], s2=s2)
+    assert asp_solutions_for_peer(system, "P") == \
+        solutions_for_peer(system, "P")
+
+
+@settings(max_examples=30, deadline=None)
+@given(example1_instances())
+def test_stage2_deltas_minimal_among_solutions(data):
+    """No solution's stage-2 change set strictly contains another's
+    (within a shared stage-1 repair, Δ-minimality; across them we still
+    check pairwise incomparability of total Δs on this DEC class)."""
+    r1, r2, r3 = data
+    system = example1_system(r1=r1, r2=r2, r3=r3)
+    original = system.global_instance()
+    deltas = [s.delta(original) for s in solutions_for_peer(system, "P1")]
+    for i, first in enumerate(deltas):
+        for second in deltas[i + 1:]:
+            assert not (first < second or second < first)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair_rows)
+def test_pca_monotone_in_solutions(r1):
+    """PCAs are the intersection over solutions: any one solution's
+    answer set contains them."""
+    from repro.core import peer_consistent_answers
+    from repro.relational import parse_query
+    system = example1_system(r1=r1)
+    query = parse_query("q(X, Y) := R1(X, Y)")
+    result = peer_consistent_answers(system, "P1", query)
+    for solution in solutions_for_peer(system, "P1"):
+        restricted = system.restrict_to_peer(solution, "P1")
+        assert result.answers <= query.answers(restricted)

@@ -1,0 +1,204 @@
+"""Unit tests for the P2P system model (Definitions 2-3)."""
+
+import pytest
+
+from repro.core import (
+    DataExchange,
+    Peer,
+    PeerSystem,
+    QueryScopeError,
+    SystemError_,
+    TrustRelation,
+)
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    Fact,
+    FunctionalDependency,
+    InclusionDependency,
+    parse_query,
+)
+from repro.workloads import example1_system
+
+
+def two_peer_parts():
+    p = Peer("P", DatabaseSchema.of({"A": 2}))
+    q = Peer("Q", DatabaseSchema.of({"B": 2}))
+    instances = {
+        "P": DatabaseInstance(p.schema, {"A": [("a", "b")]}),
+        "Q": DatabaseInstance(q.schema, {"B": [("c", "d")]}),
+    }
+    dec = DataExchange("P", "Q", InclusionDependency(
+        "B", "A", child_arity=2, parent_arity=2, name="imp"))
+    return p, q, instances, dec
+
+
+class TestPeer:
+    def test_local_ic_scope_validated(self):
+        fd = FunctionalDependency("Zorro", [0], [1], arity=2)
+        with pytest.raises(SystemError_):
+            Peer("P", DatabaseSchema.of({"A": 2}), local_ics=[fd])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SystemError_):
+            Peer("", DatabaseSchema.of({"A": 2}))
+
+
+class TestSystemConstruction:
+    def test_basic(self):
+        p, q, instances, dec = two_peer_parts()
+        system = PeerSystem([p, q], instances, [dec],
+                            TrustRelation([("P", "less", "Q")]))
+        assert set(system.peers) == {"P", "Q"}
+
+    def test_duplicate_peer_rejected(self):
+        p, q, instances, dec = two_peer_parts()
+        with pytest.raises(SystemError_):
+            PeerSystem([p, p], instances)
+
+    def test_missing_instance_defaults_empty(self):
+        p, q, _instances, _dec = two_peer_parts()
+        system = PeerSystem([p, q], {})
+        assert system.instances["P"].is_empty()
+
+    def test_instance_schema_mismatch(self):
+        p, q, instances, _dec = two_peer_parts()
+        instances["P"] = DatabaseInstance(q.schema)
+        with pytest.raises(SystemError_):
+            PeerSystem([p, q], instances)
+
+    def test_overlapping_schemas_rejected(self):
+        p = Peer("P", DatabaseSchema.of({"A": 2}))
+        q = Peer("Q", DatabaseSchema.of({"A": 2}))
+        with pytest.raises(SystemError_):
+            PeerSystem([p, q], {})
+
+    def test_dec_unknown_peer(self):
+        p, q, instances, _dec = two_peer_parts()
+        stray = DataExchange("P", "Z", InclusionDependency(
+            "B", "A", child_arity=2, parent_arity=2))
+        with pytest.raises(SystemError_):
+            PeerSystem([p, q], instances, [stray])
+
+    def test_dec_foreign_relation(self):
+        p, q, instances, _dec = two_peer_parts()
+        r = Peer("R", DatabaseSchema.of({"C": 2}))
+        bad = DataExchange("P", "Q", InclusionDependency(
+            "C", "A", child_arity=2, parent_arity=2))
+        with pytest.raises(SystemError_):
+            PeerSystem([p, q, r], instances, [bad])
+
+    def test_dec_same_peer_rejected(self):
+        with pytest.raises(SystemError_):
+            DataExchange("P", "P", InclusionDependency(
+                "B", "A", child_arity=2, parent_arity=2))
+
+    def test_trust_unknown_peer(self):
+        p, q, instances, dec = two_peer_parts()
+        with pytest.raises(SystemError_):
+            PeerSystem([p, q], instances, [dec],
+                       TrustRelation([("P", "less", "Z")]))
+
+    def test_local_ic_enforced_on_construction(self):
+        fd = FunctionalDependency("A", [0], [1], arity=2)
+        p = Peer("P", DatabaseSchema.of({"A": 2}), local_ics=[fd])
+        bad = {"P": DatabaseInstance(p.schema,
+                                     {"A": [("k", "1"), ("k", "2")]})}
+        with pytest.raises(SystemError_):
+            PeerSystem([p], bad)
+        # the escape hatch of footnote 1
+        PeerSystem([p], bad, enforce_local_ics=False)
+
+
+class TestDerivedNotions:
+    def test_global_instance(self):
+        system = example1_system()
+        global_instance = system.global_instance()
+        assert global_instance.size() == 6
+        assert Fact("R1", ("a", "b")) in global_instance
+        assert Fact("R3", ("s", "u")) in global_instance
+
+    def test_owner_of(self):
+        system = example1_system()
+        assert system.owner_of("R1") == "P1"
+        assert system.owner_of("R3") == "P3"
+        with pytest.raises(SystemError_):
+            system.owner_of("R9")
+
+    def test_decs_of(self):
+        system = example1_system()
+        assert len(system.decs_of("P1")) == 2
+        assert system.decs_of("P2") == ()
+
+    def test_trusted_decs_filtering(self):
+        from repro.core import TrustLevel
+        system = example1_system()
+        less = system.trusted_decs_of("P1", TrustLevel.LESS)
+        same = system.trusted_decs_of("P1", TrustLevel.SAME)
+        assert [d.other for d in less] == ["P2"]
+        assert [d.other for d in same] == ["P3"]
+
+    def test_untrusted_decs_ignored(self):
+        p, q, instances, dec = two_peer_parts()
+        system = PeerSystem([p, q], instances, [dec])  # no trust edge
+        assert system.trusted_decs_of("P") == ()
+
+    def test_extended_schema(self):
+        system = example1_system()
+        assert system.extended_schema_names("P1") == ("R1", "R2", "R3")
+        assert system.extended_schema_names("P2") == ("R2",)
+
+    def test_neighbours(self):
+        system = example1_system()
+        assert system.neighbours("P1") == ("P2", "P3")
+
+    def test_restrict_to_peer(self):
+        system = example1_system()
+        restricted = system.restrict_to_peer(system.global_instance(),
+                                             "P1")
+        assert set(restricted.schema.names) == {"R1"}
+        assert restricted.size() == 2
+
+
+class TestQueryScope:
+    def test_own_relations_allowed(self):
+        system = example1_system()
+        system.validate_query_scope("P1", parse_query("q(X,Y) := R1(X,Y)"))
+
+    def test_foreign_relations_rejected(self):
+        system = example1_system()
+        with pytest.raises(QueryScopeError):
+            system.validate_query_scope("P1",
+                                        parse_query("q(X,Y) := R2(X,Y)"))
+
+
+class TestExchange:
+    def test_fetch_logs_cross_peer_requests(self):
+        system = example1_system()
+        tuples = system.fetch_relation("P1", "R2", purpose="test")
+        assert tuples == frozenset({("c", "d"), ("a", "e")})
+        events = system.exchange_log.events("P1")
+        assert len(events) == 1
+        assert events[0].provider == "P2"
+        assert events[0].tuples_transferred == 2
+
+    def test_local_reads_not_logged(self):
+        system = example1_system()
+        system.fetch_relation("P1", "R1")
+        assert len(system.exchange_log) == 0
+
+
+class TestWithGlobalInstance:
+    def test_roundtrip(self):
+        system = example1_system()
+        clone = system.with_global_instance(system.global_instance())
+        assert clone.global_instance() == system.global_instance()
+
+    def test_split_by_ownership(self):
+        system = example1_system()
+        modified = system.global_instance().without_facts(
+            [Fact("R3", ("a", "f"))])
+        clone = system.with_global_instance(modified)
+        assert clone.instances["P3"].tuples("R3") == frozenset(
+            {("s", "u")})
+        assert clone.instances["P1"] == system.instances["P1"]

@@ -1,0 +1,67 @@
+"""Unit tests for the trust relation (Definition 2(f))."""
+
+import pytest
+
+from repro.core import TrustError, TrustLevel, TrustRelation
+
+
+class TestConstruction:
+    def test_from_string_levels(self):
+        trust = TrustRelation([("A", "less", "B"), ("A", "same", "C")])
+        assert trust.level("A", "B") is TrustLevel.LESS
+        assert trust.level("A", "C") is TrustLevel.SAME
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(TrustError):
+            TrustRelation([("A", "more", "B")])
+
+    def test_self_trust_rejected(self):
+        with pytest.raises(TrustError):
+            TrustRelation([("A", "less", "A")])
+
+    def test_functional_dependency_enforced(self):
+        # Definition 2(f): the level functionally depends on the pair
+        with pytest.raises(TrustError):
+            TrustRelation([("A", "less", "B"), ("A", "same", "B")])
+
+    def test_duplicate_consistent_edge_ok(self):
+        trust = TrustRelation([("A", "less", "B"), ("A", "less", "B")])
+        assert len(trust) == 1
+
+
+class TestQueries:
+    def setup_method(self):
+        self.trust = TrustRelation([
+            ("A", "less", "B"), ("A", "same", "C"), ("B", "less", "C")])
+
+    def test_missing_edge_is_none(self):
+        assert self.trust.level("A", "Z") is None
+        assert self.trust.level("B", "A") is None  # not symmetric
+
+    def test_predicates(self):
+        assert self.trust.trusts_less("A", "B")
+        assert not self.trust.trusts_less("A", "C")
+        assert self.trust.trusts_same("A", "C")
+        assert self.trust.trusts_at_least_same("A", "B")
+        assert not self.trust.trusts_at_least_same("C", "A")
+
+    def test_peers_trusted_by(self):
+        assert self.trust.peers_trusted_by("A") == ["B", "C"]
+        assert self.trust.peers_trusted_by("A", TrustLevel.LESS) == ["B"]
+        assert self.trust.peers_trusted_by("Z") == []
+
+    def test_edges_sorted(self):
+        edges = list(self.trust.edges())
+        assert edges == [("A", TrustLevel.LESS, "B"),
+                         ("A", TrustLevel.SAME, "C"),
+                         ("B", TrustLevel.LESS, "C")]
+
+    def test_equality_and_hash(self):
+        clone = TrustRelation([
+            ("B", "less", "C"), ("A", "same", "C"), ("A", "less", "B")])
+        assert clone == self.trust
+        assert hash(clone) == hash(self.trust)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            self.trust.x = 1

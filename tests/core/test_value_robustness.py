@@ -1,0 +1,122 @@
+"""End-to-end robustness: non-identifier strings and integers as data.
+
+Database values flow through instances, constraint matching, the ASP
+facts/decode round-trip, FO evaluation, and JSON serialisation; none of
+those layers may assume values are parser-friendly identifiers.
+"""
+
+import pytest
+
+from repro.core import (
+    DataExchange,
+    Peer,
+    PeerSystem,
+    TrustRelation,
+    asp_solutions_for_peer,
+    peer_consistent_answers,
+    solutions_for_peer,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    InclusionDependency,
+    EqualityGeneratingConstraint,
+    RelAtom,
+    Variable,
+    parse_query,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+SPACEY = "New York City"
+QUOTED = 'say "hi"'
+NUMBER = 42
+
+
+def make_system():
+    p1 = Peer("P1", DatabaseSchema.of({"A": 2}))
+    p2 = Peer("P2", DatabaseSchema.of({"B": 2}))
+    p3 = Peer("P3", DatabaseSchema.of({"C": 2}))
+    instances = {
+        "P1": DatabaseInstance(p1.schema, {"A": [(SPACEY, NUMBER)]}),
+        "P2": DatabaseInstance(p2.schema, {"B": [(QUOTED, 7)]}),
+        "P3": DatabaseInstance(p3.schema, {"C": [(SPACEY, 13)]}),
+    }
+    exchanges = [
+        DataExchange("P1", "P2", InclusionDependency(
+            "B", "A", child_arity=2, parent_arity=2, name="imp")),
+        DataExchange("P1", "P3", EqualityGeneratingConstraint(
+            antecedent=[RelAtom("A", [X, Y]), RelAtom("C", [X, Z])],
+            equalities=[(Y, Z)], name="conflict")),
+    ]
+    trust = TrustRelation([("P1", "less", "P2"), ("P1", "same", "P3")])
+    return PeerSystem([p1, p2, p3], instances, exchanges, trust)
+
+
+class TestModelTheoretic:
+    def test_solutions_with_exotic_values(self):
+        solutions = solutions_for_peer(make_system(), "P1")
+        # conflict (A(SPACEY,42) vs C(SPACEY,13)): delete either side
+        assert len(solutions) == 2
+        for solution in solutions:
+            assert (QUOTED, 7) in solution.tuples("A")  # import happened
+
+    def test_pca(self):
+        result = peer_consistent_answers(
+            make_system(), "P1", parse_query("q(X, Y) := A(X, Y)"))
+        assert set(result.answers) == {(QUOTED, 7)}
+
+
+class TestAspRoute:
+    def test_asp_handles_exotic_values(self):
+        system = make_system()
+        assert asp_solutions_for_peer(system, "P1") == \
+            solutions_for_peer(system, "P1")
+
+    def test_decode_preserves_types(self):
+        system = make_system()
+        for solution in asp_solutions_for_peer(system, "P1"):
+            for (key, value) in solution.tuples("A"):
+                assert isinstance(key, str)
+                assert isinstance(value, int)
+
+    def test_int_vs_string_distinct(self):
+        """Constant(7) and Constant("7") must never unify anywhere."""
+        p1 = Peer("P1", DatabaseSchema.of({"A": 1}))
+        p2 = Peer("P2", DatabaseSchema.of({"B": 1}))
+        instances = {
+            "P1": DatabaseInstance(p1.schema, {"A": [("7",)]}),
+            "P2": DatabaseInstance(p2.schema, {"B": [(7,)]}),
+        }
+        system = PeerSystem(
+            [p1, p2], instances,
+            [DataExchange("P1", "P2", InclusionDependency(
+                "B", "A", child_arity=1, parent_arity=1))],
+            TrustRelation([("P1", "less", "P2")]))
+        (solution,) = asp_solutions_for_peer(system, "P1")
+        assert solution.tuples("A") == frozenset({("7",), (7,)})
+
+
+class TestSerialisation:
+    def test_json_round_trip_with_exotic_values(self):
+        system = make_system()
+        rebuilt = system_from_dict(system_to_dict(system))
+        assert rebuilt.global_instance() == system.global_instance()
+        assert solutions_for_peer(rebuilt, "P1") == \
+            solutions_for_peer(system, "P1")
+
+
+class TestQueryWithConstants:
+    def test_integer_constant_in_query(self):
+        system = make_system()
+        query = parse_query("q(X) := A(X, 7)")
+        result = peer_consistent_answers(system, "P1", query)
+        assert set(result.answers) == {(QUOTED,)}
+
+    def test_quoted_string_constant_in_query(self):
+        system = make_system()
+        query = parse_query('q(Y) := A("say \\"hi\\"", Y)')
+        result = peer_consistent_answers(system, "P1", query)
+        assert set(result.answers) == {(7,)}

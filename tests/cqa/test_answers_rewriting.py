@@ -1,0 +1,125 @@
+"""Unit tests for consistent answers and the residue rewriting baseline."""
+
+import pytest
+
+from repro.cqa import (
+    RewritingNotApplicable,
+    consistent_answers,
+    possible_answers,
+    rewrite_query,
+)
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    DenialConstraint,
+    FunctionalDependency,
+    RelAtom,
+    Variable,
+    parse_query,
+)
+
+X, Y = Variable("X"), Variable("Y")
+SCHEMA = DatabaseSchema.of({"R": 2, "S": 2})
+
+
+def inst(**data):
+    return DatabaseInstance(SCHEMA, data)
+
+
+class TestConsistentAnswers:
+    def test_classic_fd_example(self):
+        db = inst(R=[("a", 1), ("a", 2), ("b", 3)])
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X, Y) := R(X, Y)")
+        assert consistent_answers(db, q, [fd]) == {("b", 3)}
+
+    def test_projection_survives_conflict(self):
+        # the key value 'a' appears in every repair even though its second
+        # attribute is disputed
+        db = inst(R=[("a", 1), ("a", 2), ("b", 3)])
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X) := exists Y R(X, Y)")
+        assert consistent_answers(db, q, [fd]) == {("a",), ("b",)}
+
+    def test_possible_answers_union(self):
+        db = inst(R=[("a", 1), ("a", 2)])
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X, Y) := R(X, Y)")
+        assert possible_answers(db, q, [fd]) == {("a", 1), ("a", 2)}
+
+    def test_consistent_db_answers_unchanged(self):
+        db = inst(R=[("a", 1)])
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X, Y) := R(X, Y)")
+        assert consistent_answers(db, q, [fd]) == {("a", 1)}
+
+    def test_denial_constraint(self):
+        db = inst(R=[("a", 1)], S=[("a", 1), ("b", 2)])
+        denial = DenialConstraint(
+            antecedent=[RelAtom("R", [X, Y]), RelAtom("S", [X, Y])])
+        q = parse_query("q(X, Y) := S(X, Y)")
+        assert consistent_answers(db, q, [denial]) == {("b", 2)}
+
+
+class TestResidueRewriting:
+    def test_fd_rewriting_matches_repairs(self):
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X, Y) := R(X, Y)")
+        rewritten = rewrite_query(q, [fd])
+        for rows in ([("a", 1), ("a", 2), ("b", 3)],
+                     [("a", 1)],
+                     [("a", 1), ("a", 2), ("b", 3), ("b", 4), ("c", 5)]):
+            db = inst(R=rows)
+            assert rewritten.answers(db) == \
+                consistent_answers(db, q, [fd]), rows
+
+    def test_denial_rewriting_matches_repairs(self):
+        denial = DenialConstraint(
+            antecedent=[RelAtom("R", [X, Y]), RelAtom("S", [X, Y])])
+        q = parse_query("q(X, Y) := R(X, Y)")
+        rewritten = rewrite_query(q, [denial])
+        for r_rows, s_rows in (
+                ([("a", 1)], [("a", 1)]),
+                ([("a", 1), ("b", 2)], [("a", 1)]),
+                ([("a", 1)], [("b", 2)])):
+            db = inst(R=r_rows, S=s_rows)
+            assert rewritten.answers(db) == \
+                consistent_answers(db, q, [denial]), (r_rows, s_rows)
+
+    def test_rewriting_leaves_unrelated_atoms_alone(self):
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X, Y) := S(X, Y)")
+        rewritten = rewrite_query(q, [fd])
+        assert rewritten.formula == q.formula
+
+    def test_existential_queries_rejected(self):
+        # Naive residues under ∃ would be sound but incomplete: with the FD
+        # R:0→1 and R = {(a,1),(a,2),(b,3)}, q(X) := ∃Y R(X,Y) has the
+        # consistent answer (a,) — every repair keeps some R(a,·) — yet no
+        # single witness survives all repairs.  The rewriter refuses.
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X) := exists Y R(X, Y)")
+        with pytest.raises(RewritingNotApplicable):
+            rewrite_query(q, [fd])
+        db = inst(R=[("a", 1), ("a", 2), ("b", 3)])
+        assert consistent_answers(db, q, [fd]) == {("a",), ("b",)}
+
+    def test_unsupported_query_shape_rejected(self):
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(X, Y) := R(X, Y) | S(X, Y)")
+        with pytest.raises(RewritingNotApplicable):
+            rewrite_query(q, [fd])
+
+    def test_unsupported_constraint_rejected(self):
+        from repro.relational import InclusionDependency
+        ind = InclusionDependency("R", "S", child_arity=2, parent_arity=2)
+        q = parse_query("q(X, Y) := R(X, Y)")
+        with pytest.raises(RewritingNotApplicable):
+            rewrite_query(q, [ind])
+
+    def test_constant_in_query_unifies(self):
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        q = parse_query("q(Y) := R(a, Y)")
+        rewritten = rewrite_query(q, [fd])
+        db = inst(R=[("a", 1), ("a", 2), ("b", 3)])
+        assert rewritten.answers(db) == consistent_answers(db, q, [fd])

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the repair engine."""
+
+from itertools import chain, combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cqa import RepairProblem, repairs
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    RelAtom,
+    Variable,
+)
+
+X, Y = Variable("X"), Variable("Y")
+SCHEMA = DatabaseSchema.of({"R": 2, "P": 1, "Q": 1})
+KEYS = ["k1", "k2", "k3"]
+VALS = [1, 2, 3]
+
+fd_rows = st.lists(st.tuples(st.sampled_from(KEYS), st.sampled_from(VALS)),
+                   max_size=6).map(lambda rs: list(set(rs)))
+unary_rows = st.lists(st.tuples(st.sampled_from(KEYS)),
+                      max_size=4).map(lambda rs: list(set(rs)))
+
+FD = FunctionalDependency("R", [0], [1], arity=2)
+DENIAL = DenialConstraint(antecedent=[RelAtom("P", [X]),
+                                      RelAtom("Q", [X])])
+
+
+def brute_force_deletion_repairs(instance, constraints):
+    """Reference: deletion-only repairs by powerset enumeration."""
+    facts = sorted(instance.facts())
+    consistent = []
+    for dropped in chain.from_iterable(
+            combinations(facts, n) for n in range(len(facts) + 1)):
+        candidate = instance.without_facts(dropped)
+        if all(c.holds_in(candidate) for c in constraints):
+            consistent.append(candidate)
+    minimal = []
+    for candidate in consistent:
+        delta = candidate.delta(instance)
+        if not any(other.delta(instance) < delta
+                   for other in consistent):
+            minimal.append(candidate)
+    return sorted(set(minimal), key=str)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fd_rows)
+def test_fd_repairs_match_brute_force(rows):
+    instance = DatabaseInstance(SCHEMA, {"R": rows})
+    result = sorted(repairs(RepairProblem(instance, [FD])), key=str)
+    assert result == brute_force_deletion_repairs(instance, [FD])
+
+
+@settings(max_examples=60, deadline=None)
+@given(unary_rows, unary_rows)
+def test_denial_repairs_match_brute_force(p_rows, q_rows):
+    instance = DatabaseInstance(SCHEMA, {"P": p_rows, "Q": q_rows})
+    result = sorted(repairs(RepairProblem(instance, [DENIAL])), key=str)
+    assert result == brute_force_deletion_repairs(instance, [DENIAL])
+
+
+@settings(max_examples=60, deadline=None)
+@given(fd_rows)
+def test_every_repair_is_consistent(rows):
+    instance = DatabaseInstance(SCHEMA, {"R": rows})
+    for repair in repairs(RepairProblem(instance, [FD])):
+        assert FD.holds_in(repair)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fd_rows)
+def test_repairs_are_delta_incomparable(rows):
+    instance = DatabaseInstance(SCHEMA, {"R": rows})
+    deltas = [r.delta(instance)
+              for r in repairs(RepairProblem(instance, [FD]))]
+    for i, first in enumerate(deltas):
+        for second in deltas[i + 1:]:
+            assert not (first < second or second < first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fd_rows)
+def test_consistent_instance_is_its_own_repair(rows):
+    instance = DatabaseInstance(SCHEMA, {"R": rows})
+    if FD.holds_in(instance):
+        assert list(repairs(RepairProblem(instance, [FD]))) == [instance]
+
+
+@settings(max_examples=40, deadline=None)
+@given(fd_rows, unary_rows)
+def test_fixed_relations_never_change(r_rows, p_rows):
+    instance = DatabaseInstance(SCHEMA, {"R": r_rows, "P": p_rows})
+    problem = RepairProblem(instance, [FD], changeable={"R"})
+    for repair in repairs(problem):
+        assert repair.tuples("P") == instance.tuples("P")
+
+
+INCLUSION = InclusionDependency("P", "Q", child_arity=1, parent_arity=1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(unary_rows, unary_rows)
+def test_inclusion_repairs_sound(p_rows, q_rows):
+    """Insertion-capable repairs: every result satisfies the IND and the
+    change sets stay within the P/Q universe."""
+    instance = DatabaseInstance(SCHEMA, {"P": p_rows, "Q": q_rows})
+    for repair in repairs(RepairProblem(instance, [INCLUSION])):
+        assert INCLUSION.holds_in(repair)
+        for fact in repair.delta(instance):
+            assert fact.relation in ("P", "Q")

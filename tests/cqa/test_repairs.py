@@ -1,0 +1,250 @@
+"""Unit tests for the repair engine (Definition 1 + fixed predicates)."""
+
+from itertools import chain, combinations
+
+import pytest
+
+from repro.cqa import RepairProblem, is_repair, repairs
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+    Fact,
+    FunctionalDependency,
+    InclusionDependency,
+    RelAtom,
+    TupleGeneratingConstraint,
+    Variable,
+)
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+def brute_force_repairs(instance, constraints, changeable=None,
+                        insertable_facts=()):
+    """Reference implementation: enumerate candidate instances directly."""
+    changeable = set(changeable) if changeable is not None \
+        else set(instance.relations())
+    original_facts = sorted(instance.facts())
+    deletable = [f for f in original_facts if f.relation in changeable]
+    insertable = [f for f in insertable_facts
+                  if f.relation in changeable and f not in instance]
+
+    def powerset(items):
+        return chain.from_iterable(combinations(items, n)
+                                   for n in range(len(items) + 1))
+
+    consistent = []
+    for deletions in powerset(deletable):
+        for insertions in powerset(insertable):
+            candidate = instance.apply_change(insertions, deletions)
+            if all(c.holds_in(candidate) for c in constraints):
+                consistent.append(candidate)
+    # keep Δ-minimal
+    minimal = []
+    for candidate in consistent:
+        delta = candidate.delta(instance)
+        if not any(other.delta(instance) < delta for other in consistent):
+            minimal.append(candidate)
+    return sorted(set(minimal), key=str)
+
+
+class TestFDRepairs:
+    SCHEMA = DatabaseSchema.of({"R": 2})
+
+    def test_single_conflict_two_repairs(self):
+        db = DatabaseInstance(self.SCHEMA,
+                              {"R": [("a", "b"), ("a", "c"), ("d", "e")]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        result = repairs(RepairProblem(db, [fd]))
+        assert len(result) == 2
+        for repair in result:
+            assert fd.holds_in(repair)
+            assert Fact("R", ("d", "e")) in repair
+
+    def test_independent_conflicts_multiply(self):
+        db = DatabaseInstance(self.SCHEMA, {"R": [
+            ("a", 1), ("a", 2), ("b", 1), ("b", 2), ("c", 9)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        result = repairs(RepairProblem(db, [fd]))
+        assert len(result) == 4  # 2 x 2
+
+    def test_three_way_conflict(self):
+        db = DatabaseInstance(self.SCHEMA,
+                              {"R": [("a", 1), ("a", 2), ("a", 3)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        result = repairs(RepairProblem(db, [fd]))
+        assert len(result) == 3
+        for repair in result:
+            assert len(repair.tuples("R")) == 1
+
+    def test_matches_brute_force(self):
+        db = DatabaseInstance(self.SCHEMA, {"R": [
+            ("a", 1), ("a", 2), ("b", 1), ("c", 9), ("c", 8)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        expected = brute_force_repairs(db, [fd])
+        actual = sorted(repairs(RepairProblem(db, [fd])), key=str)
+        assert actual == expected
+
+    def test_consistent_database_single_repair(self):
+        db = DatabaseInstance(self.SCHEMA, {"R": [("a", 1), ("b", 2)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        result = repairs(RepairProblem(db, [fd]))
+        assert list(result) == [db]
+
+
+class TestDenialRepairs:
+    SCHEMA = DatabaseSchema.of({"P": 1, "Q": 1})
+
+    def test_delete_either_side(self):
+        db = DatabaseInstance(self.SCHEMA, {"P": [("a",)], "Q": [("a",)]})
+        denial = DenialConstraint(
+            antecedent=[RelAtom("P", [X]), RelAtom("Q", [X])])
+        result = repairs(RepairProblem(db, [denial]))
+        assert len(result) == 2
+
+    def test_fixed_relation_forces_one_side(self):
+        db = DatabaseInstance(self.SCHEMA, {"P": [("a",)], "Q": [("a",)]})
+        denial = DenialConstraint(
+            antecedent=[RelAtom("P", [X]), RelAtom("Q", [X])])
+        result = repairs(RepairProblem(db, [denial], changeable={"P"}))
+        assert len(result) == 1
+        assert list(result)[0].tuples("P") == frozenset()
+
+    def test_no_repair_when_everything_fixed(self):
+        db = DatabaseInstance(self.SCHEMA, {"P": [("a",)], "Q": [("a",)]})
+        denial = DenialConstraint(
+            antecedent=[RelAtom("P", [X]), RelAtom("Q", [X])])
+        result = repairs(RepairProblem(db, [denial], changeable=set()))
+        assert len(result) == 0
+
+
+class TestInclusionRepairs:
+    SCHEMA = DatabaseSchema.of({"Child": 2, "Parent": 2})
+
+    def test_insert_or_delete(self):
+        db = DatabaseInstance(self.SCHEMA,
+                              {"Child": [("a", "b")], "Parent": []})
+        ind = InclusionDependency("Child", "Parent", child_arity=2,
+                                  parent_arity=2)
+        result = repairs(RepairProblem(db, [ind]))
+        reprs = sorted(str(r) for r in result)
+        assert reprs == ["{Child(a, b), Parent(a, b)}", "{}"]
+
+    def test_import_into_fixed_child(self):
+        # parent fixed: only deletion of child... child fixed: only insert
+        db = DatabaseInstance(self.SCHEMA,
+                              {"Child": [("a", "b")], "Parent": []})
+        ind = InclusionDependency("Child", "Parent", child_arity=2,
+                                  parent_arity=2)
+        result = repairs(RepairProblem(db, [ind], changeable={"Parent"}))
+        assert len(result) == 1
+        assert Fact("Parent", ("a", "b")) in list(result)[0]
+
+    def test_cascading_inclusions(self):
+        schema = DatabaseSchema.of({"A": 1, "B": 1, "C": 1})
+        db = DatabaseInstance(schema, {"A": [("x",)]})
+        ab = InclusionDependency("A", "B", child_arity=1, parent_arity=1)
+        bc = InclusionDependency("B", "C", child_arity=1, parent_arity=1)
+        result = repairs(RepairProblem(db, [ab, bc]))
+        reprs = sorted(str(r) for r in result)
+        assert reprs == ["{A(x), B(x), C(x)}", "{}"]
+
+
+class TestPaperSection31:
+    """The extended example of Section 3.1 as a repair problem."""
+
+    SCHEMA = DatabaseSchema.of({"R1": 2, "R2": 2, "S1": 2, "S2": 2})
+
+    def dec3(self):
+        return TupleGeneratingConstraint(
+            antecedent=[RelAtom("R1", [X, Y]), RelAtom("S1", [Z, Y])],
+            consequent=[RelAtom("R2", [X, W]), RelAtom("S2", [Z, W])],
+            name="dec3")
+
+    def test_appendix_solutions(self):
+        db = DatabaseInstance(self.SCHEMA, {
+            "R1": [("a", "b")], "S1": [("c", "b")],
+            "S2": [("c", "e"), ("c", "f")]})
+        result = repairs(RepairProblem(db, [self.dec3()],
+                                       changeable={"R1", "R2"}))
+        reprs = sorted(str(r) for r in result)
+        assert reprs == [
+            "{R1(a, b), R2(a, e), S1(c, b), S2(c, e), S2(c, f)}",
+            "{R1(a, b), R2(a, f), S1(c, b), S2(c, e), S2(c, f)}",
+            "{S1(c, b), S2(c, e), S2(c, f)}",
+        ]
+
+    def test_no_s2_witness_forces_deletion(self):
+        # rule (6) case: aux2(z) is empty for the conflicting z
+        db = DatabaseInstance(self.SCHEMA, {
+            "R1": [("d", "m")], "S1": [("a", "m")],
+            "S2": [("zz", "g")]})
+        result = repairs(RepairProblem(db, [self.dec3()],
+                                       changeable={"R1", "R2"}))
+        assert len(result) == 1
+        assert list(result)[0].tuples("R1") == frozenset()
+
+
+class TestEGDWithFixed:
+    SCHEMA = DatabaseSchema.of({"R1": 2, "R3": 2})
+
+    def test_example1_stage2_shape(self):
+        # Σ(P1,P3) with both sides changeable: delete either tuple
+        db = DatabaseInstance(self.SCHEMA,
+                              {"R1": [("s", "t")], "R3": [("s", "u")]})
+        egd = EqualityGeneratingConstraint(
+            antecedent=[RelAtom("R1", [X, Y]), RelAtom("R3", [X, Z])],
+            equalities=[(Y, Z)])
+        result = repairs(RepairProblem(db, [egd]))
+        assert len(result) == 2
+
+
+class TestMinimality:
+    def test_repairs_are_delta_incomparable(self):
+        schema = DatabaseSchema.of({"R": 2})
+        db = DatabaseInstance(schema, {"R": [
+            ("a", 1), ("a", 2), ("a", 3), ("b", 1), ("b", 2)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        result = repairs(RepairProblem(db, [fd]))
+        deltas = [r.delta(db) for r in result]
+        for i, first in enumerate(deltas):
+            for second in deltas[i + 1:]:
+                assert not (first < second or second < first)
+
+    def test_is_repair_helper(self):
+        schema = DatabaseSchema.of({"R": 2})
+        db = DatabaseInstance(schema, {"R": [("a", 1), ("a", 2)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        good = db.without_facts([Fact("R", ("a", 2))])
+        assert is_repair(db, good, [fd])
+        assert not is_repair(db, db, [fd])
+
+    def test_is_repair_checks_fixed_relations(self):
+        schema = DatabaseSchema.of({"P": 1, "Q": 1})
+        db = DatabaseInstance(schema, {"P": [("a",)], "Q": [("a",)]})
+        denial = DenialConstraint(
+            antecedent=[RelAtom("P", [X]), RelAtom("Q", [X])])
+        dropped_q = db.without_facts([Fact("Q", ("a",))])
+        assert is_repair(db, dropped_q, [denial])
+        assert not is_repair(db, dropped_q, [denial], changeable={"P"})
+
+
+class TestControls:
+    def test_max_changes_prunes(self):
+        schema = DatabaseSchema.of({"R": 2})
+        db = DatabaseInstance(schema, {"R": [
+            ("a", 1), ("a", 2), ("b", 1), ("b", 2)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        result = repairs(RepairProblem(db, [fd], max_changes=1))
+        # each repair needs 2 deletions; with budget 1 nothing completes
+        assert len(result) == 0
+
+    def test_max_repairs_caps_output(self):
+        schema = DatabaseSchema.of({"R": 2})
+        db = DatabaseInstance(schema, {"R": [
+            ("a", 1), ("a", 2), ("b", 1), ("b", 2)]})
+        fd = FunctionalDependency("R", [0], [1], arity=2)
+        result = repairs(RepairProblem(db, [fd]), max_repairs=2)
+        assert len(result) == 2

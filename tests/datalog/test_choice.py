@@ -1,0 +1,122 @@
+"""Unit tests for the choice operator and its stable-version unfolding."""
+
+from repro.datalog import answer_sets, parse_program, unfold_choice
+from repro.datalog.choice import CHOSEN_PREFIX, DIFFCHOICE_PREFIX
+
+
+def _projections(models, predicate):
+    return sorted(
+        sorted(str(l) for l in m if l.predicate == predicate)
+        for m in models)
+
+
+class TestUnfolding:
+    def test_no_choice_program_unchanged(self):
+        program = parse_program("p(a). q(X) :- p(X).")
+        assert unfold_choice(program) is program
+
+    def test_unfolded_has_chosen_and_diffchoice(self):
+        program = parse_program(
+            "p(X, W) :- q(X, W), choice((X), (W)). q(a, b).")
+        unfolded = unfold_choice(program)
+        predicates = unfolded.predicates()
+        assert CHOSEN_PREFIX in predicates
+        assert DIFFCHOICE_PREFIX in predicates
+        assert not unfolded.has_choice()
+
+    def test_multiple_choice_rules_get_distinct_predicates(self):
+        program = parse_program("""
+            p(X, W) :- q(X, W), choice((X), (W)).
+            r(X, W) :- q(X, W), choice((X), (W)).
+            q(a, b).
+        """)
+        unfolded = unfold_choice(program)
+        chosen_preds = {p for p in unfolded.predicates()
+                        if p.startswith(CHOSEN_PREFIX)}
+        assert len(chosen_preds) == 2
+
+    def test_clash_with_existing_chosen_predicate(self):
+        program = parse_program("""
+            chosen(a).
+            p(X, W) :- q(X, W), choice((X), (W)).
+            q(a, b).
+        """)
+        unfolded = unfold_choice(program)
+        # must not redefine the user's `chosen`
+        for rule in unfolded.proper_rules:
+            for lit in rule.head:
+                if lit.predicate == "chosen":
+                    raise AssertionError("user predicate was redefined")
+
+
+class TestChoiceSemantics:
+    def test_exactly_one_choice_per_domain_value(self):
+        program = parse_program("""
+            pick(X, W) :- item(X), opt(X, W), choice((X), (W)).
+            item(1). item(2).
+            opt(1, a). opt(1, b). opt(2, c).
+        """)
+        models = answer_sets(program)
+        picks = _projections(models, "pick")
+        assert picks == [
+            ["pick(1, a)", "pick(2, c)"],
+            ["pick(1, b)", "pick(2, c)"],
+        ]
+
+    def test_chosen_is_functional_in_every_model(self):
+        program = parse_program("""
+            pick(X, W) :- opt(X, W), choice((X), (W)).
+            opt(1, a). opt(1, b). opt(1, c). opt(2, a). opt(2, b).
+        """)
+        models = answer_sets(program)
+        assert len(models) == 6  # 3 options x 2 options
+        for model in models:
+            per_domain = {}
+            for lit in model:
+                if lit.predicate == "pick":
+                    x, w = lit.atom.value_tuple()
+                    per_domain.setdefault(x, set()).add(w)
+            assert all(len(ws) == 1 for ws in per_domain.values())
+
+    def test_empty_domain_no_choice_needed(self):
+        program = parse_program("""
+            pick(X, W) :- item(X), opt(X, W), choice((X), (W)).
+            item(1).
+        """)
+        models = answer_sets(program)
+        assert len(models) == 1
+        assert not any(l.predicate == "pick" for l in models[0])
+
+    def test_choice_with_two_domain_variables(self):
+        # the paper's rule (9) shape: choice((X, Z), (W))
+        program = parse_program("""
+            ins(X, Z, W) :- r(X), s(Z, W), choice((X, Z), (W)).
+            r(d). s(a, t1). s(a, t2).
+        """)
+        models = answer_sets(program)
+        ins = _projections(models, "ins")
+        assert ins == [["ins(d, a, t1)"], ["ins(d, a, t2)"]]
+
+    def test_choice_interacts_with_disjunction(self):
+        # shape of rule (9): delete x or insert a chosen w
+        program = parse_program("""
+            del(X) v ins(X, W) :- viol(X), s(W), choice((X), (W)).
+            viol(1). s(a). s(b).
+        """)
+        models = answer_sets(program)
+        outcomes = sorted(
+            sorted(str(l) for l in m if l.predicate in ("del", "ins"))
+            for m in models)
+        assert outcomes == [["del(1)"], ["del(1)"],
+                            ["ins(1, a)"], ["ins(1, b)"]]
+
+    def test_chosen_stable_across_multiple_bodies(self):
+        # two different rules could fire for the same domain value; each
+        # choice rule gets its own chosen predicate so they are independent
+        program = parse_program("""
+            p(X, W) :- a(X), d(W), choice((X), (W)).
+            q(X, W) :- b(X), d(W), choice((X), (W)).
+            a(1). b(1). d(u). d(v).
+        """)
+        models = answer_sets(program)
+        assert len(models) == 4  # independent 2 x 2

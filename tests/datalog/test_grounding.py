@@ -1,0 +1,196 @@
+"""Unit tests for the relevant grounder."""
+
+import pytest
+
+from repro.datalog import (
+    GroundingError,
+    SafetyError,
+    ground_program,
+    parse_program,
+)
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Atom, Literal
+
+
+def _rendered_rules(ground):
+    return ground.pretty().splitlines()
+
+
+class TestBasicGrounding:
+    def test_facts_only(self):
+        ground = ground_program(parse_program("p(a). p(b)."))
+        assert ground.atom_count == 2
+        assert len(ground.rules) == 2
+
+    def test_single_rule_instantiation(self):
+        ground = ground_program(parse_program("q(X) :- p(X). p(a). p(b)."))
+        lines = _rendered_rules(ground)
+        assert "q(a) :- p(a)." in lines
+        assert "q(b) :- p(b)." in lines
+
+    def test_join(self):
+        ground = ground_program(parse_program("""
+            r(X, Z) :- e(X, Y), e(Y, Z).
+            e(a, b). e(b, c).
+        """))
+        lines = _rendered_rules(ground)
+        assert "r(a, c) :- e(a, b), e(b, c)." in lines
+        # no spurious instantiations
+        assert not any(line.startswith("r(a, b)") for line in lines)
+
+    def test_transitive_closure_fixpoint(self):
+        ground = ground_program(parse_program("""
+            t(X, Y) :- e(X, Y).
+            t(X, Z) :- e(X, Y), t(Y, Z).
+            e(1, 2). e(2, 3). e(3, 4).
+        """))
+        atoms = {str(lit) for lit in ground.table.literals()}
+        assert "t(1, 4)" in atoms
+
+    def test_irrelevant_rule_not_instantiated(self):
+        ground = ground_program(parse_program("""
+            q(X) :- p(X).
+            r(X) :- s(X).
+            p(a).
+        """))
+        atoms = {str(lit) for lit in ground.table.literals()}
+        assert "q(a)" in atoms
+        assert not any(a.startswith("r(") for a in atoms)
+
+    def test_comparison_filters_instances(self):
+        ground = ground_program(parse_program("""
+            q(X, Y) :- p(X), p(Y), X != Y.
+            p(a). p(b).
+        """))
+        lines = _rendered_rules(ground)
+        assert any(line.startswith("q(a, b)") for line in lines)
+        assert not any(line.startswith("q(a, a)") for line in lines)
+
+    def test_equality_seed_binding(self):
+        ground = ground_program(parse_program("q(X) :- X = a."))
+        assert "q(a)." in _rendered_rules(ground)
+
+
+class TestNafSimplification:
+    def test_underivable_naf_removed(self):
+        # r is never derivable, so `not r(X)` is true and vanishes.
+        ground = ground_program(parse_program("""
+            q(X) :- p(X), not r(X).
+            p(a).
+        """))
+        assert "q(a) :- p(a)." in _rendered_rules(ground)
+
+    def test_derivable_naf_kept(self):
+        ground = ground_program(parse_program("""
+            q(X) :- p(X), not r(X).
+            r(a).
+            p(a).
+        """))
+        assert "q(a) :- p(a), not r(a)." in _rendered_rules(ground)
+
+    def test_naf_head_interplay(self):
+        # a rule body requiring both x and `not x` never fires
+        ground = ground_program(parse_program("""
+            q(X) :- p(X), not p(X).
+            p(a).
+        """))
+        assert not any(line.startswith("q")
+                       for line in _rendered_rules(ground))
+
+    def test_tautology_removed(self):
+        ground = ground_program(parse_program("""
+            p(X) :- p(X), q(X).
+            q(a). p(a).
+        """))
+        assert "p(a) :- p(a), q(a)." not in _rendered_rules(ground)
+
+
+class TestDisjunctiveAndConstraints:
+    def test_disjunctive_heads_all_derivable(self):
+        ground = ground_program(parse_program("""
+            a(X) v b(X) :- c(X).
+            d(X) :- b(X).
+            c(1).
+        """))
+        atoms = {str(lit) for lit in ground.table.literals()}
+        assert {"a(1)", "b(1)", "c(1)", "d(1)"} <= atoms
+
+    def test_constraints_grounded(self):
+        ground = ground_program(parse_program("""
+            :- p(X), q(X).
+            p(a). q(a). q(b).
+        """))
+        assert ":- p(a), q(a)." in _rendered_rules(ground)
+        assert not any(":- p(b)" in line for line in _rendered_rules(ground))
+
+    def test_classical_negation_complement_pairs(self):
+        ground = ground_program(parse_program("""
+            -p(X) :- q(X).
+            p(a). q(a).
+        """))
+        pairs = ground.table.complement_pairs()
+        assert len(pairs) == 1
+        pos, neg = pairs[0]
+        assert str(ground.table.literal_for(pos)) == "p(a)"
+        assert str(ground.table.literal_for(neg)) == "-p(a)"
+
+
+class TestGroundingErrors:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(SafetyError):
+            ground_program(parse_program("p(X) :- q(Y)."))
+
+    def test_choice_must_be_unfolded(self):
+        program = parse_program(
+            "p(X, W) :- q(X, W), choice((X), (W)). q(a, b).")
+        with pytest.raises(GroundingError):
+            ground_program(program)
+
+    def test_atom_budget_enforced(self):
+        program = parse_program("""
+            p(X, Y) :- d(X), d(Y).
+            d(1). d(2). d(3). d(4). d(5). d(6). d(7). d(8).
+        """)
+        with pytest.raises(GroundingError):
+            ground_program(program, max_atoms=10)
+
+
+class TestAtomTable:
+    def test_interning_is_stable(self):
+        from repro.datalog.grounding import AtomTable
+        table = AtomTable()
+        lit = Literal(Atom("p", ["a"]))
+        first = table.add(lit)
+        second = table.add(lit)
+        assert first == second
+        assert table.literal_for(first) == lit
+        assert table.id_for(lit) == first
+
+    def test_rejects_naf(self):
+        from repro.datalog.grounding import AtomTable
+        table = AtomTable()
+        with pytest.raises(ValueError):
+            table.add(Literal(Atom("p", ["a"]), naf=True))
+
+
+class TestSemiNaiveEquivalence:
+    def test_matches_naive_reachability(self):
+        # Compare grounder-derived atoms against a hand-rolled closure.
+        edges = [(1, 2), (2, 3), (3, 4), (4, 2), (5, 6)]
+        text = "t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).\n"
+        text += "\n".join(f"e({a}, {b})." for a, b in edges)
+        ground = ground_program(parse_program(text))
+        derived = {lit.atom.value_tuple()
+                   for lit in ground.table.literals()
+                   if lit.predicate == "t"}
+        # naive closure
+        closure = set(edges)
+        changed = True
+        while changed:
+            changed = False
+            for (a, b) in list(closure):
+                for (c, d) in edges:
+                    if b == c and (a, d) not in closure:
+                        closure.add((a, d))
+                        changed = True
+        assert derived == closure

@@ -1,0 +1,198 @@
+"""Unit tests for the DLV-like program parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    Literal,
+    ParseError,
+    Variable,
+    parse_atom,
+    parse_body,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestAtoms:
+    def test_propositional(self):
+        assert parse_atom("a") == Atom("a")
+
+    def test_with_arguments(self):
+        assert parse_atom("p(a, X, 3)") == Atom(
+            "p", ["a", Variable("X"), 3])
+
+    def test_quoted_string_argument(self):
+        assert parse_atom('p("hello world")') == Atom("p", ["hello world"])
+
+    def test_escaped_quote(self):
+        assert parse_atom(r'p("say \"hi\"")') == Atom("p", ['say "hi"'])
+
+    def test_negative_integer(self):
+        assert parse_atom("p(-3)") == Atom("p", [-3])
+
+    def test_underscore_variable(self):
+        atom = parse_atom("p(_G)")
+        assert atom.args[0] == Variable("_G")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("Pred(a)")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a) q")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("p(a, b).")
+        assert rule.is_fact()
+        assert rule.head[0].atom == Atom("p", ["a", "b"])
+
+    def test_basic_rule(self):
+        rule = parse_rule("p(X) :- q(X), r(X).")
+        assert len(rule.body) == 2
+        assert rule.head[0].atom == Atom("p", [Variable("X")])
+
+    def test_naf(self):
+        rule = parse_rule("p(X) :- q(X), not r(X).")
+        naf = rule.naf_body()
+        assert len(naf) == 1
+        assert naf[0].atom == Atom("r", [Variable("X")])
+
+    def test_classical_negation_head(self):
+        rule = parse_rule("-p(X) :- q(X).")
+        assert not rule.head[0].positive
+
+    def test_classical_negation_body(self):
+        rule = parse_rule("p(X) :- -q(X).")
+        assert not rule.body[0].positive
+
+    def test_naf_classical_negation(self):
+        rule = parse_rule("p(X) :- q(X), not -p(X).")
+        lit = rule.naf_body()[0]
+        assert lit.naf and not lit.positive
+
+    def test_disjunction_v_keyword(self):
+        rule = parse_rule("a v b :- c.")
+        assert len(rule.head) == 2
+
+    def test_disjunction_pipe(self):
+        rule = parse_rule("a | b :- c.")
+        assert len(rule.head) == 2
+
+    def test_disjunction_with_negated_literal(self):
+        rule = parse_rule("-r1p(X, Y) v r2p(X, W) :- r1(X, Y).")
+        assert not rule.head[0].positive
+        assert rule.head[1].positive
+
+    def test_denial_constraint(self):
+        rule = parse_rule(":- p(X), q(X).")
+        assert rule.is_constraint()
+
+    def test_comparison(self):
+        rule = parse_rule("p(X, Y) :- q(X), r(Y), X != Y.")
+        comparisons = rule.comparisons()
+        assert comparisons == (Comparison("!=", Variable("X"),
+                                          Variable("Y")),)
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_all_comparison_ops(self, op):
+        rule = parse_rule(f"p(X) :- q(X), X {op} 3.")
+        assert rule.comparisons()[0].op == op
+
+    def test_choice_goal(self):
+        rule = parse_rule("p(X, W) :- q(X, W), choice((X), (W)).")
+        goal = rule.choice_goal()
+        assert goal == ChoiceGoal([Variable("X")], [Variable("W")])
+
+    def test_choice_goal_multi_domain(self):
+        rule = parse_rule(
+            "p(X, W) :- q(X, Z, W), choice((X, Z), (W)).")
+        goal = rule.choice_goal()
+        assert goal.domain == (Variable("X"), Variable("Z"))
+
+    def test_choice_requires_variables(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X, W) :- q(X, W), choice((a), (W)).")
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(a)")
+
+    def test_reserved_word_not(self):
+        with pytest.raises(ParseError):
+            parse_rule("not(a).")
+
+
+class TestPrograms:
+    def test_empty(self):
+        assert len(parse_program("")) == 0
+
+    def test_comments_ignored(self):
+        program = parse_program("""
+            % a comment
+            p(a).  % trailing comment
+            q(b).
+        """)
+        assert len(program) == 2
+
+    def test_multiline_rule(self):
+        program = parse_program("""
+            p(X) :-
+                q(X),
+                not r(X).
+        """)
+        assert len(program) == 1
+
+    def test_paper_section31_rules_parse(self):
+        # Rules (4)-(9) of the paper, in ASCII syntax.
+        program = parse_program("""
+            r1p(X, Y) :- r1(X, Y), not -r1p(X, Y).
+            r2p(X, Y) :- r2(X, Y), not -r2p(X, Y).
+            -r1p(X, Y) :- r1(X, Y), s1(Z, Y), not aux1(X, Z), not aux2(Z).
+            aux1(X, Z) :- r2(X, W), s2(Z, W).
+            aux2(Z) :- s2(Z, W).
+            -r1p(X, Y) v r2p(X, W) :- r1(X, Y), s1(Z, Y), not aux1(X, Z),
+                                      s2(Z, W), choice((X, Z), (W)).
+        """)
+        assert len(program) == 6
+        assert program.has_choice()
+        assert program.has_disjunction()
+        assert program.has_classical_negation()
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(a).\n q(b) &.\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_duplicate_rules_deduplicated(self):
+        program = parse_program("p(a). p(a).")
+        assert len(program) == 1
+
+    def test_roundtrip_through_str(self):
+        text = """
+            r1p(X, Y) :- r1(X, Y), not -r1p(X, Y).
+            -r1p(X, Y) v r2p(X, W) :- r1(X, Y), s2(Z, W),
+                                      choice((X, Z), (W)).
+            :- p(X), q(X), X != 3.
+            p(a).
+        """
+        program = parse_program(text)
+        reparsed = parse_program(str(program))
+        assert reparsed == program
+
+
+class TestBodyParsing:
+    def test_parse_body(self):
+        items = parse_body("p(X), not q(X), X != a")
+        assert isinstance(items[0], Literal) and not items[0].naf
+        assert isinstance(items[1], Literal) and items[1].naf
+        assert isinstance(items[2], Comparison)
+
+    def test_parse_body_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_body("p(X), ")

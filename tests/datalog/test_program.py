@@ -1,0 +1,165 @@
+"""Unit tests for rules and programs (structure, safety, composition)."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Literal,
+    Program,
+    ProgramError,
+    Rule,
+    SafetyError,
+    Variable,
+    denial,
+    fact,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestRuleStructure:
+    def test_fact_detection(self):
+        assert parse_rule("p(a).").is_fact()
+        assert not parse_rule("p(X) :- q(X).").is_fact()
+        assert not parse_rule(":- q(a).").is_fact()
+
+    def test_constraint_detection(self):
+        assert parse_rule(":- q(a).").is_constraint()
+        assert not parse_rule("p(a).").is_constraint()
+
+    def test_disjunctive_detection(self):
+        assert parse_rule("a v b :- c.").is_disjunctive()
+        assert not parse_rule("a :- c.").is_disjunctive()
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(ProgramError):
+            Rule(head=(), body=())
+
+    def test_naf_in_head_rejected(self):
+        with pytest.raises(ProgramError):
+            Rule(head=[Literal(Atom("p"), naf=True)])
+
+    def test_two_choice_goals_rejected(self):
+        from repro.datalog.terms import ChoiceGoal
+        goal1 = ChoiceGoal([Variable("X")], [Variable("W")])
+        goal2 = ChoiceGoal([Variable("X")], [Variable("V")])
+        with pytest.raises(ProgramError):
+            Rule(head=[Atom("p", [Variable("X")])],
+                 body=[Atom("q", [Variable("X"), Variable("W"),
+                                  Variable("V")]), goal1, goal2])
+
+    def test_body_partition(self):
+        rule = parse_rule("p(X) :- q(X), not r(X), X != a.")
+        assert len(rule.positive_body()) == 1
+        assert len(rule.naf_body()) == 1
+        assert len(rule.comparisons()) == 1
+
+    def test_predicates(self):
+        rule = parse_rule("p(X) :- q(X), not r(X).")
+        assert rule.head_predicates() == {"p"}
+        assert rule.body_predicates() == {"q", "r"}
+
+
+class TestSafety:
+    def test_safe_rule_passes(self):
+        parse_rule("p(X) :- q(X).").check_safety()
+
+    def test_head_variable_not_bound(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X, Y) :- q(X).").check_safety()
+
+    def test_naf_variable_not_bound(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) :- q(X), not r(Y).").check_safety()
+
+    def test_comparison_variable_not_bound(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) :- q(X), Y != a.").check_safety()
+
+    def test_equality_to_constant_binds(self):
+        parse_rule("p(X) :- X = a.").check_safety()
+
+    def test_equality_chain_binds(self):
+        parse_rule("p(X, Y) :- X = a, Y = X.").check_safety()
+
+    def test_inequality_does_not_bind(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) :- X != a.").check_safety()
+
+    def test_naf_does_not_bind(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) :- not q(X).").check_safety()
+
+
+class TestHelpers:
+    def test_fact_builder(self):
+        rule = fact("p", "a", 3)
+        assert rule.is_fact()
+        assert rule.head[0].atom == Atom("p", ["a", 3])
+
+    def test_fact_builder_rejects_variables(self):
+        with pytest.raises(ProgramError):
+            fact("p", Variable("X"))
+
+    def test_denial_builder(self):
+        rule = denial([Atom("p", ["a"]), Atom("q", ["a"])])
+        assert rule.is_constraint()
+
+
+class TestProgram:
+    def test_partition(self):
+        program = parse_program("""
+            p(a).
+            q(X) :- p(X).
+            :- q(b).
+        """)
+        assert len(program.facts) == 1
+        assert len(program.proper_rules) == 1
+        assert len(program.constraints) == 1
+
+    def test_fact_atoms(self):
+        program = parse_program("p(a). -q(b). r(X) :- p(X).")
+        assert program.fact_atoms() == {Atom("p", ["a"])}
+        assert len(program.fact_literals()) == 2
+
+    def test_edb_predicates(self):
+        program = parse_program("q(X) :- p(X). p(a). r(b).")
+        assert program.edb_predicates() == {"p", "r"}
+
+    def test_constants(self):
+        from repro.datalog import Constant
+        program = parse_program("p(a, 1). q(X) :- p(X, Y), X != b.")
+        assert program.constants() == {Constant("a"), Constant(1),
+                                       Constant("b")}
+
+    def test_with_facts(self):
+        program = parse_program("q(X) :- p(X).")
+        extended = program.with_facts([Atom("p", ["a"])])
+        assert len(extended) == 2
+        assert len(program) == 1  # original untouched
+
+    def test_with_facts_rejects_non_ground(self):
+        program = parse_program("q(X) :- p(X).")
+        with pytest.raises(ProgramError):
+            program.with_facts([Atom("p", [Variable("X")])])
+
+    def test_union(self):
+        left = parse_program("p(a).")
+        right = parse_program("q(b).")
+        assert len(left.union(right)) == 2
+
+    def test_equality_order_insensitive(self):
+        one = parse_program("p(a). q(b).")
+        two = parse_program("q(b). p(a).")
+        assert one == two
+
+    def test_pretty_sorted_is_stable(self):
+        program = parse_program("b. a. c :- a, b.")
+        assert program.pretty(sort=True).splitlines() == [
+            "a.", "b.", "c :- a, b."]
+
+    def test_structure_flags(self):
+        program = parse_program("a v b. -c :- a. d :- not a.")
+        assert program.has_disjunction()
+        assert program.has_classical_negation()
+        assert not program.has_choice()

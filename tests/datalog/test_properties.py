@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the ASP engine.
+
+These check the engine against the Gelfond-Lifschitz *definition* on random
+programs: every reported model must pass the exact stability check, and the
+solver must agree with brute-force subset enumeration on small programs.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import (
+    Program,
+    Rule,
+    ground_program,
+    parse_program,
+    stable_models,
+)
+from repro.datalog.graphs import is_head_cycle_free
+from repro.datalog.hcf import shift_program
+from repro.datalog.stable import is_stable_model
+from repro.datalog.terms import Atom, Literal
+
+ATOMS = [Atom(f"p{i}") for i in range(6)]
+
+
+@st.composite
+def normal_rules(draw):
+    """A random propositional normal rule over a small atom pool."""
+    head = draw(st.sampled_from(ATOMS))
+    pos = draw(st.lists(st.sampled_from(ATOMS), max_size=2, unique=True))
+    naf = draw(st.lists(st.sampled_from(ATOMS), max_size=2, unique=True))
+    body = [Literal(a) for a in pos if a != head]
+    body += [Literal(a, naf=True) for a in naf]
+    return Rule(head=[head], body=body)
+
+
+@st.composite
+def disjunctive_rules(draw):
+    heads = draw(st.lists(st.sampled_from(ATOMS), min_size=1, max_size=3,
+                          unique=True))
+    pos = draw(st.lists(st.sampled_from(ATOMS), max_size=2, unique=True))
+    naf = draw(st.lists(st.sampled_from(ATOMS), max_size=1, unique=True))
+    body = [Literal(a) for a in pos if a not in heads]
+    body += [Literal(a, naf=True) for a in naf]
+    return Rule(head=heads, body=body)
+
+
+def brute_force(ground):
+    n = ground.atom_count
+    found = []
+    for size in range(n + 1):
+        for subset in combinations(range(n), size):
+            if is_stable_model(ground, set(subset)):
+                found.append(frozenset(subset))
+    return sorted(found, key=lambda m: sorted(m))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(normal_rules(), min_size=1, max_size=7))
+def test_normal_solver_matches_brute_force(rules):
+    ground = ground_program(Program(rules))
+    assert sorted(stable_models(ground), key=lambda m: sorted(m)) == \
+        brute_force(ground)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(disjunctive_rules(), min_size=1, max_size=6))
+def test_disjunctive_solver_matches_brute_force(rules):
+    ground = ground_program(Program(rules))
+    assert sorted(stable_models(ground), key=lambda m: sorted(m)) == \
+        brute_force(ground)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(disjunctive_rules(), min_size=1, max_size=6))
+def test_every_reported_model_is_stable(rules):
+    ground = ground_program(Program(rules))
+    for model in stable_models(ground):
+        assert is_stable_model(ground, set(model))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(disjunctive_rules(), min_size=1, max_size=6))
+def test_models_are_incomparable(rules):
+    """Distinct answer sets of a (consistent-negation-free) disjunctive
+    program are subset-incomparable — a classic ASP invariant."""
+    ground = ground_program(Program(rules))
+    models = stable_models(ground)
+    for i, first in enumerate(models):
+        for second in models[i + 1:]:
+            assert not (first < second or second < first)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(disjunctive_rules(), min_size=1, max_size=6))
+def test_shift_preserves_models_on_hcf(rules):
+    program = Program(rules)
+    if not is_head_cycle_free(program):
+        return
+    direct = stable_models(ground_program(program), shift_hcf=False)
+    shifted = stable_models(ground_program(shift_program(program)))
+
+    def render(ground_models, program_):
+        ground = ground_program(program_)
+        return sorted(
+            sorted(str(ground.table.literal_for(a)) for a in m)
+            for m in ground_models)
+
+    assert render(direct, program) == render(shifted,
+                                             shift_program(program))
+
+
+@st.composite
+def stratified_programs(draw):
+    """Random non-ground stratified programs: p_{i} may negate only p_{j<i}."""
+    lines = ["d(1). d(2). d(3)."]
+    n_preds = draw(st.integers(min_value=2, max_value=4))
+    lines.append("p0(X) :- d(X), X != 2.")
+    for i in range(1, n_preds):
+        lower = draw(st.integers(min_value=0, max_value=i - 1))
+        polarity = draw(st.booleans())
+        if polarity:
+            lines.append(f"p{i}(X) :- d(X), p{lower}(X).")
+        else:
+            lines.append(f"p{i}(X) :- d(X), not p{lower}(X).")
+    return parse_program("\n".join(lines))
+
+
+@settings(max_examples=60, deadline=None)
+@given(stratified_programs())
+def test_stratified_fast_path_agrees_with_search(program):
+    from repro.datalog import answer_sets
+    fast = answer_sets(program, use_stratified_fast_path=True)
+    slow = answer_sets(program, use_stratified_fast_path=False)
+    assert [sorted(str(l) for l in m) for m in fast] == \
+        [sorted(str(l) for l in m) for m in slow]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=3))
+def test_choice_model_count_is_product_of_domains(n_options_1, n_options_2):
+    """choice((X),(W)) must yield exactly prod_i |options(i)| models."""
+    lines = ["pick(X, W) :- item(X), opt(X, W), choice((X), (W))."]
+    lines.append("item(1). item(2).")
+    for w in range(n_options_1):
+        lines.append(f"opt(1, w{w}).")
+    for w in range(n_options_2):
+        lines.append(f"opt(2, v{w}).")
+    from repro.datalog import answer_sets
+    models = answer_sets(parse_program("\n".join(lines)))
+    assert len(models) == n_options_1 * n_options_2

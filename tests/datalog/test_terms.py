@@ -1,0 +1,201 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    Constant,
+    Literal,
+    Variable,
+    format_value,
+    make_constant,
+)
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant(1) == Constant(1)
+        assert Constant("a") != Constant("b")
+
+    def test_int_and_str_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_is_ground(self):
+        assert Constant("a").is_ground()
+
+    def test_immutable(self):
+        c = Constant("a")
+        with pytest.raises(AttributeError):
+            c.value = "b"
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            Constant([1, 2])
+
+    def test_rewrapping_constant(self):
+        assert Constant(Constant("a")) == Constant("a")
+
+    def test_sort_key_orders_ints_before_strings(self):
+        assert Constant(5).sort_key() < Constant("a").sort_key()
+
+    def test_str_identifier_bare(self):
+        assert str(Constant("abc")) == "abc"
+
+    def test_str_nonidentifier_quoted(self):
+        assert str(Constant("Hello World")) == '"Hello World"'
+
+    def test_str_int_bare(self):
+        assert str(Constant(42)) == "42"
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_not_ground(self):
+        assert not Variable("X").is_ground()
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_variable_never_equals_constant(self):
+        assert Variable("X") != Constant("X")
+
+
+class TestAtom:
+    def test_coerces_raw_values(self):
+        atom = Atom("p", ["a", 1])
+        assert atom.args == (Constant("a"), Constant(1))
+
+    def test_arity(self):
+        assert Atom("p", ["a", "b"]).arity == 2
+        assert Atom("p").arity == 0
+
+    def test_ground_detection(self):
+        assert Atom("p", ["a"]).is_ground()
+        assert not Atom("p", [Variable("X")]).is_ground()
+
+    def test_variables(self):
+        atom = Atom("p", [Variable("X"), "a", Variable("Y"), Variable("X")])
+        assert atom.variables() == {Variable("X"), Variable("Y")}
+
+    def test_value_tuple(self):
+        assert Atom("p", ["a", 1]).value_tuple() == ("a", 1)
+
+    def test_value_tuple_requires_ground(self):
+        with pytest.raises(ValueError):
+            Atom("p", [Variable("X")]).value_tuple()
+
+    def test_str(self):
+        assert str(Atom("p", ["a", Variable("X")])) == "p(a, X)"
+        assert str(Atom("p")) == "p"
+
+    def test_rejects_empty_predicate(self):
+        with pytest.raises(ValueError):
+            Atom("", ["a"])
+
+
+class TestLiteral:
+    def test_default_positive_non_naf(self):
+        lit = Literal(Atom("p", ["a"]))
+        assert lit.positive and not lit.naf
+
+    def test_str_forms(self):
+        atom = Atom("p", ["a"])
+        assert str(Literal(atom)) == "p(a)"
+        assert str(Literal(atom, positive=False)) == "-p(a)"
+        assert str(Literal(atom, naf=True)) == "not p(a)"
+        assert str(Literal(atom, positive=False, naf=True)) == "not -p(a)"
+
+    def test_complement(self):
+        lit = Literal(Atom("p", ["a"]))
+        assert lit.complement().positive is False
+        assert lit.complement().complement() == lit
+
+    def test_objective_strips_naf(self):
+        lit = Literal(Atom("p", ["a"]), naf=True)
+        assert not lit.objective().naf
+        assert lit.objective().atom == lit.atom
+
+    def test_negated_naf_toggles(self):
+        lit = Literal(Atom("p", ["a"]))
+        assert lit.negated_naf().naf
+        assert lit.negated_naf().negated_naf() == lit
+
+    def test_equality_includes_polarity_and_naf(self):
+        atom = Atom("p", ["a"])
+        assert Literal(atom) != Literal(atom, positive=False)
+        assert Literal(atom) != Literal(atom, naf=True)
+
+
+class TestComparison:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Comparison("~", "a", "b")
+
+    @pytest.mark.parametrize("op,left,right,expected", [
+        ("=", 1, 1, True),
+        ("=", 1, 2, False),
+        ("!=", "a", "b", True),
+        ("!=", "a", "a", False),
+        ("<", 1, 2, True),
+        ("<=", 2, 2, True),
+        (">", 3, 2, True),
+        (">=", 2, 3, False),
+    ])
+    def test_evaluate(self, op, left, right, expected):
+        assert Comparison(op, left, right).evaluate() is expected
+
+    def test_mixed_types_ints_sort_first(self):
+        assert Comparison("<", 99, "a").evaluate()
+        assert not Comparison("<", "a", 99).evaluate()
+
+    def test_evaluate_requires_ground(self):
+        with pytest.raises(ValueError):
+            Comparison("=", Variable("X"), 1).evaluate()
+
+    def test_variables(self):
+        cmp_ = Comparison("!=", Variable("X"), Variable("Y"))
+        assert cmp_.variables() == {Variable("X"), Variable("Y")}
+
+
+class TestChoiceGoal:
+    def test_requires_chosen_variable(self):
+        with pytest.raises(ValueError):
+            ChoiceGoal([Variable("X")], [])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            ChoiceGoal([Variable("X")], [Variable("X")])
+
+    def test_rejects_constants(self):
+        with pytest.raises(TypeError):
+            ChoiceGoal([Constant("a")], [Variable("W")])
+
+    def test_str(self):
+        goal = ChoiceGoal([Variable("X"), Variable("Z")], [Variable("W")])
+        assert str(goal) == "choice((X, Z), (W))"
+
+    def test_variables(self):
+        goal = ChoiceGoal([Variable("X")], [Variable("W")])
+        assert goal.variables() == {Variable("X"), Variable("W")}
+
+
+def test_format_value_roundtrip_quoting():
+    assert format_value("simple") == "simple"
+    assert format_value('with "quote"') == '"with \\"quote\\""'
+    assert format_value(7) == "7"
+
+
+def test_make_constant_idempotent():
+    c = Constant("a")
+    assert make_constant(c) is c
+    assert make_constant("a") == c

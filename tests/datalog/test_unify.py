@@ -1,0 +1,104 @@
+"""Unit tests for substitutions and matching (repro.datalog.unify)."""
+
+import pytest
+
+from repro.datalog.terms import Atom, Comparison, Constant, Literal, \
+    Variable
+from repro.datalog.unify import (
+    apply_atom,
+    apply_body_item,
+    apply_comparison,
+    apply_literal,
+    apply_term,
+    compose,
+    ground_terms,
+    match_atom,
+    merge,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+A, B = Constant("a"), Constant("b")
+
+
+class TestApply:
+    def test_apply_term(self):
+        assert apply_term(X, {X: A}) == A
+        assert apply_term(X, {}) == X
+        assert apply_term(A, {X: B}) == A
+
+    def test_apply_atom(self):
+        atom = Atom("p", [X, A, Y])
+        applied = apply_atom(atom, {X: B})
+        assert applied == Atom("p", [B, A, Y])
+
+    def test_apply_atom_ground_shortcut_returns_same_object(self):
+        atom = Atom("p", [A, B])
+        assert apply_atom(atom, {X: A}) is atom
+
+    def test_apply_literal_preserves_flags(self):
+        literal = Literal(Atom("p", [X]), positive=False, naf=True)
+        applied = apply_literal(literal, {X: A})
+        assert applied.positive is False and applied.naf is True
+        assert applied.atom == Atom("p", [A])
+
+    def test_apply_comparison(self):
+        comparison = Comparison("<", X, Y)
+        applied = apply_comparison(comparison, {X: Constant(1),
+                                                Y: Constant(2)})
+        assert applied.evaluate()
+
+    def test_apply_body_item_dispatch(self):
+        assert apply_body_item(Literal(Atom("p", [X])), {X: A}).atom == \
+            Atom("p", [A])
+        assert apply_body_item(Comparison("=", X, X), {X: A}).evaluate()
+
+    def test_ground_terms(self):
+        assert ground_terms((X, A, Y), {X: B, Y: A}) == (B, A, A)
+
+
+class TestMatchAtom:
+    def test_basic_match(self):
+        binding = match_atom(Atom("p", [X, Y]), Atom("p", [A, B]))
+        assert binding == {X: A, Y: B}
+
+    def test_predicate_mismatch(self):
+        assert match_atom(Atom("p", [X]), Atom("q", [A])) is None
+
+    def test_arity_mismatch(self):
+        assert match_atom(Atom("p", [X]), Atom("p", [A, B])) is None
+
+    def test_constant_mismatch(self):
+        assert match_atom(Atom("p", [A]), Atom("p", [B])) is None
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(Atom("p", [X, X]), Atom("p", [A, A])) == {X: A}
+        assert match_atom(Atom("p", [X, X]), Atom("p", [A, B])) is None
+
+    def test_extends_existing_substitution(self):
+        binding = match_atom(Atom("p", [X, Y]), Atom("p", [A, B]),
+                             {X: A})
+        assert binding == {X: A, Y: B}
+        assert match_atom(Atom("p", [X]), Atom("p", [B]), {X: A}) is None
+
+    def test_does_not_mutate_input_substitution(self):
+        subst = {X: A}
+        match_atom(Atom("p", [X, Y]), Atom("p", [A, B]), subst)
+        assert subst == {X: A}
+
+    def test_non_ground_target_rejected(self):
+        with pytest.raises(ValueError):
+            match_atom(Atom("p", [X]), Atom("p", [Y]))
+
+
+class TestMergeCompose:
+    def test_merge_disjoint(self):
+        assert merge({X: A}, {Y: B}) == {X: A, Y: B}
+
+    def test_merge_agreeing(self):
+        assert merge({X: A}, {X: A, Y: B}) == {X: A, Y: B}
+
+    def test_merge_conflicting(self):
+        assert merge({X: A}, {X: B}) is None
+
+    def test_compose_first_wins(self):
+        assert compose({X: A}, {X: B, Y: B}) == {X: A, Y: B}

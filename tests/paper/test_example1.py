@@ -1,0 +1,85 @@
+"""EX1 — Example 1 of the paper, reproduced exactly.
+
+System: peers P1, P2, P3 with r1 = {R1(a,b), R1(s,t)},
+r2 = {R2(c,d), R2(a,e)}, r3 = {R3(a,f), R3(s,u)};
+trust = {(P1,less,P2), (P1,same,P3)};
+Σ(P1,P2) = {∀xy (R2(x,y) → R1(x,y))},
+Σ(P1,P3) = {∀xyz (R1(x,y) ∧ R3(x,z) → y = z)}.
+
+Expected (quoted from the paper):
+
+* the intermediate stage-1 repair r1 adds R1(c,d) and R1(a,e) — "In this
+  example there is only one repair at this stage";
+* the solutions for P1 are exactly
+  r'  = {R1(a,b), R1(s,t), R1(c,d), R1(a,e), R2(c,d), R2(a,e)} and
+  r'' = {R1(a,b), R1(c,d), R1(a,e), R2(c,d), R2(a,e), R3(s,u)}.
+"""
+
+from repro.core import asp_solutions_for_peer, solutions_for_peer
+from repro.core.solutions import SolutionSearch
+from repro.relational import Fact
+from repro.workloads import example1_system
+
+
+def _fact_sets(instances):
+    return sorted(tuple(sorted(str(f) for f in inst.facts()))
+                  for inst in instances)
+
+
+EXPECTED_SOLUTIONS = sorted([
+    tuple(sorted({"R1(a, b)", "R1(s, t)", "R1(c, d)", "R1(a, e)",
+                  "R2(c, d)", "R2(a, e)"})),
+    tuple(sorted({"R1(a, b)", "R1(c, d)", "R1(a, e)",
+                  "R2(c, d)", "R2(a, e)", "R3(s, u)"})),
+])
+
+
+class TestStage1:
+    def test_single_stage1_repair(self):
+        search = SolutionSearch(example1_system(), "P1")
+        stage1 = search.stage1_repairs()
+        assert len(stage1) == 1
+
+    def test_stage1_adds_the_two_imports(self):
+        search = SolutionSearch(example1_system(), "P1")
+        (repair,) = search.stage1_repairs()
+        assert repair.tuples("R1") == frozenset(
+            {("a", "b"), ("s", "t"), ("c", "d"), ("a", "e")})
+        # other peers' data untouched
+        assert repair.tuples("R2") == frozenset({("c", "d"), ("a", "e")})
+        assert repair.tuples("R3") == frozenset({("a", "f"), ("s", "u")})
+
+
+class TestSolutions:
+    def test_exactly_the_two_paper_solutions(self):
+        solutions = solutions_for_peer(example1_system(), "P1")
+        assert _fact_sets(solutions) == EXPECTED_SOLUTIONS
+
+    def test_asp_route_agrees(self):
+        solutions = asp_solutions_for_peer(example1_system(), "P1")
+        assert _fact_sets(solutions) == EXPECTED_SOLUTIONS
+
+    def test_asp_minimality_filter_is_noop(self):
+        filtered = asp_solutions_for_peer(example1_system(), "P1",
+                                          minimal_only=True)
+        raw = asp_solutions_for_peer(example1_system(), "P1",
+                                     minimal_only=False)
+        assert filtered == raw
+
+    def test_solutions_satisfy_all_trusted_decs(self):
+        system = example1_system()
+        for solution in solutions_for_peer(system, "P1"):
+            for exchange in system.trusted_decs_of("P1"):
+                assert exchange.constraint.holds_in(solution)
+
+    def test_solutions_keep_less_trusted_peer_fixed(self):
+        system = example1_system()
+        for solution in solutions_for_peer(system, "P1"):
+            assert solution.tuples("R2") == frozenset(
+                {("c", "d"), ("a", "e")})
+
+    def test_forced_deletion_of_r3_af(self):
+        # R1(a,e) is pinned by R2(a,e); hence R3(a,f) is out everywhere.
+        system = example1_system()
+        for solution in solutions_for_peer(system, "P1"):
+            assert Fact("R3", ("a", "f")) not in solution

@@ -1,0 +1,126 @@
+"""EX3 — Section 3.1: the GAV choice program under DEC (3).
+
+The program (4)-(9) is generated from the DEC and trust relation; on the
+Appendix instances it must have four stable models whose solutions are
+
+    r^M1 = {S1(c,b), S2(c,e), S2(c,f), R1(a,b), R2(a,f)}
+    r^M2 = {S1(c,b), S2(c,e), S2(c,f)}
+    r^M3 = {S1(c,b), S2(c,e), S2(c,f), R1(a,b), R2(a,e)}
+    r^M4 = r^M2
+
+(from the Appendix; the Section 3.1 text describes the same program).
+"""
+
+import pytest
+
+from repro.core import GavSpecification, asp_solutions_for_peer
+from repro.core.solutions import solutions_for_peer
+from repro.datalog import is_head_cycle_free
+from repro.relational import parse_query
+from repro.workloads import appendix_instance, section31_dec, \
+    section31_system
+
+EXPECTED_SOLUTION_SETS = sorted([
+    tuple(sorted({"S1(c, b)", "S2(c, e)", "S2(c, f)", "R1(a, b)",
+                  "R2(a, f)"})),
+    tuple(sorted({"S1(c, b)", "S2(c, e)", "S2(c, f)"})),
+    tuple(sorted({"S1(c, b)", "S2(c, e)", "S2(c, f)", "R1(a, b)",
+                  "R2(a, e)"})),
+])
+
+
+def make_spec():
+    return GavSpecification(appendix_instance(), [section31_dec()],
+                            changeable={"R1", "R2"})
+
+
+class TestProgramShape:
+    def test_program_contains_paper_rules(self):
+        text = make_spec().program.pretty(sort=True)
+        # rule (4): persistence with exception
+        assert "r1_p(X0, X1) :- r1(X0, X1), not -r1_p(X0, X1)." in text
+        # rule (5) simplified: R2 only grows, no exception literal
+        assert "r2_p(X0, X1) :- r2(X0, X1)." in text
+        # rule (6): deletion when no witness
+        assert ("-r1_p(X, Y) :- r1(X, Y), s1(Z, Y), not aux1_1(X, Z), "
+                "not aux2_2(Z).") in text
+        # rules (7) and (8)
+        assert "aux1_1(X, Z) :- r2(X, W), s2(Z, W)." in text
+        assert "aux2_2(Z) :- s2(Z, W)." in text
+        # rule (9): disjunctive choice rule
+        assert ("-r1_p(X, Y) v r2_p(X, W) :- r1(X, Y), s1(Z, Y), "
+                "not aux1_1(X, Z), s2(Z, W), choice((X, Z), (W))."
+                ) in text
+
+    def test_program_is_hcf(self):
+        """Section 4.1's premise: this choice program is HCF."""
+        assert is_head_cycle_free(make_spec().program)
+
+
+class TestStableModels:
+    def test_four_answer_sets(self):
+        assert len(make_spec().answer_sets()) == 4
+
+    def test_three_distinct_solutions(self):
+        solutions = make_spec().solutions()
+        rendered = sorted(tuple(sorted(str(f) for f in s.facts()))
+                          for s in solutions)
+        assert rendered == EXPECTED_SOLUTION_SETS
+
+    def test_q_fixed_relations_never_change(self):
+        for solution in make_spec().solutions():
+            assert solution.tuples("S1") == frozenset({("c", "b")})
+            assert solution.tuples("S2") == frozenset(
+                {("c", "e"), ("c", "f")})
+
+
+class TestAgainstDefinition4:
+    def test_asp_equals_model_theoretic(self):
+        system = section31_system()
+        asp = asp_solutions_for_peer(system, "P")
+        model = solutions_for_peer(system, "P")
+        assert asp == model
+
+    @pytest.mark.parametrize("r1,s1,r2,s2", [
+        # no violation at all: the original instance is the only solution
+        ([("a", "b")], [("zz", "q")], [], [("c", "e")]),
+        # violation without any witness: deletion forced (rule (6))
+        ([("d", "m")], [("a", "m")], [], [("zz", "g")]),
+        # two independent violations
+        ([("d1", "m1"), ("d2", "m2")], [("a1", "m1"), ("a2", "m2")],
+         [], [("a1", "t1"), ("a2", "t2")]),
+        # violation already satisfied through existing R2/S2 pair
+        ([("d", "m")], [("a", "m")], [("d", "t")], [("a", "t")]),
+    ])
+    def test_variants(self, r1, s1, r2, s2):
+        system = section31_system(r1=r1, s1=s1, r2=r2, s2=s2)
+        asp = asp_solutions_for_peer(system, "P")
+        model = solutions_for_peer(system, "P")
+        assert asp == model
+
+
+class TestSkepticalQueryProgram:
+    def test_section32_query(self):
+        """Q(x,z) : ∃y (R1(x,y) ∧ R2(z,y)) — empty under skeptical
+        semantics on the Appendix instances (R2 differs across
+        solutions)."""
+        spec = make_spec()
+        query = parse_query("q(X, Z) := exists Y (R1(X, Y) & R2(Z, Y))")
+        assert spec.query_program_answers(query) == set()
+
+    def test_r1_query_skeptical(self):
+        spec = make_spec()
+        query = parse_query("q(X, Y) := R1(X, Y)")
+        # R1(a,b) survives only in two of three solutions: not skeptical
+        assert spec.query_program_answers(query) == set()
+
+    def test_s1_query_certain(self):
+        spec = make_spec()
+        query = parse_query("q(X, Y) := S1(X, Y)")
+        assert spec.query_program_answers(query) == {("c", "b")}
+
+    def test_brave_answers(self):
+        spec = make_spec()
+        query = parse_query("q(X, Y) := R2(X, Y)")
+        brave = spec.query_program_answers(query, skeptical=False)
+        assert brave == {("a", "e"), ("a", "f")}

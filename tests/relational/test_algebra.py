@@ -1,0 +1,108 @@
+"""Unit tests for the named-column relational algebra."""
+
+import pytest
+
+from repro.relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    NamedRelation,
+    QueryError,
+    from_instance,
+)
+
+R = NamedRelation(("x", "y"), [("a", 1), ("b", 2), ("c", 2)])
+S = NamedRelation(("y", "z"), [(1, "p"), (2, "q")])
+
+
+class TestConstruction:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(QueryError):
+            NamedRelation(("x", "x"), [])
+
+    def test_row_width_checked(self):
+        with pytest.raises(QueryError):
+            NamedRelation(("x",), [("a", "b")])
+
+    def test_set_semantics(self):
+        rel = NamedRelation(("x",), [("a",), ("a",)])
+        assert len(rel) == 1
+
+
+class TestOperators:
+    def test_select(self):
+        out = R.select(lambda row: row["y"] == 2)
+        assert out.rows == frozenset({("b", 2), ("c", 2)})
+
+    def test_select_eq(self):
+        assert R.select_eq("x", "a").rows == frozenset({("a", 1)})
+
+    def test_project(self):
+        out = R.project(["y"])
+        assert out.rows == frozenset({(1,), (2,)})
+        assert out.columns == ("y",)
+
+    def test_project_reorder(self):
+        out = R.project(["y", "x"])
+        assert ("1", "a") not in out.rows
+        assert (1, "a") in out.rows
+
+    def test_project_unknown_column(self):
+        with pytest.raises(QueryError):
+            R.project(["zz"])
+
+    def test_rename(self):
+        out = R.rename({"x": "u"})
+        assert out.columns == ("u", "y")
+        assert out.rows == R.rows
+
+    def test_natural_join(self):
+        out = R.natural_join(S)
+        assert out.columns == ("x", "y", "z")
+        assert out.rows == frozenset({("a", 1, "p"), ("b", 2, "q"),
+                                      ("c", 2, "q")})
+
+    def test_natural_join_no_shared_is_cross(self):
+        left = NamedRelation(("x",), [("a",)])
+        right = NamedRelation(("y",), [(1,), (2,)])
+        out = left.natural_join(right)
+        assert len(out) == 2
+
+    def test_union_and_difference(self):
+        one = NamedRelation(("x",), [("a",), ("b",)])
+        two = NamedRelation(("x",), [("b",), ("c",)])
+        assert one.union(two).rows == frozenset({("a",), ("b",), ("c",)})
+        assert one.difference(two).rows == frozenset({("a",)})
+
+    def test_union_incompatible(self):
+        with pytest.raises(QueryError):
+            R.union(S)
+
+    def test_cross_disjoint_required(self):
+        with pytest.raises(QueryError):
+            R.cross(R)
+
+    def test_semijoin_antijoin(self):
+        out = R.semijoin(S.select_eq("y", 2))
+        assert out.rows == frozenset({("b", 2), ("c", 2)})
+        anti = R.antijoin(S.select_eq("y", 2))
+        assert anti.rows == frozenset({("a", 1)})
+
+
+class TestFromInstance:
+    def test_wraps_relation(self):
+        schema = DatabaseSchema.of({"R": 2})
+        inst = DatabaseInstance(schema, {"R": [("a", "b")]})
+        rel = from_instance(inst, "R", ["c1", "c2"])
+        assert rel.columns == ("c1", "c2")
+        assert rel.rows == frozenset({("a", "b")})
+
+    def test_default_columns_from_schema(self):
+        schema = DatabaseSchema.of({"R": 2})
+        inst = DatabaseInstance(schema, {"R": [("a", "b")]})
+        assert from_instance(inst, "R").columns == ("a0", "a1")
+
+    def test_column_count_checked(self):
+        schema = DatabaseSchema.of({"R": 2})
+        inst = DatabaseInstance(schema, {"R": []})
+        with pytest.raises(QueryError):
+            from_instance(inst, "R", ["only"])

@@ -1,0 +1,252 @@
+"""Unit tests for constraint satisfaction, violations, witness options."""
+
+import pytest
+
+from repro.relational import (
+    ConstraintError,
+    DatabaseInstance,
+    DatabaseSchema,
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+    Fact,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyConstraint,
+    RelAtom,
+    TupleGeneratingConstraint,
+    Cmp,
+    Variable,
+)
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+SCHEMA = DatabaseSchema.of({"R1": 2, "R2": 2, "R3": 2, "S1": 2, "S2": 2})
+
+
+def inst(**data):
+    return DatabaseInstance(SCHEMA, data)
+
+
+class TestInclusionDependency:
+    def test_full_inclusion_example1(self):
+        # Σ(P1,P2): ∀xy (R2(x,y) → R1(x,y))
+        ind = InclusionDependency("R2", "R1", child_arity=2, parent_arity=2)
+        sat = inst(R1=[("a", "b"), ("c", "d")], R2=[("c", "d")])
+        assert ind.holds_in(sat)
+        unsat = inst(R1=[("a", "b")], R2=[("c", "d"), ("a", "e")])
+        violations = unsat and ind.violations(unsat)
+        assert {v.antecedent_facts[0] for v in violations} == {
+            Fact("R2", ("c", "d")), Fact("R2", ("a", "e"))}
+
+    def test_projected_inclusion(self):
+        # R2[0] ⊆ R1[0]: uncovered R1 column becomes existential
+        ind = InclusionDependency("R2", "R1", child_positions=[0],
+                                  parent_positions=[0],
+                                  child_arity=2, parent_arity=2)
+        assert not ind.is_full()
+        sat = inst(R1=[("a", "zzz")], R2=[("a", "b")])
+        assert ind.holds_in(sat)
+
+    def test_position_length_mismatch(self):
+        with pytest.raises(ConstraintError):
+            InclusionDependency("R2", "R1", child_positions=[0, 1],
+                                parent_positions=[0],
+                                child_arity=2, parent_arity=2)
+
+    def test_needs_positions_or_arities(self):
+        with pytest.raises(ConstraintError):
+            InclusionDependency("R2", "R1")
+
+
+class TestTGD:
+    def make_paper_dec3(self):
+        """(3): ∀xyz∃w (R1(x,y) ∧ S1(z,y) → R2(x,w) ∧ S2(z,w))"""
+        return TupleGeneratingConstraint(
+            antecedent=[RelAtom("R1", [X, Y]), RelAtom("S1", [Z, Y])],
+            consequent=[RelAtom("R2", [X, W]), RelAtom("S2", [Z, W])],
+            name="dec3")
+
+    def test_satisfied_with_witness(self):
+        tgd = self.make_paper_dec3()
+        db = inst(R1=[("d", "m")], S1=[("a", "m")],
+                  R2=[("d", "t")], S2=[("a", "t")])
+        assert tgd.holds_in(db)
+
+    def test_violated_without_witness(self):
+        tgd = self.make_paper_dec3()
+        db = inst(R1=[("d", "m")], S1=[("a", "m")], R2=[], S2=[("a", "t")])
+        violations = tgd.violations(db)
+        assert len(violations) == 1
+        assert set(violations[0].antecedent_facts) == {
+            Fact("R1", ("d", "m")), Fact("S1", ("a", "m"))}
+
+    def test_existential_vars_detected(self):
+        tgd = self.make_paper_dec3()
+        assert tgd.existential_vars == {W}
+        assert tgd.universal_vars == {X, Y, Z}
+        assert not tgd.is_full()
+
+    def test_witnesses(self):
+        tgd = self.make_paper_dec3()
+        db = inst(R1=[("d", "m")], S1=[("a", "m")],
+                  R2=[("d", "t"), ("d", "u")], S2=[("a", "t")])
+        witnesses = list(tgd.witnesses(db, {X: "d", Y: "m", Z: "a"}))
+        assert [{W: "t"}] == witnesses
+
+    def test_witness_options_guided_by_fixed_relation(self):
+        # like rule (9): S2 is fixed, R2 insertable; W ranges over S2's
+        # matching tuples
+        tgd = self.make_paper_dec3()
+        db = inst(R1=[("d", "m")], S1=[("a", "m")], R2=[],
+                  S2=[("a", "e"), ("a", "f"), ("zz", "g")])
+        options = sorted(
+            (tau[W], inserts)
+            for tau, inserts in tgd.witness_options(
+                db, {X: "d", Y: "m", Z: "a"}, insertable={"R2"}))
+        assert [o[0] for o in options] == ["e", "f"]
+        assert options[0][1] == (Fact("R2", ("d", "e")),)
+
+    def test_witness_options_no_fixed_match_empty(self):
+        # no S2 tuple for z=a: deletion is the only repair (rule (6) case)
+        tgd = self.make_paper_dec3()
+        db = inst(R1=[("d", "m")], S1=[("a", "m")], R2=[],
+                  S2=[("zz", "g")])
+        options = list(tgd.witness_options(db, {X: "d", Y: "m", Z: "a"},
+                                           insertable={"R2"}))
+        assert options == []
+
+    def test_witness_options_all_insertable_uses_domain(self):
+        tgd = self.make_paper_dec3()
+        db = inst(R1=[("d", "m")], S1=[("a", "m")])
+        options = list(tgd.witness_options(
+            db, {X: "d", Y: "m", Z: "a"}, insertable={"R2", "S2"},
+            witness_domain=["w1", "w2"]))
+        assert len(options) == 2
+        taus = sorted(tau[W] for tau, _ in options)
+        assert taus == ["w1", "w2"]
+        for tau, inserts in options:
+            assert len(inserts) == 2  # both R2 and S2 facts needed
+
+    def test_conditions_on_antecedent(self):
+        tgd = TupleGeneratingConstraint(
+            antecedent=[RelAtom("R1", [X, Y])],
+            consequent=[RelAtom("R2", [X, Y])],
+            conditions=[Cmp("!=", X, "skip")])
+        db = inst(R1=[("skip", "b"), ("a", "b")], R2=[])
+        violations = tgd.violations(db)
+        assert len(violations) == 1
+        assert violations[0].antecedent_facts[0] == Fact("R1", ("a", "b"))
+
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(ConstraintError):
+            TupleGeneratingConstraint(antecedent=[],
+                                      consequent=[RelAtom("R1", [X, Y])])
+
+    def test_condition_variable_not_in_antecedent(self):
+        with pytest.raises(ConstraintError):
+            TupleGeneratingConstraint(
+                antecedent=[RelAtom("R1", [X, Y])],
+                consequent=[RelAtom("R2", [X, Y])],
+                conditions=[Cmp("=", Z, "a")])
+
+    def test_to_formula_roundtrip_satisfaction(self):
+        from repro.relational import evaluation_domain, holds
+        tgd = self.make_paper_dec3()
+        sat = inst(R1=[("d", "m")], S1=[("a", "m")],
+                   R2=[("d", "t")], S2=[("a", "t")])
+        unsat = inst(R1=[("d", "m")], S1=[("a", "m")], R2=[],
+                     S2=[("a", "t")])
+        for db, expected in ((sat, True), (unsat, False)):
+            formula = tgd.to_formula()
+            domain = evaluation_domain(db, formula)
+            assert holds(formula, db, {}, domain) is expected
+            assert tgd.holds_in(db) is expected
+
+
+class TestEGD:
+    def make_example1_egd(self):
+        """Σ(P1,P3): ∀xyz (R1(x,y) ∧ R3(x,z) → y = z)"""
+        return EqualityGeneratingConstraint(
+            antecedent=[RelAtom("R1", [X, Y]), RelAtom("R3", [X, Z])],
+            equalities=[(Y, Z)], name="sigma_p1_p3")
+
+    def test_satisfied(self):
+        egd = self.make_example1_egd()
+        assert egd.holds_in(inst(R1=[("a", "b")], R3=[("a", "b")]))
+        assert egd.holds_in(inst(R1=[("a", "b")], R3=[("x", "c")]))
+
+    def test_violations(self):
+        egd = self.make_example1_egd()
+        db = inst(R1=[("a", "b"), ("s", "t")], R3=[("a", "f"), ("s", "u")])
+        violations = egd.violations(db)
+        assert len(violations) == 2
+        facts = {frozenset(v.antecedent_facts) for v in violations}
+        assert frozenset({Fact("R1", ("a", "b")),
+                          Fact("R3", ("a", "f"))}) in facts
+
+    def test_equality_variable_validation(self):
+        with pytest.raises(ConstraintError):
+            EqualityGeneratingConstraint(
+                antecedent=[RelAtom("R1", [X, Y])],
+                equalities=[(Y, W)])
+
+    def test_constant_equality(self):
+        egd = EqualityGeneratingConstraint(
+            antecedent=[RelAtom("R1", [X, Y])],
+            equalities=[(Y, "expected")])
+        db = inst(R1=[("a", "expected"), ("b", "other")])
+        violations = egd.violations(db)
+        assert len(violations) == 1
+        assert violations[0].antecedent_facts[0] == Fact("R1",
+                                                         ("b", "other"))
+
+
+class TestFDKey:
+    def test_fd_section32(self):
+        # ∀xyz (R1(x,y) ∧ R1(x,z) → y = z)
+        fd = FunctionalDependency("R1", [0], [1], arity=2)
+        assert fd.holds_in(inst(R1=[("a", "b"), ("c", "d")]))
+        bad = inst(R1=[("a", "b"), ("a", "c")])
+        assert not fd.holds_in(bad)
+        assert len(bad.tuples("R1")) == 2
+
+    def test_fd_violation_facts_are_pairs(self):
+        fd = FunctionalDependency("R1", [0], [1], arity=2)
+        bad = inst(R1=[("a", "b"), ("a", "c")])
+        for violation in fd.violations(bad):
+            assert len(set(violation.antecedent_facts)) == 2
+
+    def test_fd_overlapping_positions_rejected(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency("R1", [0], [0], arity=2)
+
+    def test_fd_position_out_of_range(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency("R1", [0], [5], arity=2)
+
+    def test_key(self):
+        key = KeyConstraint("R1", [0], arity=2)
+        assert key.holds_in(inst(R1=[("a", "b"), ("c", "b")]))
+        assert not key.holds_in(inst(R1=[("a", "b"), ("a", "c")]))
+
+    def test_key_covering_all_columns_rejected(self):
+        with pytest.raises(ConstraintError):
+            KeyConstraint("R1", [0, 1], arity=2)
+
+
+class TestDenial:
+    def test_denial(self):
+        den = DenialConstraint(
+            antecedent=[RelAtom("R1", [X, Y]), RelAtom("R2", [X, Y])])
+        assert den.holds_in(inst(R1=[("a", "b")], R2=[("c", "d")]))
+        bad = inst(R1=[("a", "b")], R2=[("a", "b")])
+        assert len(den.violations(bad)) == 1
+
+    def test_denial_with_condition(self):
+        den = DenialConstraint(antecedent=[RelAtom("R1", [X, Y])],
+                               conditions=[Cmp("=", X, "bad")])
+        assert den.holds_in(inst(R1=[("ok", "b")]))
+        assert not den.holds_in(inst(R1=[("bad", "b")]))
+
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(antecedent=[])

@@ -1,0 +1,166 @@
+"""Cross-check the optimised FO evaluator against a naive reference.
+
+``holds`` special-cases guarded universals (enumerating the guard's
+matches instead of the domain) and ``Query.answers`` drives enumeration
+through atom bindings; both must coincide with the textbook recursive
+evaluation that quantifies over the full active domain.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.terms import Comparison, Constant, Variable
+from repro.relational import (
+    And,
+    Cmp,
+    DatabaseInstance,
+    DatabaseSchema,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Query,
+    RelAtom,
+    evaluation_domain,
+    holds,
+)
+from repro.relational.query import _Truth
+
+SCHEMA = DatabaseSchema.of({"R": 2, "S": 2})
+VALUES = ["a", "b", "c"]
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def holds_reference(formula, instance, env, domain) -> bool:
+    """Textbook recursive FO evaluation (no optimisations)."""
+    if isinstance(formula, _Truth):
+        return formula.value
+    if isinstance(formula, RelAtom):
+        row = tuple(env[t] if isinstance(t, Variable) else t.value
+                    for t in formula.terms)
+        return row in instance.tuples(formula.relation)
+    if isinstance(formula, Cmp):
+        comparison = formula.comparison
+        left = env[comparison.left] \
+            if isinstance(comparison.left, Variable) \
+            else comparison.left.value
+        right = env[comparison.right] \
+            if isinstance(comparison.right, Variable) \
+            else comparison.right.value
+        return Comparison(comparison.op, Constant(left),
+                          Constant(right)).evaluate()
+    if isinstance(formula, And):
+        return all(holds_reference(p, instance, env, domain)
+                   for p in formula.parts)
+    if isinstance(formula, Or):
+        return any(holds_reference(p, instance, env, domain)
+                   for p in formula.parts)
+    if isinstance(formula, Not):
+        return not holds_reference(formula.sub, instance, env, domain)
+    if isinstance(formula, Implies):
+        return (not holds_reference(formula.premise, instance, env,
+                                    domain)
+                or holds_reference(formula.conclusion, instance, env,
+                                   domain))
+    if isinstance(formula, Exists):
+        for combo in product(domain, repeat=len(formula.variables)):
+            inner = dict(env)
+            inner.update(zip(formula.variables, combo))
+            if holds_reference(formula.sub, instance, inner, domain):
+                return True
+        return False
+    if isinstance(formula, Forall):
+        for combo in product(domain, repeat=len(formula.variables)):
+            inner = dict(env)
+            inner.update(zip(formula.variables, combo))
+            if not holds_reference(formula.sub, instance, inner, domain):
+                return False
+        return True
+    raise AssertionError(formula)
+
+
+rows = st.lists(
+    st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)),
+    max_size=5).map(lambda rs: list(set(rs)))
+
+
+@st.composite
+def instances(draw):
+    return DatabaseInstance(SCHEMA, {"R": draw(rows), "S": draw(rows)})
+
+
+@st.composite
+def closed_formulas(draw, depth=3, free=()):
+    """Random formulas whose free variables ⊆ ``free``."""
+    free = tuple(free)
+    if depth == 0 or (draw(st.booleans()) and depth < 2):
+        terms = [draw(st.sampled_from(
+            list(free) + [Constant(v) for v in VALUES]))
+            for _ in range(2)] if free else \
+            [Constant(draw(st.sampled_from(VALUES))) for _ in range(2)]
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            return RelAtom("R", terms)
+        if kind == 1:
+            return RelAtom("S", terms)
+        return Cmp(draw(st.sampled_from(["=", "!="])), terms[0],
+                   terms[1])
+    kind = draw(st.integers(min_value=0, max_value=5))
+    if kind == 0:
+        return And(draw(closed_formulas(depth=depth - 1, free=free)),
+                   draw(closed_formulas(depth=depth - 1, free=free)))
+    if kind == 1:
+        return Or(draw(closed_formulas(depth=depth - 1, free=free)),
+                  draw(closed_formulas(depth=depth - 1, free=free)))
+    if kind == 2:
+        return Not(draw(closed_formulas(depth=depth - 1, free=free)))
+    if kind == 3:
+        return Implies(draw(closed_formulas(depth=depth - 1, free=free)),
+                       draw(closed_formulas(depth=depth - 1, free=free)))
+    quantifier = Exists if kind == 4 else Forall
+    var = draw(st.sampled_from([X, Y, Z]))
+    body = draw(closed_formulas(depth=depth - 1,
+                                free=tuple(set(free) | {var})))
+    return quantifier([var], body)
+
+
+@settings(max_examples=150, deadline=None)
+@given(instances(), closed_formulas())
+def test_holds_matches_reference_closed(instance, formula):
+    if formula.free_variables():
+        return  # only closed formulas here
+    domain = evaluation_domain(instance, formula)
+    assert holds(formula, instance, {}, domain) == \
+        holds_reference(formula, instance, {}, domain)
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances(), closed_formulas(free=(X,)))
+def test_answers_match_reference_enumeration(instance, formula):
+    free = sorted(formula.free_variables(), key=lambda v: v.name)
+    query = Query("q", free, formula)
+    domain = evaluation_domain(instance, formula)
+    expected = set()
+    for combo in product(domain, repeat=len(free)):
+        env = dict(zip(free, combo))
+        if holds_reference(formula, instance, env, domain):
+            expected.add(tuple(env[v] for v in free))
+    assert query.answers(instance) == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances(), closed_formulas(free=(X, Y)))
+def test_guarded_forall_optimisation_sound(instance, body):
+    """The guarded-∀ shortcut must agree with the reference on
+    implication bodies specifically."""
+    free_y = Y in body.free_variables()
+    formula = Forall([Y], Implies(RelAtom("R", [X, Y]), body)) \
+        if free_y else Forall([Y], Implies(RelAtom("R", [X, Y]),
+                                           And(body, Cmp("=", Y, Y))))
+    domain = evaluation_domain(instance, formula)
+    for value in domain:
+        env = {X: value}
+        assert holds(formula, instance, env, domain) == \
+            holds_reference(formula, instance, env, domain)

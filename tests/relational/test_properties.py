@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for the relational substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.terms import Variable
+from repro.relational import (
+    And,
+    Cmp,
+    DatabaseInstance,
+    DatabaseSchema,
+    Exists,
+    Fact,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Query,
+    RelAtom,
+    evaluation_domain,
+    holds,
+)
+
+SCHEMA = DatabaseSchema.of({"R": 2, "S": 2})
+VALUES = ["a", "b", "c", "d"]
+X, Y = Variable("X"), Variable("Y")
+
+rows = st.lists(
+    st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)),
+    max_size=6).map(lambda rs: list(set(rs)))
+
+
+@st.composite
+def instances(draw):
+    return DatabaseInstance(SCHEMA, {"R": draw(rows), "S": draw(rows)})
+
+
+@st.composite
+def formulas(draw, depth=2):
+    """Random FO formulas over R, S with free variables ⊆ {X, Y}."""
+    if depth == 0:
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return RelAtom("R", [X, Y])
+        if choice == 1:
+            return RelAtom("S", [X, Y])
+        return Cmp(draw(st.sampled_from(["=", "!="])), X, Y)
+    choice = draw(st.integers(min_value=0, max_value=5))
+    if choice == 0:
+        return And(draw(formulas(depth=depth - 1)),
+                   draw(formulas(depth=depth - 1)))
+    if choice == 1:
+        return Or(draw(formulas(depth=depth - 1)),
+                  draw(formulas(depth=depth - 1)))
+    if choice == 2:
+        return Not(draw(formulas(depth=depth - 1)))
+    if choice == 3:
+        return Implies(draw(formulas(depth=depth - 1)),
+                       draw(formulas(depth=depth - 1)))
+    if choice == 4:
+        return Exists([draw(st.sampled_from([X, Y]))],
+                      draw(formulas(depth=depth - 1)))
+    return Forall([draw(st.sampled_from([X, Y]))],
+                  draw(formulas(depth=depth - 1)))
+
+
+# ---------------------------------------------------------------------------
+# Δ and ≤_r (Definition 1)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(instances(), instances())
+def test_delta_symmetric(r1, r2):
+    assert r1.delta(r2) == r2.delta(r1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances())
+def test_delta_identity(r):
+    assert r.delta(r) == set()
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances(), instances(), instances())
+def test_delta_triangle(r1, r2, r3):
+    """Δ is a symmetric difference: Δ(r1,r3) ⊆ Δ(r1,r2) ∪ Δ(r2,r3)."""
+    assert r1.delta(r3) <= r1.delta(r2) | r2.delta(r3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances(), instances())
+def test_closer_or_equal_reflexive_on_self(origin, other):
+    assert DatabaseInstance.closer_or_equal(origin, origin, other)
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances(), instances(), instances(), instances())
+def test_closer_or_equal_transitive(origin, a, b, c):
+    if DatabaseInstance.closer_or_equal(origin, a, b) and \
+            DatabaseInstance.closer_or_equal(origin, b, c):
+        assert DatabaseInstance.closer_or_equal(origin, a, c)
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances(), instances())
+def test_insertions_deletions_partition_delta(base, changed):
+    delta = changed.delta(base)
+    insertions = changed.insertions_from(base)
+    deletions = changed.deletions_from(base)
+    assert insertions | deletions == delta
+    assert insertions & deletions == set()
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances(), st.sets(st.tuples(st.sampled_from(VALUES),
+                                      st.sampled_from(VALUES)),
+                            max_size=4))
+def test_with_without_roundtrip(instance, tuples):
+    facts = [Fact("R", t) for t in tuples]
+    extended = instance.with_facts(facts)
+    for fact in facts:
+        assert fact in extended
+    reduced = extended.without_facts(facts)
+    assert all(f not in reduced for f in facts)
+
+
+# ---------------------------------------------------------------------------
+# FO evaluation laws
+# ---------------------------------------------------------------------------
+
+def _answers(formula, instance):
+    free = sorted(formula.free_variables(), key=lambda v: v.name)
+    return Query("q", free, formula).answers(instance)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances(), formulas(), formulas())
+def test_and_commutative(instance, f, g):
+    assert _answers(And(f, g), instance) == _answers(And(g, f), instance)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances(), formulas(), formulas())
+def test_de_morgan(instance, f, g):
+    lhs = Not(And(f, g))
+    rhs = Or(Not(f), Not(g))
+    domain = tuple(sorted(evaluation_domain(instance, lhs)))
+    free = sorted((f.free_variables() | g.free_variables()),
+                  key=lambda v: v.name)
+    from itertools import product
+    for combo in product(domain, repeat=len(free)):
+        env = dict(zip(free, combo))
+        assert holds(lhs, instance, env, domain) == \
+            holds(rhs, instance, env, domain)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances(), formulas())
+def test_quantifier_duality(instance, f):
+    """∀x φ ≡ ¬∃x ¬φ under active-domain semantics."""
+    forall = Forall([X], f)
+    as_exists = Not(Exists([X], Not(f)))
+    domain = tuple(sorted(evaluation_domain(instance, forall)))
+    free = sorted(forall.free_variables(), key=lambda v: v.name)
+    from itertools import product
+    for combo in product(domain, repeat=len(free)):
+        env = dict(zip(free, combo))
+        assert holds(forall, instance, env, domain) == \
+            holds(as_exists, instance, env, domain)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances(), formulas())
+def test_double_negation(instance, f):
+    assert _answers(Not(Not(f)), instance) == _answers(f, instance)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances(), formulas())
+def test_answers_subset_of_domain_product(instance, f):
+    domain = set(evaluation_domain(instance, f))
+    for row in _answers(f, instance):
+        assert all(value in domain for value in row)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances())
+def test_atom_query_equals_tuples(instance):
+    assert _answers(RelAtom("R", [X, Y]), instance) == \
+        set(instance.tuples("R"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances(), formulas())
+def test_monotone_under_or_true(instance, f):
+    """f ∨ TRUE answers = full domain product over the free variables."""
+    from repro.relational import TRUE
+    free = sorted(f.free_variables(), key=lambda v: v.name)
+    if not free:
+        return
+    answers = _answers(Or(f, TRUE), instance)
+    domain = evaluation_domain(instance, f)
+    assert len(answers) == len(domain) ** len(free)

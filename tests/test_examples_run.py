@@ -1,0 +1,71 @@
+"""Smoke tests: every bundled example and benchmark report must run and
+print its key findings (keeps `examples/` and `benchmarks/` from
+rotting)."""
+
+import importlib.util
+import os
+
+import pytest
+
+BASE = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run_main(directory, name):
+    path = os.path.join(BASE, directory, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"{directory}_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+EXAMPLE_EXPECTATIONS = {
+    "quickstart": ["Solutions for P1", "method=rewrite",
+                   "('c', 'd')"],
+    "referential_exchange": ["stable models: 4",
+                             "GAV solutions == LAV solutions == "
+                             "Definition 4: True"],
+    "transitive_network": ["global solutions for P",
+                           "transitive PCAs at P0"],
+    "trading_network": ["certified catalog",
+                        "('rug', 99)"],
+    "json_network": ["Possible (brave) answers",
+                     "python -m repro query"],
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLE_EXPECTATIONS))
+def test_example_runs(name, capsys):
+    _run_main("examples", name)
+    out = capsys.readouterr().out
+    for needle in EXAMPLE_EXPECTATIONS[name]:
+        assert needle in out, (name, needle)
+
+
+BENCH_EXPECTATIONS = {
+    "bench_example1": ["2 solutions"],
+    "bench_example2": ["expected (paper): (a,b), (c,d), (a,e)"],
+    "bench_section31": ["stable models: 4"],
+    "bench_hcf_shift": ["4 models"],
+    "bench_lav": ["stable models: 4"],
+    "bench_transitive": ["3 solution(s)"],
+    "bench_scaling_solutions": ["expected: #solutions = 2^n"],
+    "bench_hcf_ablation": ["speedup"],
+    "bench_transitive_scaling": ["T0_global"],
+    "bench_engine_ablation": ["identical single model"],
+}
+
+
+@pytest.mark.parametrize("name", sorted(BENCH_EXPECTATIONS))
+def test_benchmark_report_runs(name, capsys):
+    _run_main("benchmarks", name)
+    out = capsys.readouterr().out
+    for needle in BENCH_EXPECTATIONS[name]:
+        assert needle in out, (name, needle)
+
+
+def test_rewriting_vs_asp_report_runs(capsys):
+    # separated: the heaviest report (~1 s)
+    _run_main("benchmarks", "bench_rewriting_vs_asp")
+    out = capsys.readouterr().out
+    assert "True" in out and "ratio" in out

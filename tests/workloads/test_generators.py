@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic workload generators (shape guarantees the
+benchmarks rely on)."""
+
+import pytest
+
+from repro.core import solutions_for_peer
+from repro.core.asp_gav import asp_solutions_for_peer
+from repro.core.transitive import global_solutions
+from repro.workloads import (
+    conflict_chain_system,
+    import_star_system,
+    peer_chain_system,
+    referential_system,
+)
+
+
+class TestConflictChain:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3])
+    def test_two_to_the_n_solutions(self, n):
+        system = conflict_chain_system(n)
+        assert len(solutions_for_peer(system, "P1")) == 2 ** n
+
+    def test_clean_tuples_survive_everywhere(self):
+        system = conflict_chain_system(2, n_clean=3)
+        for solution in solutions_for_peer(system, "P1"):
+            for i in range(3):
+                assert (f"c{i}", f"cv{i}") in solution.tuples("R1")
+
+    def test_asp_agrees(self):
+        system = conflict_chain_system(2)
+        assert asp_solutions_for_peer(system, "P1") == \
+            solutions_for_peer(system, "P1")
+
+
+class TestImportStar:
+    def test_single_solution_without_conflicts(self):
+        system = import_star_system(10, n_neighbours=2)
+        solutions = solutions_for_peer(system, "P0")
+        assert len(solutions) == 1
+
+    def test_everything_imported(self):
+        system = import_star_system(6, n_neighbours=2, overlap=0.5)
+        (solution,) = solutions_for_peer(system, "P0")
+        r0 = solution.tuples("R0")
+        for j in (1, 2):
+            assert system.instances[f"P{j}"].tuples(f"M{j}") <= r0
+
+    def test_conflicts_create_solution_pairs(self):
+        system = import_star_system(4, n_neighbours=1, conflicts=2,
+                                    overlap=0.0)
+        solutions = solutions_for_peer(system, "P0")
+        assert len(solutions) == 4  # 2 independent conflicts
+
+    def test_deterministic_given_seed(self):
+        one = import_star_system(8, n_neighbours=2, seed=3)
+        two = import_star_system(8, n_neighbours=2, seed=3)
+        assert one.global_instance() == two.global_instance()
+
+
+class TestReferential:
+    def test_solution_count_formula(self):
+        # each violation: 1 deletion + n_witnesses insertions
+        for violations, witnesses in ((1, 1), (1, 2), (2, 2)):
+            system = referential_system(violations, witnesses)
+            solutions = solutions_for_peer(system, "P")
+            assert len(solutions) == (witnesses + 1) ** violations
+
+    def test_satisfied_pairs_untouched(self):
+        system = referential_system(1, 1, n_satisfied=2)
+        for solution in solutions_for_peer(system, "P"):
+            assert ("sd0", "sm0") in solution.tuples("R1")
+            assert ("sd1", "sm1") in solution.tuples("R1")
+
+
+class TestPeerChain:
+    def test_propagation_to_root(self):
+        system = peer_chain_system(3, n_tuples=2)
+        solutions = global_solutions(system, "P0")
+        assert len(solutions) == 1
+        root_relation = solutions[0].tuples("T0")
+        assert root_relation == frozenset({("x0", "y0"), ("x1", "y1")})
+
+    def test_direct_semantics_sees_one_hop_only(self):
+        system = peer_chain_system(2, n_tuples=1)
+        direct = solutions_for_peer(system, "P0")
+        # T1 is empty originally, so the direct solution imports nothing
+        assert direct[0].tuples("T0") == frozenset()
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            peer_chain_system(0)

@@ -1,0 +1,98 @@
+"""Sanity tests: the paper fixtures transcribe the paper's data exactly."""
+
+from repro.relational import Fact
+from repro.workloads import (
+    appendix_instance,
+    example1_query,
+    example1_system,
+    example4_system,
+    section31_dec,
+    section31_system,
+)
+
+
+class TestExample1Fixture:
+    def test_instances(self):
+        system = example1_system()
+        assert system.instances["P1"].tuples("R1") == frozenset(
+            {("a", "b"), ("s", "t")})
+        assert system.instances["P2"].tuples("R2") == frozenset(
+            {("c", "d"), ("a", "e")})
+        assert system.instances["P3"].tuples("R3") == frozenset(
+            {("a", "f"), ("s", "u")})
+
+    def test_trust(self):
+        system = example1_system()
+        assert system.trust.trusts_less("P1", "P2")
+        assert system.trust.trusts_same("P1", "P3")
+        assert len(system.trust) == 2
+
+    def test_decs(self):
+        system = example1_system()
+        by_other = {e.other: e.constraint for e in system.decs_of("P1")}
+        # Σ(P1,P2) is the full inclusion R2 ⊆ R1
+        assert by_other["P2"].holds_in(system.global_instance()) is False
+        # Σ(P1,P3) is the EGD; two violations on the paper data
+        assert len(by_other["P3"].violations(
+            system.global_instance())) == 2
+
+    def test_overrides(self):
+        system = example1_system(r1=[("x", "y")])
+        assert system.instances["P1"].tuples("R1") == frozenset(
+            {("x", "y")})
+        # other instances keep their defaults
+        assert system.instances["P2"].tuples("R2") == frozenset(
+            {("c", "d"), ("a", "e")})
+
+    def test_query(self):
+        query = example1_query()
+        assert query.relations() == {"R1"}
+        assert query.arity == 2
+
+
+class TestSection31Fixture:
+    def test_appendix_instance(self):
+        instance = appendix_instance()
+        assert instance.facts() == {
+            Fact("R1", ("a", "b")), Fact("S1", ("c", "b")),
+            Fact("S2", ("c", "e")), Fact("S2", ("c", "f"))}
+
+    def test_dec3_shape(self):
+        dec = section31_dec()
+        assert {a.relation for a in dec.antecedent} == {"R1", "S1"}
+        assert {a.relation for a in dec.consequent} == {"R2", "S2"}
+        assert len(dec.existential_vars) == 1
+
+    def test_dec3_violated_on_appendix_data(self):
+        assert not section31_dec().holds_in(appendix_instance())
+
+    def test_system_trust(self):
+        system = section31_system()
+        assert system.trust.trusts_less("P", "Q")
+
+
+class TestExample4Fixture:
+    def test_instances(self):
+        system = example4_system()
+        assert system.instances["P"].tuples("R1") == frozenset(
+            {("a", "b")})
+        assert system.instances["P"].tuples("R2") == frozenset()
+        assert system.instances["Q"].tuples("S1") == frozenset()
+        assert system.instances["Q"].tuples("S2") == frozenset(
+            {("c", "e"), ("c", "f")})
+        assert system.instances["C"].tuples("U") == frozenset(
+            {("c", "b")})
+
+    def test_chain_structure(self):
+        system = example4_system()
+        assert system.neighbours("P") == ("Q",)
+        assert system.neighbours("Q") == ("C",)
+        assert system.trust.trusts_less("P", "Q")
+        assert system.trust.trusts_less("Q", "C")
+
+    def test_p_dec_locally_satisfied(self):
+        # the paper: "P would have only one solution, corresponding to
+        # the original instances" — because s1 = {} makes (3) vacuous
+        system = example4_system()
+        dec = system.decs_of("P")[0].constraint
+        assert dec.holds_in(system.global_instance())
