@@ -5,7 +5,8 @@ stratified normal programs; the engine then computes the single answer set
 by iterated fixpoint instead of branch-and-bound search.  This ablation
 measures the difference on the import-star family.
 
-Measured finding (recorded in EXPERIMENTS.md): the two paths are nearly
+Measured finding (reproduce with ``python -m repro report``): the two
+paths are nearly
 indistinguishable here — on stratified programs the solver's propagation
 (Fitting + unfounded-set) is already deterministic and complete, so no
 branching ever happens and the search path degenerates to the same

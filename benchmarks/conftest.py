@@ -6,5 +6,6 @@ Run the full harness with::
 
 Each ``bench_*.py`` module is also runnable as a plain script
 (``python benchmarks/bench_example1.py``) and then prints the experiment's
-report rows — the paper-shape summary recorded in EXPERIMENTS.md.
+report rows — the paper-shape summaries also reachable via
+``python -m repro report``.
 """

@@ -15,12 +15,7 @@ import json
 import os
 import tempfile
 
-from repro.core import (
-    PeerConsistentEngine,
-    load_system,
-    possible_peer_answers,
-    system_from_dict,
-)
+from repro.core import PeerQuerySession, load_system, system_from_dict
 from repro.relational import parse_query
 
 NETWORK = {
@@ -55,19 +50,22 @@ def main() -> None:
     print(json.dumps(NETWORK["exchanges"], indent=2))
 
     system = load_system(path)
-    engine = PeerConsistentEngine(system, method="asp")
+    session = PeerQuerySession(system, default_method="asp")
     query = parse_query("q(X, Y) := R1(X, Y)")
 
     print("\n=== Certain (peer consistent) answers ===")
-    certain = engine.peer_consistent_answers("P1", query)
-    for row in sorted(certain.answers):
+    certain = session.answer("P1", query)
+    for row in certain:
         print(f"  {row}")
 
     print("\n=== Possible (brave) answers ===")
-    possible = possible_peer_answers(system, "P1", query)
-    for row in sorted(possible.answers):
-        marker = "" if row in certain.answers else "   <- not certain"
+    possible = session.answer("P1", query, semantics="possible")
+    for row in possible:
+        marker = "" if row in certain else "   <- not certain"
         print(f"  {row}{marker}")
+    print(f"  (both computed from the same {possible.solution_count} "
+          f"cached solutions: cache "
+          f"{'hit' if possible.from_cache else 'miss'})")
 
     print("\n=== Equivalent CLI invocations ===")
     print(f"  python -m repro query {path} P1 'q(X, Y) := R1(X, Y)'")

@@ -1,26 +1,43 @@
 #!/usr/bin/env python3
 """Quickstart: Example 1/2 of the paper, end to end.
 
-Builds the three-peer system of Example 1, computes the solutions for peer
-P1 (Definition 4) and the peer consistent answers to Q : R1(x,y)
-(Definition 5) with every computation mechanism the paper discusses, and
-shows the rewritten query of Example 2 plus the peer-to-peer data requests
-it triggers.
+Builds the three-peer system of Example 1 with the fluent
+:class:`SystemBuilder`, opens a :class:`PeerQuerySession`, and answers the
+query Q : R1(x,y) (Definition 5) with every computation mechanism the
+paper discusses — including ``auto``, which picks FO rewriting here —
+then shows the rewritten query of Example 2 plus the peer-to-peer data
+requests it triggers.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    PeerConsistentEngine,
-    rewrite_peer_query,
-    solutions_for_peer,
-)
+from repro.core import PeerQuerySession, PeerSystem, rewrite_peer_query
 from repro.relational import parse_query
-from repro.workloads import example1_system
+
+
+def build_example1() -> PeerSystem:
+    """Example 1 via the fluent builder (compare
+    repro.workloads.example1_system, which it mirrors)."""
+    return (
+        PeerSystem.builder()
+        .peer("P1", {"R1": 2}, instance={"R1": [("a", "b"), ("s", "t")]})
+        .peer("P2", {"R2": 2}, instance={"R2": [("c", "d"), ("a", "e")]})
+        .peer("P3", {"R3": 2}, instance={"R3": [("a", "f"), ("s", "u")]})
+        .exchange("P1", "P2",
+                  {"type": "inclusion", "child": "R2", "parent": "R1",
+                   "child_arity": 2, "parent_arity": 2,
+                   "name": "sigma_p1_p2"})
+        .exchange("P1", "P3",
+                  {"type": "egd",
+                   "antecedent": ["R1(X, Y)", "R3(X, Z)"],
+                   "equalities": [["Y", "Z"]], "name": "sigma_p1_p3"})
+        .trust("P1", "less", "P2")
+        .trust("P1", "same", "P3")
+        .build())
 
 
 def main() -> None:
-    system = example1_system()
+    system = build_example1()
     print("=== The P2P data exchange system of Example 1 ===")
     print(f"peers:      {sorted(system.peers)}")
     for name in sorted(system.peers):
@@ -31,29 +48,36 @@ def main() -> None:
     for owner, level, other in system.trust.edges():
         print(f"  trust: ({owner}, {level}, {other})")
 
+    session = PeerQuerySession(system)
+
     print("\n=== Solutions for P1 (Definition 4) ===")
-    for index, solution in enumerate(solutions_for_peer(system, "P1"), 1):
+    for index, solution in enumerate(session.solutions("P1"), 1):
         print(f"  solution {index}: {solution}")
 
     query = parse_query("q(X, Y) := R1(X, Y)")
     print(f"\n=== Peer consistent answers to {query} ===")
     print(f"  P1's own answers (isolation): "
           f"{sorted(query.answers(system.instances['P1']))}")
-    for method in ("model", "asp", "rewrite"):
-        engine = PeerConsistentEngine(system, method=method)
-        result = engine.peer_consistent_answers("P1", query)
-        print(f"  method={method:8s}: {sorted(result.answers)}")
+    for method in ("model", "asp", "rewrite", "auto"):
+        result = session.answer("P1", query, method=method)
+        chosen = (f" -> {result.method_used}"
+                  if result.method_used != method else "")
+        count = ("not counted" if result.solution_count is None
+                 else result.solution_count)
+        print(f"  method={method:8s}{chosen}: {sorted(result.answers)} "
+              f"(solutions: {count}, {result.elapsed * 1000:.1f} ms, "
+              f"cache={'hit' if result.from_cache else 'miss'})")
 
     print("\n=== The rewritten query of Example 2 ===")
     print(f"  {rewrite_peer_query(system, 'P1', query)}")
 
-    print("\n=== Peer-to-peer requests issued by the rewriting ===")
+    print("\n=== Peer-to-peer requests issued so far ===")
     for event in system.exchange_log:
         print(f"  {event}")
 
-    print("\nNote the tuple (c, d): it is a peer consistent answer for P1 "
-          "although R1(c, d)\nis not in P1's own database — it is imported "
-          "from the more-trusted P2.")
+    print("\nNote the tuple ('c', 'd'): it is a peer consistent answer "
+          "for P1 although R1(c, d)\nis not in P1's own database — it is "
+          "imported from the more-trusted P2.")
 
 
 if __name__ == "__main__":

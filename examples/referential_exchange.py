@@ -17,6 +17,7 @@ Run:  python examples/referential_exchange.py
 from repro.core import (
     GavSpecification,
     LavSpecification,
+    PeerQuerySession,
     labels_for_peer,
     solutions_for_peer,
 )
@@ -63,6 +64,11 @@ def main() -> None:
     reference = solutions_for_peer(system, "P")
     print(f"  GAV solutions == LAV solutions == Definition 4: "
           f"{gav.solutions() == lav.solutions() == reference}")
+    session = PeerQuerySession(system)
+    auto = session.answer("P", "q(X, Y) := R2(X, Y)")
+    asp = session.answer("P", "q(X, Y) := R2(X, Y)", method="asp")
+    print(f"  service API: auto resolved to {auto.method_used!r}, "
+          f"answers agree with asp: {auto.answers == asp.answers}")
 
     query = parse_query("q(X, Z) := exists Y (R1(X, Y) & R2(Z, Y))")
     print(f"\n=== Skeptical query program (Section 3.2) ===")

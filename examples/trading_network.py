@@ -21,19 +21,10 @@ answers that hold no matter how the conflicts are resolved.
 Run:  python examples/trading_network.py
 """
 
-from repro.core import (
-    DataExchange,
-    Peer,
-    PeerConsistentEngine,
-    PeerSystem,
-    TrustRelation,
-)
+from repro.core import PeerQuerySession, PeerSystem
 from repro.relational import (
-    DatabaseInstance,
-    DatabaseSchema,
-    FunctionalDependency,
-    InclusionDependency,
     EqualityGeneratingConstraint,
+    InclusionDependency,
     RelAtom,
     Variable,
     parse_query,
@@ -43,31 +34,6 @@ S, P, P2 = Variable("S"), Variable("P"), Variable("P2")
 
 
 def build_network() -> PeerSystem:
-    retail = Peer(
-        "Retail", DatabaseSchema.of({"Catalog": 2}),
-        local_ics=[FunctionalDependency("Catalog", [0], [1], arity=2,
-                                        name="one_price_per_sku")])
-    supplier = Peer("Supplier", DatabaseSchema.of({"Official": 2}))
-    partner = Peer("Partner", DatabaseSchema.of({"PartnerListing": 2}))
-
-    instances = {
-        "Retail": DatabaseInstance(retail.schema, {"Catalog": [
-            ("umbrella", 12),     # agrees with the official list
-            ("teapot", 30),       # official says 25: must be corrected
-            ("lamp", 40),         # partner lists 45: disputed
-            ("chair", 75),        # retail-only product
-        ]}),
-        "Supplier": DatabaseInstance(supplier.schema, {"Official": [
-            ("umbrella", 12),
-            ("teapot", 25),
-            ("rug", 99),          # new product to import
-        ]}),
-        "Partner": DatabaseInstance(partner.schema, {"PartnerListing": [
-            ("lamp", 45),
-            ("chair", 75),        # agrees
-        ]}),
-    }
-
     official_into_catalog = InclusionDependency(
         "Official", "Catalog", child_arity=2, parent_arity=2,
         name="official_prices_bind")
@@ -76,12 +42,34 @@ def build_network() -> PeerSystem:
                     RelAtom("PartnerListing", [S, P2])],
         equalities=[(P, P2)], name="price_agreement")
 
-    return PeerSystem(
-        [retail, supplier, partner], instances,
-        [DataExchange("Retail", "Supplier", official_into_catalog),
-         DataExchange("Retail", "Partner", price_agreement)],
-        TrustRelation([("Retail", "less", "Supplier"),
-                       ("Retail", "same", "Partner")]))
+    return (
+        PeerSystem.builder()
+        .peer("Retail", {"Catalog": 2},
+              instance={"Catalog": [
+                  ("umbrella", 12),  # agrees with the official list
+                  ("teapot", 30),    # official says 25: must be corrected
+                  ("lamp", 40),      # partner lists 45: disputed
+                  ("chair", 75),     # retail-only product
+              ]},
+              local_ics=[{"type": "fd", "relation": "Catalog",
+                          "lhs": [0], "rhs": [1], "arity": 2,
+                          "name": "one_price_per_sku"}])
+        .peer("Supplier", {"Official": 2},
+              instance={"Official": [
+                  ("umbrella", 12),
+                  ("teapot", 25),
+                  ("rug", 99),       # new product to import
+              ]})
+        .peer("Partner", {"PartnerListing": 2},
+              instance={"PartnerListing": [
+                  ("lamp", 45),
+                  ("chair", 75),     # agrees
+              ]})
+        .exchange("Retail", "Supplier", official_into_catalog)
+        .exchange("Retail", "Partner", price_agreement)
+        .trust("Retail", "less", "Supplier")
+        .trust("Retail", "same", "Partner")
+        .build())
 
 
 def main() -> None:
@@ -90,17 +78,19 @@ def main() -> None:
     for name in sorted(system.peers):
         print(f"  {name}: {system.instances[name]}")
 
-    engine = PeerConsistentEngine(system, method="asp")
+    session = PeerQuerySession(system, default_method="asp")
 
     print("\n=== Solutions for Retail ===")
-    for index, solution in enumerate(engine.solutions("Retail"), 1):
+    for index, solution in enumerate(session.solutions("Retail"), 1):
         print(f"  solution {index}: "
               f"Catalog = {sorted(solution.tuples('Catalog'))}")
 
     print("\n=== Peer consistent catalog queries ===")
     full = parse_query("q(S, P) := Catalog(S, P)")
-    result = engine.peer_consistent_answers("Retail", full)
-    print(f"  certified catalog: {sorted(result.answers)}")
+    result = session.answer("Retail", full)
+    print(f"  certified catalog: {sorted(result.answers)} "
+          f"(certified by {result.solution_count} solutions, cache "
+          f"{'hit' if result.from_cache else 'miss'})")
     print("""
   reading:
    * (umbrella, 12) — own data confirmed by the supplier;
@@ -113,13 +103,15 @@ def main() -> None:
                       certain.""")
 
     lamp = parse_query("q(P) := Catalog(lamp, P)")
-    print(f"  certified lamp price: "
-          f"{sorted(engine.peer_consistent_answers('Retail', lamp).answers) or 'none (disputed)'}")
-
     skus = parse_query("q(S) := exists P Catalog(S, P)")
-    result = engine.peer_consistent_answers("Retail", skus)
+    lamp_result, sku_result = session.answer_many([
+        ("Retail", lamp), ("Retail", skus)])
+    print(f"  certified lamp price: "
+          f"{sorted(lamp_result.answers) or 'none (disputed)'}")
     print(f"  SKUs certainly in the catalog: "
-          f"{sorted(s for (s,) in result.answers)}")
+          f"{sorted(s for (s,) in sku_result.answers)}")
+    print(f"  (batch of 2 answered from cached solutions: "
+          f"{session.cache_info()})")
     print("  (lamp is absent even from this projection: one way to settle "
           "the dispute\n   with the equally-trusted partner is to drop "
           "the lamp listing altogether)")

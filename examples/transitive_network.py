@@ -10,27 +10,23 @@ hops.
 Run:  python examples/transitive_network.py
 """
 
-from repro.core import (
-    TransitiveSpecification,
-    global_solutions,
-    solutions_for_peer,
-    transitive_peer_consistent_answers,
-)
+from repro.core import PeerQuerySession, TransitiveSpecification
 from repro.relational import parse_query
 from repro.workloads import example4_system, peer_chain_system
 
 
 def example4() -> None:
     system = example4_system()
+    session = PeerQuerySession(system)
     print("=== Example 4: P --(DEC 3)--> Q --(U ⊆ S1)--> C ===")
     for name in sorted(system.peers):
         print(f"  r({name}) = {system.instances[name]}")
 
     print("\n--- local (direct) views ---")
     print(f"  solutions for Q alone: "
-          f"{[str(s.restrict(['S1', 'S2'])) for s in solutions_for_peer(system, 'Q')]}")
+          f"{[str(s.restrict(['S1', 'S2'])) for s in session.solutions('Q', method='asp')]}")
     print(f"  solutions for P alone: "
-          f"{[str(s.restrict(['R1', 'R2'])) for s in solutions_for_peer(system, 'P')]}")
+          f"{[str(s.restrict(['R1', 'R2'])) for s in session.solutions('P', method='asp')]}")
     print("  (P sees no violation locally: s1 = {} in the sources)")
 
     print("\n--- the combined program (rules (10)-(13)) ---")
@@ -40,14 +36,14 @@ def example4() -> None:
             print(f"  {line}")
 
     print("\n--- global solutions for P ---")
-    for solution in global_solutions(system, "P"):
+    for solution in session.solutions("P", method="transitive"):
         print(f"  {solution}")
     print("  (S1(c,b) imported from C via Q forces P to react: delete "
           "R1(a,b)\n   or insert R2(a,e)/R2(a,f) — the paper's three "
           "solutions)")
 
     query = parse_query("q(X, Y) := R1(X, Y)")
-    result = transitive_peer_consistent_answers(system, "P", query)
+    result = session.answer("P", query, method="transitive")
     print(f"\n  transitive PCAs to R1(x,y): {sorted(result.answers) or '{}'}"
           f"  (nothing is certain: one global solution deletes R1(a,b))")
 
@@ -55,23 +51,26 @@ def example4() -> None:
 def chain() -> None:
     print("\n=== A four-peer import chain ===")
     system = peer_chain_system(3, n_tuples=2)
+    session = PeerQuerySession(system)
     print("  P0 <- P1 <- P2 <- P3, data {T3(x0,y0), T3(x1,y1)} at the "
           "far end")
 
-    direct = solutions_for_peer(system, "P0")
+    direct = session.solutions("P0", method="model")
     print(f"  direct semantics: P0's T0 = "
           f"{sorted(direct[0].tuples('T0')) or '{}'} "
           f"(empty: P1 holds nothing yet)")
 
-    for solution in global_solutions(system, "P0"):
+    for solution in session.solutions("P0", method="transitive"):
         print(f"  global semantics: P0's T0 = "
               f"{sorted(solution.tuples('T0'))}")
     print("  (the combined program lets the far-end data flow through "
           "every hop)")
 
     query = parse_query("q(X, Y) := T0(X, Y)")
-    result = transitive_peer_consistent_answers(system, "P0", query)
-    print(f"  transitive PCAs at P0: {sorted(result.answers)}")
+    result = session.answer("P0", query, method="transitive")
+    print(f"  transitive PCAs at P0: {sorted(result.answers)} "
+          f"(from cached global solutions: "
+          f"{'yes' if result.from_cache else 'no'})")
 
 
 def main() -> None:

@@ -15,11 +15,16 @@ Subpackages
 ``repro.core``
     The paper's contribution: peer-to-peer data-exchange systems, trust,
     solutions for a peer, peer consistent answers, and the FO-rewriting,
-    ASP (GAV), LAV, and transitive computation mechanisms.
+    ASP (GAV), LAV, and transitive computation mechanisms — behind the
+    service API: :class:`~repro.core.session.PeerQuerySession` (cached
+    ``answer`` / ``answer_many`` / ``explain`` returning rich
+    :class:`~repro.core.results.QueryResult` objects), the pluggable
+    answer-method registry (:mod:`repro.core.methods`, with the ``auto``
+    planner), and the fluent :class:`~repro.core.builder.SystemBuilder`.
 ``repro.workloads``
     Synthetic peer-network and instance generators for benchmarks.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["datalog", "relational", "cqa", "core", "workloads"]

@@ -2,60 +2,105 @@
 
 Commands
 --------
-``query SYSTEM.json PEER QUERY [--method M] [--brave]``
+``query SYSTEM.json PEER QUERY [--method M] [--brave] [--json]``
     Answer a query posed to a peer of a JSON-defined system
-    (see :mod:`repro.core.io` for the file format).
+    (see :mod:`repro.core.io` for the file format).  ``--method auto``
+    (the default) picks FO rewriting when it applies and falls back to
+    ASP; any registered answer method can be named.
 
 ``solutions SYSTEM.json PEER [--transitive]``
     Print the solutions for a peer (Definition 4, or the Section 4.3
     global solutions with ``--transitive``).
 
+``methods``
+    List the registered answer methods.
+
 ``report``
-    Regenerate every experiment report (EX1–EX6, SC1–SC4) — the rows
-    recorded in EXPERIMENTS.md.
+    Regenerate every experiment report (EX1–EX6, SC1–SC6) and print the
+    rows to stdout (the repository keeps no generated report file; the
+    benchmark modules under ``benchmarks/`` are the source of truth).
 
 ``examples``
-    Run the four bundled example scripts.
+    Run the bundled example scripts.
+
+The ``report`` and ``examples`` commands locate ``benchmarks/`` and
+``examples/`` relative to the installed package (they live next to the
+``src`` tree in a source checkout) and load the scripts by file path —
+no ``sys.path`` mutation.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import sys
+from pathlib import Path
+
+
+def _script_dir(kind: str) -> Path:
+    """The repo-level ``benchmarks``/``examples`` directory, resolved
+    relative to this package (``<root>/src/repro/__main__.py`` →
+    ``<root>/<kind>``)."""
+    root = Path(__file__).resolve().parent.parent.parent
+    directory = root / kind
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"no {kind}/ directory next to the package "
+            f"(looked at {directory}); run from a source checkout")
+    return directory
+
+
+def _load_script(kind: str, name: str):
+    path = _script_dir(kind) / f"{name}.py"
+    if not path.exists():
+        return None, str(path)
+    spec = importlib.util.spec_from_file_location(f"{kind}_{name}",
+                                                  str(path))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module, str(path)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from .core import PeerConsistentEngine, load_system
-    from .core.pca import possible_peer_answers
-    from .relational import parse_query
+    import json as json_
+    from .core import PeerQuerySession, load_system
     system = load_system(args.system)
-    query = parse_query(args.query)
-    if args.brave:
-        result = possible_peer_answers(system, args.peer, query)
-        kind = "possible"
-    else:
-        engine = PeerConsistentEngine(system, method=args.method)
-        result = engine.peer_consistent_answers(args.peer, query)
-        kind = "peer consistent"
+    session = PeerQuerySession(system)
+    semantics = "possible" if args.brave else "certain"
+    # --brave --method rewrite is rejected by the method itself
+    # (P2PError), rendered as a clean `error:` line by main()
+    result = session.answer(args.peer, args.query, method=args.method,
+                            semantics=semantics)
+    if args.json:
+        print(json_.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 1 if result.no_solutions else 0
     if result.no_solutions:
         print(f"peer {args.peer} has NO solutions "
               f"(contradictory exchange constraints)")
         return 1
-    print(f"{kind} answers to {query} at {args.peer} "
-          f"(method={args.method}):")
+    kind = "possible" if args.brave else "peer consistent"
+    print(f"{kind} answers to {result.query} at {args.peer} "
+          f"(method={result.method_used}):")
     for row in sorted(result.answers):
         print("  " + ", ".join(str(v) for v in row))
     if not result.answers:
         print("  (none)")
+    count = ("not counted (rewriting answers without enumerating "
+             "solutions)" if result.solution_count is None
+             else str(result.solution_count))
+    print(f"solutions certifying: {count}")
+    print(f"elapsed: {result.elapsed * 1000:.1f} ms; peer requests: "
+          f"{result.exchange.requests} "
+          f"({result.exchange.tuples_transferred} tuples)")
     return 0
 
 
 def _cmd_solutions(args: argparse.Namespace) -> int:
-    from .core import PeerConsistentEngine, load_system
+    from .core import PeerQuerySession, load_system
     system = load_system(args.system)
-    engine = PeerConsistentEngine(system, method="asp",
-                                  transitive=args.transitive)
-    solutions = engine.solutions(args.peer)
+    session = PeerQuerySession(system)
+    method = "transitive" if args.transitive else "asp"
+    solutions = session.solutions(args.peer, method=method)
     flavour = "global" if args.transitive else "direct"
     print(f"{len(solutions)} {flavour} solution(s) for {args.peer}:")
     for index, solution in enumerate(solutions, 1):
@@ -63,21 +108,32 @@ def _cmd_solutions(args: argparse.Namespace) -> int:
     return 0 if solutions else 1
 
 
+def _cmd_methods(_args: argparse.Namespace) -> int:
+    from .core import available_methods, get_method
+    print("registered answer methods:")
+    for name in available_methods():
+        method = get_method(name)
+        doc = ((method.__doc__ or "").strip().splitlines() or [""])[0]
+        counted = ("enumerates solutions" if method.enumerates_solutions
+                   else "does not enumerate solutions")
+        print(f"  {name:10s} {doc} [{counted}]")
+    return 0
+
+
 def _cmd_report(_args: argparse.Namespace) -> int:
-    import importlib
     names = ["bench_example1", "bench_example2", "bench_section31",
              "bench_hcf_shift", "bench_lav", "bench_transitive",
              "bench_scaling_solutions", "bench_rewriting_vs_asp",
              "bench_hcf_ablation", "bench_transitive_scaling",
-             "bench_engine_ablation"]
-    import os
-    sys.path.insert(0, os.path.join(os.path.dirname(
-        os.path.dirname(os.path.dirname(__file__))), "benchmarks"))
+             "bench_engine_ablation", "bench_session_cache"]
     for name in names:
         try:
-            module = importlib.import_module(name)
-        except ImportError as exc:
-            print(f"[skip] {name}: {exc}")
+            module, path = _load_script("benchmarks", name)
+        except Exception as exc:  # keep the report going past one
+            print(f"[skip] {name}: {exc}")  # broken benchmark module
+            continue
+        if module is None:
+            print(f"[skip] {name}: not found at {path}")
             continue
         module.main()
         print()
@@ -85,25 +141,23 @@ def _cmd_report(_args: argparse.Namespace) -> int:
 
 
 def _cmd_examples(_args: argparse.Namespace) -> int:
-    import importlib.util
-    import os
-    base = os.path.join(os.path.dirname(
-        os.path.dirname(os.path.dirname(__file__))), "examples")
     for name in ["quickstart", "referential_exchange",
                  "transitive_network", "trading_network"]:
-        path = os.path.join(base, f"{name}.py")
-        if not os.path.exists(path):
+        try:
+            module, path = _load_script("examples", name)
+        except Exception as exc:
+            print(f"[skip] {name}: {exc}")
+            continue
+        if module is None:
             print(f"[skip] {name}: not found at {path}")
             continue
-        spec = importlib.util.spec_from_file_location(name, path)
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)
         module.main()
         print()
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .core import available_methods
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Peer-to-peer data exchange query answering "
@@ -114,10 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("system", help="JSON system definition")
     query.add_argument("peer")
     query.add_argument("query", help='e.g. "q(X, Y) := R1(X, Y)"')
-    query.add_argument("--method", default="asp",
-                       choices=["model", "asp", "lav", "rewrite"])
+    query.add_argument("--method", default="auto",
+                       choices=list(available_methods()))
     query.add_argument("--brave", action="store_true",
                        help="possible (brave) answers instead of certain")
+    query.add_argument("--json", action="store_true",
+                       help="print the full QueryResult as JSON")
     query.set_defaults(func=_cmd_query)
 
     solutions = sub.add_parser("solutions",
@@ -126,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     solutions.add_argument("peer")
     solutions.add_argument("--transitive", action="store_true")
     solutions.set_defaults(func=_cmd_solutions)
+
+    methods = sub.add_parser("methods",
+                             help="list the registered answer methods")
+    methods.set_defaults(func=_cmd_methods)
 
     report = sub.add_parser("report",
                             help="regenerate the experiment reports")
@@ -138,9 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import json
+    from .core import P2PError
+    from .relational.errors import RelationalError
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (P2PError, RelationalError, FileNotFoundError,
+            json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -14,25 +14,42 @@ Implements, from Bertossi & Bravo (EDBT 2004):
   three-layer specification (Section 4.2 + Appendix); and
 * the transitive combined-program semantics (Section 4.3, Example 4).
 
+Public API
+----------
+The service layer (new in this release):
+
+* :class:`PeerQuerySession` — the cached query-answering service:
+  ``answer`` / ``answer_many`` / ``explain`` returning rich
+  :class:`QueryResult` objects, with per-peer solutions memoized across
+  queries and invalidated via :meth:`PeerSystem.version`;
+* the **answer-method registry** (:mod:`repro.core.methods`) —
+  ``model`` / ``asp`` / ``lav`` / ``rewrite`` / ``transitive`` as
+  pluggable :class:`AnswerMethod` strategies plus the ``auto`` planner
+  (FO rewriting when it applies, ASP otherwise); extend with
+  :func:`register_method`;
+* :class:`SystemBuilder` (via :meth:`PeerSystem.builder`) — fluent
+  construction shared by examples, JSON ``io``, and the workload
+  generators.
+
 Quick start::
 
-    from repro.core import (Peer, DataExchange, PeerSystem, TrustRelation,
-                            PeerConsistentEngine)
-    from repro.relational import (DatabaseSchema, DatabaseInstance,
-                                  InclusionDependency, parse_query)
+    from repro.core import PeerQuerySession, PeerSystem
 
-    p1 = Peer("P1", DatabaseSchema.of({"R1": 2}))
-    p2 = Peer("P2", DatabaseSchema.of({"R2": 2}))
-    system = PeerSystem(
-        [p1, p2],
-        {"P1": DatabaseInstance(p1.schema, {"R1": [("a", "b")]}),
-         "P2": DatabaseInstance(p2.schema, {"R2": [("c", "d")]})},
-        [DataExchange("P1", "P2",
-                      InclusionDependency("R2", "R1", child_arity=2,
-                                          parent_arity=2))],
-        TrustRelation([("P1", "less", "P2")]))
-    engine = PeerConsistentEngine(system, method="asp")
-    engine.peer_consistent_answers("P1", parse_query("q(X, Y) := R1(X, Y)"))
+    system = (PeerSystem.builder()
+              .peer("P1", {"R1": 2}, instance={"R1": [("a", "b")]})
+              .peer("P2", {"R2": 2}, instance={"R2": [("c", "d")]})
+              .exchange("P1", "P2",
+                        {"type": "inclusion", "child": "R2",
+                         "parent": "R1", "child_arity": 2,
+                         "parent_arity": 2})
+              .trust("P1", "less", "P2")
+              .build())
+    session = PeerQuerySession(system)
+    result = session.answer("P1", "q(X, Y) := R1(X, Y)")  # method="auto"
+    result.answers, result.method_used, result.solution_count
+
+The string-typed :class:`PeerConsistentEngine` façade is deprecated and
+will be removed next release; it now delegates to a session internally.
 """
 
 from .asp_gav import (
@@ -41,6 +58,7 @@ from .asp_gav import (
     asp_solutions_for_peer,
 )
 from .asp_lav import LavSpecification, SourceLabel, labels_for_peer
+from .builder import SystemBuilder
 from .engine import PeerConsistentEngine
 from .errors import (
     NoSolutionsError,
@@ -49,6 +67,7 @@ from .errors import (
     RewritingNotSupported,
     SystemError_,
     TrustError,
+    UnknownMethodError,
 )
 from .fo_rewriting import (
     PeerQueryRewriter,
@@ -65,13 +84,23 @@ from .io import (
     system_to_dict,
 )
 from .messaging import ExchangeEvent, ExchangeLog
+from .methods import (
+    AnswerMethod,
+    available_methods,
+    get_method,
+    register_method,
+    unregister_method,
+)
 from .naming import NameMap
 from .pca import (
     PCAResult,
     pca_from_solutions,
     peer_consistent_answers,
+    possible_from_solutions,
     possible_peer_answers,
 )
+from .results import ExchangeStats, QueryRequest, QueryResult
+from .session import PeerQuerySession, SessionCacheInfo
 from .solutions import SolutionSearch, solutions_for_peer
 from .system import DataExchange, Peer, PeerSystem
 from .transitive import (
@@ -84,10 +113,16 @@ from .trust import TrustLevel, TrustRelation
 __all__ = [
     # system model
     "Peer", "DataExchange", "PeerSystem", "TrustRelation", "TrustLevel",
+    "SystemBuilder",
+    # the service API
+    "PeerQuerySession", "SessionCacheInfo",
+    "QueryRequest", "QueryResult", "ExchangeStats",
+    "AnswerMethod", "register_method", "unregister_method",
+    "available_methods", "get_method",
     # semantics
     "SolutionSearch", "solutions_for_peer",
     "PCAResult", "peer_consistent_answers", "pca_from_solutions",
-    "possible_peer_answers",
+    "possible_from_solutions", "possible_peer_answers",
     # declarative definitions
     "system_from_dict", "system_to_dict", "load_system", "dump_system",
     "constraint_from_dict", "constraint_to_dict",
@@ -100,10 +135,11 @@ __all__ = [
     "LavSpecification", "SourceLabel", "labels_for_peer",
     "TransitiveSpecification", "global_solutions",
     "transitive_peer_consistent_answers",
+    # deprecated façade
     "PeerConsistentEngine",
     # support
     "NameMap", "ExchangeLog", "ExchangeEvent",
     # errors
     "P2PError", "SystemError_", "TrustError", "QueryScopeError",
-    "RewritingNotSupported", "NoSolutionsError",
+    "RewritingNotSupported", "NoSolutionsError", "UnknownMethodError",
 ]

@@ -1,0 +1,129 @@
+"""Fluent construction of P2P systems: :class:`SystemBuilder`.
+
+Examples, the JSON loader (:mod:`repro.core.io`), and the workload
+generators all assemble the same ingredients — peers with schemas and
+instances, exchange constraints, trust edges — so they share one builder::
+
+    system = (PeerSystem.builder()
+              .peer("P1", {"R1": 2}, instance={"R1": [("a", "b")]})
+              .peer("P2", {"R2": 2}, instance={"R2": [("c", "d")]})
+              .exchange("P1", "P2",
+                        InclusionDependency("R2", "R1", child_arity=2,
+                                            parent_arity=2))
+              .trust("P1", "less", "P2")
+              .build())
+
+Schemas may be :class:`~repro.relational.schema.DatabaseSchema` objects or
+plain ``{relation: arity}`` mappings; constraints may be
+:class:`~repro.relational.constraints.Constraint` objects or the JSON
+dictionary form of :func:`repro.core.io.constraint_from_dict`.  ``build``
+hands everything to :class:`~repro.core.system.PeerSystem`, which performs
+the full Definition-2 validation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Union
+
+from ..relational.constraints import Constraint
+from ..relational.instance import DatabaseInstance
+from ..relational.schema import DatabaseSchema
+from .errors import SystemError_
+from .system import DataExchange, Peer, PeerSystem
+from .trust import TrustLevel, TrustRelation, _coerce_level
+
+__all__ = ["SystemBuilder"]
+
+SchemaLike = Union[DatabaseSchema, Mapping[str, int]]
+ConstraintLike = Union[Constraint, Mapping]
+
+
+def _coerce_schema(schema: SchemaLike) -> DatabaseSchema:
+    if isinstance(schema, DatabaseSchema):
+        return schema
+    return DatabaseSchema.of(schema)
+
+
+def _coerce_constraint(constraint: ConstraintLike) -> Constraint:
+    if isinstance(constraint, Constraint):
+        return constraint
+    if isinstance(constraint, Mapping):
+        from .io import constraint_from_dict
+        return constraint_from_dict(constraint)
+    raise SystemError_(
+        f"expected a Constraint or its dictionary form, "
+        f"got {type(constraint).__name__}")
+
+
+class SystemBuilder:
+    """Accumulates peers, exchanges, and trust; ``build()`` validates.
+
+    Obtain one via :meth:`PeerSystem.builder()
+    <repro.core.system.PeerSystem.builder>`.  Every mutator returns
+    ``self`` for chaining; :meth:`build` may be called repeatedly (each
+    call constructs a fresh, independently versioned system).
+    """
+
+    def __init__(self) -> None:
+        self._peers: dict[str, Peer] = {}
+        self._instances: dict[str, DatabaseInstance] = {}
+        self._exchanges: list[DataExchange] = []
+        self._trust: list[tuple[str, str, str]] = []
+        self._enforce_local_ics = True
+
+    # ------------------------------------------------------------------
+    def peer(self, name: str, schema: SchemaLike, *,
+             instance: Optional[Mapping[str, Iterable[tuple]]] = None,
+             local_ics: Iterable[ConstraintLike] = ()) -> "SystemBuilder":
+        """Add a peer: name, schema, optional instance data and ICs.
+
+        ``instance`` maps relation names to iterables of tuples; missing
+        relations default to empty.
+        """
+        if name in self._peers:
+            raise SystemError_(f"duplicate peer {name!r}")
+        coerced = _coerce_schema(schema)
+        ics = tuple(_coerce_constraint(c) for c in local_ics)
+        self._peers[name] = Peer(name, coerced, local_ics=ics)
+        rows = {relation: [tuple(row) for row in row_list]
+                for relation, row_list in (instance or {}).items()}
+        self._instances[name] = DatabaseInstance(coerced, rows)
+        return self
+
+    def exchange(self, owner: str, other: str,
+                 constraint: ConstraintLike) -> "SystemBuilder":
+        """Add one DEC of Σ(owner, other)."""
+        self._exchanges.append(
+            DataExchange(owner, other, _coerce_constraint(constraint)))
+        return self
+
+    def trust(self, owner: str, level: Union[str, TrustLevel],
+              other: str) -> "SystemBuilder":
+        """Add a trust edge ``(owner, level, other)``."""
+        self._trust.append((owner, _coerce_level(level).value, other))
+        return self
+
+    def trust_edges(self, edges: Iterable[tuple]) -> "SystemBuilder":
+        """Add several trust edges at once."""
+        for owner, level, other in edges:
+            self.trust(owner, level, other)
+        return self
+
+    def enforce_local_ics(self, flag: bool = True) -> "SystemBuilder":
+        """Whether ``build`` asserts r(P) |= IC(P) (default True; the
+        paper's footnote 1 discusses relaxing it)."""
+        self._enforce_local_ics = flag
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> PeerSystem:
+        """Construct the validated :class:`PeerSystem`."""
+        return PeerSystem(self._peers.values(), dict(self._instances),
+                          list(self._exchanges),
+                          TrustRelation(self._trust),
+                          enforce_local_ics=self._enforce_local_ics)
+
+    def __repr__(self) -> str:
+        return (f"SystemBuilder({sorted(self._peers)}, "
+                f"{len(self._exchanges)} DECs, "
+                f"{len(self._trust)} trust edges)")

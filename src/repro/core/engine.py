@@ -1,51 +1,43 @@
-"""High-level façade: one entry point for every computation mechanism.
+"""Deprecated façade kept for one release: :class:`PeerConsistentEngine`.
 
-The paper presents four ways of obtaining peer consistent answers; the
-:class:`PeerConsistentEngine` exposes them behind one interface:
+The string-typed engine predates the service API; new code should use
 
-========== ==========================================================
-method      implementation
-========== ==========================================================
-``model``   Definition 4/5 directly (enumerate solutions, intersect)
-``asp``     GAV answer-set specification, staged (Section 3.1)
-``lav``     LAV three-layer specification (Section 4.2, appendix)
-``rewrite`` FO query rewriting (Example 2 fragment)
-========== ==========================================================
+* :class:`~repro.core.session.PeerQuerySession` — cached ``answer`` /
+  ``answer_many`` / ``explain`` returning rich
+  :class:`~repro.core.results.QueryResult` objects, and
+* :mod:`repro.core.methods` — the pluggable answer-method registry
+  (``register_method`` / ``available_methods``).
 
-plus the ``transitive`` flag for the combined-program semantics of
-Section 4.3.
+This shim delegates every call to a private session (so it benefits from
+the solution cache) and preserves the historical surface: ``method`` is
+validated at construction, ``transitive=True`` maps onto the registered
+``transitive`` method, and results come back as bare
+:class:`~repro.core.pca.PCAResult` objects.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import warnings
+from typing import Sequence
 
 from ..relational.instance import DatabaseInstance
 from ..relational.query import Query
-from .asp_gav import asp_peer_consistent_answers, asp_solutions_for_peer
-from .asp_lav import LavSpecification, labels_for_peer
 from .errors import P2PError, RewritingNotSupported
-from .fo_rewriting import answers_via_rewriting
-from .pca import PCAResult, pca_from_solutions, peer_consistent_answers
-from .solutions import solutions_for_peer
+from .methods import available_methods, get_method
+from .pca import PCAResult
+from .session import PeerQuerySession
 from .system import PeerSystem
-from .transitive import (
-    TransitiveSpecification,
-    transitive_peer_consistent_answers,
-)
-from .trust import TrustLevel
 
 __all__ = ["PeerConsistentEngine"]
 
-_METHODS = ("model", "asp", "lav", "rewrite")
-
 
 class PeerConsistentEngine:
-    """Answers queries posed to peers of one system.
+    """Deprecated: use :class:`~repro.core.session.PeerQuerySession`.
 
     Parameters:
         system: the P2P data exchange system.
-        method: computation mechanism (see module docstring).
+        method: a registered answer-method name (see
+            :func:`repro.core.methods.available_methods`).
         transitive: use the Section 4.3 combined-program semantics
             instead of the direct (Definition 4) semantics.
         include_local_ics: enforce IC(P) inside the solution semantics.
@@ -54,9 +46,11 @@ class PeerConsistentEngine:
     def __init__(self, system: PeerSystem, *, method: str = "asp",
                  transitive: bool = False,
                  include_local_ics: bool = True) -> None:
-        if method not in _METHODS:
-            raise P2PError(f"unknown method {method!r}; "
-                           f"choose from {_METHODS}")
+        warnings.warn(
+            "PeerConsistentEngine is deprecated; use PeerQuerySession "
+            "(repro.core.session) and the answer-method registry instead",
+            DeprecationWarning, stacklevel=2)
+        get_method(method)  # unknown names raise P2PError, as before
         if transitive and method not in ("asp", "model"):
             raise P2PError(
                 "the transitive semantics is computed via the combined "
@@ -65,45 +59,26 @@ class PeerConsistentEngine:
         self.method = method
         self.transitive = transitive
         self.include_local_ics = include_local_ics
+        self._session = PeerQuerySession(
+            system, default_method=method,
+            include_local_ics=include_local_ics)
 
     # ------------------------------------------------------------------
     def solutions(self, peer: str) -> list[DatabaseInstance]:
-        """The (direct or global) solutions for ``peer``."""
-        if self.transitive:
-            return TransitiveSpecification(
-                self.system, peer,
-                include_local_ics=self.include_local_ics).solutions()
-        if self.method == "model":
-            return solutions_for_peer(
-                self.system, peer,
-                include_local_ics=self.include_local_ics)
-        if self.method == "lav":
-            labels = labels_for_peer(self.system, peer)
-            decs = [e.constraint
-                    for e in self.system.trusted_decs_of(peer)]
-            spec = LavSpecification(self.system.global_instance(), decs,
-                                    labels)
-            return spec.solutions()
-        return asp_solutions_for_peer(
-            self.system, peer,
-            include_local_ics=self.include_local_ics)
+        """The (direct or global) solutions for ``peer``.
+
+        The session normalises non-enumerating methods (rewrite) and
+        planners (auto) to ASP — the historical behaviour of this façade.
+        """
+        method = "transitive" if self.transitive else self.method
+        return self._session.solutions(peer, method=method)
 
     def peer_consistent_answers(self, peer: str, query: Query
                                 ) -> PCAResult:
         """PCAs of ``query`` posed to ``peer`` (Definition 5)."""
-        if self.transitive:
-            return transitive_peer_consistent_answers(
-                self.system, peer, query,
-                include_local_ics=self.include_local_ics)
-        if self.method == "rewrite":
-            answers = answers_via_rewriting(self.system, peer, query)
-            # the rewriting route does not enumerate solutions; report -1
-            # ("not counted") only when answers exist is misleading, so
-            # count solutions lazily only on demand — here we give the
-            # answers with an unknown-but-positive marker of 1.
-            return PCAResult(answers, 1)
-        return pca_from_solutions(self.system, peer, query,
-                                  self.solutions(peer))
+        method = "transitive" if self.transitive else self.method
+        result = self._session.answer(peer, query, method=method)
+        return PCAResult(set(result.answers), result.solution_count)
 
     def compare_methods(self, peer: str, query: Query,
                         methods: Sequence[str] = ("model", "asp")
@@ -112,12 +87,10 @@ class PeerConsistentEngine:
         cross-validation tests)."""
         results: dict[str, set[tuple]] = {}
         for method in methods:
-            engine = PeerConsistentEngine(
-                self.system, method=method,
-                include_local_ics=self.include_local_ics)
             try:
-                results[method] = set(
-                    engine.peer_consistent_answers(peer, query).answers)
+                answered = self._session.answer(peer, query,
+                                                method=method)
             except RewritingNotSupported:
                 continue
+            results[method] = set(answered.answers)
         return results

@@ -22,6 +22,11 @@ class QueryScopeError(P2PError):
     language L(P) (Definition 5 requires Q(x̄) ∈ L(P))."""
 
 
+class UnknownMethodError(P2PError):
+    """An answer-method name that is not in the registry — see
+    :func:`repro.core.methods.available_methods`."""
+
+
 class RewritingNotSupported(P2PError):
     """The FO-rewriting mechanism does not cover this system/query
     combination — the paper itself notes the approach has "intrinsic

@@ -49,13 +49,11 @@ from ..relational.constraints import (
     KeyConstraint,
     TupleGeneratingConstraint,
 )
-from ..relational.instance import DatabaseInstance
 from ..relational.query import Cmp, RelAtom
 from ..relational.query_parser import parse_formula
 from ..relational.schema import DatabaseSchema
 from .errors import SystemError_
-from .system import DataExchange, Peer, PeerSystem
-from .trust import TrustRelation
+from .system import PeerSystem
 
 __all__ = ["system_from_dict", "system_to_dict", "load_system",
            "dump_system", "constraint_from_dict", "constraint_to_dict"]
@@ -177,24 +175,22 @@ def constraint_to_dict(constraint: Constraint) -> dict:
 
 def system_from_dict(data: Mapping, *,
                      enforce_local_ics: bool = True) -> PeerSystem:
-    """Build a :class:`PeerSystem` from its dictionary form."""
-    peers = []
-    instances = {}
+    """Build a :class:`PeerSystem` from its dictionary form.
+
+    Thin wrapper over :class:`~repro.core.builder.SystemBuilder`, so the
+    JSON route and programmatic construction share one code path.
+    """
+    builder = PeerSystem.builder().enforce_local_ics(enforce_local_ics)
     for name, spec in data.get("peers", {}).items():
-        schema = DatabaseSchema.of(spec["schema"])
-        local_ics = [constraint_from_dict(c)
-                     for c in spec.get("local_ics", [])]
-        peers.append(Peer(name, schema, local_ics=local_ics))
-        rows = {relation: [tuple(row) for row in row_list]
-                for relation, row_list in spec.get("instance",
-                                                   {}).items()}
-        instances[name] = DatabaseInstance(schema, rows)
-    exchanges = [DataExchange(e["owner"], e["other"],
-                              constraint_from_dict(e["constraint"]))
-                 for e in data.get("exchanges", [])]
-    trust = TrustRelation([tuple(edge) for edge in data.get("trust", [])])
-    return PeerSystem(peers, instances, exchanges, trust,
-                      enforce_local_ics=enforce_local_ics)
+        builder.peer(name, DatabaseSchema.of(spec["schema"]),
+                     instance=spec.get("instance", {}),
+                     local_ics=[constraint_from_dict(c)
+                                for c in spec.get("local_ics", [])])
+    for e in data.get("exchanges", []):
+        builder.exchange(e["owner"], e["other"],
+                         constraint_from_dict(e["constraint"]))
+    builder.trust_edges(tuple(edge) for edge in data.get("trust", []))
+    return builder.build()
 
 
 def system_to_dict(system: PeerSystem) -> dict:

@@ -18,7 +18,7 @@ from .solutions import SolutionSearch
 from .system import PeerSystem
 
 __all__ = ["PCAResult", "peer_consistent_answers", "pca_from_solutions",
-           "possible_peer_answers"]
+           "possible_from_solutions", "possible_peer_answers"]
 
 
 class PCAResult:
@@ -29,9 +29,14 @@ class PCAResult:
     paper's program-based characterisation shows "the absence of solutions
     ... captured by the non existence of answer sets" — we report it
     explicitly instead of answering vacuously.
+
+    ``solution_count`` may be ``None``: the mechanism (FO rewriting) did
+    not enumerate solutions, so the count was *not computed* — which is
+    distinct from zero, and leaves ``no_solutions`` False.
     """
 
-    def __init__(self, answers: set[tuple], solution_count: int) -> None:
+    def __init__(self, answers: set[tuple],
+                 solution_count: Optional[int]) -> None:
         self.answers = answers
         self.solution_count = solution_count
 
@@ -51,8 +56,10 @@ class PCAResult:
         return NotImplemented
 
     def __repr__(self) -> str:
+        count = ("not-counted" if self.solution_count is None
+                 else self.solution_count)
         return (f"PCAResult({sorted(self.answers)}, "
-                f"solutions={self.solution_count})")
+                f"solutions={count})")
 
 
 def pca_from_solutions(system: PeerSystem, peer: str, query: Query,
@@ -70,6 +77,19 @@ def pca_from_solutions(system: PeerSystem, peer: str, query: Query,
             break
     assert common is not None
     return PCAResult(common, len(solutions))
+
+
+def possible_from_solutions(system: PeerSystem, peer: str, query: Query,
+                            solutions: Sequence[DatabaseInstance]
+                            ) -> PCAResult:
+    """Union the query answers over ``r'|P`` for each solution (the brave
+    dual of :func:`pca_from_solutions`)."""
+    system.validate_query_scope(peer, query)
+    union: set[tuple] = set()
+    for solution in solutions:
+        restricted = system.restrict_to_peer(solution, peer)
+        union |= query.answers(restricted)
+    return PCAResult(union, len(solutions))
 
 
 def peer_consistent_answers(system: PeerSystem, peer: str, query: Query,
@@ -91,11 +111,7 @@ def possible_peer_answers(system: PeerSystem, peer: str, query: Query,
     over the specification program and brackets the certain answers:
     ``peer_consistent_answers ⊆ possible_peer_answers``.
     """
-    system.validate_query_scope(peer, query)
+    system.validate_query_scope(peer, query)  # before the expensive search
     search = SolutionSearch(system, peer, **search_kwargs)
-    solutions = search.solutions()
-    union: set[tuple] = set()
-    for solution in solutions:
-        restricted = system.restrict_to_peer(solution, peer)
-        union |= query.answers(restricted)
-    return PCAResult(union, len(solutions))
+    return possible_from_solutions(system, peer, query,
+                                   search.solutions())

@@ -1,0 +1,150 @@
+"""Typed requests and results for the query-answering API.
+
+The paper's Definition 5 speaks of *peer consistent answers*; a production
+service needs to say more than "here is a set of tuples": which mechanism
+actually ran (``auto`` may pick FO rewriting or fall back to ASP), whether
+the certifying solutions were enumerated at all (the rewriting route never
+counts them — ``solution_count is None`` means *not computed*, honestly,
+not a fake positive), how long the computation took, and how much data
+moved between peers on the way.  :class:`QueryResult` carries all of that;
+:class:`QueryRequest` is the batchable input form consumed by
+:meth:`repro.core.session.PeerQuerySession.answer_many`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..relational.query import Query
+
+__all__ = ["QueryRequest", "QueryResult", "ExchangeStats",
+           "CERTAIN", "POSSIBLE"]
+
+CERTAIN = "certain"
+POSSIBLE = "possible"
+_SEMANTICS = (CERTAIN, POSSIBLE)
+
+
+def _coerce_query(query: Union[Query, str]) -> Query:
+    if isinstance(query, Query):
+        return query
+    from ..relational.query_parser import parse_query
+    return parse_query(query)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query to pose: peer, query, mechanism, and semantics.
+
+    ``query`` may be a parsed :class:`~repro.relational.query.Query` or the
+    textual form (``"q(X, Y) := R1(X, Y)"``); ``method`` is any registered
+    answer method name (default ``"auto"``: FO rewriting when it applies,
+    ASP otherwise); ``semantics`` is ``"certain"`` (Definition 5) or
+    ``"possible"`` (the brave dual).
+    """
+
+    peer: str
+    query: Union[Query, str]
+    method: Optional[str] = None
+    semantics: str = CERTAIN
+
+    def __post_init__(self) -> None:
+        if self.semantics not in _SEMANTICS:
+            from .errors import P2PError
+            raise P2PError(f"unknown semantics {self.semantics!r}; "
+                           f"choose from {_SEMANTICS}")
+
+    def resolved_query(self) -> Query:
+        """The parsed query (parses the textual form on demand)."""
+        return _coerce_query(self.query)
+
+
+@dataclass(frozen=True)
+class ExchangeStats:
+    """Peer-to-peer traffic attributable to one answered query."""
+
+    requests: int = 0
+    tuples_transferred: int = 0
+
+    def __add__(self, other: "ExchangeStats") -> "ExchangeStats":
+        return ExchangeStats(self.requests + other.requests,
+                             self.tuples_transferred
+                             + other.tuples_transferred)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A set of answers plus full provenance.
+
+    Attributes:
+        peer: the queried peer P.
+        query: the (parsed) query Q ∈ L(P).
+        answers: the answer tuples.
+        semantics: ``"certain"`` or ``"possible"``.
+        method_requested: the method named in the request (e.g. ``auto``).
+        method_used: the mechanism that actually produced the answers
+            (``auto`` resolves to ``rewrite`` or ``asp``).
+        solution_count: how many solutions certified the answers; ``None``
+            when the mechanism does not enumerate solutions (FO
+            rewriting) — *not computed*, as opposed to zero.
+        elapsed: wall-clock seconds spent answering.
+        exchange: peer-to-peer requests/tuples moved for this answer.
+        from_cache: whether memoized per-peer solutions were reused.
+    """
+
+    peer: str
+    query: Query
+    answers: frozenset
+    semantics: str = CERTAIN
+    method_requested: str = "auto"
+    method_used: str = "auto"
+    solution_count: Optional[int] = None
+    elapsed: float = 0.0
+    exchange: ExchangeStats = field(default_factory=ExchangeStats)
+    from_cache: bool = False
+
+    @property
+    def no_solutions(self) -> bool:
+        """True iff the peer provably has no solutions at all.
+
+        ``False`` when ``solution_count is None``: the mechanism did not
+        enumerate solutions, so their absence was never established.
+        """
+        return self.solution_count == 0
+
+    @property
+    def solutions_counted(self) -> bool:
+        return self.solution_count is not None
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(sorted(self.answers))
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.answers
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (used by the CLI)."""
+        return {
+            "peer": self.peer,
+            "query": str(self.query),
+            "answers": sorted(list(row) for row in self.answers),
+            "semantics": self.semantics,
+            "method_requested": self.method_requested,
+            "method_used": self.method_used,
+            "solution_count": self.solution_count,
+            "elapsed_ms": round(self.elapsed * 1000, 3),
+            "exchange_requests": self.exchange.requests,
+            "exchange_tuples": self.exchange.tuples_transferred,
+            "from_cache": self.from_cache,
+        }
+
+    def __repr__(self) -> str:
+        count = ("not-counted" if self.solution_count is None
+                 else self.solution_count)
+        return (f"QueryResult({self.peer!r}, {sorted(self.answers)}, "
+                f"semantics={self.semantics}, method={self.method_used}, "
+                f"solutions={count})")

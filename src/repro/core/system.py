@@ -17,7 +17,8 @@ instance ``r̄`` (:meth:`PeerSystem.global_instance`), and restrictions
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from itertools import count as _count
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from ..relational.constraints import Constraint, TupleGeneratingConstraint
 from ..relational.instance import DatabaseInstance
@@ -27,7 +28,15 @@ from .errors import QueryScopeError, SystemError_
 from .messaging import ExchangeLog
 from .trust import TrustLevel, TrustRelation
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .builder import SystemBuilder
+
 __all__ = ["Peer", "DataExchange", "PeerSystem"]
+
+# monotone token source for PeerSystem.version(); every construction —
+# including functional updates like with_global_instance — gets a fresh
+# value, so caches keyed on it never alias distinct data.
+_VERSIONS = _count(1)
 
 
 class Peer:
@@ -162,6 +171,34 @@ class PeerSystem:
                             f"to allow)")
 
         self.exchange_log = ExchangeLog()
+        self._version = next(_VERSIONS)
+
+    # ------------------------------------------------------------------
+    # Identity and construction helpers
+    # ------------------------------------------------------------------
+    def version(self) -> int:
+        """A token identifying this system's data.
+
+        Fresh per construction: a functional update (e.g.
+        :meth:`with_global_instance`) yields a system with a different
+        version, which is what
+        :class:`~repro.core.session.PeerQuerySession` keys its caches on.
+        """
+        return self._version
+
+    @classmethod
+    def builder(cls) -> "SystemBuilder":
+        """A fluent :class:`~repro.core.builder.SystemBuilder`::
+
+            system = (PeerSystem.builder()
+                      .peer("P1", {"R1": 2}, instance={"R1": [("a", "b")]})
+                      .peer("P2", {"R2": 2})
+                      .exchange("P1", "P2", constraint)
+                      .trust("P1", "less", "P2")
+                      .build())
+        """
+        from .builder import SystemBuilder
+        return SystemBuilder()
 
     # ------------------------------------------------------------------
     # Definition 2/3 derived notions

@@ -406,6 +406,11 @@ def holds(formula: Formula, instance: DatabaseInstance, env: Env,
         return (not holds(formula.premise, instance, env, domain)
                 or holds(formula.conclusion, instance, env, domain))
     if isinstance(formula, Exists):
+        if formula.variables and not domain:
+            # empty active domain: no witness value exists, even when the
+            # body ignores the quantified variables (bindings() would
+            # otherwise certify a closed body without picking a witness)
+            return False
         inner_env = {k: v for k, v in env.items()
                      if k not in formula.variables}  # shadowing
         return any(True for _ in bindings(formula.sub, instance, inner_env,

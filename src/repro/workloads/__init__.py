@@ -5,7 +5,8 @@
 that tests, examples, and benchmarks share a single source of truth.
 
 ``repro.workloads.synthetic`` generates the parameterised system families
-behind the scaling studies SC1–SC4 of EXPERIMENTS.md.
+behind the scaling studies SC1–SC6 (see ``benchmarks/`` and
+``python -m repro report``).
 """
 
 from .paper import (

@@ -20,8 +20,7 @@ from ..relational.instance import DatabaseInstance
 from ..relational.query import Query, RelAtom
 from ..relational.query_parser import parse_query
 from ..relational.schema import DatabaseSchema
-from ..core.system import DataExchange, Peer, PeerSystem
-from ..core.trust import TrustRelation
+from ..core.system import PeerSystem
 
 __all__ = [
     "example1_system",
@@ -62,18 +61,15 @@ def example1_system(r1: Optional[Sequence[tuple]] = None,
     r1 = [("a", "b"), ("s", "t")] if r1 is None else r1
     r2 = [("c", "d"), ("a", "e")] if r2 is None else r2
     r3 = [("a", "f"), ("s", "u")] if r3 is None else r3
-    p1 = Peer("P1", DatabaseSchema.of({"R1": 2}))
-    p2 = Peer("P2", DatabaseSchema.of({"R2": 2}))
-    p3 = Peer("P3", DatabaseSchema.of({"R3": 2}))
-    instances = {
-        "P1": DatabaseInstance(p1.schema, {"R1": r1}),
-        "P2": DatabaseInstance(p2.schema, {"R2": r2}),
-        "P3": DatabaseInstance(p3.schema, {"R3": r3}),
-    }
-    exchanges = [DataExchange("P1", "P2", sigma_p1_p2()),
-                 DataExchange("P1", "P3", sigma_p1_p3())]
-    trust = TrustRelation([("P1", "less", "P2"), ("P1", "same", "P3")])
-    return PeerSystem([p1, p2, p3], instances, exchanges, trust)
+    return (PeerSystem.builder()
+            .peer("P1", {"R1": 2}, instance={"R1": r1})
+            .peer("P2", {"R2": 2}, instance={"R2": r2})
+            .peer("P3", {"R3": 2}, instance={"R3": r3})
+            .exchange("P1", "P2", sigma_p1_p2())
+            .exchange("P1", "P3", sigma_p1_p3())
+            .trust("P1", "less", "P2")
+            .trust("P1", "same", "P3")
+            .build())
 
 
 def example1_query() -> Query:
@@ -124,15 +120,12 @@ def section31_system(r1: Optional[Sequence[tuple]] = None,
     s1 = [("c", "b")] if s1 is None else s1
     r2 = [] if r2 is None else r2
     s2 = [("c", "e"), ("c", "f")] if s2 is None else s2
-    peer_p = Peer("P", DatabaseSchema.of({"R1": 2, "R2": 2}))
-    peer_q = Peer("Q", DatabaseSchema.of({"S1": 2, "S2": 2}))
-    instances = {
-        "P": DatabaseInstance(peer_p.schema, {"R1": r1, "R2": r2}),
-        "Q": DatabaseInstance(peer_q.schema, {"S1": s1, "S2": s2}),
-    }
-    exchanges = [DataExchange("P", "Q", section31_dec())]
-    trust = TrustRelation([("P", "less", "Q")])
-    return PeerSystem([peer_p, peer_q], instances, exchanges, trust)
+    return (PeerSystem.builder()
+            .peer("P", {"R1": 2, "R2": 2}, instance={"R1": r1, "R2": r2})
+            .peer("Q", {"S1": 2, "S2": 2}, instance={"S1": s1, "S2": s2})
+            .exchange("P", "Q", section31_dec())
+            .trust("P", "less", "Q")
+            .build())
 
 
 def example4_system() -> PeerSystem:
@@ -140,19 +133,16 @@ def example4_system() -> PeerSystem:
 
     Instances: r1={(a,b)}, s1={}, r2={}, s2={(c,e),(c,f)}, u={(c,b)}.
     """
-    peer_p = Peer("P", DatabaseSchema.of({"R1": 2, "R2": 2}))
-    peer_q = Peer("Q", DatabaseSchema.of({"S1": 2, "S2": 2}))
-    peer_c = Peer("C", DatabaseSchema.of({"U": 2}))
-    instances = {
-        "P": DatabaseInstance(peer_p.schema, {"R1": [("a", "b")]}),
-        "Q": DatabaseInstance(peer_q.schema,
-                              {"S2": [("c", "e"), ("c", "f")]}),
-        "C": DatabaseInstance(peer_c.schema, {"U": [("c", "b")]}),
-    }
     sigma_qc = InclusionDependency("U", "S1", child_arity=2,
                                    parent_arity=2, name="sigma_qc")
-    exchanges = [DataExchange("P", "Q", section31_dec()),
-                 DataExchange("Q", "C", sigma_qc)]
-    trust = TrustRelation([("P", "less", "Q"), ("Q", "less", "C")])
-    return PeerSystem([peer_p, peer_q, peer_c], instances, exchanges,
-                      trust)
+    return (PeerSystem.builder()
+            .peer("P", {"R1": 2, "R2": 2},
+                  instance={"R1": [("a", "b")]})
+            .peer("Q", {"S1": 2, "S2": 2},
+                  instance={"S2": [("c", "e"), ("c", "f")]})
+            .peer("C", {"U": 2}, instance={"U": [("c", "b")]})
+            .exchange("P", "Q", section31_dec())
+            .exchange("Q", "C", sigma_qc)
+            .trust("P", "less", "Q")
+            .trust("Q", "less", "C")
+            .build())

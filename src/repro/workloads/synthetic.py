@@ -29,11 +29,8 @@ from ..relational.constraints import (
     InclusionDependency,
     TupleGeneratingConstraint,
 )
-from ..relational.instance import DatabaseInstance
 from ..relational.query import RelAtom
-from ..relational.schema import DatabaseSchema
-from ..core.system import DataExchange, Peer, PeerSystem
-from ..core.trust import TrustRelation
+from ..core.system import PeerSystem
 
 __all__ = [
     "conflict_chain_system",
@@ -54,18 +51,15 @@ def conflict_chain_system(n_conflicts: int, *,
     r1 = [(f"k{i}", f"v{i}") for i in range(n_conflicts)]
     r3 = [(f"k{i}", f"w{i}") for i in range(n_conflicts)]
     r1 += [(f"c{i}", f"cv{i}") for i in range(n_clean)]
-    p1 = Peer("P1", DatabaseSchema.of({"R1": 2}))
-    p3 = Peer("P3", DatabaseSchema.of({"R3": 2}))
-    instances = {
-        "P1": DatabaseInstance(p1.schema, {"R1": r1}),
-        "P3": DatabaseInstance(p3.schema, {"R3": r3}),
-    }
     egd = EqualityGeneratingConstraint(
         antecedent=[RelAtom("R1", [_X, _Y]), RelAtom("R3", [_X, _Z])],
         equalities=[(_Y, _Z)], name="conflict")
-    trust = TrustRelation([("P1", "same", "P3")])
-    return PeerSystem([p1, p3], instances,
-                      [DataExchange("P1", "P3", egd)], trust)
+    return (PeerSystem.builder()
+            .peer("P1", {"R1": 2}, instance={"R1": r1})
+            .peer("P3", {"R3": 2}, instance={"R3": r3})
+            .exchange("P1", "P3", egd)
+            .trust("P1", "same", "P3")
+            .build())
 
 
 def import_star_system(n_tuples: int, n_neighbours: int = 1, *,
@@ -82,40 +76,31 @@ def import_star_system(n_tuples: int, n_neighbours: int = 1, *,
     """
     rng = random.Random(seed)
     own = [(f"k{i}", f"v{i}") for i in range(n_tuples)]
-    peers = [Peer("P0", DatabaseSchema.of({"R0": 2}))]
-    instances = {"P0": None}  # placeholder; filled below
-    exchanges = []
-    trust_edges = []
+    builder = PeerSystem.builder().peer("P0", {"R0": 2},
+                                        instance={"R0": own})
     for j in range(1, n_neighbours + 1):
         relation = f"M{j}"
-        neighbour = Peer(f"P{j}", DatabaseSchema.of({relation: 2}))
-        peers.append(neighbour)
         shared = rng.sample(own, int(overlap * len(own))) if own else []
         fresh = [(f"n{j}_{i}", f"nv{j}_{i}")
                  for i in range(max(0, n_tuples // n_neighbours))]
-        instances[neighbour.name] = DatabaseInstance(
-            neighbour.schema, {relation: shared + fresh})
-        exchanges.append(DataExchange(
-            "P0", neighbour.name,
+        builder.peer(f"P{j}", {relation: 2},
+                     instance={relation: shared + fresh})
+        builder.exchange(
+            "P0", f"P{j}",
             InclusionDependency(relation, "R0", child_arity=2,
                                 parent_arity=2,
-                                name=f"import_{relation}")))
-        trust_edges.append(("P0", "less", neighbour.name))
+                                name=f"import_{relation}"))
+        builder.trust("P0", "less", f"P{j}")
     if conflicts:
-        conflict_peer = Peer("PC", DatabaseSchema.of({"C0": 2}))
-        peers.append(conflict_peer)
         conflicting = [(f"k{i}", f"w{i}") for i in range(conflicts)]
-        instances["PC"] = DatabaseInstance(conflict_peer.schema,
-                                           {"C0": conflicting})
         egd = EqualityGeneratingConstraint(
             antecedent=[RelAtom("R0", [_X, _Y]),
                         RelAtom("C0", [_X, _Z])],
             equalities=[(_Y, _Z)], name="conflict_C0")
-        exchanges.append(DataExchange("P0", "PC", egd))
-        trust_edges.append(("P0", "same", "PC"))
-    instances["P0"] = DatabaseInstance(peers[0].schema, {"R0": own})
-    return PeerSystem(peers, instances, exchanges,
-                      TrustRelation(trust_edges))
+        builder.peer("PC", {"C0": 2}, instance={"C0": conflicting})
+        builder.exchange("P0", "PC", egd)
+        builder.trust("P0", "same", "PC")
+    return builder.build()
 
 
 def referential_system(n_violations: int, n_witnesses: int = 2, *,
@@ -134,19 +119,18 @@ def referential_system(n_violations: int, n_witnesses: int = 2, *,
         s1.append((f"sa{i}", f"sm{i}"))
         r2.append((f"sd{i}", f"st{i}"))
         s2.append((f"sa{i}", f"st{i}"))
-    peer_p = Peer("P", DatabaseSchema.of({"R1": 2, "R2": 2}))
-    peer_q = Peer("Q", DatabaseSchema.of({"S1": 2, "S2": 2}))
-    instances = {
-        "P": DatabaseInstance(peer_p.schema, {"R1": r1, "R2": r2}),
-        "Q": DatabaseInstance(peer_q.schema, {"S1": s1, "S2": s2}),
-    }
     dec = TupleGeneratingConstraint(
         antecedent=[RelAtom("R1", [_X, _Y]), RelAtom("S1", [_Z, _Y])],
         consequent=[RelAtom("R2", [_X, _W]), RelAtom("S2", [_Z, _W])],
         name="dec3")
-    trust = TrustRelation([("P", "less", "Q")])
-    return PeerSystem([peer_p, peer_q], instances,
-                      [DataExchange("P", "Q", dec)], trust)
+    return (PeerSystem.builder()
+            .peer("P", {"R1": 2, "R2": 2},
+                  instance={"R1": r1, "R2": r2})
+            .peer("Q", {"S1": 2, "S2": 2},
+                  instance={"S1": s1, "S2": s2})
+            .exchange("P", "Q", dec)
+            .trust("P", "less", "Q")
+            .build())
 
 
 def peer_chain_system(length: int, n_tuples: int = 2) -> PeerSystem:
@@ -155,25 +139,19 @@ def peer_chain_system(length: int, n_tuples: int = 2) -> PeerSystem:
     entered at the far end propagates transitively to P0."""
     if length < 1:
         raise ValueError("chain length must be >= 1")
-    peers = []
-    instances = {}
-    exchanges = []
-    trust_edges = []
+    builder = PeerSystem.builder()
     for index in range(length + 1):
         relation = f"T{index}"
-        peer = Peer(f"P{index}", DatabaseSchema.of({relation: 2}))
-        peers.append(peer)
         rows = []
         if index == length:  # only the far end holds data
             rows = [(f"x{i}", f"y{i}") for i in range(n_tuples)]
-        instances[peer.name] = DatabaseInstance(peer.schema,
-                                                {relation: rows})
+        builder.peer(f"P{index}", {relation: 2},
+                     instance={relation: rows})
         if index < length:
-            exchanges.append(DataExchange(
+            builder.exchange(
                 f"P{index}", f"P{index + 1}",
                 InclusionDependency(f"T{index + 1}", relation,
                                     child_arity=2, parent_arity=2,
-                                    name=f"chain_{index}")))
-            trust_edges.append((f"P{index}", "less", f"P{index + 1}"))
-    return PeerSystem(peers, instances, exchanges,
-                      TrustRelation(trust_edges))
+                                    name=f"chain_{index}"))
+            builder.trust(f"P{index}", "less", f"P{index + 1}")
+    return builder.build()

@@ -1,0 +1,125 @@
+"""Unit tests for the fluent :class:`SystemBuilder`."""
+
+import pytest
+
+from repro.core import (
+    PeerSystem,
+    SystemBuilder,
+    SystemError_,
+    TrustError,
+    system_to_dict,
+)
+from repro.relational import InclusionDependency
+from repro.workloads import example1_system
+
+
+def example1_via_builder() -> PeerSystem:
+    return (
+        PeerSystem.builder()
+        .peer("P1", {"R1": 2}, instance={"R1": [("a", "b"), ("s", "t")]})
+        .peer("P2", {"R2": 2}, instance={"R2": [("c", "d"), ("a", "e")]})
+        .peer("P3", {"R3": 2}, instance={"R3": [("a", "f"), ("s", "u")]})
+        .exchange("P1", "P2",
+                  {"type": "inclusion", "child": "R2", "parent": "R1",
+                   "child_arity": 2, "parent_arity": 2,
+                   "name": "sigma_p1_p2"})
+        .exchange("P1", "P3",
+                  {"type": "egd",
+                   "antecedent": ["R1(X, Y)", "R3(X, Z)"],
+                   "equalities": [["Y", "Z"]], "name": "sigma_p1_p3"})
+        .trust("P1", "less", "P2")
+        .trust("P1", "same", "P3")
+        .build())
+
+
+class TestBuilder:
+    def test_classmethod_returns_builder(self):
+        assert isinstance(PeerSystem.builder(), SystemBuilder)
+
+    def test_builds_example1_equivalent(self):
+        built = example1_via_builder()
+        reference = example1_system()
+        assert system_to_dict(built) == system_to_dict(reference)
+
+    def test_constraint_objects_accepted(self):
+        system = (PeerSystem.builder()
+                  .peer("A", {"R": 1}, instance={"R": [("x",)]})
+                  .peer("B", {"S": 1})
+                  .exchange("B", "A",
+                            InclusionDependency("R", "S", child_arity=1,
+                                                parent_arity=1))
+                  .trust("B", "less", "A")
+                  .build())
+        assert system.neighbours("B") == ("A",)
+
+    def test_local_ics_from_dicts(self):
+        with pytest.raises(SystemError_):
+            # instance violates the FD declared as a dict: build rejects
+            (PeerSystem.builder()
+             .peer("A", {"R": 2},
+                   instance={"R": [("k", "1"), ("k", "2")]},
+                   local_ics=[{"type": "fd", "relation": "R",
+                               "lhs": [0], "rhs": [1], "arity": 2}])
+             .build())
+
+    def test_enforce_local_ics_opt_out(self):
+        system = (PeerSystem.builder()
+                  .peer("A", {"R": 2},
+                        instance={"R": [("k", "1"), ("k", "2")]},
+                        local_ics=[{"type": "fd", "relation": "R",
+                                    "lhs": [0], "rhs": [1], "arity": 2}])
+                  .enforce_local_ics(False)
+                  .build())
+        assert len(system.instances["A"].tuples("R")) == 2
+
+    def test_duplicate_peer_rejected_eagerly(self):
+        builder = PeerSystem.builder().peer("A", {"R": 1})
+        with pytest.raises(SystemError_):
+            builder.peer("A", {"S": 1})
+
+    def test_bad_constraint_payload_rejected(self):
+        builder = PeerSystem.builder().peer("A", {"R": 1}) \
+            .peer("B", {"S": 1})
+        with pytest.raises(SystemError_):
+            builder.exchange("A", "B", 42)
+
+    def test_bad_trust_level_rejected_eagerly(self):
+        builder = PeerSystem.builder().peer("A", {"R": 1}) \
+            .peer("B", {"S": 1})
+        with pytest.raises(TrustError):
+            builder.trust("A", "sideways", "B")
+
+    def test_trust_edges_bulk(self):
+        system = (PeerSystem.builder()
+                  .peer("A", {"R": 1}).peer("B", {"S": 1})
+                  .peer("C", {"T": 1})
+                  .trust_edges([("A", "less", "B"), ("A", "same", "C")])
+                  .build())
+        assert len(system.trust) == 2
+
+    def test_build_validates_via_peer_system(self):
+        # DEC over an unknown peer: PeerSystem's Definition-2 validation
+        builder = (PeerSystem.builder()
+                   .peer("A", {"R": 1})
+                   .exchange("A", "Z",
+                             {"type": "inclusion", "child": "R",
+                              "parent": "R", "child_arity": 1,
+                              "parent_arity": 1}))
+        with pytest.raises(SystemError_):
+            builder.build()
+
+    def test_repeated_builds_get_fresh_versions(self):
+        builder = PeerSystem.builder().peer("A", {"R": 1})
+        first, second = builder.build(), builder.build()
+        assert first.version() != second.version()
+
+
+class TestVersionToken:
+    def test_functional_update_changes_version(self):
+        system = example1_system()
+        updated = system.with_global_instance(system.global_instance())
+        assert updated.version() != system.version()
+
+    def test_version_stable_on_one_instance(self):
+        system = example1_system()
+        assert system.version() == system.version()

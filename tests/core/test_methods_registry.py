@@ -1,0 +1,198 @@
+"""Unit tests for the pluggable answer-method registry and the ``auto``
+planner."""
+
+import pytest
+
+from repro.core import (
+    AnswerMethod,
+    P2PError,
+    PeerQuerySession,
+    UnknownMethodError,
+    available_methods,
+    get_method,
+    register_method,
+    unregister_method,
+)
+from repro.relational import parse_query
+from repro.workloads import (
+    example1_query,
+    example1_system,
+    example4_system,
+    section31_system,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_methods()
+        for builtin in ("model", "asp", "lav", "rewrite", "transitive",
+                        "auto"):
+            assert builtin in names
+
+    def test_get_method_unknown_raises(self):
+        with pytest.raises(UnknownMethodError) as err:
+            get_method("quantum")
+        # the error is self-diagnosing: it lists what IS registered
+        assert "asp" in str(err.value)
+
+    def test_unknown_method_error_is_p2p_error(self):
+        with pytest.raises(P2PError):
+            get_method("quantum")
+
+    def test_register_requires_answer_method(self):
+        with pytest.raises(P2PError):
+            register_method(object())
+
+    def test_register_requires_name(self):
+        class Nameless(AnswerMethod):
+            pass
+
+        with pytest.raises(P2PError):
+            register_method(Nameless())
+
+    def test_duplicate_registration_rejected(self):
+        class Clash(AnswerMethod):
+            name = "asp"
+
+        with pytest.raises(P2PError):
+            register_method(Clash())
+
+    def test_register_replace_and_unregister(self):
+        class Custom(AnswerMethod):
+            name = "custom_test_method"
+
+            def solutions(self, session, peer):
+                return get_method("asp").solutions(session, peer)
+
+        register_method(Custom())
+        try:
+            assert "custom_test_method" in available_methods()
+            # replace=True allows overriding
+            register_method(Custom(), replace=True)
+        finally:
+            unregister_method("custom_test_method")
+        assert "custom_test_method" not in available_methods()
+        with pytest.raises(UnknownMethodError):
+            unregister_method("custom_test_method")
+
+    def test_methods_cli_survives_docstringless_plugin(self):
+        """Regression: ``python -m repro methods`` must not crash when a
+        registered method has no docstring."""
+        class NoDoc(AnswerMethod):
+            name = "nodoc_test_method"
+        NoDoc.__doc__ = None
+
+        register_method(NoDoc())
+        try:
+            from repro.__main__ import main
+            assert main(["methods"]) == 0
+        finally:
+            unregister_method("nodoc_test_method")
+
+    def test_unrelated_select_attribute_not_treated_as_planner(self):
+        """Regression: planner dispatch is by the is_planner flag, not
+        duck-typed on a 'select' attribute."""
+        class WithHelper(AnswerMethod):
+            name = "helper_test_method"
+
+            def select(self, rows):  # unrelated helper, not the hook
+                return rows
+
+            def solutions(self, session, peer):
+                return get_method("model").solutions(session, peer)
+
+        register_method(WithHelper())
+        try:
+            session = PeerQuerySession(example1_system())
+            result = session.answer("P1", example1_query(),
+                                    method="helper_test_method")
+            assert result.method_used == "helper_test_method"
+            assert result.answers == \
+                session.answer("P1", example1_query(),
+                               method="asp").answers
+        finally:
+            unregister_method("helper_test_method")
+
+    def test_custom_method_usable_from_session(self):
+        class Echo(AnswerMethod):
+            name = "echo_test_method"
+
+            def solutions(self, session, peer):
+                return get_method("model").solutions(session, peer)
+
+        register_method(Echo)  # classes are instantiated on the fly
+        try:
+            session = PeerQuerySession(example1_system())
+            result = session.answer("P1", example1_query(),
+                                    method="echo_test_method")
+            asp = session.answer("P1", example1_query(), method="asp")
+            assert result.answers == asp.answers
+            assert result.method_used == "echo_test_method"
+        finally:
+            unregister_method("echo_test_method")
+
+
+class TestSupports:
+    def test_rewrite_supports_example1(self):
+        assert get_method("rewrite").supports(example1_system(), "P1",
+                                              example1_query())
+
+    def test_rewrite_rejects_tgd_decs(self):
+        # DEC (3) is a referential TGD: outside the rewriting fragment
+        assert not get_method("rewrite").supports(
+            section31_system(), "P", parse_query("q(X, Y) := R1(X, Y)"))
+
+    def test_transitive_rejects_same_trust(self):
+        # example1 has a `same` edge: Section 4.3 does not apply
+        assert not get_method("transitive").supports(example1_system(),
+                                                     "P1")
+        assert get_method("transitive").supports(example4_system(), "P")
+
+    def test_asp_supports_everything(self):
+        for system, peer in ((example1_system(), "P1"),
+                             (section31_system(), "P"),
+                             (example4_system(), "P")):
+            assert get_method("asp").supports(system, peer)
+
+
+class TestAutoSelection:
+    def test_auto_picks_rewrite_on_example1(self):
+        session = PeerQuerySession(example1_system())
+        result = session.answer("P1", example1_query())
+        assert result.method_requested == "auto"
+        assert result.method_used == "rewrite"
+        assert result.solution_count is None  # honestly not computed
+
+    def test_auto_falls_back_to_asp_on_section31(self):
+        session = PeerQuerySession(section31_system())
+        result = session.answer("P", "q(X, Y) := R2(X, Y)")
+        assert result.method_used == "asp"
+        assert result.solution_count is not None
+
+    @pytest.mark.parametrize("make_system,peer,query_text", [
+        (example1_system, "P1", "q(X, Y) := R1(X, Y)"),
+        (example1_system, "P1", "q(X) := exists Y R1(X, Y)"),
+        (section31_system, "P", "q(X, Y) := R2(X, Y)"),
+        (section31_system, "P", "q(X, Y) := R1(X, Y)"),
+    ])
+    def test_auto_matches_asp_on_paper_systems(self, make_system, peer,
+                                               query_text):
+        """The acceptance criterion: auto answers == asp answers."""
+        session = PeerQuerySession(make_system())
+        auto = session.answer(peer, query_text, method="auto")
+        asp = session.answer(peer, query_text, method="asp")
+        assert auto.answers == asp.answers
+
+    def test_auto_possible_semantics_skips_rewrite(self):
+        # rewriting cannot do brave reasoning; auto must not pick it
+        session = PeerQuerySession(example1_system())
+        result = session.answer("P1", example1_query(),
+                                semantics="possible")
+        assert result.method_used == "asp"
+        assert ("s", "t") in result.answers
+
+    def test_rewrite_possible_semantics_rejected(self):
+        session = PeerQuerySession(example1_system())
+        with pytest.raises(P2PError):
+            session.answer("P1", example1_query(), method="rewrite",
+                           semantics="possible")

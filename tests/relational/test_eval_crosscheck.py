@@ -126,6 +126,18 @@ def closed_formulas(draw, depth=3, free=()):
     return quantifier([var], body)
 
 
+def test_exists_over_empty_domain_is_false():
+    """Regression: ∃Y φ must be false over an empty active domain even
+    when φ ignores Y (shadowed/unused quantified variables let
+    ``bindings`` certify a closed body without picking a witness)."""
+    instance = DatabaseInstance(SCHEMA, {"R": [], "S": []})
+    formula = Exists([Y], Exists([Y], Forall([Y], RelAtom("R", [Y, Y]))))
+    domain = evaluation_domain(instance, formula)
+    assert domain == ()
+    assert holds(formula, instance, {}, domain) is False
+    assert holds_reference(formula, instance, {}, domain) is False
+
+
 @settings(max_examples=150, deadline=None)
 @given(instances(), closed_formulas())
 def test_holds_matches_reference_closed(instance, formula):

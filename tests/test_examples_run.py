@@ -21,10 +21,11 @@ def _run_main(directory, name):
 
 EXAMPLE_EXPECTATIONS = {
     "quickstart": ["Solutions for P1", "method=rewrite",
-                   "('c', 'd')"],
+                   "method=auto", "('c', 'd')"],
     "referential_exchange": ["stable models: 4",
                              "GAV solutions == LAV solutions == "
-                             "Definition 4: True"],
+                             "Definition 4: True",
+                             "answers agree with asp: True"],
     "transitive_network": ["global solutions for P",
                            "transitive PCAs at P0"],
     "trading_network": ["certified catalog",
@@ -53,6 +54,7 @@ BENCH_EXPECTATIONS = {
     "bench_hcf_ablation": ["speedup"],
     "bench_transitive_scaling": ["T0_global"],
     "bench_engine_ablation": ["identical single model"],
+    "bench_session_cache": ["SC6", "speedup"],
 }
 
 
