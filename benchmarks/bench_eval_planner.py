@@ -1,0 +1,199 @@
+"""EP — the indexed evaluation planner vs the naive FO evaluator.
+
+Every mechanism in the reproduction bottoms out in FO evaluation, and
+the naive evaluator's ``product(domain, repeat=k)`` fallback plus full
+relation scans make it quadratic-and-worse in instance size and
+exponential in unbound-variable count.  The planner
+(:mod:`repro.relational.planner`) replaces that with selectivity-ordered
+index joins; this benchmark measures the gap along both axes the ISSUE
+names:
+
+* **instance-size scaling** — a fixed join query
+  ``q(X, Z) := ∃Y (R(X, Y) ∧ S(Y, Z))`` over growing random instances;
+* **free-variable-count scaling** — path queries
+  ``q(X0..Xk) := R(X0,X1) ∧ ... ∧ R(Xk-1,Xk)`` with every variable free,
+  plus a guarded-∀ query in the shape the Example-2 rewriting produces.
+
+Expected series shape: the naive evaluator grows ~quadratically on the
+join (scan per candidate) while the planner stays near-linear in the
+output, so the speedup widens with n; at the largest scaling point the
+planner must be ≥5x faster (checked when run as a script, as CI does).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.relational import (
+    And,
+    DatabaseInstance,
+    DatabaseSchema,
+    Exists,
+    Forall,
+    Implies,
+    Query,
+    RelAtom,
+    Variable,
+)
+
+SCHEMA = DatabaseSchema.of({"R": 2, "S": 2})
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+#: instance-size axis (largest point carries the ≥5x acceptance bar)
+SIZES = (100, 200, 400)
+#: free-variable axis (path length = number of free variables)
+FREE_VARS = (1, 2, 3)
+PATH_INSTANCE_SIZE = 150
+
+
+def make_instance(n: int, seed: int = 7) -> DatabaseInstance:
+    """Random instance with n tuples per relation over ~n/2 values —
+    dense enough for joins to produce work, sparse enough that output
+    size stays manageable."""
+    rng = random.Random(seed)
+    values = [f"v{i}" for i in range(max(4, n // 2))]
+    return DatabaseInstance(SCHEMA, {
+        "R": {(rng.choice(values), rng.choice(values)) for _ in range(n)},
+        "S": {(rng.choice(values), rng.choice(values)) for _ in range(n)},
+    })
+
+
+def join_query() -> Query:
+    return Query("q", [X, Z],
+                 Exists([Y], And(RelAtom("R", [X, Y]),
+                                 RelAtom("S", [Y, Z]))))
+
+
+def path_query(k: int) -> Query:
+    """k-hop path with every variable free: answer arity k + 1."""
+    variables = [Variable(f"X{i}") for i in range(k + 1)]
+    atoms = [RelAtom("R", [variables[i], variables[i + 1]])
+             for i in range(k)]
+    formula = atoms[0] if len(atoms) == 1 else And(*atoms)
+    return Query("q", variables, formula)
+
+
+def guarded_query() -> Query:
+    """The Example-2 rewriting shape: a guarded universal over a join."""
+    return Query("q", [X, Y],
+                 And(RelAtom("R", [X, Y]),
+                     Forall([Z], Implies(RelAtom("S", [X, Z]),
+                                         RelAtom("R", [Z, Y])))))
+
+
+def run(query: Query, instance: DatabaseInstance,
+        evaluator: str) -> set[tuple]:
+    return query.answers(instance, evaluator=evaluator)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark harness (pytest benchmarks/ --benchmark-only)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ep_join_planner(benchmark, n):
+    instance = make_instance(n)
+    answers = benchmark(lambda: run(join_query(), instance, "planner"))
+    assert answers == run(join_query(), instance, "naive")
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.parametrize("n", SIZES[:2])  # naive at 400 is too slow to
+def test_ep_join_naive(benchmark, n):     # repeat under the harness
+    instance = make_instance(n)
+    answers = benchmark(lambda: run(join_query(), instance, "naive"))
+    assert answers == run(join_query(), instance, "planner")
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.parametrize("k", FREE_VARS)
+def test_ep_free_vars_planner(benchmark, k):
+    instance = make_instance(PATH_INSTANCE_SIZE)
+    answers = benchmark(lambda: run(path_query(k), instance, "planner"))
+    assert answers == run(path_query(k), instance, "naive")
+    benchmark.extra_info["free_vars"] = k + 1
+
+
+def test_ep_guarded_forall_agrees():
+    instance = make_instance(80)
+    assert run(guarded_query(), instance, "planner") == \
+        run(guarded_query(), instance, "naive")
+
+
+# ---------------------------------------------------------------------------
+# Script mode (CI smoke step): print the report, enforce the speedup bar
+# ---------------------------------------------------------------------------
+
+def _timed(query: Query, instance: DatabaseInstance,
+           evaluator: str) -> tuple[float, set[tuple]]:
+    start = time.perf_counter()
+    answers = run(query, instance, evaluator)
+    return (time.perf_counter() - start) * 1000, answers
+
+
+def main() -> int:
+    print("EP — indexed planner vs naive FO evaluator")
+    failures = []
+
+    print("\n  instance-size scaling, q(X, Z) := exists Y "
+          "(R(X, Y) & S(Y, Z))")
+    print(f"  {'n':>6s} {'naive_ms':>10s} {'planner_ms':>11s} "
+          f"{'speedup':>8s} {'answers':>8s} {'agree':>6s}")
+    join_speedup = 0.0
+    for n in SIZES:
+        instance = make_instance(n)
+        naive_ms, naive_answers = _timed(join_query(), instance, "naive")
+        planner_ms, planner_answers = _timed(join_query(), instance,
+                                             "planner")
+        join_speedup = naive_ms / planner_ms if planner_ms else float("inf")
+        agree = naive_answers == planner_answers
+        if not agree:
+            failures.append(f"join n={n}: evaluators disagree")
+        print(f"  {n:6d} {naive_ms:10.1f} {planner_ms:11.1f} "
+              f"{join_speedup:8.1f} {len(planner_answers):8d} "
+              f"{str(agree):>6s}")
+
+    print(f"\n  free-variable scaling, k-hop paths over "
+          f"n={PATH_INSTANCE_SIZE}")
+    print(f"  {'vars':>6s} {'naive_ms':>10s} {'planner_ms':>11s} "
+          f"{'speedup':>8s} {'answers':>8s} {'agree':>6s}")
+    instance = make_instance(PATH_INSTANCE_SIZE)
+    for k in FREE_VARS:
+        naive_ms, naive_answers = _timed(path_query(k), instance, "naive")
+        planner_ms, planner_answers = _timed(path_query(k), instance,
+                                             "planner")
+        speedup = naive_ms / planner_ms if planner_ms else float("inf")
+        agree = naive_answers == planner_answers
+        if not agree:
+            failures.append(f"path k={k}: evaluators disagree")
+        print(f"  {k + 1:6d} {naive_ms:10.1f} {planner_ms:11.1f} "
+              f"{speedup:8.1f} {len(planner_answers):8d} "
+              f"{str(agree):>6s}")
+
+    print("\n  guarded universal (Example-2 rewriting shape), n=80")
+    instance = make_instance(80)
+    naive_ms, naive_answers = _timed(guarded_query(), instance, "naive")
+    planner_ms, planner_answers = _timed(guarded_query(), instance,
+                                         "planner")
+    agree = naive_answers == planner_answers
+    if not agree:
+        failures.append("guarded forall: evaluators disagree")
+    print(f"  naive {naive_ms:.1f} ms, planner {planner_ms:.1f} ms, "
+          f"speedup {naive_ms / max(planner_ms, 1e-9):.1f}x, "
+          f"agree {agree}")
+
+    if join_speedup < 5.0:
+        failures.append(
+            f"largest join point speedup {join_speedup:.1f}x < 5x")
+    if failures:
+        print("\n  FAILED: " + "; ".join(failures))
+        return 1
+    print("\n  expected: identical answers everywhere; speedup widens "
+          "with n\n  (naive rescans per candidate, the planner probes "
+          "hash buckets) and is\n  >=5x at the largest join point")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

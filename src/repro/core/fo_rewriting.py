@@ -312,10 +312,19 @@ def rewrite_peer_query(system: PeerSystem, peer: str,
 
 
 def answers_via_rewriting(system: PeerSystem, peer: str,
-                          query: Query) -> set[tuple]:
+                          query: Query, *,
+                          evaluator: str = "planner") -> set[tuple]:
     """PCAs by rewriting: rewrite, fetch the mentioned neighbour
     relations (logged on the exchange log), evaluate over the combined
-    data."""
+    data.
+
+    ``evaluator`` selects the FO evaluation engine for the rewritten
+    query — ``"planner"`` (indexed, default) or ``"naive"``.  The
+    rewriting is only a win when its evaluation is genuinely
+    first-order-cheap, which is exactly what the planner provides: the
+    guarded universals of formula (1) become index-backed guard scans
+    instead of active-domain products.
+    """
     rewritten = rewrite_peer_query(system, peer, query)
     own = set(system.peer(peer).schema.names)
     needed = rewritten.relations()
@@ -328,4 +337,4 @@ def answers_via_rewriting(system: PeerSystem, peer: str,
                 peer, relation, purpose=f"rewritten query {query.name}")
     schema = system.global_schema.restrict(sorted(needed))
     instance = DatabaseInstance(schema, data)
-    return rewritten.answers(instance)
+    return rewritten.answers(instance, evaluator=evaluator)

@@ -18,7 +18,10 @@ combined-program semantics of Section 4.3.  Each is packaged here as an
   across queries.
 
 Methods are stateless singletons; all system state travels through the
-session handed to every call.
+session handed to every call — including the session's ``evaluator``
+setting, which selects the FO evaluation engine (the indexed planner by
+default, or the naive reference evaluator for differential runs) used by
+the mechanisms that evaluate queries and constraints directly.
 """
 
 from __future__ import annotations
@@ -89,15 +92,18 @@ class AnswerMethod(ABC):
         """
         session.system.validate_query_scope(peer, query)
         solutions = session.solutions(peer, method=self.name)
-        return pca_from_solutions(session.system, peer, query, solutions)
+        return pca_from_solutions(
+            session.system, peer, query, solutions,
+            evaluator=getattr(session, "evaluator", "planner"))
 
     def possible_answers(self, session: "PeerQuerySession", peer: str,
                          query: Query) -> PCAResult:
         """The brave dual: tuples true in *some* solution restriction."""
         session.system.validate_query_scope(peer, query)
         solutions = session.solutions(peer, method=self.name)
-        return possible_from_solutions(session.system, peer, query,
-                                       solutions)
+        return possible_from_solutions(
+            session.system, peer, query, solutions,
+            evaluator=getattr(session, "evaluator", "planner"))
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
@@ -179,7 +185,8 @@ class ModelMethod(AnswerMethod):
         from .solutions import solutions_for_peer
         return solutions_for_peer(
             session.system, peer,
-            include_local_ics=session.include_local_ics)
+            include_local_ics=session.include_local_ics,
+            evaluator=getattr(session, "evaluator", "planner"))
 
 
 @register_method
@@ -239,7 +246,9 @@ class RewriteMethod(AnswerMethod):
     def certain_answers(self, session: "PeerQuerySession", peer: str,
                         query: Query) -> PCAResult:
         from .fo_rewriting import answers_via_rewriting
-        answers = answers_via_rewriting(session.system, peer, query)
+        answers = answers_via_rewriting(
+            session.system, peer, query,
+            evaluator=getattr(session, "evaluator", "planner"))
         # the rewriting evaluates one FO query; solutions are never
         # enumerated, so the count is honestly "not computed".
         return PCAResult(answers, None)

@@ -60,6 +60,10 @@ class PeerQuerySession:
         default_method: registered method name used when a request names
             none (default ``"auto"``).
         include_local_ics: enforce IC(P) inside the solution semantics.
+        evaluator: FO-evaluation engine used by the mechanisms this
+            session drives — ``"planner"`` (indexed, default) or
+            ``"naive"`` (the reference evaluator, for differential
+            runs).
 
     The bound system may be swapped (:meth:`use_system`, or assignment to
     :attr:`system`); caches are keyed on
@@ -69,11 +73,17 @@ class PeerQuerySession:
 
     def __init__(self, system: PeerSystem, *,
                  default_method: str = "auto",
-                 include_local_ics: bool = True) -> None:
+                 include_local_ics: bool = True,
+                 evaluator: str = "planner") -> None:
         get_method(default_method)  # fail fast on typos
+        if evaluator not in ("planner", "naive"):
+            raise ValueError(
+                f"unknown evaluator {evaluator!r}; "
+                f"choose 'planner' or 'naive'")
         self.system = system
         self.default_method = default_method
         self.include_local_ics = include_local_ics
+        self.evaluator = evaluator
         self._solutions: dict[tuple, list[DatabaseInstance]] = {}
         self._hits = 0
         self._misses = 0
@@ -96,7 +106,8 @@ class PeerQuerySession:
         if not resolved.enumerates_solutions or resolved.is_planner:
             name = "asp"
         self.system.peer(peer)  # validate before touching the cache
-        key = (self.system.version(), peer, name, self.include_local_ics)
+        key = (self.system.version(), peer, name, self.include_local_ics,
+               self.evaluator)
         cached = self._solutions.get(key)
         if cached is not None:
             self._hits += 1

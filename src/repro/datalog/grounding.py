@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from ..relational.indexes import TupleIndex
 from .errors import GroundingError
 from .graphs import objective_key
 from .program import Program, Rule
@@ -160,62 +161,32 @@ class GroundProgram:
 # Possible-set computation and rule instantiation
 # ---------------------------------------------------------------------------
 
-class _Relation:
-    """Ground tuples of one objective predicate, with per-column indexes."""
-
-    __slots__ = ("tuples", "_indexes")
-
-    def __init__(self) -> None:
-        self.tuples: set[tuple] = set()
-        self._indexes: dict[int, dict[Constant, list[tuple]]] = {}
-
-    def add(self, values: tuple) -> bool:
-        if values in self.tuples:
-            return False
-        self.tuples.add(values)
-        for position, index in self._indexes.items():
-            index.setdefault(values[position], []).append(values)
-        return True
-
-    def candidates(self, bound: dict[int, Constant]) -> Iterator[tuple]:
-        """Tuples matching the given column bindings (may over-approximate).
-
-        Uses (and lazily builds) a hash index on one bound column; callers
-        still verify the full pattern.
-        """
-        if not bound:
-            # snapshot: callers may derive into this very relation mid-scan
-            yield from list(self.tuples)
-            return
-        position = next(iter(bound))
-        index = self._indexes.get(position)
-        if index is None:
-            index = {}
-            for values in self.tuples:
-                index.setdefault(values[position], []).append(values)
-            self._indexes[position] = index
-        yield from list(index.get(bound[position], ()))
-
-
 class _PossibleSet:
-    """The over-approximation of derivable literals, per objective key."""
+    """The over-approximation of derivable literals, per objective key.
+
+    Each predicate's ground tuples live in a shared
+    :class:`~repro.relational.indexes.TupleIndex` — the same lazy,
+    incrementally-maintained per-column hash indexes the relational
+    evaluation planner uses — so bound-column lookups during rule
+    instantiation are exact bucket probes, not relation scans.
+    """
 
     __slots__ = ("relations",)
 
     def __init__(self) -> None:
-        self.relations: dict[str, _Relation] = {}
+        self.relations: dict[str, TupleIndex] = {}
 
     def add(self, key: str, values: tuple) -> bool:
         relation = self.relations.get(key)
         if relation is None:
-            relation = self.relations[key] = _Relation()
+            relation = self.relations[key] = TupleIndex()
         return relation.add(values)
 
     def contains(self, key: str, values: tuple) -> bool:
         relation = self.relations.get(key)
-        return relation is not None and values in relation.tuples
+        return relation is not None and values in relation
 
-    def relation(self, key: str) -> Optional[_Relation]:
+    def relation(self, key: str) -> Optional[TupleIndex]:
         return self.relations.get(key)
 
 
@@ -330,7 +301,9 @@ class _RuleGrounder:
             relation = possible.relation(key)
             if relation is None:
                 return
-            source = relation.candidates(bound)
+            # exact index probe on every bound column (snapshot list:
+            # the fixpoint may derive into this relation mid-scan)
+            source = relation.matching(bound)
         for values in source:
             extended = self._match(pattern, values, subst)
             if extended is not None:
@@ -427,7 +400,7 @@ def ground_program(program: Program, *,
                         f"unbound head variable in rule {grounder.rule}")
                 derive(objective_key(head_literal), values, round_delta)
     delta = round_delta
-    total_atoms = sum(len(rel.tuples) for rel in possible.relations.values())
+    total_atoms = sum(len(rel) for rel in possible.relations.values())
     while delta:
         if total_atoms > max_atoms:
             raise GroundingError(

@@ -5,10 +5,26 @@ and peer schemas, immutable instances with the fact-set Σ(r), the symmetric
 difference Δ and the ≤_r order, full first-order query evaluation under
 active-domain semantics, and the constraint families used as local ICs and
 data-exchange constraints (TGDs, EGDs/FDs/keys, denials).
+
+Query and constraint evaluation is index-driven by default: instances
+carry lazily-built, incrementally-maintained per-column hash indexes
+(:mod:`repro.relational.indexes`), and the evaluation planner
+(:mod:`repro.relational.planner`) compiles formulas into plans with
+selection pushdown and selectivity-ordered index joins.  The naive
+active-domain evaluator remains available everywhere via
+``evaluator="naive"`` for differential testing.
 """
 
 from ..datalog.terms import Constant, Variable
 from .algebra import NamedRelation, from_instance
+from .indexes import TupleIndex
+from .planner import (
+    QueryPlanner,
+    explain_plan,
+    plan_answers,
+    plan_bindings,
+    plan_holds,
+)
 from .constraints import (
     Constraint,
     DenialConstraint,
@@ -55,6 +71,9 @@ __all__ = [
     "evaluation_domain", "parse_formula", "parse_query",
     # terms re-exported for convenience
     "Constant", "Variable",
+    # index layer and evaluation planner
+    "TupleIndex", "QueryPlanner", "plan_answers", "plan_bindings",
+    "plan_holds", "explain_plan",
     # algebra
     "NamedRelation", "from_instance",
     # constraints

@@ -157,12 +157,30 @@ class NamedRelation:
 
 
 def from_instance(instance: DatabaseInstance, relation: str,
-                  columns: Optional[Sequence[str]] = None) -> NamedRelation:
-    """Wrap one relation of an instance as a :class:`NamedRelation`."""
+                  columns: Optional[Sequence[str]] = None,
+                  where: Optional[Mapping[str, object]] = None
+                  ) -> NamedRelation:
+    """Wrap one relation of an instance as a :class:`NamedRelation`.
+
+    ``where`` (column name -> value) pushes equality selections down
+    into the instance's hash-index layer, so the relation is built from
+    exactly the matching tuples instead of a full scan followed by
+    :meth:`NamedRelation.select_eq`.
+    """
     schema = instance.schema.relation(relation)
     if columns is None:
         columns = schema.attributes
     if len(columns) != schema.arity:
         raise QueryError(
             f"{len(columns)} column names for arity {schema.arity}")
-    return NamedRelation(columns, instance.tuples(relation))
+    if not where:
+        return NamedRelation(columns, instance.tuples(relation))
+    columns = tuple(columns)
+    bound: dict[int, object] = {}
+    for name, value in where.items():
+        try:
+            bound[columns.index(name)] = value
+        except ValueError:
+            raise QueryError(
+                f"no column {name!r} in {columns}") from None
+    return NamedRelation(columns, instance.rows_matching(relation, bound))

@@ -25,6 +25,12 @@ Each constraint can check satisfaction, enumerate ground *violations*, and
 bindings together with the facts that would have to be inserted — exactly
 the information the repair engine (and the ASP program builders) need to
 implement rules (6)–(9) of the paper.
+
+Checking goes through the indexed evaluation planner by default
+(antecedent matching and witness search become selectivity-ordered index
+joins); pass ``evaluator="naive"`` to any checking method to use the
+naive active-domain evaluator instead — the differential property tests
+assert both give identical verdicts.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 from ..datalog.terms import Comparison, Constant, Term, Variable
 from .errors import ConstraintError
 from .instance import DatabaseInstance, Fact
+from .planner import QueryPlanner
 from .query import (
     And,
     Cmp,
@@ -125,14 +132,20 @@ def _coerce_conditions(conditions: Iterable[object]) -> tuple[Cmp, ...]:
 
 
 class Constraint:
-    """Abstract base: a named, first-order expressible constraint."""
+    """Abstract base: a named, first-order expressible constraint.
+
+    Checking methods accept ``evaluator="planner"`` (default, indexed)
+    or ``evaluator="naive"`` (reference active-domain evaluation).
+    """
 
     name: str
 
-    def holds_in(self, instance: DatabaseInstance) -> bool:
+    def holds_in(self, instance: DatabaseInstance, *,
+                 evaluator: str = "planner") -> bool:
         raise NotImplementedError
 
-    def violations(self, instance: DatabaseInstance) -> list[Violation]:
+    def violations(self, instance: DatabaseInstance, *,
+                   evaluator: str = "planner") -> list[Violation]:
         raise NotImplementedError
 
     def relations(self) -> set[str]:
@@ -153,15 +166,43 @@ def _antecedent_formula(atoms: Sequence[RelAtom],
     return And(*parts)
 
 
+def _formula_bindings(formula: Formula, instance: DatabaseInstance,
+                      env: dict[Variable, object], evaluator: str,
+                      planners: Optional[dict] = None
+                      ) -> Iterator[dict[Variable, object]]:
+    """Satisfying extensions of ``env`` via the selected evaluator.
+
+    ``planners`` is an optional per-call cache mapping formulas to
+    :class:`QueryPlanner` instances, so repeated checks of the same
+    formula against the same instance (the ``holds_for`` loop inside
+    ``violations``) reuse compiled plans and indexes.
+    """
+    if evaluator == "naive":
+        domain = evaluation_domain(instance, formula)
+        return bindings(formula, instance, env, domain)
+    if evaluator != "planner":
+        raise ConstraintError(
+            f"unknown evaluator {evaluator!r}; choose 'planner' or 'naive'")
+    planner = None if planners is None else planners.get(formula)
+    if planner is None:
+        planner = QueryPlanner(instance,
+                               evaluation_domain(instance, formula))
+        if planners is not None:
+            planners[formula] = planner
+    return planner.bindings(formula, env)
+
+
 def _antecedent_matches(instance: DatabaseInstance,
                         atoms: Sequence[RelAtom],
-                        conditions: Sequence[Cmp]
+                        conditions: Sequence[Cmp],
+                        evaluator: str = "planner",
+                        planners: Optional[dict] = None
                         ) -> Iterator[dict[Variable, object]]:
     formula = _antecedent_formula(atoms, conditions)
-    domain = evaluation_domain(instance, formula)
     seen: set[tuple] = set()
     variables = sorted(formula.free_variables(), key=lambda v: v.name)
-    for env in bindings(formula, instance, {}, domain):
+    for env in _formula_bindings(formula, instance, {}, evaluator,
+                                 planners):
         key = tuple(env.get(v) for v in variables)
         if key in seen:
             continue
@@ -239,27 +280,33 @@ class TupleGeneratingConstraint(Constraint):
 
     # ------------------------------------------------------------------
     def witnesses(self, instance: DatabaseInstance,
-                  assignment: dict[Variable, object]
+                  assignment: dict[Variable, object], *,
+                  evaluator: str = "planner",
+                  _planners: Optional[dict] = None
                   ) -> Iterator[dict[Variable, object]]:
         """Existential bindings making the consequent hold in ``instance``."""
         env = {v: assignment[v] for v in self.universal_vars
                if v in assignment}
         formula = _antecedent_formula(self.consequent,
                                       self.cons_conditions)
-        domain = evaluation_domain(instance, formula)
-        for match in bindings(formula, instance, env, domain):
+        for match in _formula_bindings(formula, instance, env, evaluator,
+                                       _planners):
             yield {v: match[v] for v in self.existential_vars if v in match}
 
     def holds_for(self, instance: DatabaseInstance,
-                  assignment: dict[Variable, object]) -> bool:
+                  assignment: dict[Variable, object], *,
+                  evaluator: str = "planner",
+                  _planners: Optional[dict] = None) -> bool:
         """Does this antecedent match have a consequent witness?"""
-        return next(iter(self.witnesses(instance, assignment)), None) \
-            is not None
+        found = self.witnesses(instance, assignment, evaluator=evaluator,
+                               _planners=_planners)
+        return next(iter(found), None) is not None
 
     def witness_options(self, instance: DatabaseInstance,
                         assignment: dict[Variable, object],
                         insertable: set[str],
-                        witness_domain: Optional[Iterable[object]] = None
+                        witness_domain: Optional[Iterable[object]] = None,
+                        *, evaluator: str = "planner"
                         ) -> Iterator[tuple[dict, tuple[Fact, ...]]]:
         """All ways to *make* the consequent hold by inserting facts.
 
@@ -281,7 +328,8 @@ class TupleGeneratingConstraint(Constraint):
         domain = evaluation_domain(instance, fixed_formula)
         seen: set[tuple] = set()
         exist_order = sorted(self.existential_vars, key=lambda v: v.name)
-        for partial in bindings(fixed_formula, instance, dict(env), domain):
+        for partial in _formula_bindings(fixed_formula, instance,
+                                         dict(env), evaluator):
             unbound = [v for v in exist_order if v not in partial]
             if unbound:
                 if witness_domain is None:
@@ -322,14 +370,21 @@ class TupleGeneratingConstraint(Constraint):
                 yield tau, tuple(sorted(inserts))
 
     # ------------------------------------------------------------------
-    def holds_in(self, instance: DatabaseInstance) -> bool:
-        return not self.violations(instance)
+    def holds_in(self, instance: DatabaseInstance, *,
+                 evaluator: str = "planner") -> bool:
+        return not self.violations(instance, evaluator=evaluator)
 
-    def violations(self, instance: DatabaseInstance) -> list[Violation]:
+    def violations(self, instance: DatabaseInstance, *,
+                   evaluator: str = "planner") -> list[Violation]:
         found = []
+        # one planner cache per call: the consequent formula's compiled
+        # plan and indexes are reused across every antecedent match
+        planners: dict = {}
         for env in _antecedent_matches(instance, self.antecedent,
-                                       self.conditions):
-            if not self.holds_for(instance, env):
+                                       self.conditions, evaluator,
+                                       planners):
+            if not self.holds_for(instance, env, evaluator=evaluator,
+                                  _planners=planners):
                 facts = tuple(_ground_fact(a, env) for a in self.antecedent)
                 universal_env = {v: env[v] for v in self.universal_vars}
                 found.append(Violation(self, universal_env, facts))
@@ -454,13 +509,15 @@ class EqualityGeneratingConstraint(Constraint):
                 return False
         return True
 
-    def holds_in(self, instance: DatabaseInstance) -> bool:
-        return not self.violations(instance)
+    def holds_in(self, instance: DatabaseInstance, *,
+                 evaluator: str = "planner") -> bool:
+        return not self.violations(instance, evaluator=evaluator)
 
-    def violations(self, instance: DatabaseInstance) -> list[Violation]:
+    def violations(self, instance: DatabaseInstance, *,
+                   evaluator: str = "planner") -> list[Violation]:
         found = []
         for env in _antecedent_matches(instance, self.antecedent,
-                                       self.conditions):
+                                       self.conditions, evaluator):
             if not self._equalities_hold(env):
                 facts = tuple(_ground_fact(a, env) for a in self.antecedent)
                 universal_env = {v: env[v] for v in self.universal_vars}
@@ -558,13 +615,15 @@ class DenialConstraint(Constraint):
     def relations(self) -> set[str]:
         return {a.relation for a in self.antecedent}
 
-    def holds_in(self, instance: DatabaseInstance) -> bool:
-        return not self.violations(instance)
+    def holds_in(self, instance: DatabaseInstance, *,
+                 evaluator: str = "planner") -> bool:
+        return not self.violations(instance, evaluator=evaluator)
 
-    def violations(self, instance: DatabaseInstance) -> list[Violation]:
+    def violations(self, instance: DatabaseInstance, *,
+                   evaluator: str = "planner") -> list[Violation]:
         found = []
         for env in _antecedent_matches(instance, self.antecedent,
-                                       self.conditions):
+                                       self.conditions, evaluator):
             facts = tuple(_ground_fact(a, env) for a in self.antecedent)
             universal_env = {v: env[v] for v in self.universal_vars}
             found.append(Violation(self, universal_env, facts))

@@ -8,6 +8,15 @@ Implements Definition 1 of the paper:
 
 Instances are immutable: mutation-style methods return new instances, which
 keeps repair search and solution enumeration free of aliasing bugs.
+
+Each instance also carries lazily-built per-relation/per-column hash
+indexes (:class:`~repro.relational.indexes.TupleIndex`) behind
+:meth:`DatabaseInstance.rows_matching` — the entry point of the indexed
+evaluation planner.  Functional updates (:meth:`with_facts`,
+:meth:`without_facts`) maintain the already-built indexes *incrementally*
+instead of rebuilding them, and relations untouched by an update share
+their index object with the parent instance (safe: identical row sets,
+and lazy column builds are deterministic).
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Optional
 
 from .errors import InstanceError
+from .indexes import TupleIndex
 from .schema import DatabaseSchema
 
 __all__ = ["Fact", "DatabaseInstance"]
@@ -70,7 +80,7 @@ class DatabaseInstance:
     empty, not missing.
     """
 
-    __slots__ = ("schema", "_data", "_hash")
+    __slots__ = ("schema", "_data", "_hash", "_indexes", "_adom")
 
     def __init__(self, schema: DatabaseSchema,
                  data: Optional[Mapping[str, Iterable[tuple]]] = None
@@ -93,6 +103,22 @@ class DatabaseInstance:
         object.__setattr__(self, "schema", schema)
         object.__setattr__(self, "_data", table)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_indexes", {})
+        object.__setattr__(self, "_adom", None)
+
+    @classmethod
+    def _derived(cls, schema: DatabaseSchema, data: dict[str, frozenset],
+                 indexes: dict[str, TupleIndex]) -> "DatabaseInstance":
+        """Internal constructor for functional updates: rows come from an
+        already-validated instance, so arity checks are skipped and the
+        (incrementally maintained) indexes are carried over."""
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "schema", schema)
+        object.__setattr__(instance, "_data", data)
+        object.__setattr__(instance, "_hash", None)
+        object.__setattr__(instance, "_indexes", indexes)
+        object.__setattr__(instance, "_adom", None)
+        return instance
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("DatabaseInstance is immutable")
@@ -125,12 +151,35 @@ class DatabaseInstance:
         return self.size() == 0
 
     def active_domain(self) -> set:
-        """All values occurring anywhere in the instance."""
-        domain: set = set()
-        for rows in self._data.values():
-            for row in rows:
-                domain.update(row)
-        return domain
+        """All values occurring anywhere in the instance (cached)."""
+        cached = self._adom
+        if cached is None:
+            domain: set = set()
+            for rows in self._data.values():
+                for row in rows:
+                    domain.update(row)
+            cached = frozenset(domain)
+            object.__setattr__(self, "_adom", cached)
+        return set(cached)
+
+    # ------------------------------------------------------------------
+    # Index layer
+    # ------------------------------------------------------------------
+    def index(self, relation: str) -> TupleIndex:
+        """The (lazily built, cached) tuple index for one relation."""
+        cached = self._indexes.get(relation)
+        if cached is None:
+            rows = self._data.get(relation)
+            if rows is None:
+                raise InstanceError(f"unknown relation {relation!r}")
+            cached = self._indexes[relation] = TupleIndex(rows)
+        return cached
+
+    def rows_matching(self, relation: str,
+                      bound: Mapping[int, object]) -> list[tuple]:
+        """Exactly the tuples of ``relation`` agreeing with the bound
+        columns (``position -> value``), via the hash-index layer."""
+        return self.index(relation).matching(bound)
 
     # ------------------------------------------------------------------
     # Definition 1: distance and order
@@ -157,6 +206,25 @@ class DatabaseInstance:
     # ------------------------------------------------------------------
     # Functional updates
     # ------------------------------------------------------------------
+    def _derive_indexes(self, touched: Mapping[str, frozenset]
+                        ) -> dict[str, TupleIndex]:
+        """Carry built indexes into a derived instance: untouched
+        relations share the index object; touched relations get an
+        incrementally updated copy (only if already built)."""
+        indexes: dict[str, TupleIndex] = {}
+        for name, idx in self._indexes.items():
+            new_rows = touched.get(name)
+            if new_rows is None:
+                indexes[name] = idx
+                continue
+            clone = idx.copy()
+            for row in self._data[name] - new_rows:
+                clone.discard(row)
+            for row in new_rows - self._data[name]:
+                clone.add(row)
+            indexes[name] = clone
+        return indexes
+
     def with_facts(self, facts: Iterable[Fact]) -> "DatabaseInstance":
         """New instance with ``facts`` added."""
         additions: dict[str, set] = {}
@@ -164,13 +232,22 @@ class DatabaseInstance:
             additions.setdefault(fact.relation, set()).add(fact.values)
         if not additions:
             return self
-        data = {name: (rows | additions[name]
-                       if name in additions else rows)
-                for name, rows in self._data.items()}
-        for name in additions:
+        schema = self.schema
+        for name, rows in additions.items():
             if name not in self._data:
                 raise InstanceError(f"unknown relation {name!r}")
-        return DatabaseInstance(self.schema, data)
+            arity = schema.arity(name)
+            for row in rows:
+                if len(row) != arity:
+                    raise InstanceError(
+                        f"tuple {row} has arity {len(row)}, relation "
+                        f"{name!r} expects {arity}")
+        touched = {name: self._data[name] | frozenset(rows)
+                   for name, rows in additions.items()}
+        data = dict(self._data)
+        data.update(touched)
+        return DatabaseInstance._derived(schema, data,
+                                         self._derive_indexes(touched))
 
     def without_facts(self, facts: Iterable[Fact]) -> "DatabaseInstance":
         """New instance with ``facts`` removed (absent facts are ignored)."""
@@ -179,10 +256,12 @@ class DatabaseInstance:
             removals.setdefault(fact.relation, set()).add(fact.values)
         if not removals:
             return self
-        data = {name: (rows - removals[name]
-                       if name in removals else rows)
-                for name, rows in self._data.items()}
-        return DatabaseInstance(self.schema, data)
+        touched = {name: self._data[name] - removals[name]
+                   for name in removals if name in self._data}
+        data = dict(self._data)
+        data.update(touched)
+        return DatabaseInstance._derived(self.schema, data,
+                                         self._derive_indexes(touched))
 
     def apply_change(self, insertions: Iterable[Fact],
                      deletions: Iterable[Fact]) -> "DatabaseInstance":
@@ -195,15 +274,19 @@ class DatabaseInstance:
         """r|S': restriction to a subschema (Definition 3(c))."""
         names = list(names)
         sub_schema = self.schema.restrict(names)
-        return DatabaseInstance(
-            sub_schema, {name: self._data[name] for name in names})
+        data = {name: self._data[name] for name in names}
+        indexes = {name: idx for name, idx in self._indexes.items()
+                   if name in data}
+        return DatabaseInstance._derived(sub_schema, data, indexes)
 
     def combine(self, other: "DatabaseInstance") -> "DatabaseInstance":
         """Union of instances over disjoint schemas (Definition 3(b))."""
         schema = self.schema.disjoint_union(other.schema)
         data = dict(self._data)
         data.update(other._data)
-        return DatabaseInstance(schema, data)
+        indexes = dict(self._indexes)
+        indexes.update(other._indexes)
+        return DatabaseInstance._derived(schema, data, indexes)
 
     def replace_relations(self, replacement: Mapping[str, Iterable[tuple]]
                           ) -> "DatabaseInstance":
@@ -212,8 +295,17 @@ class DatabaseInstance:
         for name, rows in replacement.items():
             if name not in data:
                 raise InstanceError(f"unknown relation {name!r}")
-            data[name] = frozenset(tuple(row) for row in rows)
-        return DatabaseInstance(self.schema, data)
+            arity = self.schema.arity(name)
+            frozen = frozenset(tuple(row) for row in rows)
+            for row in frozen:
+                if len(row) != arity:
+                    raise InstanceError(
+                        f"tuple {row} has arity {len(row)}, relation "
+                        f"{name!r} expects {arity}")
+            data[name] = frozen
+        indexes = {name: idx for name, idx in self._indexes.items()
+                   if name not in replacement}
+        return DatabaseInstance._derived(self.schema, data, indexes)
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

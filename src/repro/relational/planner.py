@@ -1,0 +1,643 @@
+"""Index-driven evaluation planner for first-order queries.
+
+The naive evaluator in :mod:`repro.relational.query` enumerates
+``product(domain, repeat=k)`` whenever k variables are unbound, which
+makes every mechanism built on it — FO rewriting, repair checking, ASP
+grounding — exponential in the free-variable count regardless of the
+instance's shape.  This module compiles :class:`~repro.relational.query.
+Formula`/:class:`~repro.relational.query.Query` objects into executable
+plans that are first-order-*cheap*:
+
+* **selection pushdown** — constants and already-bound variables become
+  hash-index lookups (:meth:`DatabaseInstance.rows_matching`), never
+  post-hoc filters over full scans;
+* **greedy join ordering** — conjunctions are reordered by estimated
+  bound-prefix selectivity (relation size over distinct count of the
+  best bound column), with fully-bound parts scheduled immediately as
+  cheap filters;
+* **index-backed atom scans** — each atom yields exactly its matching
+  extensions, so no re-verification pass is needed;
+* **restricted domain enumeration** — ``product(domain, ...)`` survives
+  only for *genuinely range-unrestricted* variables (those occurring
+  solely under negation, implication, universal quantification, or
+  non-equality comparisons), exactly where active-domain semantics
+  requires it.
+
+Semantics are identical to the naive evaluator (active-domain semantics,
+including the empty-domain ∃ corner and quantifier shadowing); the
+differential suite in ``tests/relational/test_planner_crosscheck.py``
+locks the equivalence in over randomized instances and formulas.
+
+Entry points: :class:`QueryPlanner` (reusable across many evaluations of
+the same instance; plans are cached per formula and bound-variable set)
+and the convenience wrappers :func:`plan_answers`, :func:`plan_holds`,
+:func:`plan_bindings`, :func:`explain_plan`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Optional, Sequence
+
+from ..datalog.terms import Comparison, Constant, Variable
+from .errors import QueryError
+from .instance import DatabaseInstance
+from .query import (
+    And,
+    Cmp,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Query,
+    RelAtom,
+    _MISSING,
+    _Truth,
+    _term_value,
+    evaluation_domain,
+)
+
+__all__ = ["QueryPlanner", "plan_answers", "plan_holds", "plan_bindings",
+           "explain_plan"]
+
+Env = dict
+
+#: cost-model ceiling so estimates never overflow into inf arithmetic.
+_COST_CAP = 1e18
+
+
+def _by_name(variables) -> list[Variable]:
+    return sorted(variables, key=lambda v: v.name)
+
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+class PlanNode:
+    """One executable operator.  ``run(env)`` yields exactly the
+    extensions of ``env`` (which must bind the compile-time bound set)
+    that bind the node's free variables and satisfy its formula."""
+
+    __slots__ = ()
+
+    def run(self, env: Env) -> Iterator[Env]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+
+class TruePlan(PlanNode):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = value
+
+    def run(self, env: Env) -> Iterator[Env]:
+        if self.value:
+            yield env
+
+    def describe(self) -> str:
+        return "true" if self.value else "false"
+
+
+class ScanAtom(PlanNode):
+    """Index-backed scan of one relation atom: constants and bound
+    variables are pushed into the hash-index lookup; the remaining
+    columns bind (with repeated-variable consistency checks)."""
+
+    __slots__ = ("planner", "atom", "const_cols", "bound_cols", "var_cols")
+
+    def __init__(self, planner: "QueryPlanner", atom: RelAtom,
+                 bound: frozenset) -> None:
+        self.planner = planner
+        self.atom = atom
+        const_cols: list[tuple[int, object]] = []
+        bound_cols: list[tuple[int, Variable]] = []
+        var_cols: list[tuple[int, Variable]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                const_cols.append((position, term.value))
+            elif term in bound:
+                bound_cols.append((position, term))
+            else:
+                var_cols.append((position, term))
+        self.const_cols = tuple(const_cols)
+        self.bound_cols = tuple(bound_cols)
+        self.var_cols = tuple(var_cols)
+
+    def run(self, env: Env) -> Iterator[Env]:
+        lookup = dict(self.const_cols)
+        for position, variable in self.bound_cols:
+            lookup[position] = env[variable]
+        rows = self.planner.instance.rows_matching(self.atom.relation,
+                                                   lookup)
+        if not self.var_cols:
+            if rows:  # pure membership check
+                yield env
+            return
+        for row in rows:
+            out = dict(env)
+            ok = True
+            for position, variable in self.var_cols:
+                value = row[position]
+                current = out.get(variable, _MISSING)
+                if current is _MISSING:
+                    out[variable] = value
+                elif current != value:
+                    ok = False
+                    break
+            if ok:
+                yield out
+
+    def describe(self) -> str:
+        pushed = len(self.const_cols) + len(self.bound_cols)
+        return (f"scan {self.atom} [index on {pushed}/"
+                f"{len(self.atom.terms)} columns]")
+
+
+class FilterPlan(PlanNode):
+    """A fully-bound subformula evaluated as a cheap filter."""
+
+    __slots__ = ("planner", "formula")
+
+    def __init__(self, planner: "QueryPlanner", formula: Formula) -> None:
+        self.planner = planner
+        self.formula = formula
+
+    def run(self, env: Env) -> Iterator[Env]:
+        if self.planner.holds(self.formula, env):
+            yield env
+
+    def describe(self) -> str:
+        return f"filter {self.formula}"
+
+
+class EqBindPlan(PlanNode):
+    """``X = t`` with X unbound and t a constant or bound variable:
+    binds directly instead of enumerating the domain."""
+
+    __slots__ = ("variable", "source")
+
+    def __init__(self, variable: Variable, source) -> None:
+        self.variable = variable
+        self.source = source
+
+    def run(self, env: Env) -> Iterator[Env]:
+        out = dict(env)
+        out[self.variable] = _term_value(self.source, env)
+        yield out
+
+    def describe(self) -> str:
+        return f"bind {self.variable.name} = {self.source}"
+
+
+class EqPairPlan(PlanNode):
+    """``X = Y`` with both unbound: one domain pass, not two."""
+
+    __slots__ = ("planner", "left", "right")
+
+    def __init__(self, planner: "QueryPlanner", left: Variable,
+                 right: Variable) -> None:
+        self.planner = planner
+        self.left = left
+        self.right = right
+
+    def run(self, env: Env) -> Iterator[Env]:
+        for value in self.planner.domain:
+            out = dict(env)
+            out[self.left] = value
+            out[self.right] = value
+            yield out
+
+    def describe(self) -> str:
+        return f"bind {self.left.name} = {self.right.name} over domain"
+
+
+class EnumCheckPlan(PlanNode):
+    """Last resort for range-unrestricted variables: enumerate the
+    active domain and check (exactly where the semantics requires it)."""
+
+    __slots__ = ("planner", "formula", "unbound")
+
+    def __init__(self, planner: "QueryPlanner", formula: Formula,
+                 unbound: Sequence[Variable]) -> None:
+        self.planner = planner
+        self.formula = formula
+        self.unbound = tuple(unbound)
+
+    def run(self, env: Env) -> Iterator[Env]:
+        for combo in product(self.planner.domain, repeat=len(self.unbound)):
+            out = dict(env)
+            out.update(zip(self.unbound, combo))
+            if self.planner.holds(self.formula, out):
+                yield out
+
+    def describe(self) -> str:
+        names = ", ".join(v.name for v in self.unbound)
+        return f"enumerate domain for {{{names}}} check {self.formula}"
+
+
+class AndPlan(PlanNode):
+    """Pipelined join over the greedily ordered conjuncts."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Sequence[PlanNode]) -> None:
+        self.steps = tuple(steps)
+
+    def run(self, env: Env) -> Iterator[Env]:
+        steps = self.steps
+
+        def recurse(position: int, current: Env) -> Iterator[Env]:
+            if position == len(steps):
+                yield current
+                return
+            for extension in steps[position].run(current):
+                yield from recurse(position + 1, extension)
+
+        return recurse(0, env)
+
+    def describe(self) -> str:
+        return f"join [{len(self.steps)} steps]"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return self.steps
+
+
+class OrPlan(PlanNode):
+    """Deduplicated union; branches binding fewer variables complete
+    the missing ones over the domain (active-domain semantics)."""
+
+    __slots__ = ("planner", "branches", "key_vars")
+
+    def __init__(self, planner: "QueryPlanner", formula: Or,
+                 bound: frozenset) -> None:
+        self.planner = planner
+        free = formula.free_variables()
+        self.key_vars = tuple(_by_name(free - bound))
+        branches = []
+        for part in formula.parts:
+            missing = tuple(_by_name((free - part.free_variables())
+                                     - bound))
+            branches.append((planner.plan(part, bound), missing))
+        self.branches = tuple(branches)
+
+    def run(self, env: Env) -> Iterator[Env]:
+        seen: set[tuple] = set()
+        domain = self.planner.domain
+        for subplan, missing in self.branches:
+            for extension in subplan.run(env):
+                if missing:
+                    for combo in product(domain, repeat=len(missing)):
+                        full = dict(extension)
+                        full.update(zip(missing, combo))
+                        key = tuple(full[v] for v in self.key_vars)
+                        if key not in seen:
+                            seen.add(key)
+                            yield full
+                else:
+                    key = tuple(extension[v] for v in self.key_vars)
+                    if key not in seen:
+                        seen.add(key)
+                        yield extension
+
+    def describe(self) -> str:
+        return f"union [{len(self.branches)} branches, deduplicated]"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return tuple(plan for plan, _ in self.branches)
+
+
+class ExistsPlan(PlanNode):
+    """Evaluate the body (with shadowing), project the quantified
+    variables out, deduplicate the projections."""
+
+    __slots__ = ("planner", "formula", "subplan", "key_vars")
+
+    def __init__(self, planner: "QueryPlanner", formula: Exists,
+                 bound: frozenset) -> None:
+        self.planner = planner
+        self.formula = formula
+        inner_bound = frozenset(bound - set(formula.variables))
+        self.subplan = planner.plan(formula.sub, inner_bound)
+        self.key_vars = tuple(_by_name(formula.free_variables() - bound))
+
+    def run(self, env: Env) -> Iterator[Env]:
+        if not self.planner.domain:
+            # no witness value exists, even when the body ignores the
+            # quantified variables (matches the naive evaluator)
+            return
+        quantified = set(self.formula.variables)
+        shadowed = {v: env[v] for v in quantified if v in env}
+        inner = {k: v for k, v in env.items() if k not in quantified}
+        seen: set[tuple] = set()
+        for extension in self.subplan.run(inner):
+            out = {k: v for k, v in extension.items()
+                   if k not in quantified}
+            out.update(shadowed)
+            key = tuple(out[v] for v in self.key_vars)
+            if key not in seen:
+                seen.add(key)
+                yield out
+
+    def describe(self) -> str:
+        names = ", ".join(v.name for v in self.formula.variables)
+        return f"project out {{{names}}} (exists, deduplicated)"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.subplan,)
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+
+class QueryPlanner:
+    """Compiles formulas into index-backed plans over one instance.
+
+    Reuse one planner for many evaluations against the same instance:
+    compiled plans are cached per ``(formula, bound-variable set)``, and
+    every atom scan shares the instance's lazily-built hash indexes.
+
+    ``domain`` is the evaluation domain (active domain plus the
+    constants of the formulas to be evaluated); it must cover every
+    constant of every formula handed to this planner — use
+    :func:`repro.relational.query.evaluation_domain`.
+    """
+
+    __slots__ = ("instance", "domain", "_plans")
+
+    def __init__(self, instance: DatabaseInstance, domain: tuple) -> None:
+        self.instance = instance
+        self.domain = tuple(domain)
+        self._plans: dict[tuple[Formula, frozenset], PlanNode] = {}
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def plan(self, formula: Formula, bound: frozenset) -> PlanNode:
+        key = (formula, bound)
+        cached = self._plans.get(key)
+        if cached is None:
+            cached = self._compile(formula, bound)
+            self._plans[key] = cached
+        return cached
+
+    def _compile(self, formula: Formula, bound: frozenset) -> PlanNode:
+        if isinstance(formula, _Truth):
+            return TruePlan(formula.value)
+        if isinstance(formula, RelAtom):
+            return ScanAtom(self, formula, bound)
+        if isinstance(formula, Cmp):
+            return self._compile_cmp(formula, bound)
+        if isinstance(formula, And):
+            return self._compile_and(formula, bound)
+        if isinstance(formula, Or):
+            return OrPlan(self, formula, bound)
+        if isinstance(formula, Exists):
+            return ExistsPlan(self, formula, bound)
+        if isinstance(formula, (Not, Implies, Forall)):
+            unbound = _by_name(formula.free_variables() - bound)
+            if not unbound:
+                return FilterPlan(self, formula)
+            return EnumCheckPlan(self, formula, unbound)
+        raise QueryError(f"cannot plan {formula!r}")
+
+    def _compile_cmp(self, formula: Cmp, bound: frozenset) -> PlanNode:
+        unbound = formula.free_variables() - bound
+        if not unbound:
+            return FilterPlan(self, formula)
+        comparison = formula.comparison
+        left, right = comparison.left, comparison.right
+        if comparison.op == "=":
+            if isinstance(left, Variable) and left in unbound:
+                if isinstance(right, Constant) or (
+                        isinstance(right, Variable) and right in bound):
+                    return EqBindPlan(left, right)
+            if isinstance(right, Variable) and right in unbound:
+                if isinstance(left, Constant) or (
+                        isinstance(left, Variable) and left in bound):
+                    return EqBindPlan(right, left)
+            if isinstance(left, Variable) and isinstance(right, Variable) \
+                    and left in unbound and right in unbound \
+                    and left != right:
+                return EqPairPlan(self, left, right)
+        return EnumCheckPlan(self, formula, _by_name(unbound))
+
+    def _compile_and(self, formula: And, bound: frozenset) -> PlanNode:
+        remaining = list(formula.parts)
+        bound_now = set(bound)
+        steps: list[PlanNode] = []
+        while remaining:
+            chosen = None
+            for part in remaining:  # fully-bound parts filter first
+                if part.free_variables() <= bound_now:
+                    chosen = part
+                    break
+            if chosen is None:
+                best_cost = None
+                for part in remaining:  # cheapest binder next
+                    cost = self.estimate(part, bound_now)
+                    if best_cost is None or cost < best_cost:
+                        best_cost = cost
+                        chosen = part
+            remaining.remove(chosen)
+            steps.append(self.plan(chosen, frozenset(bound_now)))
+            bound_now |= chosen.free_variables()
+        return steps[0] if len(steps) == 1 else AndPlan(steps)
+
+    # ------------------------------------------------------------------
+    # Cost model (bound-prefix selectivity, uniformity assumption)
+    # ------------------------------------------------------------------
+    def estimate(self, formula: Formula, bound: set) -> float:
+        """Rough output-cardinality estimate driving the join order."""
+        if isinstance(formula, _Truth):
+            return 1.0
+        if isinstance(formula, RelAtom):
+            index = self.instance.index(formula.relation)
+            positions = [position
+                         for position, term in enumerate(formula.terms)
+                         if isinstance(term, Constant) or term in bound]
+            return index.estimate(positions)
+        if isinstance(formula, Cmp):
+            unbound = formula.free_variables() - bound
+            if not unbound:
+                return 1.0
+            if formula.op == "=" and len(unbound) >= 1:
+                # at least one side bindable or a single domain pass
+                return float(len(self.domain))
+            return min(float(len(self.domain)) ** len(unbound), _COST_CAP)
+        if isinstance(formula, And):
+            total = 1.0
+            bound_now = set(bound)
+            for part in formula.parts:
+                total *= max(1.0, self.estimate(part, bound_now))
+                bound_now |= part.free_variables()
+                if total > _COST_CAP:
+                    return _COST_CAP
+            return total
+        if isinstance(formula, Or):
+            free = formula.free_variables()
+            total = 0.0
+            for part in formula.parts:
+                missing = (free - part.free_variables()) - bound
+                branch = self.estimate(part, bound) \
+                    * float(len(self.domain)) ** len(missing)
+                total += branch
+                if total > _COST_CAP:
+                    return _COST_CAP
+            return total
+        if isinstance(formula, Exists):
+            return self.estimate(formula.sub,
+                                 bound - set(formula.variables))
+        # Not / Implies / Forall: checkers over their unbound variables
+        unbound = formula.free_variables() - bound
+        return min(float(len(self.domain)) ** len(unbound), _COST_CAP)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def bindings(self, formula: Formula, env: Env) -> Iterator[Env]:
+        """Exactly the satisfying extensions of ``env`` binding all free
+        variables of ``formula`` (no duplicates, no partials)."""
+        return self.plan(formula, frozenset(env)).run(dict(env))
+
+    def holds(self, formula: Formula, env: Env) -> bool:
+        """Truth of ``formula`` under ``env`` (must bind all free
+        variables); quantifiers go through compiled plans."""
+        if isinstance(formula, _Truth):
+            return formula.value
+        if isinstance(formula, RelAtom):
+            row = tuple(_term_value(t, env) for t in formula.terms)
+            return row in self.instance.tuples(formula.relation)
+        if isinstance(formula, Cmp):
+            comparison = formula.comparison
+            return Comparison(comparison.op,
+                              Constant(_term_value(comparison.left, env)),
+                              Constant(_term_value(comparison.right, env))
+                              ).evaluate()
+        if isinstance(formula, And):
+            return all(self.holds(p, env) for p in formula.parts)
+        if isinstance(formula, Or):
+            return any(self.holds(p, env) for p in formula.parts)
+        if isinstance(formula, Not):
+            return not self.holds(formula.sub, env)
+        if isinstance(formula, Implies):
+            return (not self.holds(formula.premise, env)
+                    or self.holds(formula.conclusion, env))
+        if isinstance(formula, Exists):
+            if not self.domain:
+                return False
+            inner = {k: v for k, v in env.items()
+                     if k not in formula.variables}
+            subplan = self.plan(formula.sub, frozenset(inner))
+            for _ in subplan.run(inner):
+                return True
+            return False
+        if isinstance(formula, Forall):
+            return self._forall_holds(formula, env)
+        raise QueryError(f"cannot evaluate {formula!r}")
+
+    def _forall_holds(self, formula: Forall, env: Env) -> bool:
+        """Guarded ∀x̄ (ψ → χ): enumerate ψ's (index-backed) matches and
+        check χ; only quantified variables absent from ψ fall back to
+        domain enumeration.  Unguarded bodies enumerate the domain."""
+        outer = {k: v for k, v in env.items()
+                 if k not in formula.variables}  # shadowing
+        sub = formula.sub
+        if isinstance(sub, Implies):
+            premise_plan = self.plan(sub.premise, frozenset(outer))
+            for match in premise_plan.run(outer):
+                missing = [v for v in formula.variables if v not in match]
+                if missing:
+                    for combo in product(self.domain,
+                                         repeat=len(missing)):
+                        inner = dict(match)
+                        inner.update(zip(missing, combo))
+                        if not self.holds(sub.conclusion, inner):
+                            return False
+                elif not self.holds(sub.conclusion, match):
+                    return False
+            return True
+        for combo in product(self.domain, repeat=len(formula.variables)):
+            inner = dict(outer)
+            inner.update(zip(formula.variables, combo))
+            if not self.holds(sub, inner):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def answers(self, query: Query) -> set[tuple]:
+        """All answer tuples of ``query`` (active-domain semantics)."""
+        formula = query.formula
+        free = formula.free_variables()
+        extra = [v for v in query.head if v not in free]
+        plan = self.plan(formula, frozenset())
+        results: set[tuple] = set()
+        for env in plan.run({}):
+            if extra:
+                for combo in product(self.domain, repeat=len(extra)):
+                    full = dict(env)
+                    full.update(zip(extra, combo))
+                    results.add(tuple(full[v] for v in query.head))
+            else:
+                results.add(tuple(env[v] for v in query.head))
+        return results
+
+    def explain(self, formula: Formula,
+                bound: frozenset = frozenset()) -> str:
+        """Human-readable plan tree (for debugging and tests)."""
+        lines: list[str] = []
+
+        def walk(node: PlanNode, depth: int) -> None:
+            lines.append("  " * depth + node.describe())
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self.plan(formula, bound), 0)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrappers
+# ---------------------------------------------------------------------------
+
+def _make_planner(instance: DatabaseInstance, formula: Formula,
+                  domain: Optional[tuple]) -> QueryPlanner:
+    if domain is None:
+        domain = evaluation_domain(instance, formula)
+    return QueryPlanner(instance, domain)
+
+
+def plan_answers(query: Query, instance: DatabaseInstance,
+                 domain: Optional[tuple] = None) -> set[tuple]:
+    """Indexed-planner equivalent of :meth:`Query.answers`."""
+    return _make_planner(instance, query.formula, domain).answers(query)
+
+
+def plan_holds(formula: Formula, instance: DatabaseInstance, env: Env,
+               domain: Optional[tuple] = None) -> bool:
+    """Indexed-planner equivalent of :func:`repro.relational.query.holds`."""
+    return _make_planner(instance, formula, domain).holds(formula, env)
+
+
+def plan_bindings(formula: Formula, instance: DatabaseInstance, env: Env,
+                  domain: Optional[tuple] = None) -> Iterator[Env]:
+    """Indexed-planner equivalent of
+    :func:`repro.relational.query.bindings` — but exact: complete,
+    duplicate-free satisfying extensions."""
+    return _make_planner(instance, formula, domain).bindings(formula, env)
+
+
+def explain_plan(query: Query, instance: DatabaseInstance,
+                 domain: Optional[tuple] = None) -> str:
+    """The compiled plan for ``query`` as an indented tree."""
+    return _make_planner(instance, query.formula,
+                         domain).explain(query.formula)

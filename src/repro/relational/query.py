@@ -10,12 +10,23 @@ comparisons, ∧, ∨, ¬, →, ∃, ∀.  Evaluation uses the standard *active
 domain* semantics (quantifiers range over the values occurring in the
 instance plus the constants of the query).
 
-Evaluation strategy: a candidate-generation pass (`bindings`) drives answer
-enumeration through relation atoms wherever possible, and every candidate
-is re-verified with the direct recursive truth test (`holds`), so the
-optimiser can be aggressive without risking soundness.  Guarded universals
-``∀z (Atom ∧ ... → ...)`` are evaluated by enumerating the guard's matches
-rather than the whole domain.
+Two evaluators share these semantics:
+
+* ``evaluator="planner"`` (the default) — the indexed evaluation planner
+  of :mod:`repro.relational.planner`: formulas are compiled into plans
+  with selection pushdown, greedy join ordering by bound-prefix
+  selectivity, and hash-index-backed atom scans; the active domain is
+  enumerated only for genuinely range-unrestricted variables.
+
+* ``evaluator="naive"`` — the evaluator defined in this module, kept as
+  the reference for differential testing: a candidate-generation pass
+  (`bindings`) drives answer enumeration through relation atoms wherever
+  possible, and every candidate is re-verified with the direct recursive
+  truth test (`holds`), so the optimiser can be aggressive without
+  risking soundness.  Guarded universals ``∀z (Atom ∧ ... → ...)`` are
+  evaluated by enumerating the guard's matches rather than the whole
+  domain; everything else unbound falls back to
+  ``product(domain, repeat=k)``.
 """
 
 from __future__ import annotations
@@ -629,19 +640,37 @@ class Query:
         return self.formula.relations()
 
     def answers(self, instance: DatabaseInstance,
-                domain: Optional[tuple] = None) -> set[tuple]:
-        """All answer tuples over ``instance`` (active-domain semantics)."""
+                domain: Optional[tuple] = None, *,
+                evaluator: str = "planner") -> set[tuple]:
+        """All answer tuples over ``instance`` (active-domain semantics).
+
+        ``evaluator`` selects the engine: ``"planner"`` (default)
+        compiles the formula into an index-backed plan; ``"naive"``
+        keeps the candidate-generation + re-verification evaluator of
+        this module (the differential-testing reference).
+        """
         if domain is None:
             domain = evaluation_domain(instance, self.formula)
+        if evaluator == "planner":
+            from .planner import QueryPlanner
+            return QueryPlanner(instance, domain).answers(self)
+        if evaluator != "naive":
+            raise QueryError(
+                f"unknown evaluator {evaluator!r}; "
+                f"choose 'planner' or 'naive'")
         results: set[tuple] = set()
         seen_envs: set[tuple] = set()
         for candidate in bindings(self.formula, instance, {}, domain):
             unbound = [v for v in self.head if v not in candidate]
             base = tuple(candidate.get(v, _MISSING) for v in self.head)
-            if base in seen_envs and not unbound:
+            # deduplicate *all* candidate environments, including the
+            # partial ones disjunction branches binding fewer variables
+            # produce: the completion below depends only on ``base``, so
+            # a repeat can never contribute new rows — it only re-runs
+            # the |domain|^unbound product and its ``holds`` checks.
+            if base in seen_envs:
                 continue
-            if not unbound:
-                seen_envs.add(base)
+            seen_envs.add(base)
             for combo in product(domain, repeat=len(unbound)):
                 env = dict(candidate)
                 env.update(zip(unbound, combo))
@@ -652,11 +681,19 @@ class Query:
                     results.add(row)
         return results
 
-    def is_true(self, instance: DatabaseInstance) -> bool:
+    def is_true(self, instance: DatabaseInstance, *,
+                evaluator: str = "planner") -> bool:
         """Boolean query evaluation (arity 0)."""
         if self.head:
             raise QueryError("is_true applies to boolean queries only")
         domain = evaluation_domain(instance, self.formula)
+        if evaluator == "planner":
+            from .planner import QueryPlanner
+            return QueryPlanner(instance, domain).holds(self.formula, {})
+        if evaluator != "naive":
+            raise QueryError(
+                f"unknown evaluator {evaluator!r}; "
+                f"choose 'planner' or 'naive'")
         return holds(self.formula, instance, {}, domain)
 
     def __eq__(self, other) -> bool:

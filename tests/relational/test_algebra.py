@@ -106,3 +106,29 @@ class TestFromInstance:
         inst = DatabaseInstance(schema, {"R": []})
         with pytest.raises(QueryError):
             from_instance(inst, "R", ["only"])
+
+
+class TestSelectionPushdown:
+    def test_where_uses_index_layer(self):
+        schema = DatabaseSchema.of({"R": 2})
+        inst = DatabaseInstance(
+            schema, {"R": [("a", 1), ("a", 2), ("b", 1)]})
+        rel = from_instance(inst, "R", ["x", "y"], where={"x": "a"})
+        assert rel.rows == frozenset({("a", 1), ("a", 2)})
+        both = from_instance(inst, "R", ["x", "y"],
+                             where={"x": "a", "y": 2})
+        assert both.rows == frozenset({("a", 2)})
+
+    def test_where_matches_post_hoc_select(self):
+        schema = DatabaseSchema.of({"R": 2})
+        inst = DatabaseInstance(
+            schema, {"R": [("a", 1), ("b", 2), ("c", 2)]})
+        pushed = from_instance(inst, "R", ["x", "y"], where={"y": 2})
+        scanned = from_instance(inst, "R", ["x", "y"]).select_eq("y", 2)
+        assert pushed == scanned
+
+    def test_where_unknown_column(self):
+        schema = DatabaseSchema.of({"R": 2})
+        inst = DatabaseInstance(schema, {"R": []})
+        with pytest.raises(QueryError):
+            from_instance(inst, "R", ["x", "y"], where={"nope": 1})

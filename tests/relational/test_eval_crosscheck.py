@@ -1,9 +1,13 @@
-"""Cross-check the optimised FO evaluator against a naive reference.
+"""Cross-check both FO evaluators against a textbook reference.
 
 ``holds`` special-cases guarded universals (enumerating the guard's
 matches instead of the domain) and ``Query.answers`` drives enumeration
-through atom bindings; both must coincide with the textbook recursive
-evaluation that quantifies over the full active domain.
+through atom bindings; the indexed evaluation planner
+(:mod:`repro.relational.planner`) goes further — compiled plans, index
+joins, restricted domain enumeration.  Both must coincide with the
+textbook recursive evaluation that quantifies over the full active
+domain, so every property here runs under ``evaluator="naive"`` *and*
+``evaluator="planner"``.
 """
 
 from itertools import product
@@ -25,6 +29,7 @@ from repro.relational import (
     RelAtom,
     evaluation_domain,
     holds,
+    plan_holds,
 )
 from repro.relational.query import _Truth
 
@@ -135,6 +140,7 @@ def test_exists_over_empty_domain_is_false():
     domain = evaluation_domain(instance, formula)
     assert domain == ()
     assert holds(formula, instance, {}, domain) is False
+    assert plan_holds(formula, instance, {}, domain) is False
     assert holds_reference(formula, instance, {}, domain) is False
 
 
@@ -144,8 +150,9 @@ def test_holds_matches_reference_closed(instance, formula):
     if formula.free_variables():
         return  # only closed formulas here
     domain = evaluation_domain(instance, formula)
-    assert holds(formula, instance, {}, domain) == \
-        holds_reference(formula, instance, {}, domain)
+    expected = holds_reference(formula, instance, {}, domain)
+    assert holds(formula, instance, {}, domain) == expected
+    assert plan_holds(formula, instance, {}, domain) == expected
 
 
 @settings(max_examples=120, deadline=None)
@@ -159,7 +166,8 @@ def test_answers_match_reference_enumeration(instance, formula):
         env = dict(zip(free, combo))
         if holds_reference(formula, instance, env, domain):
             expected.add(tuple(env[v] for v in free))
-    assert query.answers(instance) == expected
+    assert query.answers(instance, evaluator="naive") == expected
+    assert query.answers(instance, evaluator="planner") == expected
 
 
 @settings(max_examples=120, deadline=None)
@@ -174,5 +182,6 @@ def test_guarded_forall_optimisation_sound(instance, body):
     domain = evaluation_domain(instance, formula)
     for value in domain:
         env = {X: value}
-        assert holds(formula, instance, env, domain) == \
-            holds_reference(formula, instance, env, domain)
+        expected = holds_reference(formula, instance, env, domain)
+        assert holds(formula, instance, env, domain) == expected
+        assert plan_holds(formula, instance, env, domain) == expected

@@ -1,0 +1,269 @@
+"""Differential harness: indexed planner ≡ naive evaluator.
+
+The evaluation planner (:mod:`repro.relational.planner`) replaces the
+naive active-domain evaluator on every default path, so its semantics
+must be *identical* — answers, truth values, and constraint verdicts.
+This suite locks that in:
+
+* 240 seeded-random query/instance pairs over the full FO repertoire
+  (∧, ∨, ¬, →, ∃, ∀, comparisons), including empty relations, empty
+  instances, constants absent from the data, and shadowed quantifiers;
+* property tests asserting every constraint class gives identical
+  ``holds_in``/``violations`` verdicts under both evaluators;
+* the evaluator toggle itself (unknown names rejected, naive reachable).
+
+Determinism: the generators use ``random.Random(seed)`` only, so a
+failing seed reproduces exactly.  CI additionally runs this file under a
+fixed ``PYTHONHASHSEED`` so set/dict iteration order inside the planner
+cannot hide ordering bugs.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.terms import Constant, Variable
+from repro.relational import (
+    And,
+    Cmp,
+    DatabaseInstance,
+    DatabaseSchema,
+    DenialConstraint,
+    EqualityGeneratingConstraint,
+    Exists,
+    Forall,
+    FunctionalDependency,
+    Implies,
+    InclusionDependency,
+    KeyConstraint,
+    Not,
+    Or,
+    Query,
+    QueryError,
+    RelAtom,
+    TupleGeneratingConstraint,
+    evaluation_domain,
+    plan_holds,
+)
+from repro.relational.query import holds
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+VARS = (X, Y, Z)
+VALUES = ("a", "b", "c")
+#: "zz" never occurs in generated instances: exercises constants outside
+#: the active domain (they still join the evaluation domain).
+CONSTANTS = VALUES + ("zz",)
+SCHEMA = DatabaseSchema.of({"R": 2, "S": 1, "T": 2})
+
+
+def random_instance(rng: random.Random) -> DatabaseInstance:
+    """Small random instance; empty relations (and the empty instance)
+    come up regularly."""
+    def rows(arity: int, most: int) -> set:
+        count = rng.randrange(most + 1)
+        return {tuple(rng.choice(VALUES) for _ in range(arity))
+                for _ in range(count)}
+    return DatabaseInstance(SCHEMA, {"R": rows(2, 6), "S": rows(1, 3),
+                                     "T": rows(2, 4)})
+
+
+def random_formula(rng: random.Random, depth: int, free: tuple):
+    """Random FO formula with free variables ⊆ ``free``."""
+    if depth == 0 or rng.random() < 0.3:
+        def term():
+            pool = list(free) + [Constant(v) for v in CONSTANTS]
+            return rng.choice(pool)
+        kind = rng.randrange(4)
+        if kind == 0:
+            return RelAtom("R", [term(), term()])
+        if kind == 1:
+            return RelAtom("S", [term()])
+        if kind == 2:
+            return RelAtom("T", [term(), term()])
+        return Cmp(rng.choice(["=", "!=", "<", "<="]), term(), term())
+    kind = rng.randrange(6)
+    if kind == 0:
+        return And(random_formula(rng, depth - 1, free),
+                   random_formula(rng, depth - 1, free))
+    if kind == 1:
+        return Or(random_formula(rng, depth - 1, free),
+                  random_formula(rng, depth - 1, free))
+    if kind == 2:
+        return Not(random_formula(rng, depth - 1, free))
+    if kind == 3:
+        return Implies(random_formula(rng, depth - 1, free),
+                       random_formula(rng, depth - 1, free))
+    quantifier = Exists if kind == 4 else Forall
+    variable = rng.choice(VARS)  # may shadow an outer quantifier
+    body = random_formula(rng, depth - 1,
+                          tuple(set(free) | {variable}))
+    return quantifier([variable], body)
+
+
+# ---------------------------------------------------------------------------
+# The 240-pair differential sweep (acceptance: ≥200 randomized pairs)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(240))
+def test_planner_matches_naive_on_random_pair(seed):
+    rng = random.Random(seed)
+    instance = random_instance(rng)
+    free = tuple(rng.sample(VARS, rng.randrange(3)))
+    formula = random_formula(rng, rng.randrange(1, 4), free)
+    head = sorted(formula.free_variables(), key=lambda v: v.name)
+    query = Query("q", head, formula)
+    fast = query.answers(instance, evaluator="planner")
+    slow = query.answers(instance, evaluator="naive")
+    assert fast == slow, (
+        f"seed {seed}: planner {sorted(fast)} != naive {sorted(slow)} "
+        f"for {query} over {instance}")
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_planner_holds_matches_naive_closed(seed):
+    """Boolean (closed-formula) truth agrees, via ``plan_holds``."""
+    rng = random.Random(1000 + seed)
+    instance = random_instance(rng)
+    formula = random_formula(rng, rng.randrange(1, 4), ())
+    remaining = sorted(formula.free_variables(), key=lambda v: v.name)
+    if remaining:
+        formula = Exists(remaining, formula)
+    domain = evaluation_domain(instance, formula)
+    assert plan_holds(formula, instance, {}, domain) == \
+        holds(formula, instance, {}, domain)
+
+
+# ---------------------------------------------------------------------------
+# Edge cases the randomized sweep may not pin reliably
+# ---------------------------------------------------------------------------
+
+def test_empty_domain_exists_false_under_both():
+    """∃Y φ over an empty active domain is false even when φ ignores Y,
+    under the planner exactly as under the naive evaluator."""
+    instance = DatabaseInstance(SCHEMA, {})
+    formula = Exists([Y], Exists([Y], Forall([Y], RelAtom("R", [Y, Y]))))
+    query = Query("q", [], formula)
+    assert query.is_true(instance, evaluator="planner") is False
+    assert query.is_true(instance, evaluator="naive") is False
+
+
+def test_shadowed_quantifier_inner_wins_under_both():
+    """∃X (S(X) ∧ ∃X R(X, X)): the inner X must not leak the outer
+    binding."""
+    instance = DatabaseInstance(
+        SCHEMA, {"S": [("a",)], "R": [("b", "b")]})
+    formula = Exists([X], And(RelAtom("S", [X]),
+                              Exists([X], RelAtom("R", [X, X]))))
+    query = Query("q", [], formula)
+    assert query.is_true(instance, evaluator="planner") is True
+    assert query.is_true(instance, evaluator="naive") is True
+
+
+def test_forall_shadowing_under_both():
+    """∀X inside a query already binding X ranges over the domain, not
+    the outer value."""
+    instance = DatabaseInstance(
+        SCHEMA, {"S": [("a",), ("b",)], "R": [("a", "a")]})
+    formula = And(RelAtom("S", [X]),
+                  Forall([X], Implies(RelAtom("R", [X, X]),
+                                      RelAtom("S", [X]))))
+    query = Query("q", [X], formula)
+    assert query.answers(instance, evaluator="planner") == \
+        query.answers(instance, evaluator="naive") == {("a",), ("b",)}
+
+
+def test_or_branch_binding_fewer_variables_completes_over_domain():
+    """A disjunct ignoring an answer variable leaves it ranging over the
+    whole evaluation domain (active-domain semantics), identically under
+    both evaluators."""
+    instance = DatabaseInstance(
+        SCHEMA, {"S": [("a",)], "R": [("b", "c")]})
+    formula = Or(RelAtom("R", [X, Y]), RelAtom("S", [X]))
+    query = Query("q", [X, Y], formula)
+    fast = query.answers(instance, evaluator="planner")
+    slow = query.answers(instance, evaluator="naive")
+    assert fast == slow
+    assert ("a", "a") in fast and ("a", "c") in fast and ("b", "c") in fast
+
+
+def test_unknown_evaluator_rejected():
+    query = Query("q", [X], RelAtom("S", [X]))
+    instance = DatabaseInstance(SCHEMA, {})
+    with pytest.raises(QueryError):
+        query.answers(instance, evaluator="vectorised")
+    with pytest.raises(QueryError):
+        Query("q", [], RelAtom("S", ["a"])).is_true(
+            instance, evaluator="vectorised")
+
+
+# ---------------------------------------------------------------------------
+# Constraint checking: every IC class, identical verdicts (satellite 2)
+# ---------------------------------------------------------------------------
+
+def constraint_zoo():
+    """One representative of every constraint class in
+    :mod:`repro.relational.constraints`."""
+    return [
+        TupleGeneratingConstraint(          # full TGD with a condition
+            antecedent=[RelAtom("R", [X, Y])],
+            consequent=[RelAtom("T", [X, Y])],
+            conditions=[Cmp("!=", X, Y)],
+            name="tgd_full"),
+        TupleGeneratingConstraint(          # existential TGD (rule (9))
+            antecedent=[RelAtom("S", [X])],
+            consequent=[RelAtom("R", [X, Z])],
+            name="tgd_exist"),
+        InclusionDependency("T", "R", child_arity=2, parent_arity=2,
+                            name="ind_T_in_R"),
+        EqualityGeneratingConstraint(       # Σ(P1,P3)-style EGD
+            antecedent=[RelAtom("R", [X, Y]), RelAtom("T", [X, Z])],
+            equalities=[(Y, Z)],
+            name="egd_RT"),
+        FunctionalDependency("R", [0], [1], arity=2),
+        KeyConstraint("T", [0], arity=2),
+        DenialConstraint(
+            antecedent=[RelAtom("R", [X, X])],
+            name="denial_diag"),
+        DenialConstraint(
+            antecedent=[RelAtom("R", [X, Y]), RelAtom("S", [Y])],
+            conditions=[Cmp("<", X, Y)],
+            name="denial_cond"),
+    ]
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_constraint_verdicts_identical_across_evaluators(seed):
+    rng = random.Random(2000 + seed)
+    instance = random_instance(rng)
+    for constraint in constraint_zoo():
+        fast = constraint.holds_in(instance, evaluator="planner")
+        slow = constraint.holds_in(instance, evaluator="naive")
+        assert fast == slow, (
+            f"seed {seed}: {constraint.name} verdict differs "
+            f"(planner={fast}, naive={slow}) on {instance}")
+        assert set(constraint.violations(instance, evaluator="planner")) \
+            == set(constraint.violations(instance, evaluator="naive")), (
+            f"seed {seed}: {constraint.name} violations differ")
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_tgd_witness_options_identical_across_evaluators(seed):
+    """The repair engine's insertion search sees the same options."""
+    rng = random.Random(3000 + seed)
+    instance = random_instance(rng)
+    tgd = TupleGeneratingConstraint(
+        antecedent=[RelAtom("S", [X])],
+        consequent=[RelAtom("R", [X, Z]), RelAtom("T", [X, Z])],
+        name="tgd_guarded")
+    for assignment in ({X: "a"}, {X: "b"}):
+        fast = {(tuple(sorted((v.name, value)
+                             for v, value in tau.items())), inserts)
+                for tau, inserts in tgd.witness_options(
+                    instance, assignment, insertable={"R"},
+                    evaluator="planner")}
+        slow = {(tuple(sorted((v.name, value)
+                             for v, value in tau.items())), inserts)
+                for tau, inserts in tgd.witness_options(
+                    instance, assignment, insertable={"R"},
+                    evaluator="naive")}
+        assert fast == slow

@@ -164,6 +164,64 @@ class TestAnswers:
         assert q.answers(db2) == set()
 
 
+class TestAnswersDeduplication:
+    """Regression for the documented ``bindings`` leak: disjunction
+    branches binding fewer variables yield duplicate *partial*
+    environments, and ``answers`` used to re-run the full
+    ``product(domain, repeat=unbound)`` completion for every repeat.
+    Completed environments depend only on the candidate's base, so each
+    base must be processed exactly once."""
+
+    def test_partial_candidates_completed_once(self, monkeypatch):
+        import repro.relational.query as query_module
+        db = inst(T=[("a",), ("b",)])
+        # both branches are identical, so `bindings` yields every
+        # T-candidate twice, each leaving Y unbound
+        q = Query("q", [X, Y], Or(RelAtom("T", [X]), RelAtom("T", [X])))
+        calls = {"completions": 0}
+        real_product = query_module.product
+
+        def counting_product(*args, **kwargs):
+            calls["completions"] += 1
+            return real_product(*args, **kwargs)
+
+        monkeypatch.setattr(query_module, "product", counting_product)
+        answers = q.answers(db, evaluator="naive")
+        domain = ("a", "b")
+        assert answers == {(x, y) for x in domain for y in domain}
+        # one completion product per *distinct* base — (a, ?) and
+        # (b, ?) — not one per yielded candidate (which would be 4)
+        assert calls["completions"] == 2
+
+    def test_duplicate_full_candidates_also_deduplicated(self,
+                                                         monkeypatch):
+        import repro.relational.query as query_module
+        db = inst(R=[("a", "b")], S=[("a", "b")])
+        q = Query("q", [X, Y], Or(RelAtom("R", [X, Y]),
+                                  RelAtom("S", [X, Y])))
+        seen = []
+        real_holds = query_module.holds
+
+        def counting_holds(formula, instance, env, domain):
+            if formula is q.formula:  # top-level verification only
+                seen.append(dict(env))
+            return real_holds(formula, instance, env, domain)
+
+        monkeypatch.setattr(query_module, "holds", counting_holds)
+        assert q.answers(db, evaluator="naive") == {("a", "b")}
+        # the (a, b) environment reaches verification exactly once even
+        # though both branches produce it
+        assert len([e for e in seen if e == {X: "a", Y: "b"}]) == 1
+
+    def test_dedup_matches_planner(self):
+        db = inst(R=[("a", "b"), ("b", "c")], T=[("a",), ("c",)])
+        q = Query("q", [X, Y], Or(RelAtom("R", [X, Y]),
+                                  RelAtom("T", [X]),
+                                  RelAtom("T", [X])))
+        assert q.answers(db, evaluator="naive") == \
+            q.answers(db, evaluator="planner")
+
+
 class TestEvaluationDomain:
     def test_includes_constants(self):
         db = inst(R=[("a", "b")])

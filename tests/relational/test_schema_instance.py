@@ -225,3 +225,65 @@ class TestDunder:
     def test_mixed_type_fact_ordering(self):
         assert sorted([Fact("R", (1,)), Fact("R", ("a",))])[0] == \
             Fact("R", (1,))
+
+
+class TestIndexLayer:
+    """The per-relation hash indexes behind the evaluation planner."""
+
+    def test_rows_matching_exact(self):
+        inst = make({"R1": [("a", "b"), ("a", "c"), ("b", "b")]})
+        assert set(inst.rows_matching("R1", {0: "a"})) == \
+            {("a", "b"), ("a", "c")}
+        assert set(inst.rows_matching("R1", {0: "a", 1: "b"})) == \
+            {("a", "b")}
+        assert inst.rows_matching("R1", {0: "zz"}) == []
+        assert set(inst.rows_matching("R1", {})) == \
+            {("a", "b"), ("a", "c"), ("b", "b")}
+
+    def test_rows_matching_unknown_relation(self):
+        with pytest.raises(InstanceError):
+            make({}).rows_matching("nope", {0: "a"})
+
+    def test_with_facts_maintains_built_indexes(self):
+        inst = make({"R1": [("a", "b")]})
+        inst.index("R1").column(0)  # force the column index to exist
+        grown = inst.with_facts([Fact("R1", ("a", "c")),
+                                 Fact("R2", ("x", "y"))])
+        assert set(grown.rows_matching("R1", {0: "a"})) == \
+            {("a", "b"), ("a", "c")}
+        assert set(grown.rows_matching("R2", {1: "y"})) == {("x", "y")}
+        # the parent instance is untouched
+        assert set(inst.rows_matching("R1", {0: "a"})) == {("a", "b")}
+
+    def test_without_facts_maintains_built_indexes(self):
+        inst = make({"R1": [("a", "b"), ("a", "c")]})
+        inst.index("R1").column(0)
+        shrunk = inst.without_facts([Fact("R1", ("a", "b")),
+                                     Fact("R1", ("z", "z"))])  # absent ok
+        assert set(shrunk.rows_matching("R1", {0: "a"})) == {("a", "c")}
+        assert set(inst.rows_matching("R1", {0: "a"})) == \
+            {("a", "b"), ("a", "c")}
+
+    def test_untouched_relation_shares_index_object(self):
+        inst = make({"R1": [("a", "b")], "R2": [("x", "y")]})
+        inst.index("R2")
+        grown = inst.with_facts([Fact("R1", ("c", "d"))])
+        assert grown.index("R2") is inst.index("R2")
+        assert grown.index("R1") is not inst.index("R1")
+
+    def test_restrict_carries_indexes(self):
+        inst = make({"R1": [("a", "b")], "R2": [("x", "y")]})
+        inst.index("R1")
+        restricted = inst.restrict(["R1"])
+        assert restricted.index("R1") is inst.index("R1")
+        assert set(restricted.rows_matching("R1", {0: "a"})) == \
+            {("a", "b")}
+
+    def test_with_facts_still_validates(self):
+        inst = make({})
+        with pytest.raises(InstanceError):
+            inst.with_facts([Fact("R1", ("too", "many", "cols"))])
+        with pytest.raises(InstanceError):
+            inst.with_facts([Fact("nope", ("a",))])
+        with pytest.raises(InstanceError):
+            inst.replace_relations({"R1": [("a",)]})
