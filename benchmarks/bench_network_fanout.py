@@ -1,0 +1,114 @@
+"""NF1 — concurrent vs sequential fan-out in the peer network runtime.
+
+A peer answering over the network pays one round-trip per neighbour
+request; with per-link latency injected (the realistic regime the
+:class:`~repro.net.transport.ThreadedTransport` simulates), routing
+those requests one by one costs ``latency x requests`` while fanning
+them out concurrently costs roughly ``latency x depth``.  This benchmark
+builds the three :func:`~repro.workloads.synthetic.topology_system`
+families and answers the root's query over a cold network in both
+:class:`~repro.net.network.PeerNetwork` concurrency modes.
+
+Expected series shape: on the star (every request independent, depth 1)
+the concurrent fan-out wins by roughly the neighbour count; on the chain
+(one neighbour per hop, nothing to parallelise) the two modes tie; the
+random DAG lands in between.  Script mode (the CI smoke step) enforces
+the star speedup >= the acceptance bar and tuple-for-tuple agreement
+with the in-process :class:`~repro.core.session.PeerQuerySession`.
+"""
+
+import time
+
+from repro.core import PeerQuerySession
+from repro.net import NetworkSession, ThreadedTransport
+from repro.workloads import topology_system
+
+QUERY = "q(X, Y) := R0(X, Y)"
+TOPOLOGIES = ("star", "chain", "random")
+#: peers per system in script mode (star: 1 hub + 8 leaves)
+N_PEERS = 9
+N_TUPLES = 5
+LATENCY_S = 0.015
+#: the acceptance bar for the star topology in script mode
+MIN_STAR_SPEEDUP = 2.0
+SEED = 4
+
+
+def make_system(topology: str, n_peers: int = N_PEERS):
+    return topology_system(n_peers, topology=topology,
+                           n_tuples=N_TUPLES, extra_edges=3, seed=SEED)
+
+
+def run_cold(system, concurrency: str, latency: float
+             ) -> tuple[float, frozenset]:
+    """Answer the root query over a freshly built network (cold view —
+    the gather's message round-trips are what is being measured)."""
+    with NetworkSession(system,
+                        transport=ThreadedTransport(latency=latency),
+                        concurrency=concurrency) as session:
+        start = time.perf_counter()
+        result = session.answer("P0", QUERY)
+        elapsed = (time.perf_counter() - start) * 1000
+        assert result.ok, result.error
+        return elapsed, result.answers
+
+
+# ---------------------------------------------------------------------------
+# pytest harness (fast settings; timing assertions live in script mode)
+# ---------------------------------------------------------------------------
+
+def test_nf1_fanout_matches_sequential_and_local():
+    system = make_system("star", n_peers=5)
+    _, fanned = run_cold(system, "fanout", 0.002)
+    _, serial = run_cold(system, "sequential", 0.002)
+    local = PeerQuerySession(system).answer("P0", QUERY)
+    assert fanned == serial == local.answers
+
+
+def test_nf1_star_benchmark(benchmark):
+    system = make_system("star", n_peers=5)
+    elapsed, answers = benchmark(
+        lambda: run_cold(system, "fanout", 0.002))
+    assert answers
+
+
+# ---------------------------------------------------------------------------
+# Script mode (CI smoke step): print the report, enforce the speedup bar
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    print(f"NF1 — concurrent vs sequential fan-out, "
+          f"{N_PEERS} peers, {LATENCY_S * 1000:.0f} ms per-link latency")
+    print(f"  {'topology':>8s} {'seq_ms':>8s} {'fanout_ms':>10s} "
+          f"{'speedup':>8s} {'agree':>6s}")
+    failures = []
+    star_speedup = 0.0
+    for topology in TOPOLOGIES:
+        system = make_system(topology)
+        local = PeerQuerySession(system).answer("P0", QUERY)
+        seq_ms, seq_answers = run_cold(system, "sequential", LATENCY_S)
+        fan_ms, fan_answers = run_cold(system, "fanout", LATENCY_S)
+        speedup = seq_ms / fan_ms if fan_ms else float("inf")
+        agree = seq_answers == fan_answers == local.answers
+        if not agree:
+            failures.append(f"{topology}: answers disagree")
+        if topology == "star":
+            star_speedup = speedup
+        print(f"  {topology:>8s} {seq_ms:8.1f} {fan_ms:10.1f} "
+              f"{speedup:8.1f} {str(agree):>6s}")
+    if star_speedup < MIN_STAR_SPEEDUP:
+        failures.append(f"star fan-out speedup {star_speedup:.1f}x < "
+                        f"{MIN_STAR_SPEEDUP:.1f}x")
+    if failures:
+        print("\n  FAILED: " + "; ".join(failures))
+        return 1
+    print("\n  expected: the star pays latency once per level instead "
+          "of once per\n  request, so fan-out wins ~linearly in the "
+          "neighbour count; the chain has\n  nothing to parallelise "
+          "and ties; answers are identical to the local\n  session "
+          "everywhere")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

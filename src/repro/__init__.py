@@ -23,8 +23,15 @@ Subpackages
     planner), and the fluent :class:`~repro.core.builder.SystemBuilder`.
 ``repro.workloads``
     Synthetic peer-network and instance generators for benchmarks.
+``repro.net``
+    The peer network runtime: each peer as an independent
+    message-passing node (typed protocol, pluggable transports with
+    fault injection, hop-by-hop routing, concurrent fan-out) behind the
+    :class:`~repro.net.service.NetworkSession` facade —
+    :func:`~repro.net.service.open_session` switches between local and
+    network execution with one argument.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["datalog", "relational", "cqa", "core", "workloads"]
+__all__ = ["datalog", "relational", "cqa", "core", "workloads", "net"]

@@ -2,11 +2,22 @@
 
 Commands
 --------
-``query SYSTEM.json PEER QUERY [--method M] [--brave] [--json]``
+``query SYSTEM.json PEER QUERY [--method M] [--brave] [--network] [--json]``
     Answer a query posed to a peer of a JSON-defined system
     (see :mod:`repro.core.io` for the file format).  ``--method auto``
     (the default) picks FO rewriting when it applies and falls back to
-    ASP; any registered answer method can be named.
+    ASP; any registered answer method can be named.  ``--network`` runs
+    the query over the :mod:`repro.net` message-passing runtime instead
+    of the in-process session.
+
+``network SYSTEM.json PEER QUERY [--latency MS] [--drop P] [--seed N]
+[--hops N] [--retries N] [--sequential] [--method M] [--brave] [--json]``
+    Answer a query over the peer network runtime and print the exchange
+    trace — the actual protocol messages that flowed.  ``--latency`` and
+    ``--drop`` inject per-link delay and seeded message loss through a
+    :class:`~repro.net.transport.ThreadedTransport`; without them the
+    zero-overhead loopback transport is used.  Network failures (peer
+    down, hop budget exhausted) are reported as typed errors, exit 3.
 
 ``solutions SYSTEM.json PEER [--transitive]``
     Print the solutions for a peer (Definition 4, or the Section 4.3
@@ -61,19 +72,17 @@ def _load_script(kind: str, name: str):
     return module, str(path)
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _print_result(result, args: argparse.Namespace) -> int:
     import json as json_
-    from .core import PeerQuerySession, load_system
-    system = load_system(args.system)
-    session = PeerQuerySession(system)
-    semantics = "possible" if args.brave else "certain"
-    # --brave --method rewrite is rejected by the method itself
-    # (P2PError), rendered as a clean `error:` line by main()
-    result = session.answer(args.peer, args.query, method=args.method,
-                            semantics=semantics)
     if args.json:
         print(json_.dumps(result.to_dict(), indent=2, sort_keys=True))
+        if result.failed:
+            return 3
         return 1 if result.no_solutions else 0
+    if result.failed:
+        print(f"network failure [{result.error.code}] at "
+              f"{result.error.peer or args.peer}: {result.error.message}")
+        return 3
     if result.no_solutions:
         print(f"peer {args.peer} has NO solutions "
               f"(contradictory exchange constraints)")
@@ -89,10 +98,63 @@ def _cmd_query(args: argparse.Namespace) -> int:
              "solutions)" if result.solution_count is None
              else str(result.solution_count))
     print(f"solutions certifying: {count}")
+    exchange = result.exchange
+    hops = (f", max {exchange.max_hops} hop(s)"
+            if exchange.max_hops > 1 else "")
     print(f"elapsed: {result.elapsed * 1000:.1f} ms; peer requests: "
-          f"{result.exchange.requests} "
-          f"({result.exchange.tuples_transferred} tuples)")
+          f"{exchange.requests} ({exchange.tuples_transferred} tuples, "
+          f"~{exchange.bytes_estimate} B{hops})")
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .core import load_system
+    from .net import open_session
+    system = load_system(args.system)
+    session = open_session(system, network=args.network)
+    semantics = "possible" if args.brave else "certain"
+    try:
+        # --brave --method rewrite is rejected by the method itself
+        # (P2PError), rendered as a clean `error:` line by main()
+        result = session.answer(args.peer, args.query,
+                                method=args.method, semantics=semantics)
+    finally:
+        if args.network:
+            session.close()
+    return _print_result(result, args)
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from .core import load_system
+    from .net import (LoopbackTransport, NetworkError, NetworkSession,
+                      ThreadedTransport)
+    if not 0.0 <= args.drop < 1.0:
+        raise NetworkError("--drop must be in [0, 1)")
+    if args.latency < 0:
+        raise NetworkError("--latency must be >= 0")
+    system = load_system(args.system)
+    if args.latency or args.drop:
+        transport = ThreadedTransport(latency=args.latency / 1000.0,
+                                      drop_rate=args.drop,
+                                      seed=args.seed)
+    else:
+        transport = LoopbackTransport()
+    semantics = "possible" if args.brave else "certain"
+    with NetworkSession(system, transport=transport,
+                        hop_budget=args.hops, retries=args.retries,
+                        concurrency=("sequential" if args.sequential
+                                     else "fanout")) as session:
+        result = session.answer(args.peer, args.query,
+                                method=args.method, semantics=semantics)
+        trace = session.exchange_log.events()
+        status = _print_result(result, args)
+        if not args.json:
+            print(f"exchange trace ({len(trace)} message(s)):")
+            for event in trace:
+                print(f"  {event}")
+            if not trace:
+                print("  (no messages)")
+    return status
 
 
 def _cmd_solutions(args: argparse.Namespace) -> int:
@@ -125,7 +187,8 @@ def _cmd_report(_args: argparse.Namespace) -> int:
              "bench_hcf_shift", "bench_lav", "bench_transitive",
              "bench_scaling_solutions", "bench_rewriting_vs_asp",
              "bench_hcf_ablation", "bench_transitive_scaling",
-             "bench_engine_ablation", "bench_session_cache"]
+             "bench_engine_ablation", "bench_session_cache",
+             "bench_network_fanout"]
     for name in names:
         try:
             module, path = _load_script("benchmarks", name)
@@ -172,9 +235,46 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(available_methods()))
     query.add_argument("--brave", action="store_true",
                        help="possible (brave) answers instead of certain")
+    query.add_argument("--network", action="store_true",
+                       help="execute over the message-passing peer "
+                            "network runtime instead of in-process")
     query.add_argument("--json", action="store_true",
                        help="print the full QueryResult as JSON")
     query.set_defaults(func=_cmd_query)
+
+    network = sub.add_parser(
+        "network",
+        help="answer a query over the peer network runtime and print "
+             "the exchange trace")
+    network.add_argument("system", help="JSON system definition")
+    network.add_argument("peer")
+    network.add_argument("query", help='e.g. "q(X, Y) := R1(X, Y)"')
+    network.add_argument("--method", default="auto",
+                         choices=list(available_methods()))
+    network.add_argument("--brave", action="store_true",
+                         help="possible (brave) answers instead of "
+                              "certain")
+    network.add_argument("--latency", type=float, default=0.0,
+                         metavar="MS",
+                         help="per-link delivery latency in ms "
+                              "(ThreadedTransport)")
+    network.add_argument("--drop", type=float, default=0.0, metavar="P",
+                         help="seeded message drop probability in "
+                              "[0, 1)")
+    network.add_argument("--seed", type=int, default=0,
+                         help="fault-injection RNG seed")
+    network.add_argument("--hops", type=int, default=None, metavar="N",
+                         help="hop budget for transitive gathers "
+                              "(default: number of peers)")
+    network.add_argument("--retries", type=int, default=2, metavar="N",
+                         help="extra delivery attempts on transport "
+                              "loss")
+    network.add_argument("--sequential", action="store_true",
+                         help="route neighbour requests one by one "
+                              "instead of fanning out concurrently")
+    network.add_argument("--json", action="store_true",
+                         help="print the full QueryResult as JSON")
+    network.set_defaults(func=_cmd_network)
 
     solutions = sub.add_parser("solutions",
                                help="print the solutions for a peer")

@@ -83,7 +83,7 @@ from .io import (
     system_from_dict,
     system_to_dict,
 )
-from .messaging import ExchangeEvent, ExchangeLog
+from .messaging import ExchangeEvent, ExchangeLog, estimate_bytes
 from .methods import (
     AnswerMethod,
     available_methods,
@@ -99,7 +99,7 @@ from .pca import (
     possible_from_solutions,
     possible_peer_answers,
 )
-from .results import ExchangeStats, QueryRequest, QueryResult
+from .results import ExchangeStats, QueryError, QueryRequest, QueryResult
 from .session import PeerQuerySession, SessionCacheInfo
 from .solutions import SolutionSearch, solutions_for_peer
 from .system import DataExchange, Peer, PeerSystem
@@ -116,7 +116,7 @@ __all__ = [
     "SystemBuilder",
     # the service API
     "PeerQuerySession", "SessionCacheInfo",
-    "QueryRequest", "QueryResult", "ExchangeStats",
+    "QueryRequest", "QueryResult", "ExchangeStats", "QueryError",
     "AnswerMethod", "register_method", "unregister_method",
     "available_methods", "get_method",
     # semantics
@@ -138,7 +138,7 @@ __all__ = [
     # deprecated façade
     "PeerConsistentEngine",
     # support
-    "NameMap", "ExchangeLog", "ExchangeEvent",
+    "NameMap", "ExchangeLog", "ExchangeEvent", "estimate_bytes",
     # errors
     "P2PError", "SystemError_", "TrustError", "QueryScopeError",
     "RewritingNotSupported", "NoSolutionsError", "UnknownMethodError",

@@ -6,58 +6,133 @@ answering is peer-to-peer: "P1 will first issue a query to P2 to retrieve
 the tuples in R2; next, a query is issued to P3 ..." (Example 2).  The
 :class:`ExchangeLog` records exactly those data requests so examples and
 tests can observe who asked whom for what, and how many tuples flowed.
+
+The log is shared state: the :mod:`repro.net` runtime appends to it from
+several node worker threads at once, so every operation takes the log's
+lock, and iteration walks a snapshot rather than the live list.  Events
+carry a serialized-size estimate (:func:`estimate_bytes`) and the hop
+count the payload travelled, which :meth:`ExchangeLog.stats_since` folds
+into the :class:`~repro.core.results.ExchangeStats` attached to each
+:class:`~repro.core.results.QueryResult`.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
-__all__ = ["ExchangeEvent", "ExchangeLog"]
+__all__ = ["ExchangeEvent", "ExchangeLog", "estimate_bytes"]
+
+
+def estimate_bytes(rows: Iterable[tuple]) -> int:
+    """A cheap serialized-size estimate for a set of tuples.
+
+    Each value contributes its textual length plus two bytes of framing
+    (delimiter + separator) — close enough to a JSON/CSV wire encoding to
+    make per-query traffic comparable, without ever serializing anything.
+    """
+    total = 0
+    for row in rows:
+        total += sum(len(str(value)) + 2 for value in row) + 2
+    return total
 
 
 @dataclass(frozen=True)
 class ExchangeEvent:
-    """One peer-to-peer data request."""
+    """One peer-to-peer data request.
+
+    ``bytes_estimate`` approximates the payload's serialized size
+    (:func:`estimate_bytes`); ``hop`` is how many network hops the data
+    travelled to reach the requester (1 for a direct neighbour fetch,
+    more when an intermediate peer relayed it).
+    """
 
     requester: str
     provider: str
     relation: str
     tuples_transferred: int
     purpose: str = ""
+    bytes_estimate: int = 0
+    hop: int = 1
 
     def __str__(self) -> str:
         note = f" ({self.purpose})" if self.purpose else ""
+        hops = f" hop {self.hop}" if self.hop > 1 else ""
         return (f"{self.requester} <- {self.provider}: "
-                f"{self.relation} [{self.tuples_transferred} tuples]{note}")
+                f"{self.relation} [{self.tuples_transferred} tuples, "
+                f"~{self.bytes_estimate} B]{hops}{note}")
 
 
 class ExchangeLog:
-    """An append-only log of :class:`ExchangeEvent`."""
+    """An append-only, thread-safe log of :class:`ExchangeEvent`."""
 
     def __init__(self) -> None:
         self._events: list[ExchangeEvent] = []
+        self._lock = threading.Lock()
 
     def record(self, requester: str, provider: str, relation: str,
-               tuples_transferred: int, purpose: str = "") -> None:
-        if requester != provider:  # local reads are not exchanges
-            self._events.append(ExchangeEvent(
-                requester, provider, relation, tuples_transferred, purpose))
+               tuples_transferred: int, purpose: str = "", *,
+               bytes_estimate: int = 0, hop: int = 1) -> None:
+        if requester == provider:  # local reads are not exchanges
+            return
+        event = ExchangeEvent(requester, provider, relation,
+                              tuples_transferred, purpose,
+                              bytes_estimate, hop)
+        with self._lock:
+            self._events.append(event)
+
+    def record_event(self, event: ExchangeEvent) -> None:
+        if event.requester == event.provider:
+            return
+        with self._lock:
+            self._events.append(event)
 
     def events(self, requester: Optional[str] = None
                ) -> list[ExchangeEvent]:
+        with self._lock:
+            snapshot = list(self._events)
         if requester is None:
-            return list(self._events)
-        return [e for e in self._events if e.requester == requester]
+            return snapshot
+        return [e for e in snapshot if e.requester == requester]
+
+    # ------------------------------------------------------------------
+    # Positional slicing: attribute traffic to one operation even while
+    # other threads keep appending (their events land after the mark).
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """A position token for :meth:`events_since`/:meth:`stats_since`."""
+        with self._lock:
+            return len(self._events)
+
+    def events_since(self, mark: int) -> list[ExchangeEvent]:
+        with self._lock:
+            return list(self._events[mark:])
+
+    def stats_since(self, mark: int):
+        """Aggregate the events after ``mark`` into
+        :class:`~repro.core.results.ExchangeStats` — the real logged
+        traffic, not a synthesised count."""
+        from .results import ExchangeStats
+        events = self.events_since(mark)
+        return ExchangeStats(
+            requests=len(events),
+            tuples_transferred=sum(e.tuples_transferred for e in events),
+            bytes_estimate=sum(e.bytes_estimate for e in events),
+            max_hops=max((e.hop for e in events), default=0),
+        )
 
     def total_tuples(self) -> int:
-        return sum(e.tuples_transferred for e in self._events)
+        with self._lock:
+            return sum(e.tuples_transferred for e in self._events)
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self) -> Iterator[ExchangeEvent]:
-        return iter(self._events)
+        return iter(self.events())

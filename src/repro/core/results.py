@@ -18,7 +18,7 @@ from typing import Iterator, Optional, Union
 
 from ..relational.query import Query
 
-__all__ = ["QueryRequest", "QueryResult", "ExchangeStats",
+__all__ = ["QueryRequest", "QueryResult", "ExchangeStats", "QueryError",
            "CERTAIN", "POSSIBLE"]
 
 CERTAIN = "certain"
@@ -62,15 +62,49 @@ class QueryRequest:
 
 @dataclass(frozen=True)
 class ExchangeStats:
-    """Peer-to-peer traffic attributable to one answered query."""
+    """Peer-to-peer traffic attributable to one answered query.
+
+    ``bytes_estimate`` approximates the serialized size of the payloads
+    that moved (see :func:`repro.core.messaging.estimate_bytes`);
+    ``max_hops`` is the longest relay chain any of that data travelled —
+    1 for direct neighbour fetches, more when the
+    :mod:`repro.net` runtime routed a transitive query hop-by-hop.
+    """
 
     requests: int = 0
     tuples_transferred: int = 0
+    bytes_estimate: int = 0
+    max_hops: int = 0
 
     def __add__(self, other: "ExchangeStats") -> "ExchangeStats":
         return ExchangeStats(self.requests + other.requests,
                              self.tuples_transferred
-                             + other.tuples_transferred)
+                             + other.tuples_transferred,
+                             self.bytes_estimate + other.bytes_estimate,
+                             max(self.max_hops, other.max_hops))
+
+
+@dataclass(frozen=True)
+class QueryError:
+    """A typed failure attached to a :class:`QueryResult`.
+
+    Produced by execution backends that can fail partway — the
+    :mod:`repro.net` runtime surfaces unreachable peers, exhausted hop
+    budgets, and transport loss here instead of raising, so a batch over
+    a flaky network degrades per-result rather than aborting.
+
+    ``code`` is a stable machine-readable tag (``"peer-unreachable"``,
+    ``"hop-budget-exhausted"``, ``"transport"``); ``message`` the human
+    rendering; ``peer`` the peer the failure was observed at, when known.
+    """
+
+    code: str
+    message: str
+    peer: str = ""
+
+    def __str__(self) -> str:
+        where = f" at {self.peer}" if self.peer else ""
+        return f"[{self.code}]{where} {self.message}"
 
 
 @dataclass(frozen=True)
@@ -91,6 +125,9 @@ class QueryResult:
         elapsed: wall-clock seconds spent answering.
         exchange: peer-to-peer requests/tuples moved for this answer.
         from_cache: whether memoized per-peer solutions were reused.
+        error: a typed :class:`QueryError` when the execution backend
+            failed (unreachable peer, exhausted hop budget); ``answers``
+            is empty and must not be read as "no certain answers".
     """
 
     peer: str
@@ -103,6 +140,16 @@ class QueryResult:
     elapsed: float = 0.0
     exchange: ExchangeStats = field(default_factory=ExchangeStats)
     from_cache: bool = False
+    error: Optional[QueryError] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the execution completed (no :attr:`error`)."""
+        return self.error is None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def no_solutions(self) -> bool:
@@ -139,10 +186,20 @@ class QueryResult:
             "elapsed_ms": round(self.elapsed * 1000, 3),
             "exchange_requests": self.exchange.requests,
             "exchange_tuples": self.exchange.tuples_transferred,
+            "exchange_bytes_estimate": self.exchange.bytes_estimate,
+            "exchange_max_hops": self.exchange.max_hops,
             "from_cache": self.from_cache,
+            "error": (None if self.error is None else {
+                "code": self.error.code,
+                "message": self.error.message,
+                "peer": self.error.peer,
+            }),
         }
 
     def __repr__(self) -> str:
+        if self.error is not None:
+            return (f"QueryResult({self.peer!r}, FAILED "
+                    f"{self.error.code}: {self.error.message})")
         count = ("not-counted" if self.solution_count is None
                  else self.solution_count)
         return (f"QueryResult({self.peer!r}, {sorted(self.answers)}, "

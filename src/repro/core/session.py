@@ -28,7 +28,6 @@ from .methods import AnswerMethod, get_method
 from .results import (
     CERTAIN,
     POSSIBLE,
-    ExchangeStats,
     QueryRequest,
     QueryResult,
 )
@@ -211,7 +210,7 @@ class PeerQuerySession:
         query = request.resolved_query()
         requested = request.method or self.default_method
         log = self.system.exchange_log
-        requests_before, tuples_before = len(log), log.total_tuples()
+        mark = log.mark()
         hits_before = self._hits
         start = time.perf_counter()
         # selection is part of answering: the planner's support probe
@@ -223,8 +222,9 @@ class PeerQuerySession:
         else:
             pca = method.certain_answers(self, request.peer, query)
         elapsed = time.perf_counter() - start
-        exchange = ExchangeStats(len(log) - requests_before,
-                                 log.total_tuples() - tuples_before)
+        # the actual logged events for this execution, not synthesised
+        # counter deltas — includes byte estimates and hop depth
+        exchange = log.stats_since(mark)
         return QueryResult(
             peer=request.peer,
             query=query,

@@ -281,10 +281,12 @@ class PeerSystem:
         This is the (simulated) data exchange step of Example 2: the
         requesting peer pulls another peer's relation to answer a query.
         """
+        from .messaging import estimate_bytes
         provider = self.owner_of(relation)
         tuples = self.instances[provider].tuples(relation)
         self.exchange_log.record(requester, provider, relation,
-                                 len(tuples), purpose)
+                                 len(tuples), purpose,
+                                 bytes_estimate=estimate_bytes(tuples))
         return tuples
 
     # ------------------------------------------------------------------

@@ -1,0 +1,65 @@
+"""repro.net — the peer network runtime.
+
+Runs each peer of a :class:`~repro.core.system.PeerSystem` as an
+independent message-passing node with its own local data and cached
+answering session, communicating only via typed protocol messages over a
+pluggable transport — the paper's Example-2 narrative ("P1 will first
+issue a query to P2 to retrieve the tuples in R2; next, a query is
+issued to P3 ...") made real instead of simulated.
+
+Layers
+------
+:mod:`repro.net.protocol`
+    The typed message vocabulary (``FetchRelation`` / ``PeerQuery`` /
+    ``Answer`` / ``Failure``) with correlation ids and hop budgets.
+:mod:`repro.net.transport`
+    The :class:`Transport` ABC with the in-process
+    :class:`LoopbackTransport` and the per-node-worker-thread
+    :class:`ThreadedTransport` (injectable per-link latency, seeded
+    drops, peer-down faults via :class:`FaultPlan`).
+:mod:`repro.net.node`
+    :class:`PeerNode`: serves relation fetches and sub-network queries
+    from local state; answers queries over a hop-by-hop gathered view
+    with per-version caches.
+:mod:`repro.net.network`
+    :class:`PeerNetwork`: topology from the DECs, routing with retries,
+    concurrent fan-out, real :class:`~repro.core.results.ExchangeStats`.
+:mod:`repro.net.service`
+    :class:`NetworkSession` (``answer`` / ``answer_many`` / ``explain``)
+    and :func:`open_session` — local vs. network execution with one
+    argument.
+"""
+
+from .errors import (
+    HopBudgetExceeded,
+    MessageDropped,
+    NetworkError,
+    PeerDown,
+    PeerUnreachableError,
+    ProtocolError,
+    TransportError,
+)
+from .network import PeerNetwork
+from .node import PeerNode
+from .protocol import Answer, Failure, FetchRelation, Message, PeerQuery
+from .service import NetworkSession, open_session
+from .transport import (
+    FaultPlan,
+    LoopbackTransport,
+    ThreadedTransport,
+    Transport,
+)
+
+__all__ = [
+    # service
+    "NetworkSession", "open_session",
+    # runtime
+    "PeerNetwork", "PeerNode",
+    # protocol
+    "Message", "FetchRelation", "PeerQuery", "Answer", "Failure",
+    # transports
+    "Transport", "LoopbackTransport", "ThreadedTransport", "FaultPlan",
+    # errors
+    "NetworkError", "TransportError", "MessageDropped", "PeerDown",
+    "PeerUnreachableError", "HopBudgetExceeded", "ProtocolError",
+]

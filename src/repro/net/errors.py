@@ -1,0 +1,65 @@
+"""Exception hierarchy for the peer network runtime.
+
+Everything derives from :class:`~repro.core.errors.P2PError` so the CLI's
+clean-error path (``error: ...``, exit 2, no traceback) covers network
+failures for free.  Transport-level losses (:class:`MessageDropped`,
+:class:`PeerDown`) are *retryable* — :class:`~repro.net.network.PeerNetwork`
+absorbs them up to its retry budget and only then surfaces the
+non-retryable :class:`PeerUnreachableError`.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import P2PError
+
+__all__ = [
+    "NetworkError",
+    "TransportError",
+    "MessageDropped",
+    "PeerDown",
+    "PeerUnreachableError",
+    "HopBudgetExceeded",
+    "ProtocolError",
+]
+
+
+class NetworkError(P2PError):
+    """Base class for errors raised by :mod:`repro.net`."""
+
+
+class TransportError(NetworkError):
+    """A message could not be delivered (base of the retryable losses)."""
+
+
+class MessageDropped(TransportError):
+    """The transport lost the message (simulated drop or reply timeout).
+    Retryable: the network layer resends up to its retry budget."""
+
+
+class PeerDown(TransportError):
+    """The target node is not accepting messages (fault injection or an
+    unregistered peer).  Retryable: the peer may come back."""
+
+
+class PeerUnreachableError(NetworkError):
+    """Delivery failed even after the retry budget was spent — the typed
+    end-state surfaced as ``code="peer-unreachable"`` on the
+    :class:`~repro.core.results.QueryResult`."""
+
+    def __init__(self, message: str, *, peer: str = "") -> None:
+        super().__init__(message)
+        self.peer = peer
+
+
+class HopBudgetExceeded(NetworkError):
+    """A hop-by-hop gather ran out of hop budget before covering the
+    accessible sub-network (``code="hop-budget-exhausted"``)."""
+
+    def __init__(self, message: str, *, peer: str = "") -> None:
+        super().__init__(message)
+        self.peer = peer
+
+
+class ProtocolError(NetworkError):
+    """A node received a message it cannot serve (unknown relation,
+    unknown request kind) — a programming error, not a fault scenario."""

@@ -1,0 +1,291 @@
+"""The peer network runtime: nodes, routing, fan-out, and traffic stats.
+
+:meth:`PeerNetwork.from_system` splits a validated
+:class:`~repro.core.system.PeerSystem` into one :class:`~repro.net.node.PeerNode`
+per peer — each holding only its own schema, instance, owned DECs, and
+trust edges — registers every node's handler on a pluggable
+:class:`~repro.net.transport.Transport`, and from then on the peers
+communicate exclusively through typed protocol messages.  Nothing in the
+answering path consults the source system again; it exists only as the
+construction recipe and the version token.
+
+The network layer owns the concerns individual nodes should not:
+
+* **routing with retries** — :meth:`request` resends on transport losses
+  (drops, down peers) up to ``retries`` extra attempts, then raises the
+  typed :class:`~repro.net.errors.PeerUnreachableError`; typed
+  :class:`~repro.net.protocol.Failure` replies are mapped back onto the
+  matching exceptions and are never retried;
+* **concurrent fan-out** — :meth:`fan_out` runs independent requests
+  through a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (``concurrency="sequential"`` keeps the one-at-a-time baseline the
+  NF1 benchmark compares against);
+* **traffic accounting** — every delivered request lands on a
+  thread-safe :class:`~repro.core.messaging.ExchangeLog` as a real
+  :class:`~repro.core.messaging.ExchangeEvent` (tuples, byte estimate,
+  hop depth), which the CLI prints as the exchange trace.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional, Sequence
+
+from ..core.messaging import ExchangeLog
+from ..core.system import PeerSystem
+from .errors import (
+    HopBudgetExceeded,
+    NetworkError,
+    PeerUnreachableError,
+    ProtocolError,
+    TransportError,
+)
+from .node import PeerNode
+from .protocol import Answer, Failure, FetchRelation, Message, PeerQuery
+from .transport import LoopbackTransport, Transport
+
+__all__ = ["PeerNetwork"]
+
+#: fan-out modes
+FANOUT = "fanout"
+SEQUENTIAL = "sequential"
+
+
+class PeerNetwork:
+    """A set of message-passing peer nodes over one transport."""
+
+    def __init__(self, nodes: Iterable[PeerNode],
+                 transport: Optional[Transport] = None, *,
+                 hop_budget: Optional[int] = None,
+                 retries: int = 2,
+                 concurrency: str = FANOUT,
+                 max_workers: Optional[int] = None) -> None:
+        if concurrency not in (FANOUT, SEQUENTIAL):
+            raise NetworkError(
+                f"unknown concurrency mode {concurrency!r}; use "
+                f"{FANOUT!r} or {SEQUENTIAL!r}")
+        if retries < 0:
+            raise NetworkError("retries must be >= 0")
+        self.nodes: dict[str, PeerNode] = {}
+        self.transport = (transport if transport is not None
+                          else LoopbackTransport())
+        self.retries = retries
+        self.concurrency = concurrency
+        self.exchange_log = ExchangeLog()
+        for node in nodes:
+            if node.name in self.nodes:
+                raise NetworkError(f"duplicate node {node.name!r}")
+            self.nodes[node.name] = node
+            node.network = self
+            self.transport.register(node.name, node.handle)
+        if not self.nodes:
+            raise NetworkError("a peer network needs at least one node")
+        # a node cannot know the global diameter; the runtime that built
+        # every node can — one hop per peer always suffices
+        self.hop_budget = (hop_budget if hop_budget is not None
+                           else len(self.nodes))
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._max_workers = max_workers or min(32, 4 * len(self.nodes))
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_system(cls, system: PeerSystem, *,
+                    transport: Optional[Transport] = None,
+                    hop_budget: Optional[int] = None,
+                    retries: int = 2,
+                    concurrency: str = FANOUT,
+                    max_workers: Optional[int] = None,
+                    default_method: str = "auto",
+                    include_local_ics: bool = True,
+                    evaluator: str = "planner") -> "PeerNetwork":
+        """One node per peer, each seeded with its local slice only."""
+        version = system.version()
+        nodes = []
+        for name, peer in system.peers.items():
+            own_edges = [(owner, level, other)
+                         for owner, level, other in system.trust.edges()
+                         if owner == name]
+            nodes.append(PeerNode(
+                peer, system.instances[name],
+                decs=system.decs_of(name),
+                trust_edges=own_edges,
+                version=version,
+                default_method=default_method,
+                include_local_ics=include_local_ics,
+                evaluator=evaluator))
+        return cls(nodes, transport, hop_budget=hop_budget,
+                   retries=retries, concurrency=concurrency,
+                   max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # Topology and lifecycle
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> PeerNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def topology(self) -> dict[str, tuple[str, ...]]:
+        """The accessibility graph: node -> its DEC neighbours."""
+        return {name: node.neighbours()
+                for name, node in sorted(self.nodes.items())}
+
+    def sync(self, system: PeerSystem) -> "PeerNetwork":
+        """Push a new version of the system's data to every node.
+
+        Node caches are keyed on the version, so views, sessions, and
+        answers computed for the old data are dropped; returns ``self``.
+        """
+        version = system.version()
+        for name, node in self.nodes.items():
+            instance = system.instances.get(name)
+            if instance is None:
+                raise NetworkError(
+                    f"synced system lacks peer {name!r}; build a new "
+                    f"network for topology changes")
+            node.update_instance(instance, version)
+        return self
+
+    def close(self) -> None:
+        self.transport.close()
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+
+    def __enter__(self) -> "PeerNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def request(self, message: Message) -> Answer:
+        """Deliver one request, retrying transport losses, and log it.
+
+        Returns the :class:`Answer`; maps :class:`Failure` replies and
+        exhausted retries onto typed :class:`NetworkError` subclasses.
+
+        A retry *resends* the request: if the loss was really a reply
+        timeout, the target may end up serving the work twice, so a
+        :class:`~repro.net.transport.ThreadedTransport` timeout should
+        sit comfortably above the expected gather time (it is the
+        no-hang backstop, not a pacing mechanism).
+        """
+        attempts = self.retries + 1
+        reply: Optional[Message] = None
+        for attempt in range(attempts):
+            try:
+                reply = self.transport.request(message)
+                break
+            except TransportError as exc:
+                if attempt + 1 == attempts:
+                    raise PeerUnreachableError(
+                        f"peer {message.target!r} unreachable after "
+                        f"{attempts} attempt(s): {exc}",
+                        peer=message.target) from exc
+        assert reply is not None
+        if isinstance(reply, Failure):
+            self._raise_failure(reply)
+        if not isinstance(reply, Answer):
+            raise ProtocolError(
+                f"unexpected reply {type(reply).__name__} from "
+                f"{message.target!r}")
+        self._log(message, reply)
+        return reply
+
+    def _raise_failure(self, failure: Failure) -> None:
+        if failure.code == "hop-budget-exhausted":
+            raise HopBudgetExceeded(failure.detail, peer=failure.sender)
+        if failure.code == "peer-unreachable":
+            raise PeerUnreachableError(failure.detail,
+                                       peer=failure.sender)
+        if failure.code == "network":
+            raise NetworkError(
+                f"{failure.sender!r} relayed a network failure: "
+                f"{failure.detail}")
+        raise ProtocolError(
+            f"{failure.sender!r} rejected request "
+            f"{failure.in_reply_to}: [{failure.code}] {failure.detail}")
+
+    def _log(self, message: Message, reply: Answer) -> None:
+        if isinstance(message, FetchRelation):
+            self.exchange_log.record(
+                message.sender, message.target, message.relation,
+                len(reply.payload), message.purpose,
+                bytes_estimate=reply.bytes_estimate, hop=1)
+        elif isinstance(message, PeerQuery):
+            payload = reply.payload
+            stats = payload["stats"]
+            tuples = sum(
+                len(instance.tuples(relation))
+                for instance in payload["instances"].values()
+                for relation in instance.relations())
+            self.exchange_log.record(
+                message.sender, message.target,
+                f"@subsystem[{len(payload['peers'])} peer(s)]",
+                tuples, "hop-by-hop gather",
+                bytes_estimate=reply.bytes_estimate,
+                hop=stats.max_hops + 1 if stats.max_hops else 1)
+
+    # ------------------------------------------------------------------
+    # Concurrent fan-out
+    # ------------------------------------------------------------------
+    def fan_out(self, sender: str,
+                messages: Sequence[Message]) -> list[Answer]:
+        """Issue independent requests, concurrently by default.
+
+        Replies come back in request order.  In ``"fanout"`` mode the
+        requests run on the shared thread pool, so per-link latency is
+        paid once per *level* instead of once per *message*; in
+        ``"sequential"`` mode they run one by one (the baseline NF1
+        measures against).  The first failure is raised after all
+        requests settle — no orphaned in-flight work.
+        """
+        if not messages:
+            return []
+        if self.concurrency == SEQUENTIAL or len(messages) == 1:
+            return [self.request(message) for message in messages]
+        # the caller always executes the last request inline: nested
+        # fan-outs (hop-by-hop gathers) then make progress even with the
+        # pool saturated, so pool starvation can never deadlock a gather
+        executor = self._shared_executor()
+        futures = [executor.submit(self.request, message)
+                   for message in messages[:-1]]
+        results: list[Optional[Answer]] = [None] * len(messages)
+        # every exception is held until all requests settle — including
+        # non-network ones relayed verbatim from node handlers —
+        # upholding the no-orphaned-work guarantee above
+        first_error: Optional[BaseException] = None
+        try:
+            results[-1] = self.request(messages[-1])
+        except Exception as exc:
+            first_error = exc
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _shared_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="peer-fanout")
+            return self._executor
+
+    def __repr__(self) -> str:
+        return (f"PeerNetwork({sorted(self.nodes)}, "
+                f"transport={type(self.transport).__name__}, "
+                f"concurrency={self.concurrency!r}, "
+                f"hop_budget={self.hop_budget})")

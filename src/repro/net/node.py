@@ -1,0 +1,350 @@
+"""An independent peer node: local data, local answering, typed messages.
+
+A :class:`PeerNode` is one peer of a :class:`~repro.core.system.PeerSystem`
+running as its own process-like unit.  It holds only what the paper lets
+a peer know locally: its :class:`~repro.core.system.Peer` (schema + local
+ICs), its own :class:`~repro.relational.instance.DatabaseInstance`, the
+DECs *it owns* (Σ(P, ·)), and its own trust edges.  Everything else is
+learned by exchanging protocol messages with neighbours.
+
+Serving side — :meth:`PeerNode.handle` answers two request shapes from
+its local state alone:
+
+* :class:`~repro.net.protocol.FetchRelation` → the relation's tuples;
+* :class:`~repro.net.protocol.PeerQuery` (``kind="subsystem"``) → a
+  description of the node's accessible sub-network, gathered hop-by-hop:
+  the node describes itself, asks each unvisited DEC-neighbour for *its*
+  sub-network (fanned out concurrently through the network router), then
+  fetches the neighbours' relation contents — so distant peers' data is
+  relayed through intermediates, never pulled from a global store.
+
+Answering side — :meth:`PeerNode.answer` materialises the gathered
+sub-network as a local view :class:`~repro.core.system.PeerSystem` and
+drives a cached :class:`~repro.core.session.PeerQuerySession` over it,
+so every registered answer method (``auto``/``asp``/``rewrite``/
+``model``/``lav``/``transitive``) runs unchanged against node-local
+state.  Views, sessions, and :class:`~repro.core.results.QueryResult`
+objects are cached per system version; :meth:`update_instance` (called
+by :meth:`PeerNetwork.sync <repro.net.network.PeerNetwork.sync>`) moves
+the node to a new version and drops stale entries.
+
+Because the accessible sub-network is exactly the data Definition 3's
+global instance contributes to this peer's solutions (for systems whose
+peers are all reachable from the queried root — every paper workload and
+:func:`~repro.workloads.synthetic.topology_system` family), the view
+answers are tuple-for-tuple identical to the global session's; the
+differential suite in ``tests/net`` locks that in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from ..core.results import CERTAIN, ExchangeStats, QueryRequest, QueryResult
+from ..core.session import PeerQuerySession
+from ..core.system import DataExchange, Peer, PeerSystem
+from ..core.trust import TrustLevel, TrustRelation
+from ..relational.instance import DatabaseInstance
+from ..relational.query import Query
+from .errors import (
+    HopBudgetExceeded,
+    NetworkError,
+    PeerUnreachableError,
+    ProtocolError,
+)
+from .protocol import (
+    SUBSYSTEM,
+    Answer,
+    Failure,
+    FetchRelation,
+    Message,
+    PeerQuery,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import PeerNetwork
+
+__all__ = ["PeerNode"]
+
+
+class PeerNode:
+    """One peer served from its own local state over a transport."""
+
+    def __init__(self, peer: Peer, instance: DatabaseInstance,
+                 decs: Iterable[DataExchange],
+                 trust_edges: Iterable[tuple[str, TrustLevel, str]], *,
+                 version: int = 0,
+                 default_method: str = "auto",
+                 include_local_ics: bool = True,
+                 evaluator: str = "planner") -> None:
+        self.peer = peer
+        self.name = peer.name
+        self.instance = instance
+        self.decs = tuple(decs)
+        self.trust_edges = tuple(trust_edges)
+        self.default_method = default_method
+        self.include_local_ics = include_local_ics
+        self.evaluator = evaluator
+        self.network: Optional["PeerNetwork"] = None  # set on registration
+        self._version = version
+        # all caches are keyed (or valid only) per system version
+        self._view: Optional[tuple[PeerSystem, ExchangeStats]] = None
+        self._session: Optional[PeerQuerySession] = None
+        self._answers: dict[tuple, QueryResult] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Topology as seen locally
+    # ------------------------------------------------------------------
+    def neighbours(self) -> tuple[str, ...]:
+        """Peers this node's own DECs point at, sorted."""
+        return tuple(sorted({exchange.other for exchange in self.decs}))
+
+    def version(self) -> int:
+        return self._version
+
+    def update_instance(self, instance: DatabaseInstance,
+                        version: int) -> None:
+        """Swap in new local data (a new system version): all view,
+        session, and answer caches for older versions are dropped."""
+        with self._lock:
+            self.instance = instance
+            self._version = version
+            self._view = None
+            self._session = None
+            self._answers.clear()
+
+    # ------------------------------------------------------------------
+    # Serving: the message handler registered on the transport
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> Message:
+        """Serve one request from local state; never raises
+        :class:`~repro.net.errors.NetworkError` — failures travel back
+        as typed :class:`~repro.net.protocol.Failure` replies."""
+        try:
+            if isinstance(message, FetchRelation):
+                return self._serve_fetch(message)
+            if isinstance(message, PeerQuery):
+                return self._serve_peer_query(message)
+        except HopBudgetExceeded as exc:
+            return self._failure(message, "hop-budget-exhausted", str(exc))
+        except PeerUnreachableError as exc:
+            return self._failure(message, "peer-unreachable", str(exc))
+        except ProtocolError as exc:
+            return self._failure(message, "protocol", str(exc))
+        except NetworkError as exc:
+            return self._failure(message, "network", str(exc))
+        return self._failure(
+            message, "unsupported-message",
+            f"node {self.name!r} cannot serve "
+            f"{type(message).__name__} messages")
+
+    def _failure(self, message: Message, code: str,
+                 detail: str) -> Failure:
+        return Failure(sender=self.name, target=message.sender,
+                       in_reply_to=message.correlation_id,
+                       code=code, detail=detail)
+
+    def _serve_fetch(self, message: FetchRelation) -> Message:
+        if message.relation not in self.peer.schema.names:
+            return self._failure(
+                message, "unknown-relation",
+                f"peer {self.name!r} does not own relation "
+                f"{message.relation!r}")
+        rows = tuple(sorted(self.instance.tuples(message.relation),
+                            key=lambda row: tuple(
+                                (isinstance(v, str), str(v))
+                                for v in row)))
+        return Answer(sender=self.name, target=message.sender,
+                      in_reply_to=message.correlation_id, payload=rows)
+
+    def _serve_peer_query(self, message: PeerQuery) -> Message:
+        if message.kind != SUBSYSTEM:
+            return self._failure(
+                message, "unsupported-message",
+                f"unknown PeerQuery kind {message.kind!r}")
+        payload = self._gather(message.hop_budget, message.visited)
+        return Answer(sender=self.name, target=message.sender,
+                      in_reply_to=message.correlation_id, payload=payload)
+
+    # ------------------------------------------------------------------
+    # The hop-by-hop sub-network gather
+    # ------------------------------------------------------------------
+    def _gather(self, hop_budget: int,
+                visited: tuple[str, ...]) -> dict:
+        """Describe this node's accessible sub-network.
+
+        Returns a payload mapping with ``peers``/``instances`` (the
+        *other* gathered peers' data — never this node's own, which the
+        requester pulls with :class:`~repro.net.protocol.FetchRelation`),
+        ``decs``, ``trust``, and the aggregated ``stats`` of every
+        message this subtree cost.  ``visited`` carries the peers other
+        branches already claimed, so diamonds are not re-fetched and
+        cycles terminate; ``hop_budget`` bounds the residual depth and
+        raises :class:`~repro.net.errors.HopBudgetExceeded` when the
+        sub-network is deeper than allowed.
+
+        Claiming covers ancestors and the current node's own pending
+        neighbours only, so a peer reachable through two *non-sibling*
+        branches of a diamond is gathered once per branch — duplicated
+        traffic (merged away below), accepted to keep branches fully
+        concurrent with no cross-branch coordination; stacked diamonds
+        amplify it, so very dense graphs should prefer a wider
+        ``hop_budget``-bounded topology or a routing layer (see the
+        ROADMAP's sharding note).
+        """
+        if self.network is None:
+            raise ProtocolError(
+                f"node {self.name!r} is not attached to a network")
+        covered = set(visited) | {self.name}
+        pending = [n for n in self.neighbours() if n not in covered]
+        payload: dict = {
+            "peers": {self.name: self.peer},
+            "instances": {},
+            "decs": list(self.decs),
+            "trust": list(self.trust_edges),
+            "stats": ExchangeStats(),
+        }
+        if not pending:
+            return payload
+        if hop_budget <= 0:
+            raise HopBudgetExceeded(
+                f"hop budget exhausted at {self.name!r} with unexplored "
+                f"neighbours {pending}", peer=self.name)
+        claimed = tuple(visited) + (self.name,) + tuple(pending)
+
+        # phase 1 — concurrent fan-out: each unvisited neighbour
+        # describes (and relays) its own sub-network
+        subsystem_answers = self.network.fan_out(
+            self.name,
+            [PeerQuery(sender=self.name, target=neighbour,
+                       hop_budget=hop_budget - 1, visited=claimed)
+             for neighbour in pending])
+        stats = payload["stats"]
+        stats += ExchangeStats(requests=len(pending))
+        for answer in subsystem_answers:
+            sub = answer.payload
+            payload["peers"].update(sub["peers"])
+            payload["instances"].update(sub["instances"])
+            payload["decs"].extend(sub["decs"])
+            payload["trust"].extend(sub["trust"])
+            # relayed data travelled one hop further to reach us
+            sub_stats: ExchangeStats = sub["stats"]
+            stats += dataclasses.replace(
+                sub_stats,
+                max_hops=sub_stats.max_hops + 1 if sub_stats.max_hops
+                else 0)
+
+        # phase 2 — concurrent fan-out: pull each direct neighbour's
+        # relation contents (deeper peers' data arrived relayed above)
+        fetches = [
+            FetchRelation(sender=self.name, target=neighbour,
+                          relation=relation, purpose="subsystem gather")
+            for neighbour in pending
+            for relation in sorted(
+                payload["peers"][neighbour].schema.names)]
+        fetch_answers = self.network.fan_out(self.name, fetches)
+        data: dict[str, dict[str, tuple]] = {n: {} for n in pending}
+        tuples_moved = bytes_moved = 0
+        for request, answer in zip(fetches, fetch_answers):
+            data[request.target][request.relation] = answer.payload
+            tuples_moved += len(answer.payload)
+            bytes_moved += answer.bytes_estimate
+        for neighbour in pending:
+            payload["instances"][neighbour] = DatabaseInstance(
+                payload["peers"][neighbour].schema, data[neighbour])
+        payload["stats"] = stats + ExchangeStats(
+            requests=len(fetches), tuples_transferred=tuples_moved,
+            bytes_estimate=bytes_moved, max_hops=1)
+        return payload
+
+    # ------------------------------------------------------------------
+    # The local view and the answering surface
+    # ------------------------------------------------------------------
+    def local_view(self) -> PeerSystem:
+        """The node's materialised view: a :class:`PeerSystem` assembled
+        from the gathered sub-network (cached per version)."""
+        return self._view_and_cost()[0]
+
+    def _view_and_cost(self) -> tuple[PeerSystem, ExchangeStats]:
+        with self._lock:
+            if self._view is None:
+                hop_budget = (self.network.hop_budget
+                              if self.network is not None else 8)
+                payload = self._gather(hop_budget, ())
+                payload["instances"][self.name] = self.instance
+                peers = payload["peers"]
+                # branches that race to the same peer through a diamond
+                # may relay its DECs twice; the merge dedups by identity
+                seen: set[int] = set()
+                decs = [dec for dec in payload["decs"]
+                        if id(dec) not in seen and not seen.add(id(dec))]
+                trust = TrustRelation(
+                    {(owner, level, other)
+                     for owner, level, other in payload["trust"]
+                     if owner in peers and other in peers})
+                view = PeerSystem(
+                    peers.values(), payload["instances"],
+                    decs, trust, enforce_local_ics=False)
+                self._view = (view, payload["stats"])
+            return self._view
+
+    def _view_session(self) -> PeerQuerySession:
+        with self._lock:
+            if self._session is None:
+                self._session = PeerQuerySession(
+                    self.local_view(),
+                    default_method=self.default_method,
+                    include_local_ics=self.include_local_ics,
+                    evaluator=self.evaluator)
+            return self._session
+
+    def answer(self, query: Union[Query, str], *,
+               method: Optional[str] = None,
+               semantics: str = CERTAIN) -> QueryResult:
+        """Answer a query over this node's network view.
+
+        The result is the view session's — same methods, same planner,
+        same provenance — with the exchange stats replaced by the *real*
+        message traffic of the gather that built the view (zero on a
+        warm view) and ``elapsed`` covering gather plus answering.
+        Cached per ``(version, query, method, semantics)``.
+        """
+        parsed = QueryRequest(self.name, query).resolved_query()
+        key = (self._version, str(parsed), method or self.default_method,
+               semantics)
+        # the whole answer path runs under the node lock: the view
+        # session is single-threaded state, exactly like a real node's
+        # process (serving fetches/gathers for *other* peers never takes
+        # this lock, so held-while-gathering cannot deadlock)
+        with self._lock:
+            cached = self._answers.get(key)
+            if cached is not None:
+                return dataclasses.replace(cached, from_cache=True,
+                                           exchange=ExchangeStats(),
+                                           elapsed=0.0)
+            start = time.perf_counter()
+            had_view = self._view is not None
+            gather_cost = self._view_and_cost()[1]
+            result = self._view_session().answer(
+                self.name, parsed, method=method, semantics=semantics)
+            elapsed = time.perf_counter() - start
+            result = dataclasses.replace(
+                result,
+                exchange=gather_cost if not had_view else ExchangeStats(),
+                elapsed=elapsed)
+            self._answers[key] = result
+            return result
+
+    def explain(self, query: Union[Query, str],
+                candidate: Optional[tuple] = None):
+        """Definition-5 certification evidence over the network view."""
+        return self._view_session().explain(self.name, query, candidate)
+
+    def __repr__(self) -> str:
+        return (f"PeerNode({self.name!r}, "
+                f"{len(self.decs)} DECs, neighbours="
+                f"{list(self.neighbours())})")

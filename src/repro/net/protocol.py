@@ -1,0 +1,132 @@
+"""Typed protocol messages for the peer network runtime.
+
+The wire vocabulary is deliberately tiny — four message shapes cover the
+paper's whole query-answering narrative (Example 2: "P1 will first issue
+a query to P2 to retrieve the tuples in R2; next, a query is issued to
+P3 ..."):
+
+* :class:`FetchRelation` — "send me the contents of your relation R";
+* :class:`PeerQuery` — "describe your accessible sub-network" (the
+  hop-by-hop gather behind transitive answering) — carries the hop
+  budget and the per-branch visited set that make cyclic accessibility
+  graphs terminate;
+* :class:`Answer` — a successful reply, correlated to its request;
+* :class:`Failure` — a typed error reply (unknown relation, exhausted
+  hop budget), also correlated.
+
+Every message carries a process-unique ``correlation_id``; replies quote
+it in ``in_reply_to`` so transports may deliver out of order.  Payloads
+hold immutable in-process objects (tuples, :class:`~repro.core.system.Peer`
+instances); a cross-host transport would serialise them with the
+:mod:`repro.core.io` dict codecs — :func:`payload_bytes` estimates that
+serialized size for the traffic accounting either way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..core.messaging import estimate_bytes
+
+__all__ = [
+    "Message",
+    "FetchRelation",
+    "PeerQuery",
+    "Answer",
+    "Failure",
+    "SUBSYSTEM",
+    "payload_bytes",
+]
+
+#: the one PeerQuery kind today: gather the accessible sub-network.
+SUBSYSTEM = "subsystem"
+
+_CORRELATION = itertools.count(1)
+
+
+def _next_correlation() -> int:
+    return next(_CORRELATION)
+
+
+@dataclass(frozen=True, kw_only=True)
+class Message:
+    """Base envelope: who is talking to whom, under which correlation."""
+
+    sender: str
+    target: str
+    correlation_id: int = field(default_factory=_next_correlation)
+
+
+@dataclass(frozen=True, kw_only=True)
+class FetchRelation(Message):
+    """Request the full contents of one of the target's own relations."""
+
+    relation: str
+    purpose: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
+class PeerQuery(Message):
+    """Request a hop-by-hop description of the target's sub-network.
+
+    ``hop_budget`` bounds how many further hops the target may take;
+    ``visited`` lists the peers already covered on this branch, so
+    cyclic accessibility graphs terminate without revisiting.
+    """
+
+    kind: str = SUBSYSTEM
+    hop_budget: int = 8
+    visited: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class Answer(Message):
+    """A successful reply.  ``payload`` depends on the request kind:
+    a tuple of rows for :class:`FetchRelation`, a subsystem-description
+    mapping for :class:`PeerQuery`."""
+
+    in_reply_to: int
+    payload: Any = None
+    bytes_estimate: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bytes_estimate == 0:
+            object.__setattr__(self, "bytes_estimate",
+                               payload_bytes(self.payload))
+
+
+@dataclass(frozen=True, kw_only=True)
+class Failure(Message):
+    """A typed error reply.  ``code`` matches the
+    :class:`~repro.core.results.QueryError` vocabulary
+    (``"unknown-relation"``, ``"hop-budget-exhausted"``,
+    ``"peer-unreachable"``...)."""
+
+    in_reply_to: int
+    code: str
+    detail: str = ""
+
+
+def payload_bytes(payload: Any) -> int:
+    """Estimate the serialized size of a reply payload.
+
+    Rows are costed with the shared :func:`estimate_bytes`; subsystem
+    descriptions cost the sum of their instances' rows plus a small flat
+    overhead per described peer/constraint.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        return estimate_bytes(payload)
+    if isinstance(payload, Mapping):
+        total = 0
+        for instance in payload.get("instances", {}).values():
+            for relation in instance.relations():
+                total += estimate_bytes(instance.tuples(relation))
+        total += 64 * len(payload.get("peers", {}))
+        total += 32 * len(payload.get("decs", ()))
+        total += 16 * len(payload.get("trust", ()))
+        return total
+    return len(str(payload))

@@ -1,0 +1,202 @@
+"""The network-backed answering service: :class:`NetworkSession`.
+
+Mirrors :class:`~repro.core.session.PeerQuerySession`'s surface —
+``answer`` / ``answer_many`` / ``explain`` returning the same rich
+:class:`~repro.core.results.QueryResult` — but executes every query on
+the :mod:`repro.net` runtime: the queried peer's node gathers its
+accessible sub-network hop-by-hop over the transport, materialises a
+local view, and answers from it.  Callers pick the execution backend
+with one argument via :func:`open_session`::
+
+    session = open_session(system)                # local, in-process
+    session = open_session(system, network=True)  # message-passing nodes
+
+The differential guarantee (locked in by ``tests/net``): on systems
+whose peers are all reachable from the queried root, network answers are
+tuple-for-tuple identical to the local session's, for every registered
+method and both semantics.
+
+Fault behaviour: network failures (peer down, hop budget exhausted,
+transport loss beyond the retry budget) never raise out of ``answer`` /
+``answer_many`` — they come back as a :class:`QueryResult` whose
+``error`` is a typed :class:`~repro.core.results.QueryError`, so batch
+callers degrade per-result.  ``explain`` and ``local_view`` raise,
+because they have no result object to attach the error to.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Union
+
+from ..core.results import (
+    CERTAIN,
+    QueryError,
+    QueryRequest,
+    QueryResult,
+)
+from ..core.session import PeerQuerySession
+from ..core.system import PeerSystem
+from ..relational.query import Query
+from .errors import (
+    HopBudgetExceeded,
+    NetworkError,
+    PeerUnreachableError,
+    TransportError,
+)
+from .network import PeerNetwork
+from .transport import Transport
+
+__all__ = ["NetworkSession", "open_session"]
+
+
+def _error_code(exc: NetworkError) -> str:
+    if isinstance(exc, HopBudgetExceeded):
+        return "hop-budget-exhausted"
+    if isinstance(exc, PeerUnreachableError):
+        return "peer-unreachable"
+    if isinstance(exc, TransportError):
+        return "transport"
+    return "network"
+
+
+class NetworkSession:
+    """Query answering over message-passing peer nodes.
+
+    Construct from a :class:`~repro.core.system.PeerSystem` (a network
+    is built with :meth:`PeerNetwork.from_system`) or from an existing
+    :class:`PeerNetwork`.  Keyword arguments mirror the local session's
+    (``default_method``, ``include_local_ics``, ``evaluator``) plus the
+    network knobs (``transport``, ``hop_budget``, ``retries``,
+    ``concurrency``).
+    """
+
+    def __init__(self, system_or_network: Union[PeerSystem, PeerNetwork],
+                 *, transport: Optional[Transport] = None,
+                 default_method: str = "auto",
+                 include_local_ics: bool = True,
+                 evaluator: str = "planner",
+                 hop_budget: Optional[int] = None,
+                 retries: int = 2,
+                 concurrency: str = "fanout",
+                 max_workers: Optional[int] = None) -> None:
+        if isinstance(system_or_network, PeerNetwork):
+            if transport is not None:
+                raise NetworkError(
+                    "pass the transport when the network is built, not "
+                    "to a session over an existing network")
+            self.network = system_or_network
+        else:
+            self.network = PeerNetwork.from_system(
+                system_or_network, transport=transport,
+                hop_budget=hop_budget, retries=retries,
+                concurrency=concurrency, max_workers=max_workers,
+                default_method=default_method,
+                include_local_ics=include_local_ics,
+                evaluator=evaluator)
+        self.default_method = default_method
+
+    # ------------------------------------------------------------------
+    def answer(self, peer: str, query: Union[Query, str], *,
+               method: Optional[str] = None,
+               semantics: str = CERTAIN) -> QueryResult:
+        """Answer one query at ``peer`` over the network runtime.
+
+        Network failures come back as a result with a typed
+        :attr:`~repro.core.results.QueryResult.error` — empty answers
+        with an error set mean *unknown*, not "no certain answers".
+        """
+        node = self.network.node(peer)
+        request = QueryRequest(peer, query, method, semantics)
+        start = time.perf_counter()
+        try:
+            return node.answer(request.resolved_query(),
+                               method=method, semantics=semantics)
+        except NetworkError as exc:
+            return QueryResult(
+                peer=peer,
+                query=request.resolved_query(),
+                answers=frozenset(),
+                semantics=semantics,
+                method_requested=method or self.default_method,
+                method_used=method or self.default_method,
+                solution_count=None,
+                elapsed=time.perf_counter() - start,
+                error=QueryError(code=_error_code(exc),
+                                 message=str(exc),
+                                 peer=getattr(exc, "peer", "") or peer),
+            )
+
+    def answer_many(self, requests: Iterable[Union[QueryRequest, tuple]]
+                    ) -> list[QueryResult]:
+        """Batch execution, one result per request, in order; failures
+        degrade per-result instead of aborting the batch."""
+        results = []
+        for request in requests:
+            if not isinstance(request, QueryRequest):
+                request = QueryRequest(*request)
+            results.append(self.answer(request.peer, request.query,
+                                       method=request.method,
+                                       semantics=request.semantics))
+        return results
+
+    def explain(self, peer: str, query: Union[Query, str],
+                candidate: Optional[tuple] = None):
+        """Definition-5 certification evidence computed at the node.
+
+        Raises :class:`~repro.net.errors.NetworkError` on network
+        failures (there is no result object to carry a typed error).
+        """
+        return self.network.node(peer).explain(query, candidate)
+
+    def local_view(self, peer: str) -> PeerSystem:
+        """The peer's materialised network view (gathers on first use)."""
+        return self.network.node(peer).local_view()
+
+    # ------------------------------------------------------------------
+    def use_system(self, system: PeerSystem) -> "NetworkSession":
+        """Push a new version of the data to every node (see
+        :meth:`PeerNetwork.sync`); returns ``self`` for chaining."""
+        self.network.sync(system)
+        return self
+
+    @property
+    def exchange_log(self):
+        """The network's thread-safe log of real message traffic."""
+        return self.network.exchange_log
+
+    def close(self) -> None:
+        self.network.close()
+
+    def __enter__(self) -> "NetworkSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"NetworkSession({self.network!r}, "
+                f"default_method={self.default_method!r})")
+
+
+def open_session(system: PeerSystem, *, network: bool = False,
+                 **kwargs) -> Union[PeerQuerySession, NetworkSession]:
+    """The one-argument switch between execution backends.
+
+    ``network=False`` returns the in-process
+    :class:`~repro.core.session.PeerQuerySession`; ``network=True``
+    returns a :class:`NetworkSession` running each peer as a
+    message-passing node.  Keyword arguments are forwarded to whichever
+    backend is chosen (the local session accepts ``default_method``,
+    ``include_local_ics``, ``evaluator``; the network session also takes
+    ``transport``, ``hop_budget``, ``retries``, ``concurrency``).
+    """
+    if network:
+        return NetworkSession(system, **kwargs)
+    allowed = ("default_method", "include_local_ics", "evaluator")
+    unknown = set(kwargs) - set(allowed)
+    if unknown:
+        raise NetworkError(
+            f"{sorted(unknown)} only apply to the network backend; "
+            f"pass network=True")
+    return PeerQuerySession(system, **kwargs)

@@ -24,6 +24,7 @@ from .synthetic import (
     import_star_system,
     peer_chain_system,
     referential_system,
+    topology_system,
 )
 
 __all__ = [
@@ -31,5 +32,5 @@ __all__ = [
     "section31_dec", "section31_instance", "section31_system",
     "appendix_instance", "example4_system",
     "conflict_chain_system", "import_star_system", "referential_system",
-    "peer_chain_system",
+    "peer_chain_system", "topology_system",
 ]

@@ -13,7 +13,11 @@ produce the parameterised families the benchmarks sweep:
 * :func:`referential_system` — Section 3.1-shaped referential DECs with a
   tunable number of violations and witnesses (SC3's HCF ablation);
 * :func:`peer_chain_system` — a transitive chain of k peers propagating
-  imports (SC4).
+  imports (SC4);
+* :func:`topology_system` — one seeded generator for chain/star/random
+  accessibility graphs, shared by the network benchmarks (NF1) and the
+  :mod:`repro.net` differential tests so they exercise identical system
+  families.
 
 All generators are deterministic given their ``seed``.
 """
@@ -37,6 +41,7 @@ __all__ = [
     "import_star_system",
     "referential_system",
     "peer_chain_system",
+    "topology_system",
 ]
 
 _X, _Y, _Z, _W = (Variable("X"), Variable("Y"), Variable("Z"),
@@ -131,6 +136,86 @@ def referential_system(n_violations: int, n_witnesses: int = 2, *,
             .exchange("P", "Q", dec)
             .trust("P", "less", "Q")
             .build())
+
+
+def topology_system(n_peers: int, *, topology: str = "star",
+                    n_tuples: int = 6, conflicts: int = 0,
+                    extra_edges: int = 0, seed: int = 0) -> PeerSystem:
+    """One seeded generator for the network-shaped system families.
+
+    ``topology`` selects the accessibility graph rooted at ``P0``:
+
+    * ``"chain"`` — P0 → P1 → ... → P{n-1}, each peer importing its
+      successor's relation (the transitive family);
+    * ``"star"`` — P0 imports from every other peer directly (the
+      fan-out family);
+    * ``"random"`` — a seeded spanning arborescence from P0 (every peer
+      ``Pi`` is imported by a random earlier peer) plus ``extra_edges``
+      additional forward edges, so the graph is a connected DAG with
+      diamonds but no cycles.
+
+    Every peer ``Pi`` owns one binary relation ``Ri`` with ``n_tuples``
+    seeded rows; keys are drawn from a small shared pool so imports
+    genuinely overlap and collide.  All import edges are full inclusions
+    with `less` trust.  ``conflicts`` > 0 adds an equally-trusted peer
+    ``PC`` whose relation ``C0`` contradicts that many of P0's keys via
+    an EGD, exercising the stage-2 (`same`-trust) semantics.
+
+    The accessibility graph always reaches every peer from P0, which is
+    what makes the :mod:`repro.net` runtime's hop-by-hop view provably
+    equivalent to the global session on these systems.
+    """
+    if n_peers < 1:
+        raise ValueError("topology_system needs at least one peer")
+    if topology not in ("chain", "star", "random"):
+        raise ValueError(
+            f"unknown topology {topology!r}; use 'chain', 'star', or "
+            f"'random'")
+    rng = random.Random(f"{seed}:{topology}:{n_peers}:{n_tuples}")
+    key_pool = [f"k{i}" for i in range(max(4, n_tuples))]
+
+    builder = PeerSystem.builder()
+    root_keys: list[str] = []
+    for index in range(n_peers):
+        rows = [(rng.choice(key_pool), f"v{index}_{i}")
+                for i in range(n_tuples)]
+        builder.peer(f"P{index}", {f"R{index}": 2},
+                     instance={f"R{index}": rows})
+        if index == 0:
+            root_keys = sorted({key for key, _value in rows})
+
+    if topology == "chain":
+        edges = [(i, i + 1) for i in range(n_peers - 1)]
+    elif topology == "star":
+        edges = [(0, i) for i in range(1, n_peers)]
+    else:
+        edges = [(rng.randrange(i), i) for i in range(1, n_peers)]
+        candidates = [(j, i) for i in range(1, n_peers)
+                      for j in range(i) if (j, i) not in set(edges)]
+        rng.shuffle(candidates)
+        edges.extend(candidates[:extra_edges])
+
+    for owner_idx, other_idx in edges:
+        owner, other = f"P{owner_idx}", f"P{other_idx}"
+        builder.exchange(
+            owner, other,
+            InclusionDependency(f"R{other_idx}", f"R{owner_idx}",
+                                child_arity=2, parent_arity=2,
+                                name=f"import_{owner}_{other}"))
+        builder.trust(owner, "less", other)
+
+    if conflicts:
+        # clash with keys P0 actually holds, so every conflict is real
+        clashing = [(root_keys[i % len(root_keys)], f"w{i}")
+                    for i in range(conflicts)] if root_keys else []
+        egd = EqualityGeneratingConstraint(
+            antecedent=[RelAtom("R0", [_X, _Y]),
+                        RelAtom("C0", [_X, _Z])],
+            equalities=[(_Y, _Z)], name="conflict_C0")
+        builder.peer("PC", {"C0": 2}, instance={"C0": clashing})
+        builder.exchange("P0", "PC", egd)
+        builder.trust("P0", "same", "PC")
+    return builder.build()
 
 
 def peer_chain_system(length: int, n_tuples: int = 2) -> PeerSystem:

@@ -71,6 +71,62 @@ class TestQueryCommand:
         assert "NO solutions" in out
 
 
+class TestNetworkCommand:
+    EXPECTED = ("a, b", "c, d", "a, e")
+
+    def test_answers_and_exchange_trace(self, system_file, capsys):
+        code = main(["network", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for row in self.EXPECTED:
+            assert row in out
+        assert "exchange trace" in out
+        assert "P1 <- P2" in out and "P1 <- P3" in out
+
+    def test_query_network_flag_matches_local(self, system_file,
+                                              capsys):
+        main(["query", system_file, "P1", "q(X, Y) := R1(X, Y)"])
+        local_out = capsys.readouterr().out
+        code = main(["query", system_file, "P1", "q(X, Y) := R1(X, Y)",
+                     "--network"])
+        network_out = capsys.readouterr().out
+        assert code == 0
+        for row in self.EXPECTED:
+            assert row in local_out and row in network_out
+
+    def test_latency_and_json(self, system_file, capsys):
+        code = main(["network", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--latency", "1",
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert sorted(payload["answers"]) == [["a", "b"], ["a", "e"],
+                                              ["c", "d"]]
+        assert payload["error"] is None
+        assert payload["exchange_requests"] > 0
+
+    def test_insufficient_hop_budget_exit_3(self, tmp_path, capsys):
+        from repro.workloads import topology_system
+        path = tmp_path / "chain.json"
+        dump_system(topology_system(4, topology="chain", n_tuples=2,
+                                    seed=0), str(path))
+        code = main(["network", str(path), "P0",
+                     "q(X, Y) := R0(X, Y)", "--hops", "1"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "hop-budget-exhausted" in out
+
+    def test_sequential_mode_agrees(self, system_file, capsys):
+        code = main(["network", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--sequential"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for row in self.EXPECTED:
+            assert row in out
+
+
 class TestSolutionsCommand:
     def test_direct(self, system_file, capsys):
         code = main(["solutions", system_file, "P1"])

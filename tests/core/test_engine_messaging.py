@@ -94,3 +94,68 @@ class TestExchangeLog:
         assert "P1 <- P2" in str(event)
         assert "5 tuples" in str(event)
         assert "import" in str(event)
+
+    def test_marks_slice_the_log(self):
+        log = ExchangeLog()
+        log.record("P1", "P2", "R2", 5)
+        mark = log.mark()
+        log.record("P1", "P3", "R3", 2, bytes_estimate=20, hop=3)
+        events = log.events_since(mark)
+        assert [e.relation for e in events] == ["R3"]
+        stats = log.stats_since(mark)
+        assert stats.requests == 1
+        assert stats.tuples_transferred == 2
+        assert stats.bytes_estimate == 20
+        assert stats.max_hops == 3
+
+    def test_concurrent_appends_are_not_lost(self):
+        import threading
+        log = ExchangeLog()
+
+        def append(worker):
+            for index in range(200):
+                log.record(f"P{worker}", "Q", "R", 1)
+
+        threads = [threading.Thread(target=append, args=(w,))
+                   for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 8 * 200
+        assert log.total_tuples() == 8 * 200
+
+    def test_iteration_walks_a_snapshot(self):
+        log = ExchangeLog()
+        log.record("P1", "P2", "R2", 1)
+        for _event in log:  # appending mid-iteration must be safe
+            log.record("P1", "P3", "R3", 1)
+        assert len(log) == 2
+
+
+class TestExchangeStatsWiring:
+    def test_session_result_carries_real_logged_traffic(self):
+        from repro.core import PeerQuerySession, estimate_bytes
+        system = example1_system()
+        session = PeerQuerySession(system, default_method="asp")
+        result = session.answer("P1", QUERY)
+        events = system.exchange_log.events("P1")
+        assert result.exchange.requests == len(events) > 0
+        assert result.exchange.tuples_transferred == \
+            sum(e.tuples_transferred for e in events)
+        assert result.exchange.bytes_estimate == \
+            sum(e.bytes_estimate for e in events) > 0
+        assert result.exchange.max_hops == 1
+
+    def test_fetch_relation_estimates_bytes(self):
+        from repro.core import estimate_bytes
+        system = example1_system()
+        tuples = system.fetch_relation("P1", "R2")
+        event = system.exchange_log.events("P1")[0]
+        assert event.bytes_estimate == estimate_bytes(tuples) > 0
+
+    def test_stats_addition_sums_and_maxes(self):
+        from repro.core import ExchangeStats
+        combined = ExchangeStats(1, 10, 100, 2) + \
+            ExchangeStats(2, 20, 200, 5)
+        assert combined == ExchangeStats(3, 30, 300, 5)

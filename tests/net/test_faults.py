@@ -1,0 +1,171 @@
+"""Fault scenarios: typed failures, no hangs, no tracebacks.
+
+Satellite coverage for the ISSUE's fault requirements: a peer going
+down during (transitive) answering surfaces a clean typed error in the
+:class:`~repro.core.results.QueryResult` — never a hang or a traceback —
+and hop budgets terminate hop-by-hop gathers on cyclic accessibility
+graphs.
+"""
+
+import time
+
+import pytest
+
+from repro.core import PeerQuerySession, PeerSystem, QueryError
+from repro.net import (
+    HopBudgetExceeded,
+    NetworkError,
+    NetworkSession,
+    PeerUnreachableError,
+    ThreadedTransport,
+)
+from repro.relational.constraints import InclusionDependency
+from repro.workloads import topology_system
+
+QUERY = "q(X, Y) := R0(X, Y)"
+
+
+def cyclic_system(length=3):
+    """P0 -> P1 -> ... -> P0: a cyclic accessibility graph."""
+    builder = PeerSystem.builder()
+    for index in range(length):
+        builder.peer(f"P{index}", {f"R{index}": 2},
+                     instance={f"R{index}": [(f"a{index}", f"b{index}")]})
+    for index in range(length):
+        succ = (index + 1) % length
+        builder.exchange(
+            f"P{index}", f"P{succ}",
+            InclusionDependency(f"R{succ}", f"R{index}",
+                                child_arity=2, parent_arity=2,
+                                name=f"cycle_{index}"))
+        builder.trust(f"P{index}", "less", f"P{succ}")
+    return builder.build()
+
+
+class TestPeerDown:
+    def test_down_peer_surfaces_typed_error_without_hanging(self):
+        system = topology_system(4, topology="chain", n_tuples=3,
+                                 seed=1)
+        transport = ThreadedTransport(timeout=1.0)
+        with NetworkSession(system, transport=transport,
+                            retries=1) as session:
+            transport.set_down("P2")
+            start = time.perf_counter()
+            result = session.answer("P0", QUERY)
+            elapsed = time.perf_counter() - start
+            assert elapsed < 2.0  # no hang: down is detected, not waited
+            assert result.failed and not result.ok
+            assert isinstance(result.error, QueryError)
+            assert result.error.code == "peer-unreachable"
+            assert result.answers == frozenset()
+            assert result.solution_count is None
+
+    def test_recovery_after_the_peer_comes_back(self):
+        system = topology_system(4, topology="chain", n_tuples=3,
+                                 seed=1)
+        transport = ThreadedTransport(timeout=1.0)
+        with NetworkSession(system, transport=transport,
+                            retries=1) as session:
+            transport.set_down("P2")
+            assert session.answer("P0", QUERY).failed
+            transport.set_up("P2")
+            result = session.answer("P0", QUERY)
+            assert result.ok
+            assert result.answers == \
+                PeerQuerySession(system).answer("P0", QUERY).answers
+
+    def test_batch_degrades_per_result(self):
+        system = topology_system(4, topology="star", n_tuples=3, seed=6)
+        transport = ThreadedTransport(timeout=1.0)
+        with NetworkSession(system, transport=transport,
+                            retries=0) as session:
+            transport.set_down("P2")
+            results = session.answer_many([
+                ("P0", QUERY),                      # needs P2: fails
+                ("P3", "q(X, Y) := R3(X, Y)"),      # leaf: unaffected
+            ])
+            assert results[0].failed
+            assert results[0].error.code == "peer-unreachable"
+            assert results[1].ok and results[1].answers
+
+    def test_down_root_fails_without_gathering(self):
+        # the root node itself is local, so querying it works; but a
+        # down *neighbour* at depth 1 fails cleanly too
+        system = topology_system(3, topology="star", n_tuples=3, seed=0)
+        transport = ThreadedTransport(timeout=1.0)
+        with NetworkSession(system, transport=transport,
+                            retries=0) as session:
+            transport.set_down("P1")
+            result = session.answer("P0", QUERY)
+            assert result.failed
+            assert result.error.code == "peer-unreachable"
+
+    def test_explain_raises_typed_network_error(self):
+        system = topology_system(3, topology="star", n_tuples=3, seed=0)
+        transport = ThreadedTransport(timeout=1.0)
+        with NetworkSession(system, transport=transport,
+                            retries=0) as session:
+            transport.set_down("P1")
+            with pytest.raises(NetworkError):
+                session.explain("P0", QUERY)
+
+
+class TestHopBudgets:
+    def test_cycle_terminates_and_matches_local_answers(self):
+        system = cyclic_system(3)
+        local = PeerQuerySession(system)
+        with NetworkSession(system) as session:  # budget = peer count
+            for method in ("auto", "asp"):
+                result = session.answer("P0", QUERY, method=method)
+                assert result.ok
+                assert result.answers == \
+                    local.answer("P0", QUERY, method=method).answers
+
+    def test_insufficient_budget_is_a_typed_failure(self):
+        system = cyclic_system(3)
+        with NetworkSession(system, hop_budget=1) as session:
+            result = session.answer("P0", QUERY)
+            assert result.failed
+            assert result.error.code == "hop-budget-exhausted"
+            assert result.answers == frozenset()
+
+    def test_budget_exactly_covering_the_diameter_succeeds(self):
+        system = topology_system(5, topology="chain", n_tuples=3,
+                                 seed=4)
+        with NetworkSession(system, hop_budget=4) as session:
+            assert session.answer("P0", QUERY).ok
+        with NetworkSession(system, hop_budget=3) as session:
+            result = session.answer("P0", QUERY)
+            assert result.failed
+            assert result.error.code == "hop-budget-exhausted"
+
+    def test_hop_budget_error_names_the_starved_peer(self):
+        system = topology_system(4, topology="chain", n_tuples=3,
+                                 seed=4)
+        with NetworkSession(system, hop_budget=1) as session:
+            result = session.answer("P0", QUERY)
+            assert result.failed
+            assert result.error.peer == "P1"
+
+
+class TestTransportLossBeyondTheBudget:
+    def test_heavy_drops_fail_typed_not_raised(self):
+        from repro.net import FaultPlan, LoopbackTransport
+        system = topology_system(4, topology="star", n_tuples=3, seed=7)
+        transport = LoopbackTransport(FaultPlan(drop_rate=0.95, seed=1))
+        with NetworkSession(system, transport=transport,
+                            retries=0) as session:
+            result = session.answer("P0", QUERY)
+            assert result.failed
+            assert result.error.code == "peer-unreachable"
+
+    def test_unreachable_error_carries_the_peer(self):
+        system = topology_system(3, topology="star", n_tuples=3, seed=0)
+        transport = ThreadedTransport(timeout=0.5)
+        with NetworkSession(system, transport=transport,
+                            retries=0) as session:
+            transport.set_down("P2")
+            result = session.answer("P0", QUERY)
+            assert result.failed
+            assert result.error.peer in {"P0", "P2"}
+            assert "P2" in result.error.message

@@ -1,0 +1,188 @@
+"""The differential harness: network answers ≡ local session answers.
+
+The correctness contract of the peer network runtime is that running a
+query through message-passing nodes (hop-by-hop gather, typed protocol,
+concurrent fan-out) changes the *execution*, never the *answers*: the
+:class:`~repro.net.service.NetworkSession` must be tuple-for-tuple equal
+to the :class:`~repro.core.session.PeerQuerySession` realising the
+Definition-3/5 global semantics — same answers, same solution counts,
+same resolved method — on every paper workload and across seeded
+synthetic families, including under injected latency and under message
+drops bounded below the retry budget.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import PeerQuerySession
+from repro.net import (
+    FaultPlan,
+    LoopbackTransport,
+    NetworkSession,
+    ThreadedTransport,
+)
+from repro.workloads import (
+    conflict_chain_system,
+    example1_system,
+    example4_system,
+    import_star_system,
+    peer_chain_system,
+    referential_system,
+    section31_system,
+    topology_system,
+)
+
+#: 3 topologies x 14 seeds = 42 seeded synthetic systems (>= 40)
+SEEDS = range(14)
+TOPOLOGIES = ("chain", "star", "random")
+SYNTHETIC_CASES = list(itertools.product(TOPOLOGIES, SEEDS))
+
+
+def assert_equivalent(system, peer, queries, *, methods=("auto", "asp"),
+                      semantics=("certain",), transport=None, retries=2):
+    local = PeerQuerySession(system)
+    network = NetworkSession(system, transport=transport,
+                             retries=retries)
+    try:
+        for query, method, kind in itertools.product(
+                queries, methods, semantics):
+            expected = local.answer(peer, query, method=method,
+                                    semantics=kind)
+            actual = network.answer(peer, query, method=method,
+                                    semantics=kind)
+            assert actual.ok, (query, method, kind, actual.error)
+            assert actual.answers == expected.answers, \
+                (query, method, kind)
+            assert actual.solution_count == expected.solution_count, \
+                (query, method, kind)
+            assert actual.method_used == expected.method_used, \
+                (query, method, kind)
+    finally:
+        network.close()
+
+
+class TestPaperWorkloads:
+    def test_example1(self):
+        assert_equivalent(
+            example1_system(), "P1",
+            ["q(X, Y) := R1(X, Y)", "q(X) := exists Y R1(X, Y)"],
+            methods=("auto", "asp", "model", "rewrite"),
+        )
+
+    def test_example1_possible_semantics(self):
+        assert_equivalent(
+            example1_system(), "P1", ["q(X, Y) := R1(X, Y)"],
+            methods=("asp", "model"), semantics=("certain", "possible"),
+        )
+
+    def test_section31(self):
+        assert_equivalent(
+            section31_system(), "P",
+            ["q(X, Y) := R2(X, Y)", "q(X, Y) := R1(X, Y)"],
+            methods=("auto", "asp", "model", "lav"),
+        )
+
+    def test_example4_direct_and_transitive(self):
+        assert_equivalent(
+            example4_system(), "P", ["q(X, Y) := R2(X, Y)"],
+            methods=("auto", "asp", "transitive"),
+        )
+
+    def test_conflict_chain(self):
+        assert_equivalent(
+            conflict_chain_system(3, n_clean=2), "P1",
+            ["q(X, Y) := R1(X, Y)"],
+            methods=("auto", "asp", "model"),
+            semantics=("certain", "possible"),
+        )
+
+    def test_import_star(self):
+        assert_equivalent(
+            import_star_system(12, n_neighbours=3, conflicts=2, seed=5),
+            "P0", ["q(X, Y) := R0(X, Y)", "q(X) := exists Y R0(X, Y)"],
+        )
+
+    def test_referential(self):
+        assert_equivalent(
+            referential_system(2, n_witnesses=2, n_satisfied=1), "P",
+            ["q(X, Y) := R2(X, Y)"],
+            methods=("auto", "asp"),
+        )
+
+    def test_peer_chain_transitive(self):
+        assert_equivalent(
+            peer_chain_system(3, n_tuples=2), "P0",
+            ["q(X, Y) := T0(X, Y)"],
+            methods=("auto", "asp", "transitive"),
+        )
+
+
+class TestSeededSynthetic:
+    @pytest.mark.parametrize("topology,seed", SYNTHETIC_CASES)
+    def test_seeded_system(self, topology, seed):
+        system = topology_system(4, topology=topology, n_tuples=4,
+                                 conflicts=(seed % 2), extra_edges=2,
+                                 seed=seed)
+        assert_equivalent(
+            system, "P0",
+            ["q(X, Y) := R0(X, Y)", "q(X) := exists Y R0(X, Y)"],
+        )
+
+
+class TestUnderFaultInjection:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_with_injected_latency(self, topology):
+        system = topology_system(4, topology=topology, n_tuples=4,
+                                 seed=21)
+        assert_equivalent(
+            system, "P0", ["q(X, Y) := R0(X, Y)"],
+            transport=ThreadedTransport(latency=0.002),
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_drops_below_the_retry_budget(self, seed):
+        # seeded drops lose ~15% of deliveries; 6 retries make the
+        # chance of six consecutive losses negligible, and the seed
+        # makes the run deterministic either way
+        system = topology_system(5, topology="star", n_tuples=4,
+                                 conflicts=1, seed=seed)
+        assert_equivalent(
+            system, "P0",
+            ["q(X, Y) := R0(X, Y)", "q(X) := exists Y R0(X, Y)"],
+            transport=LoopbackTransport(
+                FaultPlan(drop_rate=0.15, seed=seed)),
+            retries=6,
+        )
+
+    def test_latency_and_drops_together(self):
+        system = topology_system(4, topology="random", n_tuples=4,
+                                 extra_edges=1, seed=33)
+        assert_equivalent(
+            system, "P0", ["q(X, Y) := R0(X, Y)"],
+            transport=ThreadedTransport(latency=0.001, drop_rate=0.1,
+                                        seed=9),
+            retries=6,
+        )
+
+
+class TestNonRootPeers:
+    """The guarantee is per queried root, not only for P0."""
+
+    def test_every_peer_of_example1(self):
+        system = example1_system()
+        local = PeerQuerySession(system)
+        network = NetworkSession(system)
+        for peer, relation in (("P1", "R1"), ("P2", "R2"), ("P3", "R3")):
+            query = f"q(X, Y) := {relation}(X, Y)"
+            assert network.answer(peer, query).answers == \
+                local.answer(peer, query).answers
+
+    def test_mid_chain_peer(self):
+        system = topology_system(5, topology="chain", n_tuples=3,
+                                 seed=2)
+        local = PeerQuerySession(system)
+        network = NetworkSession(system)
+        result = network.answer("P2", "q(X, Y) := R2(X, Y)")
+        assert result.answers == \
+            local.answer("P2", "q(X, Y) := R2(X, Y)").answers

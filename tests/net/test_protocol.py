@@ -1,0 +1,65 @@
+"""Unit tests for the typed protocol messages."""
+
+import pytest
+
+from repro.core import estimate_bytes
+from repro.net import Answer, Failure, FetchRelation, PeerQuery
+from repro.net.protocol import SUBSYSTEM, payload_bytes
+
+
+class TestCorrelation:
+    def test_correlation_ids_are_unique_and_monotone(self):
+        messages = [FetchRelation(sender="A", target="B", relation="R")
+                    for _ in range(10)]
+        ids = [m.correlation_id for m in messages]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    def test_replies_quote_the_request(self):
+        request = PeerQuery(sender="A", target="B")
+        reply = Answer(sender="B", target="A",
+                       in_reply_to=request.correlation_id,
+                       payload=(("x", "y"),))
+        assert reply.in_reply_to == request.correlation_id
+
+    def test_messages_are_immutable(self):
+        message = FetchRelation(sender="A", target="B", relation="R")
+        with pytest.raises(Exception):
+            message.relation = "S"
+
+
+class TestDefaults:
+    def test_peer_query_defaults(self):
+        message = PeerQuery(sender="A", target="B")
+        assert message.kind == SUBSYSTEM
+        assert message.hop_budget > 0
+        assert message.visited == ()
+
+    def test_failure_carries_code_and_detail(self):
+        failure = Failure(sender="B", target="A", in_reply_to=1,
+                          code="unknown-relation", detail="no such R")
+        assert failure.code == "unknown-relation"
+        assert "no such R" in failure.detail
+
+
+class TestPayloadBytes:
+    def test_rows_use_the_shared_estimator(self):
+        rows = (("a", "bb"), ("ccc", "d"))
+        answer = Answer(sender="B", target="A", in_reply_to=1,
+                        payload=rows)
+        assert answer.bytes_estimate == estimate_bytes(rows)
+        assert answer.bytes_estimate > 0
+
+    def test_none_payload_costs_nothing(self):
+        assert payload_bytes(None) == 0
+
+    def test_subsystem_payload_counts_instances_and_overhead(self):
+        from repro.relational import DatabaseInstance, DatabaseSchema
+        instance = DatabaseInstance(DatabaseSchema.of({"R": 2}),
+                                    {"R": [("a", "b")]})
+        payload = {"peers": {"Q": object()}, "instances": {"Q": instance},
+                   "decs": [object()], "trust": [("Q", "less", "C")]}
+        cost = payload_bytes(payload)
+        assert cost >= estimate_bytes([("a", "b")])
+        assert cost > payload_bytes({"peers": {}, "instances": {},
+                                     "decs": [], "trust": []})

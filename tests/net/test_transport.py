@@ -1,0 +1,146 @@
+"""Unit tests for the transports and fault injection."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    Answer,
+    FaultPlan,
+    FetchRelation,
+    LoopbackTransport,
+    MessageDropped,
+    PeerDown,
+    ThreadedTransport,
+)
+
+
+def echo_handler(name):
+    def handle(message):
+        return Answer(sender=name, target=message.sender,
+                      in_reply_to=message.correlation_id,
+                      payload=(("echo", message.relation),))
+    return handle
+
+
+def fetch(target, relation="R"):
+    return FetchRelation(sender="A", target=target, relation=relation)
+
+
+class TestLoopback:
+    def test_round_trip(self):
+        transport = LoopbackTransport()
+        transport.register("B", echo_handler("B"))
+        reply = transport.request(fetch("B"))
+        assert isinstance(reply, Answer)
+        assert reply.payload == (("echo", "R"),)
+
+    def test_unregistered_target_is_peer_down(self):
+        transport = LoopbackTransport()
+        with pytest.raises(PeerDown):
+            transport.request(fetch("nowhere"))
+
+    def test_down_peer_refuses_delivery(self):
+        transport = LoopbackTransport()
+        transport.register("B", echo_handler("B"))
+        transport.set_down("B")
+        with pytest.raises(PeerDown):
+            transport.request(fetch("B"))
+        transport.set_up("B")
+        assert isinstance(transport.request(fetch("B")), Answer)
+
+    def test_seeded_drops_are_deterministic(self):
+        def losses(seed):
+            transport = LoopbackTransport(
+                FaultPlan(drop_rate=0.5, seed=seed))
+            transport.register("B", echo_handler("B"))
+            lost = []
+            for index in range(20):
+                try:
+                    transport.request(fetch("B"))
+                    lost.append(False)
+                except MessageDropped:
+                    lost.append(True)
+            return lost
+        assert losses(3) == losses(3)
+        assert any(losses(3)) and not all(losses(3))
+
+
+class TestThreaded:
+    def test_round_trip_and_close(self):
+        with ThreadedTransport() as transport:
+            transport.register("B", echo_handler("B"))
+            reply = transport.request(fetch("B"))
+            assert reply.payload == (("echo", "R"),)
+
+    def test_latency_is_paid_per_delivery(self):
+        with ThreadedTransport(latency=0.02) as transport:
+            transport.register("B", echo_handler("B"))
+            start = time.perf_counter()
+            transport.request(fetch("B"))
+            assert time.perf_counter() - start >= 0.02
+
+    def test_per_link_latency_overrides_default(self):
+        with ThreadedTransport(
+                link_latency={("A", "B"): 0.03}) as transport:
+            transport.register("B", echo_handler("B"))
+            transport.register("C", echo_handler("C"))
+            start = time.perf_counter()
+            transport.request(fetch("C"))
+            fast = time.perf_counter() - start
+            start = time.perf_counter()
+            transport.request(fetch("B"))
+            slow = time.perf_counter() - start
+            assert slow >= 0.03 > fast
+
+    def test_distinct_targets_pay_latency_in_parallel(self):
+        with ThreadedTransport(latency=0.03) as transport:
+            for name in ("B", "C", "D"):
+                transport.register(name, echo_handler(name))
+            start = time.perf_counter()
+            threads = [threading.Thread(
+                target=transport.request, args=(fetch(name),))
+                for name in ("B", "C", "D")]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            assert elapsed < 0.09  # 3 sequential deliveries would be it
+
+    def test_handler_exception_reaches_the_requester(self):
+        def broken(message):
+            raise RuntimeError("boom")
+        with ThreadedTransport() as transport:
+            transport.register("B", broken)
+            with pytest.raises(RuntimeError, match="boom"):
+                transport.request(fetch("B"))
+
+    def test_reply_timeout_is_a_drop(self):
+        def sleepy(message):
+            time.sleep(0.2)
+            return echo_handler("B")(message)
+        with ThreadedTransport(timeout=0.05) as transport:
+            transport.register("B", sleepy)
+            with pytest.raises(MessageDropped):
+                transport.request(fetch("B"))
+
+    def test_down_peer_refuses_delivery(self):
+        with ThreadedTransport() as transport:
+            transport.register("B", echo_handler("B"))
+            transport.set_down("B")
+            with pytest.raises(PeerDown):
+                transport.request(fetch("B"))
+
+
+class TestFaultPlan:
+    def test_drop_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.0)
+
+    def test_duplicate_registration_rejected(self):
+        with ThreadedTransport() as transport:
+            transport.register("B", echo_handler("B"))
+            with pytest.raises(ValueError):
+                transport.register("B", echo_handler("B"))

@@ -11,6 +11,7 @@ from repro.workloads import (
     import_star_system,
     peer_chain_system,
     referential_system,
+    topology_system,
 )
 
 
@@ -89,3 +90,56 @@ class TestPeerChain:
     def test_length_validation(self):
         with pytest.raises(ValueError):
             peer_chain_system(0)
+
+
+class TestTopologySystem:
+    def _reachable(self, system, root="P0"):
+        seen, frontier = {root}, [root]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in system.neighbours(current):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen
+
+    @pytest.mark.parametrize("topology", ["chain", "star", "random"])
+    def test_every_peer_reachable_from_the_root(self, topology):
+        for seed in range(4):
+            system = topology_system(5, topology=topology,
+                                     extra_edges=2, seed=seed)
+            assert self._reachable(system) == set(system.peers)
+
+    def test_chain_and_star_shapes(self):
+        chain = topology_system(4, topology="chain")
+        assert chain.neighbours("P0") == ("P1",)
+        assert chain.neighbours("P2") == ("P3",)
+        star = topology_system(4, topology="star")
+        assert star.neighbours("P0") == ("P1", "P2", "P3")
+        assert star.neighbours("P1") == ()
+
+    def test_deterministic_given_the_seed(self):
+        def shape(seed):
+            system = topology_system(5, topology="random",
+                                     extra_edges=2, seed=seed)
+            return ({n: system.neighbours(n) for n in system.peers},
+                    {n: system.instances[n].tuples(f"R{i}")
+                     for i, n in enumerate(sorted(system.peers))
+                     if n != "PC"})
+        assert shape(3) == shape(3)
+        assert shape(3) != shape(4)
+
+    def test_conflicts_add_a_same_trust_peer(self):
+        from repro.core import TrustLevel
+        system = topology_system(3, topology="star", conflicts=2)
+        assert "PC" in system.peers
+        assert system.trust.level("P0", "PC") is TrustLevel.SAME
+        # the conflict peer makes P0 genuinely inconsistent: multiple
+        # solutions appear
+        assert len(asp_solutions_for_peer(system, "P0")) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topology_system(0)
+        with pytest.raises(ValueError):
+            topology_system(3, topology="mesh")
