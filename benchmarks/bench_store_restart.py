@@ -1,0 +1,174 @@
+"""SR1 — warm-restart answering and delta sync vs full re-gather.
+
+Durable peer nodes (``data_dir``) persist three things: their facts (a
+delta-log + snapshot :class:`~repro.storage.durable.DurableFactStore`),
+their answer cache keyed by content version, and the rows + versions
+they last fetched from each neighbour.  This benchmark measures the two
+paydays:
+
+* **warm restart** — re-opening the same data directory and asking the
+  same query answers from the persisted cache: zero protocol messages,
+  zero bytes, and orders of magnitude less wall-clock than the cold
+  gather + answer;
+* **delta sync** — after a small update lands (one inserted fact), a
+  re-gather ships versioned deltas instead of full relations, because
+  every fetch names the content version the requester already holds;
+  measured via ``ExchangeStats.bytes_estimate`` against the full
+  re-gather a cache-less node would pay.
+
+Script mode (the CI smoke step) enforces the differential guarantee
+(reloaded answers ≡ fresh answers, from cache, zero traffic) and the
+delta-sync bar (delta bytes ≤ ``MAX_DELTA_FRACTION`` of the full
+re-gather bytes).
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.core import PeerQuerySession
+from repro.net import NetworkSession
+from repro.relational.instance import Fact
+from repro.workloads import topology_system
+
+QUERY = "q(X, Y) := R0(X, Y)"
+N_PEERS = 7
+N_TUPLES = 40
+SEED = 11
+#: delta-sync traffic must be at most this fraction of a full re-gather
+MAX_DELTA_FRACTION = 0.5
+
+
+def make_system(extra_facts=()):
+    system = topology_system(N_PEERS, topology="star",
+                             n_tuples=N_TUPLES, seed=SEED)
+    if extra_facts:
+        system = system.with_global_instance(
+            system.global_instance().with_facts(extra_facts))
+    return system
+
+
+def updated_system():
+    return make_system([Fact("R1", ("k0", "freshly-synced"))])
+
+
+def answer_once(system, data_dir):
+    """One session lifetime: open, answer, close (flushes caches)."""
+    session = NetworkSession(system, data_dir=data_dir)
+    try:
+        start = time.perf_counter()
+        result = session.answer("P0", QUERY)
+        elapsed = (time.perf_counter() - start) * 1000
+        assert result.ok, result.error
+        return result, elapsed
+    finally:
+        session.close()
+
+
+# ---------------------------------------------------------------------------
+# pytest harness (fast settings; the enforced bars live in script mode)
+# ---------------------------------------------------------------------------
+
+def test_sr1_restart_serves_identical_answers_from_disk(tmp_path):
+    system = topology_system(4, topology="star", n_tuples=6, seed=SEED)
+    cold, _ = answer_once(system, tmp_path / "n")
+    warm, _ = answer_once(system, tmp_path / "n")
+    assert warm.from_cache and warm.exchange.requests == 0
+    assert (warm.answers, warm.solution_count, warm.method_used) == \
+        (cold.answers, cold.solution_count, cold.method_used)
+
+
+def test_sr1_delta_sync_ships_fewer_bytes(tmp_path):
+    system = topology_system(4, topology="star", n_tuples=12, seed=SEED)
+    session = NetworkSession(system, data_dir=tmp_path / "n")
+    try:
+        cold = session.answer("P0", QUERY)
+        session.use_system(
+            system.with_global_instance(system.global_instance()
+                                        .with_facts([Fact("R1",
+                                                          ("k0", "x"))])))
+        warm = session.answer("P0", QUERY)
+        assert warm.exchange.bytes_estimate < cold.exchange.bytes_estimate
+    finally:
+        session.close()
+
+
+# ---------------------------------------------------------------------------
+# Script mode (CI smoke step): print the report, enforce the bars
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    failures = []
+    data_dir = tempfile.mkdtemp(prefix="sr1-")
+    try:
+        system = make_system()
+        print(f"SR1 — durable peers: warm restart + delta sync, "
+              f"{N_PEERS}-peer star, {N_TUPLES} tuples/peer")
+
+        cold, cold_ms = answer_once(system, data_dir)
+        warm, warm_ms = answer_once(system, data_dir)
+        identical = (warm.answers, warm.solution_count,
+                     warm.method_used) == (cold.answers,
+                                           cold.solution_count,
+                                           cold.method_used)
+        speedup = cold_ms / warm_ms if warm_ms else float("inf")
+        print(f"  cold start : {cold_ms:8.1f} ms  "
+              f"{cold.exchange.requests} requests, "
+              f"~{cold.exchange.bytes_estimate} B")
+        print(f"  warm restart: {warm_ms:7.1f} ms  "
+              f"{warm.exchange.requests} requests, "
+              f"~{warm.exchange.bytes_estimate} B  "
+              f"(from_cache={warm.from_cache}, {speedup:.0f}x)")
+        if not identical:
+            failures.append("reloaded answers differ from cold answers")
+        if not warm.from_cache or warm.exchange.requests:
+            failures.append("warm restart was not served from the "
+                            "persisted cache")
+        local = PeerQuerySession(system).answer("P0", QUERY)
+        if warm.answers != local.answers:
+            failures.append("reloaded answers differ from the local "
+                            "session")
+
+        # delta sync: restart once more, push a one-row update, re-ask
+        updated = updated_system()
+        session = NetworkSession(system, data_dir=data_dir)
+        try:
+            session.use_system(updated)
+            delta_result = session.answer("P0", QUERY)
+            assert delta_result.ok, delta_result.error
+        finally:
+            session.close()
+        full = NetworkSession(updated)  # cache-less: the full re-gather
+        try:
+            full_result = full.answer("P0", QUERY)
+        finally:
+            full.close()
+        delta_bytes = delta_result.exchange.bytes_estimate
+        full_bytes = full_result.exchange.bytes_estimate
+        fraction = delta_bytes / full_bytes if full_bytes else 1.0
+        print(f"  delta sync : ~{delta_bytes} B vs ~{full_bytes} B "
+              f"full re-gather ({fraction:.1%})")
+        if delta_result.answers != \
+                PeerQuerySession(updated).answer("P0", QUERY).answers:
+            failures.append("delta-synced answers differ from the "
+                            "local session on the updated system")
+        if fraction > MAX_DELTA_FRACTION:
+            failures.append(
+                f"delta sync shipped {fraction:.1%} of the full "
+                f"re-gather bytes (bar: {MAX_DELTA_FRACTION:.0%})")
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+    if failures:
+        print("\n  FAILED: " + "; ".join(failures))
+        return 1
+    print("\n  expected: the warm restart answers from the persisted "
+          "answer cache\n  (zero messages); after the one-row update, "
+          "every relation fetch names the\n  version it already holds "
+          "and gets a delta back, so only the changed row\n  moves "
+          "instead of every relation")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,13 @@ Subpackages
     :class:`~repro.core.results.QueryResult` objects), the pluggable
     answer-method registry (:mod:`repro.core.methods`, with the ``auto``
     planner), and the fluent :class:`~repro.core.builder.SystemBuilder`.
+``repro.storage``
+    Versioned fact storage: the extracted in-memory
+    :class:`~repro.storage.tables.FactTable`, normalised
+    :class:`~repro.storage.deltas.Delta` change sets, and the
+    :class:`~repro.storage.base.FactStore` ABC with in-memory and
+    durable (append-only delta log + snapshot) backends — version
+    tokens are restart-stable content fingerprints throughout.
 ``repro.workloads``
     Synthetic peer-network and instance generators for benchmarks.
 ``repro.net``
@@ -32,6 +39,7 @@ Subpackages
     network execution with one argument.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-__all__ = ["datalog", "relational", "cqa", "core", "workloads", "net"]
+__all__ = ["datalog", "relational", "cqa", "core", "storage",
+           "workloads", "net"]

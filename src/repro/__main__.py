@@ -11,13 +11,24 @@ Commands
     of the in-process session.
 
 ``network SYSTEM.json PEER QUERY [--latency MS] [--drop P] [--seed N]
-[--hops N] [--retries N] [--sequential] [--method M] [--brave] [--json]``
+[--hops N] [--retries N] [--sequential] [--data-dir DIR] [--method M]
+[--brave] [--json]``
     Answer a query over the peer network runtime and print the exchange
     trace — the actual protocol messages that flowed.  ``--latency`` and
     ``--drop`` inject per-link delay and seeded message loss through a
     :class:`~repro.net.transport.ThreadedTransport`; without them the
-    zero-overhead loopback transport is used.  Network failures (peer
-    down, hop budget exhausted) are reported as typed errors, exit 3.
+    zero-overhead loopback transport is used.  ``--data-dir`` makes
+    every node durable under ``DIR/<peer>/`` (facts in a delta-log +
+    snapshot store, answers cached by content version): re-running the
+    same query against the same directory answers from disk without a
+    single message, and after editing the system file the nodes sync by
+    versioned deltas.  Network failures (peer down, hop budget
+    exhausted) are reported as typed errors, exit 3.
+
+``store DATA_DIR [--json]``
+    Inspect a ``--data-dir`` directory: per peer, the stored content
+    version, delta-log sequence, pending (uncompacted) log entries, row
+    counts, and cached answers.
 
 ``solutions SYSTEM.json PEER [--transitive]``
     Print the solutions for a peer (Definition 4, or the Section 4.3
@@ -143,7 +154,15 @@ def _cmd_network(args: argparse.Namespace) -> int:
     with NetworkSession(system, transport=transport,
                         hop_budget=args.hops, retries=args.retries,
                         concurrency=("sequential" if args.sequential
-                                     else "fanout")) as session:
+                                     else "fanout"),
+                        data_dir=args.data_dir) as session:
+        if args.data_dir:
+            # durable nodes resume from disk; the CLI treats the system
+            # file as the operator's source of truth, so push its state
+            # — a no-op when unchanged (caches stay warm), a logged
+            # delta when the file was edited (neighbours then sync by
+            # delta instead of re-fetching full relations)
+            session.use_system(system)
         result = session.answer(args.peer, args.query,
                                 method=args.method, semantics=semantics)
         trace = session.exchange_log.events()
@@ -155,6 +174,27 @@ def _cmd_network(args: argparse.Namespace) -> int:
             if not trace:
                 print("  (no messages)")
     return status
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json as json_
+    from .storage import describe_data_dir
+    described = describe_data_dir(args.data_dir)
+    if args.json:
+        print(json_.dumps(described, indent=2, sort_keys=True))
+        return 0 if described else 1
+    if not described:
+        print(f"no peer stores under {args.data_dir}")
+        return 1
+    print(f"data directory: {args.data_dir}")
+    for peer, info in described.items():
+        relations = ", ".join(f"{name}={count}" for name, count
+                              in info["relations"].items()) or "(empty)"
+        print(f"  {peer}: version={info['version']} seq={info['seq']} "
+              f"pending-log={info['pending_log_entries']} "
+              f"answers={info['cached_answers']}")
+        print(f"    relations: {relations}")
+    return 0
 
 
 def _cmd_solutions(args: argparse.Namespace) -> int:
@@ -188,7 +228,7 @@ def _cmd_report(_args: argparse.Namespace) -> int:
              "bench_scaling_solutions", "bench_rewriting_vs_asp",
              "bench_hcf_ablation", "bench_transitive_scaling",
              "bench_engine_ablation", "bench_session_cache",
-             "bench_network_fanout"]
+             "bench_network_fanout", "bench_store_restart"]
     for name in names:
         try:
             module, path = _load_script("benchmarks", name)
@@ -272,9 +312,23 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument("--sequential", action="store_true",
                          help="route neighbour requests one by one "
                               "instead of fanning out concurrently")
+    network.add_argument("--data-dir", default=None, metavar="DIR",
+                         help="make nodes durable under DIR/<peer>/ "
+                              "(delta-log + snapshot store, persisted "
+                              "answer cache, delta sync on re-runs)")
     network.add_argument("--json", action="store_true",
                          help="print the full QueryResult as JSON")
     network.set_defaults(func=_cmd_network)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect a durable node data directory (versions, logs, "
+             "cached answers)")
+    store.add_argument("data_dir", help="the --data-dir used by "
+                                        "`network`")
+    store.add_argument("--json", action="store_true",
+                       help="print the description as JSON")
+    store.set_defaults(func=_cmd_store)
 
     solutions = sub.add_parser("solutions",
                                help="print the solutions for a peer")

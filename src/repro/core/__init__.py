@@ -80,6 +80,8 @@ from .io import (
     constraint_to_dict,
     dump_system,
     load_system,
+    schema_from_spec,
+    schema_to_spec,
     system_from_dict,
     system_to_dict,
 )
@@ -125,6 +127,7 @@ __all__ = [
     "possible_from_solutions", "possible_peer_answers",
     # declarative definitions
     "system_from_dict", "system_to_dict", "load_system", "dump_system",
+    "schema_from_spec", "schema_to_spec",
     "constraint_from_dict", "constraint_to_dict",
     # explanations
     "AnswerExplanation", "explain_answer", "explain_query",

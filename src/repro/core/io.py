@@ -40,6 +40,7 @@ import json
 from typing import Mapping, Optional, Sequence
 
 from ..datalog.terms import Constant, Variable
+from ..storage.tables import row_sort_key
 from ..relational.constraints import (
     Constraint,
     DenialConstraint,
@@ -51,12 +52,48 @@ from ..relational.constraints import (
 )
 from ..relational.query import Cmp, RelAtom
 from ..relational.query_parser import parse_formula
-from ..relational.schema import DatabaseSchema
+from ..relational.schema import DatabaseSchema, RelationSchema
 from .errors import SystemError_
 from .system import PeerSystem
 
 __all__ = ["system_from_dict", "system_to_dict", "load_system",
-           "dump_system", "constraint_from_dict", "constraint_to_dict"]
+           "dump_system", "constraint_from_dict", "constraint_to_dict",
+           "schema_from_spec", "schema_to_spec"]
+
+
+def schema_from_spec(spec: Mapping) -> DatabaseSchema:
+    """Build a schema from its dictionary form.
+
+    Each relation maps either to a bare arity (``{"R1": 2}``) or, when
+    attribute names matter, to ``{"arity": 2, "attributes": ["a", "b"]}``.
+    """
+    relations = []
+    for name, entry in spec.items():
+        if isinstance(entry, Mapping):
+            relations.append(RelationSchema(name, entry["arity"],
+                                            entry.get("attributes")))
+        else:
+            relations.append(RelationSchema(name, entry))
+    return DatabaseSchema(relations)
+
+
+def schema_to_spec(schema: DatabaseSchema) -> dict:
+    """Serialise a schema (inverse of :func:`schema_from_spec`).
+
+    Default attribute names (``a0, a1, ...``) collapse to the bare-arity
+    shorthand; custom names round-trip explicitly — they used to be
+    silently dropped.
+    """
+    spec: dict = {}
+    for relation in schema:
+        default = tuple(f"a{i}" for i in range(relation.arity))
+        if relation.attributes == default:
+            spec[relation.name] = relation.arity
+        else:
+            spec[relation.name] = {"arity": relation.arity,
+                                   "attributes":
+                                   list(relation.attributes)}
+    return spec
 
 
 def _parse_atom(text: str) -> RelAtom:
@@ -182,8 +219,10 @@ def system_from_dict(data: Mapping, *,
     """
     builder = PeerSystem.builder().enforce_local_ics(enforce_local_ics)
     for name, spec in data.get("peers", {}).items():
-        builder.peer(name, DatabaseSchema.of(spec["schema"]),
-                     instance=spec.get("instance", {}),
+        builder.peer(name, schema_from_spec(spec["schema"]),
+                     instance={relation: [tuple(row) for row in rows]
+                               for relation, rows
+                               in spec.get("instance", {}).items()},
                      local_ics=[constraint_from_dict(c)
                                 for c in spec.get("local_ics", [])])
     for e in data.get("exchanges", []):
@@ -199,9 +238,12 @@ def system_to_dict(system: PeerSystem) -> dict:
     for name, peer in system.peers.items():
         instance = system.instances[name]
         peers[name] = {
-            "schema": {r.name: r.arity for r in peer.schema},
-            "instance": {relation: sorted(
-                [list(row) for row in instance.tuples(relation)])
+            "schema": schema_to_spec(peer.schema),
+            # rows sorted with the mixed-type-safe key: a relation
+            # holding both ints and strings in one column used to crash
+            # the bare sorted() here
+            "instance": {relation: [list(row) for row in sorted(
+                instance.tuples(relation), key=row_sort_key)]
                 for relation in peer.schema.names
                 if instance.tuples(relation)},
             "local_ics": [constraint_to_dict(c)

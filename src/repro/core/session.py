@@ -6,9 +6,10 @@ Definition-5 answer intersects over them, and recomputing them per query
 the repair enumeration or ASP grounding + solving on every call.  A
 session memoizes solutions per ``(system version, peer, method,
 include_local_ics)`` and serves any number of queries from them;
-:meth:`PeerSystem.version` changes on every functional update (e.g.
-:meth:`~repro.core.system.PeerSystem.with_global_instance`), so swapping
-in updated data invalidates the relevant entries automatically.
+:meth:`PeerSystem.version` is a *content-derived* fingerprint, so
+swapping in genuinely updated data invalidates the relevant entries
+automatically, while re-binding an identical system — rebuilt, reloaded
+from disk, or built by another process — keeps the warm cache.
 
 The session front door is :meth:`answer` — pick any registered method by
 name (default ``auto``: FO rewriting when it applies, ASP otherwise) and

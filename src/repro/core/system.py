@@ -17,7 +17,8 @@ instance ``r̄`` (:meth:`PeerSystem.global_instance`), and restrictions
 
 from __future__ import annotations
 
-from itertools import count as _count
+import hashlib
+import json
 from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from ..relational.constraints import Constraint, TupleGeneratingConstraint
@@ -32,11 +33,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .builder import SystemBuilder
 
 __all__ = ["Peer", "DataExchange", "PeerSystem"]
-
-# monotone token source for PeerSystem.version(); every construction —
-# including functional updates like with_global_instance — gets a fresh
-# value, so caches keyed on it never alias distinct data.
-_VERSIONS = _count(1)
 
 
 class Peer:
@@ -171,20 +167,72 @@ class PeerSystem:
                             f"to allow)")
 
         self.exchange_log = ExchangeLog()
-        self._version = next(_VERSIONS)
+        self._version: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Identity and construction helpers
     # ------------------------------------------------------------------
-    def version(self) -> int:
-        """A token identifying this system's data.
+    def version(self) -> str:
+        """The content-derived version fingerprint of this system.
 
-        Fresh per construction: a functional update (e.g.
-        :meth:`with_global_instance`) yields a system with a different
-        version, which is what
-        :class:`~repro.core.session.PeerQuerySession` keys its caches on.
+        Computed (lazily, then cached) from everything that defines the
+        system's semantics: peers, schemas, local ICs, instances, DECs,
+        and trust edges.  Two systems with identical content share a
+        version — no matter which process built them, or whether one
+        was reloaded from disk after a restart — so caches keyed on it
+        (:class:`~repro.core.session.PeerQuerySession`, the
+        :mod:`repro.net` node caches, persisted answer caches) validate
+        across dump/load round-trips and restarts.  A functional update
+        that actually changes data (e.g. :meth:`with_global_instance`
+        with different facts) yields a different version; a no-op
+        update keeps it, so warm caches survive.
         """
-        return self._version
+        cached = self._version
+        if cached is None:
+            cached = self._content_fingerprint()
+            self._version = cached
+        return cached
+
+    def _content_fingerprint(self) -> str:
+        # the io codec is the one canonical serialisation of constraints;
+        # imported lazily (io imports this module at load time)
+        from .io import constraint_to_dict
+
+        def constraint_key(constraint: Constraint) -> str:
+            try:
+                return json.dumps(constraint_to_dict(constraint),
+                                  sort_keys=True)
+            except SystemError_:
+                # unregistered constraint classes: fall back to their
+                # textual form (stable for all shipped constraints)
+                return f"{type(constraint).__name__}:{constraint}"
+
+        digest = hashlib.sha256()
+
+        def feed(*parts: str) -> None:
+            for part in parts:
+                digest.update(part.encode("utf-8"))
+                digest.update(b"\x00")
+
+        for name in sorted(self.peers):
+            peer = self.peers[name]
+            feed("peer", name)
+            for relation in sorted(peer.schema.names):
+                schema = peer.schema.relation(relation)
+                feed("rel", relation, str(schema.arity),
+                     *schema.attributes)
+            for key in sorted(constraint_key(c) for c in peer.local_ics):
+                feed("ic", key)
+            feed("data", self.instances[name].fingerprint())
+        for key in sorted(
+                json.dumps([e.owner, e.other, constraint_key(e.constraint)])
+                for e in self.exchanges):
+            feed("dec", key)
+        for owner, level, other in sorted(
+                (owner, str(level), other)
+                for owner, level, other in self.trust.edges()):
+            feed("trust", owner, level, other)
+        return digest.hexdigest()[:16]
 
     @classmethod
     def builder(cls) -> "SystemBuilder":

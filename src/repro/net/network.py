@@ -28,9 +28,11 @@ The network layer owns the concerns individual nodes should not:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 from ..core.messaging import ExchangeLog
 from ..core.system import PeerSystem
@@ -99,9 +101,21 @@ class PeerNetwork:
                     max_workers: Optional[int] = None,
                     default_method: str = "auto",
                     include_local_ics: bool = True,
-                    evaluator: str = "planner") -> "PeerNetwork":
-        """One node per peer, each seeded with its local slice only."""
-        version = system.version()
+                    evaluator: str = "planner",
+                    data_dir: Optional[Union[str, Path]] = None,
+                    snapshot_every: int = 64) -> "PeerNetwork":
+        """One node per peer, each seeded with its local slice only.
+
+        With ``data_dir`` every node becomes durable under
+        ``<data_dir>/<peer>/``: facts in an append-only delta log +
+        snapshot store, answers and the neighbour-fetch cache alongside.
+        On a directory that already holds state, the *persisted* data
+        wins over the system's instances — that is what makes a restart
+        a restart rather than a rebuild (push the system's state
+        explicitly with :meth:`sync` to make the definition
+        authoritative instead).
+        """
+        root = Path(data_dir) if data_dir is not None else None
         nodes = []
         for name, peer in system.peers.items():
             own_edges = [(owner, level, other)
@@ -111,10 +125,29 @@ class PeerNetwork:
                 peer, system.instances[name],
                 decs=system.decs_of(name),
                 trust_edges=own_edges,
-                version=version,
                 default_method=default_method,
                 include_local_ics=include_local_ics,
-                evaluator=evaluator))
+                evaluator=evaluator,
+                data_dir=root / name if root is not None else None,
+                snapshot_every=snapshot_every))
+        # stamp the nodes: the system's version is only truthful when
+        # every store actually holds the system's data — after a
+        # restart, disk may have won with *different* (e.g. previously
+        # synced) content, and stamping that with the definition's
+        # version would let answer caches alias distinct data
+        if all(node.store.version()
+               == system.instances[node.name].fingerprint()
+               for node in nodes):
+            version = system.version()
+        else:
+            digest = hashlib.sha256()
+            digest.update(system.version().encode("utf-8"))
+            for node in sorted(nodes, key=lambda n: n.name):
+                digest.update(f"\x00{node.name}={node.store.version()}"
+                              .encode("utf-8"))
+            version = "net-" + digest.hexdigest()[:16]
+        for node in nodes:
+            node.stamp_version(version)
         return cls(nodes, transport, hop_budget=hop_budget,
                    retries=retries, concurrency=concurrency,
                    max_workers=max_workers)
@@ -136,8 +169,11 @@ class PeerNetwork:
     def sync(self, system: PeerSystem) -> "PeerNetwork":
         """Push a new version of the system's data to every node.
 
-        Node caches are keyed on the version, so views, sessions, and
-        answers computed for the old data are dropped; returns ``self``.
+        Versions are content-derived, so syncing identical data is a
+        no-op that keeps every node cache warm; a real change lands in
+        each node's store as a logged delta (the source of subsequent
+        delta-sync replies) and drops the stale views, sessions, and
+        answers.  Returns ``self``.
         """
         version = system.version()
         for name, node in self.nodes.items():
@@ -150,6 +186,8 @@ class PeerNetwork:
         return self
 
     def close(self) -> None:
+        for node in self.nodes.values():
+            node.close()  # flush durable state (answers, fetch cache)
         self.transport.close()
         with self._lock:
             if self._executor is not None:
@@ -215,9 +253,18 @@ class PeerNetwork:
 
     def _log(self, message: Message, reply: Answer) -> None:
         if isinstance(message, FetchRelation):
+            if reply.delta:
+                payload = reply.payload
+                tuples = (len(payload.get("insert", ()))
+                          + len(payload.get("delete", ())))
+                purpose = (f"{message.purpose} [delta]".strip()
+                           if message.purpose else "delta sync")
+            else:
+                tuples = len(reply.payload)
+                purpose = message.purpose
             self.exchange_log.record(
                 message.sender, message.target, message.relation,
-                len(reply.payload), message.purpose,
+                tuples, purpose,
                 bytes_estimate=reply.bytes_estimate, hop=1)
         elif isinstance(message, PeerQuery):
             payload = reply.payload

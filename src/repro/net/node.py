@@ -3,7 +3,8 @@
 A :class:`PeerNode` is one peer of a :class:`~repro.core.system.PeerSystem`
 running as its own process-like unit.  It holds only what the paper lets
 a peer know locally: its :class:`~repro.core.system.Peer` (schema + local
-ICs), its own :class:`~repro.relational.instance.DatabaseInstance`, the
+ICs), its own facts — owned by a versioned
+:class:`~repro.storage.base.FactStore` rather than a bare instance — the
 DECs *it owns* (Σ(P, ·)), and its own trust edges.  Everything else is
 learned by exchanging protocol messages with neighbours.
 
@@ -11,12 +12,18 @@ Serving side — :meth:`PeerNode.handle` answers two request shapes from
 its local state alone:
 
 * :class:`~repro.net.protocol.FetchRelation` → the relation's tuples;
+  when the requester names a ``known_version`` the store still retains
+  the delta chain for, the reply is a *versioned delta* (insertions and
+  deletions since that version) instead of the full relation;
 * :class:`~repro.net.protocol.PeerQuery` (``kind="subsystem"``) → a
   description of the node's accessible sub-network, gathered hop-by-hop:
   the node describes itself, asks each unvisited DEC-neighbour for *its*
   sub-network (fanned out concurrently through the network router), then
   fetches the neighbours' relation contents — so distant peers' data is
   relayed through intermediates, never pulled from a global store.
+  Fetches remember the rows and content version they last saw per
+  neighbour relation, so a re-gather after a sync ships deltas instead
+  of full relations.
 
 Answering side — :meth:`PeerNode.answer` materialises the gathered
 sub-network as a local view :class:`~repro.core.system.PeerSystem` and
@@ -24,23 +31,39 @@ drives a cached :class:`~repro.core.session.PeerQuerySession` over it,
 so every registered answer method (``auto``/``asp``/``rewrite``/
 ``model``/``lav``/``transitive``) runs unchanged against node-local
 state.  Views, sessions, and :class:`~repro.core.results.QueryResult`
-objects are cached per system version; :meth:`update_instance` (called
-by :meth:`PeerNetwork.sync <repro.net.network.PeerNetwork.sync>`) moves
-the node to a new version and drops stale entries.
+objects are cached per system version — a *content-derived* fingerprint,
+so cache entries stay valid across process restarts; :meth:`update_instance`
+(called by :meth:`PeerNetwork.sync <repro.net.network.PeerNetwork.sync>`)
+moves the node to a new version, records the change as a delta in the
+store, and drops stale entries.
+
+Durability — construct with ``data_dir`` and the node survives
+restarts: its facts live in a
+:class:`~repro.storage.durable.DurableFactStore` (append-only delta
+logs + snapshots, write-through, reloaded on construction; on-disk
+state wins over the ``instance`` argument), while the answer cache
+(keyed by content version + answering configuration) and the
+neighbour-fetch cache are flushed to ``answers.json``/``fetched.json``
+on :meth:`close` — so a cleanly closed node answers known queries from
+disk, and even the first post-restart gather after an update syncs by
+delta.  A reloaded node returns answers,
+``solution_count``, and ``method_used`` identical to a freshly built
+node — the differential suite in ``tests/net`` locks that in.
 
 Because the accessible sub-network is exactly the data Definition 3's
 global instance contributes to this peer's solutions (for systems whose
 peers are all reachable from the queried root — every paper workload and
 :func:`~repro.workloads.synthetic.topology_system` family), the view
-answers are tuple-for-tuple identical to the global session's; the
-differential suite in ``tests/net`` locks that in.
+answers are tuple-for-tuple identical to the global session's.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import threading
 import time
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from ..core.results import CERTAIN, ExchangeStats, QueryRequest, QueryResult
@@ -49,6 +72,15 @@ from ..core.system import DataExchange, Peer, PeerSystem
 from ..core.trust import TrustLevel, TrustRelation
 from ..relational.instance import DatabaseInstance
 from ..relational.query import Query
+from ..storage import (
+    DurableFactStore,
+    FactStore,
+    MemoryFactStore,
+    StorageError,
+    merge_relation_rows,
+    row_sort_key,
+)
+from ..storage.durable import write_json_atomic
 from .errors import (
     HopBudgetExceeded,
     NetworkError,
@@ -69,32 +101,52 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["PeerNode"]
 
+#: cap on persisted answer-cache entries (oldest dropped first), so a
+#: long-lived data directory cannot grow without bound across syncs
+_MAX_PERSISTED_ANSWERS = 512
+
 
 class PeerNode:
-    """One peer served from its own local state over a transport."""
+    """One peer served from its own (optionally durable) local state."""
 
     def __init__(self, peer: Peer, instance: DatabaseInstance,
                  decs: Iterable[DataExchange],
                  trust_edges: Iterable[tuple[str, TrustLevel, str]], *,
-                 version: int = 0,
+                 version: str = "",
                  default_method: str = "auto",
                  include_local_ics: bool = True,
-                 evaluator: str = "planner") -> None:
+                 evaluator: str = "planner",
+                 data_dir: Optional[Union[str, Path]] = None,
+                 snapshot_every: int = 64) -> None:
         self.peer = peer
         self.name = peer.name
-        self.instance = instance
         self.decs = tuple(decs)
         self.trust_edges = tuple(trust_edges)
         self.default_method = default_method
         self.include_local_ics = include_local_ics
         self.evaluator = evaluator
         self.network: Optional["PeerNetwork"] = None  # set on registration
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        if self.data_dir is None:
+            self.store: FactStore = MemoryFactStore(instance)
+        else:
+            # on-disk state (if any) wins over the seed instance: a
+            # restarted node resumes from what it last persisted
+            self.store = DurableFactStore(self.data_dir / "store",
+                                          peer.schema, initial=instance,
+                                          snapshot_every=snapshot_every)
         self._version = version
         # all caches are keyed (or valid only) per system version
         self._view: Optional[tuple[PeerSystem, ExchangeStats]] = None
         self._session: Optional[PeerQuerySession] = None
         self._answers: dict[tuple, QueryResult] = {}
+        self._persisted: dict[tuple, dict] = {}
+        # last rows + content version seen per (neighbour, relation)
+        self._fetched: dict[tuple[str, str], tuple[str, frozenset]] = {}
+        self._fetch_lock = threading.Lock()
         self._lock = threading.RLock()
+        if self.data_dir is not None:
+            self._load_persisted()
 
     # ------------------------------------------------------------------
     # Topology as seen locally
@@ -103,19 +155,50 @@ class PeerNode:
         """Peers this node's own DECs point at, sorted."""
         return tuple(sorted({exchange.other for exchange in self.decs}))
 
-    def version(self) -> int:
+    @property
+    def instance(self) -> DatabaseInstance:
+        """The node's current local data (owned by :attr:`store`)."""
+        return self.store.instance
+
+    def version(self) -> str:
         return self._version
 
-    def update_instance(self, instance: DatabaseInstance,
-                        version: int) -> None:
-        """Swap in new local data (a new system version): all view,
-        session, and answer caches for older versions are dropped."""
+    def stamp_version(self, version: str) -> None:
+        """Set the token identifying the node's *current* content.
+
+        Used by :meth:`PeerNetwork.from_system
+        <repro.net.network.PeerNetwork.from_system>` right after
+        construction, once it knows whether the stores actually hold
+        the system's data (a durable node may have resumed different
+        content from disk) — stamping must never assert a version the
+        data does not have, or answer caches would alias distinct data.
+        """
         with self._lock:
-            self.instance = instance
+            self._version = version
+
+    def update_instance(self, instance: DatabaseInstance,
+                        version: str) -> None:
+        """Swap in new local data (a new system version).
+
+        The change lands in the store as a normalised, logged delta —
+        which is what lets this node answer neighbours' subsequent
+        fetches with deltas — and all view/session caches for older
+        versions are dropped.  A no-op update (same content, same
+        version) keeps every cache warm.
+        """
+        with self._lock:
+            delta = self.store.replace(instance)
+            if delta.empty and version == self._version:
+                return
             self._version = version
             self._view = None
             self._session = None
-            self._answers.clear()
+            # version-keyed entries for other versions can never be hit
+            # again (versions are content-derived); prune them so a
+            # long-lived node does not grow without bound across syncs
+            self._answers = {key: value
+                             for key, value in self._answers.items()
+                             if key[0] == version}
 
     # ------------------------------------------------------------------
     # Serving: the message handler registered on the transport
@@ -154,12 +237,25 @@ class PeerNode:
                 message, "unknown-relation",
                 f"peer {self.name!r} does not own relation "
                 f"{message.relation!r}")
-        rows = tuple(sorted(self.instance.tuples(message.relation),
-                            key=lambda row: tuple(
-                                (isinstance(v, str), str(v))
-                                for v in row)))
+        # one atomic read: a concurrent sync must never let the reply
+        # stamp an older version than the rows/chain it ships
+        current, chain, rows = self.store.fetch_state(
+            message.relation, message.known_version)
+        if chain is not None:
+            inserted, deleted = merge_relation_rows(
+                chain, message.relation)
+            payload = {
+                "insert": tuple(sorted(inserted, key=row_sort_key)),
+                "delete": tuple(sorted(deleted, key=row_sort_key)),
+            }
+            return Answer(sender=self.name, target=message.sender,
+                          in_reply_to=message.correlation_id,
+                          payload=payload, version=current,
+                          delta=True)
         return Answer(sender=self.name, target=message.sender,
-                      in_reply_to=message.correlation_id, payload=rows)
+                      in_reply_to=message.correlation_id,
+                      payload=tuple(sorted(rows, key=row_sort_key)),
+                      version=current)
 
     def _serve_peer_query(self, message: PeerQuery) -> Message:
         if message.kind != SUBSYSTEM:
@@ -239,19 +335,29 @@ class PeerNode:
                 else 0)
 
         # phase 2 — concurrent fan-out: pull each direct neighbour's
-        # relation contents (deeper peers' data arrived relayed above)
-        fetches = [
-            FetchRelation(sender=self.name, target=neighbour,
-                          relation=relation, purpose="subsystem gather")
-            for neighbour in pending
+        # relation contents (deeper peers' data arrived relayed above).
+        # Each fetch names the content version this node last saw for
+        # that relation, so providers reply with versioned deltas when
+        # they still hold the chain — full relations otherwise.
+        fetches = []
+        bases: list[Optional[frozenset]] = []
+        for neighbour in pending:
             for relation in sorted(
-                payload["peers"][neighbour].schema.names)]
+                    payload["peers"][neighbour].schema.names):
+                with self._fetch_lock:
+                    cached = self._fetched.get((neighbour, relation))
+                fetches.append(FetchRelation(
+                    sender=self.name, target=neighbour,
+                    relation=relation, purpose="subsystem gather",
+                    known_version=cached[0] if cached else ""))
+                bases.append(cached[1] if cached else None)
         fetch_answers = self.network.fan_out(self.name, fetches)
-        data: dict[str, dict[str, tuple]] = {n: {} for n in pending}
+        data: dict[str, dict[str, frozenset]] = {n: {} for n in pending}
         tuples_moved = bytes_moved = 0
-        for request, answer in zip(fetches, fetch_answers):
-            data[request.target][request.relation] = answer.payload
-            tuples_moved += len(answer.payload)
+        for request, base, answer in zip(fetches, bases, fetch_answers):
+            rows, moved = self._integrate_fetch(request, base, answer)
+            data[request.target][request.relation] = rows
+            tuples_moved += moved
             bytes_moved += answer.bytes_estimate
         for neighbour in pending:
             payload["instances"][neighbour] = DatabaseInstance(
@@ -260,6 +366,36 @@ class PeerNode:
             requests=len(fetches), tuples_transferred=tuples_moved,
             bytes_estimate=bytes_moved, max_hops=1)
         return payload
+
+    def _integrate_fetch(self, request: FetchRelation,
+                         base: Optional[frozenset],
+                         answer: Answer) -> tuple[frozenset, int]:
+        """Turn one fetch reply into the relation's full rows.
+
+        Delta replies are applied to the rows this node held at the
+        ``known_version`` it asked about; full replies replace them.
+        Either way the fetch cache remembers the new rows under the
+        provider's stamped version for the next gather.
+        """
+        if answer.delta:
+            if base is None:
+                raise ProtocolError(
+                    f"{request.target!r} sent a delta for "
+                    f"{request.relation!r} but {self.name!r} holds no "
+                    f"base rows at version {request.known_version!r}")
+            payload = answer.payload
+            inserted = frozenset(payload.get("insert", ()))
+            deleted = frozenset(payload.get("delete", ()))
+            rows = frozenset((base - deleted) | inserted)
+            moved = len(inserted) + len(deleted)
+        else:
+            rows = frozenset(answer.payload)
+            moved = len(rows)
+        if answer.version:
+            with self._fetch_lock:
+                self._fetched[(request.target, request.relation)] = \
+                    (answer.version, rows)
+        return rows, moved
 
     # ------------------------------------------------------------------
     # The local view and the answering surface
@@ -311,7 +447,10 @@ class PeerNode:
         same provenance — with the exchange stats replaced by the *real*
         message traffic of the gather that built the view (zero on a
         warm view) and ``elapsed`` covering gather plus answering.
-        Cached per ``(version, query, method, semantics)``.
+        Cached per ``(version, query, method, semantics)``; with a
+        ``data_dir`` the cache is flushed to disk on :meth:`close`, so
+        a cleanly restarted node serves previously answered queries
+        without a single message.
         """
         parsed = QueryRequest(self.name, query).resolved_query()
         key = (self._version, str(parsed), method or self.default_method,
@@ -322,6 +461,12 @@ class PeerNode:
         # this lock, so held-while-gathering cannot deadlock)
         with self._lock:
             cached = self._answers.get(key)
+            if cached is None and self._persisted:
+                stored = self._persisted.get(
+                    key + (self.include_local_ics, self.evaluator))
+                if stored is not None:
+                    cached = self._revive_answer(parsed, stored)
+                    self._answers[key] = cached
             if cached is not None:
                 return dataclasses.replace(cached, from_cache=True,
                                            exchange=ExchangeStats(),
@@ -343,6 +488,124 @@ class PeerNode:
                 candidate: Optional[tuple] = None):
         """Definition-5 certification evidence over the network view."""
         return self._view_session().explain(self.name, query, candidate)
+
+    # ------------------------------------------------------------------
+    # Persistence (answers + fetch cache under the data directory)
+    # ------------------------------------------------------------------
+    def _revive_answer(self, parsed: "Query", stored: dict) -> QueryResult:
+        return QueryResult(
+            peer=self.name,
+            query=parsed,
+            answers=frozenset(tuple(row) for row in stored["answers"]),
+            semantics=stored["semantics"],
+            method_requested=stored["method_requested"],
+            method_used=stored["method_used"],
+            solution_count=stored["solution_count"],
+        )
+
+    def _answer_config(self) -> dict:
+        """The knobs a cached answer depends on beyond its key.
+
+        ``method`` and ``semantics`` are in the key already (and the
+        default method is resolved into it); these two change what a
+        given key *means*, so persisted entries carry them and a node
+        configured differently must not revive them.
+        """
+        return {"include_local_ics": self.include_local_ics,
+                "evaluator": self.evaluator}
+
+    def _load_persisted(self) -> None:
+        answers_path = self.data_dir / "answers.json"
+        if answers_path.is_file():
+            try:
+                with open(answers_path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+            for entry in payload.get("entries", []):
+                try:
+                    # the full key includes the answering configuration:
+                    # entries computed under a different configuration
+                    # are kept (and re-persisted), never served
+                    key = (entry["version"], entry["query"],
+                           entry["method"], entry["semantics"],
+                           entry["include_local_ics"],
+                           entry["evaluator"])
+                    self._persisted[key] = entry
+                except (KeyError, TypeError):
+                    continue  # skip malformed entries, keep the rest
+        fetched_path = self.data_dir / "fetched.json"
+        if fetched_path.is_file():
+            try:
+                with open(fetched_path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+            for entry in payload.get("entries", []):
+                try:
+                    rows = frozenset(tuple(row)
+                                     for row in entry["rows"])
+                    self._fetched[(entry["peer"], entry["relation"])] = \
+                        (entry["version"], rows)
+                except (KeyError, TypeError):
+                    continue
+
+    def _persist_answers(self) -> None:
+        if self.data_dir is None:
+            return
+        config = (self.include_local_ics, self.evaluator)
+        entries = list(self._persisted.values())
+        seen = {(e["version"], e["query"], e["method"], e["semantics"],
+                 e["include_local_ics"], e["evaluator"])
+                for e in entries}
+        for key, result in self._answers.items():
+            if key + config in seen or result.failed:
+                continue
+            entries.append({
+                "version": key[0], "query": key[1], "method": key[2],
+                "semantics": key[3], **self._answer_config(),
+                "answers": [list(row) for row in sorted(
+                    result.answers, key=row_sort_key)],
+                "solution_count": result.solution_count,
+                "method_used": result.method_used,
+                "method_requested": result.method_requested,
+            })
+        if len(entries) > _MAX_PERSISTED_ANSWERS:
+            entries = entries[-_MAX_PERSISTED_ANSWERS:]
+        self._write_json(self.data_dir / "answers.json",
+                         {"format": 1, "peer": self.name,
+                          "entries": entries})
+
+    def _persist_fetch_cache(self) -> None:
+        if self.data_dir is None:
+            return
+        with self._fetch_lock:
+            snapshot = dict(self._fetched)
+        entries = [{"peer": peer, "relation": relation,
+                    "version": version,
+                    "rows": [list(row) for row in sorted(
+                        rows, key=row_sort_key)]}
+                   for (peer, relation), (version, rows)
+                   in sorted(snapshot.items())]
+        self._write_json(self.data_dir / "fetched.json",
+                         {"format": 1, "entries": entries})
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        try:
+            write_json_atomic(path, payload)
+        except (StorageError, OSError):
+            # non-JSON-safe values (exotic domains) or a full disk:
+            # answer/fetch-cache persistence is best-effort — the node
+            # still answers, it just re-computes after a restart
+            return
+
+    def close(self) -> None:
+        """Flush persistent state (answers, fetch cache, store meta)."""
+        with self._lock:
+            self._persist_answers()
+            self._persist_fetch_cache()
+            self.store.close()
 
     def __repr__(self) -> str:
         return (f"PeerNode({self.name!r}, "

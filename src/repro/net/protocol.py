@@ -61,10 +61,19 @@ class Message:
 
 @dataclass(frozen=True, kw_only=True)
 class FetchRelation(Message):
-    """Request the full contents of one of the target's own relations."""
+    """Request the contents of one of the target's own relations.
+
+    ``known_version`` is the content version
+    (:meth:`~repro.storage.base.FactStore.version`) of the target's
+    data the requester already holds rows for; when the target's store
+    still retains the delta chain from that version it replies with a
+    versioned delta instead of the full relation (see
+    :attr:`Answer.delta`).  Empty means "send everything".
+    """
 
     relation: str
     purpose: str = ""
+    known_version: str = ""
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -84,12 +93,21 @@ class PeerQuery(Message):
 @dataclass(frozen=True, kw_only=True)
 class Answer(Message):
     """A successful reply.  ``payload`` depends on the request kind:
-    a tuple of rows for :class:`FetchRelation`, a subsystem-description
-    mapping for :class:`PeerQuery`."""
+    a tuple of rows for :class:`FetchRelation` (or a
+    ``{"insert": rows, "delete": rows}`` mapping when ``delta`` is
+    set), a subsystem-description mapping for :class:`PeerQuery`.
+
+    ``version`` stamps relation replies with the provider's current
+    content version so the requester can cache rows and ask for deltas
+    next time; ``delta`` marks the payload as a change set relative to
+    the requester's ``known_version`` rather than the full relation.
+    """
 
     in_reply_to: int
     payload: Any = None
     bytes_estimate: int = 0
+    version: str = ""
+    delta: bool = False
 
     def __post_init__(self) -> None:
         if self.bytes_estimate == 0:
@@ -120,6 +138,11 @@ def payload_bytes(payload: Any) -> int:
         return 0
     if isinstance(payload, (tuple, list, frozenset, set)):
         return estimate_bytes(payload)
+    if isinstance(payload, Mapping) and set(payload) <= {"insert",
+                                                         "delete"}:
+        # a versioned relation delta: costs only the changed rows
+        return (estimate_bytes(payload.get("insert", ()))
+                + estimate_bytes(payload.get("delete", ())) + 16)
     if isinstance(payload, Mapping):
         total = 0
         for instance in payload.get("instances", {}).values():

@@ -27,6 +27,7 @@ because they have no result object to attach the error to.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from ..core.results import (
@@ -68,7 +69,10 @@ class NetworkSession:
     :class:`PeerNetwork`.  Keyword arguments mirror the local session's
     (``default_method``, ``include_local_ics``, ``evaluator``) plus the
     network knobs (``transport``, ``hop_budget``, ``retries``,
-    ``concurrency``).
+    ``concurrency``) and durability (``data_dir`` makes every node
+    persist its facts, answers, and fetch cache under
+    ``<data_dir>/<peer>/`` and reload them on construction;
+    ``snapshot_every`` bounds the delta logs).
     """
 
     def __init__(self, system_or_network: Union[PeerSystem, PeerNetwork],
@@ -79,12 +83,18 @@ class NetworkSession:
                  hop_budget: Optional[int] = None,
                  retries: int = 2,
                  concurrency: str = "fanout",
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 data_dir: Optional[Union[str, "Path"]] = None,
+                 snapshot_every: int = 64) -> None:
         if isinstance(system_or_network, PeerNetwork):
             if transport is not None:
                 raise NetworkError(
                     "pass the transport when the network is built, not "
                     "to a session over an existing network")
+            if data_dir is not None:
+                raise NetworkError(
+                    "pass data_dir when the network is built, not to a "
+                    "session over an existing network")
             self.network = system_or_network
         else:
             self.network = PeerNetwork.from_system(
@@ -93,7 +103,8 @@ class NetworkSession:
                 concurrency=concurrency, max_workers=max_workers,
                 default_method=default_method,
                 include_local_ics=include_local_ics,
-                evaluator=evaluator)
+                evaluator=evaluator, data_dir=data_dir,
+                snapshot_every=snapshot_every)
         self.default_method = default_method
 
     # ------------------------------------------------------------------
@@ -189,7 +200,8 @@ def open_session(system: PeerSystem, *, network: bool = False,
     message-passing node.  Keyword arguments are forwarded to whichever
     backend is chosen (the local session accepts ``default_method``,
     ``include_local_ics``, ``evaluator``; the network session also takes
-    ``transport``, ``hop_budget``, ``retries``, ``concurrency``).
+    ``transport``, ``hop_budget``, ``retries``, ``concurrency``,
+    ``data_dir``).
     """
     if network:
         return NetworkSession(system, **kwargs)

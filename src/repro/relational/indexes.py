@@ -86,6 +86,21 @@ class TupleIndex:
                     del column[row[position]]
         return True
 
+    def apply_delta(self, insertions: Iterable[tuple] = (),
+                    deletions: Iterable[tuple] = ()) -> None:
+        """Replay a batch of row changes through the incremental path.
+
+        Deletions run first (delta replay may delete and re-insert the
+        same row; the net effect must be presence), and every built
+        column index is maintained row by row — this is the primitive
+        the storage layer leans on when a reloaded peer replays its
+        delta log instead of rebuilding indexes from scratch.
+        """
+        for row in deletions:
+            self.discard(row)
+        for row in insertions:
+            self.add(row)
+
     def copy(self) -> "TupleIndex":
         """Independent copy carrying the already-built column indexes
         (buckets are copied, so the clones diverge safely)."""

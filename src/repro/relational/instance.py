@@ -17,12 +17,21 @@ evaluation planner.  Functional updates (:meth:`with_facts`,
 instead of rebuilding them, and relations untouched by an update share
 their index object with the parent instance (safe: identical row sets,
 and lazy column builds are deterministic).
+
+Fact storage itself lives one layer down, in
+:class:`~repro.storage.tables.FactTable` — an immutable
+relation→rows mapping shared with the versioned
+:class:`~repro.storage.base.FactStore` backends.  The instance is the
+schema-validating, index-carrying view over one such table, and its
+:meth:`fingerprint` (the table's content hash) is the restart-stable
+version token the storage and network layers key on.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Iterable, Iterator, Mapping, Optional, Union
 
+from ..storage.tables import FactTable
 from .errors import InstanceError
 from .indexes import TupleIndex
 from .schema import DatabaseSchema
@@ -101,17 +110,20 @@ class DatabaseInstance:
                             f"{name!r} expects {arity}")
                 table[name] = frozen
         object.__setattr__(self, "schema", schema)
-        object.__setattr__(self, "_data", table)
+        object.__setattr__(self, "_data", FactTable(table))
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_indexes", {})
         object.__setattr__(self, "_adom", None)
 
     @classmethod
-    def _derived(cls, schema: DatabaseSchema, data: dict[str, frozenset],
+    def _derived(cls, schema: DatabaseSchema,
+                 data: Union[FactTable, dict[str, frozenset]],
                  indexes: dict[str, TupleIndex]) -> "DatabaseInstance":
         """Internal constructor for functional updates: rows come from an
         already-validated instance, so arity checks are skipped and the
         (incrementally maintained) indexes are carried over."""
+        if not isinstance(data, FactTable):
+            data = FactTable(data)
         instance = object.__new__(cls)
         object.__setattr__(instance, "schema", schema)
         object.__setattr__(instance, "_data", data)
@@ -145,10 +157,23 @@ class DatabaseInstance:
                 for name, rows in self._data.items() for row in rows}
 
     def size(self) -> int:
-        return sum(len(rows) for rows in self._data.values())
+        return self._data.size()
 
     def is_empty(self) -> bool:
         return self.size() == 0
+
+    def fact_table(self) -> FactTable:
+        """The underlying immutable fact storage (shared, never copied)."""
+        return self._data
+
+    def fingerprint(self) -> str:
+        """The restart-stable content hash of the stored facts.
+
+        Deterministic across processes (unlike ``hash``), cached on the
+        shared :class:`~repro.storage.tables.FactTable` — this is the
+        version token the storage layer and the peer runtime exchange.
+        """
+        return self._data.fingerprint()
 
     def active_domain(self) -> set:
         """All values occurring anywhere in the instance (cached)."""
@@ -218,10 +243,8 @@ class DatabaseInstance:
                 indexes[name] = idx
                 continue
             clone = idx.copy()
-            for row in self._data[name] - new_rows:
-                clone.discard(row)
-            for row in new_rows - self._data[name]:
-                clone.add(row)
+            clone.apply_delta(insertions=new_rows - self._data[name],
+                              deletions=self._data[name] - new_rows)
             indexes[name] = clone
         return indexes
 

@@ -1,0 +1,41 @@
+"""repro.storage — the versioned fact-storage layer.
+
+Sits between the relational layer (which consumes immutable
+:class:`~repro.relational.instance.DatabaseInstance` values) and the
+peer runtime (which owns *evolving* per-peer data):
+
+:mod:`repro.storage.tables`
+    :class:`FactTable` — the in-memory fact storage extracted from
+    ``DatabaseInstance`` (immutable relation→rows mapping with a
+    canonical content fingerprint).
+:mod:`repro.storage.deltas`
+    :class:`Delta` — normalised, versioned change sets between
+    instances, with a JSON codec and chain-merging helpers.
+:mod:`repro.storage.base`
+    :class:`FactStore` — the ABC for a peer's stateful, versioned fact
+    storage (current instance, content version, retained delta history,
+    ``deltas_since``).
+:mod:`repro.storage.memory`
+    :class:`MemoryFactStore` — history in memory, nothing on disk.
+:mod:`repro.storage.durable`
+    :class:`DurableFactStore` — per-relation append-only delta logs
+    plus periodic snapshots under a directory, replayed on
+    construction; :func:`describe_data_dir` for inspection.
+
+Version tokens everywhere in this layer are *content fingerprints* —
+stable across processes and restarts — never process-local counters.
+"""
+
+from .base import FactStore, StorageError
+from .deltas import Delta, apply_delta, delta_between, merge_relation_rows
+from .durable import DurableFactStore, describe_data_dir
+from .memory import MemoryFactStore
+from .tables import FactTable, row_sort_key
+
+__all__ = [
+    "FactTable", "row_sort_key",
+    "Delta", "delta_between", "apply_delta", "merge_relation_rows",
+    "FactStore", "StorageError",
+    "MemoryFactStore",
+    "DurableFactStore", "describe_data_dir",
+]

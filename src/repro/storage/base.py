@@ -1,0 +1,198 @@
+"""The :class:`FactStore` ABC: a peer's versioned, mutable fact storage.
+
+Where :class:`~repro.relational.instance.DatabaseInstance` is an
+immutable *value*, a :class:`FactStore` is the stateful *owner* of a
+peer's facts over time: it holds the current instance, derives a
+restart-stable content version for it, records every applied change as
+a normalised :class:`~repro.storage.deltas.Delta`, and can stream the
+deltas separating any recently-held version from the current one —
+which is what lets :mod:`repro.net` nodes sync with versioned deltas
+instead of full re-gathers.
+
+Two backends implement the persistence hook:
+
+* :class:`~repro.storage.memory.MemoryFactStore` — history in memory
+  only (the extracted in-process storage; what every node used
+  implicitly before this layer existed);
+* :class:`~repro.storage.durable.DurableFactStore` — per-relation
+  append-only delta logs plus periodic snapshots under a directory,
+  reloaded (snapshot + log replay) on construction.
+
+All mutation goes through :meth:`FactStore.apply_change` /
+:meth:`FactStore.replace`, is serialised under the store's lock, and
+maintains the current instance *incrementally* (functional updates, so
+already-built tuple indexes carry over instead of being rebuilt).
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..relational.errors import RelationalError
+from .deltas import Delta, apply_delta, delta_between
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.instance import DatabaseInstance, Fact
+    from ..relational.schema import DatabaseSchema
+
+__all__ = ["FactStore", "StorageError"]
+
+
+class StorageError(RelationalError):
+    """Malformed or inconsistent fact storage (schema mismatch on
+    reload, unserialisable values, broken delta chain)."""
+
+
+class FactStore(ABC):
+    """Versioned, mutable fact storage for one peer's schema.
+
+    Subclasses provide persistence by overriding :meth:`_persist_delta`
+    (called with every non-empty applied delta, under the store lock)
+    and optionally :meth:`flush`/:meth:`close`.
+    """
+
+    def __init__(self, instance: "DatabaseInstance", *,
+                 max_history: int = 256) -> None:
+        if max_history < 0:
+            raise StorageError("max_history must be >= 0")
+        self._instance = instance
+        self._history: list[Delta] = []
+        self._seq = 0
+        self._max_history = max_history
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> "DatabaseSchema":
+        return self._instance.schema
+
+    @property
+    def instance(self) -> "DatabaseInstance":
+        """The current snapshot (an immutable instance; always safe to
+        hand out)."""
+        return self._instance
+
+    def version(self) -> str:
+        """The restart-stable content fingerprint of the current data."""
+        return self._instance.fingerprint()
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the last applied delta."""
+        return self._seq
+
+    def tuples(self, relation: str) -> frozenset:
+        return self._instance.tuples(relation)
+
+    def relations(self) -> tuple[str, ...]:
+        return self._instance.relations()
+
+    # ------------------------------------------------------------------
+    # Version history
+    # ------------------------------------------------------------------
+    def history(self) -> tuple[Delta, ...]:
+        """The retained delta chain, oldest first."""
+        with self._lock:
+            return tuple(self._history)
+
+    def deltas_since(self, version: str) -> Optional[list[Delta]]:
+        """The delta chain from ``version`` to the current version.
+
+        Returns ``[]`` when ``version`` *is* the current version, the
+        chain when it is a retained past version, and ``None`` when it
+        is unknown (never held, or compacted/trimmed away) — callers
+        must then fall back to a full transfer.
+        """
+        with self._lock:
+            if version == self.version():
+                return []
+            for index in range(len(self._history) - 1, -1, -1):
+                if self._history[index].base_version == version:
+                    return list(self._history[index:])
+            return None
+
+    def fetch_state(self, relation: str, known_version: str = ""
+                    ) -> tuple[str, Optional[list[Delta]], frozenset]:
+        """One atomic read for serving a relation fetch.
+
+        Returns ``(current version, delta chain or None, rows)`` under
+        the store lock, so a concurrent update can never make a reply
+        stamp an older version than the rows (or chain) it ships.
+        """
+        with self._lock:
+            chain = (self.deltas_since(known_version)
+                     if known_version else None)
+            return self.version(), chain, self.tuples(relation)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_change(self, insertions: Iterable["Fact"] = (),
+                     deletions: Iterable["Fact"] = ()) -> Delta:
+        """Apply a change; log and return the *normalised* delta.
+
+        No-op changes (inserting present rows, deleting absent ones)
+        produce an empty delta, are not logged, and leave the version
+        untouched.
+        """
+        with self._lock:
+            target = self._instance.apply_change(insertions, deletions)
+            return self._adopt(target)
+
+    def replace(self, instance: "DatabaseInstance") -> Delta:
+        """Move the store to ``instance``'s content, logging the diff.
+
+        The new snapshot is produced by replaying the computed delta
+        onto the *current* instance (not by adopting the argument), so
+        index sharing and incremental maintenance behave exactly as for
+        :meth:`apply_change`.
+        """
+        if instance.schema != self.schema:
+            raise StorageError(
+                "replacement instance does not match the store schema")
+        with self._lock:
+            delta = delta_between(self._instance, instance,
+                                  seq=self._seq + 1)
+            if delta.empty:
+                return delta
+            self._instance = apply_delta(self._instance, delta)
+            self._record(delta)
+            return delta
+
+    def _adopt(self, target: "DatabaseInstance") -> Delta:
+        delta = delta_between(self._instance, target, seq=self._seq + 1)
+        if delta.empty:
+            return delta
+        self._instance = target
+        self._record(delta)
+        return delta
+
+    def _record(self, delta: Delta) -> None:
+        self._seq = delta.seq
+        self._history.append(delta)
+        if len(self._history) > self._max_history:
+            del self._history[:len(self._history) - self._max_history]
+        self._persist_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Persistence hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _persist_delta(self, delta: Delta) -> None:
+        """Durably record one applied delta (no-op for memory stores)."""
+
+    def flush(self) -> None:
+        """Force buffered state out (default: nothing buffered)."""
+
+    def close(self) -> None:
+        """Release resources; the store must not be mutated afterwards."""
+        self.flush()
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self._instance.size()} rows, "
+                f"version={self.version()}, "
+                f"{len(self._history)} retained delta(s))")

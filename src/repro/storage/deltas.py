@@ -1,0 +1,167 @@
+"""Versioned deltas between database instances.
+
+A :class:`Delta` is the unit of change the storage layer logs, ships,
+and replays: the exact ``(relation, row)`` insertions and deletions that
+take an instance from ``base_version`` to ``version``, where both
+versions are content fingerprints (:meth:`FactTable.fingerprint
+<repro.storage.tables.FactTable.fingerprint>` — restart-stable, never
+process-local counters).  Because versions are content-derived, a delta
+computed in one process applies verbatim in another: if the requester's
+cached rows fingerprint to ``base_version``, replaying the delta is
+guaranteed to reproduce ``version`` exactly.
+
+Deltas are *normalised*: insertions already present and deletions
+already absent are dropped at construction
+(:func:`delta_between` diffs real row sets), so replay is idempotent in
+the only way that matters — applying a delta to an instance at its base
+version always lands exactly on the target content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .tables import row_sort_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.instance import DatabaseInstance
+
+__all__ = ["Delta", "delta_between", "apply_delta", "merge_relation_rows"]
+
+
+def _sorted_pairs(pairs: Iterable[tuple[str, tuple]]
+                  ) -> tuple[tuple[str, tuple], ...]:
+    return tuple(sorted(((relation, tuple(row)) for relation, row in pairs),
+                        key=lambda pair: (pair[0], row_sort_key(pair[1]))))
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One versioned change: ``base_version`` --insert/delete--> ``version``.
+
+    ``insertions``/``deletions`` are sorted ``(relation, row)`` pairs;
+    ``seq`` is the store-local log position (0 for unlogged deltas).
+    """
+
+    base_version: str
+    version: str
+    insertions: tuple[tuple[str, tuple], ...] = ()
+    deletions: tuple[tuple[str, tuple], ...] = ()
+    seq: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not self.insertions and not self.deletions
+
+    def relations(self) -> tuple[str, ...]:
+        """The relations this delta touches, sorted."""
+        return tuple(sorted({relation for relation, _row in
+                             self.insertions + self.deletions}))
+
+    def size(self) -> int:
+        """Total changed rows (the shipped payload size in rows)."""
+        return len(self.insertions) + len(self.deletions)
+
+    # ------------------------------------------------------------------
+    # Dict codec (JSON-friendly; rows become lists)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "base": self.base_version,
+            "version": self.version,
+            "seq": self.seq,
+            "insert": [[relation, list(row)]
+                       for relation, row in self.insertions],
+            "delete": [[relation, list(row)]
+                       for relation, row in self.deletions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Delta":
+        return cls(
+            base_version=data["base"],
+            version=data["version"],
+            seq=data.get("seq", 0),
+            insertions=_sorted_pairs(
+                (relation, tuple(row)) for relation, row in data["insert"]),
+            deletions=_sorted_pairs(
+                (relation, tuple(row)) for relation, row in data["delete"]),
+        )
+
+    def __repr__(self) -> str:
+        return (f"Delta({self.base_version} -> {self.version}, "
+                f"+{len(self.insertions)}/-{len(self.deletions)} rows)")
+
+
+def delta_between(base: "DatabaseInstance", target: "DatabaseInstance",
+                  *, seq: int = 0) -> Delta:
+    """The exact normalised delta taking ``base`` to ``target``.
+
+    Both instances must share a schema (same relation names); the
+    relational layer enforces that before stores ever diff.
+    """
+    insertions: list[tuple[str, tuple]] = []
+    deletions: list[tuple[str, tuple]] = []
+    for relation in base.relations():
+        old_rows = base.tuples(relation)
+        new_rows = target.tuples(relation)
+        if old_rows is new_rows or old_rows == new_rows:
+            continue
+        insertions.extend((relation, row) for row in new_rows - old_rows)
+        deletions.extend((relation, row) for row in old_rows - new_rows)
+    return Delta(base_version=base.fingerprint(),
+                 version=target.fingerprint(),
+                 insertions=_sorted_pairs(insertions),
+                 deletions=_sorted_pairs(deletions),
+                 seq=seq)
+
+
+def apply_delta(instance: "DatabaseInstance", delta: Delta
+                ) -> "DatabaseInstance":
+    """Replay one delta onto an instance via its functional updates.
+
+    Goes through :meth:`~repro.relational.instance.DatabaseInstance.apply_change`,
+    so already-built :class:`~repro.relational.indexes.TupleIndex`
+    objects are maintained incrementally rather than rebuilt.
+    """
+    from ..relational.instance import Fact
+    return instance.apply_change(
+        insertions=[Fact(relation, row)
+                    for relation, row in delta.insertions],
+        deletions=[Fact(relation, row)
+                   for relation, row in delta.deletions])
+
+
+def merge_relation_rows(deltas: Sequence[Delta], relation: str
+                        ) -> tuple[frozenset, frozenset]:
+    """Collapse a delta chain into one ``(insertions, deletions)`` pair
+    for a single relation.
+
+    A row inserted then deleted (or vice versa) cancels out, so the
+    merged pair is the minimal change a requester must apply to rows at
+    the chain's base version to reach its final version.
+
+    Minimality uses the fact that deltas are normalised: the *first*
+    operation the chain performs on a row reveals its presence at the
+    base (a first insert means it was absent, a first delete means it
+    was present), so rows that end where they started are dropped.
+    """
+    initially_present: dict[tuple, bool] = {}
+    finally_present: dict[tuple, bool] = {}
+    for delta in deltas:
+        for rel, row in delta.deletions:
+            if rel != relation:
+                continue
+            initially_present.setdefault(row, True)
+            finally_present[row] = False
+        for rel, row in delta.insertions:
+            if rel != relation:
+                continue
+            initially_present.setdefault(row, False)
+            finally_present[row] = True
+    inserted = frozenset(row for row, present in finally_present.items()
+                         if present and not initially_present[row])
+    deleted = frozenset(row for row, present in finally_present.items()
+                        if not present and initially_present[row])
+    return inserted, deleted

@@ -1,0 +1,339 @@
+"""The durable :class:`FactStore` backend: delta logs + snapshots.
+
+Directory layout (one store per peer)::
+
+    <dir>/
+      meta.json          {"format": 1, "version": ..., "seq": ...}
+      snapshot.json      {"format": 1, "schema": {R: arity, ...},
+                          "version": ..., "seq": ...,
+                          "relations": {R: [[...], ...], ...}}
+      log/<relation>.jsonl   one JSON line per delta touching the
+                             relation: {"seq", "base", "version",
+                             "insert": [[...]], "delete": [[...]]}
+
+Write path: every applied delta appends one line per touched relation
+to that relation's log (append-only, write-through) and atomically
+refreshes ``meta.json``.  After ``snapshot_every`` logged deltas the
+store *compacts*: the current instance is written as a fresh snapshot
+and the logs are truncated (versions older than the snapshot are then
+forgotten — delta requests for them fall back to full transfers).
+
+Read path (construction over an existing directory): load the snapshot,
+validate it against the caller's schema, then replay the logs in
+``seq`` order — each replayed delta goes through the instance's
+functional updates, so tuple indexes are maintained incrementally, and
+the retained history is rebuilt so delta requests work immediately
+after a restart.  A torn tail (partly-written final delta, e.g. a
+killed process) is detected by the delta chain's content fingerprints
+and dropped, then compacted away.
+
+Values must be JSON-representable (the system's str/int domain values
+are); anything else raises :class:`~repro.storage.base.StorageError`
+rather than corrupting the log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from .base import FactStore, StorageError
+from .deltas import Delta, apply_delta
+from .tables import row_sort_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.instance import DatabaseInstance
+    from ..relational.schema import DatabaseSchema
+
+__all__ = ["DurableFactStore", "describe_data_dir", "write_json_atomic"]
+
+_FORMAT = 1
+
+
+def write_json_atomic(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        tmp.unlink(missing_ok=True)
+        raise StorageError(
+            f"cannot serialise store state to {path.name}: {exc}") from exc
+    os.replace(tmp, path)
+
+
+class DurableFactStore(FactStore):
+    """Versioned fact storage persisted under a directory."""
+
+    def __init__(self, directory: Union[str, Path],
+                 schema: "DatabaseSchema", *,
+                 initial: Optional["DatabaseInstance"] = None,
+                 snapshot_every: int = 64,
+                 max_history: int = 256,
+                 readonly: bool = False) -> None:
+        if snapshot_every < 1:
+            raise StorageError("snapshot_every must be >= 1")
+        from ..relational.instance import DatabaseInstance
+        self.directory = Path(directory)
+        self.log_dir = self.directory / "log"
+        self.snapshot_every = snapshot_every
+        self.readonly = readonly
+        self._pending = 0  # logged deltas since the last snapshot
+        if not readonly:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.log_dir.mkdir(exist_ok=True)
+
+        if (self.directory / "snapshot.json").is_file():
+            instance, history, seq, dropped_tail = self._load(schema)
+            super().__init__(instance, max_history=max_history)
+            self._history = history[-max_history:] if max_history else []
+            self._seq = seq
+            self._pending = len(history)
+            if readonly:
+                return  # inspection must never write (a live owner may
+                # be appending to these very logs)
+            if dropped_tail:
+                # a torn write left an unusable tail; rewrite clean state
+                self._compact()
+            elif self._pending >= self.snapshot_every:
+                self._compact()
+        else:
+            if readonly:
+                raise StorageError(
+                    f"no store to read at {self.directory}")
+            if initial is None:
+                initial = DatabaseInstance(schema)
+            elif initial.schema != schema:
+                raise StorageError(
+                    "initial instance does not match the store schema")
+            super().__init__(initial, max_history=max_history)
+            self._compact()  # first snapshot seeds the directory
+
+    # ------------------------------------------------------------------
+    # Load: snapshot + ordered log replay
+    # ------------------------------------------------------------------
+    def _load(self, schema: "DatabaseSchema"
+              ) -> tuple["DatabaseInstance", list[Delta], int, bool]:
+        from ..relational.instance import DatabaseInstance
+        try:
+            with open(self.directory / "snapshot.json",
+                      encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"unreadable snapshot in {self.directory}: {exc}") from exc
+        stored = {name: int(arity)
+                  for name, arity in snapshot.get("schema", {}).items()}
+        declared = {name: schema.arity(name) for name in schema.names}
+        if stored != declared:
+            raise StorageError(
+                f"store at {self.directory} was written for schema "
+                f"{stored}, not {declared}")
+        instance = DatabaseInstance(
+            schema, {name: [tuple(row) for row in rows]
+                     for name, rows in snapshot.get("relations",
+                                                    {}).items()})
+        seq = int(snapshot.get("seq", 0))
+
+        entries, truncated = self._read_log_entries()
+        history: list[Delta] = []
+        # an undecodable log line (torn write) must trigger compaction:
+        # appending after garbage would strand every later delta
+        dropped_tail = truncated
+        for entry_seq in sorted(entries):
+            if entry_seq <= seq:
+                continue  # already folded into the snapshot
+            delta = entries[entry_seq]
+            if delta.base_version != instance.fingerprint():
+                # torn multi-relation write or out-of-order tail: the
+                # chain no longer applies — drop it (and everything
+                # after) like a truncated WAL tail
+                dropped_tail = True
+                break
+            instance = apply_delta(instance, delta)
+            if instance.fingerprint() != delta.version:
+                dropped_tail = True
+                break
+            history.append(delta)
+            seq = entry_seq
+        return instance, history, seq, dropped_tail
+
+    def _read_log_entries(self) -> tuple[dict[int, Delta], bool]:
+        grouped: dict[int, dict] = {}
+        truncated = False
+        for log_file in sorted(self.log_dir.glob("*.jsonl")):
+            relation = log_file.stem
+            try:
+                lines = log_file.read_text(encoding="utf-8").splitlines()
+            except OSError as exc:
+                raise StorageError(
+                    f"unreadable log {log_file}: {exc}") from exc
+            for line in lines:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    truncated = True
+                    break  # torn tail of this relation's log
+                entry = grouped.setdefault(int(record["seq"]), {
+                    "base": record["base"],
+                    "version": record["version"],
+                    "insert": [],
+                    "delete": [],
+                })
+                entry["insert"].extend(
+                    (relation, tuple(row)) for row in record["insert"])
+                entry["delete"].extend(
+                    (relation, tuple(row)) for row in record["delete"])
+        return {
+            seq: Delta(base_version=entry["base"],
+                       version=entry["version"],
+                       insertions=tuple(sorted(
+                           entry["insert"],
+                           key=lambda p: (p[0], row_sort_key(p[1])))),
+                       deletions=tuple(sorted(
+                           entry["delete"],
+                           key=lambda p: (p[0], row_sort_key(p[1])))),
+                       seq=seq)
+            for seq, entry in grouped.items()
+        }, truncated
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _persist_delta(self, delta: Delta) -> None:
+        if self.readonly:
+            raise StorageError(
+                f"store at {self.directory} was opened read-only")
+        per_relation: dict[str, dict] = {}
+        for relation, row in delta.insertions:
+            per_relation.setdefault(
+                relation, {"insert": [], "delete": []}
+            )["insert"].append(list(row))
+        for relation, row in delta.deletions:
+            per_relation.setdefault(
+                relation, {"insert": [], "delete": []}
+            )["delete"].append(list(row))
+        for relation, change in per_relation.items():
+            record = {"seq": delta.seq, "base": delta.base_version,
+                      "version": delta.version,
+                      "insert": change["insert"],
+                      "delete": change["delete"]}
+            try:
+                line = json.dumps(record, sort_keys=True)
+            except (TypeError, ValueError) as exc:
+                raise StorageError(
+                    f"cannot serialise delta for relation "
+                    f"{relation!r}: {exc}") from exc
+            with open(self.log_dir / f"{relation}.jsonl", "a",
+                      encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        self._pending += 1
+        if self._pending >= self.snapshot_every:
+            self._compact()
+        else:
+            self._write_meta()
+
+    def _write_meta(self) -> None:
+        write_json_atomic(self.directory / "meta.json", {
+            "format": _FORMAT,
+            "version": self.version(),
+            "seq": self._seq,
+        })
+
+    def compact(self) -> None:
+        """Fold the logs into a fresh snapshot now (also runs
+        automatically every ``snapshot_every`` logged deltas)."""
+        if self.readonly:
+            raise StorageError(
+                f"store at {self.directory} was opened read-only")
+        with self._lock:
+            self._compact()
+
+    def _compact(self) -> None:
+        instance = self._instance
+        write_json_atomic(self.directory / "snapshot.json", {
+            "format": _FORMAT,
+            "schema": {name: instance.schema.arity(name)
+                       for name in instance.schema.names},
+            "version": self.version(),
+            "seq": self._seq,
+            "relations": {
+                relation: sorted(
+                    ([*row] for row in instance.tuples(relation)),
+                    key=row_sort_key)
+                for relation in instance.relations()
+                if instance.tuples(relation)},
+        })
+        for log_file in self.log_dir.glob("*.jsonl"):
+            log_file.unlink()
+        self._pending = 0
+        self._write_meta()
+
+    def flush(self) -> None:
+        if self.readonly:
+            return
+        with self._lock:
+            self._write_meta()
+
+    # ------------------------------------------------------------------
+    def pending_log_entries(self) -> int:
+        """Logged deltas not yet folded into the snapshot."""
+        with self._lock:
+            return self._pending
+
+    def __repr__(self) -> str:
+        return (f"DurableFactStore({str(self.directory)!r}, "
+                f"version={self.version()}, seq={self._seq}, "
+                f"{self._pending} pending log entr(ies))")
+
+
+# ---------------------------------------------------------------------------
+# Inspection (the CLI `store` command)
+# ---------------------------------------------------------------------------
+
+def describe_data_dir(path: Union[str, Path]) -> dict:
+    """Describe every peer store under a node data directory.
+
+    Returns ``{peer_name: {"version", "seq", "pending_log_entries",
+    "relations": {name: row_count}, "cached_answers"}}`` — enough for an
+    operator to see what a durable node would reload, without needing
+    the defining system.  The stored snapshot carries its own schema, so
+    inspection is self-contained.
+    """
+    from ..relational.schema import DatabaseSchema
+    root = Path(path)
+    if not root.is_dir():
+        raise StorageError(f"no data directory at {root}")
+    described: dict[str, dict] = {}
+    for child in sorted(root.iterdir()):
+        store_dir = child / "store"
+        snapshot_path = store_dir / "snapshot.json"
+        if not snapshot_path.is_file():
+            continue
+        with open(snapshot_path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        schema = DatabaseSchema.of({name: int(arity) for name, arity
+                                    in snapshot.get("schema", {}).items()})
+        store = DurableFactStore(store_dir, schema, readonly=True)
+        answers_path = child / "answers.json"
+        cached_answers = 0
+        if answers_path.is_file():
+            try:
+                with open(answers_path, encoding="utf-8") as handle:
+                    cached_answers = len(
+                        json.load(handle).get("entries", []))
+            except (json.JSONDecodeError, OSError):
+                cached_answers = 0
+        described[child.name] = {
+            "version": store.version(),
+            "seq": store.seq,
+            "pending_log_entries": store.pending_log_entries(),
+            "relations": {relation: len(store.tuples(relation))
+                          for relation in sorted(store.relations())},
+            "cached_answers": cached_answers,
+        }
+    return described

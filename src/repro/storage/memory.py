@@ -1,0 +1,33 @@
+"""The in-memory :class:`FactStore` backend.
+
+This is the storage every peer implicitly used before the storage layer
+existed — a current instance plus nothing else — made explicit and
+versioned: the delta history lives in process memory (bounded by
+``max_history``), so in-process peers get delta sync for free, and
+nothing survives a restart.  Behaviour of the stored instance is
+byte-for-byte what :class:`~repro.relational.instance.DatabaseInstance`
+always did; only the bookkeeping around it is new.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import FactStore
+from .deltas import Delta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.instance import DatabaseInstance
+
+__all__ = ["MemoryFactStore"]
+
+
+class MemoryFactStore(FactStore):
+    """Versioned fact storage with in-memory history only."""
+
+    def __init__(self, instance: "DatabaseInstance", *,
+                 max_history: int = 256) -> None:
+        super().__init__(instance, max_history=max_history)
+
+    def _persist_delta(self, delta: Delta) -> None:
+        pass  # history retention in the base class is all there is

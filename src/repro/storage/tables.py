@@ -1,0 +1,165 @@
+"""The in-memory fact storage extracted from ``DatabaseInstance``.
+
+Historically every :class:`~repro.relational.instance.DatabaseInstance`
+carried a private ``dict[str, frozenset]`` as its fact storage.  That
+mapping is now a first-class object, :class:`FactTable`, so the same
+storage primitive can back
+
+* the relational layer (instances delegate all row access to their
+  table),
+* the versioned :class:`~repro.storage.base.FactStore` backends (the
+  durable store snapshots and replays tables), and
+* content fingerprinting (:meth:`FactTable.fingerprint` is the basis of
+  restart-stable version tokens).
+
+A :class:`FactTable` is an immutable ``Mapping[str, frozenset]`` —
+functional updates return new tables, exactly like the instances built
+on top of it.  It knows nothing about schemas; arity validation stays
+with :class:`~repro.relational.instance.DatabaseInstance`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping as MappingABC
+from typing import Iterable, Iterator, Mapping, Optional
+
+__all__ = ["FactTable", "encode_value", "row_sort_key"]
+
+
+def encode_value(value: object) -> str:
+    """A canonical, type-tagged text encoding of one stored value.
+
+    Distinguishes ``1`` from ``"1"`` (and ``True`` from both), so
+    fingerprints never collide across types that merely print alike.
+    """
+    if isinstance(value, str):
+        return "s:" + value
+    if isinstance(value, int):  # covers bool: repr keeps them apart
+        return "i:" + repr(value)
+    return "r:" + repr(value)
+
+
+def row_sort_key(row: Iterable[object]) -> tuple:
+    """A total order over rows that survives mixed value types."""
+    return tuple(encode_value(value) for value in row)
+
+
+class FactTable(MappingABC):
+    """An immutable mapping ``relation name -> frozenset of row tuples``.
+
+    This is the storage primitive behind instances and fact stores:
+    plain relation/row access plus functional updates and a canonical
+    content fingerprint.  Rows are raw value tuples; relation presence
+    (including empty relations) is part of the content.
+    """
+
+    __slots__ = ("_tables", "_fingerprint")
+
+    def __init__(self, tables: Optional[Mapping[str, Iterable[tuple]]]
+                 = None) -> None:
+        frozen: dict[str, frozenset] = {}
+        if tables is not None:
+            if isinstance(tables, FactTable):
+                frozen = dict(tables._tables)
+            else:
+                for name, rows in tables.items():
+                    frozen[name] = (rows if isinstance(rows, frozenset)
+                                    else frozenset(tuple(row)
+                                                   for row in rows))
+        self._tables = frozen
+        self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (keys/items/values/get/__eq__ via the ABC mixin)
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> frozenset:
+        return self._tables[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def rows(self, name: str) -> frozenset:
+        """The rows of one relation (``KeyError`` on unknown names)."""
+        return self._tables[name]
+
+    def row_count(self, name: str) -> int:
+        return len(self._tables[name])
+
+    def size(self) -> int:
+        """Total number of stored rows across all relations."""
+        return sum(len(rows) for rows in self._tables.values())
+
+    def pairs(self) -> Iterator[tuple[str, tuple]]:
+        """Every stored ``(relation, row)`` pair."""
+        for name, rows in self._tables.items():
+            for row in rows:
+                yield name, row
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def with_relations(self, replacement: Mapping[str, frozenset]
+                       ) -> "FactTable":
+        """A new table with whole relations swapped out or added."""
+        tables = dict(self._tables)
+        for name, rows in replacement.items():
+            tables[name] = (rows if isinstance(rows, frozenset)
+                            else frozenset(tuple(row) for row in rows))
+        return FactTable._adopt(tables)
+
+    def restrict(self, names: Iterable[str]) -> "FactTable":
+        """A new table holding only the named relations."""
+        return FactTable._adopt({name: self._tables[name]
+                                 for name in names})
+
+    def union(self, other: "FactTable") -> "FactTable":
+        """A new table over the (disjointly named) union of relations."""
+        tables = dict(self._tables)
+        tables.update(other._tables)
+        return FactTable._adopt(tables)
+
+    @classmethod
+    def _adopt(cls, tables: dict[str, frozenset]) -> "FactTable":
+        """Internal constructor for already-frozen relation dicts."""
+        table = cls.__new__(cls)
+        table._tables = tables
+        table._fingerprint = None
+        return table
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A deterministic content hash of the stored facts.
+
+        Stable across processes and restarts (no reliance on Python's
+        salted ``hash``), order-independent, and sensitive to relation
+        *presence* — an empty relation and a missing one differ.  This
+        is the basis of every restart-stable version token in the
+        system.
+        """
+        cached = self._fingerprint
+        if cached is None:
+            digest = hashlib.sha256()
+            for name in sorted(self._tables):
+                digest.update(b"\x00R")
+                digest.update(name.encode("utf-8"))
+                for row in sorted(self._tables[name], key=row_sort_key):
+                    digest.update(b"\x00t")
+                    for value in row:
+                        digest.update(b"\x1f")
+                        digest.update(encode_value(value)
+                                      .encode("utf-8"))
+            cached = digest.hexdigest()[:16]
+            self._fingerprint = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"FactTable({len(self._tables)} relations, {self.size()} rows)"

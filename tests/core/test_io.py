@@ -164,3 +164,76 @@ class TestConstraintRoundTrip:
         data = constraint_to_dict(denial)
         rebuilt = constraint_from_dict(data)
         assert constraint_to_dict(rebuilt) == data
+
+
+class TestSystemRoundTripProperty:
+    """system_to_dict/system_from_dict (and the file forms) must be
+    lossless over the seeded topology_system family: same dictionary,
+    same content-derived version — which is exactly what lets persisted
+    caches validate against a re-loaded system."""
+
+    CASES = [(topology, seed)
+             for topology in ("chain", "star", "random")
+             for seed in range(4)]
+
+    @pytest.mark.parametrize("topology,seed", CASES)
+    def test_dict_round_trip_is_lossless(self, topology, seed):
+        from repro.workloads import topology_system
+        system = topology_system(4, topology=topology, n_tuples=4,
+                                 conflicts=(seed % 2), extra_edges=2,
+                                 seed=seed)
+        data = system_to_dict(system)
+        rebuilt = system_from_dict(data)
+        assert system_to_dict(rebuilt) == data
+        assert rebuilt.version() == system.version()
+        assert sorted(rebuilt.peers) == sorted(system.peers)
+        for name in system.peers:
+            assert rebuilt.instances[name] == system.instances[name]
+        assert len(rebuilt.exchanges) == len(system.exchanges)
+        assert set(rebuilt.trust.edges()) == set(system.trust.edges())
+
+    @pytest.mark.parametrize("topology,seed", [("random", 0),
+                                               ("chain", 3)])
+    def test_file_round_trip_preserves_the_version(self, topology, seed,
+                                                   tmp_path):
+        from repro.workloads import topology_system
+        system = topology_system(5, topology=topology, n_tuples=5,
+                                 conflicts=1, seed=seed)
+        path = str(tmp_path / "system.json")
+        dump_system(system, path)
+        loaded = load_system(path)
+        assert loaded.version() == system.version()
+        dump_system(loaded, str(tmp_path / "again.json"))
+        assert (tmp_path / "again.json").read_text() == \
+            (tmp_path / "system.json").read_text()
+
+    def test_custom_attribute_names_round_trip(self):
+        # regression: schema_to_spec used to collapse every relation to
+        # its bare arity, silently dropping custom attribute names
+        from repro.core import PeerSystem
+        from repro.relational import DatabaseSchema, RelationSchema
+        schema = DatabaseSchema([RelationSchema("R", 2,
+                                                ["owner", "item"])])
+        system = (PeerSystem.builder()
+                  .peer("P", schema, instance={"R": [("a", "b")]})
+                  .build())
+        data = system_to_dict(system)
+        assert data["peers"]["P"]["schema"]["R"] == {
+            "arity": 2, "attributes": ["owner", "item"]}
+        rebuilt = system_from_dict(data)
+        relation = rebuilt.peer("P").schema.relation("R")
+        assert relation.attributes == ("owner", "item")
+        assert rebuilt.version() == system.version()
+
+    def test_mixed_type_rows_serialise(self):
+        # regression: sorted() over rows mixing ints and strings in one
+        # column used to raise TypeError inside system_to_dict
+        from repro.core import PeerSystem
+        system = (PeerSystem.builder()
+                  .peer("P", {"R": 2},
+                        instance={"R": [(1, "b"), ("a", 2)]})
+                  .build())
+        data = system_to_dict(system)
+        rebuilt = system_from_dict(data)
+        assert rebuilt.instances["P"] == system.instances["P"]
+        assert rebuilt.version() == system.version()

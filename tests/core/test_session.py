@@ -133,9 +133,25 @@ class TestCaching:
         session = PeerQuerySession(system, default_method="asp")
         session.answer("P1", example1_query())
         assert session.cache_info().entries == 1
+        from repro.relational.instance import Fact
+        changed = system.with_global_instance(
+            system.global_instance().with_facts([Fact("R1", ("z", "z"))]))
+        session.use_system(changed)
+        assert session.cache_info().entries == 0
+
+    def test_use_system_keeps_entries_for_identical_content(self):
+        # versions are content-derived: a no-op swap (same data, maybe a
+        # freshly re-built or re-loaded system object) keeps the warm
+        # cache instead of recomputing the solutions
+        system = example1_system()
+        session = PeerQuerySession(system, default_method="asp")
+        first = session.answer("P1", example1_query())
         session.use_system(
             system.with_global_instance(system.global_instance()))
-        assert session.cache_info().entries == 0
+        assert session.cache_info().entries == 1
+        again = session.answer("P1", example1_query())
+        assert again.from_cache
+        assert again.answers == first.answers
 
 
 class TestAnswerMany:

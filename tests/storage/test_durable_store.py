@@ -1,0 +1,205 @@
+"""Unit tests for the durable FactStore backend (logs + snapshots)."""
+
+import json
+
+import pytest
+
+from repro.relational import DatabaseInstance, DatabaseSchema, Fact
+from repro.storage import (
+    DurableFactStore,
+    StorageError,
+    apply_delta,
+    describe_data_dir,
+)
+
+SCHEMA = DatabaseSchema.of({"R": 2, "S": 1})
+
+
+def instance(**relations):
+    return DatabaseInstance(SCHEMA, relations)
+
+
+def store_at(path, **kwargs):
+    return DurableFactStore(path, SCHEMA, **kwargs)
+
+
+class TestInitialisation:
+    def test_fresh_directory_seeds_a_snapshot(self, tmp_path):
+        store = store_at(tmp_path / "s",
+                         initial=instance(R=[("a", "b")]))
+        assert (tmp_path / "s" / "snapshot.json").is_file()
+        assert (tmp_path / "s" / "meta.json").is_file()
+        assert store.tuples("R") == {("a", "b")}
+
+    def test_missing_initial_means_empty(self, tmp_path):
+        store = store_at(tmp_path / "s")
+        assert store.instance == instance()
+
+    def test_disk_state_wins_over_the_seed(self, tmp_path):
+        first = store_at(tmp_path / "s", initial=instance(R=[("a", "b")]))
+        first.apply_change(insertions=[Fact("S", ("x",))])
+        first.close()
+        # a restart passes the (stale) construction-time seed again
+        second = store_at(tmp_path / "s", initial=instance())
+        assert second.tuples("R") == {("a", "b")}
+        assert second.tuples("S") == {("x",)}
+        assert second.version() == first.version()
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        store_at(tmp_path / "s", initial=instance()).close()
+        with pytest.raises(StorageError):
+            DurableFactStore(tmp_path / "s",
+                             DatabaseSchema.of({"R": 3, "S": 1}))
+
+    def test_initial_with_wrong_schema_is_rejected(self, tmp_path):
+        other = DatabaseInstance(DatabaseSchema.of({"T": 1}))
+        with pytest.raises(StorageError):
+            store_at(tmp_path / "s", initial=other)
+
+
+class TestLogReplay:
+    def test_reload_replays_deltas_and_history(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance(R=[("a", "b")]))
+        v0 = store.version()
+        store.apply_change(insertions=[Fact("R", ("c", "d"))])
+        store.apply_change(deletions=[Fact("R", ("a", "b"))],
+                           insertions=[Fact("S", ("x",))])
+        expected = store.instance
+        store.close()
+
+        reloaded = store_at(tmp_path / "s")
+        assert reloaded.instance == expected
+        assert reloaded.version() == expected.fingerprint()
+        # history survives the restart: old requesters still get deltas
+        chain = reloaded.deltas_since(v0)
+        assert chain is not None and len(chain) == 2
+        assert apply_delta(instance(R=[("a", "b")]),
+                           chain[0]) is not None
+
+    def test_multi_relation_delta_is_grouped_on_replay(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance(R=[("a", "b")]))
+        store.apply_change(insertions=[Fact("R", ("c", "d")),
+                                       Fact("S", ("x",))],
+                           deletions=[Fact("R", ("a", "b"))])
+        store.close()
+        reloaded = store_at(tmp_path / "s")
+        assert reloaded.instance == instance(R=[("c", "d")], S=[("x",)])
+        assert len(reloaded.history()) == 1
+
+    def test_torn_log_tail_is_dropped_and_compacted(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance(R=[("a", "b")]))
+        store.apply_change(insertions=[Fact("R", ("c", "d"))])
+        good = store.instance
+        store.close()
+        log = tmp_path / "s" / "log" / "R.jsonl"
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 99, "base": "bogus"')  # torn write
+        reloaded = store_at(tmp_path / "s")
+        assert reloaded.instance == good
+        # the recovery compacted: logs are clean again
+        assert reloaded.pending_log_entries() == 0
+        third = store_at(tmp_path / "s")
+        assert third.instance == good
+
+    def test_broken_chain_tail_is_dropped(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance(R=[("a", "b")]))
+        store.apply_change(insertions=[Fact("R", ("c", "d"))])
+        good = store.instance
+        store.close()
+        log = tmp_path / "s" / "log" / "R.jsonl"
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "seq": 7, "base": "unrelated-version",
+                "version": "nope", "insert": [["z", "z"]],
+                "delete": []}) + "\n")
+        reloaded = store_at(tmp_path / "s")
+        assert reloaded.instance == good
+
+
+class TestCompaction:
+    def test_snapshot_every_n_deltas(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance(),
+                         snapshot_every=3)
+        for index in range(3):
+            store.apply_change(insertions=[Fact("S", (f"x{index}",))])
+        # the third delta triggered compaction: logs folded away
+        assert store.pending_log_entries() == 0
+        assert not list((tmp_path / "s" / "log").glob("*.jsonl"))
+        with open(tmp_path / "s" / "snapshot.json",
+                  encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        assert snapshot["version"] == store.version()
+        reloaded = store_at(tmp_path / "s")
+        assert reloaded.instance == store.instance
+
+    def test_compacted_versions_fall_back_to_full(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance(),
+                         snapshot_every=2)
+        v0 = store.version()
+        store.apply_change(insertions=[Fact("S", ("a",))])
+        store.apply_change(insertions=[Fact("S", ("b",))])
+        store.close()
+        reloaded = store_at(tmp_path / "s")
+        assert reloaded.deltas_since(v0) is None
+
+    def test_explicit_compact(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance(R=[("a", "b")]))
+        store.apply_change(insertions=[Fact("S", ("x",))])
+        assert store.pending_log_entries() == 1
+        store.compact()
+        assert store.pending_log_entries() == 0
+        assert store_at(tmp_path / "s").instance == store.instance
+
+
+class TestSerialisationGuards:
+    def test_non_json_values_raise_storage_error(self, tmp_path):
+        store = store_at(tmp_path / "s", initial=instance())
+        with pytest.raises(StorageError):
+            store.apply_change(insertions=[Fact("S", (object(),))])
+
+
+class TestDescribeDataDir:
+    def test_describes_every_peer_store(self, tmp_path):
+        for peer in ("P0", "P1"):
+            store = DurableFactStore(tmp_path / peer / "store", SCHEMA,
+                                     initial=instance(R=[("a", peer)]))
+            store.apply_change(insertions=[Fact("S", ("x",))])
+            store.close()
+        described = describe_data_dir(tmp_path)
+        assert sorted(described) == ["P0", "P1"]
+        assert described["P0"]["relations"] == {"R": 1, "S": 1}
+        assert described["P0"]["pending_log_entries"] == 1
+        assert described["P0"]["version"] != described["P1"]["version"]
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            describe_data_dir(tmp_path / "nowhere")
+
+
+class TestReadOnly:
+    def test_describe_does_not_mutate_the_directory(self, tmp_path):
+        # inspection must never write: a live owner may be appending to
+        # these very logs (regression: describe used to compact)
+        store = store_at(tmp_path / "P0" / "store", initial=instance(),
+                         snapshot_every=100)
+        for index in range(70):  # past the inspector's old default
+            store.apply_change(insertions=[Fact("S", (f"x{index}",))])
+        store.close()
+        before = {path: path.read_bytes() for path in
+                  sorted((tmp_path / "P0").rglob("*")) if path.is_file()}
+        describe_data_dir(tmp_path)
+        after = {path: path.read_bytes() for path in
+                 sorted((tmp_path / "P0").rglob("*")) if path.is_file()}
+        assert before == after
+
+    def test_readonly_store_rejects_mutation(self, tmp_path):
+        store_at(tmp_path / "s", initial=instance()).close()
+        reader = store_at(tmp_path / "s", readonly=True)
+        with pytest.raises(StorageError):
+            reader.apply_change(insertions=[Fact("S", ("x",))])
+        with pytest.raises(StorageError):
+            reader.compact()
+
+    def test_readonly_needs_an_existing_store(self, tmp_path):
+        with pytest.raises(StorageError):
+            store_at(tmp_path / "missing", readonly=True)

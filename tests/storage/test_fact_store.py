@@ -1,0 +1,145 @@
+"""Unit tests for deltas and the in-memory FactStore backend."""
+
+import pytest
+
+from repro.relational import DatabaseInstance, DatabaseSchema, Fact
+from repro.storage import (
+    Delta,
+    MemoryFactStore,
+    StorageError,
+    apply_delta,
+    delta_between,
+    merge_relation_rows,
+)
+
+SCHEMA = DatabaseSchema.of({"R": 2, "S": 1})
+
+
+def instance(**relations):
+    return DatabaseInstance(SCHEMA, relations)
+
+
+class TestDelta:
+    def test_delta_between_is_normalised(self):
+        base = instance(R=[("a", "b")], S=[("x",)])
+        target = instance(R=[("a", "b"), ("c", "d")])
+        delta = delta_between(base, target)
+        assert delta.insertions == (("R", ("c", "d")),)
+        assert delta.deletions == (("S", ("x",)),)
+        assert delta.base_version == base.fingerprint()
+        assert delta.version == target.fingerprint()
+
+    def test_apply_delta_reaches_exactly_the_target(self):
+        base = instance(R=[("a", "b"), ("e", "f")], S=[("x",)])
+        target = instance(R=[("c", "d"), ("e", "f")], S=[("x",), ("y",)])
+        replayed = apply_delta(base, delta_between(base, target))
+        assert replayed == target
+        assert replayed.fingerprint() == target.fingerprint()
+
+    def test_empty_delta_for_identical_content(self):
+        base = instance(R=[("a", "b")])
+        delta = delta_between(base, instance(R=[("a", "b")]))
+        assert delta.empty
+        assert delta.base_version == delta.version
+
+    def test_dict_round_trip(self):
+        delta = delta_between(instance(R=[("a", "b")]),
+                              instance(S=[("x",)]))
+        assert Delta.from_dict(delta.to_dict()) == delta
+
+    def test_merge_relation_rows_cancels_across_the_chain(self):
+        base = instance(R=[("a", "b")])
+        mid = apply_delta(base, delta_between(
+            base, instance(R=[("a", "b"), ("c", "d")])))
+        d1 = delta_between(base, mid)
+        d2 = delta_between(mid, instance(R=[("e", "f")]))
+        inserted, deleted = merge_relation_rows([d1, d2], "R")
+        # (c, d) was inserted then deleted again: it must cancel out
+        assert inserted == {("e", "f")}
+        assert deleted == {("a", "b")}
+
+    def test_merge_ignores_other_relations(self):
+        d = delta_between(instance(R=[("a", "b")], S=[("x",)]),
+                          instance())
+        inserted, deleted = merge_relation_rows([d], "S")
+        assert inserted == set()
+        assert deleted == {("x",)}
+
+
+class TestMemoryFactStore:
+    def test_versions_are_content_fingerprints(self):
+        store = MemoryFactStore(instance(R=[("a", "b")]))
+        twin = MemoryFactStore(instance(R=[("a", "b")]))
+        assert store.version() == twin.version()
+        assert store.version() == store.instance.fingerprint()
+
+    def test_apply_change_logs_and_advances(self):
+        store = MemoryFactStore(instance(R=[("a", "b")]))
+        v0 = store.version()
+        delta = store.apply_change(insertions=[Fact("R", ("c", "d"))])
+        assert not delta.empty
+        assert store.version() == delta.version != v0
+        assert store.tuples("R") == {("a", "b"), ("c", "d")}
+        assert store.deltas_since(v0) == [delta]
+        assert store.deltas_since(store.version()) == []
+
+    def test_noop_change_is_not_logged(self):
+        store = MemoryFactStore(instance(R=[("a", "b")]))
+        v0 = store.version()
+        delta = store.apply_change(insertions=[Fact("R", ("a", "b"))],
+                                   deletions=[Fact("S", ("zz",))])
+        assert delta.empty
+        assert store.version() == v0
+        assert store.history() == ()
+
+    def test_deltas_since_unknown_version_is_none(self):
+        store = MemoryFactStore(instance(R=[("a", "b")]))
+        assert store.deltas_since("not-a-version") is None
+
+    def test_replace_diffs_against_current(self):
+        store = MemoryFactStore(instance(R=[("a", "b")]))
+        delta = store.replace(instance(R=[("c", "d")], S=[("x",)]))
+        assert set(delta.insertions) == {("R", ("c", "d")),
+                                         ("S", ("x",))}
+        assert delta.deletions == (("R", ("a", "b")),)
+        assert store.instance == instance(R=[("c", "d")], S=[("x",)])
+
+    def test_replace_rejects_foreign_schema(self):
+        store = MemoryFactStore(instance())
+        other = DatabaseInstance(DatabaseSchema.of({"T": 1}))
+        with pytest.raises(StorageError):
+            store.replace(other)
+
+    def test_chained_deltas_since_an_old_version(self):
+        store = MemoryFactStore(instance())
+        v0 = store.version()
+        store.apply_change(insertions=[Fact("R", ("a", "b"))])
+        v1 = store.version()
+        store.apply_change(insertions=[Fact("S", ("x",))])
+        chain = store.deltas_since(v0)
+        assert [d.base_version for d in chain] == [v0, v1]
+        replayed = instance()
+        for delta in chain:
+            replayed = apply_delta(replayed, delta)
+        assert replayed == store.instance
+
+    def test_history_trimmed_to_max(self):
+        store = MemoryFactStore(instance(), max_history=2)
+        v0 = store.version()
+        for index in range(4):
+            store.apply_change(insertions=[Fact("S", (f"x{index}",))])
+        assert len(store.history()) == 2
+        assert store.deltas_since(v0) is None  # trimmed away
+
+    def test_replace_maintains_built_indexes_incrementally(self):
+        store = MemoryFactStore(instance(R=[("a", "b")]))
+        index = store.instance.index("R")
+        assert index.matching({0: "a"}) == [("a", "b")]
+        store.replace(instance(R=[("a", "b"), ("a", "c")]))
+        # the new snapshot's index was derived, not rebuilt: column 0 is
+        # already built and sees both rows
+        new_index = store.instance.index("R")
+        assert sorted(new_index.matching({0: "a"})) == \
+            [("a", "b"), ("a", "c")]
+        # the pre-update index object is untouched
+        assert index.matching({0: "a"}) == [("a", "b")]

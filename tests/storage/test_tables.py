@@ -1,0 +1,78 @@
+"""Unit tests for FactTable — the extracted in-memory fact storage."""
+
+import pytest
+
+from repro.storage import FactTable, row_sort_key
+
+
+def table(**relations):
+    return FactTable({name: frozenset(map(tuple, rows))
+                      for name, rows in relations.items()})
+
+
+class TestMappingProtocol:
+    def test_getitem_iter_len(self):
+        t = table(R=[("a", "b")], S=[])
+        assert t["R"] == {("a", "b")}
+        assert set(t) == {"R", "S"}
+        assert len(t) == 2
+        assert "R" in t and "T" not in t
+
+    def test_equality_with_plain_dicts(self):
+        t = table(R=[("a",)])
+        assert t == {"R": frozenset({("a",)})}
+        assert t == table(R=[("a",)])
+        assert t != table(R=[("b",)])
+
+    def test_size_and_row_count(self):
+        t = table(R=[("a",), ("b",)], S=[("c",)])
+        assert t.size() == 3
+        assert t.row_count("R") == 2
+
+    def test_pairs(self):
+        t = table(R=[("a",)], S=[("b",)])
+        assert set(t.pairs()) == {("R", ("a",)), ("S", ("b",))}
+
+
+class TestFunctionalUpdates:
+    def test_with_relations_replaces_without_mutating(self):
+        t = table(R=[("a",)], S=[("b",)])
+        u = t.with_relations({"R": frozenset({("z",)})})
+        assert t["R"] == {("a",)}
+        assert u["R"] == {("z",)}
+        assert u["S"] is t["S"]
+
+    def test_restrict_and_union(self):
+        t = table(R=[("a",)], S=[("b",)])
+        assert set(t.restrict(["R"])) == {"R"}
+        u = t.restrict(["R"]).union(table(T=[("c",)]))
+        assert set(u) == {"R", "T"}
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_independent(self):
+        one = table(R=[("a", "b"), ("c", "d")], S=[])
+        two = table(S=[], R=[("c", "d"), ("a", "b")])
+        assert one.fingerprint() == two.fingerprint()
+
+    def test_sensitive_to_rows(self):
+        assert table(R=[("a",)]).fingerprint() != \
+            table(R=[("b",)]).fingerprint()
+
+    def test_empty_relation_differs_from_missing(self):
+        assert table(R=[("a",)], S=[]).fingerprint() != \
+            table(R=[("a",)]).fingerprint()
+
+    def test_distinguishes_value_types(self):
+        # 1, "1", and True all print alike in naive encodings
+        assert table(R=[(1,)]).fingerprint() != \
+            table(R=[("1",)]).fingerprint()
+        assert table(R=[(1,)]).fingerprint() != \
+            table(R=[(True,)]).fingerprint()
+
+    def test_row_sort_key_handles_mixed_types(self):
+        rows = [("b", 2), (1, "a"), ("b", 1)]
+        assert sorted(rows, key=row_sort_key) == \
+            sorted(rows, key=row_sort_key)  # no TypeError, total order
+        with pytest.raises(TypeError):
+            sorted(rows)  # the failure mode the key exists for
