@@ -25,6 +25,28 @@ Commands
     versioned deltas.  Network failures (peer down, hop budget
     exhausted) are reported as typed errors, exit 3.
 
+``serve SYSTEM.json PEER [--host H] [--port N] [--peers SPEC]
+[--data-dir DIR] [--hops N] [--retries N] [--timeout S] [--method M]
+[--snapshot-every N]``
+    Run one peer of the system as a standalone server process speaking
+    the :mod:`repro.wire` frame protocol over TCP.  ``--peers`` names
+    the other peers' addresses (``P2=host:port,P3=host:port``); the
+    server prints ``READY <peer> <host>:<port>`` once listening and
+    serves until SIGTERM/SIGINT, flushing durable state on the way out.
+    ``--port 0`` picks a free port.  Normally launched by the
+    ``cluster`` supervisor, but addresses can be wired by hand across
+    machines.
+
+``cluster SYSTEM.json PEER QUERY [--method M] [--brave] [--data-dir
+DIR] [--hops N] [--retries N] [--timeout S] [--host H] [--json]``
+    Launch every peer of the system as an independent OS process
+    (``serve`` under a supervisor), answer the query at ``PEER``
+    through a client session speaking only the wire protocol, print the
+    result plus the client-observed exchange, and shut the cluster
+    down.  With ``--data-dir`` the peer processes are durable: a
+    re-run against the same directory restarts them warm and re-syncs
+    by versioned deltas.
+
 ``store DATA_DIR [--json]``
     Inspect a ``--data-dir`` directory: per peer, the stored content
     version, delta-log sequence, pending (uncompacted) log entries, row
@@ -155,6 +177,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
                         hop_budget=args.hops, retries=args.retries,
                         concurrency=("sequential" if args.sequential
                                      else "fanout"),
+                        timeout=args.timeout,
                         data_dir=args.data_dir) as session:
         if args.data_dir:
             # durable nodes resume from disk; the CLI treats the system
@@ -173,6 +196,68 @@ def _cmd_network(args: argparse.Namespace) -> int:
                 print(f"  {event}")
             if not trace:
                 print("  (no messages)")
+    return status
+
+
+def _parse_peer_addresses(spec: str) -> dict:
+    """``"P1=h:p,P2=h:p"`` → ``{"P1": "h:p", "P2": "h:p"}``."""
+    from .wire import WireProtocolError
+    addresses = {}
+    for entry in filter(None, (part.strip()
+                               for part in spec.split(","))):
+        peer, sep, address = entry.partition("=")
+        if not sep or not peer or not address:
+            raise WireProtocolError(
+                f"--peers entries must look like PEER=host:port, got "
+                f"{entry!r}")
+        addresses[peer.strip()] = address.strip()
+    return addresses
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    from .core import load_system
+    from .wire import PeerServer
+    system = load_system(args.system)
+    server = PeerServer(
+        system, args.peer, host=args.host, port=args.port,
+        addresses=_parse_peer_addresses(args.peers),
+        data_dir=args.data_dir, hop_budget=args.hops,
+        retries=args.retries, timeout=args.timeout,
+        default_method=args.method,
+        snapshot_every=args.snapshot_every)
+    # SIGTERM (the supervisor's stop signal) must run the same cleanup
+    # as Ctrl-C: a durable node flushes its caches only on a clean
+    # shutdown, which is what makes the next start a warm restart
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    print(f"READY {args.peer} {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .wire import open_wire_session
+    semantics = "possible" if args.brave else "certain"
+    with open_wire_session(args.system, host=args.host,
+                           data_dir=args.data_dir,
+                           hop_budget=args.hops, retries=args.retries,
+                           timeout=args.timeout) as session:
+        peers = session.peers()
+        if not args.json:
+            print(f"cluster up: {len(peers)} peer process(es) "
+                  f"[{', '.join(peers)}]")
+        result = session.answer(args.peer, args.query,
+                                method=args.method,
+                                semantics=semantics)
+        status = _print_result(result, args)
+        if not args.json:
+            for event in session.exchange_log.events():
+                print(f"  {event}")
     return status
 
 
@@ -316,9 +401,70 @@ def build_parser() -> argparse.ArgumentParser:
                          help="make nodes durable under DIR/<peer>/ "
                               "(delta-log + snapshot store, persisted "
                               "answer cache, delta sync on re-runs)")
+    network.add_argument("--timeout", type=float, default=None,
+                         metavar="S",
+                         help="end-to-end per-query budget in seconds "
+                              "(expiry surfaces as a typed "
+                              "deadline-exceeded error)")
     network.add_argument("--json", action="store_true",
                          help="print the full QueryResult as JSON")
     network.set_defaults(func=_cmd_network)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one peer as a wire-protocol server process")
+    serve.add_argument("system", help="JSON system definition")
+    serve.add_argument("peer", help="the peer this process hosts")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, metavar="N",
+                       help="listening port (0 picks a free one)")
+    serve.add_argument("--peers", default="", metavar="SPEC",
+                       help="other peers' addresses, e.g. "
+                            "'P2=127.0.0.1:7002,P3=127.0.0.1:7003'")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="durable node state under DIR/<peer>/")
+    serve.add_argument("--hops", type=int, default=None, metavar="N",
+                       help="hop budget for gathers (default: number "
+                            "of peers in the system)")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="extra delivery attempts on transport loss")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="S",
+                       help="end-to-end budget for each served gather")
+    serve.add_argument("--method", default="auto",
+                       choices=list(available_methods()),
+                       help="the node's default answer method")
+    serve.add_argument("--snapshot-every", type=int, default=64,
+                       metavar="N",
+                       help="compact the durable delta log every N "
+                            "deltas")
+    serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="launch one process per peer and answer a query over the "
+             "live cluster")
+    cluster.add_argument("system", help="JSON system definition")
+    cluster.add_argument("peer")
+    cluster.add_argument("query", help='e.g. "q(X, Y) := R1(X, Y)"')
+    cluster.add_argument("--method", default="auto",
+                         choices=list(available_methods()))
+    cluster.add_argument("--brave", action="store_true",
+                         help="possible (brave) answers instead of "
+                              "certain")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--data-dir", default=None, metavar="DIR",
+                         help="durable peer processes under "
+                              "DIR/<peer>/ (warm restarts, delta "
+                              "re-sync)")
+    cluster.add_argument("--hops", type=int, default=None, metavar="N")
+    cluster.add_argument("--retries", type=int, default=2, metavar="N")
+    cluster.add_argument("--timeout", type=float, default=None,
+                         metavar="S",
+                         help="end-to-end per-query budget in seconds")
+    cluster.add_argument("--json", action="store_true",
+                         help="print the full QueryResult as JSON")
+    cluster.set_defaults(func=_cmd_cluster)
 
     store = sub.add_parser(
         "store",

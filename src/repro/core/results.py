@@ -64,10 +64,16 @@ class QueryRequest:
 class ExchangeStats:
     """Peer-to-peer traffic attributable to one answered query.
 
-    ``bytes_estimate`` approximates the serialized size of the payloads
-    that moved (see :func:`repro.core.messaging.estimate_bytes`);
-    ``max_hops`` is the longest relay chain any of that data travelled —
-    1 for direct neighbour fetches, more when the
+    ``bytes_estimate`` is the serialized size of the payloads that
+    moved.  When the messages actually crossed a wire (the
+    :class:`~repro.wire.transport.SocketTransport`), it is **exact**:
+    the byte length of the encoded reply frames as they went over the
+    socket.  For the in-process transports (loopback/threaded), where
+    nothing is ever serialized, it falls back to the
+    :func:`repro.core.messaging.estimate_bytes` heuristic — close
+    enough to a JSON encoding to make traffic comparable, but an
+    estimate.  ``max_hops`` is the longest relay chain any of that data
+    travelled — 1 for direct neighbour fetches, more when the
     :mod:`repro.net` runtime routed a transitive query hop-by-hop.
     """
 

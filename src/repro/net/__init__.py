@@ -31,6 +31,7 @@ Layers
 """
 
 from .errors import (
+    DeadlineExceeded,
     HopBudgetExceeded,
     MessageDropped,
     NetworkError,
@@ -41,7 +42,14 @@ from .errors import (
 )
 from .network import PeerNetwork
 from .node import PeerNode
-from .protocol import Answer, Failure, FetchRelation, Message, PeerQuery
+from .protocol import (
+    Answer,
+    AnswerQuery,
+    Failure,
+    FetchRelation,
+    Message,
+    PeerQuery,
+)
 from .service import NetworkSession, open_session
 from .transport import (
     FaultPlan,
@@ -56,10 +64,12 @@ __all__ = [
     # runtime
     "PeerNetwork", "PeerNode",
     # protocol
-    "Message", "FetchRelation", "PeerQuery", "Answer", "Failure",
+    "Message", "FetchRelation", "PeerQuery", "AnswerQuery", "Answer",
+    "Failure",
     # transports
     "Transport", "LoopbackTransport", "ThreadedTransport", "FaultPlan",
     # errors
     "NetworkError", "TransportError", "MessageDropped", "PeerDown",
-    "PeerUnreachableError", "HopBudgetExceeded", "ProtocolError",
+    "PeerUnreachableError", "HopBudgetExceeded", "DeadlineExceeded",
+    "ProtocolError",
 ]

@@ -19,6 +19,7 @@ __all__ = [
     "PeerDown",
     "PeerUnreachableError",
     "HopBudgetExceeded",
+    "DeadlineExceeded",
     "ProtocolError",
 ]
 
@@ -54,6 +55,20 @@ class PeerUnreachableError(NetworkError):
 class HopBudgetExceeded(NetworkError):
     """A hop-by-hop gather ran out of hop budget before covering the
     accessible sub-network (``code="hop-budget-exhausted"``)."""
+
+    def __init__(self, message: str, *, peer: str = "") -> None:
+        super().__init__(message)
+        self.peer = peer
+
+
+class DeadlineExceeded(NetworkError):
+    """The end-to-end request budget (``PeerNetwork(timeout=...)``) ran
+    out before the operation completed (``code="deadline-exceeded"``).
+
+    Not retryable: retrying is exactly what the deadline exists to stop
+    — a slow link must fail the *operation* once the overall budget is
+    spent, not merely burn through the per-message retry allowance.
+    """
 
     def __init__(self, message: str, *, peer: str = "") -> None:
         super().__init__(message)

@@ -30,13 +30,16 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.messaging import ExchangeLog
 from ..core.system import PeerSystem
 from .errors import (
+    DeadlineExceeded,
     HopBudgetExceeded,
     NetworkError,
     PeerUnreachableError,
@@ -62,13 +65,16 @@ class PeerNetwork:
                  hop_budget: Optional[int] = None,
                  retries: int = 2,
                  concurrency: str = FANOUT,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 timeout: Optional[float] = None) -> None:
         if concurrency not in (FANOUT, SEQUENTIAL):
             raise NetworkError(
                 f"unknown concurrency mode {concurrency!r}; use "
                 f"{FANOUT!r} or {SEQUENTIAL!r}")
         if retries < 0:
             raise NetworkError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise NetworkError("timeout must be > 0 seconds")
         self.nodes: dict[str, PeerNode] = {}
         self.transport = (transport if transport is not None
                           else LoopbackTransport())
@@ -90,6 +96,12 @@ class PeerNetwork:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._max_workers = max_workers or min(32, 4 * len(self.nodes))
         self._lock = threading.Lock()
+        #: overall per-operation budget in seconds (None = unbounded)
+        self.timeout = timeout
+        # the active operation deadline is thread-local (a server node
+        # may gather for several requesters at once); fan_out hands it
+        # to its pool workers explicitly
+        self._op = threading.local()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -99,6 +111,7 @@ class PeerNetwork:
                     retries: int = 2,
                     concurrency: str = FANOUT,
                     max_workers: Optional[int] = None,
+                    timeout: Optional[float] = None,
                     default_method: str = "auto",
                     include_local_ics: bool = True,
                     evaluator: str = "planner",
@@ -150,7 +163,7 @@ class PeerNetwork:
             node.stamp_version(version)
         return cls(nodes, transport, hop_budget=hop_budget,
                    retries=retries, concurrency=concurrency,
-                   max_workers=max_workers)
+                   max_workers=max_workers, timeout=timeout)
 
     # ------------------------------------------------------------------
     # Topology and lifecycle
@@ -201,6 +214,58 @@ class PeerNetwork:
         self.close()
 
     # ------------------------------------------------------------------
+    # The end-to-end operation deadline
+    # ------------------------------------------------------------------
+    @contextmanager
+    def operation_deadline(self) -> Iterator[None]:
+        """Scope one end-to-end operation under :attr:`timeout`.
+
+        Entered by the answering surfaces (a node's answer/gather); all
+        message sends within the scope — including the fan-out worker
+        threads — check the shared deadline before hitting the
+        transport, so a slow link fails the *operation* with a typed
+        :class:`DeadlineExceeded` instead of burning retries forever.
+        Nested scopes (a gather inside an answer) keep the outermost
+        deadline; without a configured ``timeout`` this is a no-op.
+
+        The check is cooperative: a request already waiting on the
+        transport finishes its wait (bounded by the transport's own
+        per-request timeout), so the operation overruns the budget by at
+        most one transport timeout.
+        """
+        if self.timeout is None or self._current_deadline() is not None:
+            yield
+            return
+        self._op.deadline = time.monotonic() + self.timeout
+        try:
+            yield
+        finally:
+            self._op.deadline = None
+
+    def _current_deadline(self) -> Optional[float]:
+        return getattr(self._op, "deadline", None)
+
+    @contextmanager
+    def _inherited_deadline(self,
+                            deadline: Optional[float]) -> Iterator[None]:
+        """Install a deadline captured on another thread (fan-out pool
+        workers inherit the submitting operation's budget this way)."""
+        previous = self._current_deadline()
+        self._op.deadline = deadline
+        try:
+            yield
+        finally:
+            self._op.deadline = previous
+
+    def check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is spent."""
+        deadline = self._current_deadline()
+        if deadline is not None and time.monotonic() > deadline:
+            raise DeadlineExceeded(
+                f"operation exceeded its {self.timeout}s end-to-end "
+                f"budget")
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def request(self, message: Message) -> Answer:
@@ -218,6 +283,10 @@ class PeerNetwork:
         attempts = self.retries + 1
         reply: Optional[Message] = None
         for attempt in range(attempts):
+            # checked before every attempt (first included): once the
+            # operation budget is spent, further sends — retries
+            # especially — must fail typed instead of piling on
+            self.check_deadline()
             try:
                 reply = self.transport.request(message)
                 break
@@ -243,6 +312,8 @@ class PeerNetwork:
         if failure.code == "peer-unreachable":
             raise PeerUnreachableError(failure.detail,
                                        peer=failure.sender)
+        if failure.code == "deadline-exceeded":
+            raise DeadlineExceeded(failure.detail, peer=failure.sender)
         if failure.code == "network":
             raise NetworkError(
                 f"{failure.sender!r} relayed a network failure: "
@@ -302,7 +373,14 @@ class PeerNetwork:
         # fan-outs (hop-by-hop gathers) then make progress even with the
         # pool saturated, so pool starvation can never deadlock a gather
         executor = self._shared_executor()
-        futures = [executor.submit(self.request, message)
+        deadline = self._current_deadline()
+
+        def routed(message: Message) -> Answer:
+            # pool workers inherit the submitting operation's deadline
+            with self._inherited_deadline(deadline):
+                return self.request(message)
+
+        futures = [executor.submit(routed, message)
                    for message in messages[:-1]]
         results: list[Optional[Answer]] = [None] * len(messages)
         # every exception is held until all requests settle — including

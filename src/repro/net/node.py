@@ -82,6 +82,7 @@ from ..storage import (
 )
 from ..storage.durable import write_json_atomic
 from .errors import (
+    DeadlineExceeded,
     HopBudgetExceeded,
     NetworkError,
     PeerUnreachableError,
@@ -90,6 +91,7 @@ from .errors import (
 from .protocol import (
     SUBSYSTEM,
     Answer,
+    AnswerQuery,
     Failure,
     FetchRelation,
     Message,
@@ -104,6 +106,23 @@ __all__ = ["PeerNode"]
 #: cap on persisted answer-cache entries (oldest dropped first), so a
 #: long-lived data directory cannot grow without bound across syncs
 _MAX_PERSISTED_ANSWERS = 512
+
+
+def _dec_key(dec: DataExchange) -> object:
+    """A content key for deduplicating relayed DECs.
+
+    Serialisable constraints key on their canonical dict form (stable
+    across processes, so wire-decoded copies of one DEC collapse);
+    exotic constraint classes outside the io codec fall back to object
+    identity — exactly the old in-process behaviour.
+    """
+    from ..core.io import constraint_to_dict
+    try:
+        return (dec.owner, dec.other,
+                json.dumps(constraint_to_dict(dec.constraint),
+                           sort_keys=True))
+    except Exception:
+        return (dec.owner, dec.other, id(dec))
 
 
 class PeerNode:
@@ -212,6 +231,10 @@ class PeerNode:
                 return self._serve_fetch(message)
             if isinstance(message, PeerQuery):
                 return self._serve_peer_query(message)
+            if isinstance(message, AnswerQuery):
+                return self._serve_answer_query(message)
+        except DeadlineExceeded as exc:
+            return self._failure(message, "deadline-exceeded", str(exc))
         except HopBudgetExceeded as exc:
             return self._failure(message, "hop-budget-exhausted", str(exc))
         except PeerUnreachableError as exc:
@@ -257,12 +280,43 @@ class PeerNode:
                       payload=tuple(sorted(rows, key=row_sort_key)),
                       version=current)
 
+    def _serve_answer_query(self, message: AnswerQuery) -> Message:
+        """Serve a full query answer (the wire runtime's client RPC).
+
+        The node resolves the query, gathers its view, and answers
+        exactly as a local caller of :meth:`answer` would; the whole
+        :class:`~repro.core.results.QueryResult` travels back as the
+        reply payload.  Answering failures (bad query text, unknown
+        method) surface as typed :class:`Failure` replies rather than
+        killing the connection.
+        """
+        from ..core.errors import P2PError
+        from ..relational.errors import RelationalError
+        try:
+            result = self.answer(message.query,
+                                 method=message.method or None,
+                                 semantics=message.semantics)
+        except NetworkError:
+            raise  # mapped onto Failure codes by handle()
+        except (P2PError, RelationalError) as exc:
+            return self._failure(message, "bad-request", str(exc))
+        return Answer(sender=self.name, target=message.sender,
+                      in_reply_to=message.correlation_id, payload=result)
+
     def _serve_peer_query(self, message: PeerQuery) -> Message:
         if message.kind != SUBSYSTEM:
             return self._failure(
                 message, "unsupported-message",
                 f"unknown PeerQuery kind {message.kind!r}")
-        payload = self._gather(message.hop_budget, message.visited)
+        if self.network is not None:
+            # a served gather is an operation of its own: the *serving*
+            # node's network budget bounds it (the requester's budget
+            # bounds its wait independently)
+            with self.network.operation_deadline():
+                payload = self._gather(message.hop_budget,
+                                       message.visited)
+        else:
+            payload = self._gather(message.hop_budget, message.visited)
         return Answer(sender=self.name, target=message.sender,
                       in_reply_to=message.correlation_id, payload=payload)
 
@@ -410,14 +464,21 @@ class PeerNode:
             if self._view is None:
                 hop_budget = (self.network.hop_budget
                               if self.network is not None else 8)
-                payload = self._gather(hop_budget, ())
+                if self.network is not None:
+                    with self.network.operation_deadline():
+                        payload = self._gather(hop_budget, ())
+                else:
+                    payload = self._gather(hop_budget, ())
                 payload["instances"][self.name] = self.instance
                 peers = payload["peers"]
                 # branches that race to the same peer through a diamond
-                # may relay its DECs twice; the merge dedups by identity
-                seen: set[int] = set()
+                # may relay its DECs twice; the merge dedups by content
+                # (identity is not enough once DECs cross a wire
+                # transport, where every branch decodes fresh objects)
+                seen: set = set()
                 decs = [dec for dec in payload["decs"]
-                        if id(dec) not in seen and not seen.add(id(dec))]
+                        if (key := _dec_key(dec)) not in seen
+                        and not seen.add(key)]
                 trust = TrustRelation(
                     {(owner, level, other)
                      for owner, level, other in payload["trust"]

@@ -10,6 +10,10 @@ P3 ..."):
   hop-by-hop gather behind transitive answering) — carries the hop
   budget and the per-branch visited set that make cyclic accessibility
   graphs terminate;
+* :class:`AnswerQuery` — "answer this query from your own view" (the
+  client-facing RPC of the cross-process wire runtime: a
+  :class:`~repro.wire.session.RemoteNetworkSession` sends one to the
+  queried peer's server process, which gathers and answers locally);
 * :class:`Answer` — a successful reply, correlated to its request;
 * :class:`Failure` — a typed error reply (unknown relation, exhausted
   hop budget), also correlated.
@@ -17,9 +21,11 @@ P3 ..."):
 Every message carries a process-unique ``correlation_id``; replies quote
 it in ``in_reply_to`` so transports may deliver out of order.  Payloads
 hold immutable in-process objects (tuples, :class:`~repro.core.system.Peer`
-instances); a cross-host transport would serialise them with the
-:mod:`repro.core.io` dict codecs — :func:`payload_bytes` estimates that
-serialized size for the traffic accounting either way.
+instances); the cross-process transport serialises them with the
+:mod:`repro.wire.codec` framing built on the :mod:`repro.core.io` dict
+codecs — :func:`payload_bytes` estimates the serialized size for the
+traffic accounting of the *in-process* transports (the wire transport
+records the exact encoded frame size instead).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ __all__ = [
     "Message",
     "FetchRelation",
     "PeerQuery",
+    "AnswerQuery",
     "Answer",
     "Failure",
     "SUBSYSTEM",
@@ -91,6 +98,24 @@ class PeerQuery(Message):
 
 
 @dataclass(frozen=True, kw_only=True)
+class AnswerQuery(Message):
+    """Request a full query answer computed at the target peer.
+
+    The target resolves the query in its own language, gathers its
+    accessible sub-network (over whatever transport its network runs
+    on), answers from the materialised view, and replies with an
+    :class:`Answer` whose payload is the complete
+    :class:`~repro.core.results.QueryResult`.  ``query`` is the textual
+    form (``"q(X, Y) := R1(X, Y)"``); ``method`` empty means the node's
+    default method; ``semantics`` is ``"certain"`` or ``"possible"``.
+    """
+
+    query: str
+    method: str = ""
+    semantics: str = "certain"
+
+
+@dataclass(frozen=True, kw_only=True)
 class Answer(Message):
     """A successful reply.  ``payload`` depends on the request kind:
     a tuple of rows for :class:`FetchRelation` (or a
@@ -134,8 +159,13 @@ def payload_bytes(payload: Any) -> int:
     descriptions cost the sum of their instances' rows plus a small flat
     overhead per described peer/constraint.
     """
+    from ..core.results import QueryResult
     if payload is None:
         return 0
+    if isinstance(payload, QueryResult):
+        # a served query answer: costs its answer rows plus a flat
+        # envelope for the provenance fields
+        return estimate_bytes(payload.answers) + 64
     if isinstance(payload, (tuple, list, frozenset, set)):
         return estimate_bytes(payload)
     if isinstance(payload, Mapping) and set(payload) <= {"insert",

@@ -40,6 +40,7 @@ from ..core.session import PeerQuerySession
 from ..core.system import PeerSystem
 from ..relational.query import Query
 from .errors import (
+    DeadlineExceeded,
     HopBudgetExceeded,
     NetworkError,
     PeerUnreachableError,
@@ -54,6 +55,8 @@ __all__ = ["NetworkSession", "open_session"]
 def _error_code(exc: NetworkError) -> str:
     if isinstance(exc, HopBudgetExceeded):
         return "hop-budget-exhausted"
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline-exceeded"
     if isinstance(exc, PeerUnreachableError):
         return "peer-unreachable"
     if isinstance(exc, TransportError):
@@ -69,7 +72,9 @@ class NetworkSession:
     :class:`PeerNetwork`.  Keyword arguments mirror the local session's
     (``default_method``, ``include_local_ics``, ``evaluator``) plus the
     network knobs (``transport``, ``hop_budget``, ``retries``,
-    ``concurrency``) and durability (``data_dir`` makes every node
+    ``concurrency``, ``timeout`` — an end-to-end per-query budget in
+    seconds, surfacing expiry as a ``deadline-exceeded`` typed result
+    error) and durability (``data_dir`` makes every node
     persist its facts, answers, and fetch cache under
     ``<data_dir>/<peer>/`` and reload them on construction;
     ``snapshot_every`` bounds the delta logs).
@@ -84,6 +89,7 @@ class NetworkSession:
                  retries: int = 2,
                  concurrency: str = "fanout",
                  max_workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
                  data_dir: Optional[Union[str, "Path"]] = None,
                  snapshot_every: int = 64) -> None:
         if isinstance(system_or_network, PeerNetwork):
@@ -95,12 +101,17 @@ class NetworkSession:
                 raise NetworkError(
                     "pass data_dir when the network is built, not to a "
                     "session over an existing network")
+            if timeout is not None:
+                raise NetworkError(
+                    "pass timeout when the network is built, not to a "
+                    "session over an existing network")
             self.network = system_or_network
         else:
             self.network = PeerNetwork.from_system(
                 system_or_network, transport=transport,
                 hop_budget=hop_budget, retries=retries,
                 concurrency=concurrency, max_workers=max_workers,
+                timeout=timeout,
                 default_method=default_method,
                 include_local_ics=include_local_ics,
                 evaluator=evaluator, data_dir=data_dir,
@@ -190,25 +201,51 @@ class NetworkSession:
                 f"default_method={self.default_method!r})")
 
 
-def open_session(system: PeerSystem, *, network: bool = False,
-                 **kwargs) -> Union[PeerQuerySession, NetworkSession]:
+def open_session(system: PeerSystem, *,
+                 network: Union[bool, str] = False,
+                 **kwargs):
     """The one-argument switch between execution backends.
 
     ``network=False`` returns the in-process
     :class:`~repro.core.session.PeerQuerySession`; ``network=True``
     returns a :class:`NetworkSession` running each peer as a
-    message-passing node.  Keyword arguments are forwarded to whichever
-    backend is chosen (the local session accepts ``default_method``,
-    ``include_local_ics``, ``evaluator``; the network session also takes
-    ``transport``, ``hop_budget``, ``retries``, ``concurrency``,
-    ``data_dir``).
+    message-passing node *inside this process*; ``network="wire"``
+    launches every peer as an independent OS process serving the wire
+    protocol over TCP (see :mod:`repro.wire`) and returns a
+    :class:`~repro.wire.session.RemoteNetworkSession` connected to the
+    live cluster — remember to ``close()`` it (or use ``with``), which
+    shuts the processes down.
+
+    Keyword arguments are forwarded to whichever backend is chosen (the
+    local session accepts ``default_method``, ``include_local_ics``,
+    ``evaluator``; the network session also takes ``transport``,
+    ``hop_budget``, ``retries``, ``concurrency``, ``timeout``,
+    ``data_dir``; the wire backend takes the cluster knobs of
+    :func:`repro.wire.cluster.open_wire_session` — ``data_dir``,
+    ``host``, ``hop_budget``, ``retries``, ``timeout``,
+    ``request_timeout``, ``snapshot_every``, ``startup_timeout``).
     """
-    if network:
+    if network == "wire":
+        from ..wire import open_wire_session
+        allowed = ("default_method", "retries", "timeout",
+                   "request_timeout", "data_dir", "host", "hop_budget",
+                   "snapshot_every", "startup_timeout", "python")
+        unknown = set(kwargs) - set(allowed)
+        if unknown:
+            raise NetworkError(
+                f"{sorted(unknown)} do not apply to the wire backend; "
+                f"it takes {sorted(allowed)}")
+        return open_wire_session(system, **kwargs)
+    if network is True or network == "network":
         return NetworkSession(system, **kwargs)
+    if network is not False and network != "local":
+        raise NetworkError(
+            f"unknown execution backend {network!r}; use False (local), "
+            f"True (in-process network), or 'wire' (cross-process)")
     allowed = ("default_method", "include_local_ics", "evaluator")
     unknown = set(kwargs) - set(allowed)
     if unknown:
         raise NetworkError(
-            f"{sorted(unknown)} only apply to the network backend; "
-            f"pass network=True")
+            f"{sorted(unknown)} only apply to the network backends; "
+            f"pass network=True or network='wire'")
     return PeerQuerySession(system, **kwargs)

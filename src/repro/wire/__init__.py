@@ -1,0 +1,66 @@
+"""repro.wire — the cross-process wire runtime.
+
+Takes the :mod:`repro.net` peer network across OS processes: every
+peer of a :class:`~repro.core.system.PeerSystem` runs as an
+independent server process holding only its local slice, peers
+exchange the same typed protocol messages as in-process nodes — but
+framed as newline-delimited JSON over TCP — and a thin client session
+answers paper workloads against the live cluster.
+
+Layers
+------
+:mod:`repro.wire.codec`
+    Frame codec for every protocol message (handshake, rows, deltas in
+    the durable store's JSONL vocabulary, subsystem gathers via the
+    :mod:`repro.core.io` dict codecs, full query results).
+:mod:`repro.wire.transport`
+    :class:`SocketTransport` — the :class:`~repro.net.transport.Transport`
+    ABC over pooled TCP connections with per-request deadlines, typed
+    retryable failures, and exact byte accounting.
+:mod:`repro.wire.server`
+    :class:`PeerServer` — one peer's node behind a listening socket
+    (also runs in-process for tests and benchmarks);
+    ``python -m repro serve`` is its process entry point.
+:mod:`repro.wire.cluster`
+    :class:`ClusterSupervisor` — spawn/supervise one server process per
+    peer; :func:`open_wire_session` backs
+    ``open_session(system, network="wire")``.
+:mod:`repro.wire.session`
+    :class:`RemoteNetworkSession` — ``answer``/``answer_many`` against
+    live processes, constructed from peer addresses alone.
+"""
+
+from .codec import (
+    WIRE_MAGIC,
+    WIRE_PROTOCOL,
+    WireProtocolError,
+    decode_message,
+    encode_message,
+    message_from_dict,
+    message_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from .cluster import (
+    ClusterError,
+    ClusterSupervisor,
+    free_port,
+    open_wire_session,
+)
+from .server import PeerServer, build_peer_node
+from .session import RemoteNetworkSession
+from .transport import SocketTransport, format_address, parse_address
+
+__all__ = [
+    # codec
+    "WIRE_PROTOCOL", "WIRE_MAGIC", "WireProtocolError",
+    "encode_message", "decode_message", "message_to_dict",
+    "message_from_dict", "result_to_dict", "result_from_dict",
+    # transport
+    "SocketTransport", "parse_address", "format_address",
+    # server / cluster
+    "PeerServer", "build_peer_node", "ClusterSupervisor",
+    "ClusterError", "free_port", "open_wire_session",
+    # client
+    "RemoteNetworkSession",
+]

@@ -1,0 +1,295 @@
+"""The cluster supervisor: one OS process per peer, supervised.
+
+:class:`ClusterSupervisor` takes a system (a
+:class:`~repro.core.system.PeerSystem` or the path of its JSON
+definition), allocates a localhost port per peer, and launches
+``python -m repro serve SYSTEM PEER --port ... --peers ...`` once per
+peer — each process holding only its peer's local slice (instance,
+DECs, trust edges; durable under ``data_dir/<peer>/`` when given).
+``start()`` blocks until every server has printed its ``READY`` line,
+``stop()`` terminates them gracefully (SIGTERM → the servers flush
+their durable caches → SIGKILL stragglers), and ``kill(peer)`` crashes
+one process hard for fault drills.
+
+:func:`open_wire_session` is the one-call path the
+``open_session(system, network="wire")`` backend switch uses: launch a
+cluster for the system, connect a
+:class:`~repro.wire.session.RemoteNetworkSession` to it, and hand the
+supervisor to the session so ``close()`` tears the processes down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.system import PeerSystem
+from ..net.errors import NetworkError
+
+__all__ = ["ClusterError", "ClusterSupervisor", "free_port",
+           "open_wire_session"]
+
+#: the src/ directory this package was imported from — child processes
+#: must resolve ``repro`` the same way
+_SRC_DIR = Path(__file__).resolve().parents[2]
+
+
+class ClusterError(NetworkError):
+    """A peer server process failed to start, died early, or would not
+    stop."""
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned currently-free TCP port on ``host``.
+
+    Bind-and-release: a racing process could grab the port before the
+    server does, but the supervisor detects that as a failed ``READY``
+    wait and reports it typed instead of hanging.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+class _ReadyWatcher:
+    """Read one child's stdout until its READY line (on a thread, so a
+    wedged child cannot hang the supervisor)."""
+
+    def __init__(self, peer: str, process: subprocess.Popen) -> None:
+        self.peer = peer
+        self.process = process
+        self.ready = threading.Event()
+        self.address: Optional[str] = None
+        self.thread = threading.Thread(target=self._watch,
+                                       name=f"ready-{peer}", daemon=True)
+        self.thread.start()
+
+    def _watch(self) -> None:
+        stream = self.process.stdout
+        if stream is None:  # pragma: no cover - spawn always pipes
+            return
+        try:
+            for line in stream:
+                parts = line.split()
+                if len(parts) >= 3 and parts[0] == "READY":
+                    self.address = parts[2]
+                    self.ready.set()
+                    return
+        except (OSError, ValueError):
+            pass  # stream closed under us during teardown
+        # EOF without READY: the child died during startup — signal
+        # anyway (address stays None) so start() fails fast instead of
+        # sitting out the whole startup timeout
+        self.ready.set()
+
+
+class ClusterSupervisor:
+    """Launch and supervise one ``repro serve`` process per peer."""
+
+    def __init__(self, system: Union[PeerSystem, str, Path], *,
+                 host: str = "127.0.0.1",
+                 data_dir: Optional[Union[str, Path]] = None,
+                 hop_budget: Optional[int] = None,
+                 retries: int = 2,
+                 timeout: Optional[float] = None,
+                 default_method: str = "auto",
+                 snapshot_every: int = 64,
+                 startup_timeout: float = 60.0,
+                 python: str = sys.executable) -> None:
+        self.host = host
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.hop_budget = hop_budget
+        self.retries = retries
+        self.timeout = timeout
+        self.default_method = default_method
+        self.snapshot_every = snapshot_every
+        self.startup_timeout = startup_timeout
+        self.python = python
+        self._own_system_file: Optional[Path] = None
+        if isinstance(system, PeerSystem):
+            # the servers need the definition as a file; park it in a
+            # temp location owned (and deleted) by this supervisor
+            from ..core.io import system_to_dict
+            handle = tempfile.NamedTemporaryFile(
+                "w", prefix="repro-cluster-", suffix=".json",
+                delete=False, encoding="utf-8")
+            with handle:
+                json.dump(system_to_dict(system), handle, sort_keys=True)
+            self._own_system_file = Path(handle.name)
+            self.system_path = self._own_system_file
+            self.peers = tuple(sorted(system.peers))
+        else:
+            from ..core.io import load_system
+            self.system_path = Path(system)
+            self.peers = tuple(sorted(
+                load_system(str(self.system_path)).peers))
+        self.processes: dict[str, subprocess.Popen] = {}
+        self._addresses: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> dict[str, str]:
+        """Spawn every peer server; return ``{peer: "host:port"}``.
+
+        Blocks until all servers print ``READY``; on any startup
+        failure the whole cluster is torn down and a typed
+        :class:`ClusterError` names the peer that never came up.
+        """
+        if self.processes:
+            raise ClusterError("cluster already started")
+        addresses = {peer: f"{self.host}:{free_port(self.host)}"
+                     for peer in self.peers}
+        peers_spec = ",".join(f"{peer}={address}"
+                              for peer, address in addresses.items())
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(_SRC_DIR) + os.pathsep
+                             + env.get("PYTHONPATH", "")).rstrip(
+                                 os.pathsep)
+        watchers = []
+        try:
+            for peer in self.peers:
+                port = addresses[peer].rpartition(":")[2]
+                command = [self.python, "-m", "repro", "serve",
+                           str(self.system_path), peer,
+                           "--host", self.host, "--port", port,
+                           "--peers", peers_spec,
+                           "--retries", str(self.retries),
+                           "--method", self.default_method,
+                           "--snapshot-every", str(self.snapshot_every)]
+                if self.hop_budget is not None:
+                    command += ["--hops", str(self.hop_budget)]
+                if self.timeout is not None:
+                    command += ["--timeout", str(self.timeout)]
+                if self.data_dir is not None:
+                    command += ["--data-dir", str(self.data_dir)]
+                process = subprocess.Popen(
+                    command, env=env, stdout=subprocess.PIPE, text=True)
+                self.processes[peer] = process
+                watchers.append(_ReadyWatcher(peer, process))
+            deadline = time.monotonic() + self.startup_timeout
+            for watcher in watchers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not watcher.ready.wait(remaining):
+                    raise ClusterError(
+                        f"peer server {watcher.peer!r} did not report "
+                        f"READY within {self.startup_timeout}s "
+                        f"(exit code "
+                        f"{watcher.process.poll()})")
+                if watcher.address is None:
+                    raise ClusterError(
+                        f"peer server {watcher.peer!r} exited before "
+                        f"reporting READY (exit code "
+                        f"{watcher.process.wait()})")
+        except BaseException:
+            self.stop()
+            raise
+        self._addresses = addresses
+        return dict(addresses)
+
+    def addresses(self) -> dict[str, str]:
+        if not self._addresses:
+            raise ClusterError("cluster not started")
+        return dict(self._addresses)
+
+    # ------------------------------------------------------------------
+    def alive(self, peer: str) -> bool:
+        process = self._process(peer)
+        return process.poll() is None
+
+    def kill(self, peer: str) -> None:
+        """Crash one peer process hard (SIGKILL): no flush, no
+        goodbye — the fault-drill primitive."""
+        process = self._process(peer)
+        process.kill()
+        process.wait(timeout=10)
+        self._close_stdout(process)
+
+    def _process(self, peer: str) -> subprocess.Popen:
+        try:
+            return self.processes[peer]
+        except KeyError:
+            raise ClusterError(f"no server process for peer {peer!r}"
+                               ) from None
+
+    def stop(self, grace: float = 10.0) -> None:
+        """Terminate every server (SIGTERM, then SIGKILL stragglers).
+
+        SIGTERM gives durable nodes the clean shutdown that flushes
+        their answer and fetch caches to disk — what makes the next
+        start a *warm* restart.
+        """
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + grace
+        for process in self.processes.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+            self._close_stdout(process)
+        self.processes.clear()
+        self._addresses.clear()
+        if self._own_system_file is not None:
+            self._own_system_file.unlink(missing_ok=True)
+            self._own_system_file = None
+
+    @staticmethod
+    def _close_stdout(process: subprocess.Popen) -> None:
+        if process.stdout is not None:
+            try:
+                process.stdout.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "up" if self._addresses else "down"
+        return (f"ClusterSupervisor({list(self.peers)}, {state}, "
+                f"system={str(self.system_path)!r})")
+
+
+def open_wire_session(system: Union[PeerSystem, str, Path], *,
+                      default_method: str = "auto",
+                      retries: int = 2,
+                      timeout: Optional[float] = None,
+                      request_timeout: float = 30.0,
+                      **cluster_kwargs):
+    """Launch a cluster for ``system`` and connect a session to it.
+
+    The returned :class:`~repro.wire.session.RemoteNetworkSession` owns
+    the supervisor: ``close()`` (or leaving its ``with`` block) shuts
+    every peer process down.  Extra keyword arguments go to
+    :class:`ClusterSupervisor` (``data_dir``, ``host``, ``hop_budget``,
+    ``snapshot_every``, ``startup_timeout``).
+    """
+    from .session import RemoteNetworkSession
+    supervisor = ClusterSupervisor(
+        system, default_method=default_method, retries=retries,
+        timeout=timeout, **cluster_kwargs)
+    supervisor.start()
+    try:
+        return RemoteNetworkSession(
+            supervisor.addresses(), default_method=default_method,
+            retries=retries, timeout=timeout,
+            request_timeout=request_timeout, supervisor=supervisor)
+    except BaseException:
+        # the session never took ownership: without this, a bad session
+        # argument would orphan every just-spawned server process
+        supervisor.stop()
+        raise

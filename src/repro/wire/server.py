@@ -1,0 +1,300 @@
+"""The peer server: one OS process serving one peer over TCP.
+
+A :class:`PeerServer` hosts exactly one
+:class:`~repro.net.node.PeerNode` — the peer's schema, its instance
+slice, the DECs it owns, its trust edges, optionally durable under a
+``data_dir`` — behind a listening socket speaking the
+:mod:`repro.wire.codec` frame protocol.  Outbound requests (the
+hop-by-hop gathers the node makes while answering) go through a
+:class:`~repro.wire.transport.SocketTransport` dialled at the
+*other* peers' addresses, so a set of these processes forms exactly the
+paper's network of autonomous sites: every byte between peers crosses a
+real socket.
+
+The server is deliberately also usable in-process (``start()`` runs the
+accept loop on a daemon thread): the socket-transport unit tests and
+the WC1 benchmark exercise real TCP framing without paying process
+startup; ``python -m repro serve`` wraps :func:`run_server` for the
+real cross-process deployment, and :mod:`repro.wire.cluster` spawns
+one such process per peer.
+
+Concurrency model: one thread per accepted connection; the node's own
+locks serialise answering, exactly as for the in-process transports.
+A connection serves frames in order (request, reply, request, ...);
+malformed frames are answered with a typed
+:class:`~repro.net.protocol.Failure` and the connection is closed, so
+a desynced stream can never smear into later replies.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from ..core.system import PeerSystem
+from ..net.errors import NetworkError
+from ..net.network import PeerNetwork
+from ..net.node import PeerNode
+from ..net.protocol import Failure, Message
+from .codec import (
+    WireProtocolError,
+    check_hello,
+    encode_frame,
+    hello_frame,
+    message_from_dict,
+    message_to_dict,
+    read_frame,
+)
+from .transport import Address, SocketTransport, format_address
+
+__all__ = ["PeerServer", "build_peer_node"]
+
+
+def build_peer_node(system: PeerSystem, peer: str, *,
+                    default_method: str = "auto",
+                    include_local_ics: bool = True,
+                    evaluator: str = "planner",
+                    data_dir: Optional[Union[str, Path]] = None,
+                    snapshot_every: int = 64) -> PeerNode:
+    """One peer's node, seeded with only its local slice of ``system``.
+
+    The system definition is authoritative: after construction the
+    node's store is moved to the definition's instance (mirroring the
+    CLI's ``network --data-dir`` contract), so a durable node that
+    resumed *older* disk state logs the difference as a delta — which is
+    precisely what lets neighbours re-sync by delta instead of
+    re-fetching full relations after a restart — and every node of the
+    cluster stamps the same content-derived system version.
+    """
+    if peer not in system.peers:
+        raise NetworkError(
+            f"system has no peer {peer!r}; it has "
+            f"{sorted(system.peers)}")
+    own_edges = [(owner, level, other)
+                 for owner, level, other in system.trust.edges()
+                 if owner == peer]
+    node = PeerNode(
+        system.peers[peer], system.instances[peer],
+        decs=system.decs_of(peer),
+        trust_edges=own_edges,
+        default_method=default_method,
+        include_local_ics=include_local_ics,
+        evaluator=evaluator,
+        data_dir=data_dir,
+        snapshot_every=snapshot_every)
+    node.update_instance(system.instances[peer], system.version())
+    return node
+
+
+class PeerServer:
+    """Serve one peer's node over a listening TCP socket."""
+
+    def __init__(self, system: PeerSystem, peer: str, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 addresses: Optional[Mapping[str, Union[str,
+                                                        Address]]] = None,
+                 data_dir: Optional[Union[str, Path]] = None,
+                 hop_budget: Optional[int] = None,
+                 retries: int = 2,
+                 timeout: Optional[float] = None,
+                 default_method: str = "auto",
+                 include_local_ics: bool = True,
+                 evaluator: str = "planner",
+                 snapshot_every: int = 64,
+                 request_timeout: float = 10.0,
+                 connect_timeout: float = 2.0) -> None:
+        self.node = build_peer_node(
+            system, peer,
+            default_method=default_method,
+            include_local_ics=include_local_ics,
+            evaluator=evaluator,
+            # the cluster-level directory, scoped per peer exactly like
+            # PeerNetwork.from_system(data_dir=...) scopes its nodes
+            data_dir=(Path(data_dir) / peer
+                      if data_dir is not None else None),
+            snapshot_every=snapshot_every)
+        self.peer = peer
+        remote = {name: value
+                  for name, value in (addresses or {}).items()
+                  if name != peer}
+        self.transport = SocketTransport(
+            remote, local_name=peer, timeout=request_timeout,
+            connect_timeout=connect_timeout)
+        # a single-node network: the node cannot see the global
+        # diameter, so the hop budget must cover the *whole* system
+        self.network = PeerNetwork(
+            [self.node], self.transport,
+            hop_budget=(hop_budget if hop_budget is not None
+                        else len(system.peers)),
+            retries=retries, timeout=timeout)
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+            self._listener.listen(64)
+            # a short accept timeout lets the loop notice shutdown
+            # promptly — closing a socket does not reliably wake a
+            # thread already blocked in accept()
+            self._listener.settimeout(0.2)
+        except OSError:
+            self._listener.close()
+            raise
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: set[socket.socket] = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return format_address((self.host, self.port))
+
+    def start(self) -> "PeerServer":
+        """Run the accept loop on a daemon thread (in-process use)."""
+        if self._accept_thread is not None:
+            raise NetworkError(f"server for {self.peer!r} already "
+                               f"started")
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"peer-server-{self.peer}", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`shutdown` (blocking)."""
+        while not self._shutdown.is_set():
+            try:
+                connection, _addr = self._listener.accept()
+            except socket.timeout:
+                continue  # poll the shutdown flag
+            except OSError:
+                break  # listener closed by shutdown (or dead): stop
+            connection.settimeout(None)  # serve blocking, per thread
+            with self._lock:
+                if self._shutdown.is_set():
+                    connection.close()
+                    break
+                self._connections.add(connection)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                name=f"peer-conn-{self.peer}", daemon=True)
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        stream = connection.makefile("rb")
+        try:
+            connection.setsockopt(socket.IPPROTO_TCP,
+                                  socket.TCP_NODELAY, 1)
+            frame = read_frame(stream)
+            if frame is None:
+                return
+            # reply with our hello before judging theirs, so a client
+            # from another protocol release sees *our* version in its
+            # own handshake check rather than a silent hangup
+            connection.sendall(encode_frame(hello_frame(self.peer)))
+            check_hello(frame)
+            while not self._shutdown.is_set():
+                frame = read_frame(stream)
+                if frame is None:
+                    return  # clean EOF between frames
+                if not self._serve_frame(connection, frame):
+                    return
+        except WireProtocolError as exc:
+            self._try_send_failure(connection, 0, "protocol", str(exc))
+        except OSError:
+            pass  # client went away mid-frame; nothing to tell it
+        finally:
+            try:
+                stream.close()
+                connection.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._connections.discard(connection)
+
+    def _serve_frame(self, connection: socket.socket,
+                     frame: dict) -> bool:
+        """Serve one decoded frame; False closes the connection."""
+        correlation = frame.get("correlation_id", 0)
+        try:
+            message = message_from_dict(frame)
+        except WireProtocolError as exc:
+            # mismatched vocabulary: answer typed, then hang up
+            self._try_send_failure(connection, correlation, "protocol",
+                                   str(exc))
+            return False
+        try:
+            reply: Message = self.node.handle(message)
+        except Exception as exc:  # a node bug must not kill the server
+            reply = Failure(sender=self.peer, target=message.sender,
+                            in_reply_to=message.correlation_id,
+                            code="internal",
+                            detail=f"{type(exc).__name__}: {exc}")
+        try:
+            payload = encode_frame(message_to_dict(reply))
+        except WireProtocolError as exc:
+            # un-encodable payload (exotic domain values): typed reply
+            self._try_send_failure(
+                connection, message.correlation_id, "protocol",
+                f"reply not wire-encodable: {exc}")
+            return True
+        connection.sendall(payload)
+        return True
+
+    def _try_send_failure(self, connection: socket.socket,
+                          in_reply_to: int, code: str,
+                          detail: str) -> None:
+        failure = Failure(sender=self.peer, target="",
+                          in_reply_to=in_reply_to, code=code,
+                          detail=detail)
+        try:
+            connection.sendall(encode_frame(message_to_dict(failure)))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop accepting, drop live connections, flush the node.
+
+        Safe to call more than once; flushing (``network.close``) is
+        what persists a durable node's answer and fetch caches, so a
+        graceful shutdown is the difference between a warm and a cold
+        restart.
+        """
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        if (self._accept_thread is not None
+                and self._accept_thread is not threading.current_thread()):
+            self._accept_thread.join(timeout=2.0)
+        self.network.close()
+
+    def __enter__(self) -> "PeerServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"PeerServer({self.peer!r} @ {self.address}, "
+                f"neighbours={list(self.transport.addresses())})")

@@ -1,0 +1,297 @@
+""":class:`SocketTransport` — the :class:`~repro.net.transport.Transport`
+ABC over TCP.
+
+The transport maps peer names to ``host:port`` addresses and delivers
+each request as one wire frame (:mod:`repro.wire.codec`), returning the
+decoded reply frame.  It slots under the existing
+:class:`~repro.net.network.PeerNetwork` unchanged, which is the whole
+point: the retry machinery, fan-out, and exchange accounting built for
+the in-process transports drive real sockets without modification.
+
+Behaviour contracts (mirroring the in-process transports):
+
+* **connection pooling** — one small pool of handshaken connections per
+  target; a request borrows a connection, makes its round trip, and
+  returns it for reuse.  Any error discards the connection (a timed-out
+  request's late reply must never desync a reused stream).
+* **per-request deadlines** — ``connect_timeout`` bounds dialing,
+  ``timeout`` bounds each round trip; expiry raises the *retryable*
+  :class:`~repro.net.errors.MessageDropped` /
+  :class:`~repro.net.errors.PeerDown`, so
+  :class:`~repro.net.network.PeerNetwork`'s retry budget and typed
+  ``peer-unreachable`` end-state just work.
+* **exact traffic accounting** — every decoded :class:`Answer` is
+  stamped with the byte length of its encoded reply frame, replacing
+  the in-process size heuristic with the true wire cost (see
+  :attr:`ExchangeStats.bytes_estimate
+  <repro.core.results.ExchangeStats>`).
+
+Targets without an address fall back to a locally registered handler
+(that is what :meth:`register` stores), so a server process can route
+to its own node without a loopback socket; a target with neither raises
+:class:`~repro.net.errors.PeerDown`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Mapping, Optional, Union
+
+from ..net.errors import MessageDropped, PeerDown
+from ..net.protocol import Answer, Message
+from ..net.transport import FaultPlan, Handler, Transport
+from .codec import (
+    MAX_FRAME_BYTES,
+    WireProtocolError,
+    check_hello,
+    decode_frame,
+    encode_frame,
+    encode_message,
+    hello_frame,
+    message_from_dict,
+    read_frame,
+)
+
+__all__ = ["SocketTransport", "parse_address", "format_address"]
+
+Address = tuple[str, int]
+
+
+def parse_address(value: Union[str, Address]) -> Address:
+    """``"host:port"`` (or an ``(host, port)`` pair) → ``(host, port)``."""
+    if isinstance(value, tuple):
+        host, port = value
+        return str(host), int(port)
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise WireProtocolError(
+            f"peer address must look like 'host:port', got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise WireProtocolError(
+            f"peer address has a non-numeric port: {value!r}") from None
+
+
+def format_address(address: Address) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+class _Connection:
+    """One handshaken TCP connection to a peer server."""
+
+    def __init__(self, address: Address, *, local_name: str,
+                 connect_timeout: float, timeout: float) -> None:
+        self.address = address
+        self.sock = socket.create_connection(address,
+                                             timeout=connect_timeout)
+        self.sock.settimeout(timeout)
+        # cheap for our small request/response frames: don't batch them
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.stream = self.sock.makefile("rb")
+        try:
+            self.sock.sendall(encode_frame(hello_frame(local_name)))
+            reply = read_frame(self.stream)
+            if reply is None:
+                raise WireProtocolError(
+                    f"{format_address(address)} closed the connection "
+                    f"during the handshake")
+            check_hello(reply)
+        except socket.timeout:
+            # the dial succeeded, the *handshake read* stalled — name
+            # the right phase and the right timeout (retryable: the
+            # peer may just be overloaded)
+            self.close()
+            raise PeerDown(
+                f"{format_address(address)} accepted the connection "
+                f"but did not complete the wire handshake within "
+                f"{timeout}s") from None
+        except BaseException:
+            self.close()
+            raise
+
+    def round_trip(self, message: Message) -> tuple[Message, int]:
+        """Send one request frame, read one reply frame.
+
+        Returns ``(reply, reply_frame_bytes)`` — the frame length is the
+        exact wire size the traffic accounting records.  EOF instead of
+        a reply raises :class:`ConnectionResetError` (a *retryable*
+        condition: the typical cause is a server that died or restarted
+        under a pooled connection, and the retry's fresh dial will find
+        out which); only decodable-but-wrong frames are protocol errors.
+        """
+        self.sock.sendall(encode_message(message))
+        # capped read: the frame-size protection must hold on *both*
+        # sides of the wire, or a corrupt peer could balloon a
+        # requester's memory with one endless unterminated line
+        line = self.stream.readline(MAX_FRAME_BYTES + 1)
+        if len(line) > MAX_FRAME_BYTES:
+            raise WireProtocolError(
+                f"reply from {format_address(self.address)} exceeds "
+                f"the {MAX_FRAME_BYTES}-byte frame cap")
+        if not line or not line.endswith(b"\n"):
+            raise ConnectionResetError(
+                f"{format_address(self.address)} closed the connection "
+                f"mid-reply")
+        return message_from_dict(decode_frame(line)), len(line)
+
+    def close(self) -> None:
+        try:
+            self.stream.close()
+        except (OSError, AttributeError):
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class SocketTransport(Transport):
+    """Typed protocol messages over pooled TCP connections."""
+
+    def __init__(self,
+                 addresses: Optional[Mapping[str, Union[str,
+                                                        Address]]] = None,
+                 *, local_name: str = "client",
+                 timeout: float = 10.0,
+                 connect_timeout: float = 2.0,
+                 pool_size: int = 4,
+                 faults: Optional[FaultPlan] = None) -> None:
+        super().__init__(faults)
+        if timeout <= 0 or connect_timeout <= 0:
+            raise WireProtocolError(
+                "socket timeouts must be > 0 seconds")
+        self.local_name = local_name
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.pool_size = pool_size
+        self._addresses: dict[str, Address] = {
+            name: parse_address(value)
+            for name, value in (addresses or {}).items()}
+        self._handlers: dict[str, Handler] = {}
+        self._pools: dict[str, list[_Connection]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def register(self, name: str, handler: Handler) -> None:
+        """Attach a local node's handler (used when ``name`` has no
+        socket address — the server process's own peer)."""
+        self._handlers[name] = handler
+
+    def set_address(self, name: str, address: Union[str, Address]) -> None:
+        self._addresses[name] = parse_address(address)
+
+    def addresses(self) -> dict[str, str]:
+        return {name: format_address(address)
+                for name, address in sorted(self._addresses.items())}
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request(self, message: Message) -> Message:
+        target = message.target
+        if self.faults.is_down(target):
+            raise PeerDown(f"peer {target!r} is down")
+        address = self._addresses.get(target)
+        if address is None:
+            handler = self._handlers.get(target)
+            if handler is None:
+                raise PeerDown(
+                    f"no address or local node for peer {target!r}")
+            return handler(message)
+        if self.faults.dropped():
+            raise MessageDropped(
+                f"message {message.correlation_id} to {target!r} was "
+                f"dropped")
+        connection = self._borrow(target, address)
+        try:
+            reply, frame_bytes = connection.round_trip(message)
+        except socket.timeout:
+            connection.close()
+            raise MessageDropped(
+                f"no reply from {target!r} at "
+                f"{format_address(address)} within {self.timeout}s"
+            ) from None
+        except WireProtocolError:
+            connection.close()
+            raise
+        except OSError as exc:
+            connection.close()
+            raise MessageDropped(
+                f"connection to {target!r} at "
+                f"{format_address(address)} failed mid-request: {exc}"
+            ) from exc
+        except BaseException:
+            connection.close()
+            raise
+        in_reply_to = getattr(reply, "in_reply_to", None)
+        if in_reply_to != message.correlation_id:
+            # the stream is one frame out of step: discard it *before*
+            # anyone can reuse it, or the desync smears into replies
+            # for unrelated requests
+            connection.close()
+            raise WireProtocolError(
+                f"reply correlation mismatch from {target!r}: asked "
+                f"{message.correlation_id}, got {in_reply_to}")
+        self._give_back(target, connection)
+        if isinstance(reply, Answer):
+            # exact traffic accounting: the reply's true encoded size
+            # replaces the in-process estimate (bypasses the frozen
+            # dataclass exactly like Answer.__post_init__ does)
+            object.__setattr__(reply, "bytes_estimate", frame_bytes)
+        return reply
+
+    # ------------------------------------------------------------------
+    # The connection pool
+    # ------------------------------------------------------------------
+    def _borrow(self, target: str, address: Address) -> _Connection:
+        with self._lock:
+            pool = self._pools.get(target)
+            if pool:
+                return pool.pop()
+        try:
+            return _Connection(address, local_name=self.local_name,
+                               connect_timeout=self.connect_timeout,
+                               timeout=self.timeout)
+        except socket.timeout:
+            raise PeerDown(
+                f"peer {target!r} at {format_address(address)} did not "
+                f"accept within {self.connect_timeout}s") from None
+        except ConnectionError as exc:
+            raise PeerDown(
+                f"peer {target!r} at {format_address(address)} refused "
+                f"the connection: {exc}") from exc
+        except OSError as exc:
+            raise PeerDown(
+                f"cannot reach peer {target!r} at "
+                f"{format_address(address)}: {exc}") from exc
+
+    def _give_back(self, target: str, connection: _Connection) -> None:
+        with self._lock:
+            if not self._closed:
+                pool = self._pools.setdefault(target, [])
+                if len(pool) < self.pool_size:
+                    pool.append(connection)
+                    return
+        connection.close()
+
+    def pooled_connections(self, target: str) -> int:
+        """How many idle connections the pool holds for ``target``."""
+        with self._lock:
+            return len(self._pools.get(target, ()))
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            for connection in pool:
+                connection.close()
+
+    def __repr__(self) -> str:
+        return (f"SocketTransport({self.addresses()}, "
+                f"local_name={self.local_name!r})")

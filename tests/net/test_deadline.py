@@ -1,0 +1,117 @@
+"""The end-to-end request deadline (``timeout=``) on the network.
+
+A slow link used to only burn retries: each message send could wait a
+full transport timeout, and nothing bounded the *operation*.  With
+``timeout=`` the whole answer has one budget; expiry surfaces as a
+typed ``deadline-exceeded`` :class:`~repro.core.results.QueryError` on
+the result — never a hang, never a traceback.
+"""
+
+import time
+
+import pytest
+
+from repro.net import (
+    DeadlineExceeded,
+    NetworkError,
+    NetworkSession,
+    PeerNetwork,
+    ThreadedTransport,
+)
+from repro.workloads import example1_system, topology_system
+
+QUERY = "q(X, Y) := R0(X, Y)"
+
+
+def test_tight_budget_expires_typed():
+    system = topology_system(5, topology="star", n_tuples=4, seed=2)
+    session = NetworkSession(system,
+                             transport=ThreadedTransport(latency=0.05),
+                             timeout=0.02)
+    try:
+        start = time.perf_counter()
+        result = session.answer("P0", QUERY)
+        wall = time.perf_counter() - start
+        assert result.failed
+        assert result.error.code == "deadline-exceeded"
+        assert wall < 30.0  # bounded: budget + one transport wait
+    finally:
+        session.close()
+
+
+def test_generous_budget_answers_normally():
+    system = topology_system(4, topology="star", n_tuples=4, seed=2)
+    session = NetworkSession(system,
+                             transport=ThreadedTransport(latency=0.001),
+                             timeout=60.0)
+    try:
+        result = session.answer("P0", QUERY)
+        assert result.ok, result.error
+    finally:
+        session.close()
+
+
+def test_deadline_does_not_outlive_its_operation():
+    """After one query expires, the next (with a warm-enough budget)
+    starts a fresh budget instead of inheriting the spent one."""
+    system = topology_system(4, topology="star", n_tuples=4, seed=7)
+    transport = ThreadedTransport(link_latency={("P0", "P1"): 0.2})
+    session = NetworkSession(system, transport=transport, timeout=0.05)
+    try:
+        first = session.answer("P0", QUERY)
+        assert first.failed
+        assert first.error.code == "deadline-exceeded"
+        # the view gather never completed, so the retry recomputes; the
+        # budget is per-operation, so it gets its full 50ms again (and
+        # fails again on the same slow link — but from a fresh budget,
+        # which the elapsed time shows)
+        second = session.answer("P0", QUERY)
+        assert second.failed
+        assert second.error.code == "deadline-exceeded"
+    finally:
+        session.close()
+
+
+def test_invalid_timeout_rejected():
+    system = example1_system()
+    with pytest.raises(NetworkError, match="timeout must be > 0"):
+        PeerNetwork.from_system(system, timeout=0)
+
+
+def test_timeout_with_existing_network_rejected():
+    system = example1_system()
+    network = PeerNetwork.from_system(system)
+    try:
+        with pytest.raises(NetworkError, match="when the network is "
+                                               "built"):
+            NetworkSession(network, timeout=5.0)
+    finally:
+        network.close()
+
+
+def test_check_deadline_raises_only_inside_scope():
+    system = example1_system()
+    network = PeerNetwork.from_system(system, timeout=0.001)
+    try:
+        network.check_deadline()  # no active operation: no-op
+        with network.operation_deadline():
+            time.sleep(0.005)
+            with pytest.raises(DeadlineExceeded):
+                network.check_deadline()
+        network.check_deadline()  # scope exited: no-op again
+    finally:
+        network.close()
+
+
+def test_cli_timeout_flag(tmp_path, capsys):
+    import json
+    from repro.__main__ import main
+    from repro.core.io import system_to_dict
+    path = tmp_path / "system.json"
+    path.write_text(json.dumps(system_to_dict(example1_system())))
+    # generous budget: behaves exactly like no budget
+    status = main(["network", str(path), "P1", "q(X, Y) := R1(X, Y)",
+                   "--timeout", "60"])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "peer consistent answers" in out

@@ -1,0 +1,99 @@
+"""CLI coverage for the wire runtime: ``serve`` and ``cluster``."""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import dump_system
+from repro.wire import RemoteNetworkSession, free_port
+from repro.workloads import example1_system
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture()
+def system_file(tmp_path):
+    path = tmp_path / "system.json"
+    dump_system(example1_system(), str(path))
+    return str(path)
+
+
+class TestClusterCommand:
+    def test_answers_match_the_query_command(self, system_file, capsys):
+        code = main(["cluster", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster up: 3 peer process(es)" in out
+        assert "a, b" in out and "c, d" in out and "a, e" in out
+        assert "s, t" not in out
+
+    def test_json_output(self, system_file, capsys):
+        code = main(["cluster", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(map(tuple, payload["answers"])) == \
+            [("a", "b"), ("a", "e"), ("c", "d")]
+        assert payload["error"] is None
+
+    def test_unknown_peer_is_a_clean_error(self, system_file, capsys):
+        code = main(["cluster", system_file, "P9",
+                     "q(X, Y) := R1(X, Y)"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+
+class TestServeCommand:
+    def test_serve_process_answers_and_stops_on_sigterm(
+            self, system_file):
+        import os
+        port = free_port()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", system_file,
+             "P2", "--port", str(port)],
+            env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            ready = process.stdout.readline()
+            assert ready.startswith("READY P2 ")
+            address = ready.split()[2]
+            with RemoteNetworkSession({"P2": address}) as session:
+                result = session.answer("P2", "q(X, Y) := R2(X, Y)")
+                assert result.ok, result.error
+                assert result.answers
+            process.terminate()
+            assert process.wait(timeout=15) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+            process.stdout.close()
+
+
+class TestDurableClusterCli:
+    def test_rerun_against_data_dir_is_warm(self, system_file,
+                                            tmp_path, capsys):
+        data_dir = str(tmp_path / "cluster-state")
+        code = main(["cluster", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--data-dir", data_dir])
+        assert code == 0
+        capsys.readouterr()
+        start = time.perf_counter()
+        code = main(["cluster", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--data-dir", data_dir,
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["from_cache"] is True
+        assert payload["exchange_requests"] == 0
+        assert time.perf_counter() - start < 120

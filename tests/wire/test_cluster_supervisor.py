@@ -1,0 +1,52 @@
+"""Supervisor lifecycle edge cases: fast failures, no leaked processes."""
+
+import glob
+import subprocess
+import time
+
+import pytest
+
+from repro.net import NetworkError
+from repro.wire import ClusterError, ClusterSupervisor, open_wire_session
+from repro.wire.codec import WireProtocolError
+from repro.workloads import example1_system
+
+
+def _no_cluster_processes() -> bool:
+    """No spawned ``repro serve`` process is still running (they all
+    carry the supervisor's repro-cluster-* temp path on their
+    command line)."""
+    probe = subprocess.run(["pgrep", "-f", "repro-cluster-"],
+                           capture_output=True)
+    return probe.returncode != 0
+
+
+def test_dead_child_fails_fast_not_after_the_full_timeout():
+    """A server that exits immediately (invalid arguments) must fail
+    start() as soon as its stdout closes, not after startup_timeout."""
+    supervisor = ClusterSupervisor(example1_system(), retries=-1,
+                                   startup_timeout=60.0)
+    own_file = supervisor._own_system_file
+    start = time.monotonic()
+    with pytest.raises(ClusterError, match="exited before"):
+        supervisor.start()
+    assert time.monotonic() - start < 30.0
+    assert not supervisor.processes  # torn down
+    assert not own_file.exists()  # temp definition cleaned up
+
+
+def test_failed_session_construction_stops_the_cluster():
+    """open_wire_session must not orphan the spawned processes when the
+    client session itself cannot be built."""
+    before = set(glob.glob("/tmp/repro-cluster-*.json"))
+    with pytest.raises(WireProtocolError, match="timeouts must be > 0"):
+        open_wire_session(example1_system(), request_timeout=0)
+    assert _no_cluster_processes()
+    assert set(glob.glob("/tmp/repro-cluster-*.json")) == before
+
+
+def test_open_session_wire_rejects_foreign_kwargs_typed():
+    from repro.net import open_session
+    with pytest.raises(NetworkError, match="do not apply to the wire"):
+        open_session(example1_system(), network="wire",
+                     evaluator="naive")

@@ -1,0 +1,314 @@
+"""Property suite: every wire frame decodes back to what was encoded.
+
+Seeded random generation (no flakes, reproducible failures) over the
+whole message vocabulary, stressing exactly what a JSON wire format
+gets wrong first: unicode constants (accents, CJK, emoji, embedded
+newlines/quotes/backslashes), mixed-type rows (ints and strings in one
+column), empty relations, and multi-step delta chains.  Beyond
+equality, shipped instances must keep their *content fingerprints* —
+that is what makes versioned delta sync correct across processes.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.core.results import ExchangeStats, QueryError, QueryResult
+from repro.core.system import DataExchange, Peer
+from repro.core.trust import TrustLevel
+from repro.net.protocol import (
+    Answer,
+    AnswerQuery,
+    Failure,
+    FetchRelation,
+    PeerQuery,
+)
+from repro.relational.constraints import InclusionDependency
+from repro.relational.instance import DatabaseInstance
+from repro.relational.query_parser import parse_query
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.storage.deltas import delta_between, merge_relation_rows
+from repro.wire import decode_message, encode_message
+from repro.wire.codec import (
+    WireProtocolError,
+    check_hello,
+    encode_frame,
+    hello_frame,
+    read_frame,
+    result_from_dict,
+    result_to_dict,
+)
+
+SEEDS = range(25)
+
+#: alphabets chosen to break naive encodings: escapes, non-BMP, RTL,
+#: JSON syntax characters, whitespace
+_ALPHABETS = (
+    "abcdefgh",
+    "éüñß-ÅØ",
+    "数据库系统",
+    "🛰🔌🧵",
+    "عربى",
+    "\n\t\"\\,:{}[]' ",
+)
+
+
+def rand_value(rng: random.Random):
+    kind = rng.randrange(3)
+    if kind == 0:
+        return rng.randint(-10_000, 10_000)
+    alphabet = rng.choice(_ALPHABETS)
+    return "".join(rng.choice(alphabet)
+                   for _ in range(rng.randint(0, 6)))
+
+
+def rand_row(rng: random.Random, arity: int) -> tuple:
+    return tuple(rand_value(rng) for _ in range(arity))
+
+
+def rand_rows(rng: random.Random, arity: int, *,
+              allow_empty: bool = True) -> tuple:
+    low = 0 if allow_empty else 1
+    return tuple(rand_row(rng, arity)
+                 for _ in range(rng.randint(low, 8)))
+
+
+# ---------------------------------------------------------------------------
+# Request messages
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fetch_relation_roundtrip(seed):
+    rng = random.Random(seed)
+    message = FetchRelation(
+        sender=f"P{rng.randrange(9)}", target=f"Q{rng.randrange(9)}",
+        relation=rng.choice(("R1", "data", "числа")),
+        purpose=rng.choice(("", "subsystem gather", "délta ✓")),
+        known_version=rng.choice(("", "sha256:deadbeef")))
+    assert decode_message(encode_message(message)) == message
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_peer_query_roundtrip(seed):
+    rng = random.Random(seed)
+    message = PeerQuery(
+        sender="P1", target="P2",
+        hop_budget=rng.randint(0, 16),
+        visited=tuple(f"P{i}" for i in range(rng.randint(0, 5))))
+    assert decode_message(encode_message(message)) == message
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_answer_query_roundtrip(seed):
+    rng = random.Random(seed)
+    message = AnswerQuery(
+        sender="client", target="P1",
+        query="q(X, Y) := R1(X, Y)",
+        method=rng.choice(("", "auto", "asp", "rewrite")),
+        semantics=rng.choice(("certain", "possible")))
+    assert decode_message(encode_message(message)) == message
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_failure_roundtrip(seed):
+    rng = random.Random(seed)
+    message = Failure(
+        sender="P2", target="P1", in_reply_to=rng.randint(1, 99999),
+        code=rng.choice(("unknown-relation", "hop-budget-exhausted",
+                         "deadline-exceeded")),
+        detail="".join(rng.choice("".join(_ALPHABETS))
+                       for _ in range(rng.randint(0, 40))))
+    assert decode_message(encode_message(message)) == message
+
+
+# ---------------------------------------------------------------------------
+# Answers: rows, deltas, results
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rows_answer_roundtrip(seed):
+    rng = random.Random(seed)
+    rows = rand_rows(rng, rng.randint(1, 4))
+    message = Answer(sender="P2", target="P1",
+                     in_reply_to=rng.randint(1, 99999),
+                     payload=rows, version="v-abc",
+                     bytes_estimate=rng.randint(1, 9999))
+    decoded = decode_message(encode_message(message))
+    assert decoded == message
+    assert decoded.payload == rows
+
+
+def test_empty_relation_roundtrip():
+    message = Answer(sender="P2", target="P1", in_reply_to=7,
+                     payload=(), version="v-empty", bytes_estimate=3)
+    decoded = decode_message(encode_message(message))
+    assert decoded.payload == ()
+    assert decoded.version == "v-empty"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_delta_chain_roundtrip_preserves_fingerprints(seed):
+    """A delta chain collapsed and shipped over the wire must land the
+    requester on the provider's exact content fingerprint."""
+    rng = random.Random(seed)
+    schema = DatabaseSchema([RelationSchema("R", 2)])
+    rows = set(rand_rows(rng, 2, allow_empty=False))
+    instances = [DatabaseInstance(schema, {"R": rows})]
+    for _step in range(rng.randint(1, 4)):
+        rows = set(rows)
+        if rows and rng.random() < 0.6:
+            rows.discard(rng.choice(sorted(rows, key=repr)))
+        rows.add(rand_row(rng, 2))
+        instances.append(DatabaseInstance(schema, {"R": rows}))
+    chain = [delta_between(a, b)
+             for a, b in zip(instances, instances[1:])]
+    inserted, deleted = merge_relation_rows(chain, "R")
+    message = Answer(
+        sender="P2", target="P1", in_reply_to=1,
+        payload={"insert": tuple(sorted(inserted, key=repr)),
+                 "delete": tuple(sorted(deleted, key=repr))},
+        version=instances[-1].fingerprint(), delta=True,
+        bytes_estimate=17)
+    decoded = decode_message(encode_message(message))
+    assert decoded == message
+    base = instances[0].tuples("R")
+    replayed = ((base - frozenset(decoded.payload["delete"]))
+                | frozenset(decoded.payload["insert"]))
+    target = DatabaseInstance(schema, {"R": replayed})
+    assert target.fingerprint() == decoded.version
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_query_result_roundtrip(seed):
+    rng = random.Random(seed)
+    failed = rng.random() < 0.3
+    result = QueryResult(
+        peer=f"P{rng.randrange(5)}",
+        query=parse_query("q(X, Y) := R1(X, Y)"),
+        answers=frozenset() if failed else
+        frozenset(rand_rows(rng, 2)),
+        semantics=rng.choice(("certain", "possible")),
+        method_requested="auto",
+        method_used=rng.choice(("asp", "rewrite", "lav")),
+        solution_count=rng.choice((None, 0, rng.randint(1, 40))),
+        elapsed=rng.random() * 3,
+        exchange=ExchangeStats(rng.randint(0, 9), rng.randint(0, 99),
+                               rng.randint(0, 9999), rng.randint(0, 4)),
+        from_cache=rng.random() < 0.5,
+        error=QueryError(code="peer-unreachable", message="gone ✗",
+                         peer="P9") if failed else None,
+    )
+    revived = result_from_dict(result_to_dict(result))
+    assert revived.peer == result.peer
+    assert str(revived.query) == str(result.query)
+    assert revived.answers == result.answers
+    assert revived.semantics == result.semantics
+    assert revived.method_used == result.method_used
+    assert revived.method_requested == result.method_requested
+    assert revived.solution_count == result.solution_count
+    assert revived.elapsed == result.elapsed
+    assert revived.exchange == result.exchange
+    assert revived.from_cache == result.from_cache
+    assert (revived.error is None) == (result.error is None)
+    if result.error is not None:
+        assert revived.error == result.error
+
+
+# ---------------------------------------------------------------------------
+# Subsystem payloads (the gather's full vocabulary)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(10))
+def test_subsystem_payload_roundtrip(seed):
+    rng = random.Random(seed)
+    schema1 = DatabaseSchema([RelationSchema("R1", 2)])
+    schema2 = DatabaseSchema(
+        [RelationSchema("R2", 2, ("källa", "mål"))])
+    peer1 = Peer("P1", schema1)
+    peer2 = Peer("P2", schema2,
+                 [InclusionDependency("R2", "R2", name="self✓",
+                                      child_arity=2, parent_arity=2)])
+    instance2 = DatabaseInstance(schema2, {"R2": rand_rows(rng, 2)})
+    dec = DataExchange(
+        "P1", "P2", InclusionDependency("R1", "R2", name="Σ(P1,P2)",
+                                        child_arity=2, parent_arity=2))
+    payload = {
+        "peers": {"P1": peer1, "P2": peer2},
+        "instances": {"P2": instance2},
+        "decs": [dec],
+        "trust": [("P1", TrustLevel.SAME, "P2")],
+        "stats": ExchangeStats(3, 17, 412, 2),
+    }
+    message = Answer(sender="P2", target="P1", in_reply_to=5,
+                     payload=payload, bytes_estimate=99)
+    decoded = decode_message(encode_message(message))
+    revived = decoded.payload
+    assert set(revived["peers"]) == {"P1", "P2"}
+    assert revived["peers"]["P2"].schema == schema2
+    assert len(revived["peers"]["P2"].local_ics) == 1
+    # the shipped instance must keep its exact content fingerprint —
+    # versioned delta sync depends on it across processes
+    assert revived["instances"]["P2"].fingerprint() == \
+        instance2.fingerprint()
+    assert len(revived["decs"]) == 1
+    assert revived["decs"][0].owner == "P1"
+    assert revived["decs"][0].constraint.name == "Σ(P1,P2)"
+    assert revived["trust"] == [("P1", TrustLevel.SAME, "P2")]
+    assert revived["stats"] == payload["stats"]
+
+
+# ---------------------------------------------------------------------------
+# Framing and the handshake
+# ---------------------------------------------------------------------------
+
+def test_frames_are_single_lines_even_with_embedded_newlines():
+    message = Answer(sender="P2", target="P1", in_reply_to=1,
+                     payload=(("a\nb", "c\r\nd"),), bytes_estimate=9)
+    encoded = encode_message(message)
+    assert encoded.endswith(b"\n")
+    assert encoded.count(b"\n") == 1  # the terminator, nothing else
+    assert decode_message(encoded).payload == (("a\nb", "c\r\nd"),)
+
+
+def test_hello_handshake_accepts_itself():
+    check_hello(hello_frame("P1"))  # must not raise
+
+
+def test_hello_rejects_version_mismatch():
+    frame = hello_frame("P1")
+    frame["protocol"] = 999
+    with pytest.raises(WireProtocolError, match="version mismatch"):
+        check_hello(frame)
+
+
+def test_hello_rejects_wrong_magic():
+    with pytest.raises(WireProtocolError):
+        check_hello({"type": "hello", "wire": "http", "protocol": 1})
+
+
+def test_unknown_frame_type_is_typed():
+    with pytest.raises(WireProtocolError, match="unknown frame type"):
+        decode_message(b'{"type": "gossip", "sender": "a", '
+                       b'"target": "b", "correlation_id": 1}\n')
+
+
+def test_undecodable_frame_is_typed():
+    with pytest.raises(WireProtocolError, match="undecodable"):
+        decode_message(b"{torn json\n")
+
+
+def test_read_frame_clean_eof_returns_none():
+    assert read_frame(io.BytesIO(b"")) is None
+
+
+def test_read_frame_torn_tail_is_typed():
+    with pytest.raises(WireProtocolError, match="torn frame"):
+        read_frame(io.BytesIO(b'{"type": "hello"'))
+
+
+def test_read_frame_reads_exactly_one_frame():
+    stream = io.BytesIO(encode_frame({"a": 1}) + encode_frame({"b": 2}))
+    assert read_frame(stream) == {"a": 1}
+    assert read_frame(stream) == {"b": 2}
+    assert read_frame(stream) is None

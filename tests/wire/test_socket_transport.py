@@ -1,0 +1,322 @@
+"""SocketTransport + PeerServer behaviour over real localhost TCP.
+
+These tests run the servers *in-process* (``PeerServer.start()`` on a
+daemon thread) so they exercise genuine sockets, framing, handshakes,
+pooling, and timeouts without paying process spawn time — the
+cross-process guarantees live in ``test_wire_differential.py``.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import PeerQuerySession
+from repro.net import MessageDropped, NetworkError, PeerDown
+from repro.net.protocol import Answer, AnswerQuery, FetchRelation
+from repro.wire import (
+    PeerServer,
+    RemoteNetworkSession,
+    SocketTransport,
+    WireProtocolError,
+    free_port,
+)
+from repro.wire.codec import (
+    encode_frame,
+    encode_message,
+    hello_frame,
+    message_to_dict,
+    read_frame,
+)
+from repro.workloads import example1_system
+
+
+@pytest.fixture()
+def example1_servers():
+    """All of example 1's peers served in-process over real sockets."""
+    system = example1_system()
+    addresses = {name: f"127.0.0.1:{free_port()}"
+                 for name in system.peers}
+    servers = [
+        PeerServer(system, name,
+                   port=int(addresses[name].rsplit(":", 1)[1]),
+                   addresses=addresses).start()
+        for name in system.peers
+    ]
+    try:
+        yield system, addresses
+    finally:
+        for server in servers:
+            server.shutdown()
+
+
+class _ScriptedServer:
+    """A hand-rolled one-connection server for fault scenarios."""
+
+    def __init__(self, behaviour: str, protocol_version: int = 1):
+        self.behaviour = behaviour
+        self.protocol_version = protocol_version
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(4)
+        self.port = self.listener.getsockname()[1]
+        self.accepted = 0
+        self.last_frame_sent = b""
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                connection, _ = self.listener.accept()
+            except OSError:
+                return
+            self.accepted += 1
+            threading.Thread(target=self._serve_one,
+                             args=(connection,), daemon=True).start()
+
+    def _serve_one(self, connection):
+        stream = connection.makefile("rb")
+        try:
+            read_frame(stream)  # the client hello
+            hello = hello_frame("scripted")
+            hello["protocol"] = self.protocol_version
+            connection.sendall(encode_frame(hello))
+            while True:
+                frame = read_frame(stream)
+                if frame is None:
+                    return
+                if self.behaviour == "silent":
+                    time.sleep(30)
+                    return
+                if self.behaviour == "hangup":
+                    connection.close()
+                    return
+                reply = Answer(
+                    sender="scripted", target=frame["sender"],
+                    in_reply_to=frame["correlation_id"],
+                    payload=(("a", "b"),), version="v1",
+                    bytes_estimate=7)
+                self.last_frame_sent = encode_frame(
+                    message_to_dict(reply))
+                connection.sendall(self.last_frame_sent)
+        except (OSError, WireProtocolError):
+            pass
+
+    def close(self):
+        self.listener.close()
+
+
+# ---------------------------------------------------------------------------
+# Round trips and accounting
+# ---------------------------------------------------------------------------
+
+def test_fetch_over_socket_returns_rows(example1_servers):
+    system, addresses = example1_servers
+    transport = SocketTransport(addresses, local_name="test")
+    try:
+        reply = transport.request(FetchRelation(
+            sender="test", target="P2", relation="R2"))
+        assert isinstance(reply, Answer)
+        assert frozenset(reply.payload) == \
+            system.instances["P2"].tuples("R2")
+        assert reply.version  # stamped with the content version
+    finally:
+        transport.close()
+
+
+def test_bytes_estimate_is_the_exact_frame_length():
+    server = _ScriptedServer("echo")
+    transport = SocketTransport({"S": f"127.0.0.1:{server.port}"})
+    try:
+        reply = transport.request(FetchRelation(
+            sender="client", target="S", relation="R"))
+        assert reply.bytes_estimate == len(server.last_frame_sent)
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_connection_pooling_reuses_one_connection(example1_servers):
+    _system, addresses = example1_servers
+    transport = SocketTransport(addresses, local_name="test")
+    try:
+        for _ in range(3):
+            transport.request(FetchRelation(
+                sender="test", target="P2", relation="R2"))
+        assert transport.pooled_connections("P2") == 1
+    finally:
+        transport.close()
+
+
+def test_scripted_server_sees_a_single_connection():
+    server = _ScriptedServer("echo")
+    transport = SocketTransport({"S": f"127.0.0.1:{server.port}"})
+    try:
+        for _ in range(4):
+            transport.request(FetchRelation(
+                sender="client", target="S", relation="R"))
+        assert server.accepted == 1
+    finally:
+        transport.close()
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# Typed failures: down peers, timeouts, handshake mismatch
+# ---------------------------------------------------------------------------
+
+def test_unknown_peer_raises_peer_down():
+    transport = SocketTransport({})
+    with pytest.raises(PeerDown):
+        transport.request(FetchRelation(sender="c", target="ghost",
+                                        relation="R"))
+
+
+def test_nobody_listening_raises_peer_down():
+    transport = SocketTransport({"S": f"127.0.0.1:{free_port()}"},
+                                connect_timeout=0.5)
+    with pytest.raises(PeerDown):
+        transport.request(FetchRelation(sender="c", target="S",
+                                        relation="R"))
+
+
+def test_read_timeout_raises_message_dropped():
+    server = _ScriptedServer("silent")
+    transport = SocketTransport({"S": f"127.0.0.1:{server.port}"},
+                                timeout=0.3)
+    try:
+        with pytest.raises(MessageDropped):
+            transport.request(FetchRelation(sender="c", target="S",
+                                            relation="R"))
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_mid_request_hangup_is_retryable():
+    server = _ScriptedServer("hangup")
+    transport = SocketTransport({"S": f"127.0.0.1:{server.port}"})
+    try:
+        with pytest.raises(MessageDropped):
+            transport.request(FetchRelation(sender="c", target="S",
+                                            relation="R"))
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_protocol_version_mismatch_is_typed_not_retryable():
+    server = _ScriptedServer("echo", protocol_version=999)
+    transport = SocketTransport({"S": f"127.0.0.1:{server.port}"})
+    try:
+        with pytest.raises(WireProtocolError, match="version mismatch"):
+            transport.request(FetchRelation(sender="c", target="S",
+                                            relation="R"))
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_server_rejects_client_from_another_protocol(example1_servers):
+    """A mis-versioned *client* hello gets a typed failure frame back
+    (the server replies with its own hello first, so the client can
+    also see the server's version)."""
+    _system, addresses = example1_servers
+    address = addresses["P1"]
+    host, port = address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=5) as sock:
+        stream = sock.makefile("rb")
+        bad_hello = hello_frame("time-traveller")
+        bad_hello["protocol"] = 999
+        sock.sendall(encode_frame(bad_hello))
+        server_hello = read_frame(stream)
+        assert server_hello["protocol"] == 1
+        failure = read_frame(stream)
+        assert failure["type"] == "failure"
+        assert failure["code"] == "protocol"
+
+
+# ---------------------------------------------------------------------------
+# The remote session against in-process servers
+# ---------------------------------------------------------------------------
+
+def test_remote_session_matches_local_answers(example1_servers):
+    system, addresses = example1_servers
+    local = PeerQuerySession(system)
+    with RemoteNetworkSession(addresses) as session:
+        for query in ("q(X, Y) := R1(X, Y)",
+                      "q(X) := exists Y R1(X, Y)"):
+            expected = local.answer("P1", query)
+            actual = session.answer("P1", query)
+            assert actual.ok, actual.error
+            assert actual.answers == expected.answers
+            assert actual.solution_count == expected.solution_count
+            assert actual.method_used == expected.method_used
+
+
+def test_remote_session_bad_query_raises_like_local(example1_servers):
+    """Unparseable query text fails on the *client*, exactly as it does
+    for the in-process sessions — before any frame is sent."""
+    from repro.relational.errors import RelationalError
+    _system, addresses = example1_servers
+    with RemoteNetworkSession(addresses) as session:
+        with pytest.raises(RelationalError):
+            session.answer("P1", "q(X := broken")
+
+
+def test_server_answers_bad_request_typed(example1_servers):
+    """A foreign client shipping broken query text gets a typed
+    bad-request failure, not a dead connection."""
+    from repro.net.protocol import Failure
+    _system, addresses = example1_servers
+    transport = SocketTransport(addresses, local_name="foreign")
+    try:
+        reply = transport.request(AnswerQuery(
+            sender="foreign", target="P1", query="q(X := broken"))
+        assert isinstance(reply, Failure)
+        assert reply.code == "bad-request"
+    finally:
+        transport.close()
+
+
+def test_remote_session_unknown_peer_raises(example1_servers):
+    _system, addresses = example1_servers
+    with RemoteNetworkSession(addresses) as session:
+        with pytest.raises(NetworkError, match="unknown peer"):
+            session.answer("P9", "q(X, Y) := R1(X, Y)")
+
+
+def test_remote_session_deadline_expires_typed():
+    server = _ScriptedServer("silent")
+    session = RemoteNetworkSession(
+        {"S": f"127.0.0.1:{server.port}"},
+        timeout=0.5, request_timeout=0.2, retries=50)
+    try:
+        start = time.perf_counter()
+        result = session.answer("S", "q(X, Y) := R1(X, Y)")
+        wall = time.perf_counter() - start
+        assert result.failed
+        assert result.error.code == "deadline-exceeded"
+        assert wall < 5.0  # no hang: budget + one request timeout
+    finally:
+        session.close()
+        server.close()
+
+
+def test_answer_many_in_order(example1_servers):
+    system, addresses = example1_servers
+    local = PeerQuerySession(system)
+    with RemoteNetworkSession(addresses) as session:
+        results = session.answer_many([
+            ("P1", "q(X, Y) := R1(X, Y)"),
+            ("P2", "q(X, Y) := R2(X, Y)"),
+            ("P3", "q(X, Y) := R3(X, Y)"),
+        ])
+        assert [r.ok for r in results] == [True, True, True]
+        for result, (peer, relation) in zip(
+                results, (("P1", "R1"), ("P2", "R2"), ("P3", "R3"))):
+            query = f"q(X, Y) := {relation}(X, Y)"
+            assert result.answers == \
+                local.answer(peer, query).answers
