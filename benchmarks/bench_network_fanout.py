@@ -83,6 +83,7 @@ def main() -> int:
           f"{'speedup':>8s} {'agree':>6s}")
     failures = []
     star_speedup = 0.0
+    metrics = {"n_peers": N_PEERS, "latency_ms": LATENCY_S * 1000}
     for topology in TOPOLOGIES:
         system = make_system(topology)
         local = PeerQuerySession(system).answer("P0", QUERY)
@@ -94,11 +95,19 @@ def main() -> int:
             failures.append(f"{topology}: answers disagree")
         if topology == "star":
             star_speedup = speedup
+        metrics[f"{topology}_seq_ms"] = round(seq_ms, 1)
+        metrics[f"{topology}_fanout_ms"] = round(fan_ms, 1)
+        metrics[f"{topology}_speedup"] = round(speedup, 2)
         print(f"  {topology:>8s} {seq_ms:8.1f} {fan_ms:10.1f} "
               f"{speedup:8.1f} {str(agree):>6s}")
     if star_speedup < MIN_STAR_SPEEDUP:
         failures.append(f"star fan-out speedup {star_speedup:.1f}x < "
                         f"{MIN_STAR_SPEEDUP:.1f}x")
+
+    from trajectory import write_trajectory
+    write_trajectory("NF1", metrics, ok=not failures,
+                     bars={"min_star_speedup": MIN_STAR_SPEEDUP})
+
     if failures:
         print("\n  FAILED: " + "; ".join(failures))
         return 1
@@ -111,4 +120,7 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
     raise SystemExit(main())

@@ -1,0 +1,343 @@
+"""SH1 — shard fan-out and replica failover on the bulk-transfer family.
+
+Three questions the shard layer must answer with numbers:
+
+* **does fan-out beat one big server?** — a bulk relation is fetched
+  once from a single logical server and once through a
+  :class:`~repro.shard.ShardRouter` over N shards, with each server's
+  service time *modeled* (a sleep proportional to the rows it serves,
+  calibrated from the measured real-server rate).  The model is what
+  makes the bar honest on this container: shard servers are separate
+  OS processes, so on a multi-core host their service time genuinely
+  overlaps, but the CI box has a single core (``os.cpu_count() == 1``)
+  where real processes serialize and only the modeled sleeps can
+  overlap.  Script mode enforces the fan-out speedup >=
+  ``MIN_FANOUT_SPEEDUP`` and that the merged rows are identical.
+
+* **what does sharding cost over real TCP?** — the same bulk fetch
+  against live ``repro serve`` processes, single vs sharded.  On a
+  single core the sharded run cannot win, so the enforced bar is a
+  bounded overhead (``MAX_WIRE_OVERHEAD``x single) plus row-identical
+  payloads; the measured ratio is recorded in the trajectory either
+  way, with the core count alongside it.
+
+* **is failover bounded, and does catch-up ship deltas?** — a sharded,
+  2-replica cluster serves a full fetch (yielding a composed
+  ``shards(...)`` version token), then loses the *preferred* replica
+  of every shard.  The timed re-fetch that names the token must fail
+  over within ``MAX_FAILOVER_MS``, come back as a delta, and ship
+  under ``MAX_DELTA_FRACTION`` of the full fetch's frame bytes.
+
+Script mode writes ``BENCH_SH1.json`` at the repo root.
+"""
+
+import os
+import time
+
+from repro.net.protocol import Answer, FetchRelation
+from repro.net.transport import LoopbackTransport
+from repro.shard import ShardMap, ShardRouter
+from repro.wire import ClusterSupervisor, SocketTransport
+from repro.wire.codec import encode_message
+from repro.workloads import bulk_relation_system
+
+RELATION = "R0"
+PEER = "P0"
+N_ROWS = 40_000
+#: rows in the (process-spawning) failover drill — kept smaller
+N_ROWS_FAILOVER = 8_000
+N_SHARDS = 4
+#: modeled per-row service time: sort + fingerprint + encode on the
+#: serving side, ~3.75 us/row measured against a real ``repro serve``
+#: process on this box (150 ms for the 40k-row fetch)
+SERVICE_US_PER_ROW = 3.0
+
+#: modeled N-shard fan-out must beat the single server by this factor
+MIN_FANOUT_SPEEDUP = 2.0
+#: real-TCP sharded fetch may cost at most this factor of the single
+#: fetch (it cannot *win* on a 1-core container; see module docstring)
+MAX_WIRE_OVERHEAD = 1.5
+#: failover re-fetch (losing every preferred replica) must finish here
+MAX_FAILOVER_MS = 2000.0
+#: delta catch-up traffic vs the full fetch (exact frame bytes)
+MAX_DELTA_FRACTION = 0.5
+
+
+def shard_slices(rows, shard_map, peer=PEER, relation=RELATION):
+    """Partition ``rows`` by the map's placement, sorted per shard."""
+    slices = {shard: [] for shard in shard_map.shard_names(peer)}
+    for row in rows:
+        index = shard_map.shard_of(peer, relation, row)
+        slices[f"{peer}#{index}"].append(row)
+    return {shard: sorted(rows) for shard, rows in slices.items()}
+
+
+def _serving(rows, version, service_s):
+    """A scripted shard server: modeled service time, then the rows."""
+    payload = tuple(rows)
+
+    def handle(message):
+        time.sleep(service_s)
+        return Answer(sender=message.target, target=message.sender,
+                      in_reply_to=message.correlation_id,
+                      payload=payload, version=version)
+    return handle
+
+
+def run_modeled_fanout(n_rows, shards, service_us):
+    """Fetch the bulk relation from one modeled server and through a
+    shard router over ``shards`` modeled servers; return
+    ``(single_ms, sharded_ms, identical)``."""
+    system = bulk_relation_system(n_rows)
+    rows = sorted(system.fetch_relation(PEER, RELATION))
+    per_row_s = service_us / 1e6
+
+    single = LoopbackTransport()
+    single.register(PEER, _serving(rows, "v-single",
+                                   len(rows) * per_row_s))
+    message = FetchRelation(sender="bench", target=PEER,
+                            relation=RELATION)
+    start = time.perf_counter()
+    single_reply = single.request(message)
+    single_ms = (time.perf_counter() - start) * 1000
+
+    shard_map = ShardMap({PEER: shards})
+    slices = shard_slices(rows, shard_map)
+    inner = LoopbackTransport()
+    for shard, slice_rows in slices.items():
+        inner.register(f"{shard}@0", _serving(
+            slice_rows, f"v-{shard}", len(slice_rows) * per_row_s))
+    router = ShardRouter(shard_map,
+                         {shard: [f"{shard}@0"] for shard in slices},
+                         inner, local_name="bench")
+    start = time.perf_counter()
+    sharded_reply = router.request(message)
+    sharded_ms = (time.perf_counter() - start) * 1000
+
+    identical = (frozenset(single_reply.payload)
+                 == frozenset(sharded_reply.payload))
+    return single_ms, sharded_ms, identical
+
+
+def fetch_over_wire(transport, *, known_version=""):
+    """One timed FetchRelation over ``transport``; returns
+    ``(reply, elapsed_ms, frame_bytes)`` — bytes as the reply frame
+    would cross the wire."""
+    message = FetchRelation(sender="bench", target=PEER,
+                            relation=RELATION,
+                            known_version=known_version)
+    start = time.perf_counter()
+    reply = transport.request(message)
+    elapsed = (time.perf_counter() - start) * 1000
+    assert isinstance(reply, Answer), reply
+    return reply, elapsed, len(encode_message(reply))
+
+
+def best_of(runs, fetch):
+    """The fastest of ``runs`` calls (first call also warms pools)."""
+    best = None
+    for _ in range(runs):
+        reply, elapsed, frame = fetch()
+        if best is None or elapsed < best[1]:
+            best = (reply, elapsed, frame)
+    return best
+
+
+def run_wire_bulk(n_rows, shards, runs=3):
+    """Real-TCP bulk fetch, single process vs ``shards`` shard
+    processes; returns ``(single_ms, sharded_ms, bytes, identical)``."""
+    system = bulk_relation_system(n_rows)
+    supervisor = ClusterSupervisor(system)
+    supervisor.start()
+    try:
+        transport = SocketTransport(supervisor.addresses(),
+                                    local_name="bench", timeout=60.0)
+        try:
+            single_reply, single_ms, frame = best_of(
+                runs, lambda: fetch_over_wire(transport))
+        finally:
+            transport.close()
+    finally:
+        supervisor.stop()
+
+    shard_map = ShardMap({PEER: shards})
+    supervisor = ClusterSupervisor(system, shard_map=shard_map)
+    supervisor.start()
+    try:
+        router = ShardRouter.from_addresses(
+            shard_map, supervisor.addresses(), local_name="bench",
+            timeout=60.0)
+        try:
+            sharded_reply, sharded_ms, _ = best_of(
+                runs, lambda: fetch_over_wire(router))
+        finally:
+            router.close()
+    finally:
+        supervisor.stop()
+
+    identical = (frozenset(single_reply.payload)
+                 == frozenset(sharded_reply.payload))
+    return single_ms, sharded_ms, frame, identical
+
+
+def run_failover_drill(n_rows, shards, replicas=2):
+    """Full fetch -> composed token -> kill every preferred replica ->
+    timed delta re-fetch over the survivors."""
+    system = bulk_relation_system(n_rows)
+    shard_map = ShardMap({PEER: shards})
+    supervisor = ClusterSupervisor(system, shard_map=shard_map,
+                                   replicas=replicas)
+    supervisor.start()
+    try:
+        router = ShardRouter.from_addresses(
+            shard_map, supervisor.addresses(), local_name="bench",
+            timeout=60.0, connect_timeout=2.0)
+        try:
+            full_reply, full_ms, full_bytes = fetch_over_wire(router)
+            assert not full_reply.delta
+            token = full_reply.version
+            for unit in router.primaries(PEER).values():
+                supervisor.kill(unit)
+            delta_reply, failover_ms, delta_bytes = fetch_over_wire(
+                router, known_version=token)
+            return {
+                "full_ms": full_ms,
+                "full_bytes": full_bytes,
+                "token": token,
+                "failover_ms": failover_ms,
+                "delta": delta_reply.delta,
+                "delta_bytes": delta_bytes,
+                "delta_payload": delta_reply.payload,
+            }
+        finally:
+            router.close()
+    finally:
+        supervisor.stop()
+
+
+# ---------------------------------------------------------------------------
+# pytest harness (small instances; the timing bars live in script mode)
+# ---------------------------------------------------------------------------
+
+def test_sh1_modeled_fanout_rows_identical():
+    single_ms, sharded_ms, identical = run_modeled_fanout(
+        2_000, shards=4, service_us=0.0)
+    assert identical
+    assert single_ms >= 0 and sharded_ms >= 0
+
+
+def test_sh1_failover_catches_up_by_delta():
+    drill = run_failover_drill(500, shards=2, replicas=2)
+    assert drill["token"].startswith("shards(")
+    assert drill["delta"], "survivors must honour the composed token"
+    assert drill["delta_bytes"] < drill["full_bytes"]
+    # nothing changed while the primaries died: the delta is empty
+    assert drill["delta_payload"] == {"insert": (), "delete": ()}
+
+
+# ---------------------------------------------------------------------------
+# Script mode (CI smoke step): print the report, enforce the bars
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    failures = []
+    cores = os.cpu_count() or 1
+    print(f"SH1 — shard fan-out & failover: {N_ROWS} bulk rows, "
+          f"{N_SHARDS} shards, {cores} core(s)")
+
+    # -- modeled fan-out ----------------------------------------------------
+    single_ms, sharded_ms, identical = run_modeled_fanout(
+        N_ROWS, N_SHARDS, SERVICE_US_PER_ROW)
+    speedup = single_ms / sharded_ms if sharded_ms else float("inf")
+    print(f"  modeled  single: {single_ms:8.1f} ms   sharded x"
+          f"{N_SHARDS}: {sharded_ms:8.1f} ms   [{speedup:.2f}x, "
+          f"{SERVICE_US_PER_ROW} us/row service]")
+    if not identical:
+        failures.append("modeled sharded rows differ from single")
+    if speedup < MIN_FANOUT_SPEEDUP:
+        failures.append(
+            f"modeled fan-out speedup {speedup:.2f}x < "
+            f"{MIN_FANOUT_SPEEDUP:.1f}x")
+
+    # -- real TCP -----------------------------------------------------------
+    wire_single_ms, wire_sharded_ms, wire_bytes, wire_identical = \
+        run_wire_bulk(N_ROWS, N_SHARDS)
+    overhead = (wire_sharded_ms / wire_single_ms
+                if wire_single_ms else float("inf"))
+    print(f"  wire     single: {wire_single_ms:8.1f} ms   sharded x"
+          f"{N_SHARDS}: {wire_sharded_ms:8.1f} ms   [{overhead:.2f}x "
+          f"single, {wire_bytes} B payload frame]")
+    if not wire_identical:
+        failures.append("wire sharded rows differ from single")
+    if overhead > MAX_WIRE_OVERHEAD:
+        failures.append(
+            f"wire sharded fetch cost {overhead:.2f}x single "
+            f"(bound: {MAX_WIRE_OVERHEAD}x)")
+
+    # -- replica failover + delta catch-up ----------------------------------
+    drill = run_failover_drill(N_ROWS_FAILOVER, N_SHARDS)
+    fraction = (drill["delta_bytes"] / drill["full_bytes"]
+                if drill["full_bytes"] else 1.0)
+    print(f"  failover re-fetch: {drill['failover_ms']:6.1f} ms after "
+          f"losing every preferred replica")
+    print(f"  delta catch-up: {drill['delta_bytes']:8d} B vs "
+          f"{drill['full_bytes']} B full fetch ({fraction:.1%}, exact "
+          f"frame bytes)")
+    if not drill["delta"]:
+        failures.append("catch-up after failover was not a delta")
+    if drill["failover_ms"] > MAX_FAILOVER_MS:
+        failures.append(
+            f"failover re-fetch took {drill['failover_ms']:.1f} ms "
+            f"(bound: {MAX_FAILOVER_MS:.0f} ms)")
+    if fraction > MAX_DELTA_FRACTION:
+        failures.append(
+            f"delta catch-up shipped {fraction:.1%} of the full fetch "
+            f"bytes (bar: {MAX_DELTA_FRACTION:.0%})")
+
+    from trajectory import write_trajectory
+    write_trajectory(
+        "SH1",
+        {
+            "cores": cores,
+            "n_rows": N_ROWS,
+            "n_shards": N_SHARDS,
+            "modeled_single_ms": round(single_ms, 1),
+            "modeled_sharded_ms": round(sharded_ms, 1),
+            "modeled_speedup": round(speedup, 2),
+            "wire_single_ms": round(wire_single_ms, 1),
+            "wire_sharded_ms": round(wire_sharded_ms, 1),
+            "wire_overhead": round(overhead, 2),
+            "wire_payload_bytes": wire_bytes,
+            "failover_ms": round(drill["failover_ms"], 1),
+            "delta_bytes": drill["delta_bytes"],
+            "full_bytes": drill["full_bytes"],
+            "delta_fraction": round(fraction, 4),
+        },
+        ok=not failures,
+        bars={
+            "min_fanout_speedup": MIN_FANOUT_SPEEDUP,
+            "max_wire_overhead": MAX_WIRE_OVERHEAD,
+            "max_failover_ms": MAX_FAILOVER_MS,
+            "max_delta_fraction": MAX_DELTA_FRACTION,
+        },
+    )
+
+    if failures:
+        print("\n  FAILED: " + "; ".join(failures))
+        return 1
+    print("\n  expected: with per-server service time overlapping "
+          "(modeled here, real\n  on a multi-core host), N shards "
+          "serve their slices concurrently and the\n  fan-out wins "
+          "~linearly; over real TCP on this box the sharded fetch "
+          "stays\n  within a bounded overhead; losing every preferred "
+          "replica fails over in\n  bounded time and the catch-up "
+          "names the composed token, so survivors\n  ship deltas, "
+          "not the relation")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    raise SystemExit(main())

@@ -197,6 +197,27 @@ def main() -> int:
     finally:
         shutil.rmtree(data_dir, ignore_errors=True)
 
+    from trajectory import write_trajectory
+    write_trajectory(
+        "WC1",
+        {
+            "loopback_ms": round(loopback_ms, 1),
+            "socket_ms": round(socket_ms, 1),
+            "wire_factor": round(factor, 1),
+            "socket_bytes": socketed.exchange.bytes_estimate,
+            "cluster_start_ms": round(startup_ms, 1),
+            "delta_bytes": delta_bytes,
+            "full_bytes": full_bytes,
+            "delta_fraction": round(fraction, 4),
+        },
+        ok=not failures,
+        bars={
+            "max_wire_factor": MAX_WIRE_FACTOR,
+            "max_wire_abs_ms": MAX_WIRE_ABS_MS,
+            "max_delta_fraction": MAX_DELTA_FRACTION,
+        },
+    )
+
     if failures:
         print("\n  FAILED: " + "; ".join(failures))
         return 1
@@ -210,4 +231,6 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    import sys
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
     raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Benchmark trajectory files: ``BENCH_<id>.json`` at the repo root.
+
+Script-mode benchmark runs (the CI smoke steps) record their headline
+metrics machine-readably so successive runs can be compared without
+re-parsing stdout.  One file per benchmark id, overwritten on each
+run — the *trajectory* lives in version control, where each commit
+pins the numbers its code produced.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+#: the repository root (this file lives in <root>/benchmarks/)
+ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["ROOT", "write_trajectory"]
+
+
+def write_trajectory(bench_id: str, metrics: dict, *, ok: bool,
+                     bars: dict | None = None) -> Path:
+    """Write ``BENCH_<bench_id>.json`` at the repo root; return it.
+
+    ``metrics`` holds the measured numbers (timings in ms, exact byte
+    counts, ratios), ``bars`` the enforced bounds they were judged
+    against, ``ok`` whether every bar held.
+    """
+    payload = {
+        "bench": bench_id,
+        "ok": ok,
+        "unix_time": int(time.time()),
+        "metrics": metrics,
+    }
+    if bars:
+        payload["bars"] = bars
+    path = ROOT / f"BENCH_{bench_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    return path

@@ -219,18 +219,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .core import load_system
     from .wire import PeerServer
     system = load_system(args.system)
+    shard_map = None
+    if args.shard_map:
+        from .shard import ShardMap
+        shard_map = ShardMap.from_json(args.shard_map)
     server = PeerServer(
         system, args.peer, host=args.host, port=args.port,
         addresses=_parse_peer_addresses(args.peers),
         data_dir=args.data_dir, hop_budget=args.hops,
         retries=args.retries, timeout=args.timeout,
         default_method=args.method,
-        snapshot_every=args.snapshot_every)
+        snapshot_every=args.snapshot_every,
+        shard_map=shard_map, shard_index=args.shard,
+        replica_index=args.replica)
     # SIGTERM (the supervisor's stop signal) must run the same cleanup
     # as Ctrl-C: a durable node flushes its caches only on a clean
     # shutdown, which is what makes the next start a warm restart
     signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
-    print(f"READY {args.peer} {server.address}", flush=True)
+    print(f"READY {server.unit} {server.address}", flush=True)
     try:
         server.serve_forever()
     except (KeyboardInterrupt, SystemExit):
@@ -438,6 +444,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="compact the durable delta log every N "
                             "deltas")
+    serve.add_argument("--shard-map", default="", metavar="JSON",
+                       help="serialized ShardMap; this process hosts "
+                            "one shard slice and routes through the "
+                            "sharded topology in --peers")
+    serve.add_argument("--shard", type=int, default=0, metavar="S",
+                       help="which shard of PEER this process hosts")
+    serve.add_argument("--replica", type=int, default=0, metavar="R",
+                       help="which replica of the shard this is")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(

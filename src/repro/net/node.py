@@ -451,6 +451,19 @@ class PeerNode:
                     (answer.version, rows)
         return rows, moved
 
+    def _complete_own_instance(self) -> tuple[DatabaseInstance,
+                                              ExchangeStats]:
+        """The node's own contribution to its view, plus its cost.
+
+        A plain node holds its entire peer's data locally, so the view
+        uses the store's instance for free.  The sharded node
+        (:class:`~repro.shard.node.ShardedPeerNode`) overrides this to
+        reassemble the *logical* instance from every sibling shard
+        before answering — answer sets are not unions across data
+        partitions, so the view must see the whole peer.
+        """
+        return self.instance, ExchangeStats()
+
     # ------------------------------------------------------------------
     # The local view and the answering surface
     # ------------------------------------------------------------------
@@ -469,7 +482,9 @@ class PeerNode:
                         payload = self._gather(hop_budget, ())
                 else:
                     payload = self._gather(hop_budget, ())
-                payload["instances"][self.name] = self.instance
+                own_instance, own_cost = self._complete_own_instance()
+                payload["instances"][self.name] = own_instance
+                payload["stats"] = payload["stats"] + own_cost
                 peers = payload["peers"]
                 # branches that race to the same peer through a diamond
                 # may relay its DECs twice; the merge dedups by content

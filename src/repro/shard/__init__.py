@@ -1,0 +1,68 @@
+"""repro.shard — shard & replicate peers behind one logical name.
+
+The first layer where one *semantic* peer of the paper becomes many
+physical processes: a peer's facts partition deterministically across
+N shards (:class:`ShardMap`), each shard runs R replicas, and a
+:class:`ShardRouter` — a drop-in :class:`~repro.net.transport.Transport` —
+keeps the logical surface intact: fetches fan out to every shard and
+merge under a composed version token, queries route to any one shard
+node (which reassembles the full logical instance before answering),
+and replica loss fails over along health-tracked
+:class:`ReplicaSet` orderings, surfacing the standard typed
+``peer-unreachable`` error only when a shard loses its last replica.
+
+Layers
+------
+:mod:`repro.shard.shardmap`
+    :class:`ShardMap` (deterministic, serializable, splittable),
+    physical naming (``P#s@r``), composed logical version tokens.
+:mod:`repro.shard.router`
+    :class:`ShardRouter` + :class:`ReplicaSet` — fan-out, merge,
+    health-tracked failover over any inner transport.
+:mod:`repro.shard.node`
+    :class:`ShardedPeerNode` — a peer node holding one slice, completing
+    its logical instance across sibling shards before answering.
+:mod:`repro.shard.runtime`
+    :class:`ShardedNetwork` — a whole sharded cluster in-process (the
+    differential suite's workhorse).
+:mod:`repro.shard.session`
+    :func:`open_sharded_session` — real process-per-replica clusters
+    behind the unchanged :class:`~repro.wire.session.RemoteNetworkSession`
+    surface.
+"""
+
+from .node import ShardedPeerNode, build_shard_node
+from .router import ReplicaSet, ShardRouter
+from .shardmap import (
+    ShardError,
+    ShardMap,
+    cluster_units,
+    compose_shard_versions,
+    decompose_shard_versions,
+    parse_replica_name,
+    replica_layout,
+    replica_name,
+    shard_name,
+)
+
+__all__ = [
+    "ShardError", "ShardMap", "shard_name", "replica_name",
+    "parse_replica_name", "cluster_units", "replica_layout",
+    "compose_shard_versions", "decompose_shard_versions",
+    "ReplicaSet", "ShardRouter",
+    "ShardedPeerNode", "build_shard_node",
+    "ShardedNetwork", "open_sharded_session",
+]
+
+
+def __getattr__(name: str):
+    # runtime/session pull in repro.wire; loading them lazily keeps
+    # `import repro.shard` cycle-free from inside the wire package
+    if name == "ShardedNetwork":
+        from .runtime import ShardedNetwork
+        return ShardedNetwork
+    if name == "open_sharded_session":
+        from .session import open_sharded_session
+        return open_sharded_session
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")

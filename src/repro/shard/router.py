@@ -1,0 +1,444 @@
+""":class:`ShardRouter` — one logical peer name, many physical processes.
+
+The router implements the :class:`~repro.net.transport.Transport` ABC
+over an *inner* transport whose address space speaks physical replica
+names (``"P#s@r"``).  Everything above it — :class:`PeerNetwork
+<repro.net.network.PeerNetwork>`, :class:`PeerNode
+<repro.net.node.PeerNode>`, :class:`RemoteNetworkSession
+<repro.wire.session.RemoteNetworkSession>` — keeps talking to logical
+peer names, which is the whole point: the paper's semantics never learn
+that one peer became twelve processes.
+
+Routing rules, by message shape:
+
+* :class:`~repro.net.protocol.FetchRelation` to a covered peer fans out
+  to **every shard** concurrently and merges the replies into one
+  logical answer: full rows union (shards are disjoint by
+  construction), per-shard versions compose into a
+  ``shards(...)`` token (:func:`~repro.shard.shardmap.compose_shard_versions`),
+  byte counts sum.  A composed ``known_version`` is decomposed back
+  into per-shard delta fetches; if only *some* shards still retain the
+  requester's version, the delta-replying shards are re-fetched in
+  full so the merged reply is coherent (a merged reply is a delta only
+  when every shard contributed one).
+* :class:`~repro.net.protocol.PeerQuery` / :class:`~repro.net.protocol.AnswerQuery`
+  go to **one** shard node — any replica of any shard can serve them,
+  because a :class:`~repro.shard.node.ShardedPeerNode` completes its
+  own logical instance through this same router before answering.
+  Answer sets are *not* unions across shards: certain answers under
+  repair semantics are non-monotone, so merging per-slice answers
+  would be wrong; reassembling the data and answering once is right.
+* Uncovered targets pass through to the inner transport unchanged.
+
+Failover lives in :class:`ReplicaSet`: replicas are tried in a
+deterministic per-router rotation (spreading read load across
+replicas), a replica that raises a retryable transport error
+(:class:`~repro.net.errors.PeerDown` /
+:class:`~repro.net.errors.MessageDropped`) is marked down for a
+cooldown and the next one is tried; when a shard's *last* replica
+fails the router raises :class:`~repro.net.errors.PeerDown` — typed
+and retryable, so the network/session retry machinery surfaces the
+standard ``peer-unreachable`` error instead of hanging.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from itertools import chain
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..net.errors import PeerDown, TransportError
+from ..net.protocol import (
+    Answer,
+    AnswerQuery,
+    Failure,
+    FetchRelation,
+    Message,
+    PeerQuery,
+)
+from ..net.transport import FaultPlan, Handler, Transport
+from .shardmap import (
+    ShardError,
+    ShardMap,
+    compose_shard_versions,
+    decompose_shard_versions,
+    parse_replica_name,
+    replica_layout,
+)
+
+__all__ = ["ReplicaSet", "ShardRouter"]
+
+
+class ReplicaSet:
+    """The replicas of one shard, health-tracked for failover.
+
+    ``mark_down`` puts a replica on a ``cooldown``-second bench;
+    :meth:`candidates` orders healthy replicas first (rotated by
+    ``offset`` so distinct routers spread load), benched ones last —
+    last-resort retries still reach them, so a recovered replica is
+    rediscovered no later than one cooldown after it returns.
+    """
+
+    def __init__(self, shard: str, replicas: Sequence[str], *,
+                 cooldown: float = 5.0, offset: int = 0) -> None:
+        if not replicas:
+            raise ShardError(f"shard {shard!r} has no replicas")
+        self.shard = shard
+        self.replicas = tuple(replicas)
+        self.cooldown = cooldown
+        self._offset = offset % len(self.replicas)
+        self._down_until: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def _rotated(self) -> list[str]:
+        return (list(self.replicas[self._offset:])
+                + list(self.replicas[:self._offset]))
+
+    def candidates(self) -> list[str]:
+        """Every replica, healthy ones first, in rotation order."""
+        now = time.monotonic()
+        with self._lock:
+            healthy = [name for name in self._rotated()
+                       if self._down_until.get(name, 0.0) <= now]
+            benched = [name for name in self._rotated()
+                       if self._down_until.get(name, 0.0) > now]
+        return healthy + benched
+
+    def primary(self) -> str:
+        """The replica this set currently tries first."""
+        return self.candidates()[0]
+
+    def mark_down(self, name: str) -> None:
+        with self._lock:
+            self._down_until[name] = time.monotonic() + self.cooldown
+
+    def mark_up(self, name: str) -> None:
+        with self._lock:
+            self._down_until.pop(name, None)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._down_until.clear()
+
+    def status(self) -> dict[str, str]:
+        now = time.monotonic()
+        with self._lock:
+            return {name: ("down" if self._down_until.get(name, 0.0) > now
+                           else "up")
+                    for name in self.replicas}
+
+    def __repr__(self) -> str:
+        return f"ReplicaSet({self.shard!r}, {list(self.replicas)})"
+
+
+def _stable_offset(seed: str) -> int:
+    """A deterministic, process-independent rotation seed."""
+    digest = hashlib.blake2b(seed.encode("utf-8"), digest_size=4)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class ShardRouter(Transport):
+    """Route logical peer names onto shard/replica processes."""
+
+    def __init__(self, shard_map: ShardMap,
+                 layout: Mapping[str, Sequence[str]],
+                 inner: Transport, *,
+                 local_name: str = "client",
+                 cooldown: float = 5.0,
+                 max_workers: int = 8,
+                 faults: Optional[FaultPlan] = None) -> None:
+        super().__init__(faults)
+        self.shard_map = shard_map
+        self.inner = inner
+        self.local_name = local_name
+        self.cooldown = cooldown
+        self._replicas: dict[str, ReplicaSet] = {}
+        self._peer_shards: dict[str, tuple[str, ...]] = {}
+        for peer in sorted(shard_map.counts):
+            shards = shard_map.shard_names(peer)
+            missing = [shard for shard in shards if shard not in layout]
+            if len(missing) == len(shards):
+                continue  # peer not deployed through this router at all
+            if missing:
+                raise ShardError(
+                    f"peer {peer!r} is partially deployed: layout lacks "
+                    f"shard(s) {missing}")
+            for shard in shards:
+                self._replicas[shard] = ReplicaSet(
+                    shard, layout[shard], cooldown=cooldown,
+                    offset=_stable_offset(f"{local_name}|{shard}"))
+            self._peer_shards[peer] = shards
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_addresses(cls, shard_map: ShardMap,
+                       addresses: Mapping[str, str], *,
+                       local_name: str = "client",
+                       timeout: float = 10.0,
+                       connect_timeout: float = 2.0,
+                       pool_size: int = 4,
+                       cooldown: float = 5.0,
+                       faults: Optional[FaultPlan] = None
+                       ) -> "ShardRouter":
+        """A router over a :class:`~repro.wire.transport.SocketTransport`
+        dialled at ``addresses`` (physical replica names plus plain
+        peers).  ``local_name``'s own entry, if present, is kept in the
+        replica layout but *not* dialled — a server process reaches its
+        own shard through its locally registered handler.
+        """
+        from ..wire.transport import SocketTransport
+        inner = SocketTransport(
+            {name: value for name, value in addresses.items()
+             if name != local_name},
+            local_name=local_name, timeout=timeout,
+            connect_timeout=connect_timeout, pool_size=pool_size)
+        return cls(shard_map, replica_layout(shard_map, addresses),
+                   inner, local_name=local_name, cooldown=cooldown,
+                   faults=faults)
+
+    # ------------------------------------------------------------------
+    # The Transport surface
+    # ------------------------------------------------------------------
+    def register(self, name: str, handler: Handler) -> None:
+        """Register a node's handler on the inner transport.
+
+        A *covered* logical name maps to this router's own physical
+        name: the hosting process serves exactly one shard replica, and
+        registering it under the replica name is what lets sibling
+        shards (and the node's own cross-shard self-completion) reach
+        it without name collisions on a shared inner transport.
+        """
+        if self.shard_map.covers(name):
+            self.inner.register(self.local_name, handler)
+        else:
+            self.inner.register(name, handler)
+
+    def request(self, message: Message) -> Message:
+        target = message.target
+        if self.faults.is_down(target):
+            raise PeerDown(f"peer {target!r} is down")
+        shards = self._peer_shards.get(target)
+        if shards is None:
+            return self.inner.request(message)
+        if isinstance(message, FetchRelation):
+            return self._fetch_sharded(message, shards)
+        if isinstance(message, (PeerQuery, AnswerQuery)):
+            return self._request_any_shard(message, shards)
+        return self._request_any_shard(message, shards)
+
+    def set_down(self, peer: str) -> None:
+        """Logical names go down on this router; physical names on the
+        inner transport (so every router sharing it sees the outage)."""
+        if self.shard_map.covers(peer):
+            self.faults.set_down(peer)
+        else:
+            self.inner.set_down(peer)
+
+    def set_up(self, peer: str) -> None:
+        if self.shard_map.covers(peer):
+            self.faults.set_up(peer)
+        else:
+            self.inner.set_up(peer)
+
+    def addresses(self) -> dict[str, str]:
+        """The *logical* address surface: plain peers keep their inner
+        addresses; covered peers appear once, described by topology."""
+        out: dict[str, str] = {}
+        inner_addresses = getattr(self.inner, "addresses", None)
+        if callable(inner_addresses):
+            for name, value in inner_addresses().items():
+                if self._is_physical(name):
+                    continue
+                out[name] = value
+        for peer, shards in sorted(self._peer_shards.items()):
+            replicas = len(self._replicas[shards[0]].replicas)
+            out[peer] = f"sharded:{len(shards)}x{replicas}"
+        return out
+
+    def _is_physical(self, name: str) -> bool:
+        parsed = parse_replica_name(name)
+        return parsed is not None and self.shard_map.covers(parsed[0])
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+        self.inner.close()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, benchmarks, fault drills)
+    # ------------------------------------------------------------------
+    def replica_sets(self, peer: str) -> dict[str, ReplicaSet]:
+        return {shard: self._replicas[shard]
+                for shard in self._peer_shards.get(peer, ())}
+
+    def primaries(self, peer: str) -> dict[str, str]:
+        """The replica each shard of ``peer`` would be asked first."""
+        return {shard: replica_set.primary()
+                for shard, replica_set in self.replica_sets(peer).items()}
+
+    def reset_health(self) -> None:
+        """Forget every benched replica (after a recovery drill)."""
+        for replica_set in self._replicas.values():
+            replica_set.reset()
+
+    # ------------------------------------------------------------------
+    # Single-target routing with replica failover
+    # ------------------------------------------------------------------
+    def _request_replica_set(self, replica_set: ReplicaSet,
+                             message: Message) -> Message:
+        last_error: Optional[TransportError] = None
+        for replica in replica_set.candidates():
+            attempt = dataclasses.replace(message, target=replica)
+            try:
+                reply = self.inner.request(attempt)
+            except TransportError as exc:
+                replica_set.mark_down(replica)
+                last_error = exc
+                continue
+            replica_set.mark_up(replica)
+            return reply
+        raise PeerDown(
+            f"shard {replica_set.shard!r} of peer "
+            f"{message.target!r} lost its last replica (tried "
+            f"{list(replica_set.replicas)}): {last_error}")
+
+    def _request_any_shard(self, message: Message,
+                           shards: Sequence[str]) -> Message:
+        """One shard node serves the whole request — every shard's node
+        reassembles the full logical instance before answering, so any
+        reachable replica is as good as any other."""
+        last_error: Optional[TransportError] = None
+        for shard in shards:
+            try:
+                return self._request_replica_set(
+                    self._replicas[shard], message)
+            except TransportError as exc:
+                last_error = exc
+        raise PeerDown(
+            f"peer {message.target!r}: no shard has a reachable "
+            f"replica: {last_error}")
+
+    # ------------------------------------------------------------------
+    # Sharded fetches: fan out, merge, compose versions
+    # ------------------------------------------------------------------
+    def _fetch_sharded(self, message: FetchRelation,
+                       shards: Sequence[str]) -> Message:
+        known = decompose_shard_versions(message.known_version)
+        if known is not None and set(known) != set(shards):
+            # a token minted under another layout (e.g. before a shard
+            # split): no shard can honour it — fetch everything fresh
+            known = None
+
+        def fetch(shard: str) -> Message:
+            sub = dataclasses.replace(
+                message,
+                known_version=known.get(shard, "") if known else "")
+            return self._request_replica_set(self._replicas[shard], sub)
+
+        replies = self._fan([lambda shard=shard: fetch(shard)
+                             for shard in shards])
+        for reply in replies:
+            if isinstance(reply, Failure):
+                return reply
+        total_bytes = sum(reply.bytes_estimate for reply in replies)
+        all_delta = (known is not None
+                     and all(getattr(reply, "delta", False)
+                             for reply in replies))
+        if all_delta:
+            # shards hold disjoint slices, so their change sets
+            # concatenate without conflicts into one logical delta;
+            # shard order keeps the merge deterministic without paying
+            # a client-side re-sort of rows the servers already sorted
+            payload = {
+                "insert": tuple(chain.from_iterable(
+                    reply.payload.get("insert", ())
+                    for reply in replies)),
+                "delete": tuple(chain.from_iterable(
+                    reply.payload.get("delete", ())
+                    for reply in replies)),
+            }
+            return Answer(
+                sender=message.target, target=message.sender,
+                in_reply_to=message.correlation_id, payload=payload,
+                version=self._compose(shards, replies), delta=True,
+                bytes_estimate=total_bytes)
+        # mixed full/delta replies cannot merge (the delta halves lack
+        # a base here): re-pull the delta shards in full
+        replies = list(replies)
+        for index, (shard, reply) in enumerate(zip(shards, replies)):
+            if getattr(reply, "delta", False):
+                full = self._request_replica_set(
+                    self._replicas[shard],
+                    dataclasses.replace(message, known_version=""))
+                if isinstance(full, Failure):
+                    return full
+                total_bytes += full.bytes_estimate
+                replies[index] = full
+        # disjoint slices, each already server-sorted: concatenating in
+        # shard order is deterministic and skips an O(n log n) re-sort
+        # of the whole logical relation on every bulk fetch
+        rows = tuple(chain.from_iterable(reply.payload
+                                         for reply in replies))
+        return Answer(
+            sender=message.target, target=message.sender,
+            in_reply_to=message.correlation_id, payload=rows,
+            version=self._compose(shards, replies),
+            bytes_estimate=total_bytes)
+
+    @staticmethod
+    def _compose(shards: Sequence[str],
+                 replies: Sequence[Message]) -> str:
+        return compose_shard_versions(
+            {shard: getattr(reply, "version", "")
+             for shard, reply in zip(shards, replies)})
+
+    def _fan(self, thunks: Sequence[Callable[[], Message]]
+             ) -> list[Message]:
+        """Run the shard fan-out concurrently, last thunk inline.
+
+        The inline tail guarantees progress under a saturated pool
+        (fan-outs are leaf work — replica round trips — so queued
+        tasks always drain), mirroring
+        :meth:`PeerNetwork.fan_out <repro.net.network.PeerNetwork.fan_out>`.
+        """
+        if len(thunks) == 1:
+            return [thunks[0]()]
+        executor = self._shared_executor()
+        futures = [executor.submit(thunk) for thunk in thunks[:-1]]
+        results: list[Optional[Message]] = [None] * len(thunks)
+        first_error: Optional[BaseException] = None
+        try:
+            results[-1] = thunks[-1]()
+        except Exception as exc:
+            first_error = exc
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results  # type: ignore[return-value]
+
+    def _shared_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix=f"shard-router-{self.local_name}")
+            return self._executor
+
+    def __repr__(self) -> str:
+        return (f"ShardRouter({self.shard_map!r}, "
+                f"local_name={self.local_name!r}, "
+                f"inner={type(self.inner).__name__})")

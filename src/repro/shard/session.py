@@ -1,0 +1,69 @@
+"""One-call sharded deployments: :func:`open_sharded_session`.
+
+The sharded twin of :func:`~repro.wire.cluster.open_wire_session`:
+launch one server *process per shard replica* through the
+:class:`~repro.wire.cluster.ClusterSupervisor`, build a client
+:class:`~repro.shard.router.ShardRouter` over the spawned topology,
+and hand both to a :class:`~repro.wire.session.RemoteNetworkSession` —
+whose surface is unchanged: logical peer names in, full
+:class:`~repro.core.results.QueryResult` objects out, the supervisor
+torn down on ``close()``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.system import PeerSystem
+from .router import ShardRouter
+from .shardmap import ShardMap
+
+__all__ = ["open_sharded_session"]
+
+
+def open_sharded_session(system: Union[PeerSystem, str, Path], *,
+                         shards: int = 2,
+                         replicas: int = 1,
+                         shard_map: Optional[ShardMap] = None,
+                         default_method: str = "auto",
+                         retries: int = 2,
+                         timeout: Optional[float] = None,
+                         request_timeout: float = 30.0,
+                         connect_timeout: float = 2.0,
+                         cooldown: float = 5.0,
+                         **cluster_kwargs):
+    """Launch a sharded+replicated cluster and connect a session to it.
+
+    Every covered peer runs as ``shards × replicas`` processes; an
+    explicit ``shard_map`` overrides the uniform default (and may
+    cover only some peers).  Extra keyword arguments reach the
+    :class:`~repro.wire.cluster.ClusterSupervisor` (``data_dir``,
+    ``host``, ``hop_budget``, ``snapshot_every``, ``startup_timeout``).
+    """
+    from ..wire.cluster import ClusterSupervisor
+    from ..wire.session import RemoteNetworkSession
+    if shard_map is None:
+        if isinstance(system, PeerSystem):
+            peers = sorted(system.peers)
+        else:
+            from ..core.io import load_system
+            peers = sorted(load_system(str(system)).peers)
+        shard_map = ShardMap.uniform(peers, shards)
+    supervisor = ClusterSupervisor(
+        system, shard_map=shard_map, replicas=replicas,
+        default_method=default_method, retries=retries,
+        timeout=timeout, **cluster_kwargs)
+    supervisor.start()
+    try:
+        router = ShardRouter.from_addresses(
+            shard_map, supervisor.addresses(), local_name="client",
+            timeout=request_timeout, connect_timeout=connect_timeout,
+            cooldown=cooldown)
+        return RemoteNetworkSession(
+            transport=router, default_method=default_method,
+            retries=retries, timeout=timeout, supervisor=supervisor)
+    except BaseException:
+        # the session never took ownership: don't orphan the processes
+        supervisor.stop()
+        raise

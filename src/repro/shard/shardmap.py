@@ -1,0 +1,319 @@
+""":class:`ShardMap` — deterministic partitioning of a peer's facts.
+
+One *logical* peer of the paper's semantics can be served by many
+physical processes: N **shards** (each holding a disjoint slice of the
+peer's relations) times R **replicas** per shard (each holding the same
+slice).  The map is the one piece of configuration every client and
+server must agree on, so it is
+
+* **deterministic** — a fact's shard is a keyed ``blake2b`` hash of its
+  relation name and first attribute (never Python's per-process-salted
+  ``hash()``), so two processes always place a tuple identically;
+* **serializable** — :meth:`to_json`/:meth:`from_json` round-trip the
+  whole map, which is how ``python -m repro serve --shard-map`` ships it
+  to every server process;
+* **splittable** — :meth:`split` doubles a peer's shard count, the
+  N→2N resharding step the differential suite drives answers through.
+
+Physical naming is part of the contract: shard ``s`` of peer ``P`` is
+``"P#s"``, its replica ``r`` is ``"P#s@r"`` (:func:`replica_name`), and
+:func:`parse_replica_name` recovers the triple — that is how routers,
+supervisors, and servers translate between the logical graph (where the
+paper's semantics live) and the process topology (where the sockets
+live).
+
+Logical version tokens compose the same way: a router merging per-shard
+:attr:`Answer.version <repro.net.protocol.Answer.version>` stamps
+``"shards(P#0=v0,P#1=v1)"`` (:func:`compose_shard_versions`), and
+because the token is self-describing, :func:`decompose_shard_versions`
+needs no router-side memory — a client restarted with a persisted token
+still fetches by per-shard delta, and a token minted before a split
+simply fails to decompose onto the new shard set and falls back to a
+full fetch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Iterable, Mapping, Optional
+
+from ..net.errors import NetworkError
+from ..relational.instance import DatabaseInstance
+
+__all__ = [
+    "ShardError",
+    "ShardMap",
+    "shard_name",
+    "replica_name",
+    "parse_replica_name",
+    "cluster_units",
+    "replica_layout",
+    "compose_shard_versions",
+    "decompose_shard_versions",
+]
+
+
+class ShardError(NetworkError):
+    """A shard map, layout, or physical name is malformed."""
+
+
+_REPLICA_RE = re.compile(r"^(?P<peer>.+)#(?P<shard>\d+)@(?P<replica>\d+)$")
+
+#: composed logical version tokens look like ``shards(P#0=v0,P#1=v1)``
+_TOKEN_PREFIX = "shards("
+_TOKEN_SUFFIX = ")"
+
+
+def shard_name(peer: str, shard: int) -> str:
+    """The physical name of shard ``shard`` of logical peer ``peer``."""
+    return f"{peer}#{shard}"
+
+
+def replica_name(peer: str, shard: int, replica: int) -> str:
+    """The physical name of one replica process of one shard."""
+    return f"{peer}#{shard}@{replica}"
+
+
+def parse_replica_name(name: str) -> Optional[tuple[str, int, int]]:
+    """``"P#s@r"`` → ``(peer, shard, replica)``; None for plain names."""
+    match = _REPLICA_RE.match(name)
+    if match is None:
+        return None
+    return (match.group("peer"), int(match.group("shard")),
+            int(match.group("replica")))
+
+
+class ShardMap:
+    """Deterministic hash partitioning: ``{peer: shard_count}``.
+
+    Peers absent from :attr:`counts` are *uncovered* — served by one
+    plain process under their logical name, exactly as before this
+    layer existed.  A covered peer with count 1 is still routed (one
+    shard, possibly several replicas).
+    """
+
+    #: named so a future range/jump-hash variant can coexist on the wire
+    ALGORITHM = "blake2b-key0"
+    FORMAT = 1
+
+    def __init__(self, counts: Mapping[str, int]) -> None:
+        clean: dict[str, int] = {}
+        for peer, count in counts.items():
+            if not isinstance(count, int) or count < 1:
+                raise ShardError(
+                    f"peer {peer!r} needs a positive shard count, got "
+                    f"{count!r}")
+            clean[str(peer)] = count
+        self._counts = clean
+
+    @classmethod
+    def uniform(cls, peers: Iterable[str], shards: int) -> "ShardMap":
+        """Every peer covered with the same shard count."""
+        return cls({peer: shards for peer in peers})
+
+    # ------------------------------------------------------------------
+    # Coverage
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def covers(self, peer: str) -> bool:
+        return peer in self._counts
+
+    def n_shards(self, peer: str) -> int:
+        return self._counts.get(peer, 1)
+
+    def shard_names(self, peer: str) -> tuple[str, ...]:
+        return tuple(shard_name(peer, index)
+                     for index in range(self.n_shards(peer)))
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def shard_of(self, peer: str, relation: str, row: tuple) -> int:
+        """Which shard of ``peer`` holds ``row`` of ``relation``.
+
+        Keys on the relation name plus the tuple's first attribute —
+        the join/DEC key position throughout the paper's examples — so
+        rows that agree on the key co-locate and per-shard deltas stay
+        disjoint.  The canonical JSON form of the key makes placement
+        independent of the value's Python type identity.
+        """
+        n = self.n_shards(peer)
+        if n <= 1:
+            return 0
+        key = row[0] if row else None
+        try:
+            canonical = json.dumps(key, sort_keys=True, default=str)
+        except (TypeError, ValueError):
+            canonical = repr(key)
+        digest = hashlib.blake2b(
+            f"{relation}\x00{canonical}".encode("utf-8"),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") % n
+
+    def restrict(self, instance: DatabaseInstance, peer: str,
+                 shard: int) -> DatabaseInstance:
+        """The slice of ``instance`` shard ``shard`` of ``peer`` owns.
+
+        Slices partition the instance: for every relation, the
+        restrictions to shards ``0..n-1`` are disjoint and union back
+        to the original rows.
+        """
+        n = self.n_shards(peer)
+        if not 0 <= shard < n:
+            raise ShardError(
+                f"peer {peer!r} has {n} shard(s); index {shard} is out "
+                f"of range")
+        data = {
+            relation: [row for row in instance.tuples(relation)
+                       if self.shard_of(peer, relation, row) == shard]
+            for relation in instance.relations()
+        }
+        return DatabaseInstance(instance.schema, data)
+
+    def split(self, peer: Optional[str] = None) -> "ShardMap":
+        """A new map with doubled shard counts (N→2N resharding).
+
+        With ``peer`` only that peer splits; default splits every
+        covered peer.  The map is new — running clusters keep serving
+        the old layout until a supervisor deploys the new one.
+        """
+        if peer is not None and peer not in self._counts:
+            raise ShardError(f"peer {peer!r} is not covered by this map")
+        return ShardMap({
+            name: count * 2 if peer in (None, name) else count
+            for name, count in self._counts.items()})
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"format": self.FORMAT, "algorithm": self.ALGORITHM,
+                "counts": dict(sorted(self._counts.items()))}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ShardMap":
+        if payload.get("format") != cls.FORMAT:
+            raise ShardError(
+                f"unsupported shard map format {payload.get('format')!r}")
+        if payload.get("algorithm") != cls.ALGORITHM:
+            raise ShardError(
+                f"unknown shard algorithm {payload.get('algorithm')!r}; "
+                f"this build speaks {cls.ALGORITHM!r}")
+        counts = payload.get("counts")
+        if not isinstance(counts, Mapping):
+            raise ShardError("shard map payload lacks a counts mapping")
+        return cls(counts)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardMap":
+        """Parse the serialized envelope, or — for hand-written CLI
+        input — a bare ``{"peer": n_shards}`` counts object."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ShardError(f"unreadable shard map JSON: {exc}") from exc
+        if not isinstance(payload, Mapping):
+            raise ShardError("shard map JSON must be an object")
+        if "format" not in payload and "counts" not in payload:
+            return cls(payload)
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ShardMap)
+                and self._counts == other._counts)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._counts.items())))
+
+    def __repr__(self) -> str:
+        return f"ShardMap({dict(sorted(self._counts.items()))})"
+
+
+# ---------------------------------------------------------------------------
+# Physical topologies
+# ---------------------------------------------------------------------------
+
+def cluster_units(shard_map: Optional[ShardMap],
+                  peers: Iterable[str],
+                  replicas: int = 1) -> tuple[str, ...]:
+    """Every physical process name a cluster for ``peers`` needs.
+
+    Covered peers expand to ``shards × replicas`` replica names;
+    uncovered peers stay one plain process under their logical name.
+    """
+    if replicas < 1:
+        raise ShardError("a shard needs at least one replica")
+    units: list[str] = []
+    for peer in peers:
+        if shard_map is not None and shard_map.covers(peer):
+            for shard in range(shard_map.n_shards(peer)):
+                for replica in range(replicas):
+                    units.append(replica_name(peer, shard, replica))
+        else:
+            units.append(peer)
+    return tuple(units)
+
+
+def replica_layout(shard_map: ShardMap,
+                   names: Iterable[str]) -> dict[str, list[str]]:
+    """Group physical ``names`` into ``{shard_name: [replica names]}``.
+
+    Names that do not parse as replicas of a covered peer are ignored
+    (they are plain single-process peers).  Replicas come back ordered
+    by replica index — the failover preference order.
+    """
+    grouped: dict[str, list[tuple[int, str]]] = {}
+    for name in names:
+        parsed = parse_replica_name(name)
+        if parsed is None:
+            continue
+        peer, shard, replica = parsed
+        if not shard_map.covers(peer):
+            continue
+        grouped.setdefault(shard_name(peer, shard), []).append(
+            (replica, name))
+    return {shard: [name for _index, name in sorted(entries)]
+            for shard, entries in grouped.items()}
+
+
+# ---------------------------------------------------------------------------
+# Composed logical versions
+# ---------------------------------------------------------------------------
+
+def compose_shard_versions(versions: Mapping[str, str]) -> str:
+    """Per-shard content versions → one self-describing logical token."""
+    body = ",".join(f"{shard}={version}"
+                    for shard, version in sorted(versions.items()))
+    return f"{_TOKEN_PREFIX}{body}{_TOKEN_SUFFIX}"
+
+
+def decompose_shard_versions(token: str) -> Optional[dict[str, str]]:
+    """Invert :func:`compose_shard_versions`; None for foreign tokens.
+
+    A plain store version (or a token minted for a different shard
+    layout — the caller compares the shard names) is simply not a
+    composed token, which downstream code treats as "fetch in full".
+    """
+    if (not token.startswith(_TOKEN_PREFIX)
+            or not token.endswith(_TOKEN_SUFFIX)):
+        return None
+    body = token[len(_TOKEN_PREFIX):-len(_TOKEN_SUFFIX)]
+    if not body:
+        return {}
+    versions: dict[str, str] = {}
+    for part in body.split(","):
+        shard, sep, version = part.partition("=")
+        if not sep or not shard:
+            return None
+        versions[shard] = version
+    return versions

@@ -51,8 +51,11 @@ def free_port(host: str = "127.0.0.1") -> int:
     """An OS-assigned currently-free TCP port on ``host``.
 
     Bind-and-release: a racing process could grab the port before the
-    server does, but the supervisor detects that as a failed ``READY``
-    wait and reports it typed instead of hanging.
+    server does.  :class:`~repro.wire.server.PeerServer` absorbs the
+    common transient case (``EADDRINUSE`` from a just-released probe or
+    a restarting sibling) with a bounded bind retry; a port that stays
+    occupied still surfaces as a failed ``READY`` wait, reported typed
+    instead of hanging.
     """
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
         probe.bind((host, 0))
@@ -103,8 +106,11 @@ class ClusterSupervisor:
                  default_method: str = "auto",
                  snapshot_every: int = 64,
                  startup_timeout: float = 60.0,
-                 python: str = sys.executable) -> None:
+                 python: str = sys.executable,
+                 shard_map=None, replicas: int = 1) -> None:
         self.host = host
+        self.shard_map = shard_map
+        self.replicas = replicas
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self.hop_budget = hop_budget
         self.retries = retries
@@ -131,31 +137,41 @@ class ClusterSupervisor:
             self.system_path = Path(system)
             self.peers = tuple(sorted(
                 load_system(str(self.system_path)).peers))
+        from ..shard.shardmap import cluster_units
+        #: the physical process names — replica names (``P#s@r``) for
+        #: covered peers, plain peer names otherwise
+        self.units = cluster_units(shard_map, self.peers, replicas)
         self.processes: dict[str, subprocess.Popen] = {}
         self._addresses: dict[str, str] = {}
+        self._commands: dict[str, list[str]] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> dict[str, str]:
-        """Spawn every peer server; return ``{peer: "host:port"}``.
+        """Spawn every server process; return ``{unit: "host:port"}``.
 
-        Blocks until all servers print ``READY``; on any startup
-        failure the whole cluster is torn down and a typed
-        :class:`ClusterError` names the peer that never came up.
+        One process per *unit*: plain peers get one, sharded peers get
+        ``shards × replicas`` (the unit names — ``P#s@r`` — are the
+        address keys, which is exactly the layout a
+        :class:`~repro.shard.router.ShardRouter` consumes).  Blocks
+        until all servers print ``READY``; on any startup failure the
+        whole cluster is torn down and a typed :class:`ClusterError`
+        names the unit that never came up.
         """
         if self.processes:
             raise ClusterError("cluster already started")
-        addresses = {peer: f"{self.host}:{free_port(self.host)}"
-                     for peer in self.peers}
-        peers_spec = ",".join(f"{peer}={address}"
-                              for peer, address in addresses.items())
-        env = dict(os.environ)
-        env["PYTHONPATH"] = (str(_SRC_DIR) + os.pathsep
-                             + env.get("PYTHONPATH", "")).rstrip(
-                                 os.pathsep)
+        from ..shard.shardmap import parse_replica_name
+        addresses = {unit: f"{self.host}:{free_port(self.host)}"
+                     for unit in self.units}
+        peers_spec = ",".join(f"{unit}={address}"
+                              for unit, address in addresses.items())
+        shard_json = (self.shard_map.to_json()
+                      if self.shard_map is not None else None)
         watchers = []
         try:
-            for peer in self.peers:
-                port = addresses[peer].rpartition(":")[2]
+            for unit in self.units:
+                parsed = parse_replica_name(unit)
+                peer = parsed[0] if parsed else unit
+                port = addresses[unit].rpartition(":")[2]
                 command = [self.python, "-m", "repro", "serve",
                            str(self.system_path), peer,
                            "--host", self.host, "--port", port,
@@ -163,16 +179,19 @@ class ClusterSupervisor:
                            "--retries", str(self.retries),
                            "--method", self.default_method,
                            "--snapshot-every", str(self.snapshot_every)]
+                if shard_json is not None:
+                    command += ["--shard-map", shard_json]
+                    if parsed is not None:
+                        command += ["--shard", str(parsed[1]),
+                                    "--replica", str(parsed[2])]
                 if self.hop_budget is not None:
                     command += ["--hops", str(self.hop_budget)]
                 if self.timeout is not None:
                     command += ["--timeout", str(self.timeout)]
                 if self.data_dir is not None:
                     command += ["--data-dir", str(self.data_dir)]
-                process = subprocess.Popen(
-                    command, env=env, stdout=subprocess.PIPE, text=True)
-                self.processes[peer] = process
-                watchers.append(_ReadyWatcher(peer, process))
+                self._commands[unit] = command
+                watchers.append(self._spawn(unit))
             deadline = time.monotonic() + self.startup_timeout
             for watcher in watchers:
                 remaining = deadline - time.monotonic()
@@ -193,29 +212,83 @@ class ClusterSupervisor:
         self._addresses = addresses
         return dict(addresses)
 
+    def _spawn(self, unit: str) -> _ReadyWatcher:
+        """Launch (or relaunch) one unit's stored command."""
+        process = subprocess.Popen(
+            self._commands[unit], env=self._spawn_env(),
+            stdout=subprocess.PIPE, text=True)
+        self.processes[unit] = process
+        return _ReadyWatcher(unit, process)
+
+    @staticmethod
+    def _spawn_env() -> dict[str, str]:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(_SRC_DIR) + os.pathsep
+                             + env.get("PYTHONPATH", "")).rstrip(
+                                 os.pathsep)
+        return env
+
     def addresses(self) -> dict[str, str]:
         if not self._addresses:
             raise ClusterError("cluster not started")
         return dict(self._addresses)
 
+    def shard_units(self, peer: str) -> tuple[str, ...]:
+        """The unit names serving ``peer`` (itself, when unsharded)."""
+        from ..shard.shardmap import parse_replica_name
+        return tuple(
+            unit for unit in self.units
+            if unit == peer
+            or (parsed := parse_replica_name(unit)) is not None
+            and parsed[0] == peer)
+
     # ------------------------------------------------------------------
-    def alive(self, peer: str) -> bool:
-        process = self._process(peer)
+    def alive(self, unit: str) -> bool:
+        process = self._process(unit)
         return process.poll() is None
 
-    def kill(self, peer: str) -> None:
-        """Crash one peer process hard (SIGKILL): no flush, no
+    def kill(self, unit: str) -> None:
+        """Crash one server process hard (SIGKILL): no flush, no
         goodbye — the fault-drill primitive."""
-        process = self._process(peer)
+        process = self._process(unit)
         process.kill()
         process.wait(timeout=10)
         self._close_stdout(process)
 
-    def _process(self, peer: str) -> subprocess.Popen:
+    def restart(self, unit: str) -> str:
+        """Re-spawn a dead unit on its old address and data directory.
+
+        The recovery half of the fault drill: the relaunched process
+        re-binds the same port (the server's bounded ``EADDRINUSE``
+        retry rides out the old socket's lingering state), resumes any
+        durable store under the same ``data_dir/<unit>/``, and the rest
+        of the cluster needs no reconfiguration — its address for the
+        unit never changed.  Refuses (typed) while the process is still
+        running: ``kill()`` first.
+        """
+        process = self._process(unit)
+        if process.poll() is None:
+            raise ClusterError(
+                f"unit {unit!r} is still running; kill() it before "
+                f"restart()")
+        self._close_stdout(process)
+        watcher = self._spawn(unit)
+        if not watcher.ready.wait(self.startup_timeout):
+            raise ClusterError(
+                f"restarted server {unit!r} did not report READY "
+                f"within {self.startup_timeout}s (exit code "
+                f"{watcher.process.poll()})")
+        if watcher.address is None:
+            raise ClusterError(
+                f"restarted server {unit!r} exited before reporting "
+                f"READY (exit code {watcher.process.wait()})")
+        return self._addresses[unit]
+
+    def _process(self, unit: str) -> subprocess.Popen:
         try:
-            return self.processes[peer]
+            return self.processes[unit]
         except KeyError:
-            raise ClusterError(f"no server process for peer {peer!r}"
+            raise ClusterError(f"no server process for unit {unit!r}"
                                ) from None
 
     def stop(self, grace: float = 10.0) -> None:
@@ -239,6 +312,7 @@ class ClusterSupervisor:
             self._close_stdout(process)
         self.processes.clear()
         self._addresses.clear()
+        self._commands.clear()
         if self._own_system_file is not None:
             self._own_system_file.unlink(missing_ok=True)
             self._own_system_file = None

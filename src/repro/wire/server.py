@@ -28,8 +28,10 @@ a desynced stream can never smear into later replies.
 
 from __future__ import annotations
 
+import errno
 import socket
 import threading
+import time
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
@@ -57,7 +59,8 @@ def build_peer_node(system: PeerSystem, peer: str, *,
                     include_local_ics: bool = True,
                     evaluator: str = "planner",
                     data_dir: Optional[Union[str, Path]] = None,
-                    snapshot_every: int = 64) -> PeerNode:
+                    snapshot_every: int = 64,
+                    shard_map=None, shard_index: int = 0) -> PeerNode:
     """One peer's node, seeded with only its local slice of ``system``.
 
     The system definition is authoritative: after construction the
@@ -67,7 +70,20 @@ def build_peer_node(system: PeerSystem, peer: str, *,
     precisely what lets neighbours re-sync by delta instead of
     re-fetching full relations after a restart — and every node of the
     cluster stamps the same content-derived system version.
+
+    With a ``shard_map`` the node holds only shard ``shard_index`` of
+    its peer (see :func:`repro.shard.node.build_shard_node`, which this
+    delegates to).
     """
+    if shard_map is not None:
+        # lazy: repro.shard imports from repro.net only, but keeping
+        # the import out of module scope keeps wire↔shard cycle-free
+        from ..shard.node import build_shard_node
+        return build_shard_node(
+            system, peer, shard_map=shard_map, shard_index=shard_index,
+            default_method=default_method,
+            include_local_ics=include_local_ics, evaluator=evaluator,
+            data_dir=data_dir, snapshot_every=snapshot_every)
     if peer not in system.peers:
         raise NetworkError(
             f"system has no peer {peer!r}; it has "
@@ -104,24 +120,50 @@ class PeerServer:
                  evaluator: str = "planner",
                  snapshot_every: int = 64,
                  request_timeout: float = 10.0,
-                 connect_timeout: float = 2.0) -> None:
+                 connect_timeout: float = 2.0,
+                 shard_map=None, shard_index: int = 0,
+                 replica_index: int = 0,
+                 bind_retries: int = 3) -> None:
+        self.peer = peer
+        if shard_map is not None and shard_map.covers(peer):
+            from ..shard.shardmap import replica_name
+            #: this process's physical name — what the supervisor
+            #: addresses, kills, and restarts
+            self.unit = replica_name(peer, shard_index, replica_index)
+        else:
+            self.unit = peer
         self.node = build_peer_node(
             system, peer,
             default_method=default_method,
             include_local_ics=include_local_ics,
             evaluator=evaluator,
-            # the cluster-level directory, scoped per peer exactly like
-            # PeerNetwork.from_system(data_dir=...) scopes its nodes
-            data_dir=(Path(data_dir) / peer
+            # the cluster-level directory, scoped per *unit* (two
+            # replicas of one peer must never share a store) exactly
+            # like PeerNetwork.from_system(data_dir=...) scopes nodes
+            data_dir=(Path(data_dir) / self.unit
                       if data_dir is not None else None),
-            snapshot_every=snapshot_every)
-        self.peer = peer
+            snapshot_every=snapshot_every,
+            shard_map=shard_map, shard_index=shard_index)
         remote = {name: value
                   for name, value in (addresses or {}).items()
-                  if name != peer}
-        self.transport = SocketTransport(
-            remote, local_name=peer, timeout=request_timeout,
+                  if name != self.unit}
+        inner = SocketTransport(
+            remote, local_name=self.unit, timeout=request_timeout,
             connect_timeout=connect_timeout)
+        if shard_map is not None:
+            # outbound requests must see the same logical surface a
+            # client does: fetches fan across shards, queries pick a
+            # replica, sibling-shard self-merge included — the local
+            # slice rides the inner transport's handler fallback (our
+            # own unit has no address entry)
+            from ..shard.router import ShardRouter
+            from ..shard.shardmap import replica_layout
+            layout = replica_layout(shard_map, dict.fromkeys(
+                [*((addresses or {}).keys()), self.unit]))
+            self.transport = ShardRouter(
+                shard_map, layout, inner, local_name=self.unit)
+        else:
+            self.transport = inner
         # a single-node network: the node cannot see the global
         # diameter, so the hop budget must cover the *whole* system
         self.network = PeerNetwork(
@@ -129,25 +171,49 @@ class PeerServer:
             hop_budget=(hop_budget if hop_budget is not None
                         else len(system.peers)),
             retries=retries, timeout=timeout)
-        self._listener = socket.socket(socket.AF_INET,
-                                       socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET,
-                                  socket.SO_REUSEADDR, 1)
-        try:
-            self._listener.bind((host, port))
-            self._listener.listen(64)
-            # a short accept timeout lets the loop notice shutdown
-            # promptly — closing a socket does not reliably wake a
-            # thread already blocked in accept()
-            self._listener.settimeout(0.2)
-        except OSError:
-            self._listener.close()
-            raise
+        self._listener = self._bind(host, port, max(1, bind_retries))
         self.host, self.port = self._listener.getsockname()[:2]
         self._shutdown = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
         self._connections: set[socket.socket] = set()
         self._lock = threading.Lock()
+
+    @staticmethod
+    def _bind(host: str, port: int, attempts: int) -> socket.socket:
+        """Bind the listener, retrying a bounded number of times on
+        ``EADDRINUSE``.
+
+        Ports come from :func:`~repro.wire.cluster.free_port`'s
+        bind-and-release probe, so there is an unavoidable window in
+        which the OS hands the 'free' port to someone else's transient
+        socket (TIME_WAIT from a just-killed server being the classic
+        case on a restart).  A few short-backoff retries absorb that
+        race; a genuinely occupied port still fails typed after the
+        last attempt.
+        """
+        last: Optional[OSError] = None
+        for attempt in range(attempts):
+            listener = socket.socket(socket.AF_INET,
+                                     socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET,
+                                socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind((host, port))
+                listener.listen(64)
+                # a short accept timeout lets the loop notice shutdown
+                # promptly — closing a socket does not reliably wake a
+                # thread already blocked in accept()
+                listener.settimeout(0.2)
+                return listener
+            except OSError as exc:
+                listener.close()
+                if exc.errno != errno.EADDRINUSE or port == 0:
+                    raise
+                last = exc
+                if attempt + 1 < attempts:
+                    time.sleep(0.1 * (attempt + 1))
+        assert last is not None
+        raise last
 
     # ------------------------------------------------------------------
     @property
@@ -161,7 +227,7 @@ class PeerServer:
                                f"started")
         self._accept_thread = threading.Thread(
             target=self.serve_forever,
-            name=f"peer-server-{self.peer}", daemon=True)
+            name=f"peer-server-{self.unit}", daemon=True)
         self._accept_thread.start()
         return self
 
@@ -182,7 +248,7 @@ class PeerServer:
                 self._connections.add(connection)
             thread = threading.Thread(
                 target=self._serve_connection, args=(connection,),
-                name=f"peer-conn-{self.peer}", daemon=True)
+                name=f"peer-conn-{self.unit}", daemon=True)
             thread.start()
 
     def _serve_connection(self, connection: socket.socket) -> None:
@@ -296,5 +362,5 @@ class PeerServer:
         self.shutdown()
 
     def __repr__(self) -> str:
-        return (f"PeerServer({self.peer!r} @ {self.address}, "
+        return (f"PeerServer({self.unit!r} @ {self.address}, "
                 f"neighbours={list(self.transport.addresses())})")

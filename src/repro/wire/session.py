@@ -48,7 +48,8 @@ __all__ = ["RemoteNetworkSession"]
 class RemoteNetworkSession:
     """Query answering against live peer server processes."""
 
-    def __init__(self, addresses: Mapping[str, str], *,
+    def __init__(self, addresses: Optional[Mapping[str, str]] = None, *,
+                 transport=None,
                  default_method: str = "auto",
                  retries: int = 2,
                  timeout: Optional[float] = None,
@@ -59,9 +60,23 @@ class RemoteNetworkSession:
             raise NetworkError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
             raise NetworkError("timeout must be > 0 seconds")
-        self.transport = SocketTransport(
-            dict(addresses), local_name="client",
-            timeout=request_timeout, connect_timeout=connect_timeout)
+        if transport is not None:
+            if addresses is not None:
+                raise NetworkError(
+                    "pass either addresses or a prebuilt transport, "
+                    "not both")
+            # a prebuilt client transport — e.g. a ShardRouter whose
+            # addresses() already speak logical peer names; the session
+            # owns it from here (close() closes it)
+            self.transport = transport
+        elif addresses is not None:
+            self.transport = SocketTransport(
+                dict(addresses), local_name="client",
+                timeout=request_timeout, connect_timeout=connect_timeout)
+        else:
+            raise NetworkError(
+                "RemoteNetworkSession needs peer addresses or a "
+                "transport")
         self.default_method = default_method
         self.retries = retries
         self.timeout = timeout

@@ -185,6 +185,12 @@ class SocketTransport(Transport):
     def set_address(self, name: str, address: Union[str, Address]) -> None:
         self._addresses[name] = parse_address(address)
 
+    def resolve(self, target: str) -> Optional[Address]:
+        """The socket address serving ``target``, or None (handler /
+        unknown).  The seam a shard router rides on: physical unit
+        names resolve here while logical peer names stay unknown."""
+        return self._addresses.get(target)
+
     def addresses(self) -> dict[str, str]:
         return {name: format_address(address)
                 for name, address in sorted(self._addresses.items())}
@@ -196,7 +202,7 @@ class SocketTransport(Transport):
         target = message.target
         if self.faults.is_down(target):
             raise PeerDown(f"peer {target!r} is down")
-        address = self._addresses.get(target)
+        address = self.resolve(target)
         if address is None:
             handler = self._handlers.get(target)
             if handler is None:
@@ -207,7 +213,7 @@ class SocketTransport(Transport):
             raise MessageDropped(
                 f"message {message.correlation_id} to {target!r} was "
                 f"dropped")
-        connection = self._borrow(target, address)
+        connection, reused = self._borrow(target, address)
         try:
             reply, frame_bytes = connection.round_trip(message)
         except socket.timeout:
@@ -221,6 +227,12 @@ class SocketTransport(Transport):
             raise
         except OSError as exc:
             connection.close()
+            if reused:
+                # a pooled connection going stale (server restarted
+                # under it) means its pool siblings are stale too:
+                # flush them all so one retry gets a fresh dial
+                # instead of burning the budget on dead sockets
+                self._discard_pool(target)
             raise MessageDropped(
                 f"connection to {target!r} at "
                 f"{format_address(address)} failed mid-request: {exc}"
@@ -248,15 +260,17 @@ class SocketTransport(Transport):
     # ------------------------------------------------------------------
     # The connection pool
     # ------------------------------------------------------------------
-    def _borrow(self, target: str, address: Address) -> _Connection:
+    def _borrow(self, target: str,
+                address: Address) -> tuple[_Connection, bool]:
+        """A connection to ``target``: ``(connection, was_pooled)``."""
         with self._lock:
             pool = self._pools.get(target)
             if pool:
-                return pool.pop()
+                return pool.pop(), True
         try:
             return _Connection(address, local_name=self.local_name,
                                connect_timeout=self.connect_timeout,
-                               timeout=self.timeout)
+                               timeout=self.timeout), False
         except socket.timeout:
             raise PeerDown(
                 f"peer {target!r} at {format_address(address)} did not "
@@ -278,6 +292,12 @@ class SocketTransport(Transport):
                     pool.append(connection)
                     return
         connection.close()
+
+    def _discard_pool(self, target: str) -> None:
+        with self._lock:
+            stale = self._pools.pop(target, [])
+        for connection in stale:
+            connection.close()
 
     def pooled_connections(self, target: str) -> int:
         """How many idle connections the pool holds for ``target``."""

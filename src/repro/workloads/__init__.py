@@ -20,10 +20,12 @@ from .paper import (
     section31_system,
 )
 from .synthetic import (
+    bulk_relation_system,
     conflict_chain_system,
     import_star_system,
     peer_chain_system,
     referential_system,
+    sharded_topology_system,
     topology_system,
 )
 
@@ -33,4 +35,5 @@ __all__ = [
     "appendix_instance", "example4_system",
     "conflict_chain_system", "import_star_system", "referential_system",
     "peer_chain_system", "topology_system",
+    "sharded_topology_system", "bulk_relation_system",
 ]

@@ -42,6 +42,8 @@ __all__ = [
     "referential_system",
     "peer_chain_system",
     "topology_system",
+    "sharded_topology_system",
+    "bulk_relation_system",
 ]
 
 _X, _Y, _Z, _W = (Variable("X"), Variable("Y"), Variable("Z"),
@@ -216,6 +218,44 @@ def topology_system(n_peers: int, *, topology: str = "star",
         builder.exchange("P0", "PC", egd)
         builder.trust("P0", "same", "PC")
     return builder.build()
+
+
+def sharded_topology_system(n_peers: int, *, shards: int = 2,
+                            topology: str = "star",
+                            n_tuples: int = 6, conflicts: int = 0,
+                            extra_edges: int = 0, seed: int = 0):
+    """A :func:`topology_system` plus a uniform shard map for it.
+
+    Returns ``(system, shard_map)`` — the pair every sharded
+    differential case needs: the same seeded system families the
+    :mod:`repro.net` suite sweeps, deployed as ``shards`` slices per
+    peer.  The map import is lazy so the workload package stays free of
+    a hard :mod:`repro.shard` dependency.
+    """
+    from ..shard import ShardMap
+    system = topology_system(n_peers, topology=topology,
+                             n_tuples=n_tuples, conflicts=conflicts,
+                             extra_edges=extra_edges, seed=seed)
+    return system, ShardMap.uniform(system.peers, shards)
+
+
+def bulk_relation_system(n_rows: int, *, value_width: int = 24,
+                         seed: int = 0) -> PeerSystem:
+    """One peer, one wide relation, many rows — the bulk-transfer
+    family the SH1 benchmark fetches through shard fan-out.
+
+    Keys are unique (every row is its own shard-placement decision) and
+    values are ``value_width`` characters of seeded noise, so fetch
+    cost is dominated by genuine payload bytes rather than framing.
+    """
+    rng = random.Random(f"bulk:{seed}:{n_rows}:{value_width}")
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    rows = [(f"k{i:07d}",
+             "".join(rng.choice(alphabet) for _ in range(value_width)))
+            for i in range(n_rows)]
+    return (PeerSystem.builder()
+            .peer("P0", {"R0": 2}, instance={"R0": rows})
+            .build())
 
 
 def peer_chain_system(length: int, n_tuples: int = 2) -> PeerSystem:

@@ -1,0 +1,122 @@
+"""Sharded clusters over real server processes.
+
+The process-level edge of the shard differential contract: the same
+equivalences ``test_sharded_differential.py`` sweeps in-process must
+hold when every shard replica is a live ``repro serve`` process —
+serialization, sockets, supervisor kills and restarts included.  Kept
+to a focused set of drills; the broad seeded sweep stays in-process.
+"""
+
+import time
+
+import pytest
+
+from repro.core import PeerQuerySession
+from repro.shard import ShardMap, open_sharded_session
+from repro.wire import ClusterError, ClusterSupervisor
+from repro.workloads import example1_system, sharded_topology_system
+
+QUERIES = ["q(X, Y) := R1(X, Y)", "q(X) := exists Y R1(X, Y)"]
+
+
+class TestDifferential:
+    def test_example1_sharded_replicated(self):
+        system = example1_system()
+        local = PeerQuerySession(system)
+        with open_sharded_session(system, shards=2,
+                                  replicas=2) as session:
+            assert session.peers() == ("P1", "P2", "P3")
+            for query in QUERIES:
+                expected = local.answer("P1", query)
+                actual = session.answer("P1", query)
+                assert actual.ok, (query, actual.error)
+                assert actual.answers == expected.answers
+                assert actual.solution_count == expected.solution_count
+                assert actual.method_used == expected.method_used
+
+    def test_seeded_system_through_split(self):
+        system, shard_map = sharded_topology_system(
+            3, shards=2, topology="random", n_tuples=3, conflicts=1,
+            extra_edges=1, seed=4)
+        query = "q(X, Y) := R0(X, Y)"
+        expected = PeerQuerySession(system).answer("P0", query)
+        for deployed in (shard_map, shard_map.split()):
+            with open_sharded_session(system,
+                                      shard_map=deployed) as session:
+                actual = session.answer("P0", query)
+                assert actual.ok, (deployed, actual.error)
+                assert actual.answers == expected.answers
+                assert (actual.solution_count
+                        == expected.solution_count)
+
+
+class TestFaultDrills:
+    def test_kill_one_replica_per_shard_still_answers(self):
+        system = example1_system()
+        query = "q(X, Y) := R1(X, Y)"
+        expected = PeerQuerySession(system).answer("P1", query)
+        with open_sharded_session(system, shards=2, replicas=2,
+                                  cooldown=0.2) as session:
+            supervisor = session.supervisor
+            for peer in session.peers():
+                for unit in supervisor.shard_units(peer):
+                    if unit.endswith("@0"):
+                        supervisor.kill(unit)
+            actual = session.answer("P1", query)
+            assert actual.ok, actual.error
+            assert actual.answers == expected.answers
+
+    def test_last_replica_loss_is_typed_and_bounded(self):
+        system = example1_system()
+        with open_sharded_session(system, shards=2, replicas=1,
+                                  retries=1, request_timeout=10.0,
+                                  connect_timeout=1.0) as session:
+            supervisor = session.supervisor
+            for unit in supervisor.shard_units("P1"):
+                supervisor.kill(unit)
+            start = time.perf_counter()
+            result = session.answer("P1", "q(X, Y) := R1(X, Y)")
+            wall = time.perf_counter() - start
+            assert result.failed
+            assert result.error.code == "peer-unreachable"
+            assert wall < 60.0  # typed failure, not a hang
+
+    def test_restart_rejoins_on_old_address(self):
+        system = example1_system()
+        query = "q(X, Y) := R2(X, Y)"
+        expected = PeerQuerySession(system).answer("P2", query)
+        with open_sharded_session(system, shards=2, replicas=1,
+                                  cooldown=0.2) as session:
+            supervisor = session.supervisor
+            victim = supervisor.shard_units("P2")[0]
+            old_address = supervisor.addresses()[victim]
+            supervisor.kill(victim)
+            lost = session.answer("P2", query)
+            assert lost.failed  # last replica of that shard
+            assert supervisor.restart(victim) == old_address
+            session.transport.reset_health()
+            back = session.answer("P2", query)
+            assert back.ok, back.error
+            assert back.answers == expected.answers
+
+
+class TestSupervisorSurface:
+    def test_units_enumerate_shard_replicas(self):
+        system = example1_system()
+        shard_map = ShardMap({"P1": 2})
+        supervisor = ClusterSupervisor(system, shard_map=shard_map,
+                                       replicas=2)
+        assert supervisor.units == ("P1#0@0", "P1#0@1", "P1#1@0",
+                                    "P1#1@1", "P2", "P3")
+        assert supervisor.shard_units("P1") == (
+            "P1#0@0", "P1#0@1", "P1#1@0", "P1#1@1")
+        assert supervisor.shard_units("P2") == ("P2",)
+
+    def test_restart_of_running_unit_refuses_typed(self):
+        system = example1_system()
+        with open_sharded_session(system, shards=2,
+                                  replicas=1) as session:
+            supervisor = session.supervisor
+            unit = supervisor.shard_units("P1")[0]
+            with pytest.raises(ClusterError, match="still running"):
+                supervisor.restart(unit)

@@ -1,0 +1,151 @@
+"""ShardMap: deterministic placement, partitioning, naming, tokens."""
+
+import pytest
+
+from repro.shard import (
+    ShardError,
+    ShardMap,
+    cluster_units,
+    compose_shard_versions,
+    decompose_shard_versions,
+    parse_replica_name,
+    replica_layout,
+    replica_name,
+    shard_name,
+)
+from repro.workloads import example1_system, topology_system
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a = ShardMap.uniform(["P"], 4)
+        b = ShardMap.from_json(a.to_json())
+        rows = [(f"k{i}", f"v{i}") for i in range(50)]
+        for row in rows:
+            assert a.shard_of("P", "R", row) == b.shard_of("P", "R", row)
+
+    def test_placement_is_not_python_hash(self):
+        # blake2b of the canonical key: a known, frozen placement —
+        # if this changes, deployed clients and servers disagree
+        shard_map = ShardMap.uniform(["P"], 2)
+        placements = [shard_map.shard_of("P", "R", (f"k{i}", "v"))
+                      for i in range(8)]
+        assert placements == [
+            shard_map.shard_of("P", "R", (f"k{i}", "other"))
+            for i in range(8)
+        ], "placement must depend only on relation and key"
+        assert len(set(placements)) == 2, "both shards must be used"
+
+    def test_single_shard_and_uncovered_peers(self):
+        shard_map = ShardMap({"P": 1})
+        assert shard_map.shard_of("P", "R", ("k", "v")) == 0
+        assert shard_map.n_shards("other") == 1
+        assert not shard_map.covers("other")
+
+    def test_restrict_partitions_instance(self):
+        system = topology_system(3, topology="star", n_tuples=9, seed=3)
+        shard_map = ShardMap.uniform(system.peers, 3)
+        for peer, instance in system.instances.items():
+            slices = [shard_map.restrict(instance, peer, shard)
+                      for shard in range(3)]
+            for relation in instance.relations():
+                parts = [s.tuples(relation) for s in slices]
+                whole = frozenset().union(*parts)
+                assert whole == instance.tuples(relation)
+                assert sum(len(p) for p in parts) == len(whole), \
+                    "slices must be disjoint"
+
+    def test_restrict_range_checked(self):
+        system = example1_system()
+        shard_map = ShardMap.uniform(system.peers, 2)
+        with pytest.raises(ShardError):
+            shard_map.restrict(system.instances["P1"], "P1", 2)
+
+    def test_counts_validated(self):
+        with pytest.raises(ShardError):
+            ShardMap({"P": 0})
+        with pytest.raises(ShardError):
+            ShardMap({"P": "two"})
+
+
+class TestSplit:
+    def test_split_doubles_and_repartitions(self):
+        system = example1_system()
+        shard_map = ShardMap.uniform(system.peers, 2)
+        doubled = shard_map.split()
+        assert doubled.counts == {p: 4 for p in system.peers}
+        instance = system.instances["P1"]
+        whole = frozenset().union(
+            *[doubled.restrict(instance, "P1", s).tuples("R1")
+              for s in range(4)])
+        assert whole == instance.tuples("R1")
+
+    def test_split_one_peer(self):
+        shard_map = ShardMap({"P": 2, "Q": 2})
+        split = shard_map.split("P")
+        assert split.counts == {"P": 4, "Q": 2}
+        with pytest.raises(ShardError):
+            shard_map.split("missing")
+
+
+class TestNaming:
+    def test_roundtrip(self):
+        assert shard_name("P2", 1) == "P2#1"
+        name = replica_name("P2", 1, 3)
+        assert name == "P2#1@3"
+        assert parse_replica_name(name) == ("P2", 1, 3)
+
+    def test_plain_names_do_not_parse(self):
+        assert parse_replica_name("P2") is None
+        assert parse_replica_name("P2#1") is None
+
+    def test_cluster_units_and_layout(self):
+        shard_map = ShardMap({"P": 2})
+        units = cluster_units(shard_map, ["P", "Q"], replicas=2)
+        assert units == ("P#0@0", "P#0@1", "P#1@0", "P#1@1", "Q")
+        layout = replica_layout(shard_map, units)
+        assert layout == {"P#0": ["P#0@0", "P#0@1"],
+                          "P#1": ["P#1@0", "P#1@1"]}
+
+    def test_cluster_units_needs_a_replica(self):
+        with pytest.raises(ShardError):
+            cluster_units(ShardMap({"P": 2}), ["P"], replicas=0)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        shard_map = ShardMap({"P": 2, "Q": 5})
+        assert ShardMap.from_json(shard_map.to_json()) == shard_map
+
+    def test_foreign_format_rejected(self):
+        payload = ShardMap({"P": 2}).to_dict()
+        payload["format"] = 99
+        with pytest.raises(ShardError):
+            ShardMap.from_dict(payload)
+        payload = ShardMap({"P": 2}).to_dict()
+        payload["algorithm"] = "md5-key1"
+        with pytest.raises(ShardError):
+            ShardMap.from_dict(payload)
+        with pytest.raises(ShardError):
+            ShardMap.from_json("not json")
+
+
+class TestComposedVersions:
+    def test_roundtrip(self):
+        versions = {"P#0": "aaa", "P#1": "bbb"}
+        token = compose_shard_versions(versions)
+        assert token == "shards(P#0=aaa,P#1=bbb)"
+        assert decompose_shard_versions(token) == versions
+
+    def test_foreign_tokens_decompose_to_none(self):
+        assert decompose_shard_versions("deadbeef") is None
+        assert decompose_shard_versions("shards(broken") is None
+        assert decompose_shard_versions("shards(nosep)") is None
+
+    def test_token_is_layout_sensitive(self):
+        # the decomposed shard set is what _fetch_sharded compares
+        # against the live layout to detect a pre-split token
+        token = compose_shard_versions({"P#0": "a", "P#1": "b"})
+        decomposed = decompose_shard_versions(token)
+        live = ShardMap({"P": 4}).shard_names("P")
+        assert set(decomposed) != set(live)

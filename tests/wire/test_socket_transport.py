@@ -320,3 +320,87 @@ def test_answer_many_in_order(example1_servers):
             query = f"q(X, Y) := {relation}(X, Y)"
             assert result.answers == \
                 local.answer(peer, query).answers
+
+
+# ---------------------------------------------------------------------------
+# Pool staleness: a server restart under pooled connections
+# ---------------------------------------------------------------------------
+
+def _fill_pool(transport, target, width=3):
+    """Issue ``width`` concurrent requests so the pool holds that many
+    handshaken connections when they all come back."""
+    barrier = threading.Barrier(width)
+    errors = []
+
+    def worker():
+        try:
+            barrier.wait(timeout=10)
+            transport.request(FetchRelation(
+                sender="test", target=target, relation="R2"))
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(width)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+
+
+def test_restarted_server_under_pool_is_retryable_and_flushes():
+    """A killed-and-restarted server must surface a *retryable* error
+    on the first pooled request — never a hang or a torn frame — and
+    flush every stale sibling so the retry dials fresh."""
+    system = example1_system()
+    port = free_port()
+    address = {"P2": f"127.0.0.1:{port}"}
+    first = PeerServer(system, "P2", port=port).start()
+    transport = SocketTransport(address, local_name="test",
+                                timeout=10.0)
+    try:
+        _fill_pool(transport, "P2", width=3)
+        assert transport.pooled_connections("P2") == 3
+        first.shutdown()
+        second = PeerServer(system, "P2", port=port).start()
+        try:
+            start = time.perf_counter()
+            with pytest.raises(MessageDropped):
+                transport.request(FetchRelation(
+                    sender="test", target="P2", relation="R2"))
+            assert time.perf_counter() - start < 5.0  # no hang
+            # one failure condemns the whole stale pool
+            assert transport.pooled_connections("P2") == 0
+            reply = transport.request(FetchRelation(
+                sender="test", target="P2", relation="R2"))
+            assert isinstance(reply, Answer)
+            assert frozenset(reply.payload) == \
+                system.instances["P2"].tuples("R2")
+        finally:
+            second.shutdown()
+    finally:
+        transport.close()
+
+
+def test_session_retries_transparently_over_restarted_server():
+    """At the session level the restart is invisible: the built-in
+    retry budget absorbs the stale-pool failure."""
+    system = example1_system()
+    port = free_port()
+    address = {"P2": f"127.0.0.1:{port}"}
+    first = PeerServer(system, "P2", port=port).start()
+    session = RemoteNetworkSession(address, retries=1,
+                                   request_timeout=10.0)
+    try:
+        warm = session.answer("P2", "q(X, Y) := R2(X, Y)")
+        assert warm.ok, warm.error
+        first.shutdown()
+        second = PeerServer(system, "P2", port=port).start()
+        try:
+            again = session.answer("P2", "q(X, Y) := R2(X, Y)")
+            assert again.ok, again.error
+            assert again.answers == warm.answers
+        finally:
+            second.shutdown()
+    finally:
+        session.close()
