@@ -1,0 +1,358 @@
+"""WC2 — wire concurrency: hundreds of client sessions on one event loop.
+
+The serving model moved from a thread per connection to a
+:mod:`selectors` event loop with a bounded worker pool, so the claims
+that need numbers are:
+
+* **does one small cluster hold hundreds of concurrent sessions?** —
+  ``N_SESSIONS`` client sessions (each its own
+  :class:`~repro.wire.session.RemoteNetworkSession` over its own TCP
+  connection) hammer a 3-peer cluster for ``DURATION_S`` seconds.
+  Script mode enforces a sustained-QPS floor and a p99 latency
+  ceiling, and every single answer must be ``ok`` — no resets, no
+  hangs, no shed queries leaking through the session's retries.
+
+* **does overload shed typed and fast?** — a deliberately tiny server
+  (``workers=1``, ``pending_limit=4``, slowed handler) takes a burst
+  far above its queue.  Every rejected request must surface as the
+  retryable :class:`~repro.net.errors.ServerOverloaded` (the wire's
+  ``code="overloaded"`` Failure) — never a reset or a hang — and a
+  retries-enabled session over the same saturated server must absorb
+  the sheds into plain latency.
+
+The cluster runs in-process (servers on threads, real TCP sockets,
+same as WC1): the point is the serving path, not process startup, and
+the CI box has one core — the enforced bars are deliberately
+conservative; the trajectory file carries the real numbers.
+"""
+
+import statistics
+import threading
+import time
+
+from repro.net import ServerOverloaded
+from repro.net.protocol import Answer, FetchRelation
+from repro.wire import (
+    PeerServer,
+    RemoteNetworkSession,
+    SocketTransport,
+    free_port,
+)
+from repro.workloads import topology_system
+
+QUERY = "q(X, Y) := R0(X, Y)"
+N_PEERS = 3
+N_TUPLES = 12
+SEED = 23
+
+#: concurrent client sessions held against the cluster (the
+#: acceptance floor is 200; a margin on top guards the claim)
+N_SESSIONS = 240
+#: measured window of sustained load
+DURATION_S = 4.0
+
+#: sustained throughput floor across the whole cluster (1-core CI:
+#: 240 GIL-sharing client threads *and* 3 servers on the same box)
+MIN_QPS = 30.0
+#: p99 end-to-end latency ceiling under that load
+MAX_P99_MS = 5000.0
+
+#: overload drill: burst size against workers=1 / pending_limit=4
+OVERLOAD_BURST = 48
+OVERLOAD_HANDLE_S = 0.05
+
+
+def query_for(peer):
+    """Each topology peer ``Pi`` owns relation ``Ri``."""
+    return f"q(X, Y) := R{peer[1:]}(X, Y)"
+
+
+def make_cluster(**server_kwargs):
+    system = topology_system(N_PEERS, topology="star",
+                             n_tuples=N_TUPLES, seed=SEED)
+    addresses = {name: f"127.0.0.1:{free_port()}"
+                 for name in system.peers}
+    servers = [PeerServer(system, name,
+                          port=int(addresses[name].rsplit(":", 1)[1]),
+                          addresses=addresses, **server_kwargs).start()
+               for name in sorted(system.peers)]
+    return system, addresses, servers
+
+
+# ---------------------------------------------------------------------------
+# Sustained concurrent sessions
+# ---------------------------------------------------------------------------
+
+def run_concurrent_sessions(addresses, *, n_sessions, duration_s,
+                            warm_first=True, probe=None):
+    """``n_sessions`` threads, each with its own session pinned to one
+    peer round-robin, answering in a closed loop for ``duration_s``.
+
+    Returns ``(latencies_ms, errors, wall_s, probed)``;
+    ``latencies_ms`` has one entry per completed *ok* answer and
+    ``probed`` is ``probe()`` sampled mid-window (``None`` without a
+    probe).
+    """
+    peers = sorted(addresses)
+    if warm_first:
+        with RemoteNetworkSession(addresses) as warm:
+            for peer in peers:
+                result = warm.answer(peer, query_for(peer))
+                assert result.ok, result.error
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_sessions + 1)
+    stop = threading.Event()
+
+    def run_one(index):
+        peer = peers[index % len(peers)]
+        query = query_for(peer)
+        session = RemoteNetworkSession(
+            {peer: addresses[peer]}, retries=4, request_timeout=30.0)
+        mine = []
+        try:
+            barrier.wait(timeout=60)
+            while not stop.is_set():
+                start = time.perf_counter()
+                result = session.answer(peer, query)
+                elapsed_ms = (time.perf_counter() - start) * 1000
+                if result.ok:
+                    mine.append(elapsed_ms)
+                else:
+                    with lock:
+                        errors.append(result.error)
+                    return
+        except Exception as exc:  # noqa: BLE001 - a bench failure
+            with lock:
+                errors.append(exc)
+        finally:
+            session.close()
+            with lock:
+                latencies.extend(mine)
+
+    threads = [threading.Thread(target=run_one, args=(index,),
+                                daemon=True)
+               for index in range(n_sessions)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    wall_start = time.perf_counter()
+    time.sleep(duration_s / 2)
+    probed = probe() if probe is not None else None
+    time.sleep(duration_s / 2)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=60)
+    wall_s = time.perf_counter() - wall_start
+    return latencies, errors, wall_s, probed
+
+
+# ---------------------------------------------------------------------------
+# Overload drill
+# ---------------------------------------------------------------------------
+
+def run_overload_drill():
+    """Burst far past one server's admission queue; classify every
+    outcome.  Returns ``(served, shed, other_errors, burst_s,
+    absorbed_ok)``.
+
+    The full 3-peer cluster runs (the query gather needs the
+    neighbours), but only ``P0`` is saturated: one worker, a 4-deep
+    admission queue, and a deliberately slowed handler.  The absorbed
+    check runs a retries-enabled session *concurrently with the
+    burst*, so its retries really do race live sheds.
+    """
+    system = topology_system(N_PEERS, topology="star",
+                             n_tuples=N_TUPLES, seed=SEED)
+    addresses = {name: f"127.0.0.1:{free_port()}"
+                 for name in system.peers}
+    servers = []
+    for name in sorted(system.peers):
+        kwargs = ({"workers": 1, "pending_limit": 4}
+                  if name == "P0" else {})
+        servers.append(PeerServer(
+            system, name,
+            port=int(addresses[name].rsplit(":", 1)[1]),
+            addresses=addresses, **kwargs).start())
+    target = servers[0]  # P0, sorted first
+    inner = target.node.handle
+
+    def slow(message):
+        time.sleep(OVERLOAD_HANDLE_S)
+        return inner(message)
+
+    target.node.handle = slow
+    transport = SocketTransport(
+        {"P0": addresses["P0"]}, local_name="wc2", timeout=60.0)
+    outcomes = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(OVERLOAD_BURST + 1)
+
+    def fire():
+        try:
+            barrier.wait(timeout=60)
+            reply = transport.request(FetchRelation(
+                sender="wc2", target="P0", relation="R0"))
+            with lock:
+                outcomes.append(reply)
+        except Exception as exc:  # noqa: BLE001 - classified below
+            with lock:
+                outcomes.append(exc)
+
+    absorbed = []
+    session = RemoteNetworkSession(
+        {"P0": addresses["P0"]}, retries=30, request_timeout=60.0)
+
+    def answer_through_the_storm():
+        barrier.wait(timeout=60)
+        absorbed.append(session.answer("P0", QUERY))
+
+    threads = [threading.Thread(target=fire, daemon=True)
+               for _ in range(OVERLOAD_BURST)]
+    threads.append(threading.Thread(target=answer_through_the_storm,
+                                    daemon=True))
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    burst_s = time.perf_counter() - start
+    hung = sum(thread.is_alive() for thread in threads)
+    served = sum(isinstance(o, Answer) for o in outcomes)
+    shed = sum(isinstance(o, ServerOverloaded) for o in outcomes)
+    other = [o for o in outcomes
+             if not isinstance(o, (Answer, ServerOverloaded))]
+    if hung:
+        other.append(f"{hung} request thread(s) hung")
+    session.close()
+    transport.close()
+    for server in servers:
+        server.shutdown()
+    absorbed_ok = bool(absorbed) and absorbed[0].ok
+    return served, shed, other, burst_s, absorbed_ok
+
+
+# ---------------------------------------------------------------------------
+# pytest harness (scaled down; the enforced bars live in script mode)
+# ---------------------------------------------------------------------------
+
+def test_wc2_concurrent_sessions_all_ok():
+    _system, addresses, servers = make_cluster()
+    try:
+        latencies, errors, wall_s, _ = run_concurrent_sessions(
+            addresses, n_sessions=24, duration_s=0.8)
+        assert not errors, errors[:3]
+        assert latencies
+        assert len(latencies) / wall_s > 0
+    finally:
+        for server in servers:
+            server.shutdown()
+
+
+def test_wc2_overload_sheds_typed():
+    served, shed, other, _burst_s, absorbed_ok = run_overload_drill()
+    assert not other, other[:3]
+    assert served > 0
+    assert shed > 0
+    assert absorbed_ok
+
+
+# ---------------------------------------------------------------------------
+# Script mode (CI smoke step): print the report, enforce the bars
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    failures = []
+    print(f"WC2 — wire concurrency: {N_SESSIONS} sessions, "
+          f"{N_PEERS}-peer cluster, {DURATION_S:.0f}s sustained")
+
+    _system, addresses, servers = make_cluster()
+    try:
+        latencies, errors, wall_s, peak_connections = \
+            run_concurrent_sessions(
+                addresses, n_sessions=N_SESSIONS,
+                duration_s=DURATION_S,
+                probe=lambda: sum(server.connection_count()
+                                  for server in servers))
+    finally:
+        for server in servers:
+            server.shutdown()
+    qps = len(latencies) / wall_s if wall_s else 0.0
+    p50 = statistics.median(latencies) if latencies else float("inf")
+    p99 = (statistics.quantiles(latencies, n=100)[98]
+           if len(latencies) >= 100 else float("inf"))
+    print(f"  sustained    : {len(latencies)} answers in {wall_s:.1f}s "
+          f"= {qps:7.1f} q/s across {N_SESSIONS} sessions")
+    print(f"  latency      : p50 {p50:7.1f} ms   p99 {p99:7.1f} ms")
+    print(f"  connections  : {peak_connections} live server-side "
+          f"mid-window")
+    if errors:
+        failures.append(
+            f"{len(errors)} session(s) failed; first: {errors[0]}")
+    if qps < MIN_QPS:
+        failures.append(
+            f"sustained {qps:.1f} q/s (floor: {MIN_QPS} q/s)")
+    if p99 > MAX_P99_MS:
+        failures.append(
+            f"p99 {p99:.1f} ms (ceiling: {MAX_P99_MS} ms)")
+
+    served, shed, other, burst_s, absorbed_ok = run_overload_drill()
+    print(f"  overload     : burst {OVERLOAD_BURST} vs "
+          f"workers=1/pending_limit=4 → {served} served, "
+          f"{shed} shed typed in {burst_s:.1f}s")
+    print(f"  under retries: saturated-server answer "
+          f"{'ok' if absorbed_ok else 'FAILED'}")
+    if other:
+        failures.append(
+            f"overload produced {len(other)} non-typed outcome(s); "
+            f"first: {other[0]}")
+    if shed == 0:
+        failures.append("overload burst was never shed: admission "
+                        "control did not engage")
+    if served == 0:
+        failures.append("overload burst starved admitted requests")
+    if not absorbed_ok:
+        failures.append("session retries did not absorb the sheds")
+
+    from trajectory import write_trajectory
+    write_trajectory(
+        "WC2",
+        {
+            "sessions": N_SESSIONS,
+            "duration_s": round(wall_s, 2),
+            "answers": len(latencies),
+            "qps": round(qps, 1),
+            "p50_ms": round(p50, 1),
+            "p99_ms": round(p99, 1),
+            "peak_connections": peak_connections,
+            "overload_burst": OVERLOAD_BURST,
+            "overload_served": served,
+            "overload_shed": shed,
+            "overload_burst_s": round(burst_s, 2),
+        },
+        ok=not failures,
+        bars={
+            "min_sessions": 200,
+            "min_qps": MIN_QPS,
+            "max_p99_ms": MAX_P99_MS,
+        },
+    )
+
+    if failures:
+        print("\n  FAILED: " + "; ".join(failures))
+        return 1
+    print("\n  expected: one event loop per server holds hundreds of "
+          "concurrent sessions\n  at a sustained rate with bounded "
+          "tails; past the admission queue the server\n  sheds typed "
+          "retryable failures instead of hanging or resetting, and "
+          "the\n  session's retry budget turns saturation into "
+          "latency")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    raise SystemExit(main())

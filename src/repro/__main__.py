@@ -230,6 +230,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries, timeout=args.timeout,
         default_method=args.method,
         snapshot_every=args.snapshot_every,
+        workers=args.workers, pending_limit=args.pending_limit,
+        idle_timeout=args.idle_timeout,
         shard_map=shard_map, shard_index=args.shard,
         replica_index=args.replica)
     # SIGTERM (the supervisor's stop signal) must run the same cleanup
@@ -444,6 +446,19 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="compact the durable delta log every N "
                             "deltas")
+    serve.add_argument("--workers", type=int, default=8, metavar="N",
+                       help="worker threads answering admitted "
+                            "requests (the event loop itself never "
+                            "blocks on one)")
+    serve.add_argument("--pending-limit", type=int, default=64,
+                       metavar="N",
+                       help="max admitted requests queued+running at "
+                            "once; beyond it requests are shed with a "
+                            "retryable 'overloaded' failure")
+    serve.add_argument("--idle-timeout", type=float, default=60.0,
+                       metavar="S",
+                       help="reclaim a connection with no traffic and "
+                            "nothing in flight for this many seconds")
     serve.add_argument("--shard-map", default="", metavar="JSON",
                        help="serialized ShardMap; this process hosts "
                             "one shard slice and routes through the "

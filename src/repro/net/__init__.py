@@ -38,6 +38,7 @@ from .errors import (
     PeerDown,
     PeerUnreachableError,
     ProtocolError,
+    ServerOverloaded,
     TransportError,
 )
 from .network import PeerNetwork
@@ -70,6 +71,6 @@ __all__ = [
     "Transport", "LoopbackTransport", "ThreadedTransport", "FaultPlan",
     # errors
     "NetworkError", "TransportError", "MessageDropped", "PeerDown",
-    "PeerUnreachableError", "HopBudgetExceeded", "DeadlineExceeded",
-    "ProtocolError",
+    "ServerOverloaded", "PeerUnreachableError", "HopBudgetExceeded",
+    "DeadlineExceeded", "ProtocolError",
 ]

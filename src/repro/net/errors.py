@@ -17,6 +17,7 @@ __all__ = [
     "TransportError",
     "MessageDropped",
     "PeerDown",
+    "ServerOverloaded",
     "PeerUnreachableError",
     "HopBudgetExceeded",
     "DeadlineExceeded",
@@ -40,6 +41,14 @@ class MessageDropped(TransportError):
 class PeerDown(TransportError):
     """The target node is not accepting messages (fault injection or an
     unregistered peer).  Retryable: the peer may come back."""
+
+
+class ServerOverloaded(TransportError):
+    """The target shed the request at admission because its pending
+    queue is full (the wire server's ``code="overloaded"`` Failure).
+    Retryable — the server answered *fast* precisely so the client can
+    come back — but callers back off briefly before resending so a
+    saturated server is not hammered at line rate."""
 
 
 class PeerUnreachableError(NetworkError):

@@ -44,6 +44,7 @@ from .errors import (
     NetworkError,
     PeerUnreachableError,
     ProtocolError,
+    ServerOverloaded,
     TransportError,
 )
 from .node import PeerNode
@@ -289,6 +290,14 @@ class PeerNetwork:
             self.check_deadline()
             try:
                 reply = self.transport.request(message)
+                if isinstance(reply, Failure) and \
+                        reply.code == "overloaded":
+                    # an in-process transport hands the shed back as a
+                    # Failure reply; normalise to the wire transport's
+                    # typed raise so one retry/backoff path covers both
+                    raise ServerOverloaded(
+                        f"peer {message.target!r} shed the request: "
+                        f"{reply.detail}")
                 break
             except TransportError as exc:
                 if attempt + 1 == attempts:
@@ -296,6 +305,11 @@ class PeerNetwork:
                         f"peer {message.target!r} unreachable after "
                         f"{attempts} attempt(s): {exc}",
                         peer=message.target) from exc
+                if isinstance(exc, ServerOverloaded):
+                    # the server is up but saturated: hammering it at
+                    # line rate only deepens the overload — yield a
+                    # beat (bounded, deadline-checked above) first
+                    time.sleep(min(0.05 * (attempt + 1), 0.5))
         assert reply is not None
         if isinstance(reply, Failure):
             self._raise_failure(reply)

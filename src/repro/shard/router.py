@@ -51,7 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 from itertools import chain
 from typing import Callable, Mapping, Optional, Sequence
 
-from ..net.errors import PeerDown, TransportError
+from ..net.errors import PeerDown, ServerOverloaded, TransportError
 from ..net.protocol import (
     Answer,
     AnswerQuery,
@@ -301,7 +301,11 @@ class ShardRouter(Transport):
             try:
                 reply = self.inner.request(attempt)
             except TransportError as exc:
-                replica_set.mark_down(replica)
+                if not isinstance(exc, ServerOverloaded):
+                    # a shed request means the replica is *alive* and
+                    # protecting itself — spill to a sibling without
+                    # benching the busy one
+                    replica_set.mark_down(replica)
                 last_error = exc
                 continue
             replica_set.mark_up(replica)

@@ -107,6 +107,9 @@ class ClusterSupervisor:
                  snapshot_every: int = 64,
                  startup_timeout: float = 60.0,
                  python: str = sys.executable,
+                 workers: int = 8,
+                 pending_limit: int = 64,
+                 idle_timeout: float = 60.0,
                  shard_map=None, replicas: int = 1) -> None:
         self.host = host
         self.shard_map = shard_map
@@ -117,6 +120,9 @@ class ClusterSupervisor:
         self.timeout = timeout
         self.default_method = default_method
         self.snapshot_every = snapshot_every
+        self.workers = workers
+        self.pending_limit = pending_limit
+        self.idle_timeout = idle_timeout
         self.startup_timeout = startup_timeout
         self.python = python
         self._own_system_file: Optional[Path] = None
@@ -178,7 +184,10 @@ class ClusterSupervisor:
                            "--peers", peers_spec,
                            "--retries", str(self.retries),
                            "--method", self.default_method,
-                           "--snapshot-every", str(self.snapshot_every)]
+                           "--snapshot-every", str(self.snapshot_every),
+                           "--workers", str(self.workers),
+                           "--pending-limit", str(self.pending_limit),
+                           "--idle-timeout", str(self.idle_timeout)]
                 if shard_json is not None:
                     command += ["--shard-map", shard_json]
                     if parsed is not None:

@@ -36,7 +36,7 @@ from ..core.results import (
     QueryRequest,
     QueryResult,
 )
-from ..net.errors import NetworkError, TransportError
+from ..net.errors import NetworkError, ServerOverloaded, TransportError
 from ..net.protocol import Answer, AnswerQuery, Failure
 from ..core.messaging import ExchangeLog
 from ..relational.query import Query
@@ -135,6 +135,11 @@ class RemoteNetworkSession:
                                  f"{self.retries + 1} attempt(s): "
                                  f"{exc}"),
                         peer=peer)
+                elif isinstance(exc, ServerOverloaded):
+                    # the server shed the request at admission; back
+                    # off a beat so the retry lands after the queue
+                    # drains instead of deepening the overload
+                    time.sleep(min(0.05 * (attempt + 1), 0.5))
             except NetworkError as exc:  # protocol-level: not retryable
                 failure = QueryError(code="protocol", message=str(exc),
                                      peer=peer)

@@ -10,16 +10,26 @@ the in-process transports drive real sockets without modification.
 
 Behaviour contracts (mirroring the in-process transports):
 
-* **connection pooling** — one small pool of handshaken connections per
-  target; a request borrows a connection, makes its round trip, and
-  returns it for reuse.  Any error discards the connection (a timed-out
-  request's late reply must never desync a reused stream).
+* **multiplexed connection pooling** — a small pool of handshaken
+  connections per target, *shared*: many correlated requests ride one
+  connection concurrently (the protocol's correlation ids pair each
+  reply frame with its request, so replies may return out of order).
+  A dedicated reader thread per connection dispatches reply frames to
+  their waiters; a reply that matches no in-flight request means the
+  stream is desynced, and the connection is discarded — never
+  repooled — before it can smear into other requests.
 * **per-request deadlines** — ``connect_timeout`` bounds dialing,
   ``timeout`` bounds each round trip; expiry raises the *retryable*
   :class:`~repro.net.errors.MessageDropped` /
   :class:`~repro.net.errors.PeerDown`, so
   :class:`~repro.net.network.PeerNetwork`'s retry budget and typed
-  ``peer-unreachable`` end-state just work.
+  ``peer-unreachable`` end-state just work.  A server shedding load at
+  admission (``code="overloaded"`` Failure frames) surfaces as the
+  retryable :class:`~repro.net.errors.ServerOverloaded`.
+* **identity-checked handshake** — the server's hello advertises the
+  *physical unit* serving the socket (``P#0@1`` for a shard replica);
+  dialing a name and reaching a different unit is a wiring error and
+  fails typed instead of silently querying the wrong process.
 * **exact traffic accounting** — every decoded :class:`Answer` is
   stamped with the byte length of its encoded reply frame, replacing
   the in-process size heuristic with the true wire cost (see
@@ -38,8 +48,8 @@ import socket
 import threading
 from typing import Mapping, Optional, Union
 
-from ..net.errors import MessageDropped, PeerDown
-from ..net.protocol import Answer, Message
+from ..net.errors import MessageDropped, PeerDown, ServerOverloaded
+from ..net.protocol import Answer, Failure, Message
 from ..net.transport import FaultPlan, Handler, Transport
 from .codec import (
     MAX_FRAME_BYTES,
@@ -59,14 +69,38 @@ Address = tuple[str, int]
 
 
 def parse_address(value: Union[str, Address]) -> Address:
-    """``"host:port"`` (or an ``(host, port)`` pair) → ``(host, port)``."""
+    """``"host:port"`` (or an ``(host, port)`` pair) → ``(host, port)``.
+
+    IPv6 literals use the standard bracket syntax — ``[::1]:8080`` —
+    and round-trip through :func:`format_address`.  A bare multi-colon
+    form like ``::1:8080`` is *ambiguous* (``host="::1", port=8080``
+    and ``host="::1:80", port=80`` both read plausibly; naive
+    right-splitting silently picks one) and is rejected with a typed
+    error instead of being misparsed.
+    """
     if isinstance(value, tuple):
         host, port = value
         return str(host), int(port)
-    host, sep, port = value.rpartition(":")
-    if not sep or not host:
-        raise WireProtocolError(
-            f"peer address must look like 'host:port', got {value!r}")
+    if value.startswith("["):
+        host, sep, port = value.rpartition("]:")
+        if not sep or len(host) < 2:
+            raise WireProtocolError(
+                f"bracketed peer address must look like '[host]:port', "
+                f"got {value!r}")
+        host = host[1:]  # strip the opening bracket
+        if "]" in host or "[" in host:
+            raise WireProtocolError(
+                f"malformed bracketed peer address: {value!r}")
+    else:
+        host, sep, port = value.rpartition(":")
+        if not sep or not host:
+            raise WireProtocolError(
+                f"peer address must look like 'host:port', got "
+                f"{value!r}")
+        if ":" in host:
+            raise WireProtocolError(
+                f"ambiguous IPv6 peer address {value!r}: bracket the "
+                f"host, e.g. '[{host}]:{port}'")
     try:
         return host, int(port)
     except ValueError:
@@ -75,14 +109,40 @@ def parse_address(value: Union[str, Address]) -> Address:
 
 
 def format_address(address: Address) -> str:
-    return f"{address[0]}:{address[1]}"
+    """Inverse of :func:`parse_address` (brackets IPv6 hosts)."""
+    host, port = address
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"
+
+
+class _Waiter:
+    """One in-flight request's reply slot."""
+
+    __slots__ = ("event", "reply", "frame_bytes", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: Optional[Message] = None
+        self.frame_bytes = 0
+        self.error: Optional[BaseException] = None
 
 
 class _Connection:
-    """One handshaken TCP connection to a peer server."""
+    """One handshaken TCP connection, multiplexing many requests.
+
+    Senders interleave whole frames under ``_send_lock``; a dedicated
+    reader thread pairs each reply frame with its waiter by
+    ``in_reply_to``.  Any stream-level trouble (EOF, socket error,
+    undecodable frame, a reply that matches nothing in flight) kills
+    the connection and fails every waiter — the *kind* of error decides
+    retryability upstream: connection losses are retryable, protocol
+    violations are not.
+    """
 
     def __init__(self, address: Address, *, local_name: str,
-                 connect_timeout: float, timeout: float) -> None:
+                 expected: str, connect_timeout: float,
+                 timeout: float) -> None:
         self.address = address
         self.sock = socket.create_connection(address,
                                              timeout=connect_timeout)
@@ -90,6 +150,17 @@ class _Connection:
         # cheap for our small request/response frames: don't batch them
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.stream = self.sock.makefile("rb")
+        #: concurrent requests currently riding this connection —
+        #: guarded by the owning transport's lock, not ours
+        self.in_flight = 0
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._pending: dict[int, _Waiter] = {}
+        #: correlation ids whose waiters gave up (request timeout) —
+        #: their late replies are dropped instead of read as desync
+        self._abandoned: set[int] = set()
+        self._dead: Optional[BaseException] = None
+        self._reader: Optional[threading.Thread] = None
         try:
             self.sock.sendall(encode_frame(hello_frame(local_name)))
             reply = read_frame(self.stream)
@@ -98,6 +169,14 @@ class _Connection:
                     f"{format_address(address)} closed the connection "
                     f"during the handshake")
             check_hello(reply)
+            advertised = reply.get("sender", "")
+            if expected and advertised and advertised != expected:
+                # two replicas of one peer are distinct processes with
+                # distinct stores; answering the wrong one must be a
+                # loud wiring error, not a silent wrong answer
+                raise WireProtocolError(
+                    f"dialed {expected!r} at {format_address(address)} "
+                    f"but unit {advertised!r} answered the handshake")
         except socket.timeout:
             # the dial succeeded, the *handshake read* stalled — name
             # the right phase and the right timeout (retryable: the
@@ -110,45 +189,159 @@ class _Connection:
         except BaseException:
             self.close()
             raise
+        # from here on the reader owns the stream; request timeouts are
+        # enforced waiter-side, so the socket itself blocks freely
+        self.sock.settimeout(None)
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"wire-reader-{format_address(address)}", daemon=True)
+        self._reader.start()
 
-    def round_trip(self, message: Message) -> tuple[Message, int]:
-        """Send one request frame, read one reply frame.
+    # ------------------------------------------------------------------
+    @property
+    def dead(self) -> bool:
+        return self._dead is not None
 
-        Returns ``(reply, reply_frame_bytes)`` — the frame length is the
-        exact wire size the traffic accounting records.  EOF instead of
-        a reply raises :class:`ConnectionResetError` (a *retryable*
-        condition: the typical cause is a server that died or restarted
-        under a pooled connection, and the retry's fresh dial will find
-        out which); only decodable-but-wrong frames are protocol errors.
+    def round_trip(self, message: Message,
+                   timeout: float) -> tuple[Message, int]:
+        """Send one request frame, wait for *its* reply frame.
+
+        Returns ``(reply, reply_frame_bytes)`` — the frame length is
+        the exact wire size the traffic accounting records.  Raises
+        :class:`socket.timeout` when no reply arrives in ``timeout``
+        seconds, :class:`ConnectionResetError` (retryable; the typical
+        cause is a server restart under a pooled connection) when the
+        stream dies, and :class:`WireProtocolError` for
+        decodable-but-wrong frames.
         """
-        self.sock.sendall(encode_message(message))
-        # capped read: the frame-size protection must hold on *both*
-        # sides of the wire, or a corrupt peer could balloon a
-        # requester's memory with one endless unterminated line
-        line = self.stream.readline(MAX_FRAME_BYTES + 1)
-        if len(line) > MAX_FRAME_BYTES:
-            raise WireProtocolError(
-                f"reply from {format_address(self.address)} exceeds "
-                f"the {MAX_FRAME_BYTES}-byte frame cap")
-        if not line or not line.endswith(b"\n"):
-            raise ConnectionResetError(
-                f"{format_address(self.address)} closed the connection "
-                f"mid-reply")
-        return message_from_dict(decode_frame(line)), len(line)
-
-    def close(self) -> None:
+        correlation = message.correlation_id
+        payload = encode_message(message)  # may raise typed, pre-send
+        waiter = _Waiter()
+        with self._lock:
+            if self._dead is not None:
+                raise ConnectionResetError(
+                    f"connection to {format_address(self.address)} "
+                    f"already failed: {self._dead}")
+            # a retry resends the same message (same correlation id):
+            # it must supersede its abandoned predecessor, not desync
+            self._abandoned.discard(correlation)
+            self._pending[correlation] = waiter
         try:
-            self.stream.close()
-        except (OSError, AttributeError):
+            with self._send_lock:
+                self.sock.sendall(payload)
+        except BaseException as exc:
+            self._fail(exc if isinstance(exc, OSError)
+                       else ConnectionResetError(str(exc)))
+            raise
+        if not waiter.event.wait(timeout):
+            with self._lock:
+                still_pending = self._pending.pop(correlation,
+                                                  None) is not None
+                if still_pending:
+                    self._abandoned.add(correlation)
+                    if len(self._abandoned) > 32:
+                        # a connection drowning in ghosts is wedged;
+                        # stop feeding it
+                        self._kill_locked(ConnectionResetError(
+                            "too many timed-out requests"))
+            if still_pending:
+                raise socket.timeout(
+                    f"no reply within {timeout}s")
+            # the reply raced the timeout: the dispatcher popped our
+            # pending entry and is about to resolve the waiter — wait
+            # out the last few instructions of that race
+            waiter.event.wait(5.0)
+        if waiter.error is not None:
+            raise waiter.error
+        assert waiter.reply is not None
+        return waiter.reply, waiter.frame_bytes
+
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                line = self.stream.readline(MAX_FRAME_BYTES + 1)
+                if len(line) > MAX_FRAME_BYTES:
+                    raise WireProtocolError(
+                        f"reply from {format_address(self.address)} "
+                        f"exceeds the {MAX_FRAME_BYTES}-byte frame cap")
+                if not line or not line.endswith(b"\n"):
+                    raise ConnectionResetError(
+                        f"{format_address(self.address)} closed the "
+                        f"connection"
+                        + (" mid-reply" if line else ""))
+                reply = message_from_dict(decode_frame(line))
+                self._dispatch(reply, len(line))
+        except BaseException as exc:
+            self._fail(exc)
+
+    def _dispatch(self, reply: Message, frame_bytes: int) -> None:
+        in_reply_to = getattr(reply, "in_reply_to", None)
+        with self._lock:
+            waiter = (self._pending.pop(in_reply_to, None)
+                      if in_reply_to is not None else None)
+            if waiter is None:
+                if in_reply_to in self._abandoned:
+                    # the late reply to a timed-out request: the stream
+                    # is still in step, just slow — drop the frame
+                    self._abandoned.discard(in_reply_to)
+                    return
+                raise WireProtocolError(
+                    f"reply correlation mismatch from "
+                    f"{format_address(self.address)}: got a reply to "
+                    f"{in_reply_to!r}, which is not in flight — "
+                    f"stream desynced")
+        waiter.reply = reply
+        waiter.frame_bytes = frame_bytes
+        waiter.event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            self._kill_locked(exc)
+
+    def _kill_locked(self, exc: BaseException) -> None:
+        if self._dead is None:
+            self._dead = exc
+        pending, self._pending = self._pending, {}
+        for waiter in pending.values():
+            waiter.error = exc
+            waiter.event.set()
+        # a reader parked in readline() holds the buffered stream's
+        # internal lock, so only the reader thread itself (or the
+        # handshake code, before the reader exists) may close the
+        # stream — anyone else would deadlock on that lock.  Shutting
+        # the socket down unblocks the parked read, and the reader then
+        # runs this same path to completion on its way out.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
             pass
+        if (self._reader is None
+                or self._reader is threading.current_thread()):
+            try:
+                self.stream.close()
+            except (OSError, ValueError, AttributeError):
+                pass
         try:
             self.sock.close()
         except OSError:
             pass
 
+    def close(self) -> None:
+        self._fail(ConnectionResetError("connection closed locally"))
+
 
 class SocketTransport(Transport):
-    """Typed protocol messages over pooled TCP connections."""
+    """Typed protocol messages over pooled, multiplexed TCP connections.
+
+    ``pool_size`` caps the connections dialed per target; within the
+    pool, requests pick the least-loaded live connection and new
+    connections are dialed only while every existing one is busy — a
+    sequential caller reuses one connection forever, a concurrent
+    burst fans across the pool and then *pipelines* (``max_in_flight``
+    correlated requests per connection before the next dial is
+    preferred over further sharing).
+    """
 
     def __init__(self,
                  addresses: Optional[Mapping[str, Union[str,
@@ -157,15 +350,20 @@ class SocketTransport(Transport):
                  timeout: float = 10.0,
                  connect_timeout: float = 2.0,
                  pool_size: int = 4,
+                 max_in_flight: int = 32,
                  faults: Optional[FaultPlan] = None) -> None:
         super().__init__(faults)
         if timeout <= 0 or connect_timeout <= 0:
             raise WireProtocolError(
                 "socket timeouts must be > 0 seconds")
+        if pool_size < 1 or max_in_flight < 1:
+            raise WireProtocolError(
+                "pool_size and max_in_flight must be >= 1")
         self.local_name = local_name
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.pool_size = pool_size
+        self.max_in_flight = max_in_flight
         self._addresses: dict[str, Address] = {
             name: parse_address(value)
             for name, value in (addresses or {}).items()}
@@ -213,43 +411,38 @@ class SocketTransport(Transport):
             raise MessageDropped(
                 f"message {message.correlation_id} to {target!r} was "
                 f"dropped")
-        connection, reused = self._borrow(target, address)
+        connection = self._checkout(target, address)
         try:
-            reply, frame_bytes = connection.round_trip(message)
+            reply, frame_bytes = connection.round_trip(message,
+                                                       self.timeout)
         except socket.timeout:
-            connection.close()
             raise MessageDropped(
                 f"no reply from {target!r} at "
                 f"{format_address(address)} within {self.timeout}s"
             ) from None
         except WireProtocolError:
-            connection.close()
+            # stream-level protocol errors already killed the
+            # connection (reader side); local encode errors never
+            # touched it — either way it is not repooled if dead
             raise
         except OSError as exc:
-            connection.close()
-            if reused:
-                # a pooled connection going stale (server restarted
-                # under it) means its pool siblings are stale too:
-                # flush them all so one retry gets a fresh dial
-                # instead of burning the budget on dead sockets
-                self._discard_pool(target)
+            # a pooled connection going stale (server restarted under
+            # it) means its pool siblings are stale too: flush them
+            # all so one retry gets a fresh dial instead of burning
+            # the budget on dead sockets
+            self._discard_pool(target)
             raise MessageDropped(
                 f"connection to {target!r} at "
                 f"{format_address(address)} failed mid-request: {exc}"
             ) from exc
-        except BaseException:
-            connection.close()
-            raise
-        in_reply_to = getattr(reply, "in_reply_to", None)
-        if in_reply_to != message.correlation_id:
-            # the stream is one frame out of step: discard it *before*
-            # anyone can reuse it, or the desync smears into replies
-            # for unrelated requests
-            connection.close()
-            raise WireProtocolError(
-                f"reply correlation mismatch from {target!r}: asked "
-                f"{message.correlation_id}, got {in_reply_to}")
-        self._give_back(target, connection)
+        finally:
+            self._release(target, connection)
+        if isinstance(reply, Failure) and reply.code == "overloaded":
+            # admission-control shed: typed and *retryable*, with the
+            # retry machinery (not the transport) pacing the backoff
+            raise ServerOverloaded(
+                f"peer {target!r} shed the request under load: "
+                f"{reply.detail}")
         if isinstance(reply, Answer):
             # exact traffic accounting: the reply's true encoded size
             # replaces the in-process estimate (bypasses the frozen
@@ -260,17 +453,51 @@ class SocketTransport(Transport):
     # ------------------------------------------------------------------
     # The connection pool
     # ------------------------------------------------------------------
-    def _borrow(self, target: str,
-                address: Address) -> tuple[_Connection, bool]:
-        """A connection to ``target``: ``(connection, was_pooled)``."""
+    def _checkout(self, target: str, address: Address) -> _Connection:
+        """A live connection to ``target`` with a reserved request slot.
+
+        Prefers an idle pooled connection; while every pooled
+        connection is busy, dials new ones up to ``pool_size`` and only
+        then pipelines onto the least-loaded.
+        """
         with self._lock:
             pool = self._pools.get(target)
-            if pool:
-                return pool.pop(), True
+            if pool is not None:
+                pool[:] = [c for c in pool if not c.dead]
+                if pool:
+                    best = min(pool, key=lambda c: c.in_flight)
+                    if (best.in_flight == 0
+                            or len(pool) >= self.pool_size):
+                        best.in_flight += 1
+                        return best
+        connection = self._dial(target, address)
+        surplus: Optional[_Connection] = None
+        with self._lock:
+            if self._closed:
+                connection.close()
+                raise PeerDown(
+                    f"transport closed while dialing {target!r}")
+            pool = self._pools.setdefault(target, [])
+            pool[:] = [c for c in pool if not c.dead]
+            if len(pool) >= self.pool_size:
+                # a concurrent burst already filled the pool while we
+                # dialed: pipeline onto the least-loaded connection
+                # instead of growing past the cap
+                surplus, connection = connection, min(
+                    pool, key=lambda c: c.in_flight)
+            else:
+                pool.append(connection)
+            connection.in_flight += 1
+        if surplus is not None:
+            surplus.close()
+        return connection
+
+    def _dial(self, target: str, address: Address) -> _Connection:
         try:
             return _Connection(address, local_name=self.local_name,
+                               expected=target,
                                connect_timeout=self.connect_timeout,
-                               timeout=self.timeout), False
+                               timeout=self.timeout)
         except socket.timeout:
             raise PeerDown(
                 f"peer {target!r} at {format_address(address)} did not "
@@ -284,14 +511,13 @@ class SocketTransport(Transport):
                 f"cannot reach peer {target!r} at "
                 f"{format_address(address)}: {exc}") from exc
 
-    def _give_back(self, target: str, connection: _Connection) -> None:
+    def _release(self, target: str, connection: _Connection) -> None:
         with self._lock:
-            if not self._closed:
-                pool = self._pools.setdefault(target, [])
-                if len(pool) < self.pool_size:
-                    pool.append(connection)
-                    return
-        connection.close()
+            connection.in_flight -= 1
+            if connection.dead:
+                pool = self._pools.get(target)
+                if pool is not None and connection in pool:
+                    pool.remove(connection)
 
     def _discard_pool(self, target: str) -> None:
         with self._lock:
@@ -300,9 +526,11 @@ class SocketTransport(Transport):
             connection.close()
 
     def pooled_connections(self, target: str) -> int:
-        """How many idle connections the pool holds for ``target``."""
+        """How many live connections the pool holds for ``target``
+        (idle or carrying in-flight requests)."""
         with self._lock:
-            return len(self._pools.get(target, ()))
+            return sum(not connection.dead
+                       for connection in self._pools.get(target, ()))
 
     def close(self) -> None:
         with self._lock:

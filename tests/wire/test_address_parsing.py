@@ -1,0 +1,70 @@
+"""Address parsing: IPv4, IPv6 brackets, and the ambiguous forms."""
+
+import pytest
+
+from repro.wire import format_address, parse_address
+from repro.wire.codec import WireProtocolError
+
+
+def test_ipv4_host_port():
+    assert parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+
+
+def test_hostname_port():
+    assert parse_address("db.example.org:9") == ("db.example.org", 9)
+
+
+def test_tuple_passthrough_normalises():
+    assert parse_address(("localhost", "123")) == ("localhost", 123)
+
+
+def test_bracketed_ipv6_literal():
+    assert parse_address("[::1]:8080") == ("::1", 8080)
+
+
+def test_bracketed_full_ipv6_literal():
+    assert parse_address("[2001:db8::17]:47") == ("2001:db8::17", 47)
+
+
+def test_bare_ipv6_is_rejected_as_ambiguous():
+    # "::1:8080" reads as host="::1" port=8080 AND host="::1:80"
+    # port=80; a naive right-split silently picks one, so reject
+    with pytest.raises(WireProtocolError, match="ambiguous"):
+        parse_address("::1:8080")
+
+
+def test_bracketed_without_port_is_rejected():
+    with pytest.raises(WireProtocolError):
+        parse_address("[::1]")
+
+
+def test_bracket_garbage_is_rejected():
+    with pytest.raises(WireProtocolError):
+        parse_address("[[::1]]:80")
+
+
+def test_missing_port_is_rejected():
+    with pytest.raises(WireProtocolError):
+        parse_address("justahost")
+
+
+def test_non_numeric_port_is_rejected():
+    with pytest.raises(WireProtocolError, match="non-numeric"):
+        parse_address("host:http")
+    with pytest.raises(WireProtocolError, match="non-numeric"):
+        parse_address("[::1]:http")
+
+
+@pytest.mark.parametrize("address", [
+    ("127.0.0.1", 8080),
+    ("::1", 8080),
+    ("2001:db8::17", 47),
+    ("localhost", 1),
+])
+def test_round_trip_through_format(address):
+    assert parse_address(format_address(address)) == address
+
+
+def test_format_brackets_only_ipv6():
+    assert format_address(("10.0.0.1", 5)) == "10.0.0.1:5"
+    assert format_address(("::1", 5)) == "[::1]:5"

@@ -80,7 +80,9 @@ class _ScriptedServer:
         stream = connection.makefile("rb")
         try:
             read_frame(stream)  # the client hello
-            hello = hello_frame("scripted")
+            # advertise the name clients dial ("S"): the transport now
+            # verifies the handshake identity against the dialed unit
+            hello = hello_frame("S")
             hello["protocol"] = self.protocol_version
             connection.sendall(encode_frame(hello))
             while True:
@@ -349,9 +351,12 @@ def _fill_pool(transport, target, width=3):
 
 
 def test_restarted_server_under_pool_is_retryable_and_flushes():
-    """A killed-and-restarted server must surface a *retryable* error
-    on the first pooled request — never a hang or a torn frame — and
-    flush every stale sibling so the retry dials fresh."""
+    """A killed-and-restarted server must never hang or tear a frame:
+    either the reader threads already noticed the EOF (the stale pool
+    self-healed and the request just succeeds against the new server),
+    or the request races the discovery and surfaces a *retryable*
+    ``MessageDropped`` that condemns the whole stale pool, so the
+    retry dials fresh."""
     system = example1_system()
     port = free_port()
     address = {"P2": f"127.0.0.1:{port}"}
@@ -365,14 +370,16 @@ def test_restarted_server_under_pool_is_retryable_and_flushes():
         second = PeerServer(system, "P2", port=port).start()
         try:
             start = time.perf_counter()
-            with pytest.raises(MessageDropped):
-                transport.request(FetchRelation(
+            try:
+                reply = transport.request(FetchRelation(
+                    sender="test", target="P2", relation="R2"))
+            except MessageDropped:
+                # raced the readers: typed, retryable, and the stale
+                # siblings are all flushed with it
+                assert transport.pooled_connections("P2") == 0
+                reply = transport.request(FetchRelation(
                     sender="test", target="P2", relation="R2"))
             assert time.perf_counter() - start < 5.0  # no hang
-            # one failure condemns the whole stale pool
-            assert transport.pooled_connections("P2") == 0
-            reply = transport.request(FetchRelation(
-                sender="test", target="P2", relation="R2"))
             assert isinstance(reply, Answer)
             assert frozenset(reply.payload) == \
                 system.instances["P2"].tuples("R2")

@@ -1,0 +1,203 @@
+"""SocketTransport under concurrency: shared pools, pipelining over
+one connection, desync quarantine, and restarts mid-flight."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net import TransportError
+from repro.net.protocol import Answer, FetchRelation
+from repro.wire import PeerServer, SocketTransport, free_port
+from repro.wire.codec import (
+    WireProtocolError,
+    encode_frame,
+    hello_frame,
+    message_to_dict,
+    read_frame,
+)
+from repro.workloads import example1_system
+
+
+def _server(**kwargs):
+    return PeerServer(example1_system(), "P2", **kwargs).start()
+
+
+# ---------------------------------------------------------------------------
+# Many threads, one transport
+# ---------------------------------------------------------------------------
+
+def test_many_threads_share_one_transport():
+    server = _server()
+    transport = SocketTransport(
+        {"P2": f"127.0.0.1:{server.port}"}, local_name="test",
+        timeout=15.0)
+    expected = example1_system().instances["P2"].tuples("R2")
+    errors = []
+    barrier = threading.Barrier(24)
+
+    def worker():
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(5):
+                reply = transport.request(FetchRelation(
+                    sender="test", target="P2", relation="R2"))
+                assert isinstance(reply, Answer)
+                assert frozenset(reply.payload) == expected
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(24)]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        # 24 threads never exceed the pool cap: the surplus pipelines
+        assert 1 <= transport.pooled_connections("P2") <= 4
+    finally:
+        transport.close()
+        server.shutdown()
+
+
+def test_concurrency_multiplexes_over_a_single_connection():
+    """pool_size=1 forces every concurrent request onto one TCP
+    connection; the server accepts exactly one and everything still
+    completes — the definition of multiplexing."""
+    server = _server()
+    transport = SocketTransport(
+        {"P2": f"127.0.0.1:{server.port}"}, local_name="test",
+        timeout=15.0, pool_size=1)
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        try:
+            barrier.wait(timeout=10)
+            reply = transport.request(FetchRelation(
+                sender="test", target="P2", relation="R2"))
+            assert isinstance(reply, Answer)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert transport.pooled_connections("P2") == 1
+        assert server.connection_count() == 1
+    finally:
+        transport.close()
+        server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Desync quarantine
+# ---------------------------------------------------------------------------
+
+class _DesyncServer:
+    """Answers the handshake, then replies to a correlation id that
+    was never issued — a desynced stream."""
+
+    def __init__(self):
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(4)
+        self.port = self.listener.getsockname()[1]
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        while True:
+            try:
+                connection, _ = self.listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve_one,
+                             args=(connection,), daemon=True).start()
+
+    def _serve_one(self, connection):
+        stream = connection.makefile("rb")
+        try:
+            read_frame(stream)  # client hello
+            connection.sendall(encode_frame(hello_frame("S")))
+            frame = read_frame(stream)
+            if frame is None:
+                return
+            from repro.net.protocol import Answer as AnswerMessage
+            rogue = AnswerMessage(
+                sender="S", target=frame["sender"],
+                in_reply_to=987654321,  # never issued
+                payload=(("x",),), version="v1", bytes_estimate=1)
+            connection.sendall(encode_frame(message_to_dict(rogue)))
+        except (OSError, WireProtocolError):
+            pass
+
+    def close(self):
+        self.listener.close()
+
+
+def test_correlation_mismatch_quarantines_the_connection():
+    server = _DesyncServer()
+    transport = SocketTransport({"S": f"127.0.0.1:{server.port}"},
+                                timeout=5.0)
+    try:
+        with pytest.raises(WireProtocolError,
+                           match="correlation mismatch"):
+            transport.request(FetchRelation(
+                sender="client", target="S", relation="R"))
+        # the desynced connection must be discarded, never repooled:
+        # its stream can no longer be trusted to pair frames
+        assert transport.pooled_connections("S") == 0
+    finally:
+        transport.close()
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# Restart mid-flight
+# ---------------------------------------------------------------------------
+
+def test_server_dying_mid_flight_fails_typed_then_recovers():
+    port = free_port()
+    first = _server(port=port)
+    inner = first.node.handle
+
+    def stall(message):
+        time.sleep(30)
+        return inner(message)
+
+    first.node.handle = stall
+    transport = SocketTransport({"P2": f"127.0.0.1:{port}"},
+                                local_name="test", timeout=20.0)
+    outcome = []
+
+    def fire():
+        try:
+            outcome.append(transport.request(FetchRelation(
+                sender="test", target="P2", relation="R2")))
+        except Exception as exc:  # noqa: BLE001 - inspected below
+            outcome.append(exc)
+
+    thread = threading.Thread(target=fire)
+    try:
+        thread.start()
+        time.sleep(0.3)  # the request is in flight on the old server
+        first.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "in-flight request hung on kill"
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], TransportError), outcome
+        second = _server(port=port)
+        try:
+            reply = transport.request(FetchRelation(
+                sender="test", target="P2", relation="R2"))
+            assert isinstance(reply, Answer)
+        finally:
+            second.shutdown()
+    finally:
+        transport.close()
