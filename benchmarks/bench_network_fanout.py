@@ -15,12 +15,25 @@ the concurrent fan-out wins by roughly the neighbour count; on the chain
 random DAG lands in between.  Script mode (the CI smoke step) enforces
 the star speedup >= the acceptance bar and tuple-for-tuple agreement
 with the in-process :class:`~repro.core.session.PeerQuerySession`.
+
+The second section compares **routed vs flooded** gathers: the same
+seeded random topologies answered over a long-lived session while one
+leaf peer's relation mutates every round (``PeerNetwork.sync`` pushes
+each edit).  Flooded mode re-floods the whole graph per round; routed
+mode (``routing=True``) learns digests and subsystem tokens on the
+warm-up round and then skips or shortens every exchange the mutation
+provably did not touch.  Script mode enforces the acceptance bar: at
+least ``MIN_ROUTING_REDUCTION`` relative reduction in *both* wire
+bytes and total messages across the measured rounds, with answers
+tuple-for-tuple identical to the local session every round.
 """
 
 import time
 
 from repro.core import PeerQuerySession
-from repro.net import NetworkSession, ThreadedTransport
+from repro.core.system import PeerSystem
+from repro.net import LoopbackTransport, NetworkSession, ThreadedTransport
+from repro.relational.instance import DatabaseInstance
 from repro.workloads import topology_system
 
 QUERY = "q(X, Y) := R0(X, Y)"
@@ -32,11 +45,90 @@ LATENCY_S = 0.015
 #: the acceptance bar for the star topology in script mode
 MIN_STAR_SPEEDUP = 2.0
 SEED = 4
+#: routed gathers must cut bytes AND messages by at least this much
+MIN_ROUTING_REDUCTION = 0.30
+#: seeded random topologies the routing comparison sweeps
+ROUTING_SEEDS = (3, 7)
+ROUTING_DENSITY = 0.25
+ROUTING_ROUNDS = 5
 
 
 def make_system(topology: str, n_peers: int = N_PEERS):
     return topology_system(n_peers, topology=topology,
                            n_tuples=N_TUPLES, extra_edges=3, seed=SEED)
+
+
+# ---------------------------------------------------------------------------
+# Routed vs flooded steady state
+# ---------------------------------------------------------------------------
+
+def mutate_leaf(system: PeerSystem, round_no: int) -> PeerSystem:
+    """The same system with one extra tuple in the last peer's relation.
+
+    Mutating the *leaf* exercises invalidation along the whole
+    root-to-leaf relay path while every off-path subtree stays
+    byte-identical — the regime the routing index is built for.
+    """
+    leaf = sorted(system.peers)[-1]
+    relation = sorted(system.peers[leaf].schema.names)[0]
+    rows = set(system.instances[leaf].tuples(relation))
+    rows.add((f"m{round_no}", f"mv{round_no}"))
+    mutated = DatabaseInstance(system.peers[leaf].schema,
+                               {relation: frozenset(rows)})
+    return PeerSystem(system.peers.values(),
+                      {**system.instances, leaf: mutated},
+                      system.exchanges, system.trust)
+
+
+def run_routing_rounds(seed: int, *, routing: bool,
+                       rounds: int = ROUTING_ROUNDS,
+                       n_peers: int = N_PEERS) -> dict:
+    """Steady-state traffic for one session mode over mutation rounds.
+
+    Returns total messages/bytes, the deepest relay chain, and the
+    per-round answer sets (for the cross-mode differential check).
+    The warm-up round (cold gather + first sync) is excluded from the
+    measured totals — steady state is what the index optimises.
+    """
+    system = topology_system(n_peers, topology="random",
+                             n_tuples=N_TUPLES,
+                             density=ROUTING_DENSITY, seed=seed)
+    messages = bytes_total = max_hops = pruned = 0
+    answers = []
+    with NetworkSession(system, transport=LoopbackTransport(),
+                        routing=routing) as session:
+        result = session.answer("P0", QUERY)
+        assert result.ok, result.error
+        for round_no in range(1, rounds + 1):
+            system = mutate_leaf(system, round_no)
+            session.use_system(system)
+            mark = session.exchange_log.mark()
+            result = session.answer("P0", QUERY)
+            assert result.ok, result.error
+            answers.append(result.answers)
+            events = session.exchange_log.events_since(mark)
+            messages += len(events)
+            bytes_total += sum(e.bytes_estimate for e in events)
+            max_hops = max(max_hops, result.exchange.max_hops)
+            pruned += result.exchange.neighbours_pruned
+    return {"messages": messages, "bytes": bytes_total,
+            "max_hops": max_hops, "pruned": pruned,
+            "answers": answers}
+
+
+def local_round_answers(seed: int, *, rounds: int = ROUTING_ROUNDS,
+                        n_peers: int = N_PEERS) -> list:
+    """The in-process session's answers for the same mutation schedule
+    (the ground truth both network modes must reproduce)."""
+    system = topology_system(n_peers, topology="random",
+                             n_tuples=N_TUPLES,
+                             density=ROUTING_DENSITY, seed=seed)
+    expected = []
+    for round_no in range(1, rounds + 1):
+        system = mutate_leaf(system, round_no)
+        expected.append(
+            PeerQuerySession(system).answer("P0", QUERY).answers)
+    return expected
 
 
 def run_cold(system, concurrency: str, latency: float
@@ -72,6 +164,18 @@ def test_nf1_star_benchmark(benchmark):
     assert answers
 
 
+def test_nf1_routed_matches_flooded_and_local():
+    seed = ROUTING_SEEDS[0]
+    flooded = run_routing_rounds(seed, routing=False, rounds=2,
+                                 n_peers=6)
+    routed = run_routing_rounds(seed, routing=True, rounds=2,
+                                n_peers=6)
+    expected = local_round_answers(seed, rounds=2, n_peers=6)
+    assert routed["answers"] == flooded["answers"] == expected
+    assert routed["messages"] < flooded["messages"]
+    assert routed["pruned"] > 0
+
+
 # ---------------------------------------------------------------------------
 # Script mode (CI smoke step): print the report, enforce the speedup bar
 # ---------------------------------------------------------------------------
@@ -104,9 +208,54 @@ def main() -> int:
         failures.append(f"star fan-out speedup {star_speedup:.1f}x < "
                         f"{MIN_STAR_SPEEDUP:.1f}x")
 
-    from trajectory import write_trajectory
+    print(f"\n  routed vs flooded gathers — random topologies "
+          f"(density {ROUTING_DENSITY}), {ROUTING_ROUNDS} leaf-mutation "
+          f"rounds each")
+    print(f"  {'seed':>6s} {'mode':>8s} {'msgs':>6s} {'bytes':>8s} "
+          f"{'hops':>5s} {'pruned':>7s}")
+    flooded_msgs = flooded_bytes = routed_msgs = routed_bytes = 0
+    for seed in ROUTING_SEEDS:
+        flooded = run_routing_rounds(seed, routing=False)
+        routed = run_routing_rounds(seed, routing=True)
+        expected = local_round_answers(seed)
+        if not (routed["answers"] == flooded["answers"] == expected):
+            failures.append(f"routing seed {seed}: answers disagree")
+        for mode, run in (("flooded", flooded), ("routed", routed)):
+            print(f"  {seed:>6d} {mode:>8s} {run['messages']:>6d} "
+                  f"{run['bytes']:>8d} {run['max_hops']:>5d} "
+                  f"{run['pruned']:>7d}")
+            metrics[f"routing_s{seed}_{mode}_messages"] = run["messages"]
+            metrics[f"routing_s{seed}_{mode}_bytes"] = run["bytes"]
+            metrics[f"routing_s{seed}_{mode}_max_hops"] = run["max_hops"]
+        flooded_msgs += flooded["messages"]
+        flooded_bytes += flooded["bytes"]
+        routed_msgs += routed["messages"]
+        routed_bytes += routed["bytes"]
+    msg_cut = (1 - routed_msgs / flooded_msgs) if flooded_msgs else 0.0
+    byte_cut = (1 - routed_bytes / flooded_bytes) if flooded_bytes else 0.0
+    metrics["routing_message_reduction"] = round(msg_cut, 3)
+    metrics["routing_byte_reduction"] = round(byte_cut, 3)
+    print(f"  reduction: {msg_cut:.1%} messages, {byte_cut:.1%} bytes "
+          f"(bar: {MIN_ROUTING_REDUCTION:.0%} on both)")
+    if msg_cut < MIN_ROUTING_REDUCTION:
+        failures.append(f"routed message reduction {msg_cut:.1%} < "
+                        f"{MIN_ROUTING_REDUCTION:.0%}")
+    if byte_cut < MIN_ROUTING_REDUCTION:
+        failures.append(f"routed byte reduction {byte_cut:.1%} < "
+                        f"{MIN_ROUTING_REDUCTION:.0%}")
+
+    try:
+        from trajectory import write_trajectory
+    except ModuleNotFoundError:
+        # imported via ``python -m repro report`` without benchmarks/
+        # on sys.path (script mode and pytest collection both add it)
+        import sys
+        from pathlib import Path
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from trajectory import write_trajectory
     write_trajectory("NF1", metrics, ok=not failures,
-                     bars={"min_star_speedup": MIN_STAR_SPEEDUP})
+                     bars={"min_star_speedup": MIN_STAR_SPEEDUP,
+                           "min_routing_reduction": MIN_ROUTING_REDUCTION})
 
     if failures:
         print("\n  FAILED: " + "; ".join(failures))
@@ -114,8 +263,9 @@ def main() -> int:
     print("\n  expected: the star pays latency once per level instead "
           "of once per\n  request, so fan-out wins ~linearly in the "
           "neighbour count; the chain has\n  nothing to parallelise "
-          "and ties; answers are identical to the local\n  session "
-          "everywhere")
+          "and ties; routed gathers skip every exchange the\n  "
+          "mutation provably did not touch; answers are identical to "
+          "the local\n  session everywhere")
     return 0
 
 

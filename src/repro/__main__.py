@@ -105,10 +105,14 @@ def _load_script(kind: str, name: str):
     return module, str(path)
 
 
-def _print_result(result, args: argparse.Namespace) -> int:
+def _print_result(result, args: argparse.Namespace,
+                  extra: dict | None = None) -> int:
     import json as json_
     if args.json:
-        print(json_.dumps(result.to_dict(), indent=2, sort_keys=True))
+        payload = result.to_dict()
+        if extra:
+            payload.update(extra)
+        print(json_.dumps(payload, indent=2, sort_keys=True))
         if result.failed:
             return 3
         return 1 if result.no_solutions else 0
@@ -144,7 +148,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .core import load_system
     from .net import open_session
     system = load_system(args.system)
-    session = open_session(system, network=args.network)
+    # --routing is a network-runtime knob; open_session rejects it for
+    # the local backend with a typed error, so only forward it when set
+    session = open_session(system, network=args.network,
+                           **({"routing": True} if args.routing else {}))
     semantics = "possible" if args.brave else "certain"
     try:
         # --brave --method rewrite is rejected by the method itself
@@ -178,7 +185,8 @@ def _cmd_network(args: argparse.Namespace) -> int:
                         concurrency=("sequential" if args.sequential
                                      else "fanout"),
                         timeout=args.timeout,
-                        data_dir=args.data_dir) as session:
+                        data_dir=args.data_dir,
+                        routing=args.routing) as session:
         if args.data_dir:
             # durable nodes resume from disk; the CLI treats the system
             # file as the operator's source of truth, so push its state
@@ -189,7 +197,17 @@ def _cmd_network(args: argparse.Namespace) -> int:
         result = session.answer(args.peer, args.query,
                                 method=args.method, semantics=semantics)
         trace = session.exchange_log.events()
-        status = _print_result(result, args)
+        status = _print_result(result, args, extra={
+            "exchange_trace": [
+                {"requester": event.requester,
+                 "provider": event.provider,
+                 "relation": event.relation,
+                 "tuples": event.tuples_transferred,
+                 "bytes_estimate": event.bytes_estimate,
+                 "purpose": event.purpose,
+                 "hop": event.hop}
+                for event in trace],
+        })
         if not args.json:
             print(f"exchange trace ({len(trace)} message(s)):")
             for event in trace:
@@ -233,7 +251,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers, pending_limit=args.pending_limit,
         idle_timeout=args.idle_timeout,
         shard_map=shard_map, shard_index=args.shard,
-        replica_index=args.replica)
+        replica_index=args.replica,
+        routing=args.routing)
     # SIGTERM (the supervisor's stop signal) must run the same cleanup
     # as Ctrl-C: a durable node flushes its caches only on a clean
     # shutdown, which is what makes the next start a warm restart
@@ -254,7 +273,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     with open_wire_session(args.system, host=args.host,
                            data_dir=args.data_dir,
                            hop_budget=args.hops, retries=args.retries,
-                           timeout=args.timeout) as session:
+                           timeout=args.timeout,
+                           routing=args.routing) as session:
         peers = session.peers()
         if not args.json:
             print(f"cluster up: {len(peers)} peer process(es) "
@@ -371,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--network", action="store_true",
                        help="execute over the message-passing peer "
                             "network runtime instead of in-process")
+    query.add_argument("--routing", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="consult the query-driven routing index "
+                            "while gathering (requires --network)")
     query.add_argument("--json", action="store_true",
                        help="print the full QueryResult as JSON")
     query.set_defaults(func=_cmd_query)
@@ -414,8 +438,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="end-to-end per-query budget in seconds "
                               "(expiry surfaces as a typed "
                               "deadline-exceeded error)")
+    network.add_argument("--routing", default=False,
+                         action=argparse.BooleanOptionalAction,
+                         help="learn where the data is (content "
+                              "digests + traffic mining) and skip or "
+                              "shorten provably useless neighbour "
+                              "exchanges; off by default — flooded "
+                              "gathers are the reference behaviour")
     network.add_argument("--json", action="store_true",
-                         help="print the full QueryResult as JSON")
+                         help="print the full QueryResult as JSON "
+                              "including the exchange trace")
     network.set_defaults(func=_cmd_network)
 
     serve = sub.add_parser(
@@ -467,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which shard of PEER this process hosts")
     serve.add_argument("--replica", type=int, default=0, metavar="R",
                        help="which replica of the shard this is")
+    serve.add_argument("--routing", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="maintain a routing index on this node and "
+                            "advertise content digests to requesters")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -491,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--timeout", type=float, default=None,
                          metavar="S",
                          help="end-to-end per-query budget in seconds")
+    cluster.add_argument("--routing", default=False,
+                         action=argparse.BooleanOptionalAction,
+                         help="turn the routing index on in every "
+                              "peer server process")
     cluster.add_argument("--json", action="store_true",
                          help="print the full QueryResult as JSON")
     cluster.set_defaults(func=_cmd_cluster)

@@ -75,19 +75,32 @@ class ExchangeStats:
     estimate.  ``max_hops`` is the longest relay chain any of that data
     travelled — 1 for direct neighbour fetches, more when the
     :mod:`repro.net` runtime routed a transitive query hop-by-hop.
+
+    ``neighbours_contacted`` counts the pending neighbours engaged per
+    gather level (every pending neighbour receives at least one message
+    in both routed and flooded mode); ``neighbours_pruned`` counts the
+    messages the :mod:`repro.routing` index elided (synthesized
+    subsystem replies plus version-confirmed fetch skips) — always zero
+    when routing is off, so a routed run is auditable from its result.
     """
 
     requests: int = 0
     tuples_transferred: int = 0
     bytes_estimate: int = 0
     max_hops: int = 0
+    neighbours_pruned: int = 0
+    neighbours_contacted: int = 0
 
     def __add__(self, other: "ExchangeStats") -> "ExchangeStats":
         return ExchangeStats(self.requests + other.requests,
                              self.tuples_transferred
                              + other.tuples_transferred,
                              self.bytes_estimate + other.bytes_estimate,
-                             max(self.max_hops, other.max_hops))
+                             max(self.max_hops, other.max_hops),
+                             self.neighbours_pruned
+                             + other.neighbours_pruned,
+                             self.neighbours_contacted
+                             + other.neighbours_contacted)
 
 
 @dataclass(frozen=True)
@@ -194,6 +207,9 @@ class QueryResult:
             "exchange_tuples": self.exchange.tuples_transferred,
             "exchange_bytes_estimate": self.exchange.bytes_estimate,
             "exchange_max_hops": self.exchange.max_hops,
+            "exchange_neighbours_pruned": self.exchange.neighbours_pruned,
+            "exchange_neighbours_contacted":
+                self.exchange.neighbours_contacted,
             "from_cache": self.from_cache,
             "error": (None if self.error is None else {
                 "code": self.error.code,

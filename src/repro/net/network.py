@@ -34,7 +34,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..core.messaging import ExchangeLog
 from ..core.system import PeerSystem
@@ -117,7 +117,8 @@ class PeerNetwork:
                     include_local_ics: bool = True,
                     evaluator: str = "planner",
                     data_dir: Optional[Union[str, Path]] = None,
-                    snapshot_every: int = 64) -> "PeerNetwork":
+                    snapshot_every: int = 64,
+                    routing: bool = False) -> "PeerNetwork":
         """One node per peer, each seeded with its local slice only.
 
         With ``data_dir`` every node becomes durable under
@@ -128,6 +129,12 @@ class PeerNetwork:
         a restart rather than a rebuild (push the system's state
         explicitly with :meth:`sync` to make the definition
         authoritative instead).
+
+        ``routing=True`` gives every node a learned
+        :class:`~repro.routing.index.RoutingIndex` consulted by its
+        gather path (digest piggybacking, productivity ordering, and
+        provably redundant messages elided); answers are identical in
+        both modes — only the traffic differs.
         """
         root = Path(data_dir) if data_dir is not None else None
         nodes = []
@@ -143,7 +150,8 @@ class PeerNetwork:
                 include_local_ics=include_local_ics,
                 evaluator=evaluator,
                 data_dir=root / name if root is not None else None,
-                snapshot_every=snapshot_every))
+                snapshot_every=snapshot_every,
+                routing=routing))
         # stamp the nodes: the system's version is only truthful when
         # every store actually holds the system's data — after a
         # restart, disk may have won with *different* (e.g. previously
@@ -354,13 +362,21 @@ class PeerNetwork:
         elif isinstance(message, PeerQuery):
             payload = reply.payload
             stats = payload["stats"]
-            tuples = sum(
-                len(instance.tuples(relation))
-                for instance in payload["instances"].values()
-                for relation in instance.relations())
+            if payload.get("unchanged"):
+                # a routed peer acknowledged an up-to-date subsystem
+                # token: no content travelled, only the stats envelope
+                relation = "@subsystem[unchanged]"
+                tuples = 0
+            else:
+                relation = f"@subsystem[{len(payload['peers'])} peer(s)]"
+                # {"same": fingerprint} dedup markers ship no tuples
+                tuples = sum(
+                    len(instance.tuples(rel))
+                    for instance in payload["instances"].values()
+                    if not isinstance(instance, Mapping)
+                    for rel in instance.relations())
             self.exchange_log.record(
-                message.sender, message.target,
-                f"@subsystem[{len(payload['peers'])} peer(s)]",
+                message.sender, message.target, relation,
                 tuples, "hop-by-hop gather",
                 bytes_estimate=reply.bytes_estimate,
                 hop=stats.max_hops + 1 if stats.max_hops else 1)

@@ -64,7 +64,7 @@ import json
 import threading
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Union
 
 from ..core.results import CERTAIN, ExchangeStats, QueryRequest, QueryResult
 from ..core.session import PeerQuerySession
@@ -80,6 +80,7 @@ from ..storage import (
     merge_relation_rows,
     row_sort_key,
 )
+from ..routing import NeighbourDigests, RoutingIndex, subsystem_fingerprint
 from ..storage.durable import write_json_atomic
 from .errors import (
     DeadlineExceeded,
@@ -136,7 +137,8 @@ class PeerNode:
                  include_local_ics: bool = True,
                  evaluator: str = "planner",
                  data_dir: Optional[Union[str, Path]] = None,
-                 snapshot_every: int = 64) -> None:
+                 snapshot_every: int = 64,
+                 routing: bool = False) -> None:
         self.peer = peer
         self.name = peer.name
         self.decs = tuple(decs)
@@ -164,6 +166,10 @@ class PeerNode:
         self._fetched: dict[tuple[str, str], tuple[str, frozenset]] = {}
         self._fetch_lock = threading.Lock()
         self._lock = threading.RLock()
+        #: the learned routing state, or None when the node floods
+        self.routing: Optional[RoutingIndex] = (
+            RoutingIndex(peer.name) if routing else None)
+        self._digest_cache: Optional[NeighbourDigests] = None
         if self.data_dir is not None:
             self._load_persisted()
 
@@ -264,6 +270,13 @@ class PeerNode:
         # stamp an older version than the rows/chain it ships
         current, chain, rows = self.store.fetch_state(
             message.relation, message.known_version)
+        # piggyback digests only when the requester is behind this
+        # version — a steady-state empty-delta probe carries none
+        digests = None
+        if self.routing is not None and message.known_version != current:
+            digests = self._own_digests()
+            if digests is not None and digests.version != current:
+                digests = None  # raced a concurrent sync; don't mislead
         if chain is not None:
             inserted, deleted = merge_relation_rows(
                 chain, message.relation)
@@ -274,11 +287,11 @@ class PeerNode:
             return Answer(sender=self.name, target=message.sender,
                           in_reply_to=message.correlation_id,
                           payload=payload, version=current,
-                          delta=True)
+                          delta=True, digests=digests)
         return Answer(sender=self.name, target=message.sender,
                       in_reply_to=message.correlation_id,
                       payload=tuple(sorted(rows, key=row_sort_key)),
-                      version=current)
+                      version=current, digests=digests)
 
     def _serve_answer_query(self, message: AnswerQuery) -> Message:
         """Serve a full query answer (the wire runtime's client RPC).
@@ -317,8 +330,48 @@ class PeerNode:
                                        message.visited)
         else:
             payload = self._gather(message.hop_budget, message.visited)
+        version = ""
+        digests = None
+        if self.routing is not None:
+            version = self._subsystem_version()
+            if version and message.digest_version != version:
+                digests = self._subsystem_digests()
+                if digests is not None and digests.version != version:
+                    digests = None  # raced a concurrent sync
+            token = subsystem_fingerprint(payload)
+            if token and message.known_subsystem == token:
+                # the requester's cached copy of this payload is still
+                # byte-identical (the token is a content hash of it):
+                # ship only the fresh gather stats
+                payload = {"unchanged": True, "stats": payload["stats"]}
+            elif message.known_instances:
+                # the payload changed, but individual relayed instances
+                # the requester already holds may not have: replace the
+                # fingerprint-confirmed ones with dedup markers
+                payload = self._dedup_instances(payload,
+                                                message.known_instances)
         return Answer(sender=self.name, target=message.sender,
-                      in_reply_to=message.correlation_id, payload=payload)
+                      in_reply_to=message.correlation_id,
+                      payload=payload, version=version, digests=digests)
+
+    @staticmethod
+    def _dedup_instances(payload: Mapping, known: Mapping) -> Mapping:
+        """Replace relayed instances whose content the requester claims
+        to already hold (its ``known_instances`` fingerprints match)
+        with ``{"same": fingerprint}`` markers.  Shallow-copied — the
+        gather's own payload stays intact for this node's caches."""
+        deduped = {}
+        hits = 0
+        for name, instance in payload["instances"].items():
+            fingerprint = known.get(name, "")
+            if fingerprint and instance.fingerprint() == fingerprint:
+                deduped[name] = {"same": fingerprint}
+                hits += 1
+            else:
+                deduped[name] = instance
+        if not hits:
+            return payload
+        return {**payload, "instances": deduped}
 
     # ------------------------------------------------------------------
     # The hop-by-hop sub-network gather
@@ -345,10 +398,24 @@ class PeerNode:
         amplify it, so very dense graphs should prefer a wider
         ``hop_budget``-bounded topology or a routing layer (see the
         ROADMAP's sharding note).
+
+        With :attr:`routing` enabled, the gather consults the learned
+        :class:`~repro.routing.index.RoutingIndex` to elide provably
+        redundant messages — synthesizing leaf-context subsystem
+        replies from static descriptions, substituting token-confirmed
+        cached payloads for ``unchanged`` acknowledgements, and
+        skipping fetches whose cached rows (or digest-proven emptiness)
+        are confirmed current *in this same gather*.  Every pending
+        neighbour still receives at least one message, and anything
+        unconfirmed falls back to the flooding behaviour, so answers
+        and fault observability are identical in both modes.
         """
         if self.network is None:
             raise ProtocolError(
                 f"node {self.name!r} is not attached to a network")
+        index = self.routing
+        if index is not None:
+            index.ingest_log(self.network.exchange_log)
         covered = set(visited) | {self.name}
         pending = [n for n in self.neighbours() if n not in covered]
         payload: dict = {
@@ -365,18 +432,87 @@ class PeerNode:
                 f"hop budget exhausted at {self.name!r} with unexplored "
                 f"neighbours {pending}", peer=self.name)
         claimed = tuple(visited) + (self.name,) + tuple(pending)
+        # productivity ordering permutes claimed across gathers; cache
+        # contexts key on the *set*, which is what child gathers see
+        context = frozenset(claimed)
+        pruned = 0
 
         # phase 1 — concurrent fan-out: each unvisited neighbour
-        # describes (and relays) its own sub-network
-        subsystem_answers = self.network.fan_out(
-            self.name,
-            [PeerQuery(sender=self.name, target=neighbour,
-                       hop_budget=hop_budget - 1, visited=claimed)
-             for neighbour in pending])
+        # describes (and relays) its own sub-network.  A routed gather
+        # synthesizes the reply of any neighbour whose DEC targets are
+        # all claimed (its gather would find nothing pending and answer
+        # from static state alone) and contacts the rest in descending
+        # learned-productivity order, quoting the digest version and
+        # subsystem token it already holds.
+        subs: dict[str, Mapping] = {}
+        contact: list[str] = []
+        for neighbour in pending:
+            synthesized = (index.synthesize(neighbour, context)
+                           if index is not None else None)
+            if synthesized is not None:
+                subs[neighbour] = synthesized
+                pruned += 1
+            else:
+                contact.append(neighbour)
+        order = index.order(contact) if index is not None else contact
+        held: dict[str, dict] = {}
+        queries = []
+        for neighbour in order:
+            digest_version = known_subsystem = ""
+            known_instances = None
+            if index is not None:
+                digest_version = index.digest_version(neighbour)
+                known_subsystem, entry = index.recall_subsystem(
+                    neighbour, context)
+                if entry is not None:
+                    held[neighbour] = entry
+                    # claim the relayed instances we hold, so a changed
+                    # reply can dedup the ones that did not move
+                    known_instances = {
+                        name: instance.fingerprint()
+                        for name, instance
+                        in entry["instances"].items()} or None
+                else:
+                    known_subsystem = ""
+            queries.append(PeerQuery(
+                sender=self.name, target=neighbour,
+                hop_budget=hop_budget - 1, visited=claimed,
+                digest_version=digest_version,
+                known_subsystem=known_subsystem,
+                known_instances=known_instances))
+        subsystem_answers = dict(zip(
+            order, self.network.fan_out(self.name, queries)))
         stats = payload["stats"]
-        stats += ExchangeStats(requests=len(pending))
-        for answer in subsystem_answers:
+        stats += ExchangeStats(requests=len(queries))
+        fresh_versions: dict[str, str] = {}
+        for neighbour in order:
+            answer = subsystem_answers[neighbour]
             sub = answer.payload
+            if index is not None:
+                if answer.digests is not None:
+                    index.observe_digests(answer.digests)
+                if answer.version:
+                    fresh_versions[neighbour] = answer.version
+            if isinstance(sub, Mapping) and sub.get("unchanged"):
+                entry = held.get(neighbour)
+                if entry is None:
+                    raise ProtocolError(
+                        f"{neighbour!r} acknowledged a subsystem token "
+                        f"{self.name!r} never sent")
+                sub = {**entry, "stats": sub["stats"]}
+                pruned += 1
+            else:
+                sub = self._restore_instances(neighbour, sub,
+                                              held.get(neighbour))
+                if index is not None:
+                    index.learn_topology(sub)
+                    token = subsystem_fingerprint(sub)
+                    if token:
+                        index.remember_subsystem(neighbour, context,
+                                                 token, sub)
+            subs[neighbour] = sub
+        for neighbour in pending:  # canonical order, mode-independent
+            sub = subs[neighbour]
             payload["peers"].update(sub["peers"])
             payload["instances"].update(sub["instances"])
             payload["decs"].extend(sub["decs"])
@@ -392,23 +528,48 @@ class PeerNode:
         # relation contents (deeper peers' data arrived relayed above).
         # Each fetch names the content version this node last saw for
         # that relation, so providers reply with versioned deltas when
-        # they still hold the chain — full relations otherwise.
+        # they still hold the chain — full relations otherwise.  A
+        # routed gather elides a fetch only on a same-gather version
+        # confirmation: cached rows already at the confirmed version,
+        # or a digest at the confirmed version proving the relation
+        # empty — never on an unconfirmed (possibly stale) digest.
         fetches = []
         bases: list[Optional[frozenset]] = []
+        data: dict[str, dict[str, frozenset]] = {n: {} for n in pending}
         for neighbour in pending:
+            confirmed = fresh_versions.get(neighbour, "")
+            digests = (index.digests_for(neighbour)
+                       if index is not None and confirmed else None)
+            if digests is not None and digests.version != confirmed:
+                digests = None
             for relation in sorted(
                     payload["peers"][neighbour].schema.names):
                 with self._fetch_lock:
                     cached = self._fetched.get((neighbour, relation))
+                if confirmed and cached and cached[0] == confirmed:
+                    data[neighbour][relation] = cached[1]
+                    pruned += 1
+                    continue
+                if digests is not None:
+                    digest = digests.digest_for(relation)
+                    if digest is not None and digest.row_count == 0:
+                        empty = frozenset()
+                        with self._fetch_lock:
+                            self._fetched[(neighbour, relation)] = \
+                                (confirmed, empty)
+                        data[neighbour][relation] = empty
+                        pruned += 1
+                        continue
                 fetches.append(FetchRelation(
                     sender=self.name, target=neighbour,
                     relation=relation, purpose="subsystem gather",
                     known_version=cached[0] if cached else ""))
                 bases.append(cached[1] if cached else None)
         fetch_answers = self.network.fan_out(self.name, fetches)
-        data: dict[str, dict[str, frozenset]] = {n: {} for n in pending}
         tuples_moved = bytes_moved = 0
         for request, base, answer in zip(fetches, bases, fetch_answers):
+            if index is not None and answer.digests is not None:
+                index.observe_digests(answer.digests)
             rows, moved = self._integrate_fetch(request, base, answer)
             data[request.target][request.relation] = rows
             tuples_moved += moved
@@ -418,8 +579,39 @@ class PeerNode:
                 payload["peers"][neighbour].schema, data[neighbour])
         payload["stats"] = stats + ExchangeStats(
             requests=len(fetches), tuples_transferred=tuples_moved,
-            bytes_estimate=bytes_moved, max_hops=1)
+            bytes_estimate=bytes_moved, max_hops=1,
+            neighbours_pruned=pruned,
+            neighbours_contacted=len(pending))
         return payload
+
+    def _restore_instances(self, neighbour: str, sub: Mapping,
+                           entry: Optional[Mapping]) -> Mapping:
+        """Expand ``{"same": fingerprint}`` dedup markers in a relayed
+        payload back into the instances this node's cached subsystem
+        copy holds.  A marker the cache cannot verify — no cached
+        entry, an unknown peer, or a fingerprint mismatch — is a
+        protocol violation: silently keeping it would corrupt the
+        merged view, and this node only invites markers it can expand.
+        """
+        instances = sub.get("instances", {})
+        if not any(isinstance(instance, Mapping)
+                   for instance in instances.values()):
+            return sub
+        cached = (entry or {}).get("instances", {})
+        restored = {}
+        for name, instance in instances.items():
+            if not isinstance(instance, Mapping):
+                restored[name] = instance
+                continue
+            have = cached.get(name)
+            if have is None or have.fingerprint() != instance.get(
+                    "same"):
+                raise ProtocolError(
+                    f"{neighbour!r} deduplicated the instance of "
+                    f"{name!r} against a fingerprint {self.name!r} "
+                    f"does not hold")
+            restored[name] = have
+        return {**sub, "instances": restored}
 
     def _integrate_fetch(self, request: FetchRelation,
                          base: Optional[frozenset],
@@ -450,6 +642,50 @@ class PeerNode:
                 self._fetched[(request.target, request.relation)] = \
                     (answer.version, rows)
         return rows, moved
+
+    # ------------------------------------------------------------------
+    # Routing digests (piggybacked on Answers when routing is enabled)
+    # ------------------------------------------------------------------
+    def _own_digests(self) -> Optional[NeighbourDigests]:
+        """This node's per-relation digests at its current store
+        version (cached per version; ``None`` if a concurrent sync kept
+        racing the consistent read)."""
+        for _attempt in range(3):
+            version = self.store.version()
+            cached = self._digest_cache
+            if cached is not None and cached.version == version:
+                return cached
+            tables = {}
+            consistent = True
+            for relation in sorted(self.peer.schema.names):
+                current, _chain, rows = self.store.fetch_state(relation)
+                if current != version:
+                    consistent = False
+                    break
+                tables[relation] = rows
+            if not consistent:
+                continue
+            digests = NeighbourDigests.from_tables(self.name, version,
+                                                   tables)
+            self._digest_cache = digests
+            return digests
+        return None
+
+    def _subsystem_digests(self) -> Optional[NeighbourDigests]:
+        """Digests to piggyback on subsystem replies.  The sharded node
+        overrides this to ``None``: its store holds only a slice, and a
+        slice digest (e.g. ``row_count == 0`` with rows on sibling
+        shards) would misdescribe the logical peer — slice digests
+        travel on fetch replies instead, composed by the
+        :class:`~repro.shard.router.ShardRouter`."""
+        return self._own_digests()
+
+    def _subsystem_version(self) -> str:
+        """The store version stamped on subsystem replies (the token
+        requesters confirm fetch elisions against).  The sharded node
+        overrides this to ``""`` — its slice version never describes
+        the logical peer, so requesters must always fetch."""
+        return self.store.version()
 
     def _complete_own_instance(self) -> tuple[DatabaseInstance,
                                               ExchangeStats]:

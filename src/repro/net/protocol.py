@@ -90,11 +90,36 @@ class PeerQuery(Message):
     ``hop_budget`` bounds how many further hops the target may take;
     ``visited`` lists the peers already covered on this branch, so
     cyclic accessibility graphs terminate without revisiting.
+
+    The two routing fields are optional hints (old peers ignore them,
+    the codec omits them when empty): ``digest_version`` names the
+    :class:`~repro.routing.digest.NeighbourDigests` version the
+    requester already holds for the target, so the target only
+    piggybacks fresh digests; ``known_subsystem`` is the
+    :func:`~repro.routing.index.subsystem_fingerprint` content token of
+    the target's last full subsystem payload the requester cached — a
+    target whose freshly gathered payload hashes to the same token may
+    answer with a tiny ``{"unchanged": True}`` payload instead of
+    re-relaying its whole subtree.
+
+    ``known_instances`` refines the same idea per relayed peer: a
+    mapping of peer name to the
+    :meth:`~repro.relational.instance.DatabaseInstance.fingerprint` of
+    the instance the requester's cached payload holds for that peer.
+    A target whose *changed* gather still carries a byte-identical
+    instance for one of those peers may replace it with a
+    ``{"same": fingerprint}`` marker, which the requester expands back
+    from its cache — so a one-leaf edit stops re-relaying every
+    untouched instance along the whole path.  Like the other hints it
+    is optional and omitted from the wire when empty.
     """
 
     kind: str = SUBSYSTEM
     hop_budget: int = 8
     visited: tuple[str, ...] = ()
+    digest_version: str = ""
+    known_subsystem: str = ""
+    known_instances: Any = None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -126,6 +151,12 @@ class Answer(Message):
     content version so the requester can cache rows and ask for deltas
     next time; ``delta`` marks the payload as a change set relative to
     the requester's ``known_version`` rather than the full relation.
+
+    ``digests`` optionally piggybacks the provider's
+    :class:`~repro.routing.digest.NeighbourDigests` (its per-relation
+    content summaries under its current store version) so requesters
+    learn routing state from traffic they paid for anyway.  The field
+    is forward-tolerant: peers predating it decode and ignore it.
     """
 
     in_reply_to: int
@@ -133,11 +164,15 @@ class Answer(Message):
     bytes_estimate: int = 0
     version: str = ""
     delta: bool = False
+    digests: Any = None
 
     def __post_init__(self) -> None:
         if self.bytes_estimate == 0:
-            object.__setattr__(self, "bytes_estimate",
-                               payload_bytes(self.payload))
+            estimate = payload_bytes(self.payload)
+            if self.digests is not None:
+                from ..routing.digest import digest_bytes
+                estimate += digest_bytes(self.digests)
+            object.__setattr__(self, "bytes_estimate", estimate)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -173,9 +208,17 @@ def payload_bytes(payload: Any) -> int:
         # a versioned relation delta: costs only the changed rows
         return (estimate_bytes(payload.get("insert", ()))
                 + estimate_bytes(payload.get("delete", ())) + 16)
+    if isinstance(payload, Mapping) and payload.get("unchanged"):
+        # a subsystem-unchanged acknowledgement: a flat flag + stats
+        return 8
     if isinstance(payload, Mapping):
         total = 0
         for instance in payload.get("instances", {}).values():
+            if isinstance(instance, Mapping):
+                # a {"same": fingerprint} dedup marker: only the
+                # fingerprint travels, never the instance's rows
+                total += 24
+                continue
             for relation in instance.relations():
                 total += estimate_bytes(instance.tuples(relation))
         total += 64 * len(payload.get("peers", {}))

@@ -91,12 +91,17 @@ class NetworkSession:
                  max_workers: Optional[int] = None,
                  timeout: Optional[float] = None,
                  data_dir: Optional[Union[str, "Path"]] = None,
-                 snapshot_every: int = 64) -> None:
+                 snapshot_every: int = 64,
+                 routing: bool = False) -> None:
         if isinstance(system_or_network, PeerNetwork):
             if transport is not None:
                 raise NetworkError(
                     "pass the transport when the network is built, not "
                     "to a session over an existing network")
+            if routing:
+                raise NetworkError(
+                    "pass routing when the network is built, not to a "
+                    "session over an existing network")
             if data_dir is not None:
                 raise NetworkError(
                     "pass data_dir when the network is built, not to a "
@@ -115,7 +120,7 @@ class NetworkSession:
                 default_method=default_method,
                 include_local_ics=include_local_ics,
                 evaluator=evaluator, data_dir=data_dir,
-                snapshot_every=snapshot_every)
+                snapshot_every=snapshot_every, routing=routing)
         self.default_method = default_method
 
     # ------------------------------------------------------------------
@@ -220,16 +225,18 @@ def open_session(system: PeerSystem, *,
     local session accepts ``default_method``, ``include_local_ics``,
     ``evaluator``; the network session also takes ``transport``,
     ``hop_budget``, ``retries``, ``concurrency``, ``timeout``,
-    ``data_dir``; the wire backend takes the cluster knobs of
-    :func:`repro.wire.cluster.open_wire_session` — ``data_dir``,
+    ``data_dir``, ``routing``; the wire backend takes the cluster knobs
+    of :func:`repro.wire.cluster.open_wire_session` — ``data_dir``,
     ``host``, ``hop_budget``, ``retries``, ``timeout``,
-    ``request_timeout``, ``snapshot_every``, ``startup_timeout``).
+    ``request_timeout``, ``snapshot_every``, ``startup_timeout``,
+    ``routing``).
     """
     if network == "wire":
         from ..wire import open_wire_session
         allowed = ("default_method", "retries", "timeout",
                    "request_timeout", "data_dir", "host", "hop_budget",
-                   "snapshot_every", "startup_timeout", "python")
+                   "snapshot_every", "startup_timeout", "python",
+                   "routing")
         unknown = set(kwargs) - set(allowed)
         if unknown:
             raise NetworkError(

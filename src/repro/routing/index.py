@@ -1,0 +1,275 @@
+"""The per-node routing index: fused digests, topology, and traffic.
+
+A :class:`RoutingIndex` is what a routing-enabled
+:class:`~repro.net.node.PeerNode` consults during its hop-by-hop gather.
+It learns three things, all passively, from traffic the node would have
+paid for anyway:
+
+* **Neighbour digests** — :class:`~repro.routing.digest.NeighbourDigests`
+  bundles piggybacked on :class:`~repro.net.protocol.Answer` replies,
+  keyed by the provider's store version.
+* **Static peer descriptions** — each gathered peer's
+  :class:`~repro.core.system.Peer`, owned DECs, trust edges, and DEC
+  targets, mined from subsystem payloads.  Topology is static for the
+  lifetime of a network (:meth:`~repro.net.network.PeerNetwork.sync`
+  rejects topology changes), so a description never goes stale.
+* **Traffic statistics** — the :class:`~repro.routing.stats.TrafficStats`
+  productivity ordering, mined incrementally from the network's
+  :class:`~repro.core.messaging.ExchangeLog`.
+
+It also caches, per ``(child, claimed-set)`` gather context, the last
+full subsystem payload a child returned together with its
+:func:`subsystem_fingerprint` content token.  The gather sends that
+token with the next :class:`~repro.net.protocol.PeerQuery`; a child
+whose freshly gathered payload hashes to the same token replies with a
+tiny ``{"unchanged": True}`` frame and the requester substitutes the
+cached payload — sound because the token is a content hash of the
+payload itself (stats excluded — they are per-run cost accounting, not
+content), so any data change anywhere in the child's subtree changes
+the token and forces a full reply.
+
+**Fallback rules** (pruning is never a correctness decision): a skip
+requires either a static description (leaf synthesis) or a same-gather
+version confirmation (fetch elision); anything missing, stale, or
+version-mismatched degrades to contacting the neighbour exactly as the
+flooding gather would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from ..core.results import ExchangeStats
+from .digest import NeighbourDigests
+from .stats import DEFAULT_DECAY, TrafficStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.messaging import ExchangeLog
+    from ..core.system import Peer
+
+__all__ = ["RoutingIndex", "PeerDescription", "subsystem_fingerprint"]
+
+#: cached subsystem payloads per index (LRU) — one per (child, context)
+_MAX_CACHED_PAYLOADS = 16
+
+
+def subsystem_fingerprint(payload: Mapping) -> str:
+    """A deterministic content token for one subsystem payload.
+
+    Hashes everything that defines the payload's *meaning* — peers
+    (schema + local ICs), instance fingerprints, the DEC multiset, and
+    trust edges — and deliberately excludes ``stats``, which describe
+    what one particular gather cost rather than what the subtree
+    contains.  Returns ``""`` (token unavailable, feature disabled for
+    this payload) when a component cannot be canonically serialised.
+    """
+    from ..core.io import constraint_to_dict, schema_to_spec
+    try:
+        digest = hashlib.sha256()
+        for name in sorted(payload["peers"]):
+            peer = payload["peers"][name]
+            digest.update(b"\x00P" + name.encode("utf-8"))
+            digest.update(json.dumps(schema_to_spec(peer.schema),
+                                     sort_keys=True,
+                                     ensure_ascii=True).encode("ascii"))
+            for constraint in peer.local_ics:
+                digest.update(json.dumps(constraint_to_dict(constraint),
+                                         sort_keys=True,
+                                         ensure_ascii=True)
+                              .encode("ascii"))
+        for name in sorted(payload["instances"]):
+            digest.update(b"\x00I" + name.encode("utf-8"))
+            digest.update(payload["instances"][name].fingerprint()
+                          .encode("utf-8"))
+        for entry in sorted(
+                json.dumps({"owner": dec.owner, "other": dec.other,
+                            "constraint":
+                                constraint_to_dict(dec.constraint)},
+                           sort_keys=True, ensure_ascii=True)
+                for dec in payload["decs"]):
+            digest.update(b"\x00D" + entry.encode("ascii"))
+        for entry in sorted(
+                json.dumps([owner, str(level), other],
+                           ensure_ascii=True)
+                for owner, level, other in payload["trust"]):
+            digest.update(b"\x00T" + entry.encode("ascii"))
+    except Exception:
+        return ""
+    return "sub-" + digest.hexdigest()[:16]
+
+
+def _dec_content_key(dec) -> object:
+    """Content key for deduplicating relayed DECs (mirrors the view
+    merge in :mod:`repro.net.node`); exotic constraints fall back to
+    identity."""
+    from ..core.io import constraint_to_dict
+    try:
+        return (dec.owner, dec.other,
+                json.dumps(constraint_to_dict(dec.constraint),
+                           sort_keys=True))
+    except Exception:
+        return (dec.owner, dec.other, id(dec))
+
+
+@dataclass(frozen=True)
+class PeerDescription:
+    """One gathered peer's static shape: schema, DECs, trust, targets.
+
+    Everything here is fixed for the network's lifetime, so holding it
+    lets the gather *synthesize* the subsystem reply of a neighbour
+    whose DEC targets are all claimed by the current gather — byte-like
+    identical to what the neighbour itself would have answered.
+    """
+
+    peer: "Peer"
+    decs: tuple
+    trust: tuple
+    targets: frozenset
+
+
+class RoutingIndex:
+    """One node's learned routing state (thread-safe)."""
+
+    def __init__(self, owner: str, *, decay: float = DEFAULT_DECAY,
+                 max_payloads: int = _MAX_CACHED_PAYLOADS) -> None:
+        self.owner = owner
+        self._lock = threading.Lock()
+        self._digests: dict[str, NeighbourDigests] = {}
+        self._descriptions: dict[str, PeerDescription] = {}
+        self._payloads: "OrderedDict[tuple[str, frozenset], tuple[str, dict]]" = OrderedDict()
+        self._max_payloads = max_payloads
+        self.traffic = TrafficStats(decay=decay)
+        self._log_position = 0
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def ingest_log(self, log: "ExchangeLog") -> None:
+        """Mine this node's own new exchange events incrementally."""
+        events = log.events_since(self._log_position)
+        self._log_position += len(events)
+        mine = [event for event in events
+                if event.requester == self.owner]
+        if mine:
+            with self._lock:
+                self.traffic.ingest(mine)
+
+    def observe_digests(self, digests: NeighbourDigests) -> None:
+        with self._lock:
+            self._digests[digests.peer] = digests
+
+    def learn_topology(self, payload: Mapping) -> None:
+        """Mine static peer descriptions from one subsystem payload.
+
+        A gathered payload carries each covered peer's *complete* DEC
+        list and trust edges (every node relays its own in full), so
+        filtering by owner — deduplicated, first occurrence kept, which
+        preserves the owner's original ordering — reconstructs exactly
+        what that peer would hand out itself.
+        """
+        with self._lock:
+            for name, peer in payload["peers"].items():
+                if name == self.owner or name in self._descriptions:
+                    continue
+                seen: set = set()
+                decs = tuple(
+                    dec for dec in payload["decs"]
+                    if dec.owner == name
+                    and (key := _dec_content_key(dec)) not in seen
+                    and not seen.add(key))
+                trust_seen: set = set()
+                trust = tuple(
+                    edge for edge in payload["trust"]
+                    if edge[0] == name and edge not in trust_seen
+                    and not trust_seen.add(edge))
+                self._descriptions[name] = PeerDescription(
+                    peer=peer, decs=decs, trust=trust,
+                    targets=frozenset(dec.other for dec in decs))
+
+    def remember_subsystem(self, child: str, context: frozenset,
+                           token: str, payload: Mapping) -> None:
+        """Cache a child's full subsystem payload under its content
+        token for this gather context (LRU-bounded)."""
+        entry = {"peers": dict(payload["peers"]),
+                 "instances": dict(payload["instances"]),
+                 "decs": list(payload["decs"]),
+                 "trust": list(payload["trust"])}
+        with self._lock:
+            self._payloads[(child, context)] = (token, entry)
+            self._payloads.move_to_end((child, context))
+            while len(self._payloads) > self._max_payloads:
+                self._payloads.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Consulting
+    # ------------------------------------------------------------------
+    def digest_version(self, peer: str) -> str:
+        with self._lock:
+            held = self._digests.get(peer)
+            return held.version if held is not None else ""
+
+    def digests_for(self, peer: str) -> Optional[NeighbourDigests]:
+        with self._lock:
+            return self._digests.get(peer)
+
+    def description(self, peer: str) -> Optional[PeerDescription]:
+        with self._lock:
+            return self._descriptions.get(peer)
+
+    def recall_subsystem(self, child: str, context: frozenset
+                         ) -> tuple[str, Optional[dict]]:
+        """The cached ``(token, payload)`` for a gather context, or
+        ``("", None)``.  The caller must hold the returned payload for
+        the duration of its request — the LRU may evict the entry."""
+        with self._lock:
+            held = self._payloads.get((child, context))
+            if held is None:
+                return "", None
+            self._payloads.move_to_end((child, context))
+            token, entry = held
+            return token, entry
+
+    def synthesize(self, peer: str, claimed: frozenset
+                   ) -> Optional[dict]:
+        """A neighbour's subsystem reply, built locally — or ``None``.
+
+        Possible only when the index holds the neighbour's static
+        description **and** every DEC target of the neighbour is already
+        claimed by this gather: the neighbour's own gather would then
+        find nothing pending and answer purely from static state, which
+        is exactly what is synthesized here.  The caller still owes the
+        neighbour its relation fetches — every pending neighbour
+        receives at least one message per gather, so fault behaviour
+        (down peers, drops) is identical to the flooding gather.
+        """
+        description = self.description(peer)
+        if description is None:
+            return None
+        if not description.targets <= claimed:
+            return None
+        if not description.peer.schema.names:
+            # a relation-less peer would otherwise receive no message at
+            # all, diverging from flooding's fault observability
+            return None
+        return {"peers": {peer: description.peer},
+                "instances": {},
+                "decs": list(description.decs),
+                "trust": list(description.trust),
+                "stats": ExchangeStats()}
+
+    def order(self, peers: Sequence[str]) -> list[str]:
+        """Contact order: descending learned productivity, stable."""
+        with self._lock:
+            return self.traffic.order(peers)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"RoutingIndex({self.owner!r}, "
+                    f"digests={sorted(self._digests)}, "
+                    f"descriptions={sorted(self._descriptions)}, "
+                    f"payloads={len(self._payloads)})")

@@ -1,0 +1,104 @@
+"""Traffic mining: per-neighbour productivity from the exchange log.
+
+Routing's second signal (after content digests) is history: which
+neighbours actually produced tuples when asked.  :class:`TrafficStats`
+ingests the :class:`~repro.core.messaging.ExchangeEvent` stream a node's
+own requests generated and keeps, per provider:
+
+* a decayed **hit rate** — the fraction of requests that moved at least
+  one tuple;
+* decayed **tuples** and **bytes** totals, whose ratio is the
+  bytes-per-useful-tuple cost of talking to that provider.
+
+Every ingested batch first ages all weights by ``decay``, so a
+neighbour that stopped producing sinks in the ordering within a few
+gathers instead of coasting on ancient hits.  The ordering is
+deterministic (score descending, name ascending) — it decides *in which
+order* productive neighbours are contacted, never *whether* they are
+contacted, so it can never affect answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.messaging import ExchangeEvent
+
+__all__ = ["TrafficStats"]
+
+#: default aging factor applied to every provider per ingested batch
+DEFAULT_DECAY = 0.9
+
+
+@dataclass
+class _ProviderTraffic:
+    requests: float = 0.0
+    hits: float = 0.0
+    tuples: float = 0.0
+    bytes: float = 0.0
+
+
+class TrafficStats:
+    """Decayed per-provider traffic aggregates (not thread-safe; the
+    owning :class:`~repro.routing.index.RoutingIndex` serialises
+    access)."""
+
+    def __init__(self, decay: float = DEFAULT_DECAY) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = decay
+        self._providers: dict[str, _ProviderTraffic] = {}
+
+    def ingest(self, events: Iterable["ExchangeEvent"]) -> None:
+        """Fold a batch of this node's own exchange events in, aging
+        every provider's weights once first."""
+        events = list(events)
+        if not events:
+            return
+        for traffic in self._providers.values():
+            traffic.requests *= self.decay
+            traffic.hits *= self.decay
+            traffic.tuples *= self.decay
+            traffic.bytes *= self.decay
+        for event in events:
+            traffic = self._providers.setdefault(event.provider,
+                                                 _ProviderTraffic())
+            traffic.requests += 1.0
+            if event.tuples_transferred > 0:
+                traffic.hits += 1.0
+                traffic.tuples += event.tuples_transferred
+            traffic.bytes += event.bytes_estimate
+
+    # ------------------------------------------------------------------
+    def hit_rate(self, provider: str) -> float:
+        traffic = self._providers.get(provider)
+        if traffic is None or traffic.requests <= 0.0:
+            return 0.0
+        return traffic.hits / traffic.requests
+
+    def bytes_per_useful_tuple(self, provider: str) -> float:
+        """Decayed transfer cost per tuple that was actually new;
+        ``inf`` for a provider that never moved a tuple."""
+        traffic = self._providers.get(provider)
+        if traffic is None or traffic.tuples <= 0.0:
+            return float("inf")
+        return traffic.bytes / traffic.tuples
+
+    def productivity(self, provider: str) -> float:
+        """The fused ordering score: hit rate, nudged by tuple volume."""
+        traffic = self._providers.get(provider)
+        if traffic is None or traffic.requests <= 0.0:
+            return 0.0
+        volume = traffic.tuples / (traffic.tuples + 1.0)
+        return self.hit_rate(provider) + 0.001 * volume
+
+    def order(self, providers: Sequence[str]) -> list[str]:
+        """Providers by descending productivity; name breaks ties, so
+        two nodes with identical histories order identically."""
+        return sorted(providers,
+                      key=lambda name: (-self.productivity(name), name))
+
+    def known_providers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._providers))

@@ -66,6 +66,27 @@ class ShardedPeerNode(PeerNode):
                                     self.shard_index),
             version)
 
+    def _subsystem_digests(self):
+        """No subsystem digests from a shard replica.
+
+        The node's store holds one *slice* of the logical peer, so its
+        own digests would under-describe the peer and a requester could
+        wrongly conclude a constant is absent.  Slice digests still
+        travel on fetch replies (``_serve_fetch`` is not overridden),
+        where the :class:`~repro.shard.router.ShardRouter` composes
+        them per shard under the ``shards(...)`` version token.
+        """
+        return None
+
+    def _subsystem_version(self) -> str:
+        """No confirmable subsystem version either: the slice store's
+        version describes the slice, not the logical peer, and
+        advertising it would let a requester elide fetches against the
+        wrong content.  Empty means *never confirm* — routed gathers
+        through a sharded peer fall back to flooded-equivalent fetches,
+        which is always sound."""
+        return ""
+
     def _complete_own_instance(self) -> tuple[DatabaseInstance,
                                               ExchangeStats]:
         """Reassemble the peer's full instance across sibling shards.
@@ -115,7 +136,8 @@ def build_shard_node(system: PeerSystem, peer: str, *,
                      include_local_ics: bool = True,
                      evaluator: str = "planner",
                      data_dir: Optional[Union[str, Path]] = None,
-                     snapshot_every: int = 64) -> PeerNode:
+                     snapshot_every: int = 64,
+                     routing: bool = False) -> PeerNode:
     """One (possibly sharded) node seeded with its slice of ``system``.
 
     The sharded twin of :func:`~repro.wire.server.build_peer_node`,
@@ -139,7 +161,8 @@ def build_shard_node(system: PeerSystem, peer: str, *,
         include_local_ics=include_local_ics,
         evaluator=evaluator,
         data_dir=data_dir,
-        snapshot_every=snapshot_every)
+        snapshot_every=snapshot_every,
+        routing=routing)
     if shard_map is not None and shard_map.covers(peer):
         node: PeerNode = ShardedPeerNode(
             system.peers[peer], system.instances[peer],

@@ -61,6 +61,7 @@ from ..net.protocol import (
     PeerQuery,
 )
 from ..net.transport import FaultPlan, Handler, Transport
+from ..routing.digest import merge_neighbour_digests
 from .shardmap import (
     ShardError,
     ShardMap,
@@ -374,7 +375,9 @@ class ShardRouter(Transport):
                 sender=message.target, target=message.sender,
                 in_reply_to=message.correlation_id, payload=payload,
                 version=self._compose(shards, replies), delta=True,
-                bytes_estimate=total_bytes)
+                bytes_estimate=total_bytes,
+                digests=self._compose_digests(message.target, shards,
+                                              replies))
         # mixed full/delta replies cannot merge (the delta halves lack
         # a base here): re-pull the delta shards in full
         replies = list(replies)
@@ -396,7 +399,9 @@ class ShardRouter(Transport):
             sender=message.target, target=message.sender,
             in_reply_to=message.correlation_id, payload=rows,
             version=self._compose(shards, replies),
-            bytes_estimate=total_bytes)
+            bytes_estimate=total_bytes,
+            digests=self._compose_digests(message.target, shards,
+                                          replies))
 
     @staticmethod
     def _compose(shards: Sequence[str],
@@ -404,6 +409,34 @@ class ShardRouter(Transport):
         return compose_shard_versions(
             {shard: getattr(reply, "version", "")
              for shard, reply in zip(shards, replies)})
+
+    @staticmethod
+    def _compose_digests(peer: str, shards: Sequence[str],
+                         replies: Sequence[Message]):
+        """Merge per-slice content digests into one logical digest set.
+
+        Every shard node describes only its slice, so the logical
+        digests are the bitwise union, stamped with the same
+        ``shards(...)`` token as the merged answer.  Composition is
+        all-or-nothing: a single reply without digests (routing off on
+        that replica, or a version race dropped them) makes the merged
+        answer carry none — a partial union could claim a constant
+        absent that a silent slice holds, breaking the no-false-negative
+        guarantee the requester prunes on.
+        """
+        parts = [getattr(reply, "digests", None) for reply in replies]
+        if any(part is None for part in parts):
+            return None
+        if any(part.version != getattr(reply, "version", "")
+               for part, reply in zip(parts, replies)):
+            return None  # slice digests raced a sync; don't describe it
+        version = compose_shard_versions(
+            {shard: part.version
+             for shard, part in zip(shards, parts)})
+        try:
+            return merge_neighbour_digests(peer, version, parts)
+        except ValueError:
+            return None
 
     def _fan(self, thunks: Sequence[Callable[[], Message]]
              ) -> list[Message]:

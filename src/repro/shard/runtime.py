@@ -50,7 +50,8 @@ class ShardedNetwork:
                  hop_budget: Optional[int] = None,
                  retries: int = 2,
                  timeout: Optional[float] = None,
-                 cooldown: float = 0.5) -> None:
+                 cooldown: float = 0.5,
+                 routing: bool = False) -> None:
         if shard_map is None:
             shard_map = ShardMap.uniform(system.peers, shards)
         self.system = system
@@ -58,6 +59,7 @@ class ShardedNetwork:
         self.replicas = replicas
         self.retries = retries
         self.default_method = default_method
+        self.routing = routing
         self.inner = LoopbackTransport()
         units = cluster_units(shard_map, sorted(system.peers), replicas)
         layout = replica_layout(shard_map, units)
@@ -87,7 +89,8 @@ class ShardedNetwork:
             shard_map=(self.shard_map
                        if self.shard_map.covers(peer) else None),
             shard_index=shard,
-            default_method=self.default_method)
+            default_method=self.default_method,
+            routing=self.routing)
         router = ShardRouter(self.shard_map, layout, self.inner,
                              local_name=unit)
         # registering the network's node routes the *logical* name onto

@@ -110,10 +110,12 @@ class ClusterSupervisor:
                  workers: int = 8,
                  pending_limit: int = 64,
                  idle_timeout: float = 60.0,
-                 shard_map=None, replicas: int = 1) -> None:
+                 shard_map=None, replicas: int = 1,
+                 routing: bool = False) -> None:
         self.host = host
         self.shard_map = shard_map
         self.replicas = replicas
+        self.routing = routing
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self.hop_budget = hop_budget
         self.retries = retries
@@ -188,6 +190,8 @@ class ClusterSupervisor:
                            "--workers", str(self.workers),
                            "--pending-limit", str(self.pending_limit),
                            "--idle-timeout", str(self.idle_timeout)]
+                if self.routing:
+                    command += ["--routing"]
                 if shard_json is not None:
                     command += ["--shard-map", shard_json]
                     if parsed is not None:
@@ -359,7 +363,8 @@ def open_wire_session(system: Union[PeerSystem, str, Path], *,
     the supervisor: ``close()`` (or leaving its ``with`` block) shuts
     every peer process down.  Extra keyword arguments go to
     :class:`ClusterSupervisor` (``data_dir``, ``host``, ``hop_budget``,
-    ``snapshot_every``, ``startup_timeout``).
+    ``snapshot_every``, ``startup_timeout``, ``routing`` — the last
+    turns the query-driven routing index on in every server process).
     """
     from .session import RemoteNetworkSession
     supervisor = ClusterSupervisor(

@@ -58,6 +58,7 @@ from ..net.protocol import (
     PeerQuery,
 )
 from ..relational.instance import DatabaseInstance
+from ..routing.digest import NeighbourDigests
 
 __all__ = [
     "WIRE_PROTOCOL",
@@ -173,17 +174,26 @@ def _rows_to_tuples(rows) -> list:
 
 
 def _stats_to_dict(stats: ExchangeStats) -> dict:
-    return {"requests": stats.requests,
-            "tuples": stats.tuples_transferred,
-            "bytes": stats.bytes_estimate,
-            "max_hops": stats.max_hops}
+    encoded = {"requests": stats.requests,
+               "tuples": stats.tuples_transferred,
+               "bytes": stats.bytes_estimate,
+               "max_hops": stats.max_hops}
+    # the routing counters are optional keys so frames from runs with
+    # routing off stay byte-identical to the pre-routing vocabulary
+    if stats.neighbours_pruned:
+        encoded["pruned"] = stats.neighbours_pruned
+    if stats.neighbours_contacted:
+        encoded["contacted"] = stats.neighbours_contacted
+    return encoded
 
 
 def _stats_from_dict(data: Mapping) -> ExchangeStats:
     return ExchangeStats(requests=data["requests"],
                          tuples_transferred=data["tuples"],
                          bytes_estimate=data["bytes"],
-                         max_hops=data["max_hops"])
+                         max_hops=data["max_hops"],
+                         neighbours_pruned=data.get("pruned", 0),
+                         neighbours_contacted=data.get("contacted", 0))
 
 
 def _peer_to_dict(peer: Peer) -> dict:
@@ -198,12 +208,19 @@ def _peer_from_dict(name: str, data: Mapping) -> Peer:
 
 def _subsystem_to_dict(payload: Mapping) -> dict:
     instances = {}
+    same = {}
     for name, instance in payload["instances"].items():
+        if isinstance(instance, Mapping):
+            # a {"same": fingerprint} dedup marker (the requester holds
+            # this instance already); kept out of "instances" so a
+            # relation named "same" can never collide with it
+            same[name] = instance["same"]
+            continue
         instances[name] = {
             relation: _rows_to_lists(instance.tuples(relation))
             for relation in instance.relations()
             if instance.tuples(relation)}
-    return {
+    encoded = {
         "peers": {name: _peer_to_dict(peer)
                   for name, peer in payload["peers"].items()},
         "instances": instances,
@@ -214,6 +231,9 @@ def _subsystem_to_dict(payload: Mapping) -> dict:
                   for owner, level, other in payload["trust"]],
         "stats": _stats_to_dict(payload["stats"]),
     }
+    if same:
+        encoded["same"] = same
+    return encoded
 
 
 def _subsystem_from_dict(data: Mapping) -> dict:
@@ -229,6 +249,12 @@ def _subsystem_from_dict(data: Mapping) -> dict:
             peers[name].schema,
             {relation: _rows_to_tuples(rows)
              for relation, rows in relations.items()})
+    for name, fingerprint in data.get("same", {}).items():
+        if name not in peers:
+            raise WireProtocolError(
+                f"subsystem payload dedups an instance for undescribed "
+                f"peer {name!r}")
+        instances[name] = {"same": fingerprint}
     return {
         "peers": peers,
         "instances": instances,
@@ -302,6 +328,11 @@ def _payload_to_dict(payload: Any) -> dict:
         return {"kind": "delta",
                 "insert": _rows_to_lists(payload.get("insert", ())),
                 "delete": _rows_to_lists(payload.get("delete", ()))}
+    if isinstance(payload, Mapping) and payload.get("unchanged"):
+        # a routing-enabled peer acknowledging an up-to-date subsystem
+        # token: no content travels, only the gather's fresh stats
+        return {"kind": "subsystem-unchanged",
+                "stats": _stats_to_dict(payload["stats"])}
     if isinstance(payload, Mapping) and "peers" in payload:
         return {"kind": "subsystem",
                 "subsystem": _subsystem_to_dict(payload)}
@@ -322,6 +353,9 @@ def _payload_from_dict(data: Mapping) -> Any:
                 "delete": tuple(_rows_to_tuples(data["delete"]))}
     if kind == "subsystem":
         return _subsystem_from_dict(data["subsystem"])
+    if kind == "subsystem-unchanged":
+        return {"unchanged": True,
+                "stats": _stats_from_dict(data["stats"])}
     raise WireProtocolError(f"unknown payload kind {kind!r}")
 
 
@@ -337,19 +371,31 @@ def message_to_dict(message: Message) -> dict:
                 "purpose": message.purpose,
                 "known_version": message.known_version}
     if isinstance(message, PeerQuery):
-        return {**base, "type": "peer-query", "kind": message.kind,
-                "hop_budget": message.hop_budget,
-                "visited": list(message.visited)}
+        encoded = {**base, "type": "peer-query", "kind": message.kind,
+                   "hop_budget": message.hop_budget,
+                   "visited": list(message.visited)}
+        # routing hints are omitted when unused, so non-routed traffic
+        # stays byte-identical to the pre-routing frame vocabulary
+        if message.digest_version:
+            encoded["digest_version"] = message.digest_version
+        if message.known_subsystem:
+            encoded["known_subsystem"] = message.known_subsystem
+        if message.known_instances:
+            encoded["known_instances"] = dict(message.known_instances)
+        return encoded
     if isinstance(message, AnswerQuery):
         return {**base, "type": "answer-query", "query": message.query,
                 "method": message.method,
                 "semantics": message.semantics}
     if isinstance(message, Answer):
-        return {**base, "type": "answer",
-                "in_reply_to": message.in_reply_to,
-                "version": message.version, "delta": message.delta,
-                "bytes_estimate": message.bytes_estimate,
-                "payload": _payload_to_dict(message.payload)}
+        encoded = {**base, "type": "answer",
+                   "in_reply_to": message.in_reply_to,
+                   "version": message.version, "delta": message.delta,
+                   "bytes_estimate": message.bytes_estimate,
+                   "payload": _payload_to_dict(message.payload)}
+        if message.digests is not None:
+            encoded["digests"] = message.digests.to_dict()
+        return encoded
     if isinstance(message, Failure):
         return {**base, "type": "failure",
                 "in_reply_to": message.in_reply_to,
@@ -370,16 +416,26 @@ def message_from_dict(data: Mapping) -> Message:
         if kind == "peer-query":
             return PeerQuery(**base, kind=data["kind"],
                              hop_budget=data["hop_budget"],
-                             visited=tuple(data["visited"]))
+                             visited=tuple(data["visited"]),
+                             digest_version=data.get("digest_version",
+                                                     ""),
+                             known_subsystem=data.get("known_subsystem",
+                                                      ""),
+                             known_instances=data.get("known_instances")
+                             or None)
         if kind == "answer-query":
             return AnswerQuery(**base, query=data["query"],
                                method=data["method"],
                                semantics=data["semantics"])
         if kind == "answer":
+            raw_digests = data.get("digests")
             return Answer(**base, in_reply_to=data["in_reply_to"],
                           version=data["version"], delta=data["delta"],
                           bytes_estimate=data["bytes_estimate"],
-                          payload=_payload_from_dict(data["payload"]))
+                          payload=_payload_from_dict(data["payload"]),
+                          digests=(None if raw_digests is None else
+                                   NeighbourDigests.from_dict(
+                                       raw_digests)))
         if kind == "failure":
             return Failure(**base, in_reply_to=data["in_reply_to"],
                            code=data["code"], detail=data["detail"])

@@ -91,7 +91,8 @@ def build_peer_node(system: PeerSystem, peer: str, *,
                     evaluator: str = "planner",
                     data_dir: Optional[Union[str, Path]] = None,
                     snapshot_every: int = 64,
-                    shard_map=None, shard_index: int = 0) -> PeerNode:
+                    shard_map=None, shard_index: int = 0,
+                    routing: bool = False) -> PeerNode:
     """One peer's node, seeded with only its local slice of ``system``.
 
     The system definition is authoritative: after construction the
@@ -114,7 +115,8 @@ def build_peer_node(system: PeerSystem, peer: str, *,
             system, peer, shard_map=shard_map, shard_index=shard_index,
             default_method=default_method,
             include_local_ics=include_local_ics, evaluator=evaluator,
-            data_dir=data_dir, snapshot_every=snapshot_every)
+            data_dir=data_dir, snapshot_every=snapshot_every,
+            routing=routing)
     if peer not in system.peers:
         raise NetworkError(
             f"system has no peer {peer!r}; it has "
@@ -130,7 +132,8 @@ def build_peer_node(system: PeerSystem, peer: str, *,
         include_local_ics=include_local_ics,
         evaluator=evaluator,
         data_dir=data_dir,
-        snapshot_every=snapshot_every)
+        snapshot_every=snapshot_every,
+        routing=routing)
     node.update_instance(system.instances[peer], system.version())
     return node
 
@@ -180,7 +183,8 @@ class PeerServer:
                  idle_timeout: float = 60.0,
                  shard_map=None, shard_index: int = 0,
                  replica_index: int = 0,
-                 bind_retries: int = 3) -> None:
+                 bind_retries: int = 3,
+                 routing: bool = False) -> None:
         if workers < 1 or pending_limit < 1:
             raise NetworkError(
                 "workers and pending_limit must be >= 1")
@@ -206,7 +210,8 @@ class PeerServer:
             data_dir=(Path(data_dir) / self.unit
                       if data_dir is not None else None),
             snapshot_every=snapshot_every,
-            shard_map=shard_map, shard_index=shard_index)
+            shard_map=shard_map, shard_index=shard_index,
+            routing=routing)
         remote = {name: value
                   for name, value in (addresses or {}).items()
                   if name != self.unit}

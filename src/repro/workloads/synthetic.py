@@ -142,7 +142,9 @@ def referential_system(n_violations: int, n_witnesses: int = 2, *,
 
 def topology_system(n_peers: int, *, topology: str = "star",
                     n_tuples: int = 6, conflicts: int = 0,
-                    extra_edges: int = 0, seed: int = 0) -> PeerSystem:
+                    extra_edges: int = 0,
+                    density: Optional[float] = None,
+                    seed: int = 0) -> PeerSystem:
     """One seeded generator for the network-shaped system families.
 
     ``topology`` selects the accessibility graph rooted at ``P0``:
@@ -154,7 +156,13 @@ def topology_system(n_peers: int, *, topology: str = "star",
     * ``"random"`` — a seeded spanning arborescence from P0 (every peer
       ``Pi`` is imported by a random earlier peer) plus ``extra_edges``
       additional forward edges, so the graph is a connected DAG with
-      diamonds but no cycles.
+      diamonds but no cycles.  ``density`` is the scale-free
+      alternative to the absolute ``extra_edges`` count: a fraction in
+      ``[0, 1]`` of the possible non-tree forward edges to add
+      (``0.0`` keeps the bare arborescence, ``1.0`` saturates the
+      DAG), so sweeps over ``n_peers`` keep comparable edge/node
+      ratios without recomputing counts.  Passing both is an error;
+      both only apply to ``"random"``.
 
     Every peer ``Pi`` owns one binary relation ``Ri`` with ``n_tuples``
     seeded rows; keys are drawn from a small shared pool so imports
@@ -173,6 +181,16 @@ def topology_system(n_peers: int, *, topology: str = "star",
         raise ValueError(
             f"unknown topology {topology!r}; use 'chain', 'star', or "
             f"'random'")
+    if density is not None:
+        if topology != "random":
+            raise ValueError(
+                "density only applies to topology='random'")
+        if extra_edges:
+            raise ValueError(
+                "pass extra_edges or density, not both")
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(
+                f"density must be in [0, 1], got {density}")
     rng = random.Random(f"{seed}:{topology}:{n_peers}:{n_tuples}")
     key_pool = [f"k{i}" for i in range(max(4, n_tuples))]
 
@@ -195,6 +213,8 @@ def topology_system(n_peers: int, *, topology: str = "star",
         candidates = [(j, i) for i in range(1, n_peers)
                       for j in range(i) if (j, i) not in set(edges)]
         rng.shuffle(candidates)
+        if density is not None:
+            extra_edges = round(density * len(candidates))
         edges.extend(candidates[:extra_edges])
 
     for owner_idx, other_idx in edges:

@@ -107,6 +107,52 @@ class TestNetworkCommand:
         assert payload["error"] is None
         assert payload["exchange_requests"] > 0
 
+    def test_json_includes_exchange_trace(self, system_file, capsys):
+        code = main(["network", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)  # the trace lives INSIDE the document
+        trace = payload["exchange_trace"]
+        assert trace, "a cold gather must record exchanges"
+        providers = {event["provider"] for event in trace}
+        assert {"P2", "P3"} <= providers
+        for event in trace:
+            assert set(event) == {"requester", "provider", "relation",
+                                  "tuples", "bytes_estimate", "purpose",
+                                  "hop"}
+
+    def test_routing_flag_same_answers_and_counters(self, system_file,
+                                                    capsys):
+        code = main(["network", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--routing", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert sorted(payload["answers"]) == [["a", "b"], ["a", "e"],
+                                              ["c", "d"]]
+        assert payload["exchange_neighbours_pruned"] >= 0
+        assert payload["exchange_neighbours_contacted"] > 0
+        # the generated negative form is accepted too
+        assert main(["network", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--no-routing"]) == 0
+        capsys.readouterr()
+
+    def test_query_network_routing_flag(self, system_file, capsys):
+        code = main(["query", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--network", "--routing"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for row in self.EXPECTED:
+            assert row in out
+
+    def test_routing_without_network_backend_is_rejected(
+            self, system_file, capsys):
+        code = main(["query", system_file, "P1",
+                     "q(X, Y) := R1(X, Y)", "--routing"])
+        assert code != 0
+        capsys.readouterr()
+
     def test_insufficient_hop_budget_exit_3(self, tmp_path, capsys):
         from repro.workloads import topology_system
         path = tmp_path / "chain.json"

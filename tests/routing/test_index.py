@@ -1,0 +1,146 @@
+"""Unit suite for the fused per-node routing index.
+
+Covers the three learned signals (descriptions, digests, traffic), the
+subsystem payload cache (token stability, stats exclusion, LRU bound),
+and the synthesis guards that keep pruning a pure optimisation: no
+description, unclaimed targets, or a relation-less peer all refuse.
+"""
+
+from repro.core.messaging import ExchangeLog
+from repro.core.results import ExchangeStats
+from repro.relational.instance import DatabaseInstance
+from repro.routing.digest import NeighbourDigests
+from repro.routing.index import RoutingIndex, subsystem_fingerprint
+from repro.workloads import example1_system
+
+
+def system_payload(system, *, exclude=()):
+    """A subsystem payload as a gather would merge it, minus ``exclude``
+    (the owner never describes itself in a payload it receives)."""
+    names = [name for name in system.peers if name not in exclude]
+    return {
+        "peers": {name: system.peers[name] for name in names},
+        "instances": {name: system.instances[name] for name in names},
+        "decs": [dec for dec in system.exchanges
+                 if dec.owner not in exclude],
+        "trust": [edge for edge in system.trust.edges()
+                  if edge[0] not in exclude],
+        "stats": ExchangeStats(),
+    }
+
+
+class TestTopologyLearning:
+    def test_descriptions_mined_with_owner_scoped_decs(self):
+        system = example1_system()
+        index = RoutingIndex("P1")
+        index.learn_topology(system_payload(system, exclude=("P1",)))
+        assert index.description("P1") is None  # never self
+        description = index.description("P2")
+        assert description is not None
+        assert description.peer is system.peers["P2"]
+        assert all(dec.owner == "P2" for dec in description.decs)
+        assert description.targets == frozenset(
+            dec.other for dec in system.exchanges if dec.owner == "P2")
+        assert all(edge[0] == "P2" for edge in description.trust)
+
+    def test_synthesize_requires_claimed_targets(self):
+        # in Example 1 only P1 owns DECs (P1->P2, P1->P3), so learn it
+        # from P2's side and synthesize P1's reply
+        system = example1_system()
+        index = RoutingIndex("P2")
+        index.learn_topology(system_payload(system, exclude=("P2",)))
+        targets = frozenset(dec.other for dec in system.exchanges
+                            if dec.owner == "P1")
+        assert targets == {"P2", "P3"}
+        claimed = frozenset({"P1", "P2"}) | targets
+        synthesized = index.synthesize("P1", claimed)
+        assert synthesized is not None
+        assert set(synthesized["peers"]) == {"P1"}
+        assert synthesized["instances"] == {}
+        assert tuple(synthesized["decs"]) == index.description("P1").decs
+        # an unclaimed target means the real gather would recurse:
+        # synthesis must refuse rather than guess
+        assert index.synthesize("P1", claimed - {"P3"}) is None
+
+    def test_synthesize_refuses_unknown_and_relationless_peers(self):
+        system = example1_system()
+        index = RoutingIndex("P1")
+        assert index.synthesize("P2", frozenset(system.peers)) is None
+        index.learn_topology(system_payload(system, exclude=("P1",)))
+        assert index.synthesize("nobody", frozenset(system.peers)) is None
+
+
+class TestSubsystemCache:
+    def test_token_excludes_stats_but_tracks_content(self):
+        system = example1_system()
+        payload = system_payload(system, exclude=("P1",))
+        token = subsystem_fingerprint(payload)
+        assert token
+        restamped = {**payload, "stats": ExchangeStats(requests=9)}
+        assert subsystem_fingerprint(restamped) == token
+        name = "P2"
+        schema = system.peers[name].schema
+        relation = sorted(schema.names)[0]
+        mutated = {**payload, "instances": {
+            **payload["instances"],
+            name: DatabaseInstance(schema,
+                                   {relation: frozenset([("x", "y")])})}}
+        assert subsystem_fingerprint(mutated) != token
+
+    def test_recall_round_trips_remember(self):
+        system = example1_system()
+        payload = system_payload(system, exclude=("P1",))
+        token = subsystem_fingerprint(payload)
+        index = RoutingIndex("P1")
+        context = frozenset({"P1", "P2"})
+        assert index.recall_subsystem("P2", context) == ("", None)
+        index.remember_subsystem("P2", context, token, payload)
+        held_token, entry = index.recall_subsystem("P2", context)
+        assert held_token == token
+        assert entry["instances"] == payload["instances"]
+        # a different gather context is a different cache line
+        assert index.recall_subsystem(
+            "P2", frozenset({"P1", "P2", "P3"})) == ("", None)
+
+    def test_payload_cache_is_lru_bounded(self):
+        system = example1_system()
+        payload = system_payload(system, exclude=("P1",))
+        index = RoutingIndex("P1", max_payloads=2)
+        contexts = [frozenset({"P1", f"X{i}"}) for i in range(3)]
+        for i, context in enumerate(contexts[:2]):
+            index.remember_subsystem("P2", context, f"t{i}", payload)
+        # touching the oldest entry makes the *other* one the victim
+        assert index.recall_subsystem("P2", contexts[0])[0] == "t0"
+        index.remember_subsystem("P2", contexts[2], "t2", payload)
+        assert index.recall_subsystem("P2", contexts[0])[0] == "t0"
+        assert index.recall_subsystem("P2", contexts[1]) == ("", None)
+        assert index.recall_subsystem("P2", contexts[2])[0] == "t2"
+
+
+class TestDigestsAndTraffic:
+    def test_observed_digests_are_versioned_per_peer(self):
+        index = RoutingIndex("P1")
+        assert index.digest_version("P2") == ""
+        assert index.digests_for("P2") is None
+        digests = NeighbourDigests.from_tables("P2", "v7",
+                                               {"R": [("a", 1)]})
+        index.observe_digests(digests)
+        assert index.digest_version("P2") == "v7"
+        assert index.digests_for("P2") is digests
+        fresher = NeighbourDigests.from_tables("P2", "v8", {"R": []})
+        index.observe_digests(fresher)
+        assert index.digest_version("P2") == "v8"
+
+    def test_ingest_log_mines_only_own_requests_incrementally(self):
+        log = ExchangeLog()
+        index = RoutingIndex("P1")
+        log.record("P1", "P2", "R", 5, "gather", bytes_estimate=50)
+        log.record("P9", "P3", "R", 9, "gather", bytes_estimate=90)
+        index.ingest_log(log)
+        assert index.traffic.known_providers() == ("P2",)
+        # already-seen events are not re-ingested
+        log.record("P1", "P3", "R", 0, "gather")
+        index.ingest_log(log)
+        index.ingest_log(log)
+        assert index.traffic.known_providers() == ("P2", "P3")
+        assert index.order(["P3", "P2"]) == ["P2", "P3"]

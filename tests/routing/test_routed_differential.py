@@ -1,0 +1,191 @@
+"""Routed gathers ≡ flooded gathers ≡ the local session.
+
+The routing index's contract: pruning changes *traffic*, never
+*answers* or *fault observability*.  Every case answers the same query
+schedule — including sync rounds that mutate a leaf so digests and
+cached subsystem payloads go stale mid-run — through a routed session,
+a flooded session, and the in-process
+:class:`~repro.core.session.PeerQuerySession`, and requires
+tuple-identical answers, solution counts, and resolved methods, with
+the routed run measurably cheaper and the flooded run never pruning.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import PeerQuerySession
+from repro.core.system import PeerSystem
+from repro.net import (
+    FaultPlan,
+    LoopbackTransport,
+    NetworkSession,
+    ThreadedTransport,
+)
+from repro.relational.instance import DatabaseInstance
+from repro.workloads import (
+    example1_system,
+    peer_chain_system,
+    topology_system,
+)
+
+QUERIES = ("q(X, Y) := R0(X, Y)", "q(X) := exists Y R0(X, Y)")
+TOPOLOGIES = ("chain", "star", "random")
+SEEDS = range(4)
+
+
+def mutate_leaf(system, round_no):
+    """One extra tuple in the alphabetically last peer's first relation
+    — invalidates every digest/token on the root-to-leaf path."""
+    leaf = sorted(system.peers)[-1]
+    relation = sorted(system.peers[leaf].schema.names)[0]
+    rows = set(system.instances[leaf].tuples(relation))
+    rows.add((f"mut{round_no}", f"val{round_no}"))
+    mutated = DatabaseInstance(system.peers[leaf].schema,
+                               {relation: frozenset(rows)})
+    return PeerSystem(system.peers.values(),
+                      {**system.instances, leaf: mutated},
+                      system.exchanges, system.trust)
+
+
+def run_rounds(system, peer, queries, *, routing, rounds=3,
+               transport=None, retries=2):
+    """Answer ``queries`` over ``rounds`` leaf-mutation sync rounds;
+    returns the observations the differential assertions compare."""
+    observed = []
+    messages = pruned = 0
+    current = system
+    with NetworkSession(current, transport=transport, retries=retries,
+                        routing=routing) as session:
+        for round_no in range(rounds):
+            if round_no:
+                current = mutate_leaf(current, round_no)
+                session.use_system(current)
+            mark = session.exchange_log.mark()
+            for query in queries:
+                result = session.answer(peer, query)
+                assert result.ok, (routing, round_no, query,
+                                   result.error)
+                observed.append((query, result.answers,
+                                 result.solution_count,
+                                 result.method_used))
+                if round_no:
+                    pruned += result.exchange.neighbours_pruned
+            if round_no:
+                messages += len(session.exchange_log.events_since(mark))
+    return {"observed": observed, "messages": messages,
+            "pruned": pruned}
+
+
+def local_rounds(system, peer, queries, *, rounds=3):
+    observed = []
+    current = system
+    for round_no in range(rounds):
+        if round_no:
+            current = mutate_leaf(current, round_no)
+        local = PeerQuerySession(current)
+        for query in queries:
+            result = local.answer(peer, query)
+            observed.append((query, result.answers,
+                             result.solution_count, result.method_used))
+    return observed
+
+
+def assert_routed_equivalent(system, peer, queries, *, rounds=3,
+                             make_transport=lambda: None, retries=2,
+                             require_cheaper=True):
+    flooded = run_rounds(system, peer, queries, routing=False,
+                         rounds=rounds, transport=make_transport(),
+                         retries=retries)
+    routed = run_rounds(system, peer, queries, routing=True,
+                        rounds=rounds, transport=make_transport(),
+                        retries=retries)
+    expected = local_rounds(system, peer, queries, rounds=rounds)
+    assert routed["observed"] == flooded["observed"] == expected
+    assert flooded["pruned"] == 0
+    if require_cheaper:
+        assert routed["pruned"] > 0
+        assert routed["messages"] < flooded["messages"]
+
+
+class TestSeededTopologies:
+    @pytest.mark.parametrize("topology,seed",
+                             list(itertools.product(TOPOLOGIES, SEEDS)))
+    def test_routed_rounds_match_flooded_and_local(self, topology, seed):
+        system = topology_system(5, topology=topology, n_tuples=3,
+                                 conflicts=(seed % 2), extra_edges=2,
+                                 seed=seed)
+        assert_routed_equivalent(system, "P0", QUERIES)
+
+    def test_dense_random_topology(self):
+        system = topology_system(7, topology="random", n_tuples=3,
+                                 density=0.5, seed=11)
+        assert_routed_equivalent(system, "P0", QUERIES)
+
+
+class TestPaperWorkloads:
+    def test_example1_from_every_peer(self):
+        system = example1_system()
+        for peer, relation in (("P1", "R1"), ("P2", "R2"), ("P3", "R3")):
+            assert_routed_equivalent(
+                system, peer, (f"q(X, Y) := {relation}(X, Y)",),
+                require_cheaper=False)  # 3 peers leave little to prune
+
+    def test_transitive_chain(self):
+        assert_routed_equivalent(
+            peer_chain_system(4, n_tuples=2), "P0",
+            ("q(X, Y) := T0(X, Y)",), require_cheaper=False)
+
+
+class TestUnderFaults:
+    def test_drops_below_the_retry_budget(self):
+        system = topology_system(5, topology="star", n_tuples=3,
+                                 conflicts=1, seed=2)
+        assert_routed_equivalent(
+            system, "P0", QUERIES,
+            make_transport=lambda: LoopbackTransport(
+                FaultPlan(drop_rate=0.15, seed=2)),
+            retries=6)
+
+    def test_injected_latency(self):
+        system = topology_system(5, topology="random", n_tuples=3,
+                                 extra_edges=2, seed=6)
+        assert_routed_equivalent(
+            system, "P0", QUERIES,
+            make_transport=lambda: ThreadedTransport(latency=0.002))
+
+    @pytest.mark.parametrize("routing", (False, True))
+    def test_warm_session_still_surfaces_a_downed_peer(self, routing):
+        """Fault parity: even a fully warmed routing index must keep
+        contacting every pending neighbour, so a peer going down after
+        warm-up surfaces the *same* typed error routing off and on."""
+        system = topology_system(4, topology="chain", n_tuples=3,
+                                 seed=1)
+        transport = ThreadedTransport(timeout=1.0)
+        with NetworkSession(system, transport=transport, retries=1,
+                            routing=routing) as session:
+            warm = session.answer("P0", QUERIES[0])
+            assert warm.ok, warm.error
+            transport.set_down("P2")
+            session.use_system(mutate_leaf(system, 1))
+            result = session.answer("P0", QUERIES[0])
+            assert result.failed and not result.ok
+            assert result.error.code == "peer-unreachable"
+            assert result.answers == frozenset()
+
+
+class TestRelayDedup:
+    def test_markers_round_trip_through_mutation_rounds(self):
+        """A deep chain keeps relaying changed payloads whose *deep*
+        instances did not change — the {"same": fp} dedup path.  The
+        answers must stay identical while the routed rounds move fewer
+        subsystem tuples than the flooded ones."""
+        system = topology_system(6, topology="chain", n_tuples=4,
+                                 seed=9)
+        flooded = run_rounds(system, "P0", QUERIES[:1], routing=False,
+                             rounds=4)
+        routed = run_rounds(system, "P0", QUERIES[:1], routing=True,
+                            rounds=4)
+        expected = local_rounds(system, "P0", QUERIES[:1], rounds=4)
+        assert routed["observed"] == flooded["observed"] == expected
+        assert routed["messages"] < flooded["messages"]

@@ -1,0 +1,83 @@
+"""Unit suite for the decayed per-neighbour traffic statistics.
+
+The ordering signal must be deterministic, must sink providers that
+stopped producing (decay), and must never be more than an *ordering* —
+whether a neighbour is contacted is decided elsewhere.
+"""
+
+import pytest
+
+from repro.core.messaging import ExchangeEvent
+from repro.routing.stats import TrafficStats
+
+
+def event(provider: str, tuples: int, *, nbytes: int = 0,
+          requester: str = "P0") -> ExchangeEvent:
+    return ExchangeEvent(requester=requester, provider=provider,
+                         relation="R", tuples_transferred=tuples,
+                         purpose="test", bytes_estimate=nbytes)
+
+
+class TestAggregates:
+    def test_hit_rate_counts_productive_requests(self):
+        stats = TrafficStats()
+        stats.ingest([event("A", 3), event("A", 0), event("B", 0)])
+        assert stats.hit_rate("A") == pytest.approx(0.5)
+        assert stats.hit_rate("B") == 0.0
+        assert stats.hit_rate("unknown") == 0.0
+
+    def test_bytes_per_useful_tuple(self):
+        stats = TrafficStats()
+        stats.ingest([event("A", 4, nbytes=100),
+                      event("A", 0, nbytes=20)])
+        assert stats.bytes_per_useful_tuple("A") == pytest.approx(30.0)
+        stats.ingest([event("B", 0, nbytes=50)])
+        assert stats.bytes_per_useful_tuple("B") == float("inf")
+        assert stats.bytes_per_useful_tuple("unknown") == float("inf")
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficStats(decay=0.0)
+        with pytest.raises(ValueError):
+            TrafficStats(decay=1.5)
+
+
+class TestDecay:
+    def test_stopped_producer_sinks_below_fresh_producer(self):
+        stats = TrafficStats(decay=0.5)
+        stats.ingest([event("old", 10, nbytes=10)])
+        assert stats.order(["old", "fresh"]) == ["old", "fresh"]
+        # "old" goes quiet while "fresh" produces, batch after batch
+        for _ in range(4):
+            stats.ingest([event("old", 0), event("fresh", 5, nbytes=5)])
+        assert stats.order(["old", "fresh"]) == ["fresh", "old"]
+
+    def test_empty_batch_does_not_age(self):
+        stats = TrafficStats(decay=0.5)
+        stats.ingest([event("A", 2, nbytes=4)])
+        before = stats.productivity("A")
+        stats.ingest([])
+        assert stats.productivity("A") == before
+
+
+class TestOrdering:
+    def test_order_is_deterministic_with_name_tie_break(self):
+        stats = TrafficStats()
+        assert stats.order(["Pc", "Pa", "Pb"]) == ["Pa", "Pb", "Pc"]
+        stats.ingest([event("Pc", 5, nbytes=5), event("Pa", 0)])
+        assert stats.order(["Pc", "Pa", "Pb"]) == ["Pc", "Pa", "Pb"]
+        # identical histories on two instances order identically
+        twin = TrafficStats()
+        twin.ingest([event("Pc", 5, nbytes=5), event("Pa", 0)])
+        assert twin.order(["Pa", "Pb", "Pc"]) == \
+            stats.order(["Pa", "Pb", "Pc"])
+
+    def test_order_never_drops_or_invents_providers(self):
+        stats = TrafficStats()
+        stats.ingest([event("A", 1)])
+        assert sorted(stats.order(["B", "A", "C"])) == ["A", "B", "C"]
+
+    def test_known_providers(self):
+        stats = TrafficStats()
+        stats.ingest([event("B", 0), event("A", 1)])
+        assert stats.known_providers() == ("A", "B")

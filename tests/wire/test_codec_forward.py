@@ -1,0 +1,165 @@
+"""Forward tolerance of the wire codec's routing vocabulary.
+
+Routing rides on *optional* frame fields — peers predating them must
+decode the new frames, peers carrying them must interoperate with old
+frames, and a session with routing off must emit frames byte-identical
+to the pre-routing vocabulary.  This suite pins all three directions,
+plus round-trips of every routing-specific payload shape (piggybacked
+digests, subsystem-unchanged acknowledgements, ``{"same": fp}`` relay
+dedup markers) under unicode constants and empty relations.
+"""
+
+import random
+
+import pytest
+
+from repro.core.results import ExchangeStats
+from repro.core.system import Peer
+from repro.net.protocol import Answer, PeerQuery
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.routing.digest import NeighbourDigests
+from repro.wire import decode_message, encode_message
+from repro.wire.codec import (
+    WireProtocolError,
+    encode_frame,
+    message_from_dict,
+    message_to_dict,
+)
+
+
+def subsystem_payload(instances, *, peers=None):
+    schema = DatabaseSchema([RelationSchema("Rä", 2)])
+    names = peers or list(instances)
+    return {
+        "peers": {name: Peer(name, schema) for name in names},
+        "instances": instances,
+        "decs": [],
+        "trust": [],
+        "stats": ExchangeStats(2, 5, 71, 1, neighbours_pruned=3,
+                               neighbours_contacted=4),
+    }
+
+
+def make_instance(rows):
+    schema = DatabaseSchema([RelationSchema("Rä", 2)])
+    return DatabaseInstance(schema, {"Rä": frozenset(rows)})
+
+
+class TestUnknownAndMissingFields:
+    def test_decode_ignores_unknown_future_fields(self):
+        """A frame from a *newer* release with fields this one never
+        heard of must decode cleanly — unknown keys are skipped, not
+        errors."""
+        encoded = message_to_dict(PeerQuery(sender="P1", target="P2"))
+        encoded["future_hint"] = {"anything": [1, 2]}
+        decoded = message_from_dict(encoded)
+        assert decoded.sender == "P1" and decoded.target == "P2"
+        answer = message_to_dict(Answer(sender="P2", target="P1",
+                                        in_reply_to=7, payload=()))
+        answer["future_weight"] = 0.25
+        assert message_from_dict(answer).in_reply_to == 7
+
+    def test_old_frames_decode_to_routing_defaults(self):
+        """Frames from a peer predating routing carry none of the new
+        keys; they must decode with every hint at its default."""
+        old = {"sender": "P1", "target": "P2", "correlation_id": 4,
+               "type": "peer-query", "kind": "subsystem",
+               "hop_budget": 5, "visited": ["P0"]}
+        decoded = message_from_dict(old)
+        assert decoded.digest_version == ""
+        assert decoded.known_subsystem == ""
+        assert decoded.known_instances is None
+        answer = {"sender": "P2", "target": "P1", "correlation_id": 5,
+                  "type": "answer", "in_reply_to": 4, "version": "",
+                  "delta": False, "bytes_estimate": 3,
+                  "payload": {"kind": "rows", "rows": [["a", "b"]]}}
+        assert message_from_dict(answer).digests is None
+
+    def test_routing_off_frames_carry_no_routing_keys(self):
+        """The byte-identical guarantee: hints at their defaults are
+        *omitted*, so non-routed traffic is indistinguishable from the
+        pre-routing vocabulary."""
+        query = message_to_dict(PeerQuery(sender="P1", target="P2"))
+        assert "digest_version" not in query
+        assert "known_subsystem" not in query
+        assert "known_instances" not in query
+        answer = message_to_dict(Answer(sender="P2", target="P1",
+                                        in_reply_to=1, payload=()))
+        assert "digests" not in answer
+
+
+class TestRoutingRoundTrips:
+    def test_peer_query_hints_round_trip(self):
+        message = PeerQuery(
+            sender="Pé", target="数", hop_budget=3,
+            visited=("P0", "Pé"), digest_version="v-🛰",
+            known_subsystem="sub-abc123",
+            known_instances={"P0": "fp-déjà", "数": "fp-2"})
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_piggybacked_digests_round_trip(self, seed):
+        rng = random.Random(seed)
+        rows = [(f"é{rng.randint(0, 99)}", "🛰")
+                for _ in range(rng.randint(0, 6))]
+        digests = NeighbourDigests.from_tables(
+            "Pé", f"v{seed}", {"Rä": rows, "empty": []})
+        message = Answer(sender="P2", target="P1", in_reply_to=9,
+                         payload=(), version=f"v{seed}",
+                         digests=digests)
+        decoded = decode_message(encode_message(message))
+        assert decoded.digests == digests
+        assert decoded.digests.digest_for("empty").row_count == 0
+
+    def test_subsystem_unchanged_round_trips_with_counters(self):
+        stats = ExchangeStats(1, 0, 12, 2, neighbours_pruned=5,
+                              neighbours_contacted=6)
+        message = Answer(sender="P2", target="P1", in_reply_to=3,
+                         payload={"unchanged": True, "stats": stats},
+                         version="v1")
+        decoded = decode_message(encode_message(message))
+        assert decoded.payload["unchanged"] is True
+        assert decoded.payload["stats"] == stats
+
+    def test_dedup_markers_round_trip_beside_real_instances(self):
+        instance = make_instance([("déjà", "vu"), ("", "🛰")])
+        payload = subsystem_payload(
+            {"P2": instance, "P3": {"same": "fp-xyz"}},
+            peers=["P2", "P3"])
+        message = Answer(sender="P2", target="P1", in_reply_to=2,
+                         payload=payload, version="v2")
+        decoded = decode_message(encode_message(message))
+        revived = decoded.payload
+        assert revived["instances"]["P2"].fingerprint() == \
+            instance.fingerprint()
+        assert revived["instances"]["P3"] == {"same": "fp-xyz"}
+        assert revived["stats"] == payload["stats"]
+
+    def test_marker_for_undescribed_peer_is_rejected(self):
+        payload = subsystem_payload({"P9": {"same": "fp"}},
+                                    peers=["P2"])
+        message = Answer(sender="P2", target="P1", in_reply_to=2,
+                         payload=payload, version="v2")
+        with pytest.raises(WireProtocolError, match="undescribed"):
+            decode_message(encode_message(message))
+
+    def test_marker_named_like_a_relation_cannot_collide(self):
+        """The marker travels under a separate "same" key, so an
+        instance with a relation literally named "same" round-trips as
+        data, never as a marker."""
+        schema = DatabaseSchema([RelationSchema("same", 2)])
+        instance = DatabaseInstance(schema,
+                                    {"same": frozenset([("a", "b")])})
+        payload = {
+            "peers": {"P2": Peer("P2", schema)},
+            "instances": {"P2": instance},
+            "decs": [], "trust": [], "stats": ExchangeStats(),
+        }
+        message = Answer(sender="P2", target="P1", in_reply_to=8,
+                         payload=payload, version="v3")
+        decoded = decode_message(encode_message(message))
+        revived = decoded.payload["instances"]["P2"]
+        assert isinstance(revived, DatabaseInstance)
+        assert revived.tuples("same") == frozenset([("a", "b")])
