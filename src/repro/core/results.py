@@ -77,11 +77,15 @@ class ExchangeStats:
     :mod:`repro.net` runtime routed a transitive query hop-by-hop.
 
     ``neighbours_contacted`` counts the pending neighbours engaged per
-    gather level (every pending neighbour receives at least one message
-    in both routed and flooded mode); ``neighbours_pruned`` counts the
-    messages the :mod:`repro.routing` index elided (synthesized
-    subsystem replies plus version-confirmed fetch skips) — always zero
-    when routing is off, so a routed run is auditable from its result.
+    gather level (every *contacted* neighbour receives at least one
+    message in both routed and flooded mode); ``neighbours_pruned``
+    counts the messages the :mod:`repro.routing` index elided
+    (synthesized subsystem replies plus version-confirmed fetch skips);
+    ``subtrees_pruned`` counts whole gather branches skipped because a
+    :class:`~repro.routing.aggregate.SubtreeDigest` proved everything
+    reachable through a neighbour disjoint from the query's constants —
+    all always zero when routing is off, so a routed run is auditable
+    from its result.
     """
 
     requests: int = 0
@@ -90,6 +94,7 @@ class ExchangeStats:
     max_hops: int = 0
     neighbours_pruned: int = 0
     neighbours_contacted: int = 0
+    subtrees_pruned: int = 0
 
     def __add__(self, other: "ExchangeStats") -> "ExchangeStats":
         return ExchangeStats(self.requests + other.requests,
@@ -100,7 +105,9 @@ class ExchangeStats:
                              self.neighbours_pruned
                              + other.neighbours_pruned,
                              self.neighbours_contacted
-                             + other.neighbours_contacted)
+                             + other.neighbours_contacted,
+                             self.subtrees_pruned
+                             + other.subtrees_pruned)
 
 
 @dataclass(frozen=True)
@@ -210,6 +217,7 @@ class QueryResult:
             "exchange_neighbours_pruned": self.exchange.neighbours_pruned,
             "exchange_neighbours_contacted":
                 self.exchange.neighbours_contacted,
+            "exchange_subtrees_pruned": self.exchange.subtrees_pruned,
             "from_cache": self.from_cache,
             "error": (None if self.error is None else {
                 "code": self.error.code,

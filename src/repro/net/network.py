@@ -367,6 +367,11 @@ class PeerNetwork:
                 # token: no content travelled, only the stats envelope
                 relation = "@subsystem[unchanged]"
                 tuples = 0
+            elif payload.get("irrelevant"):
+                # a routed peer proved its whole subtree disjoint from
+                # the query's constants: the branch was pruned
+                relation = "@subsystem[irrelevant]"
+                tuples = 0
             else:
                 relation = f"@subsystem[{len(payload['peers'])} peer(s)]"
                 # {"same": fingerprint} dedup markers ship no tuples

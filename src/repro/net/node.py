@@ -70,8 +70,9 @@ from ..core.results import CERTAIN, ExchangeStats, QueryRequest, QueryResult
 from ..core.session import PeerQuerySession
 from ..core.system import DataExchange, Peer, PeerSystem
 from ..core.trust import TrustLevel, TrustRelation
+from ..datalog.terms import Constant
 from ..relational.instance import DatabaseInstance
-from ..relational.query import Query
+from ..relational.query import And, Cmp, Exists, Or, Query, RelAtom, _Truth
 from ..storage import (
     DurableFactStore,
     FactStore,
@@ -80,7 +81,15 @@ from ..storage import (
     merge_relation_rows,
     row_sort_key,
 )
-from ..routing import NeighbourDigests, RoutingIndex, subsystem_fingerprint
+from ..routing import (
+    NeighbourDigests,
+    RoutingIndex,
+    SubtreeDigest,
+    aggregate_bytes,
+    build_subtree,
+    digest_bytes,
+    subsystem_fingerprint,
+)
 from ..storage.durable import write_json_atomic
 from .errors import (
     DeadlineExceeded,
@@ -157,9 +166,17 @@ class PeerNode:
                                           peer.schema, initial=instance,
                                           snapshot_every=snapshot_every)
         self._version = version
-        # all caches are keyed (or valid only) per system version
-        self._view: Optional[tuple[PeerSystem, ExchangeStats]] = None
-        self._session: Optional[PeerQuerySession] = None
+        # all caches are keyed (or valid only) per system version.
+        # Views and sessions key on the relevance scope that gathered
+        # them: () is the full (unscoped) view, valid for any query; a
+        # constants tuple keys a scoped view valid only for queries
+        # over exactly those constants
+        self._views: dict[tuple, tuple[PeerSystem, ExchangeStats]] = {}
+        self._sessions: dict[tuple, PeerQuerySession] = {}
+        # the complete peer set of the last unscoped gather — the
+        # global-safety gate for relevance scoping (static topology:
+        # sync rejects topology changes, so this never goes stale)
+        self._known_subsystem_peers: frozenset = frozenset()
         self._answers: dict[tuple, QueryResult] = {}
         self._persisted: dict[tuple, dict] = {}
         # last rows + content version seen per (neighbour, relation)
@@ -216,8 +233,8 @@ class PeerNode:
             if delta.empty and version == self._version:
                 return
             self._version = version
-            self._view = None
-            self._session = None
+            self._views = {}
+            self._sessions = {}
             # version-keyed entries for other versions can never be hit
             # again (versions are content-derived); prune them so a
             # long-lived node does not grow without bound across syncs
@@ -321,18 +338,48 @@ class PeerNode:
             return self._failure(
                 message, "unsupported-message",
                 f"unknown PeerQuery kind {message.kind!r}")
+        constants = (tuple(message.constants)
+                     if self.routing is not None else ())
         if self.network is not None:
             # a served gather is an operation of its own: the *serving*
             # node's network budget bounds it (the requester's budget
             # bounds its wait independently)
             with self.network.operation_deadline():
                 payload = self._gather(message.hop_budget,
-                                       message.visited)
+                                       message.visited, constants)
         else:
-            payload = self._gather(message.hop_budget, message.visited)
+            payload = self._gather(message.hop_budget, message.visited,
+                                   constants)
+        aggregate = payload.pop("aggregate", None)
         version = ""
         digests = None
+        attach = None
+        aggregate_token = ""
         if self.routing is not None:
+            if aggregate is not None:
+                # always stamp the current subtree token; ship the bits
+                # only when the requester's quoted token is behind AND
+                # the requester can use them — the query is scoped
+                # (constants to prune against) or a quoted token shows
+                # it maintains an aggregate for this subtree.  Unscoped
+                # token-less gathers can never prune by disjointness,
+                # so shipping bits there is pure overhead.
+                aggregate_token = aggregate.token
+                if message.aggregate_token != aggregate.token:
+                    if message.constants or message.aggregate_token:
+                        attach = aggregate
+                elif (constants and aggregate.safe
+                        and aggregate.disjoint_from(constants)):
+                    # tier A — the requester holds this exact aggregate
+                    # (token-confirmed in this gather) and the subtree
+                    # is provably irrelevant to the query: acknowledge
+                    # instead of relaying the payload
+                    return Answer(
+                        sender=self.name, target=message.sender,
+                        in_reply_to=message.correlation_id,
+                        payload={"irrelevant": True,
+                                 "stats": payload["stats"]},
+                        aggregate_token=aggregate_token)
             version = self._subsystem_version()
             if version and message.digest_version != version:
                 digests = self._subsystem_digests()
@@ -352,7 +399,8 @@ class PeerNode:
                                                 message.known_instances)
         return Answer(sender=self.name, target=message.sender,
                       in_reply_to=message.correlation_id,
-                      payload=payload, version=version, digests=digests)
+                      payload=payload, version=version, digests=digests,
+                      aggregate=attach, aggregate_token=aggregate_token)
 
     @staticmethod
     def _dedup_instances(payload: Mapping, known: Mapping) -> Mapping:
@@ -374,10 +422,176 @@ class PeerNode:
         return {**payload, "instances": deduped}
 
     # ------------------------------------------------------------------
+    # Query-relevance scoping (multi-hop subtree pruning)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prune_safe_parts(local_ics, decs, trust) -> bool:
+        """Whether one peer's static shape is *prune-safe*.
+
+        Prune-safe means its data can only flow through the system as
+        monotone, key-preserving row shipping: every owned DEC is a
+        full identity :class:`~repro.relational.constraints.
+        InclusionDependency` (same positions on both sides, covering
+        every column — no existential witnesses, first column intact),
+        every owned trust edge is ``less`` (imports union, nothing is
+        repaired against the importer), and there are no local ICs
+        (nothing deletes or couples tuples after import).  Under these
+        conditions a query selecting on first-column constants depends
+        only on rows keyed by those constants, so a subtree digest
+        disjoint from them licenses omitting the subtree."""
+        from ..relational.constraints import InclusionDependency
+        if tuple(local_ics):
+            return False
+        for _owner, level, _other in trust:
+            if str(level) != "less":
+                return False
+        for dec in decs:
+            constraint = dec.constraint
+            if not isinstance(constraint, InclusionDependency):
+                return False
+            positions = constraint.child_positions
+            if (not positions
+                    or positions != constraint.parent_positions
+                    or positions != tuple(range(len(positions)))
+                    or len(positions) != len(
+                        constraint.antecedent[0].terms)
+                    or len(positions) != len(
+                        constraint.consequent[0].terms)):
+                return False
+        return True
+
+    def _prune_safe_own(self) -> bool:
+        return self._prune_safe_parts(self.peer.local_ics, self.decs,
+                                      self.trust_edges)
+
+    def _relevance(self, formula) -> Optional[tuple[frozenset,
+                                                    frozenset]]:
+        """``(atom-bound variables, first-column constants)`` of a
+        formula in the prunable fragment — or ``None`` outside it.
+
+        The fragment is positive and constant-keyed: conjunction,
+        disjunction, existentials, comparisons, and relation atoms
+        whose first term is a wire-safe constant over this peer's own
+        schema.  Negation, implication, and universals are out — their
+        truth can depend on rows *absent* from a scoped view.  Bound
+        variables compose as union under ``And``, intersection under
+        ``Or`` (a variable is only safe if every branch grounds it in
+        an atom — otherwise a branch would enumerate the active domain,
+        which a scoped view shrinks)."""
+        if isinstance(formula, RelAtom):
+            if not formula.terms:
+                return None
+            first = formula.terms[0]
+            if not isinstance(first, Constant):
+                return None
+            if not isinstance(first.value, (str, int, float, bool)):
+                return None
+            if formula.relation not in self.peer.schema.names:
+                return None
+            return (frozenset(formula.free_variables()),
+                    frozenset({first.value}))
+        if isinstance(formula, (Cmp, _Truth)):
+            return frozenset(), frozenset()
+        if isinstance(formula, And):
+            bound: set = set()
+            constants: set = set()
+            for part in formula.parts:
+                result = self._relevance(part)
+                if result is None:
+                    return None
+                bound |= result[0]
+                constants |= result[1]
+            return frozenset(bound), frozenset(constants)
+        if isinstance(formula, Or):
+            shared: Optional[frozenset] = None
+            constants = set()
+            for part in formula.parts:
+                result = self._relevance(part)
+                if result is None:
+                    return None
+                shared = (result[0] if shared is None
+                          else shared & result[0])
+                constants |= result[1]
+            return frozenset(shared or ()), frozenset(constants)
+        if isinstance(formula, Exists):
+            result = self._relevance(formula.sub)
+            if result is None:
+                return None
+            if not set(formula.variables) <= result[0]:
+                return None
+            return result[0] - set(formula.variables), result[1]
+        return None
+
+    def _scope_constants(self, parsed: Query) -> tuple:
+        """The first-column constants a routed gather may prune
+        against for this query — ``()`` means *never scope*.
+
+        Scoping requires every gate, each independently conservative:
+        routing on; a complete peer set recorded from a prior unscoped
+        gather with every peer's description prune-safe (a retained
+        peer with richer constraints could couple its constant-keyed
+        rows to a pruned subtree's rows, so safety must hold
+        *globally*, not just along the pruned branch); and the query
+        inside the prunable fragment with every variable atom-bound.
+        Anything short of that returns ``()`` and the gather floods
+        exactly as before."""
+        if self.routing is None:
+            return ()
+        known = self._known_subsystem_peers
+        if not known or not self._prune_safe_own():
+            return ()
+        for name in known:
+            if name == self.name:
+                continue
+            description = self.routing.description(name)
+            if description is None or not self._prune_safe_parts(
+                    description.peer.local_ics, description.decs,
+                    description.trust):
+                return ()
+        result = self._relevance(parsed.formula)
+        if result is None:
+            return ()
+        bound, constants = result
+        if not constants or not parsed.formula.free_variables() <= bound:
+            return ()
+        return tuple(sorted(constants,
+                            key=lambda v: (type(v).__name__, str(v))))
+
+    @staticmethod
+    def _subtree_covered(index: RoutingIndex, child: str, claimed: set,
+                         aggregate: SubtreeDigest) -> bool:
+        """Whether ``aggregate`` covers everything reachable through
+        ``child`` *in this gather's context*.
+
+        An aggregate's ``peers`` describe the subtree as it looked from
+        the context that built it; a different ``visited`` set changes
+        what is reachable through the same neighbour.  The walk follows
+        static DEC targets (descriptions never go stale), stops at
+        peers this gather already claims (another branch gathers them),
+        and fails closed on any peer the aggregate does not cover or
+        the index cannot describe."""
+        covered = set(aggregate.peers)
+        seen = {child}
+        frontier = [child]
+        while frontier:
+            current = frontier.pop()
+            if current not in covered:
+                return False
+            description = index.description(current)
+            if description is None:
+                return False
+            for target in description.targets:
+                if target in claimed or target in seen:
+                    continue
+                seen.add(target)
+                frontier.append(target)
+        return True
+
+    # ------------------------------------------------------------------
     # The hop-by-hop sub-network gather
     # ------------------------------------------------------------------
-    def _gather(self, hop_budget: int,
-                visited: tuple[str, ...]) -> dict:
+    def _gather(self, hop_budget: int, visited: tuple[str, ...],
+                constants: tuple = ()) -> dict:
         """Describe this node's accessible sub-network.
 
         Returns a payload mapping with ``peers``/``instances`` (the
@@ -409,13 +623,32 @@ class PeerNode:
         neighbour still receives at least one message, and anything
         unconfirmed falls back to the flooding behaviour, so answers
         and fault observability are identical in both modes.
+
+        ``constants`` scopes the gather to a query (see
+        :meth:`_scope_constants`; always empty unless every safety gate
+        passed at the querying root).  A scoped gather may skip *whole
+        subtrees*: zero-message when a stored
+        :class:`~repro.routing.aggregate.SubtreeDigest` is current at
+        this system version, safe, disjoint from the constants, and
+        covers the neighbour's reachable set in this context; and by a
+        tiny ``{"irrelevant": True}`` acknowledgement when the
+        contacted neighbour itself proves the same from its fresh
+        aggregate against the token this node quoted.  Either way the
+        gather also *builds* the aggregate it hands back up
+        (``payload["aggregate"]``, popped by callers): its own full
+        store digests unioned with every child subtree's — a scoped
+        gather still aggregates full content, so tokens stamp
+        identically at any scope.
         """
         if self.network is None:
             raise ProtocolError(
                 f"node {self.name!r} is not attached to a network")
         index = self.routing
-        if index is not None:
+        if index is None:
+            constants = ()
+        else:
             index.ingest_log(self.network.exchange_log)
+        version_at_start = self._version
         covered = set(visited) | {self.name}
         pending = [n for n in self.neighbours() if n not in covered]
         payload: dict = {
@@ -426,6 +659,11 @@ class PeerNode:
             "stats": ExchangeStats(),
         }
         if not pending:
+            if index is not None:
+                payload["aggregate"] = build_subtree(
+                    self.name, self._aggregate_own_digests(), (),
+                    safe_root=self._prune_safe_own(),
+                    version=version_at_start)
             return payload
         if hop_budget <= 0:
             raise HopBudgetExceeded(
@@ -433,9 +671,38 @@ class PeerNode:
                 f"neighbours {pending}", peer=self.name)
         claimed = tuple(visited) + (self.name,) + tuple(pending)
         # productivity ordering permutes claimed across gathers; cache
-        # contexts key on the *set*, which is what child gathers see
+        # contexts key on the *set*, which is what child gathers see.
+        # A scoped gather prunes subtrees out of its payload, so its
+        # cached payloads must never serve an unscoped (or differently
+        # scoped) gather: the constants become part of the context key.
         context = frozenset(claimed)
+        if constants:
+            context = context | frozenset(
+                ("constant", value) for value in constants)
         pruned = 0
+        subtrees_pruned = 0
+
+        # tier B — zero-message subtree prunes: a stored aggregate
+        # current at this exact system version, safe all the way down,
+        # disjoint from the query constants, and covering the
+        # neighbour's reachable set in this context proves the whole
+        # branch cannot contribute; the neighbour stays claimed (its
+        # subtree is accounted irrelevant, not someone else's job).
+        skipped: set[str] = set()
+        child_aggs: dict[str, Optional[SubtreeDigest]] = {}
+        tier_b = 0
+        claimed_set = set(claimed)
+        if index is not None and constants:
+            for neighbour in pending:
+                held = index.prunable_subtree(neighbour, constants,
+                                              version_at_start)
+                if held is None or not self._subtree_covered(
+                        index, neighbour, claimed_set, held):
+                    continue
+                skipped.add(neighbour)
+                child_aggs[neighbour] = held
+                tier_b += 1
+                subtrees_pruned += 1
 
         # phase 1 — concurrent fan-out: each unvisited neighbour
         # describes (and relays) its own sub-network.  A routed gather
@@ -447,6 +714,11 @@ class PeerNode:
         subs: dict[str, Mapping] = {}
         contact: list[str] = []
         for neighbour in pending:
+            if neighbour in skipped:
+                subs[neighbour] = {"peers": {}, "instances": {},
+                                   "decs": [], "trust": [],
+                                   "stats": ExchangeStats()}
+                continue
             synthesized = (index.synthesize(neighbour, context)
                            if index is not None else None)
             if synthesized is not None:
@@ -456,10 +728,12 @@ class PeerNode:
                 contact.append(neighbour)
         order = index.order(contact) if index is not None else contact
         held: dict[str, dict] = {}
+        quoted_aggs: dict[str, SubtreeDigest] = {}
         queries = []
         for neighbour in order:
             digest_version = known_subsystem = ""
             known_instances = None
+            aggregate_token = ""
             if index is not None:
                 digest_version = index.digest_version(neighbour)
                 known_subsystem, entry = index.recall_subsystem(
@@ -474,26 +748,61 @@ class PeerNode:
                         in entry["instances"].items()} or None
                 else:
                     known_subsystem = ""
+                quoted = index.aggregate_for(neighbour)
+                if quoted is not None:
+                    # quote the subtree token we hold: a current child
+                    # omits the aggregate bits (and may acknowledge the
+                    # whole subtree irrelevant under a scoped gather)
+                    aggregate_token = quoted.token
+                    quoted_aggs[neighbour] = quoted
             queries.append(PeerQuery(
                 sender=self.name, target=neighbour,
                 hop_budget=hop_budget - 1, visited=claimed,
                 digest_version=digest_version,
                 known_subsystem=known_subsystem,
-                known_instances=known_instances))
+                known_instances=known_instances,
+                constants=constants,
+                aggregate_token=aggregate_token))
         subsystem_answers = dict(zip(
             order, self.network.fan_out(self.name, queries)))
         stats = payload["stats"]
         stats += ExchangeStats(requests=len(queries))
         fresh_versions: dict[str, str] = {}
+        routing_overhead = 0
         for neighbour in order:
             answer = subsystem_answers[neighbour]
             sub = answer.payload
             if index is not None:
                 if answer.digests is not None:
                     index.observe_digests(answer.digests)
+                    # piggybacked routing state is paid-for traffic:
+                    # account it like any other payload bytes
+                    routing_overhead += digest_bytes(answer.digests)
                 if answer.version:
                     fresh_versions[neighbour] = answer.version
-            if isinstance(sub, Mapping) and sub.get("unchanged"):
+                if answer.aggregate is not None:
+                    index.observe_aggregate(neighbour, answer.aggregate)
+                    routing_overhead += aggregate_bytes(answer.aggregate)
+                    child_aggs[neighbour] = answer.aggregate
+                elif answer.aggregate_token:
+                    # the child quoted our token back as current:
+                    # re-stamp the stored aggregate to this version
+                    child_aggs[neighbour] = index.confirm_aggregate(
+                        neighbour, answer.aggregate_token,
+                        version_at_start)
+            if isinstance(sub, Mapping) and sub.get("irrelevant"):
+                if quoted_aggs.get(neighbour) is None:
+                    raise ProtocolError(
+                        f"{neighbour!r} acknowledged a subtree "
+                        f"aggregate {self.name!r} never sent")
+                # tier A — the contacted child proved its whole subtree
+                # disjoint from the query constants against the token
+                # we quoted: skip its relayed payload and its fetches
+                sub = {"peers": {}, "instances": {}, "decs": [],
+                       "trust": [], "stats": sub["stats"]}
+                skipped.add(neighbour)
+                subtrees_pruned += 1
+            elif isinstance(sub, Mapping) and sub.get("unchanged"):
                 entry = held.get(neighbour)
                 if entry is None:
                     raise ProtocolError(
@@ -537,6 +846,8 @@ class PeerNode:
         bases: list[Optional[frozenset]] = []
         data: dict[str, dict[str, frozenset]] = {n: {} for n in pending}
         for neighbour in pending:
+            if neighbour in skipped:
+                continue
             confirmed = fresh_versions.get(neighbour, "")
             digests = (index.digests_for(neighbour)
                        if index is not None and confirmed else None)
@@ -560,6 +871,17 @@ class PeerNode:
                         data[neighbour][relation] = empty
                         pruned += 1
                         continue
+                    if (constants and digest is not None
+                            and digest.disjoint_from(constants)):
+                        # relevance elision: the confirmed-fresh digest
+                        # proves no row keyed by a query constant, and
+                        # the scoped view only needs those.  The fetch
+                        # cache is NOT updated — it must keep holding
+                        # the relation's *actual* rows, not the scoped
+                        # emptiness
+                        data[neighbour][relation] = frozenset()
+                        pruned += 1
+                        continue
                 fetches.append(FetchRelation(
                     sender=self.name, target=neighbour,
                     relation=relation, purpose="subsystem gather",
@@ -567,21 +889,63 @@ class PeerNode:
                 bases.append(cached[1] if cached else None)
         fetch_answers = self.network.fan_out(self.name, fetches)
         tuples_moved = bytes_moved = 0
+        fetched_versions: dict[str, set] = {}
         for request, base, answer in zip(fetches, bases, fetch_answers):
             if index is not None and answer.digests is not None:
                 index.observe_digests(answer.digests)
+                routing_overhead += digest_bytes(answer.digests)
             rows, moved = self._integrate_fetch(request, base, answer)
             data[request.target][request.relation] = rows
             tuples_moved += moved
             bytes_moved += answer.bytes_estimate
+            fetched_versions.setdefault(request.target,
+                                        set()).add(answer.version)
         for neighbour in pending:
+            if neighbour in skipped:
+                continue
             payload["instances"][neighbour] = DatabaseInstance(
                 payload["peers"][neighbour].schema, data[neighbour])
+        if index is not None:
+            # synthesized (leaf-context) neighbours never answer a
+            # PeerQuery, so no aggregate arrives for them; build their
+            # singleton aggregate from the digests their own fetch
+            # replies just confirmed, or the subtree chain above this
+            # node could never form over warm paths
+            for neighbour in pending:
+                if child_aggs.get(neighbour) is not None:
+                    continue
+                description = index.description(neighbour)
+                if (description is None
+                        or not description.targets <= claimed_set):
+                    continue
+                versions = fetched_versions.get(neighbour)
+                if versions is None or len(versions) != 1:
+                    continue
+                confirmed = next(iter(versions))
+                digests = index.digests_for(neighbour)
+                if (not confirmed or digests is None
+                        or digests.version != confirmed):
+                    continue
+                singleton = build_subtree(
+                    neighbour, digests, (),
+                    safe_root=self._prune_safe_parts(
+                        description.peer.local_ics, description.decs,
+                        description.trust),
+                    version=version_at_start)
+                if singleton is not None:
+                    child_aggs[neighbour] = singleton
+                    index.observe_aggregate(neighbour, singleton)
+            payload["aggregate"] = build_subtree(
+                self.name, self._aggregate_own_digests(),
+                [child_aggs.get(neighbour) for neighbour in pending],
+                safe_root=self._prune_safe_own(),
+                version=version_at_start)
         payload["stats"] = stats + ExchangeStats(
             requests=len(fetches), tuples_transferred=tuples_moved,
-            bytes_estimate=bytes_moved, max_hops=1,
+            bytes_estimate=bytes_moved + routing_overhead, max_hops=1,
             neighbours_pruned=pruned,
-            neighbours_contacted=len(pending))
+            neighbours_contacted=len(pending) - tier_b,
+            subtrees_pruned=subtrees_pruned)
         return payload
 
     def _restore_instances(self, neighbour: str, sub: Mapping,
@@ -687,6 +1051,16 @@ class PeerNode:
         the logical peer, so requesters must always fetch."""
         return self.store.version()
 
+    def _aggregate_own_digests(self) -> Optional[NeighbourDigests]:
+        """The per-relation digests subtree aggregates union for this
+        node's own data.  A plain node's store holds the whole peer, so
+        its own digests serve directly; the sharded node overrides this
+        with the router-composed *logical* bundle captured during its
+        last self-merge — or ``None``, which degrades the whole subtree
+        (no aggregate rather than a slice digest misdescribing the
+        peer)."""
+        return self._own_digests()
+
     def _complete_own_instance(self) -> tuple[DatabaseInstance,
                                               ExchangeStats]:
         """The node's own contribution to its view, plus its cost.
@@ -708,16 +1082,30 @@ class PeerNode:
         from the gathered sub-network (cached per version)."""
         return self._view_and_cost()[0]
 
-    def _view_and_cost(self) -> tuple[PeerSystem, ExchangeStats]:
+    def _view_key(self, constants: tuple) -> tuple:
+        """Which view entry answers a query scoped to ``constants``.
+
+        A held full view is always preferred — it is a superset of any
+        scoped view, sound for every query, and keeps warm-cache
+        behaviour identical to flooding.  Otherwise the scope keys its
+        own entry (a scoped view is only valid for queries over exactly
+        those constants)."""
+        return () if not constants or () in self._views else constants
+
+    def _view_and_cost(self, constants: tuple = ()
+                       ) -> tuple[PeerSystem, ExchangeStats]:
         with self._lock:
-            if self._view is None:
+            key = self._view_key(constants)
+            held = self._views.get(key)
+            if held is None:
                 hop_budget = (self.network.hop_budget
                               if self.network is not None else 8)
                 if self.network is not None:
                     with self.network.operation_deadline():
-                        payload = self._gather(hop_budget, ())
+                        payload = self._gather(hop_budget, (), key)
                 else:
-                    payload = self._gather(hop_budget, ())
+                    payload = self._gather(hop_budget, (), key)
+                payload.pop("aggregate", None)
                 own_instance, own_cost = self._complete_own_instance()
                 payload["instances"][self.name] = own_instance
                 payload["stats"] = payload["stats"] + own_cost
@@ -728,8 +1116,16 @@ class PeerNode:
                 # transport, where every branch decodes fresh objects)
                 seen: set = set()
                 decs = [dec for dec in payload["decs"]
-                        if (key := _dec_key(dec)) not in seen
-                        and not seen.add(key)]
+                        if (key2 := _dec_key(dec)) not in seen
+                        and not seen.add(key2)]
+                if key:
+                    # a scoped view omits pruned subtrees, so DECs
+                    # pointing into them must go too (the system
+                    # constructor rejects edges to absent peers; the
+                    # dropped edges only imported provably irrelevant
+                    # rows)
+                    decs = [dec for dec in decs
+                            if dec.owner in peers and dec.other in peers]
                 trust = TrustRelation(
                     {(owner, level, other)
                      for owner, level, other in payload["trust"]
@@ -737,18 +1133,24 @@ class PeerNode:
                 view = PeerSystem(
                     peers.values(), payload["instances"],
                     decs, trust, enforce_local_ics=False)
-                self._view = (view, payload["stats"])
-            return self._view
+                if not key:
+                    self._known_subsystem_peers = frozenset(peers)
+                held = (view, payload["stats"])
+                self._views[key] = held
+            return held
 
-    def _view_session(self) -> PeerQuerySession:
+    def _view_session(self, constants: tuple = ()) -> PeerQuerySession:
         with self._lock:
-            if self._session is None:
-                self._session = PeerQuerySession(
-                    self.local_view(),
+            key = self._view_key(constants)
+            session = self._sessions.get(key)
+            if session is None:
+                session = PeerQuerySession(
+                    self._view_and_cost(constants)[0],
                     default_method=self.default_method,
                     include_local_ics=self.include_local_ics,
                     evaluator=self.evaluator)
-            return self._session
+                self._sessions[key] = session
+            return session
 
     def answer(self, query: Union[Query, str], *,
                method: Optional[str] = None,
@@ -784,9 +1186,10 @@ class PeerNode:
                                            exchange=ExchangeStats(),
                                            elapsed=0.0)
             start = time.perf_counter()
-            had_view = self._view is not None
-            gather_cost = self._view_and_cost()[1]
-            result = self._view_session().answer(
+            constants = self._scope_constants(parsed)
+            had_view = self._view_key(constants) in self._views
+            gather_cost = self._view_and_cost(constants)[1]
+            result = self._view_session(constants).answer(
                 self.name, parsed, method=method, semantics=semantics)
             elapsed = time.perf_counter() - start
             result = dataclasses.replace(

@@ -112,6 +112,17 @@ class PeerQuery(Message):
     from its cache — so a one-leaf edit stops re-relaying every
     untouched instance along the whole path.  Like the other hints it
     is optional and omitted from the wire when empty.
+
+    ``constants`` scopes the gather to a query: the first-column
+    constants the query selects on, extracted by the requesting root
+    when every body atom pins its first argument.  A target holding a
+    *safe* subtree aggregate disjoint from them may answer with a tiny
+    ``{"irrelevant": True}`` acknowledgement instead of relaying its
+    subtree; ``aggregate_token`` quotes the
+    :class:`~repro.routing.aggregate.SubtreeDigest` content token the
+    requester already holds for the target, so aggregates only travel
+    when the requester is behind.  Empty means unscoped / no aggregate
+    held — both degrade to PR 8 behaviour.
     """
 
     kind: str = SUBSYSTEM
@@ -120,6 +131,8 @@ class PeerQuery(Message):
     digest_version: str = ""
     known_subsystem: str = ""
     known_instances: Any = None
+    constants: tuple = ()
+    aggregate_token: str = ""
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -155,8 +168,16 @@ class Answer(Message):
     ``digests`` optionally piggybacks the provider's
     :class:`~repro.routing.digest.NeighbourDigests` (its per-relation
     content summaries under its current store version) so requesters
-    learn routing state from traffic they paid for anyway.  The field
-    is forward-tolerant: peers predating it decode and ignore it.
+    learn routing state from traffic they paid for anyway.
+    ``aggregate`` does the same one level up: the provider's
+    :class:`~repro.routing.aggregate.SubtreeDigest` over everything
+    reachable through it, attached to subsystem replies only when the
+    requester's quoted ``aggregate_token`` is behind;
+    ``aggregate_token`` always names the provider's *current* subtree
+    token on routed subsystem replies, so a matching requester can
+    re-confirm its stored aggregate without the bits travelling again.
+    All three fields are forward-tolerant: peers predating them decode
+    and ignore them.
     """
 
     in_reply_to: int
@@ -165,6 +186,8 @@ class Answer(Message):
     version: str = ""
     delta: bool = False
     digests: Any = None
+    aggregate: Any = None
+    aggregate_token: str = ""
 
     def __post_init__(self) -> None:
         if self.bytes_estimate == 0:
@@ -172,6 +195,11 @@ class Answer(Message):
             if self.digests is not None:
                 from ..routing.digest import digest_bytes
                 estimate += digest_bytes(self.digests)
+            if self.aggregate is not None:
+                from ..routing.aggregate import aggregate_bytes
+                estimate += aggregate_bytes(self.aggregate)
+            if self.aggregate_token:
+                estimate += len(self.aggregate_token)
             object.__setattr__(self, "bytes_estimate", estimate)
 
 
@@ -210,6 +238,9 @@ def payload_bytes(payload: Any) -> int:
                 + estimate_bytes(payload.get("delete", ())) + 16)
     if isinstance(payload, Mapping) and payload.get("unchanged"):
         # a subsystem-unchanged acknowledgement: a flat flag + stats
+        return 8
+    if isinstance(payload, Mapping) and payload.get("irrelevant"):
+        # a subtree-irrelevant acknowledgement: a flat flag + stats
         return 8
     if isinstance(payload, Mapping):
         total = 0

@@ -38,17 +38,38 @@ from ..storage.tables import FactTable, encode_value
 __all__ = [
     "DIGEST_BITS",
     "DIGEST_HASHES",
+    "DIGEST_MAX_BITS",
     "RelationDigest",
     "NeighbourDigests",
+    "adaptive_nbits",
     "digest_bytes",
     "merge_neighbour_digests",
 ]
 
-#: default bit-array width; 128 bits keeps a digest smaller than two
+#: minimum bit-array width; 128 bits keeps a digest smaller than two
 #: rows while staying useful up to a few dozen distinct keys
 DIGEST_BITS = 128
 #: hash functions per value (double hashing: h1 + i*h2)
 DIGEST_HASHES = 2
+#: adaptive-width cap — a digest never exceeds 128 hex characters
+DIGEST_MAX_BITS = 1024
+#: adaptive sizing target: ~8 bits per stored row keeps the two-hash
+#: false-positive rate around (1-e^(-2/8))^2 ≈ 4.9% at any scale
+_BITS_PER_ROW = 8
+
+
+def adaptive_nbits(row_count: int) -> int:
+    """Power-of-two width scaled to the relation, in
+    [:data:`DIGEST_BITS`, :data:`DIGEST_MAX_BITS`].
+
+    Power-of-two widths are what keeps mixed-width digests mergeable:
+    any two legal widths divide each other, so the wider array folds
+    onto the narrower one exactly (see :meth:`RelationDigest.merge`).
+    """
+    nbits = DIGEST_BITS
+    while nbits < DIGEST_MAX_BITS and nbits < row_count * _BITS_PER_ROW:
+        nbits *= 2
+    return nbits
 
 
 def _bit_positions(value: object, nbits: int, k: int) -> list[int]:
@@ -80,9 +101,11 @@ class RelationDigest:
 
     @classmethod
     def from_rows(cls, relation: str, rows: Iterable[tuple], *,
-                  nbits: int = DIGEST_BITS,
+                  nbits: Optional[int] = None,
                   k: int = DIGEST_HASHES) -> "RelationDigest":
         rows = list(rows)
+        if nbits is None:
+            nbits = adaptive_nbits(len(rows))
         bits = 0
         for row in rows:
             if not row:
@@ -107,15 +130,57 @@ class RelationDigest:
         equals any of ``values`` — it cannot contribute a match."""
         return not any(self.may_contain(value) for value in values)
 
+    def fold_to(self, nbits: int) -> "RelationDigest":
+        """Shrink the bit array to a width that divides this one by a
+        power of two, preserving membership *exactly*.
+
+        A value's position at width ``m`` is ``h mod m``; since
+        ``(h mod 2a) mod a == h mod a``, OR-folding the upper half onto
+        the lower half at each halving keeps every set position set at
+        the narrower width — so ``may_contain`` can only gain false
+        positives, never lose a present value, and the
+        no-false-negatives guarantee survives the fold.
+        """
+        if nbits == self.nbits:
+            return self
+        if (nbits <= 0 or self.nbits % nbits
+                or (self.nbits // nbits) & (self.nbits // nbits - 1)):
+            raise ValueError(
+                f"cannot fold a {self.nbits}-bit digest to {nbits} bits:"
+                " the ratio must be a power of two")
+        bits, width = self.bits, self.nbits
+        while width > nbits:
+            width //= 2
+            bits = (bits & ((1 << width) - 1)) | (bits >> width)
+        return RelationDigest(
+            relation=self.relation, row_count=self.row_count,
+            fingerprint=self.fingerprint, bits=bits, nbits=nbits,
+            k=self.k)
+
     def merge(self, other: "RelationDigest") -> "RelationDigest":
         """Union of two disjoint slices of the same relation (the shard
-        router composes per-shard digests this way): bits OR together,
-        row counts add exactly, fingerprints compose positionally."""
-        if (self.relation != other.relation or self.nbits != other.nbits
-                or self.k != other.k):
+        router and subtree aggregation compose digests this way): bits
+        OR together, row counts add exactly, fingerprints compose
+        positionally.
+
+        Widths may differ — adaptive sizing makes that the common case —
+        as long as one divides the other by a power of two: the wider
+        digest folds onto the narrower width first (:meth:`fold_to`
+        preserves no-false-negatives), so the union is as precise as its
+        smallest input.  Differing hash counts or incompatible widths
+        still refuse.
+        """
+        if self.relation != other.relation or self.k != other.k:
             raise ValueError(
                 f"cannot merge digests of {self.relation!r}/"
                 f"{other.relation!r} with differing parameters")
+        if self.nbits != other.nbits:
+            narrow = min(self.nbits, other.nbits)
+            wide, kept = ((self, other) if self.nbits > other.nbits
+                          else (other, self))
+            wide = wide.fold_to(narrow)  # raises if widths incompatible
+            return (kept.merge(wide) if kept is self
+                    else wide.merge(kept))
         return RelationDigest(
             relation=self.relation,
             row_count=self.row_count + other.row_count,

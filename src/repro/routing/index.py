@@ -41,10 +41,11 @@ import hashlib
 import json
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..core.results import ExchangeStats
+from .aggregate import SubtreeDigest
 from .digest import NeighbourDigests
 from .stats import DEFAULT_DECAY, TrafficStats
 
@@ -140,6 +141,7 @@ class RoutingIndex:
         self.owner = owner
         self._lock = threading.Lock()
         self._digests: dict[str, NeighbourDigests] = {}
+        self._aggregates: dict[str, SubtreeDigest] = {}
         self._descriptions: dict[str, PeerDescription] = {}
         self._payloads: "OrderedDict[tuple[str, frozenset], tuple[str, dict]]" = OrderedDict()
         self._max_payloads = max_payloads
@@ -162,6 +164,39 @@ class RoutingIndex:
     def observe_digests(self, digests: NeighbourDigests) -> None:
         with self._lock:
             self._digests[digests.peer] = digests
+
+    def observe_aggregate(self, child: str,
+                          aggregate: SubtreeDigest) -> None:
+        """Store the subtree aggregate a neighbour piggybacked.
+
+        Keyed by the *neighbour* (the subtree's entry point from this
+        node), not the aggregate's declared root — a relayed frame could
+        claim any root, but pruning decisions are only ever made about
+        the neighbour the answer came from.
+        """
+        with self._lock:
+            self._aggregates[child] = aggregate
+
+    def confirm_aggregate(self, child: str, token: str,
+                          version: str) -> Optional[SubtreeDigest]:
+        """Re-stamp a stored aggregate the child just confirmed fresh.
+
+        Called when a reply quoted ``token`` as the child's *current*
+        subtree content without resending bits.  If the stored aggregate
+        matches the token, its ``version`` advances to the requester's
+        current system version — content provably unchanged in this
+        gather — which is what licenses the zero-message prune on later
+        queries at the same version.  A token mismatch returns ``None``
+        (the store is stale; degrade).
+        """
+        with self._lock:
+            held = self._aggregates.get(child)
+            if held is None or held.token != token:
+                return None
+            if held.version != version:
+                held = replace(held, version=version)
+                self._aggregates[child] = held
+            return held
 
     def learn_topology(self, payload: Mapping) -> None:
         """Mine static peer descriptions from one subsystem payload.
@@ -216,6 +251,43 @@ class RoutingIndex:
     def digests_for(self, peer: str) -> Optional[NeighbourDigests]:
         with self._lock:
             return self._digests.get(peer)
+
+    def aggregate_for(self, child: str) -> Optional[SubtreeDigest]:
+        with self._lock:
+            return self._aggregates.get(child)
+
+    def aggregate_token(self, child: str) -> str:
+        """The stored subtree token to quote when contacting ``child``
+        (empty when no aggregate is held)."""
+        with self._lock:
+            held = self._aggregates.get(child)
+            return held.token if held is not None else ""
+
+    def prunable_subtree(self, child: str, constants,
+                         version: str) -> Optional[SubtreeDigest]:
+        """The aggregate licensing a **zero-message** prune of
+        ``child``'s subtree for a query over ``constants`` — or ``None``.
+
+        Requires all three legs, each independently conservative:
+
+        * the stored aggregate's ``version`` equals the requester's
+          *current* system version (syncs stamp every node, so any data
+          change anywhere reverts this and forces a contact — which is
+          also what keeps down-peer detection on the contacted paths);
+        * the subtree is ``safe`` (identity inclusions, ``less`` trust,
+          no local ICs all the way down);
+        * the aggregated digests are disjoint from every query constant
+          (no-false-negatives: a ``True`` is a proof of absence).
+        """
+        if not version or not constants:
+            return None
+        with self._lock:
+            held = self._aggregates.get(child)
+        if held is None or held.version != version or not held.safe:
+            return None
+        if not held.disjoint_from(constants):
+            return None
+        return held
 
     def description(self, peer: str) -> Optional[PeerDescription]:
         with self._lock:

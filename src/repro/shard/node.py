@@ -35,6 +35,7 @@ from ..net.errors import NetworkError
 from ..net.node import PeerNode
 from ..net.protocol import FetchRelation
 from ..relational.instance import DatabaseInstance
+from ..routing.digest import NeighbourDigests
 from .shardmap import ShardMap
 
 __all__ = ["ShardedPeerNode", "build_shard_node"]
@@ -50,6 +51,10 @@ class ShardedPeerNode(PeerNode):
         super().__init__(peer, restricted, decs, trust_edges, **kwargs)
         self.shard_map = shard_map
         self.shard_index = shard_index
+        # the router-composed *logical* digest bundle captured from the
+        # last cold self-merge, guarded by the node version it described
+        self._logical_digests: Optional[
+            tuple[str, NeighbourDigests]] = None
 
     def update_instance(self, instance: DatabaseInstance,
                         version: str) -> None:
@@ -87,6 +92,31 @@ class ShardedPeerNode(PeerNode):
         which is always sound."""
         return ""
 
+    def _aggregate_own_digests(self) -> Optional[NeighbourDigests]:
+        """The *logical* digest bundle for subtree aggregation.
+
+        A shard replica must never let its slice digests stand for the
+        peer in a :class:`~repro.routing.aggregate.SubtreeDigest` — a
+        constant absent from this slice may live on a sibling shard, and
+        an aggregate built on the slice would let a requester prune a
+        branch that holds answers.  Instead the bundle captured from the
+        last cold self-merge is served: the
+        :class:`~repro.shard.router.ShardRouter` composes every slice's
+        digests into one logical bundle on fetch replies
+        (all-or-nothing), and :meth:`_complete_own_instance` keeps the
+        most recent one alongside the node version it described.  When
+        no capture covers the current version the answer is ``None`` —
+        :func:`~repro.routing.aggregate.build_subtree` then degrades the
+        whole subtree rather than misdescribe it.
+        """
+        if self.shard_map.n_shards(self.name) <= 1:
+            # one shard == the whole peer: own digests are logical
+            return super()._aggregate_own_digests()
+        captured = self._logical_digests
+        if captured is not None and captured[0] == self._version:
+            return captured[1]
+        return None
+
     def _complete_own_instance(self) -> tuple[DatabaseInstance,
                                               ExchangeStats]:
         """Reassemble the peer's full instance across sibling shards.
@@ -117,10 +147,37 @@ class ShardedPeerNode(PeerNode):
             data[request.relation] = rows
             tuples_moved += moved
             bytes_moved += answer.bytes_estimate
+        self._capture_logical_digests(answers)
         return (DatabaseInstance(self.peer.schema, data),
                 ExchangeStats(requests=len(fetches),
                               tuples_transferred=tuples_moved,
                               bytes_estimate=bytes_moved, max_hops=1))
+
+    def _capture_logical_digests(self, answers) -> None:
+        """Keep the router-composed logical digest bundle, if coherent.
+
+        Each self-merge reply may piggyback the logical
+        :class:`~repro.routing.digest.NeighbourDigests` the router
+        composed across every shard (under the merged ``shards(...)``
+        token); one coherent bundle describes all relations.  A *warm*
+        merge (empty-delta probes at a version the requester already
+        holds) carries none — the prior capture stays valid, because
+        unchanged slices mean an unchanged node version.  Replies
+        stamping *different* composed versions mean a sync raced the
+        fan-out: the reassembly is torn, so the capture is dropped
+        rather than left describing content the version no longer
+        names.
+        """
+        versions = {getattr(answer, "version", "")
+                    for answer in answers}
+        if len(versions) != 1:
+            self._logical_digests = None
+            return
+        for answer in answers:
+            bundle = getattr(answer, "digests", None)
+            if bundle is not None and bundle.version in versions:
+                self._logical_digests = (self._version, bundle)
+                return
 
     def __repr__(self) -> str:
         return (f"ShardedPeerNode({self.name!r}, "

@@ -417,12 +417,18 @@ class ShardRouter(Transport):
 
         Every shard node describes only its slice, so the logical
         digests are the bitwise union, stamped with the same
-        ``shards(...)`` token as the merged answer.  Composition is
-        all-or-nothing: a single reply without digests (routing off on
-        that replica, or a version race dropped them) makes the merged
-        answer carry none — a partial union could claim a constant
-        absent that a silent slice holds, breaking the no-false-negative
-        guarantee the requester prunes on.
+        ``shards(...)`` token as the merged answer.  Slices of different
+        sizes digest at different adaptive widths; the union fold-merges
+        the wider digest down onto the narrower one
+        (:meth:`~repro.routing.digest.RelationDigest.fold_to`), which
+        keeps every set bit, so the no-false-negative guarantee survives
+        mixed widths.  Composition is still all-or-nothing: a single
+        reply without digests (routing off on that replica, or a version
+        race dropped them), or a residual width mismatch the fold cannot
+        reconcile (the ``ValueError`` below), makes the merged answer
+        carry none — a partial union could claim a constant absent that
+        a silent slice holds, breaking the guarantee the requester
+        prunes on.
         """
         parts = [getattr(reply, "digests", None) for reply in replies]
         if any(part is None for part in parts):

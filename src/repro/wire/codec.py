@@ -58,6 +58,7 @@ from ..net.protocol import (
     PeerQuery,
 )
 from ..relational.instance import DatabaseInstance
+from ..routing.aggregate import SubtreeDigest
 from ..routing.digest import NeighbourDigests
 
 __all__ = [
@@ -184,6 +185,8 @@ def _stats_to_dict(stats: ExchangeStats) -> dict:
         encoded["pruned"] = stats.neighbours_pruned
     if stats.neighbours_contacted:
         encoded["contacted"] = stats.neighbours_contacted
+    if stats.subtrees_pruned:
+        encoded["subtrees"] = stats.subtrees_pruned
     return encoded
 
 
@@ -193,7 +196,8 @@ def _stats_from_dict(data: Mapping) -> ExchangeStats:
                          bytes_estimate=data["bytes"],
                          max_hops=data["max_hops"],
                          neighbours_pruned=data.get("pruned", 0),
-                         neighbours_contacted=data.get("contacted", 0))
+                         neighbours_contacted=data.get("contacted", 0),
+                         subtrees_pruned=data.get("subtrees", 0))
 
 
 def _peer_to_dict(peer: Peer) -> dict:
@@ -333,6 +337,11 @@ def _payload_to_dict(payload: Any) -> dict:
         # token: no content travels, only the gather's fresh stats
         return {"kind": "subsystem-unchanged",
                 "stats": _stats_to_dict(payload["stats"])}
+    if isinstance(payload, Mapping) and payload.get("irrelevant"):
+        # a routing-enabled peer proving its whole subtree disjoint
+        # from the query's constants: no content, only fresh stats
+        return {"kind": "subsystem-irrelevant",
+                "stats": _stats_to_dict(payload["stats"])}
     if isinstance(payload, Mapping) and "peers" in payload:
         return {"kind": "subsystem",
                 "subsystem": _subsystem_to_dict(payload)}
@@ -355,6 +364,9 @@ def _payload_from_dict(data: Mapping) -> Any:
         return _subsystem_from_dict(data["subsystem"])
     if kind == "subsystem-unchanged":
         return {"unchanged": True,
+                "stats": _stats_from_dict(data["stats"])}
+    if kind == "subsystem-irrelevant":
+        return {"irrelevant": True,
                 "stats": _stats_from_dict(data["stats"])}
     raise WireProtocolError(f"unknown payload kind {kind!r}")
 
@@ -382,6 +394,10 @@ def message_to_dict(message: Message) -> dict:
             encoded["known_subsystem"] = message.known_subsystem
         if message.known_instances:
             encoded["known_instances"] = dict(message.known_instances)
+        if message.constants:
+            encoded["constants"] = list(message.constants)
+        if message.aggregate_token:
+            encoded["aggregate_token"] = message.aggregate_token
         return encoded
     if isinstance(message, AnswerQuery):
         return {**base, "type": "answer-query", "query": message.query,
@@ -395,6 +411,10 @@ def message_to_dict(message: Message) -> dict:
                    "payload": _payload_to_dict(message.payload)}
         if message.digests is not None:
             encoded["digests"] = message.digests.to_dict()
+        if message.aggregate is not None:
+            encoded["aggregate"] = message.aggregate.to_dict()
+        if message.aggregate_token:
+            encoded["aggregate_token"] = message.aggregate_token
         return encoded
     if isinstance(message, Failure):
         return {**base, "type": "failure",
@@ -422,20 +442,29 @@ def message_from_dict(data: Mapping) -> Message:
                              known_subsystem=data.get("known_subsystem",
                                                       ""),
                              known_instances=data.get("known_instances")
-                             or None)
+                             or None,
+                             constants=tuple(data.get("constants", ())),
+                             aggregate_token=data.get("aggregate_token",
+                                                      ""))
         if kind == "answer-query":
             return AnswerQuery(**base, query=data["query"],
                                method=data["method"],
                                semantics=data["semantics"])
         if kind == "answer":
             raw_digests = data.get("digests")
+            raw_aggregate = data.get("aggregate")
             return Answer(**base, in_reply_to=data["in_reply_to"],
                           version=data["version"], delta=data["delta"],
                           bytes_estimate=data["bytes_estimate"],
                           payload=_payload_from_dict(data["payload"]),
                           digests=(None if raw_digests is None else
                                    NeighbourDigests.from_dict(
-                                       raw_digests)))
+                                       raw_digests)),
+                          aggregate=(None if raw_aggregate is None else
+                                     SubtreeDigest.from_dict(
+                                         raw_aggregate)),
+                          aggregate_token=data.get("aggregate_token",
+                                                   ""))
         if kind == "failure":
             return Failure(**base, in_reply_to=data["in_reply_to"],
                            code=data["code"], detail=data["detail"])

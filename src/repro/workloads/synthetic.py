@@ -144,6 +144,7 @@ def topology_system(n_peers: int, *, topology: str = "star",
                     n_tuples: int = 6, conflicts: int = 0,
                     extra_edges: int = 0,
                     density: Optional[float] = None,
+                    branching: int = 2,
                     seed: int = 0) -> PeerSystem:
     """One seeded generator for the network-shaped system families.
 
@@ -163,13 +164,22 @@ def topology_system(n_peers: int, *, topology: str = "star",
       DAG), so sweeps over ``n_peers`` keep comparable edge/node
       ratios without recomputing counts.  Passing both is an error;
       both only apply to ``"random"``.
+    * ``"tree"`` — a complete ``branching``-ary tree rooted at P0
+      (``Pi`` is imported by ``P{(i-1)//branching}``), the deep-gather
+      family for multi-hop subtree pruning.  Unlike the other shapes,
+      every peer's keys live in their own namespace (``p{i}k{j}``
+      instead of the shared pool): a constant-selecting query then
+      names exactly one peer's data, so branch digests are genuinely
+      disjoint from it and the :mod:`repro.routing` aggregates have
+      something to prove.  ``branching`` only applies to ``"tree"``.
 
     Every peer ``Pi`` owns one binary relation ``Ri`` with ``n_tuples``
-    seeded rows; keys are drawn from a small shared pool so imports
-    genuinely overlap and collide.  All import edges are full inclusions
-    with `less` trust.  ``conflicts`` > 0 adds an equally-trusted peer
-    ``PC`` whose relation ``C0`` contradicts that many of P0's keys via
-    an EGD, exercising the stage-2 (`same`-trust) semantics.
+    seeded rows; outside ``"tree"``, keys are drawn from a small shared
+    pool so imports genuinely overlap and collide.  All import edges are
+    full inclusions with `less` trust.  ``conflicts`` > 0 adds an
+    equally-trusted peer ``PC`` whose relation ``C0`` contradicts that
+    many of P0's keys via an EGD, exercising the stage-2 (`same`-trust)
+    semantics.
 
     The accessibility graph always reaches every peer from P0, which is
     what makes the :mod:`repro.net` runtime's hop-by-hop view provably
@@ -177,10 +187,12 @@ def topology_system(n_peers: int, *, topology: str = "star",
     """
     if n_peers < 1:
         raise ValueError("topology_system needs at least one peer")
-    if topology not in ("chain", "star", "random"):
+    if topology not in ("chain", "star", "random", "tree"):
         raise ValueError(
-            f"unknown topology {topology!r}; use 'chain', 'star', or "
-            f"'random'")
+            f"unknown topology {topology!r}; use 'chain', 'star', "
+            f"'random', or 'tree'")
+    if branching < 1:
+        raise ValueError(f"branching must be >= 1, got {branching}")
     if density is not None:
         if topology != "random":
             raise ValueError(
@@ -197,8 +209,14 @@ def topology_system(n_peers: int, *, topology: str = "star",
     builder = PeerSystem.builder()
     root_keys: list[str] = []
     for index in range(n_peers):
-        rows = [(rng.choice(key_pool), f"v{index}_{i}")
-                for i in range(n_tuples)]
+        if topology == "tree":
+            # namespaced keys: "Ri holds p5's keys" is decidable from a
+            # digest, which is what subtree pruning proves absence with
+            rows = [(f"p{index}k{i}", f"v{index}_{i}")
+                    for i in range(n_tuples)]
+        else:
+            rows = [(rng.choice(key_pool), f"v{index}_{i}")
+                    for i in range(n_tuples)]
         builder.peer(f"P{index}", {f"R{index}": 2},
                      instance={f"R{index}": rows})
         if index == 0:
@@ -208,6 +226,8 @@ def topology_system(n_peers: int, *, topology: str = "star",
         edges = [(i, i + 1) for i in range(n_peers - 1)]
     elif topology == "star":
         edges = [(0, i) for i in range(1, n_peers)]
+    elif topology == "tree":
+        edges = [((i - 1) // branching, i) for i in range(1, n_peers)]
     else:
         edges = [(rng.randrange(i), i) for i in range(1, n_peers)]
         candidates = [(j, i) for i in range(1, n_peers)
@@ -243,7 +263,8 @@ def topology_system(n_peers: int, *, topology: str = "star",
 def sharded_topology_system(n_peers: int, *, shards: int = 2,
                             topology: str = "star",
                             n_tuples: int = 6, conflicts: int = 0,
-                            extra_edges: int = 0, seed: int = 0):
+                            extra_edges: int = 0, branching: int = 2,
+                            seed: int = 0):
     """A :func:`topology_system` plus a uniform shard map for it.
 
     Returns ``(system, shard_map)`` — the pair every sharded
@@ -255,7 +276,8 @@ def sharded_topology_system(n_peers: int, *, shards: int = 2,
     from ..shard import ShardMap
     system = topology_system(n_peers, topology=topology,
                              n_tuples=n_tuples, conflicts=conflicts,
-                             extra_edges=extra_edges, seed=seed)
+                             extra_edges=extra_edges,
+                             branching=branching, seed=seed)
     return system, ShardMap.uniform(system.peers, shards)
 
 

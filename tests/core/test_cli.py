@@ -132,6 +132,7 @@ class TestNetworkCommand:
         assert sorted(payload["answers"]) == [["a", "b"], ["a", "e"],
                                               ["c", "d"]]
         assert payload["exchange_neighbours_pruned"] >= 0
+        assert payload["exchange_subtrees_pruned"] >= 0
         assert payload["exchange_neighbours_contacted"] > 0
         # the generated negative form is accepted too
         assert main(["network", system_file, "P1",

@@ -15,8 +15,10 @@ import pytest
 
 from repro.routing.digest import (
     DIGEST_BITS,
+    DIGEST_MAX_BITS,
     NeighbourDigests,
     RelationDigest,
+    adaptive_nbits,
     digest_bytes,
     merge_neighbour_digests,
 )
@@ -115,9 +117,25 @@ class TestMerge:
         b = RelationDigest.from_rows("S", [("a", 1)])
         with pytest.raises(ValueError):
             a.merge(b)
-        narrow = RelationDigest.from_rows("R", [("a", 1)], nbits=64)
+        # power-of-two width ratios fold-merge legally now; a width
+        # that does not divide evenly still refuses
+        odd = RelationDigest.from_rows("R", [("a", 1)], nbits=96)
         with pytest.raises(ValueError):
-            a.merge(narrow)
+            a.merge(odd)
+        more_hashes = RelationDigest.from_rows("R", [("a", 1)], k=3)
+        with pytest.raises(ValueError):
+            a.merge(more_hashes)
+
+    def test_cross_width_merge_keeps_the_guarantee(self):
+        wide = RelationDigest.from_rows(
+            "R", [(f"w{i}", i) for i in range(40)], nbits=512)
+        narrow = RelationDigest.from_rows("R", [("a", 1), ("b", 2)],
+                                          nbits=128)
+        for merged in (wide.merge(narrow), narrow.merge(wide)):
+            assert merged.nbits == 128
+            assert merged.row_count == 42
+            for key in ["a", "b"] + [f"w{i}" for i in range(40)]:
+                assert merged.may_contain(key), key
 
     def test_merge_neighbour_digests_unions_relations(self):
         left = NeighbourDigests.from_tables(
@@ -131,6 +149,40 @@ class TestMerge:
         assert combined.may_contain("a") and combined.may_contain("b")
         # a relation present in only one slice is kept as-is
         assert merged.digest_for("S").row_count == 1
+
+
+class TestAdaptiveSizing:
+    def test_width_is_a_clamped_power_of_two(self):
+        assert adaptive_nbits(0) == DIGEST_BITS
+        assert adaptive_nbits(16) == DIGEST_BITS
+        assert adaptive_nbits(17) == 256
+        assert adaptive_nbits(64) == 512
+        assert adaptive_nbits(10_000) == DIGEST_MAX_BITS
+        for count in range(0, 300, 7):
+            width = adaptive_nbits(count)
+            assert DIGEST_BITS <= width <= DIGEST_MAX_BITS
+            assert width & (width - 1) == 0
+
+    def test_from_rows_defaults_to_adaptive_width(self):
+        small = RelationDigest.from_rows("R", [("a", 1)])
+        large = RelationDigest.from_rows(
+            "R", [(f"k{i}", i) for i in range(100)])
+        assert small.nbits == adaptive_nbits(1) == DIGEST_BITS
+        assert large.nbits == adaptive_nbits(100) == 1024
+
+    @pytest.mark.parametrize("n_rows", (8, 40, 120))
+    def test_false_positive_rate_stays_pinned(self, n_rows):
+        """~8 bits/row with two hashes keeps the false-positive rate
+        around (1 - e^(-2/8))^2 ≈ 4.9% regardless of relation size —
+        the property adaptive sizing exists to hold.  The bound leaves
+        seeded-variance headroom but would catch a sizing regression
+        (a fixed 128-bit digest at 120 rows false-positives ~88%)."""
+        rng = random.Random(f"fp:{n_rows}")
+        rows = [(f"in{i}", i) for i in range(n_rows)]
+        digest = RelationDigest.from_rows("R", rows)
+        probes = [f"out{rng.randrange(10**9)}" for _ in range(2000)]
+        false_positives = sum(digest.may_contain(p) for p in probes)
+        assert false_positives / len(probes) < 0.11
 
 
 class TestRoundTrip:

@@ -53,7 +53,7 @@ def run_rounds(system, peer, queries, *, routing, rounds=3,
     """Answer ``queries`` over ``rounds`` leaf-mutation sync rounds;
     returns the observations the differential assertions compare."""
     observed = []
-    messages = pruned = 0
+    messages = pruned = subtrees = 0
     current = system
     with NetworkSession(current, transport=transport, retries=retries,
                         routing=routing) as session:
@@ -71,10 +71,11 @@ def run_rounds(system, peer, queries, *, routing, rounds=3,
                                  result.method_used))
                 if round_no:
                     pruned += result.exchange.neighbours_pruned
+                    subtrees += result.exchange.subtrees_pruned
             if round_no:
                 messages += len(session.exchange_log.events_since(mark))
     return {"observed": observed, "messages": messages,
-            "pruned": pruned}
+            "pruned": pruned, "subtrees": subtrees}
 
 
 def local_rounds(system, peer, queries, *, rounds=3):
@@ -170,6 +171,136 @@ class TestUnderFaults:
             session.use_system(mutate_leaf(system, 1))
             result = session.answer("P0", QUERIES[0])
             assert result.failed and not result.ok
+            assert result.error.code == "peer-unreachable"
+            assert result.answers == frozenset()
+
+
+class TestSubtreePruning:
+    """Aggregated mode: whole branches pruned, answers untouched.
+
+    The tree topology namespaces every peer's keys, so a constant-
+    selecting query is provably disjoint from whole branches and the
+    :class:`~repro.routing.aggregate.SubtreeDigest` machinery has
+    something to prove.  Every case mutates a leaf between rounds
+    (staling every aggregate on the root-to-leaf path) and requires the
+    routed answers tuple-identical to the flooded and local ones.
+    """
+
+    # constants exist at any seed: tree rows are deterministic
+    TREE_QUERIES = ('q(Y) := R0("p1k0", Y)', 'q(Y) := R0("p9k1", Y)',
+                    'q(Y) := R0("p5k0", Y)', 'q(Y) := R0("p0k2", Y)')
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_deep_tree_rounds_match_flooded_and_local(self, seed):
+        system = topology_system(15, topology="tree", n_tuples=3,
+                                 seed=seed)
+        flooded = run_rounds(system, "P0", self.TREE_QUERIES,
+                             routing=False)
+        routed = run_rounds(system, "P0", self.TREE_QUERIES,
+                            routing=True)
+        expected = local_rounds(system, "P0", self.TREE_QUERIES)
+        assert routed["observed"] == flooded["observed"] == expected
+        assert flooded["subtrees"] == 0
+        assert routed["subtrees"] > 0
+        assert routed["messages"] < flooded["messages"]
+
+    def test_multi_root_schedule_prunes_across_serving(self):
+        """Serving one root's scoped gather refreshes aggregates all
+        along the path, so a *different* root's later query zero-skips
+        whole branches — the cross-query payoff of tier B."""
+        base = topology_system(15, topology="tree", n_tuples=3, seed=0)
+        schedule = (("P0", 'q(Y) := R0("p9k1", Y)'),
+                    ("P1", 'q(Y) := R1("p10k2", Y)'),
+                    ("P2", 'q(Y) := R2("p13k1", Y)'),
+                    ("P1", 'q(Y) := R1("p1k0", Y)'))
+        results = {}
+        for routing in (False, True):
+            system = base
+            observed = []
+            messages = subtrees = 0
+            with NetworkSession(system, routing=routing) as session:
+                for peer in ("P0", "P1", "P2"):
+                    relation = f"R{peer[1:]}"
+                    warm = session.answer(
+                        peer, f"q(X, Y) := {relation}(X, Y)")
+                    assert warm.ok, warm.error
+                for round_no in (1, 2):
+                    system = mutate_leaf(system, round_no)
+                    session.use_system(system)
+                    mark = session.exchange_log.mark()
+                    for peer, query in schedule:
+                        result = session.answer(peer, query)
+                        assert result.ok, result.error
+                        observed.append((peer, query, result.answers))
+                        subtrees += result.exchange.subtrees_pruned
+                    messages += len(
+                        session.exchange_log.events_since(mark))
+            results[routing] = (observed, messages, subtrees)
+        system = base
+        expected = []
+        for round_no in (1, 2):
+            system = mutate_leaf(system, round_no)
+            local = PeerQuerySession(system)
+            for peer, query in schedule:
+                expected.append((peer, query,
+                                 local.answer(peer, query).answers))
+        assert results[True][0] == results[False][0] == expected
+        assert results[False][2] == 0
+        assert results[True][2] > 0
+        assert results[True][1] < results[False][1]
+
+    def test_mutation_into_a_pruned_branch_is_never_missed(self):
+        """The no-false-negatives acid test: a key the query selects on
+        lands in the very branch earlier queries pruned.  The stale
+        (now under-approximating) aggregate must degrade — version
+        mismatch blocks tier B, the changed content token blocks tier A
+        — and the new tuple must surface identically in all modes."""
+        base = topology_system(7, topology="tree", n_tuples=3, seed=0)
+        target, relation = "P2", "R2"
+        rows = set(base.instances[target].tuples(relation))
+        rows.add(("surprise", "landed"))
+        grown = PeerSystem(
+            base.peers.values(),
+            {**base.instances,
+             target: DatabaseInstance(base.peers[target].schema,
+                                      {relation: frozenset(rows)})},
+            base.exchanges, base.trust)
+        # the P2 branch is irrelevant to both probes before the sync,
+        # relevant to the second one after it
+        probes = ('q(Y) := R0("p1k1", Y)', 'q(Y) := R0("surprise", Y)')
+        observed = {}
+        for routing in (False, True):
+            with NetworkSession(base, routing=routing) as session:
+                assert session.answer("P0",
+                                      'q(X, Y) := R0(X, Y)').ok
+                seen = [session.answer("P0", query).answers
+                        for query in probes]
+                session.use_system(grown)
+                # first query refreshes every aggregate at the new
+                # version; the second must still contact P2's branch
+                seen += [session.answer("P0", query).answers
+                         for query in probes]
+                observed[routing] = seen
+        assert observed[True] == observed[False]
+        assert observed[True][1] == frozenset()
+        assert observed[True][3] == frozenset({("landed",)})
+
+    @pytest.mark.parametrize("routing", (False, True))
+    def test_downed_peer_mid_subtree_surfaces_after_sync(self, routing):
+        """A sync stales every aggregate, so the next scoped query must
+        re-contact each branch hop-by-hop — and find the downed deep
+        peer exactly like flooding does, even though the query's
+        constants make that whole branch irrelevant."""
+        system = topology_system(7, topology="tree", n_tuples=3, seed=1)
+        transport = ThreadedTransport(timeout=1.0)
+        with NetworkSession(system, transport=transport, retries=1,
+                            routing=routing) as session:
+            warm = session.answer("P0", 'q(X, Y) := R0(X, Y)')
+            assert warm.ok, warm.error
+            transport.set_down("P5")  # deep inside P2's branch
+            session.use_system(mutate_leaf(system, 1))
+            result = session.answer("P0", 'q(Y) := R0("p1k0", Y)')
+            assert result.failed
             assert result.error.code == "peer-unreachable"
             assert result.answers == frozenset()
 

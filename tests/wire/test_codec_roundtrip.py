@@ -259,6 +259,79 @@ def test_subsystem_payload_roundtrip(seed):
 
 
 # ---------------------------------------------------------------------------
+# Subtree aggregation (PR 9's routing surface)
+# ---------------------------------------------------------------------------
+
+def _rand_aggregate(rng: random.Random):
+    from repro.routing.aggregate import build_subtree
+    from repro.routing.digest import NeighbourDigests
+    tables = {f"R{i}": rand_rows(rng, 2) for i in range(rng.randint(1, 3))}
+    return build_subtree(
+        f"P{rng.randrange(5)}",
+        NeighbourDigests.from_tables("P", f"v{seed_marker(rng)}", tables),
+        (), safe_root=rng.random() < 0.5, version=f"v{rng.randrange(9)}")
+
+
+def seed_marker(rng: random.Random) -> int:
+    return rng.randrange(100)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scoped_peer_query_roundtrip(seed):
+    rng = random.Random(seed)
+    message = PeerQuery(
+        sender="P1", target="P2",
+        hop_budget=rng.randint(0, 16),
+        visited=("P0",),
+        constants=tuple(rand_value(rng)
+                        for _ in range(rng.randint(1, 4))),
+        aggregate_token=rng.choice(("", "agg-0123456789abcdef")))
+    assert decode_message(encode_message(message)) == message
+
+
+@pytest.mark.parametrize("seed", SEEDS[:12])
+def test_answer_with_aggregate_roundtrip(seed):
+    rng = random.Random(seed)
+    aggregate = _rand_aggregate(rng)
+    message = Answer(
+        sender="P2", target="P1", in_reply_to=rng.randint(1, 9999),
+        payload={"peers": {}, "instances": {}, "decs": [], "trust": [],
+                 "stats": ExchangeStats()},
+        aggregate=aggregate, aggregate_token=aggregate.token,
+        bytes_estimate=123)
+    decoded = decode_message(encode_message(message))
+    assert decoded.aggregate == aggregate
+    assert decoded.aggregate_token == aggregate.token
+    # the revived bits must keep proving exactly the same absences
+    for probe in [rand_value(rng) for _ in range(20)]:
+        assert (decoded.aggregate.disjoint_from([probe])
+                == aggregate.disjoint_from([probe]))
+
+
+def test_irrelevant_ack_roundtrip():
+    stats = ExchangeStats(requests=2, subtrees_pruned=3,
+                          neighbours_contacted=1)
+    message = Answer(sender="P2", target="P1", in_reply_to=9,
+                     payload={"irrelevant": True, "stats": stats},
+                     aggregate_token="agg-feedfacecafebeef",
+                     bytes_estimate=28)
+    decoded = decode_message(encode_message(message))
+    assert decoded.payload["irrelevant"] is True
+    assert decoded.payload["stats"] == stats
+    assert decoded.aggregate_token == "agg-feedfacecafebeef"
+
+
+def test_subtrees_pruned_stat_survives_the_wire():
+    stats = ExchangeStats(requests=5, subtrees_pruned=7)
+    message = Answer(sender="P2", target="P1", in_reply_to=3,
+                     payload={"peers": {}, "instances": {}, "decs": [],
+                              "trust": [], "stats": stats},
+                     bytes_estimate=50)
+    decoded = decode_message(encode_message(message))
+    assert decoded.payload["stats"].subtrees_pruned == 7
+
+
+# ---------------------------------------------------------------------------
 # Framing and the handshake
 # ---------------------------------------------------------------------------
 
