@@ -26,11 +26,11 @@ the CI box has one core — the enforced bars are deliberately
 conservative; the trajectory file carries the real numbers.
 """
 
-import statistics
 import threading
 import time
 
 from repro.net import ServerOverloaded
+from repro.obs import Histogram
 from repro.net.protocol import Answer, FetchRelation
 from repro.wire import (
     PeerServer,
@@ -279,9 +279,14 @@ def main() -> int:
         for server in servers:
             server.shutdown()
     qps = len(latencies) / wall_s if wall_s else 0.0
-    p50 = statistics.median(latencies) if latencies else float("inf")
-    p99 = (statistics.quantiles(latencies, n=100)[98]
-           if len(latencies) >= 100 else float("inf"))
+    # the shared mergeable histogram (same buckets the live GetStatus
+    # metrics use) — latencies arrive in ms, the buckets are seconds
+    hist = Histogram()
+    for latency_ms in latencies:
+        hist.observe(latency_ms / 1000.0)
+    summary = hist.summary()
+    p50 = summary["p50"] * 1000.0 if latencies else float("inf")
+    p99 = summary["p99"] * 1000.0 if latencies else float("inf")
     print(f"  sustained    : {len(latencies)} answers in {wall_s:.1f}s "
           f"= {qps:7.1f} q/s across {N_SESSIONS} sessions")
     print(f"  latency      : p50 {p50:7.1f} ms   p99 {p99:7.1f} ms")
@@ -337,6 +342,7 @@ def main() -> int:
             "min_qps": MIN_QPS,
             "max_p99_ms": MAX_P99_MS,
         },
+        latency=hist,
     )
 
     if failures:

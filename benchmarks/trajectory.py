@@ -5,36 +5,68 @@ metrics machine-readably so successive runs can be compared without
 re-parsing stdout.  One file per benchmark id, overwritten on each
 run — the *trajectory* lives in version control, where each commit
 pins the numbers its code produced.
+
+Every record is stamped with the UTC wall-clock time and the git
+commit it ran at, and benchmarks that measure request latencies can
+attach a mergeable :class:`repro.obs.metrics.Histogram` whose
+p50/p90/p99 summary rides along — the same bucket scheme the live
+``GetStatus`` metrics use, so a trajectory record and a cluster
+scrape speak comparable percentiles.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 #: the repository root (this file lives in <root>/benchmarks/)
 ROOT = Path(__file__).resolve().parent.parent
 
-__all__ = ["ROOT", "write_trajectory"]
+__all__ = ["ROOT", "git_commit", "write_trajectory"]
+
+
+def git_commit() -> str:
+    """The short hash of the checked-out commit, or ``""`` when the
+    tree is not a git checkout (tarball runs)."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return ""
+    return probe.stdout.strip() if probe.returncode == 0 else ""
 
 
 def write_trajectory(bench_id: str, metrics: dict, *, ok: bool,
-                     bars: dict | None = None) -> Path:
+                     bars: dict | None = None,
+                     latency=None) -> Path:
     """Write ``BENCH_<bench_id>.json`` at the repo root; return it.
 
     ``metrics`` holds the measured numbers (timings in ms, exact byte
     counts, ratios), ``bars`` the enforced bounds they were judged
-    against, ``ok`` whether every bar held.
+    against, ``ok`` whether every bar held.  ``latency``, when given,
+    is a :class:`repro.obs.metrics.Histogram` of per-request seconds
+    (or an already-computed summary dict); its count/mean/p50/p90/p99
+    summary is recorded under ``"latency"``.
     """
     payload = {
         "bench": bench_id,
         "ok": ok,
         "unix_time": int(time.time()),
+        "utc_time": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "commit": git_commit(),
         "metrics": metrics,
     }
     if bars:
         payload["bars"] = bars
+    if latency is not None:
+        payload["latency"] = (latency.summary()
+                              if hasattr(latency, "summary")
+                              else dict(latency))
     path = ROOT / f"BENCH_{bench_id}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True)
                     + "\n", encoding="utf-8")

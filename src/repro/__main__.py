@@ -47,6 +47,19 @@ DIR] [--hops N] [--retries N] [--timeout S] [--host H] [--json]``
     re-run against the same directory restarts them warm and re-syncs
     by versioned deltas.
 
+``trace SYSTEM.json PEER QUERY [--method M] [--brave] [--hops N]
+[--routing] [--json]``
+    Answer the query over the network runtime with tracing on and
+    render the distributed span tree — every hop's gather, per-
+    neighbour fetches, and local evaluation, with durations and the
+    critical path starred — plus the per-phase timing breakdown.
+
+``metrics ADDR [--timeout S] [--json]``
+    Ask one running peer server what it is doing: dial ``host:port``,
+    send a ``GetStatus`` probe, and print the process's live counters,
+    gauges, and latency-histogram summaries (connections, queue depth,
+    sheds, retries, queue-wait/execute percentiles).
+
 ``store DATA_DIR [--json]``
     Inspect a ``--data-dir`` directory: per peer, the stored content
     version, delta-log sequence, pending (uncompacted) log entries, row
@@ -148,10 +161,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .core import load_system
     from .net import open_session
     system = load_system(args.system)
-    # --routing is a network-runtime knob; open_session rejects it for
-    # the local backend with a typed error, so only forward it when set
-    session = open_session(system, network=args.network,
-                           **({"routing": True} if args.routing else {}))
+    # --routing/--tracing are network-runtime knobs; open_session
+    # rejects them for the local backend with a typed error, so only
+    # forward them when set
+    extras = {}
+    if args.routing:
+        extras["routing"] = True
+    if getattr(args, "tracing", False):
+        extras["tracing"] = True
+    session = open_session(system, network=args.network, **extras)
     semantics = "possible" if args.brave else "certain"
     try:
         # --brave --method rewrite is rejected by the method itself
@@ -186,7 +204,8 @@ def _cmd_network(args: argparse.Namespace) -> int:
                                      else "fanout"),
                         timeout=args.timeout,
                         data_dir=args.data_dir,
-                        routing=args.routing) as session:
+                        routing=args.routing,
+                        tracing=args.tracing) as session:
         if args.data_dir:
             # durable nodes resume from disk; the CLI treats the system
             # file as the operator's source of truth, so push its state
@@ -205,7 +224,8 @@ def _cmd_network(args: argparse.Namespace) -> int:
                  "tuples": event.tuples_transferred,
                  "bytes_estimate": event.bytes_estimate,
                  "purpose": event.purpose,
-                 "hop": event.hop}
+                 "hop": event.hop,
+                 "timestamp": round(event.timestamp, 6)}
                 for event in trace],
         })
         if not args.json:
@@ -214,7 +234,74 @@ def _cmd_network(args: argparse.Namespace) -> int:
                 print(f"  {event}")
             if not trace:
                 print("  (no messages)")
+            if result.trace:
+                _print_trace(result)
     return status
+
+
+def _print_trace(result) -> None:
+    """Render a traced result's span tree, critical path, and
+    per-phase timings (shared by `network --tracing` and `trace`)."""
+    from .obs import TraceCollector
+    collector = TraceCollector(result.trace)
+    print(f"trace ({len(result.trace)} span(s), "
+          f"depth {collector.depth()}; * = critical path):")
+    print(collector.render())
+    critical = collector.critical_path()
+    if critical:
+        print("critical path: "
+              + " -> ".join(f"{span.name}@{span.peer}"
+                            for span in critical))
+    if result.timings:
+        parts = ", ".join(f"{name}={value * 1000:.1f} ms"
+                          for name, value in result.timings.items())
+        print(f"timings: {parts}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core import load_system
+    from .net import NetworkSession
+    system = load_system(args.system)
+    semantics = "possible" if args.brave else "certain"
+    with NetworkSession(system, hop_budget=args.hops,
+                        routing=args.routing,
+                        tracing=True) as session:
+        result = session.answer(args.peer, args.query,
+                                method=args.method, semantics=semantics)
+    status = _print_result(result, args)
+    if not args.json and not result.failed:
+        _print_trace(result)
+    return status
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json as json_
+    from .wire import fetch_status
+    status = fetch_status(args.address, timeout=args.timeout)
+    if args.json:
+        print(json_.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"unit {status.get('unit', '?')} (peer "
+          f"{status.get('peer', '?')}) at "
+          f"{status.get('address', args.address)}:")
+    metrics = status.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    summaries = metrics.get("summaries", {})
+    for name in sorted(counters):
+        print(f"  {name} = {counters[name]}")
+    for name in sorted(gauges):
+        print(f"  {name} = {gauges[name]:g} (gauge)")
+    for name in sorted(summaries):
+        summary = summaries[name]
+        print(f"  {name}: count={summary['count']} "
+              f"mean={summary['mean'] * 1000:.2f}ms "
+              f"p50={summary['p50'] * 1000:.2f}ms "
+              f"p90={summary['p90'] * 1000:.2f}ms "
+              f"p99={summary['p99'] * 1000:.2f}ms")
+    if not (counters or gauges or summaries):
+        print("  (no activity yet)")
+    return 0
 
 
 def _parse_peer_addresses(spec: str) -> dict:
@@ -252,7 +339,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout=args.idle_timeout,
         shard_map=shard_map, shard_index=args.shard,
         replica_index=args.replica,
-        routing=args.routing)
+        routing=args.routing, tracing=args.tracing)
     # SIGTERM (the supervisor's stop signal) must run the same cleanup
     # as Ctrl-C: a durable node flushes its caches only on a clean
     # shutdown, which is what makes the next start a warm restart
@@ -274,7 +361,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                            data_dir=args.data_dir,
                            hop_budget=args.hops, retries=args.retries,
                            timeout=args.timeout,
-                           routing=args.routing) as session:
+                           routing=args.routing,
+                           tracing=args.tracing) as session:
         peers = session.peers()
         if not args.json:
             print(f"cluster up: {len(peers)} peer process(es) "
@@ -286,6 +374,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if not args.json:
             for event in session.exchange_log.events():
                 print(f"  {event}")
+            if result.trace:
+                _print_trace(result)
     return status
 
 
@@ -395,6 +485,11 @@ def build_parser() -> argparse.ArgumentParser:
                        action=argparse.BooleanOptionalAction,
                        help="consult the query-driven routing index "
                             "while gathering (requires --network)")
+    query.add_argument("--tracing", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="record a distributed span tree for the "
+                            "answer (requires --network; see the "
+                            "`trace` command for a rendered tree)")
     query.add_argument("--json", action="store_true",
                        help="print the full QueryResult as JSON")
     query.set_defaults(func=_cmd_query)
@@ -445,10 +540,50 @@ def build_parser() -> argparse.ArgumentParser:
                               "shorten provably useless neighbour "
                               "exchanges; off by default — flooded "
                               "gathers are the reference behaviour")
+    network.add_argument("--tracing", default=False,
+                         action=argparse.BooleanOptionalAction,
+                         help="record and render the distributed span "
+                              "tree of the answer (gather, fetches, "
+                              "local eval, per-hop serving)")
     network.add_argument("--json", action="store_true",
                          help="print the full QueryResult as JSON "
                               "including the exchange trace")
     network.set_defaults(func=_cmd_network)
+
+    trace = sub.add_parser(
+        "trace",
+        help="answer a query with tracing on and render the span tree")
+    trace.add_argument("system", help="JSON system definition")
+    trace.add_argument("peer")
+    trace.add_argument("query", help='e.g. "q(X, Y) := R1(X, Y)"')
+    trace.add_argument("--method", default="auto",
+                       choices=list(available_methods()))
+    trace.add_argument("--brave", action="store_true",
+                       help="possible (brave) answers instead of "
+                            "certain")
+    trace.add_argument("--hops", type=int, default=None, metavar="N",
+                       help="hop budget for transitive gathers")
+    trace.add_argument("--routing", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="trace a routed gather instead of a "
+                            "flooded one")
+    trace.add_argument("--json", action="store_true",
+                       help="print the full QueryResult as JSON "
+                            "including the raw spans")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running peer server's live metrics over the "
+             "wire (GetStatus)")
+    metrics.add_argument("address", metavar="ADDR",
+                         help="the unit's host:port (any unit can be "
+                              "probed by address alone)")
+    metrics.add_argument("--timeout", type=float, default=5.0,
+                         metavar="S", help="probe timeout in seconds")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw status payload as JSON")
+    metrics.set_defaults(func=_cmd_metrics)
 
     serve = sub.add_parser(
         "serve",
@@ -503,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
                        action=argparse.BooleanOptionalAction,
                        help="maintain a routing index on this node and "
                             "advertise content digests to requesters")
+    serve.add_argument("--tracing", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="open a fresh trace for queries answered "
+                            "at this node's root (traced *requests* "
+                            "are always served with spans)")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -531,6 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
                          action=argparse.BooleanOptionalAction,
                          help="turn the routing index on in every "
                               "peer server process")
+    cluster.add_argument("--tracing", default=False,
+                         action=argparse.BooleanOptionalAction,
+                         help="trace the query across every server "
+                              "process and render the reassembled "
+                              "span tree")
     cluster.add_argument("--json", action="store_true",
                          help="print the full QueryResult as JSON")
     cluster.set_defaults(func=_cmd_cluster)

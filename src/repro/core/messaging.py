@@ -19,6 +19,7 @@ into the :class:`~repro.core.results.ExchangeStats` attached to each
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
@@ -45,7 +46,11 @@ class ExchangeEvent:
     ``bytes_estimate`` approximates the payload's serialized size
     (:func:`estimate_bytes`); ``hop`` is how many network hops the data
     travelled to reach the requester (1 for a direct neighbour fetch,
-    more when an intermediate peer relayed it).
+    more when an intermediate peer relayed it).  ``timestamp`` is the
+    recording process's ``time.monotonic()`` at record time (0.0 on
+    events predating it, e.g. replayed from old captures) — deltas
+    between events of one process give durations and rates; values are
+    not comparable across processes or to wall-clock time.
     """
 
     requester: str
@@ -55,6 +60,7 @@ class ExchangeEvent:
     purpose: str = ""
     bytes_estimate: int = 0
     hop: int = 1
+    timestamp: float = 0.0
 
     def __str__(self) -> str:
         note = f" ({self.purpose})" if self.purpose else ""
@@ -78,13 +84,18 @@ class ExchangeLog:
             return
         event = ExchangeEvent(requester, provider, relation,
                               tuples_transferred, purpose,
-                              bytes_estimate, hop)
+                              bytes_estimate, hop,
+                              timestamp=time.monotonic())
         with self._lock:
             self._events.append(event)
 
     def record_event(self, event: ExchangeEvent) -> None:
         if event.requester == event.provider:
             return
+        if event.timestamp == 0.0:
+            import dataclasses
+            event = dataclasses.replace(event,
+                                        timestamp=time.monotonic())
         with self._lock:
             self._events.append(event)
 
@@ -121,6 +132,17 @@ class ExchangeLog:
             bytes_estimate=sum(e.bytes_estimate for e in events),
             max_hops=max((e.hop for e in events), default=0),
         )
+
+    def duration_since(self, mark: int) -> float:
+        """Seconds between the first and last timestamped event after
+        ``mark`` — the observed span of the traffic
+        :meth:`stats_since` aggregates (0.0 when fewer than two events
+        carry timestamps)."""
+        stamps = [e.timestamp for e in self.events_since(mark)
+                  if e.timestamp > 0.0]
+        if len(stamps) < 2:
+            return 0.0
+        return max(stamps) - min(stamps)
 
     def total_tuples(self) -> int:
         with self._lock:

@@ -154,6 +154,12 @@ class QueryResult:
         error: a typed :class:`QueryError` when the execution backend
             failed (unreachable peer, exhausted hop budget); ``answers``
             is empty and must not be read as "no certain answers".
+        trace: the completed :class:`~repro.obs.trace.Span` tree of a
+            traced run (every hop's gather/fetch/eval/server spans,
+            reassembled cross-process); empty unless ``tracing=True``.
+        timings: per-phase wall-clock breakdown of a traced run
+            (``{"gather_s": ..., "eval_s": ..., "total_s": ...}``);
+            ``None`` unless ``tracing=True``.
     """
 
     peer: str
@@ -167,6 +173,8 @@ class QueryResult:
     exchange: ExchangeStats = field(default_factory=ExchangeStats)
     from_cache: bool = False
     error: Optional[QueryError] = None
+    trace: tuple = ()
+    timings: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -201,7 +209,7 @@ class QueryResult:
 
     def to_dict(self) -> dict:
         """JSON-friendly rendering (used by the CLI)."""
-        return {
+        data = {
             "peer": self.peer,
             "query": str(self.query),
             "answers": sorted(list(row) for row in self.answers),
@@ -225,6 +233,13 @@ class QueryResult:
                 "peer": self.error.peer,
             }),
         }
+        # trace/timings only appear on traced runs, so untraced CLI
+        # output is unchanged
+        if self.trace:
+            data["trace"] = [span.to_dict() for span in self.trace]
+        if self.timings:
+            data["timings"] = dict(self.timings)
+        return data
 
     def __repr__(self) -> str:
         if self.error is not None:

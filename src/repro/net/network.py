@@ -38,6 +38,8 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..core.messaging import ExchangeLog
 from ..core.system import PeerSystem
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, SpanRecorder, new_id
 from .errors import (
     DeadlineExceeded,
     HopBudgetExceeded,
@@ -56,6 +58,16 @@ __all__ = ["PeerNetwork"]
 #: fan-out modes
 FANOUT = "fanout"
 SEQUENTIAL = "sequential"
+
+
+def _request_span_name(message: Message) -> str:
+    """How a request's round-trip span is labelled in the trace."""
+    if isinstance(message, FetchRelation):
+        return f"fetch:{message.relation}->{message.target}"
+    if isinstance(message, PeerQuery):
+        return f"peer-query->{message.target}"
+    return (f"{type(message).__name__.lower()}"
+            f"->{message.target}")
 
 
 class PeerNetwork:
@@ -82,6 +94,12 @@ class PeerNetwork:
         self.retries = retries
         self.concurrency = concurrency
         self.exchange_log = ExchangeLog()
+        #: completed trace spans of in-flight traced operations (shared
+        #: by every node on this network; drained per trace id)
+        self.spans = SpanRecorder()
+        #: live counters for the rare paths (retries, backoff) — the
+        #: per-request hot path deliberately touches no lock here
+        self.metrics = MetricsRegistry()
         for node in nodes:
             if node.name in self.nodes:
                 raise NetworkError(f"duplicate node {node.name!r}")
@@ -118,7 +136,8 @@ class PeerNetwork:
                     evaluator: str = "planner",
                     data_dir: Optional[Union[str, Path]] = None,
                     snapshot_every: int = 64,
-                    routing: bool = False) -> "PeerNetwork":
+                    routing: bool = False,
+                    tracing: bool = False) -> "PeerNetwork":
         """One node per peer, each seeded with its local slice only.
 
         With ``data_dir`` every node becomes durable under
@@ -135,6 +154,13 @@ class PeerNetwork:
         gather path (digest piggybacking, productivity ordering, and
         provably redundant messages elided); answers are identical in
         both modes — only the traffic differs.
+
+        ``tracing=True`` makes every node open a fresh distributed
+        trace per root :meth:`PeerNode.answer
+        <repro.net.node.PeerNode.answer>` call: spans for the gather,
+        every per-neighbour request, and the local evaluation land on
+        :attr:`QueryResult.trace <repro.core.results.QueryResult>`.
+        Off (the default) the answer path pays nothing.
         """
         root = Path(data_dir) if data_dir is not None else None
         nodes = []
@@ -151,7 +177,8 @@ class PeerNetwork:
                 evaluator=evaluator,
                 data_dir=root / name if root is not None else None,
                 snapshot_every=snapshot_every,
-                routing=routing))
+                routing=routing,
+                tracing=tracing))
         # stamp the nodes: the system's version is only truthful when
         # every store actually holds the system's data — after a
         # restart, disk may have won with *different* (e.g. previously
@@ -291,6 +318,8 @@ class PeerNetwork:
         """
         attempts = self.retries + 1
         reply: Optional[Message] = None
+        traced = bool(message.trace_id)
+        started = time.monotonic() if traced else 0.0
         for attempt in range(attempts):
             # checked before every attempt (first included): once the
             # operation budget is spent, further sends — retries
@@ -313,12 +342,33 @@ class PeerNetwork:
                         f"peer {message.target!r} unreachable after "
                         f"{attempts} attempt(s): {exc}",
                         peer=message.target) from exc
+                self.metrics.inc("network.retries")
                 if isinstance(exc, ServerOverloaded):
                     # the server is up but saturated: hammering it at
                     # line rate only deepens the overload — yield a
                     # beat (bounded, deadline-checked above) first
+                    self.metrics.inc("network.backoffs")
+                    pause = time.monotonic()
                     time.sleep(min(0.05 * (attempt + 1), 0.5))
+                    if traced:
+                        self.spans.record(Span(
+                            message.trace_id, new_id(),
+                            message.span_id, "backoff", message.sender,
+                            pause, time.monotonic() - pause,
+                            note=f"attempt {attempt + 1} shed by "
+                                 f"{message.target}"))
         assert reply is not None
+        if traced:
+            # fold the provider's piggybacked spans into this process's
+            # recorder, then record the round trip itself under the
+            # span id the requester pre-allocated on the message
+            self.spans.record_all(getattr(reply, "spans", ()))
+            note = f"retries={attempt}" if attempt else ""
+            self.spans.record(Span(
+                message.trace_id, message.span_id or new_id(),
+                message.parent_span_id, _request_span_name(message),
+                message.sender, started, time.monotonic() - started,
+                note=note))
         if isinstance(reply, Failure):
             self._raise_failure(reply)
         if not isinstance(reply, Answer):

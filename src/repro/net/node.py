@@ -90,6 +90,7 @@ from ..routing import (
     digest_bytes,
     subsystem_fingerprint,
 )
+from ..obs.trace import Span, TraceContext, new_id
 from ..storage.durable import write_json_atomic
 from .errors import (
     DeadlineExceeded,
@@ -116,6 +117,20 @@ __all__ = ["PeerNode"]
 #: cap on persisted answer-cache entries (oldest dropped first), so a
 #: long-lived data directory cannot grow without bound across syncs
 _MAX_PERSISTED_ANSWERS = 512
+
+#: the shared falsy context untraced operations run under
+_UNTRACED = TraceContext()
+
+
+def _serve_span_name(message: Message) -> str:
+    """How a served request's span is labelled in the trace."""
+    if isinstance(message, FetchRelation):
+        return f"serve:fetch:{message.relation}"
+    if isinstance(message, PeerQuery):
+        return "serve:gather"
+    if isinstance(message, AnswerQuery):
+        return "serve:answer"
+    return f"serve:{type(message).__name__.lower()}"
 
 
 def _dec_key(dec: DataExchange) -> object:
@@ -147,7 +162,8 @@ class PeerNode:
                  evaluator: str = "planner",
                  data_dir: Optional[Union[str, Path]] = None,
                  snapshot_every: int = 64,
-                 routing: bool = False) -> None:
+                 routing: bool = False,
+                 tracing: bool = False) -> None:
         self.peer = peer
         self.name = peer.name
         self.decs = tuple(decs)
@@ -186,6 +202,13 @@ class PeerNode:
         #: the learned routing state, or None when the node floods
         self.routing: Optional[RoutingIndex] = (
             RoutingIndex(peer.name) if routing else None)
+        #: whether root answers on this node open a distributed trace;
+        #: served requests carrying a trace id are honoured regardless
+        #: (the requester opted in and pays the span bytes)
+        self.tracing = tracing
+        # the trace context of the operation running on this thread —
+        # thread-local because a node serves many requesters at once
+        self._trace_ctx = threading.local()
         self._digest_cache: Optional[NeighbourDigests] = None
         if self.data_dir is not None:
             self._load_persisted()
@@ -248,7 +271,54 @@ class PeerNode:
     def handle(self, message: Message) -> Message:
         """Serve one request from local state; never raises
         :class:`~repro.net.errors.NetworkError` — failures travel back
-        as typed :class:`~repro.net.protocol.Failure` replies."""
+        as typed :class:`~repro.net.protocol.Failure` replies.
+
+        A message carrying a ``trace_id`` is served under a span: the
+        serve duration is recorded, every span this node (and anything
+        it contacted) produced for the trace is drained from the shared
+        recorder, and the lot rides back piggybacked on the reply — so
+        the requester reassembles the full cross-process tree.  The
+        untraced path pays one truthiness check.
+        """
+        recorder = self._recorder()
+        if not message.trace_id or recorder is None:
+            return self._dispatch(message)
+        ctx = TraceContext(message.trace_id, message.span_id,
+                           message.parent_span_id)
+        span_id = new_id()
+        previous = getattr(self._trace_ctx, "ctx", None)
+        self._trace_ctx.ctx = ctx.descend(span_id)
+        start = time.monotonic()
+        try:
+            reply = self._dispatch(message)
+        finally:
+            self._trace_ctx.ctx = previous
+        recorder.record(Span(ctx.trace_id, span_id, ctx.span_id,
+                             _serve_span_name(message), self.name,
+                             start, time.monotonic() - start))
+        spans = recorder.drain(ctx.trace_id)
+        if spans and isinstance(reply, (Answer, Failure)):
+            reply = dataclasses.replace(reply,
+                                        spans=reply.spans + spans)
+        return reply
+
+    def _current_trace(self) -> TraceContext:
+        return getattr(self._trace_ctx, "ctx", None) or _UNTRACED
+
+    def _recorder(self):
+        """The network-shared span recorder (None when detached)."""
+        return self.network.spans if self.network is not None else None
+
+    def _trace_fields(self, ctx: TraceContext) -> dict:
+        """The trace fields to stamp on an outgoing request: a fresh
+        span id for its round trip, parented under the current span.
+        Empty (all-default) when untraced."""
+        if not ctx:
+            return {}
+        return {"trace_id": ctx.trace_id, "span_id": new_id(),
+                "parent_span_id": ctx.span_id}
+
+    def _dispatch(self, message: Message) -> Message:
         try:
             if isinstance(message, FetchRelation):
                 return self._serve_fetch(message)
@@ -643,6 +713,7 @@ class PeerNode:
         if self.network is None:
             raise ProtocolError(
                 f"node {self.name!r} is not attached to a network")
+        trace = self._current_trace()
         index = self.routing
         if index is None:
             constants = ()
@@ -762,7 +833,8 @@ class PeerNode:
                 known_subsystem=known_subsystem,
                 known_instances=known_instances,
                 constants=constants,
-                aggregate_token=aggregate_token))
+                aggregate_token=aggregate_token,
+                **self._trace_fields(trace)))
         subsystem_answers = dict(zip(
             order, self.network.fan_out(self.name, queries)))
         stats = payload["stats"]
@@ -885,7 +957,8 @@ class PeerNode:
                 fetches.append(FetchRelation(
                     sender=self.name, target=neighbour,
                     relation=relation, purpose="subsystem gather",
-                    known_version=cached[0] if cached else ""))
+                    known_version=cached[0] if cached else "",
+                    **self._trace_fields(trace)))
                 bases.append(cached[1] if cached else None)
         fetch_answers = self.network.fan_out(self.name, fetches)
         tuples_moved = bytes_moved = 0
@@ -1184,20 +1257,74 @@ class PeerNode:
             if cached is not None:
                 return dataclasses.replace(cached, from_cache=True,
                                            exchange=ExchangeStats(),
-                                           elapsed=0.0)
+                                           elapsed=0.0, trace=(),
+                                           timings=None)
             start = time.perf_counter()
             constants = self._scope_constants(parsed)
             had_view = self._view_key(constants) in self._views
-            gather_cost = self._view_and_cost(constants)[1]
-            result = self._view_session(constants).answer(
-                self.name, parsed, method=method, semantics=semantics)
+            # serving a traced AnswerQuery inherits the requester's
+            # context; a root answer on a tracing node opens its own
+            ctx = self._current_trace()
+            recorder = self._recorder()
+            if not ctx and self.tracing and recorder is not None:
+                ctx = TraceContext.root()
+            if ctx and recorder is not None:
+                gather_cost, result, spans, timings = \
+                    self._answer_traced(ctx, recorder, parsed,
+                                        constants, method, semantics)
+            else:
+                gather_cost = self._view_and_cost(constants)[1]
+                result = self._view_session(constants).answer(
+                    self.name, parsed, method=method,
+                    semantics=semantics)
+                spans, timings = (), None
             elapsed = time.perf_counter() - start
             result = dataclasses.replace(
                 result,
                 exchange=gather_cost if not had_view else ExchangeStats(),
-                elapsed=elapsed)
+                elapsed=elapsed, trace=spans, timings=timings)
             self._answers[key] = result
             return result
+
+    def _answer_traced(self, ctx: TraceContext, recorder, parsed: Query,
+                       constants: tuple, method: Optional[str],
+                       semantics: str):
+        """The traced answer path: an ``answer`` span with ``gather``
+        and ``eval`` children, plus every span the gather's requests
+        produced, drained into the result's trace."""
+        answer_id = new_id()
+        inner = ctx.descend(answer_id)
+        previous = getattr(self._trace_ctx, "ctx", None)
+        answer_start = time.monotonic()
+        try:
+            gather_id = new_id()
+            self._trace_ctx.ctx = inner.descend(gather_id)
+            gather_start = time.monotonic()
+            try:
+                gather_cost = self._view_and_cost(constants)[1]
+            finally:
+                gather_s = time.monotonic() - gather_start
+                self._trace_ctx.ctx = inner
+            recorder.record(Span(ctx.trace_id, gather_id, answer_id,
+                                 "gather", self.name, gather_start,
+                                 gather_s))
+            eval_start = time.monotonic()
+            result = self._view_session(constants).answer(
+                self.name, parsed, method=method, semantics=semantics)
+            eval_s = time.monotonic() - eval_start
+            recorder.record(Span(ctx.trace_id, new_id(), answer_id,
+                                 "eval", self.name, eval_start, eval_s))
+        finally:
+            self._trace_ctx.ctx = previous
+        total_s = time.monotonic() - answer_start
+        recorder.record(Span(ctx.trace_id, answer_id, ctx.span_id,
+                             "answer", self.name, answer_start,
+                             total_s))
+        spans = recorder.drain(ctx.trace_id)
+        timings = {"gather_s": round(gather_s, 6),
+                   "eval_s": round(eval_s, 6),
+                   "total_s": round(total_s, 6)}
+        return gather_cost, result, spans, timings
 
     def explain(self, query: Union[Query, str],
                 candidate: Optional[tuple] = None):

@@ -43,6 +43,7 @@ __all__ = [
     "AnswerQuery",
     "Answer",
     "Failure",
+    "GetStatus",
     "SUBSYSTEM",
     "payload_bytes",
 ]
@@ -59,11 +60,26 @@ def _next_correlation() -> int:
 
 @dataclass(frozen=True, kw_only=True)
 class Message:
-    """Base envelope: who is talking to whom, under which correlation."""
+    """Base envelope: who is talking to whom, under which correlation.
+
+    The three trace fields are optional observability hints (the codec
+    omits them when empty, so untraced frames are byte-identical to the
+    pre-tracing wire format and old peers decode-and-ignore them):
+    ``trace_id`` names the distributed trace this message belongs to,
+    ``span_id`` is the span id the *requester* pre-allocated for this
+    request's round trip, and ``parent_span_id`` is the span the
+    request was issued under.  A serving peer records its own spans
+    with ``span_id`` as their parent, so the reassembled tree nests
+    server time under the client's request span without any cross-
+    process clock agreement.
+    """
 
     sender: str
     target: str
     correlation_id: int = field(default_factory=_next_correlation)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -178,6 +194,13 @@ class Answer(Message):
     re-confirm its stored aggregate without the bits travelling again.
     All three fields are forward-tolerant: peers predating them decode
     and ignore them.
+
+    ``spans`` piggybacks the provider's completed trace spans
+    (:class:`~repro.obs.trace.Span`) back to the requester on traced
+    exchanges — the requester folds them into its own recorder, so the
+    root's :class:`~repro.obs.trace.TraceCollector` sees the whole
+    cross-process tree.  Empty (the untraced default) costs nothing on
+    the wire.
     """
 
     in_reply_to: int
@@ -188,6 +211,7 @@ class Answer(Message):
     digests: Any = None
     aggregate: Any = None
     aggregate_token: str = ""
+    spans: tuple = ()
 
     def __post_init__(self) -> None:
         if self.bytes_estimate == 0:
@@ -200,6 +224,9 @@ class Answer(Message):
                 estimate += aggregate_bytes(self.aggregate)
             if self.aggregate_token:
                 estimate += len(self.aggregate_token)
+            if self.spans:
+                from ..obs.trace import span_bytes
+                estimate += span_bytes(self.spans)
             object.__setattr__(self, "bytes_estimate", estimate)
 
 
@@ -208,11 +235,28 @@ class Failure(Message):
     """A typed error reply.  ``code`` matches the
     :class:`~repro.core.results.QueryError` vocabulary
     (``"unknown-relation"``, ``"hop-budget-exhausted"``,
-    ``"peer-unreachable"``...)."""
+    ``"peer-unreachable"``...).  ``spans`` mirrors
+    :attr:`Answer.spans`: even a failed hop reports where its time
+    went."""
 
     in_reply_to: int
     code: str
     detail: str = ""
+    spans: tuple = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class GetStatus(Message):
+    """Ask a running server process for its live metrics.
+
+    Served by :class:`~repro.wire.server.PeerServer` directly (metrics
+    are properties of the serving process — its event loop, transport
+    pools, and routing caches — not of the peer's data), replying with
+    an :class:`Answer` whose payload is ``{"status": {...}}``: the unit
+    name and a merged :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+    In-process transports route it to :meth:`PeerNode.handle`, which
+    answers ``unsupported-message`` — status is a wire-runtime concept.
+    """
 
 
 def payload_bytes(payload: Any) -> int:

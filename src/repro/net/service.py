@@ -92,7 +92,8 @@ class NetworkSession:
                  timeout: Optional[float] = None,
                  data_dir: Optional[Union[str, "Path"]] = None,
                  snapshot_every: int = 64,
-                 routing: bool = False) -> None:
+                 routing: bool = False,
+                 tracing: bool = False) -> None:
         if isinstance(system_or_network, PeerNetwork):
             if transport is not None:
                 raise NetworkError(
@@ -101,6 +102,10 @@ class NetworkSession:
             if routing:
                 raise NetworkError(
                     "pass routing when the network is built, not to a "
+                    "session over an existing network")
+            if tracing:
+                raise NetworkError(
+                    "pass tracing when the network is built, not to a "
                     "session over an existing network")
             if data_dir is not None:
                 raise NetworkError(
@@ -120,7 +125,8 @@ class NetworkSession:
                 default_method=default_method,
                 include_local_ics=include_local_ics,
                 evaluator=evaluator, data_dir=data_dir,
-                snapshot_every=snapshot_every, routing=routing)
+                snapshot_every=snapshot_every, routing=routing,
+                tracing=tracing)
         self.default_method = default_method
 
     # ------------------------------------------------------------------
@@ -225,18 +231,18 @@ def open_session(system: PeerSystem, *,
     local session accepts ``default_method``, ``include_local_ics``,
     ``evaluator``; the network session also takes ``transport``,
     ``hop_budget``, ``retries``, ``concurrency``, ``timeout``,
-    ``data_dir``, ``routing``; the wire backend takes the cluster knobs
-    of :func:`repro.wire.cluster.open_wire_session` — ``data_dir``,
-    ``host``, ``hop_budget``, ``retries``, ``timeout``,
+    ``data_dir``, ``routing``, ``tracing``; the wire backend takes the
+    cluster knobs of :func:`repro.wire.cluster.open_wire_session` —
+    ``data_dir``, ``host``, ``hop_budget``, ``retries``, ``timeout``,
     ``request_timeout``, ``snapshot_every``, ``startup_timeout``,
-    ``routing``).
+    ``routing``, ``tracing``).
     """
     if network == "wire":
         from ..wire import open_wire_session
         allowed = ("default_method", "retries", "timeout",
                    "request_timeout", "data_dir", "host", "hop_budget",
                    "snapshot_every", "startup_timeout", "python",
-                   "routing")
+                   "routing", "tracing")
         unknown = set(kwargs) - set(allowed)
         if unknown:
             raise NetworkError(

@@ -1,0 +1,45 @@
+"""Observability: distributed tracing and live metrics.
+
+Two small, dependency-free primitives the whole runtime shares:
+
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.TraceContext`
+  carried as optional fields on every protocol message, per-process
+  :class:`~repro.obs.trace.SpanRecorder` sinks, and a requester-side
+  :class:`~repro.obs.trace.TraceCollector` that reassembles the
+  cross-process span tree and computes its critical path;
+* :mod:`repro.obs.metrics` — a lock-cheap
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  fixed-bucket mergeable histograms, scraped live over the wire via
+  the ``GetStatus`` protocol message.
+
+Nothing here imports the network layers, so the protocol module can
+depend on it without cycles.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from .trace import (
+    Span,
+    SpanRecorder,
+    TraceCollector,
+    TraceContext,
+    new_id,
+    span_bytes,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "Span",
+    "SpanRecorder",
+    "TraceCollector",
+    "TraceContext",
+    "new_id",
+    "span_bytes",
+]

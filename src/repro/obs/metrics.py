@@ -1,0 +1,194 @@
+"""Live metrics: counters, gauges, and fixed-bucket mergeable histograms.
+
+A :class:`MetricsRegistry` is a lock-cheap bag of named instruments.
+Every mutation takes one short critical section under a single lock
+(dict update or list increment); readers take :meth:`snapshot`, a
+plain JSON-safe dict that travels over the wire in ``GetStatus``
+replies and merges across processes with :func:`merge_snapshots` —
+counters add, gauges add (a cluster-wide pool size is the sum of the
+per-process pools), histograms add bucket-wise because every process
+shares the same fixed bounds.
+
+Histograms estimate percentiles from bucket counts by linear
+interpolation inside the winning bucket, which is exactly the
+mergeable trade-off: a p99 is accurate to its bucket's width, and two
+processes' distributions combine without keeping raw samples.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+#: default histogram bounds, in seconds — half a millisecond to half a
+#: minute, roughly geometric, shared by every process so snapshots merge.
+LATENCY_BUCKETS_S: tuple = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``len(bounds) + 1`` counters, the last
+    one catching everything above the highest bound."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BUCKETS_S) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+
+    def percentile(self, p: float) -> float:
+        """The value at percentile ``p`` (0–100), interpolated inside
+        the winning bucket; 0.0 when empty.  Values past the highest
+        bound report that bound — an admitted underestimate, which is
+        the price of never keeping raw samples."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(p / 100.0 * self.count + 0.5))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = (self.bounds[i] if i < len(self.bounds)
+                         else self.bounds[-1])
+                fraction = (rank - seen) / n
+                return lower + (upper - lower) * fraction
+            seen += n
+        return self.bounds[-1]
+
+    def summary(self) -> dict:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "mean": round(mean, 6),
+            "p50": round(self.percentile(50), 6),
+            "p90": round(self.percentile(90), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": round(self.total, 9),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        hist = cls(tuple(data.get("bounds", LATENCY_BUCKETS_S)))
+        counts = list(data.get("counts", ()))
+        if len(counts) == len(hist.counts):
+            hist.counts = [int(n) for n in counts]
+        hist.count = int(data.get("count", sum(hist.counts)))
+        hist.total = float(data.get("sum", 0.0))
+        return hist
+
+
+class MetricsRegistry:
+    """A named bag of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writers -------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = LATENCY_BUCKETS_S) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(bounds)
+            hist.observe(value)
+
+    # -- readers -------------------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def summary(self, name: str) -> Optional[dict]:
+        with self._lock:
+            hist = self._histograms.get(name)
+            return hist.summary() if hist is not None else None
+
+    def snapshot(self) -> dict:
+        """A JSON-safe point-in-time copy of every instrument."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: hist.to_dict()
+                               for name, hist in self._histograms.items()},
+            }
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict:
+    """Combine registry snapshots (from many processes) into one:
+    counters and gauges add, histograms merge bucket-wise."""
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, Histogram] = {}
+    for snap in snapshots:
+        if not isinstance(snap, Mapping):
+            continue
+        for name, value in dict(snap.get("counters", {})).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in dict(snap.get("gauges", {})).items():
+            gauges[name] = gauges.get(name, 0.0) + float(value)
+        for name, data in dict(snap.get("histograms", {})).items():
+            hist = Histogram.from_dict(data)
+            if name in histograms:
+                histograms[name].merge(hist)
+            else:
+                histograms[name] = hist
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": {name: hist.to_dict()
+                       for name, hist in histograms.items()},
+        "summaries": {name: hist.summary()
+                      for name, hist in histograms.items()},
+    }

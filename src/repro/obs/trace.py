@@ -1,0 +1,255 @@
+"""Distributed tracing: contexts, spans, recorders, and the collector.
+
+The model is deliberately minimal.  A *trace* is named by a random
+``trace_id``; every timed operation inside it is a :class:`Span` with
+its own ``span_id`` and a ``parent_span_id`` linking it into one tree
+that may cross process boundaries.  Requesters pre-allocate the span id
+of each outgoing request and stamp ``(trace_id, span_id,
+parent_span_id)`` onto the message; the serving side derives its
+context from those fields, so its queue-wait / execution / gather spans
+nest under the requester's request span without any clock agreement —
+the tree is linked by ids, never by timestamps.  ``start`` values are
+``time.monotonic()`` readings and are only comparable *within* one
+process; ``duration`` values are valid everywhere.
+
+Completed spans accumulate in a per-process :class:`SpanRecorder`
+(keyed by trace id, bounded) and ride back to the requester piggybacked
+on ``Answer`` frames; the requester's :class:`TraceCollector`
+reassembles the full tree, renders it, and computes the critical path.
+
+Everything is tolerant of partial data: spans whose parent never
+arrived surface as extra roots instead of being dropped, and
+:meth:`Span.from_dict` ignores unknown keys so newer peers can extend
+the span payload freely.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+__all__ = [
+    "new_id",
+    "TraceContext",
+    "Span",
+    "span_bytes",
+    "SpanRecorder",
+    "TraceCollector",
+]
+
+
+def new_id() -> str:
+    """A random 16-hex-digit identifier (trace or span)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Where in a trace the current operation sits.
+
+    ``span_id`` names the span the holder is *inside* — children opened
+    under this context take it as their parent.  A falsy context (empty
+    ``trace_id``) means tracing is off; every instrumentation site
+    checks truthiness first so the untraced hot path pays nothing.
+    """
+
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.trace_id)
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """A fresh trace, not yet inside any span."""
+        return cls(trace_id=new_id())
+
+    def descend(self, span_id: str) -> "TraceContext":
+        """The context *inside* a child span with the given id."""
+        return TraceContext(self.trace_id, span_id, self.span_id)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed, timed operation inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str
+    name: str
+    peer: str
+    start: float
+    duration: float
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict; empty optional fields are omitted."""
+        data: dict = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "peer": self.peer,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 6),
+        }
+        if self.parent_span_id:
+            data["parent_span_id"] = self.parent_span_id
+        if self.note:
+            data["note"] = self.note
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Decode a span payload, ignoring unknown future keys."""
+        return cls(
+            trace_id=str(data.get("trace_id", "")),
+            span_id=str(data.get("span_id", "")),
+            parent_span_id=str(data.get("parent_span_id", "")),
+            name=str(data.get("name", "")),
+            peer=str(data.get("peer", "")),
+            start=float(data.get("start", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            note=str(data.get("note", "")),
+        )
+
+
+def span_bytes(spans: Iterable[Span]) -> int:
+    """Estimate the serialized size of piggybacked spans, for the
+    honest traffic accounting the in-process transports run on (the
+    wire transport records exact frame bytes instead)."""
+    total = 0
+    for span in spans:
+        total += 72 + len(span.name) + len(span.peer) + len(span.note)
+    return total
+
+
+class SpanRecorder:
+    """A bounded, thread-safe per-process sink for completed spans.
+
+    Spans are keyed by trace id; :meth:`drain` pops everything recorded
+    for one trace so it can ride back on a reply exactly once.  The
+    recorder keeps at most ``max_traces`` live traces (oldest evicted)
+    so an abandoned trace can never leak memory in a long-lived server.
+    """
+
+    def __init__(self, max_traces: int = 64) -> None:
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._spans: "OrderedDict[str, list[Span]]" = OrderedDict()
+
+    def record(self, span: Span) -> None:
+        if not span.trace_id:
+            return
+        with self._lock:
+            bucket = self._spans.get(span.trace_id)
+            if bucket is None:
+                bucket = self._spans[span.trace_id] = []
+                while len(self._spans) > self.max_traces:
+                    self._spans.popitem(last=False)
+            bucket.append(span)
+
+    def record_all(self, spans: Iterable[Span]) -> None:
+        for span in spans:
+            self.record(span)
+
+    def drain(self, trace_id: str) -> tuple[Span, ...]:
+        """Pop and return every span recorded for ``trace_id``."""
+        with self._lock:
+            return tuple(self._spans.pop(trace_id, ()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(bucket) for bucket in self._spans.values())
+
+
+class TraceCollector:
+    """Reassemble one trace's spans into a tree and analyse it.
+
+    Clocks are never compared across processes: the tree structure
+    comes from ``parent_span_id`` links alone, and orphaned spans
+    (parent not collected, e.g. a peer predating some instrumentation)
+    are promoted to roots rather than dropped.
+    """
+
+    def __init__(self, spans: Iterable[Span] = ()) -> None:
+        self._spans: list[Span] = []
+        self.add(spans)
+
+    def add(self, spans: Iterable[Span]) -> None:
+        self._spans.extend(spans)
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def roots(self) -> list[Span]:
+        known = {span.span_id for span in self._spans}
+        return sorted(
+            (s for s in self._spans
+             if not s.parent_span_id or s.parent_span_id not in known),
+            key=lambda s: -s.duration)
+
+    def children(self, span_id: str) -> list[Span]:
+        kids = [s for s in self._spans if s.parent_span_id == span_id]
+        # starts are only comparable within one process; peer then
+        # start gives a stable, mostly-causal order
+        kids.sort(key=lambda s: (s.peer, s.start))
+        return kids
+
+    def depth(self) -> int:
+        """Longest root-to-leaf chain, in spans."""
+        def walk(span: Span, seen: frozenset) -> int:
+            if span.span_id in seen or not span.span_id:
+                return 1
+            below = seen | {span.span_id}
+            kids = self.children(span.span_id)
+            return 1 + max((walk(k, below) for k in kids), default=0)
+        return max((walk(root, frozenset()) for root in self.roots()),
+                   default=0)
+
+    def critical_path(self) -> list[Span]:
+        """The chain of spans that dominated the trace's wall time.
+
+        From the longest root downward, each step descends into the
+        child with the largest duration — with nested (not sequential)
+        spans this names exactly where the time went.
+        """
+        path: list[Span] = []
+        roots = self.roots()
+        if not roots:
+            return path
+        span = roots[0]
+        seen: set[str] = set()
+        while span is not None:
+            path.append(span)
+            if not span.span_id or span.span_id in seen:
+                break
+            seen.add(span.span_id)
+            kids = self.children(span.span_id)
+            span = max(kids, key=lambda s: s.duration, default=None)
+        return path
+
+    def render(self) -> str:
+        """An indented text tree with per-span durations; critical-path
+        spans are starred."""
+        critical = {id(span) for span in self.critical_path()}
+        lines: list[str] = []
+
+        def walk(span: Span, indent: int, seen: frozenset) -> None:
+            marker = "*" if id(span) in critical else "-"
+            lines.append("%s%s %s@%s  %.3f ms%s" % (
+                "  " * indent, marker, span.name, span.peer,
+                span.duration * 1000.0,
+                f"  [{span.note}]" if span.note else ""))
+            if span.span_id and span.span_id not in seen:
+                below = seen | {span.span_id}
+                for kid in self.children(span.span_id):
+                    walk(kid, indent + 1, below)
+
+        for root in self.roots():
+            walk(root, 0, frozenset())
+        return "\n".join(lines)

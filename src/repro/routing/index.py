@@ -45,6 +45,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..core.results import ExchangeStats
+from ..obs.metrics import MetricsRegistry
 from .aggregate import SubtreeDigest
 from .digest import NeighbourDigests
 from .stats import DEFAULT_DECAY, TrafficStats
@@ -147,6 +148,8 @@ class RoutingIndex:
         self._max_payloads = max_payloads
         self.traffic = TrafficStats(decay=decay)
         self._log_position = 0
+        #: live counters (cache hit rate, prunes) scraped by GetStatus
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Learning
@@ -287,6 +290,7 @@ class RoutingIndex:
             return None
         if not held.disjoint_from(constants):
             return None
+        self.metrics.inc("routing.subtree_prunes")
         return held
 
     def description(self, peer: str) -> Optional[PeerDescription]:
@@ -301,10 +305,12 @@ class RoutingIndex:
         with self._lock:
             held = self._payloads.get((child, context))
             if held is None:
+                self.metrics.inc("routing.subsystem_cache_misses")
                 return "", None
             self._payloads.move_to_end((child, context))
             token, entry = held
-            return token, entry
+        self.metrics.inc("routing.subsystem_cache_hits")
+        return token, entry
 
     def synthesize(self, peer: str, claimed: frozenset
                    ) -> Optional[dict]:
@@ -328,6 +334,7 @@ class RoutingIndex:
             # a relation-less peer would otherwise receive no message at
             # all, diverging from flooding's fault observability
             return None
+        self.metrics.inc("routing.synthesized_replies")
         return {"peers": {peer: description.peer},
                 "instances": {},
                 "decs": list(description.decs),

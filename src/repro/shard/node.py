@@ -194,7 +194,8 @@ def build_shard_node(system: PeerSystem, peer: str, *,
                      evaluator: str = "planner",
                      data_dir: Optional[Union[str, Path]] = None,
                      snapshot_every: int = 64,
-                     routing: bool = False) -> PeerNode:
+                     routing: bool = False,
+                     tracing: bool = False) -> PeerNode:
     """One (possibly sharded) node seeded with its slice of ``system``.
 
     The sharded twin of :func:`~repro.wire.server.build_peer_node`,
@@ -219,7 +220,8 @@ def build_shard_node(system: PeerSystem, peer: str, *,
         evaluator=evaluator,
         data_dir=data_dir,
         snapshot_every=snapshot_every,
-        routing=routing)
+        routing=routing,
+        tracing=tracing)
     if shard_map is not None and shard_map.covers(peer):
         node: PeerNode = ShardedPeerNode(
             system.peers[peer], system.instances[peer],

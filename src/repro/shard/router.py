@@ -61,6 +61,7 @@ from ..net.protocol import (
     PeerQuery,
 )
 from ..net.transport import FaultPlan, Handler, Transport
+from ..obs.metrics import MetricsRegistry
 from ..routing.digest import merge_neighbour_digests
 from .shardmap import (
     ShardError,
@@ -176,6 +177,8 @@ class ShardRouter(Transport):
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
+        #: failover/benching counters scraped by GetStatus
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -307,6 +310,8 @@ class ShardRouter(Transport):
                     # protecting itself — spill to a sibling without
                     # benching the busy one
                     replica_set.mark_down(replica)
+                    self.metrics.inc("shard.replicas_benched")
+                self.metrics.inc("shard.failovers")
                 last_error = exc
                 continue
             replica_set.mark_up(replica)

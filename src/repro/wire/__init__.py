@@ -44,6 +44,7 @@ from .codec import (
 from .cluster import (
     ClusterError,
     ClusterSupervisor,
+    fetch_status,
     free_port,
     open_wire_session,
 )
@@ -60,7 +61,7 @@ __all__ = [
     "SocketTransport", "parse_address", "format_address",
     # server / cluster
     "PeerServer", "build_peer_node", "ClusterSupervisor",
-    "ClusterError", "free_port", "open_wire_session",
+    "ClusterError", "fetch_status", "free_port", "open_wire_session",
     # client
     "RemoteNetworkSession",
 ]

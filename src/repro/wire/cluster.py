@@ -33,9 +33,10 @@ from typing import Optional, Union
 
 from ..core.system import PeerSystem
 from ..net.errors import NetworkError
+from ..obs.metrics import merge_snapshots
 
-__all__ = ["ClusterError", "ClusterSupervisor", "free_port",
-           "open_wire_session"]
+__all__ = ["ClusterError", "ClusterSupervisor", "fetch_status",
+           "free_port", "open_wire_session"]
 
 #: the src/ directory this package was imported from — child processes
 #: must resolve ``repro`` the same way
@@ -111,11 +112,13 @@ class ClusterSupervisor:
                  pending_limit: int = 64,
                  idle_timeout: float = 60.0,
                  shard_map=None, replicas: int = 1,
-                 routing: bool = False) -> None:
+                 routing: bool = False,
+                 tracing: bool = False) -> None:
         self.host = host
         self.shard_map = shard_map
         self.replicas = replicas
         self.routing = routing
+        self.tracing = tracing
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self.hop_budget = hop_budget
         self.retries = retries
@@ -192,6 +195,8 @@ class ClusterSupervisor:
                            "--idle-timeout", str(self.idle_timeout)]
                 if self.routing:
                     command += ["--routing"]
+                if self.tracing:
+                    command += ["--tracing"]
                 if shard_json is not None:
                     command += ["--shard-map", shard_json]
                     if parsed is not None:
@@ -245,6 +250,28 @@ class ClusterSupervisor:
         if not self._addresses:
             raise ClusterError("cluster not started")
         return dict(self._addresses)
+
+    def metrics(self, *, timeout: float = 5.0) -> dict:
+        """Ask every live unit what it is doing (``GetStatus`` scrape).
+
+        Returns ``{"units": {unit: status-or-error},
+        "cluster": merged}`` where ``merged`` folds every reachable
+        unit's registries together (counters/gauges add, histograms
+        merge bucket-wise, percentile summaries recomputed) — the
+        cluster-wide view of queue depths, sheds, retries, and
+        latencies.  Unreachable units degrade to an ``{"error": ...}``
+        entry instead of failing the scrape.
+        """
+        statuses: dict[str, dict] = {}
+        for unit, address in self.addresses().items():
+            try:
+                statuses[unit] = fetch_status(address, timeout=timeout)
+            except NetworkError as exc:
+                statuses[unit] = {"unit": unit, "error": str(exc)}
+        merged = merge_snapshots(
+            status.get("metrics", {}) for status in statuses.values()
+            if "error" not in status)
+        return {"units": statuses, "cluster": merged}
 
     def shard_units(self, peer: str) -> tuple[str, ...]:
         """The unit names serving ``peer`` (itself, when unsharded)."""
@@ -351,11 +378,41 @@ class ClusterSupervisor:
                 f"system={str(self.system_path)!r})")
 
 
+def fetch_status(address: str, *, timeout: float = 5.0) -> dict:
+    """Scrape one running peer server's live status over the wire.
+
+    Dials ``address`` directly (no identity expectation — the empty
+    expected name skips the handshake unit check, so any unit can be
+    probed by address alone), sends a
+    :class:`~repro.net.protocol.GetStatus`, and returns the decoded
+    status payload: unit/peer identity plus the merged metrics
+    snapshot of every registry in that process.
+    """
+    from ..net.protocol import Answer, GetStatus
+    from .transport import SocketTransport
+    transport = SocketTransport({"": address},
+                                local_name="status-probe",
+                                timeout=timeout,
+                                connect_timeout=timeout)
+    try:
+        reply = transport.request(
+            GetStatus(sender="status-probe", target=""))
+    finally:
+        transport.close()
+    if (isinstance(reply, Answer) and isinstance(reply.payload, dict)
+            and isinstance(reply.payload.get("status"), dict)):
+        return dict(reply.payload["status"])
+    detail = getattr(reply, "detail", type(reply).__name__)
+    raise NetworkError(
+        f"unit at {address} did not answer the status probe: {detail}")
+
+
 def open_wire_session(system: Union[PeerSystem, str, Path], *,
                       default_method: str = "auto",
                       retries: int = 2,
                       timeout: Optional[float] = None,
                       request_timeout: float = 30.0,
+                      tracing: bool = False,
                       **cluster_kwargs):
     """Launch a cluster for ``system`` and connect a session to it.
 
@@ -365,17 +422,21 @@ def open_wire_session(system: Union[PeerSystem, str, Path], *,
     :class:`ClusterSupervisor` (``data_dir``, ``host``, ``hop_budget``,
     ``snapshot_every``, ``startup_timeout``, ``routing`` — the last
     turns the query-driven routing index on in every server process).
+    ``tracing`` stamps every query with a trace context client-side
+    *and* passes ``--tracing`` to the servers, so results carry the
+    reassembled cross-process span tree.
     """
     from .session import RemoteNetworkSession
     supervisor = ClusterSupervisor(
         system, default_method=default_method, retries=retries,
-        timeout=timeout, **cluster_kwargs)
+        timeout=timeout, tracing=tracing, **cluster_kwargs)
     supervisor.start()
     try:
         return RemoteNetworkSession(
             supervisor.addresses(), default_method=default_method,
             retries=retries, timeout=timeout,
-            request_timeout=request_timeout, supervisor=supervisor)
+            request_timeout=request_timeout, tracing=tracing,
+            supervisor=supervisor)
     except BaseException:
         # the session never took ownership: without this, a bad session
         # argument would orphan every just-spawned server process

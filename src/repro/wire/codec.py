@@ -54,9 +54,11 @@ from ..net.protocol import (
     AnswerQuery,
     Failure,
     FetchRelation,
+    GetStatus,
     Message,
     PeerQuery,
 )
+from ..obs.trace import Span
 from ..relational.instance import DatabaseInstance
 from ..routing.aggregate import SubtreeDigest
 from ..routing.digest import NeighbourDigests
@@ -274,7 +276,7 @@ def _subsystem_from_dict(data: Mapping) -> dict:
 def result_to_dict(result: QueryResult) -> dict:
     """Serialise a served :class:`QueryResult` (wire-lossless, unlike
     the CLI's ``to_dict``: ``elapsed`` is not rounded)."""
-    return {
+    encoded = {
         "peer": result.peer,
         "query": str(result.query),
         "answers": [list(row) for row in sorted(result.answers,
@@ -291,6 +293,13 @@ def result_to_dict(result: QueryResult) -> dict:
                    "message": result.error.message,
                    "peer": result.error.peer}),
     }
+    # trace spans and phase timings only exist on traced runs; omitted
+    # otherwise so untraced result frames stay byte-identical
+    if result.trace:
+        encoded["trace"] = [span.to_dict() for span in result.trace]
+    if result.timings:
+        encoded["timings"] = dict(result.timings)
+    return encoded
 
 
 def result_from_dict(data: Mapping) -> QueryResult:
@@ -310,6 +319,9 @@ def result_from_dict(data: Mapping) -> QueryResult:
         error=None if error is None else QueryError(
             code=error["code"], message=error["message"],
             peer=error["peer"]),
+        trace=tuple(Span.from_dict(span)
+                    for span in data.get("trace", ())),
+        timings=dict(data["timings"]) if data.get("timings") else None,
     )
 
 
@@ -345,6 +357,10 @@ def _payload_to_dict(payload: Any) -> dict:
     if isinstance(payload, Mapping) and "peers" in payload:
         return {"kind": "subsystem",
                 "subsystem": _subsystem_to_dict(payload)}
+    if isinstance(payload, Mapping) and set(payload) == {"status"}:
+        # a GetStatus reply: the serving process's live metrics, a
+        # plain JSON object produced by MetricsRegistry.snapshot()
+        return {"kind": "status", "status": payload["status"]}
     raise WireProtocolError(
         f"cannot encode payload of type {type(payload).__name__}")
 
@@ -368,6 +384,8 @@ def _payload_from_dict(data: Mapping) -> Any:
     if kind == "subsystem-irrelevant":
         return {"irrelevant": True,
                 "stats": _stats_from_dict(data["stats"])}
+    if kind == "status":
+        return {"status": dict(data["status"])}
     raise WireProtocolError(f"unknown payload kind {kind!r}")
 
 
@@ -378,6 +396,15 @@ def _payload_from_dict(data: Mapping) -> Any:
 def message_to_dict(message: Message) -> dict:
     base = {"sender": message.sender, "target": message.target,
             "correlation_id": message.correlation_id}
+    # trace fields are omitted when empty — untraced frames stay
+    # byte-identical to the pre-tracing vocabulary, exactly like the
+    # routing hints below
+    if message.trace_id:
+        base["trace_id"] = message.trace_id
+    if message.span_id:
+        base["span_id"] = message.span_id
+    if message.parent_span_id:
+        base["parent_span_id"] = message.parent_span_id
     if isinstance(message, FetchRelation):
         return {**base, "type": "fetch", "relation": message.relation,
                 "purpose": message.purpose,
@@ -415,11 +442,20 @@ def message_to_dict(message: Message) -> dict:
             encoded["aggregate"] = message.aggregate.to_dict()
         if message.aggregate_token:
             encoded["aggregate_token"] = message.aggregate_token
+        if message.spans:
+            encoded["spans"] = [span.to_dict()
+                                for span in message.spans]
         return encoded
     if isinstance(message, Failure):
-        return {**base, "type": "failure",
-                "in_reply_to": message.in_reply_to,
-                "code": message.code, "detail": message.detail}
+        encoded = {**base, "type": "failure",
+                   "in_reply_to": message.in_reply_to,
+                   "code": message.code, "detail": message.detail}
+        if message.spans:
+            encoded["spans"] = [span.to_dict()
+                                for span in message.spans]
+        return encoded
+    if isinstance(message, GetStatus):
+        return {**base, "type": "get-status"}
     raise WireProtocolError(
         f"cannot encode message type {type(message).__name__}")
 
@@ -428,7 +464,10 @@ def message_from_dict(data: Mapping) -> Message:
     kind = data.get("type")
     try:
         base = {"sender": data["sender"], "target": data["target"],
-                "correlation_id": data["correlation_id"]}
+                "correlation_id": data["correlation_id"],
+                "trace_id": data.get("trace_id", ""),
+                "span_id": data.get("span_id", ""),
+                "parent_span_id": data.get("parent_span_id", "")}
         if kind == "fetch":
             return FetchRelation(**base, relation=data["relation"],
                                  purpose=data["purpose"],
@@ -464,10 +503,18 @@ def message_from_dict(data: Mapping) -> Message:
                                      SubtreeDigest.from_dict(
                                          raw_aggregate)),
                           aggregate_token=data.get("aggregate_token",
-                                                   ""))
+                                                   ""),
+                          spans=tuple(Span.from_dict(span)
+                                      for span in data.get("spans",
+                                                           ())))
         if kind == "failure":
             return Failure(**base, in_reply_to=data["in_reply_to"],
-                           code=data["code"], detail=data["detail"])
+                           code=data["code"], detail=data["detail"],
+                           spans=tuple(Span.from_dict(span)
+                                       for span in data.get("spans",
+                                                            ())))
+        if kind == "get-status":
+            return GetStatus(**base)
     except (KeyError, TypeError, ValueError) as exc:
         raise WireProtocolError(
             f"malformed {kind!r} frame: {exc}") from exc

@@ -56,6 +56,7 @@ wire, and clients verify they reached the unit they dialed.
 from __future__ import annotations
 
 import collections
+import dataclasses
 import errno
 import selectors
 import socket
@@ -69,7 +70,9 @@ from ..core.system import PeerSystem
 from ..net.errors import NetworkError
 from ..net.network import PeerNetwork
 from ..net.node import PeerNode
-from ..net.protocol import Failure, Message
+from ..net.protocol import Answer, Failure, GetStatus, Message
+from ..obs.metrics import MetricsRegistry, merge_snapshots
+from ..obs.trace import Span, new_id
 from .codec import (
     MAX_FRAME_BYTES,
     WireProtocolError,
@@ -92,7 +95,8 @@ def build_peer_node(system: PeerSystem, peer: str, *,
                     data_dir: Optional[Union[str, Path]] = None,
                     snapshot_every: int = 64,
                     shard_map=None, shard_index: int = 0,
-                    routing: bool = False) -> PeerNode:
+                    routing: bool = False,
+                    tracing: bool = False) -> PeerNode:
     """One peer's node, seeded with only its local slice of ``system``.
 
     The system definition is authoritative: after construction the
@@ -116,7 +120,7 @@ def build_peer_node(system: PeerSystem, peer: str, *,
             default_method=default_method,
             include_local_ics=include_local_ics, evaluator=evaluator,
             data_dir=data_dir, snapshot_every=snapshot_every,
-            routing=routing)
+            routing=routing, tracing=tracing)
     if peer not in system.peers:
         raise NetworkError(
             f"system has no peer {peer!r}; it has "
@@ -133,7 +137,8 @@ def build_peer_node(system: PeerSystem, peer: str, *,
         evaluator=evaluator,
         data_dir=data_dir,
         snapshot_every=snapshot_every,
-        routing=routing)
+        routing=routing,
+        tracing=tracing)
     node.update_instance(system.instances[peer], system.version())
     return node
 
@@ -184,7 +189,8 @@ class PeerServer:
                  shard_map=None, shard_index: int = 0,
                  replica_index: int = 0,
                  bind_retries: int = 3,
-                 routing: bool = False) -> None:
+                 routing: bool = False,
+                 tracing: bool = False) -> None:
         if workers < 1 or pending_limit < 1:
             raise NetworkError(
                 "workers and pending_limit must be >= 1")
@@ -211,7 +217,7 @@ class PeerServer:
                       if data_dir is not None else None),
             snapshot_every=snapshot_every,
             shard_map=shard_map, shard_index=shard_index,
-            routing=routing)
+            routing=routing, tracing=tracing)
         remote = {name: value
                   for name, value in (addresses or {}).items()
                   if name != self.unit}
@@ -265,6 +271,9 @@ class PeerServer:
         self._waker_w.setblocking(False)
         #: requests shed at admission since startup (observability)
         self.shed_requests = 0
+        #: live serving-process metrics, scraped over the wire by the
+        #: :class:`~repro.net.protocol.GetStatus` message
+        self.metrics = MetricsRegistry()
 
     @staticmethod
     def _bind(host: str, port: int, attempts: int) -> socket.socket:
@@ -372,6 +381,7 @@ class PeerServer:
             except OSError:
                 pass
             connection = _ServedConnection(sock, now)
+            self.metrics.inc("server.connections_accepted")
             with self._lock:
                 self._connections[sock] = connection
             selector.register(sock, selectors.EVENT_READ, connection)
@@ -413,6 +423,7 @@ class PeerServer:
             return
         connection.last_activity = now
         connection.inbuf += chunk
+        self.metrics.inc("server.bytes_in", len(chunk))
         while not connection.closed and not connection.draining:
             end = connection.inbuf.find(b"\n")
             if end < 0:
@@ -456,6 +467,7 @@ class PeerServer:
             self._refuse(selector, connection, correlation, "protocol",
                          str(exc))
             return
+        self.metrics.inc("server.frames_in")
         with self._lock:
             admitted = self._pending < self.pending_limit
             if admitted:
@@ -465,6 +477,7 @@ class PeerServer:
                 self.shed_requests += 1
                 backlog = self._pending
         if not admitted:
+            self.metrics.inc("server.shed_requests")
             # admission control: shed *now*, typed and retryable —
             # cheaper for everyone than an unbounded queue
             self._enqueue(selector, connection, encode_frame(
@@ -476,21 +489,51 @@ class PeerServer:
                             f"(limit {self.pending_limit}); "
                             f"retry with backoff")))))
             return
-        self._executor.submit(self._handle, connection, message)
+        self._executor.submit(self._handle, connection, message,
+                              time.monotonic())
 
     # -- worker side ---------------------------------------------------
-    def _handle(self, connection: _ServedConnection,
-                message: Message) -> None:
-        """Serve one admitted request on a pool thread."""
+    def _handle(self, connection: _ServedConnection, message: Message,
+                admitted_at: float) -> None:
+        """Serve one admitted request on a pool thread.
+
+        ``admitted_at`` is the loop thread's admission timestamp: the
+        gap to the worker picking the request up is the queue wait,
+        recorded as a histogram always and as a ``queue-wait`` span
+        when the request carries a trace context.
+        """
         try:
+            started = time.monotonic()
+            queue_wait = max(0.0, started - admitted_at)
+            self.metrics.observe("server.queue_wait_s", queue_wait)
             try:
-                reply: Message = self.node.handle(message)
+                if isinstance(message, GetStatus):
+                    # metrics are a property of the serving *process*
+                    # (sockets, pools, queue), so the server answers
+                    # directly instead of the node
+                    reply: Message = Answer(
+                        sender=self.unit, target=message.sender,
+                        in_reply_to=message.correlation_id,
+                        payload={"status": self.status()})
+                else:
+                    reply = self.node.handle(message)
             except Exception as exc:  # a node bug must not kill us
                 reply = Failure(
                     sender=self.peer, target=message.sender,
                     in_reply_to=message.correlation_id,
                     code="internal",
                     detail=f"{type(exc).__name__}: {exc}")
+            self.metrics.observe("server.execute_s",
+                                 time.monotonic() - started)
+            self.metrics.inc("server.requests_served")
+            if message.trace_id and hasattr(reply, "spans"):
+                # the queue-wait span slots next to the node's serve
+                # span, both children of the client's request span
+                reply = dataclasses.replace(reply, spans=tuple(
+                    reply.spans) + (Span(
+                        message.trace_id, new_id(), message.span_id,
+                        "queue-wait", self.unit, admitted_at,
+                        queue_wait),))
             try:
                 payload = encode_frame(message_to_dict(reply))
             except WireProtocolError as exc:
@@ -547,6 +590,7 @@ class PeerServer:
             if sent <= 0:
                 break
             connection.last_activity = now
+            self.metrics.inc("server.bytes_out", sent)
             connection.send_offset += sent
             if connection.send_offset >= len(head):
                 connection.outbox.popleft()
@@ -616,6 +660,7 @@ class PeerServer:
                 if connection.in_flight == 0
                 and now - connection.last_activity > self.idle_timeout]
         for connection in candidates:
+            self.metrics.inc("server.idle_reaped")
             self._drop(selector, connection)
 
     @staticmethod
@@ -630,6 +675,37 @@ class PeerServer:
         """Live connections currently held by the event loop."""
         with self._lock:
             return len(self._connections)
+
+    def status(self) -> dict:
+        """The live status payload a ``GetStatus`` request is answered
+        with: identity plus one merged metrics snapshot covering every
+        registry this process runs (server loop, outbound transport,
+        network retry machinery, and — when enabled — the routing
+        index and shard router)."""
+        with self._lock:
+            self.metrics.gauge("server.connections_open",
+                               len(self._connections))
+            self.metrics.gauge("server.pending_requests", self._pending)
+        snapshots = [self.metrics.snapshot()]
+        transport = self.transport
+        router_metrics = getattr(transport, "metrics", None)
+        inner = getattr(transport, "inner", None)
+        if inner is not None:  # a ShardRouter over a SocketTransport
+            if router_metrics is not None:
+                snapshots.append(router_metrics.snapshot())
+            transport = inner
+        if hasattr(transport, "metrics_snapshot"):
+            snapshots.append(transport.metrics_snapshot())
+        snapshots.append(self.network.metrics.snapshot())
+        if self.node.routing is not None:
+            snapshots.append(self.node.routing.metrics.snapshot())
+        return {
+            "unit": self.unit,
+            "peer": self.peer,
+            "address": self.address,
+            "shed_requests": self.shed_requests,
+            "metrics": merge_snapshots(snapshots),
+        }
 
     def shutdown(self) -> None:
         """Stop the loop, drop live connections, flush the node.

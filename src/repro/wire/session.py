@@ -39,6 +39,7 @@ from ..core.results import (
 from ..net.errors import NetworkError, ServerOverloaded, TransportError
 from ..net.protocol import Answer, AnswerQuery, Failure
 from ..core.messaging import ExchangeLog
+from ..obs.trace import Span, TraceContext, new_id
 from ..relational.query import Query
 from .transport import SocketTransport
 
@@ -55,6 +56,7 @@ class RemoteNetworkSession:
                  timeout: Optional[float] = None,
                  request_timeout: float = 30.0,
                  connect_timeout: float = 2.0,
+                 tracing: bool = False,
                  supervisor=None) -> None:
         if retries < 0:
             raise NetworkError("retries must be >= 0")
@@ -80,6 +82,10 @@ class RemoteNetworkSession:
         self.default_method = default_method
         self.retries = retries
         self.timeout = timeout
+        #: stamp every AnswerQuery with a fresh trace context; the
+        #: servers record spans for any traced request regardless of
+        #: their own flag, so this client-side knob is sufficient
+        self.tracing = tracing
         self.exchange_log = ExchangeLog()
         #: the owning supervisor, when this session launched the
         #: cluster (open_session(..., network="wire")); closed with it
@@ -107,10 +113,16 @@ class RemoteNetworkSession:
                 f"unknown peer {peer!r}; this session reaches "
                 f"{list(self.peers())}")
         request = QueryRequest(peer, query, method, semantics)
+        trace_fields: dict = {}
+        if self.tracing:
+            ctx = TraceContext.root()
+            trace_fields = {"trace_id": ctx.trace_id,
+                            "span_id": new_id()}
         message = AnswerQuery(
             sender=self.transport.local_name, target=peer,
             query=str(request.resolved_query()),
-            method=method or "", semantics=semantics)
+            method=method or "", semantics=semantics, **trace_fields)
+        started_mono = time.monotonic()
         start = time.perf_counter()
         deadline = (time.monotonic() + self.timeout
                     if self.timeout is not None else None)
@@ -170,7 +182,22 @@ class RemoteNetworkSession:
             self.transport.local_name, peer,
             f"@answer[{result.query}]", len(result.answers),
             "wire query", bytes_estimate=reply.bytes_estimate, hop=1)
-        return dataclasses.replace(result, elapsed=elapsed)
+        result = dataclasses.replace(result, elapsed=elapsed)
+        if trace_fields:
+            # the full tree: the server's node-level trace (in the
+            # result), the server-process spans piggybacked on the
+            # reply frame (queue wait, serve), and this client's
+            # round trip as the root
+            root = Span(trace_fields["trace_id"],
+                        trace_fields["span_id"], "",
+                        f"answer-query->{peer}",
+                        self.transport.local_name, started_mono,
+                        elapsed)
+            result = dataclasses.replace(
+                result, trace=(tuple(result.trace)
+                               + tuple(getattr(reply, "spans", ()))
+                               + (root,)))
+        return result
 
     def answer_many(self, requests: Iterable[Union[QueryRequest, tuple]]
                     ) -> list[QueryResult]:

@@ -46,11 +46,13 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Mapping, Optional, Union
 
 from ..net.errors import MessageDropped, PeerDown, ServerOverloaded
 from ..net.protocol import Answer, Failure, Message
 from ..net.transport import FaultPlan, Handler, Transport
+from ..obs.metrics import MetricsRegistry
 from .codec import (
     MAX_FRAME_BYTES,
     WireProtocolError,
@@ -371,6 +373,9 @@ class SocketTransport(Transport):
         self._pools: dict[str, list[_Connection]] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: dial/request counters and round-trip latencies, scraped by
+        #: ``GetStatus`` (see :meth:`metrics_snapshot`)
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Addressing
@@ -412,10 +417,13 @@ class SocketTransport(Transport):
                 f"message {message.correlation_id} to {target!r} was "
                 f"dropped")
         connection = self._checkout(target, address)
+        self.metrics.inc("transport.requests")
+        started = time.monotonic()
         try:
             reply, frame_bytes = connection.round_trip(message,
                                                        self.timeout)
         except socket.timeout:
+            self.metrics.inc("transport.timeouts")
             raise MessageDropped(
                 f"no reply from {target!r} at "
                 f"{format_address(address)} within {self.timeout}s"
@@ -431,12 +439,15 @@ class SocketTransport(Transport):
             # all so one retry gets a fresh dial instead of burning
             # the budget on dead sockets
             self._discard_pool(target)
+            self.metrics.inc("transport.connection_failures")
             raise MessageDropped(
                 f"connection to {target!r} at "
                 f"{format_address(address)} failed mid-request: {exc}"
             ) from exc
         finally:
             self._release(target, connection)
+        self.metrics.observe("transport.round_trip_s",
+                             time.monotonic() - started)
         if isinstance(reply, Failure) and reply.code == "overloaded":
             # admission-control shed: typed and *retryable*, with the
             # retry machinery (not the transport) pacing the backoff
@@ -494,10 +505,12 @@ class SocketTransport(Transport):
 
     def _dial(self, target: str, address: Address) -> _Connection:
         try:
-            return _Connection(address, local_name=self.local_name,
-                               expected=target,
-                               connect_timeout=self.connect_timeout,
-                               timeout=self.timeout)
+            connection = _Connection(
+                address, local_name=self.local_name, expected=target,
+                connect_timeout=self.connect_timeout,
+                timeout=self.timeout)
+            self.metrics.inc("transport.dials")
+            return connection
         except socket.timeout:
             raise PeerDown(
                 f"peer {target!r} at {format_address(address)} did not "
@@ -524,6 +537,19 @@ class SocketTransport(Transport):
             stale = self._pools.pop(target, [])
         for connection in stale:
             connection.close()
+
+    def metrics_snapshot(self) -> dict:
+        """The registry snapshot with live pool gauges refreshed
+        (total pooled connections and requests in flight)."""
+        with self._lock:
+            live = [connection
+                    for pool in self._pools.values()
+                    for connection in pool if not connection.dead]
+            pooled = len(live)
+            in_flight = sum(c.in_flight for c in live)
+        self.metrics.gauge("transport.pooled_connections", pooled)
+        self.metrics.gauge("transport.requests_in_flight", in_flight)
+        return self.metrics.snapshot()
 
     def pooled_connections(self, target: str) -> int:
         """How many live connections the pool holds for ``target``

@@ -120,7 +120,8 @@ class TestNetworkCommand:
         for event in trace:
             assert set(event) == {"requester", "provider", "relation",
                                   "tuples", "bytes_estimate", "purpose",
-                                  "hop"}
+                                  "hop", "timestamp"}
+            assert event["timestamp"] > 0.0
 
     def test_routing_flag_same_answers_and_counters(self, system_file,
                                                     capsys):

@@ -1,0 +1,115 @@
+"""Property suite for :class:`~repro.core.results.ExchangeStats`.
+
+The stats object is merged associatively all over the runtime — every
+gather level folds child stats into its own, the wire codec ships them
+inside subsystem payloads and results — so the algebra (``__add__`` is
+associative with the zero stats as identity, summing every counter
+except ``max_hops``, which maxes) and the wire vocabulary (short keys,
+routing counters omitted when zero) are locked in here.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.results import ExchangeStats
+from repro.wire.codec import _stats_from_dict, _stats_to_dict
+
+FIELDS = [f.name for f in dataclasses.fields(ExchangeStats)]
+SUM_FIELDS = [name for name in FIELDS if name != "max_hops"]
+
+
+def random_stats(rng: random.Random) -> ExchangeStats:
+    return ExchangeStats(**{name: rng.randrange(0, 1000)
+                            for name in FIELDS})
+
+
+def test_field_inventory_is_the_locked_seven():
+    assert FIELDS == [
+        "requests", "tuples_transferred", "bytes_estimate", "max_hops",
+        "neighbours_pruned", "neighbours_contacted", "subtrees_pruned",
+    ]
+
+
+def test_add_sums_counters_and_maxes_hops():
+    a = ExchangeStats(1, 2, 3, 4, 5, 6, 7)
+    b = ExchangeStats(10, 20, 30, 2, 50, 60, 70)
+    merged = a + b
+    assert merged == ExchangeStats(11, 22, 33, 4, 55, 66, 77)
+
+
+def test_add_identity():
+    rng = random.Random(11)
+    zero = ExchangeStats()
+    for _ in range(50):
+        stats = random_stats(rng)
+        assert stats + zero == stats
+        assert zero + stats == stats
+
+
+def test_add_associative_and_commutative():
+    rng = random.Random(23)
+    for _ in range(100):
+        a, b, c = (random_stats(rng) for _ in range(3))
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+
+
+def test_add_componentwise_against_model():
+    rng = random.Random(42)
+    for _ in range(100):
+        a, b = random_stats(rng), random_stats(rng)
+        merged = a + b
+        for name in SUM_FIELDS:
+            assert getattr(merged, name) == (getattr(a, name)
+                                             + getattr(b, name))
+        assert merged.max_hops == max(a.max_hops, b.max_hops)
+
+
+# ---------------------------------------------------------------------------
+# Wire vocabulary
+# ---------------------------------------------------------------------------
+
+def test_wire_round_trip_random():
+    rng = random.Random(7)
+    for _ in range(100):
+        stats = random_stats(rng)
+        assert _stats_from_dict(_stats_to_dict(stats)) == stats
+
+
+def test_wire_keys_are_the_short_vocabulary():
+    stats = ExchangeStats(1, 2, 3, 4, 5, 6, 7)
+    assert _stats_to_dict(stats) == {
+        "requests": 1, "tuples": 2, "bytes": 3, "max_hops": 4,
+        "pruned": 5, "contacted": 6, "subtrees": 7,
+    }
+
+
+@pytest.mark.parametrize("name,key", [
+    ("neighbours_pruned", "pruned"),
+    ("neighbours_contacted", "contacted"),
+    ("subtrees_pruned", "subtrees"),
+])
+def test_routing_counters_omitted_when_zero(name, key):
+    stats = ExchangeStats(1, 2, 3, 4, 5, 6, 7)
+    encoded = _stats_to_dict(dataclasses.replace(stats, **{name: 0}))
+    assert key not in encoded
+    assert _stats_from_dict(encoded) == dataclasses.replace(
+        stats, **{name: 0})
+
+
+def test_unrouted_stats_use_the_pre_routing_vocabulary():
+    # frames from runs with routing off must stay byte-identical to
+    # the pre-routing codec: exactly the four mandatory keys
+    encoded = _stats_to_dict(ExchangeStats(3, 14, 159, 2))
+    assert set(encoded) == {"requests", "tuples", "bytes", "max_hops"}
+
+
+def test_decode_tolerates_missing_optional_keys():
+    decoded = _stats_from_dict(
+        {"requests": 1, "tuples": 2, "bytes": 3, "max_hops": 4})
+    assert decoded == ExchangeStats(1, 2, 3, 4)
+    assert decoded.neighbours_pruned == 0
+    assert decoded.neighbours_contacted == 0
+    assert decoded.subtrees_pruned == 0

@@ -1,0 +1,149 @@
+"""Unit coverage for :mod:`repro.obs.metrics`.
+
+Histogram bucket mechanics (percentile interpolation, overflow bucket,
+merge), the registry's three instrument kinds under concurrency, and
+cross-process snapshot merging with recomputed summaries.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.percentile(50) == 0.0
+        assert hist.summary() == {"count": 0, "sum": 0.0, "mean": 0.0,
+                                  "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_percentiles_land_in_the_right_bucket(self):
+        hist = Histogram([1.0, 10.0, 100.0])
+        for value in [0.5] * 50 + [5.0] * 40 + [50.0] * 10:
+            hist.observe(value)
+        assert 0.0 < hist.percentile(25) <= 1.0
+        assert 1.0 < hist.percentile(75) <= 10.0
+        assert 10.0 < hist.percentile(99) <= 100.0
+
+    def test_overflow_reports_the_highest_bound(self):
+        hist = Histogram([1.0, 10.0])
+        hist.observe(1e6)
+        assert hist.percentile(99) == 10.0
+        assert hist.count == 1 and hist.total == 1e6
+
+    def test_merge_is_bucketwise(self):
+        a, b = Histogram(), Histogram()
+        for v in (0.001, 0.02):
+            a.observe(v)
+        for v in (0.3, 4.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(4.321)
+        with pytest.raises(ValueError):
+            a.merge(Histogram([1.0]))
+
+    def test_dict_round_trip(self):
+        hist = Histogram()
+        for v in (0.002, 0.002, 0.7):
+            hist.observe(v)
+        revived = Histogram.from_dict(
+            json.loads(json.dumps(hist.to_dict())))
+        assert revived.counts == hist.counts
+        assert revived.count == hist.count
+        assert revived.summary() == hist.summary()
+
+    def test_merged_percentiles_match_single_histogram(self):
+        parts = [Histogram() for _ in range(3)]
+        whole = Histogram()
+        values = [0.001 * n for n in range(1, 301)]
+        for n, v in enumerate(values):
+            parts[n % 3].observe(v)
+            whole.observe(v)
+        merged = parts[0]
+        merged.merge(parts[1])
+        merged.merge(parts[2])
+        assert merged.summary() == whole.summary()
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("requests")
+        registry.inc("requests", 4)
+        registry.gauge("pool", 7)
+        registry.observe("latency_s", 0.02)
+        assert registry.counter("requests") == 5
+        assert registry.gauge_value("pool") == 7
+        assert registry.summary("latency_s")["count"] == 1
+        assert registry.summary("nope") is None
+        assert registry.counter("nope") == 0
+
+    def test_snapshot_is_json_safe_and_detached(self):
+        registry = MetricsRegistry()
+        registry.inc("n")
+        registry.observe("h", 0.1)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        registry.inc("n")
+        assert snap["counters"]["n"] == 1
+        assert snap["histograms"]["h"]["count"] == 1
+        assert list(snap) == ["counters", "gauges", "histograms"]
+
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+
+        def pump():
+            for _ in range(500):
+                registry.inc("hits")
+                registry.observe("lat", 0.001)
+
+        threads = [threading.Thread(target=pump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("hits") == 4000
+        assert registry.summary("lat")["count"] == 4000
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_add_histograms_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("served", 3)
+        a.gauge("pool", 2)
+        a.observe("lat", 0.01)
+        b.inc("served", 4)
+        b.inc("shed")
+        b.gauge("pool", 5)
+        b.observe("lat", 2.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"served": 7, "shed": 1}
+        assert merged["gauges"] == {"pool": 7.0}
+        assert merged["summaries"]["lat"]["count"] == 2
+        assert merged["histograms"]["lat"]["count"] == 2
+
+    def test_garbage_entries_are_skipped(self):
+        a = MetricsRegistry()
+        a.inc("n")
+        merged = merge_snapshots([a.snapshot(), None, "nope", {}])
+        assert merged["counters"] == {"n": 1}
+
+    def test_default_bounds_are_the_shared_seconds_scale(self):
+        # every process shares these bounds, or snapshots stop merging
+        assert LATENCY_BUCKETS_S[0] == 0.0005
+        assert LATENCY_BUCKETS_S[-1] == 30.0
+        assert list(LATENCY_BUCKETS_S) == sorted(LATENCY_BUCKETS_S)

@@ -1,0 +1,175 @@
+"""Unit coverage for :mod:`repro.obs.trace`.
+
+Contexts (truthiness, root/descend), span wire round-trips with the
+omit-when-empty vocabulary, the bounded thread-safe recorder, and the
+collector's tree analysis — orphan promotion, depth, critical path,
+cycle tolerance, render markers.
+"""
+
+import threading
+
+from repro.obs import (
+    Span,
+    SpanRecorder,
+    TraceCollector,
+    TraceContext,
+    new_id,
+    span_bytes,
+)
+
+
+def make_span(span_id, parent="", *, name="op", peer="P1",
+              start=0.0, duration=1.0, trace_id="t1", note=""):
+    return Span(trace_id, span_id, parent, name, peer, start,
+                duration, note)
+
+
+class TestContextAndIds:
+    def test_new_ids_are_distinct_hex(self):
+        ids = {new_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+    def test_empty_context_is_falsy_tracing_off(self):
+        assert not TraceContext()
+        assert TraceContext(trace_id="t1")
+
+    def test_root_then_descend_links_parentage(self):
+        root = TraceContext.root()
+        assert root and root.span_id == ""
+        inner = root.descend("s1")
+        assert inner.trace_id == root.trace_id
+        assert inner.span_id == "s1"
+        assert inner.parent_span_id == root.span_id
+        deeper = inner.descend("s2")
+        assert deeper.parent_span_id == "s1"
+
+
+class TestSpanDicts:
+    def test_round_trip(self):
+        span = make_span("s1", "s0", note="déjà", peer="数")
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_empty_optionals_are_omitted(self):
+        data = make_span("s1").to_dict()
+        assert "parent_span_id" not in data
+        assert "note" not in data
+
+    def test_span_bytes_scales_with_text(self):
+        short = make_span("s1")
+        long = make_span("s1", name=short.name + "x" * 100)
+        assert span_bytes([long]) == span_bytes([short]) + 100
+        assert span_bytes([]) == 0
+
+
+class TestSpanRecorder:
+    def test_drain_pops_exactly_once(self):
+        recorder = SpanRecorder()
+        recorder.record(make_span("s1"))
+        recorder.record(make_span("s2", trace_id="t2"))
+        assert len(recorder) == 2
+        drained = recorder.drain("t1")
+        assert [s.span_id for s in drained] == ["s1"]
+        assert recorder.drain("t1") == ()
+        assert len(recorder) == 1
+
+    def test_untraced_spans_are_ignored(self):
+        recorder = SpanRecorder()
+        recorder.record(make_span("s1", trace_id=""))
+        assert len(recorder) == 0
+
+    def test_bounded_evicts_oldest_trace(self):
+        recorder = SpanRecorder(max_traces=2)
+        for n in range(3):
+            recorder.record(make_span(f"s{n}", trace_id=f"t{n}"))
+        assert recorder.drain("t0") == ()
+        assert recorder.drain("t1") and recorder.drain("t2")
+
+    def test_concurrent_recording_loses_nothing(self):
+        recorder = SpanRecorder()
+
+        def pump(worker):
+            for n in range(100):
+                recorder.record(make_span(f"w{worker}-s{n}"))
+
+        threads = [threading.Thread(target=pump, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(recorder.drain("t1")) == 800
+
+
+def fan_out_trace():
+    """root -> gather -> {fetch-a (slow, with child), fetch-b}."""
+    return [
+        make_span("root", duration=10.0, name="answer"),
+        make_span("g", "root", duration=8.0, name="gather"),
+        make_span("fa", "g", duration=6.0, name="fetch:a", peer="P2"),
+        make_span("fb", "g", duration=2.0, name="fetch:b", peer="P3"),
+        make_span("srv", "fa", duration=5.0, name="serve", peer="P2"),
+    ]
+
+
+class TestTraceCollector:
+    def test_tree_shape_depth_and_children(self):
+        collector = TraceCollector(fan_out_trace())
+        roots = collector.roots()
+        assert [s.span_id for s in roots] == ["root"]
+        assert {s.span_id for s in collector.children("g")} == \
+            {"fa", "fb"}
+        assert collector.depth() == 4
+
+    def test_critical_path_descends_by_duration(self):
+        collector = TraceCollector(fan_out_trace())
+        assert [s.span_id for s in collector.critical_path()] == \
+            ["root", "g", "fa", "srv"]
+
+    def test_orphans_are_promoted_to_roots(self):
+        # the parent "lost" was never collected (e.g. an old peer that
+        # recorded nothing); its child must surface, not vanish
+        collector = TraceCollector([
+            make_span("root", duration=3.0),
+            make_span("orphan", "lost", duration=1.0),
+        ])
+        assert [s.span_id for s in collector.roots()] == \
+            ["root", "orphan"]
+        assert collector.depth() == 1
+
+    def test_empty_collector_is_calm(self):
+        collector = TraceCollector()
+        assert collector.roots() == []
+        assert collector.critical_path() == []
+        assert collector.depth() == 0
+        assert collector.render() == ""
+
+    def test_cycles_do_not_hang(self):
+        # corrupt links below a root — a second span reusing span id
+        # "a" parented under "a"'s own subtree — must terminate in
+        # every walk instead of recursing forever
+        collector = TraceCollector([
+            make_span("root", duration=5.0),
+            make_span("a", "root", duration=3.0),
+            make_span("a", "a", duration=1.0, name="dup"),
+        ])
+        assert collector.depth() == 3
+        assert len(collector.critical_path()) == 3
+        assert collector.render()
+
+    def test_render_marks_critical_path_and_indents(self):
+        rendered = TraceCollector(fan_out_trace()).render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("* answer@P1")
+        assert any(line.startswith("    * fetch:a@P2")
+                   for line in lines)
+        assert any(line.startswith("    - fetch:b@P3")
+                   for line in lines)
+        assert any(line.startswith("      * serve@P2")
+                   for line in lines)
+        assert "10000.000 ms" in lines[0]
+
+    def test_render_shows_notes(self):
+        collector = TraceCollector(
+            [make_span("s1", note="attempt 2/3")])
+        assert "[attempt 2/3]" in collector.render()

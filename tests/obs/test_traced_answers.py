@@ -1,0 +1,105 @@
+"""Tracing end-to-end on the in-process network runtime.
+
+The observability contract: turning tracing on changes *what you can
+see*, never *what you get* — answers stay tuple-for-tuple identical to
+the untraced (and local) runs, while the result grows a reassembled
+span tree covering every hop plus a per-phase timing breakdown whose
+numbers are consistent with the measured wall time.
+"""
+
+import pytest
+
+from repro.core import PeerQuerySession
+from repro.net import NetworkSession, open_session
+from repro.obs import TraceCollector
+from repro.workloads import example1_system, peer_chain_system
+
+QUERY = "q(X, Y) := R1(X, Y)"
+
+
+@pytest.fixture()
+def traced_result():
+    with NetworkSession(example1_system(), tracing=True) as session:
+        yield session.answer("P1", QUERY)
+
+
+class TestAnswerParity:
+    def test_traced_answers_match_untraced_and_local(self):
+        system = example1_system()
+        local = PeerQuerySession(system).answer("P1", QUERY)
+        with NetworkSession(system, tracing=False) as plain, \
+                NetworkSession(system, tracing=True) as traced:
+            untraced = plain.answer("P1", QUERY)
+            result = traced.answer("P1", QUERY)
+        assert result.answers == untraced.answers == local.answers
+        assert result.solution_count == local.solution_count
+        assert result.method_used == local.method_used
+
+    def test_untraced_results_carry_no_trace(self):
+        with NetworkSession(example1_system()) as session:
+            result = session.answer("P1", QUERY)
+        assert result.trace == ()
+        assert result.timings is None
+
+    def test_open_session_forwards_the_flag(self):
+        with open_session(example1_system(), network=True,
+                          tracing=True) as session:
+            result = session.answer("P1", QUERY)
+        assert result.trace
+
+
+class TestSpanTree:
+    def test_tree_covers_every_hop(self, traced_result):
+        collector = TraceCollector(traced_result.trace)
+        roots = collector.roots()
+        assert len(roots) == 1
+        assert roots[0].name == "answer"
+        names = {span.name for span in collector.spans}
+        assert "gather" in names
+        assert "eval" in names
+        # Example 1: P1 gathers from both neighbours
+        peers = {span.peer for span in collector.spans}
+        assert {"P1", "P2", "P3"} <= peers
+        assert collector.depth() >= 3
+
+    def test_one_trace_id_and_linked_parentage(self, traced_result):
+        trace_ids = {span.trace_id for span in traced_result.trace}
+        assert len(trace_ids) == 1
+        known = {span.span_id for span in traced_result.trace}
+        dangling = [span for span in traced_result.trace
+                    if span.parent_span_id
+                    and span.parent_span_id not in known]
+        assert not dangling
+
+    def test_critical_path_starts_at_the_root(self, traced_result):
+        collector = TraceCollector(traced_result.trace)
+        path = collector.critical_path()
+        assert path and path[0].name == "answer"
+        assert len(path) >= 2
+        assert collector.render().startswith("* answer@P1")
+
+    def test_timings_consistent_with_wall_time(self, traced_result):
+        timings = traced_result.timings
+        assert set(timings) == {"gather_s", "eval_s", "total_s"}
+        assert timings["gather_s"] >= 0.0
+        assert timings["eval_s"] >= 0.0
+        assert timings["gather_s"] + timings["eval_s"] <= \
+            timings["total_s"] + 1e-6
+        # the root span and the result agree on the elapsed wall time
+        collector = TraceCollector(traced_result.trace)
+        root = collector.roots()[0]
+        assert root.duration == pytest.approx(timings["total_s"],
+                                              rel=0.5, abs=0.25)
+        assert timings["total_s"] <= traced_result.elapsed + 0.25
+
+    def test_transitive_chain_traces_the_relay(self):
+        # a 4-peer chain forces multi-hop relays; every relay hop must
+        # appear in the one tree
+        system = peer_chain_system(4, n_tuples=2)
+        with NetworkSession(system, tracing=True) as session:
+            result = session.answer("P0", "q(X, Y) := T0(X, Y)")
+        assert result.ok
+        collector = TraceCollector(result.trace)
+        peers = {span.peer for span in collector.spans}
+        assert {"P0", "P1", "P2", "P3"} <= peers
+        assert collector.depth() >= 4

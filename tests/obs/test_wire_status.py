@@ -1,0 +1,99 @@
+"""Observability over a live cluster: traced queries + GetStatus.
+
+Spawns Example 1 as three real server processes, answers one traced
+query, and then asks every unit what it is doing.  This is the
+acceptance smoke for the tentpole: one reassembled span tree covering
+every hop of the gather, and live metrics scraped from each process
+plus the cluster-wide merge.
+"""
+
+import pytest
+
+from repro.core import PeerQuerySession
+from repro.obs import TraceCollector
+from repro.wire import fetch_status, open_wire_session
+from repro.workloads import example1_system
+
+QUERY = "q(X, Y) := R1(X, Y)"
+
+
+@pytest.fixture(scope="module")
+def traced_cluster():
+    system = example1_system()
+    with open_wire_session(system, tracing=True) as session:
+        result = session.answer("P1", QUERY)
+        yield session, result
+
+
+class TestTracedQuery:
+    def test_answers_identical_to_local(self, traced_cluster):
+        _session, result = traced_cluster
+        expected = PeerQuerySession(example1_system()).answer(
+            "P1", QUERY)
+        assert result.ok
+        assert result.answers == expected.answers
+        assert result.solution_count == expected.solution_count
+
+    def test_span_tree_covers_every_hop(self, traced_cluster):
+        _session, result = traced_cluster
+        collector = TraceCollector(result.trace)
+        roots = collector.roots()
+        assert len(roots) == 1
+        # client -> server -> node -> gather -> neighbour fetches
+        assert collector.depth() >= 2
+        peers = {span.peer for span in collector.spans}
+        assert {"P1", "P2", "P3"} <= peers
+        names = {span.name for span in collector.spans}
+        assert any(name.startswith("serve:") for name in names)
+        assert "queue-wait" in names
+        path = collector.critical_path()
+        assert path[0] is roots[0]
+        # nested spans: every step of the critical path fits inside
+        # its parent's duration (plus scheduling slack)
+        for parent, child in zip(path, path[1:]):
+            assert child.duration <= parent.duration + 0.5
+
+    def test_root_span_consistent_with_wall_time(self, traced_cluster):
+        _session, result = traced_cluster
+        root = TraceCollector(result.trace).roots()[0]
+        assert 0.0 < root.duration <= result.elapsed + 0.25
+
+
+class TestStatusScrape:
+    def test_every_unit_answers_get_status(self, traced_cluster):
+        session, _result = traced_cluster
+        addresses = session.supervisor.addresses()
+        assert set(addresses) == {"P1", "P2", "P3"}
+        for unit, address in addresses.items():
+            status = fetch_status(address)
+            assert status["unit"] == unit
+            counters = status["metrics"]["counters"]
+            assert counters["server.requests_served"] > 0
+            assert counters["server.frames_in"] > 0
+            assert counters["server.bytes_in"] > 0
+            assert counters["server.bytes_out"] > 0
+            assert counters["server.connections_accepted"] > 0
+
+    def test_cluster_merge_adds_counters(self, traced_cluster):
+        session, _result = traced_cluster
+        scraped = session.supervisor.metrics()
+        assert set(scraped["units"]) == {"P1", "P2", "P3"}
+        merged = scraped["cluster"]
+        per_unit_served = [
+            status["metrics"]["counters"]["server.requests_served"]
+            for status in scraped["units"].values()]
+        assert merged["counters"]["server.requests_served"] == \
+            sum(per_unit_served)
+        # the traced answer exercised the servers' latency histograms
+        summaries = merged["summaries"]
+        assert summaries["server.execute_s"]["count"] > 0
+        assert summaries["server.queue_wait_s"]["count"] > 0
+
+    def test_scrape_degrades_per_unit_when_one_dies(self, traced_cluster):
+        session, _result = traced_cluster
+        # an address nobody listens on: the scrape must degrade to a
+        # typed per-unit error, not raise
+        from repro.net.errors import NetworkError
+        from repro.wire import free_port
+        with pytest.raises(NetworkError):
+            fetch_status(f"127.0.0.1:{free_port()}", timeout=2.0)

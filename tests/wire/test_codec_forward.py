@@ -15,7 +15,14 @@ import pytest
 
 from repro.core.results import ExchangeStats
 from repro.core.system import Peer
-from repro.net.protocol import Answer, PeerQuery
+from repro.net.protocol import (
+    Answer,
+    AnswerQuery,
+    Failure,
+    FetchRelation,
+    PeerQuery,
+)
+from repro.obs import Span
 from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.routing.digest import NeighbourDigests
@@ -163,3 +170,94 @@ class TestRoutingRoundTrips:
         revived = decoded.payload["instances"]["P2"]
         assert isinstance(revived, DatabaseInstance)
         assert revived.tuples("same") == frozenset([("a", "b")])
+
+
+class TestTraceFieldTolerance:
+    """The tracing vocabulary follows the same forward-tolerance
+    contract as routing: optional keys, omitted when tracing is off,
+    ignored by peers that never heard of them."""
+
+    def test_untraced_frames_carry_no_trace_keys(self):
+        """The byte-identical guarantee for tracing off: no trace_id /
+        span_id / parent_span_id / spans keys on any message kind."""
+        messages = [
+            PeerQuery(sender="P1", target="P2"),
+            FetchRelation(sender="P1", target="P2", relation="R1"),
+            AnswerQuery(sender="c", target="P1", query="q(X) := R1(X)"),
+            Answer(sender="P2", target="P1", in_reply_to=1, payload=()),
+            Failure(sender="P2", target="P1", in_reply_to=1,
+                    code="peer-unreachable"),
+        ]
+        for message in messages:
+            encoded = message_to_dict(message)
+            for key in ("trace_id", "span_id", "parent_span_id",
+                        "spans"):
+                assert key not in encoded, (type(message).__name__, key)
+
+    def test_trace_fields_round_trip_on_every_message_kind(self):
+        stamped = dict(trace_id="t" * 16, span_id="s" * 16,
+                       parent_span_id="p" * 16)
+        messages = [
+            PeerQuery(sender="P1", target="P2", **stamped),
+            FetchRelation(sender="P1", target="P2", relation="R1",
+                          **stamped),
+            AnswerQuery(sender="c", target="P1",
+                        query="q(X) := R1(X)", **stamped),
+        ]
+        for message in messages:
+            decoded = decode_message(encode_message(message))
+            assert decoded.trace_id == stamped["trace_id"]
+            assert decoded.span_id == stamped["span_id"]
+            assert decoded.parent_span_id == stamped["parent_span_id"]
+
+    def test_old_frames_decode_to_empty_trace_context(self):
+        old = {"sender": "P1", "target": "P2", "correlation_id": 4,
+               "type": "fetch", "relation": "R1", "purpose": "answer",
+               "known_version": ""}
+        decoded = message_from_dict(old)
+        assert decoded.trace_id == ""
+        assert decoded.span_id == ""
+        assert decoded.parent_span_id == ""
+        answer = {"sender": "P2", "target": "P1", "correlation_id": 5,
+                  "type": "answer", "in_reply_to": 4, "version": "",
+                  "delta": False, "bytes_estimate": 3,
+                  "payload": {"kind": "rows", "rows": [["a", "b"]]}}
+        assert message_from_dict(answer).spans == ()
+
+    def test_span_from_dict_ignores_unknown_future_fields(self):
+        """A span emitted by a newer release with extra keys must be
+        accepted, not crash the whole frame."""
+        span = Span.from_dict({
+            "trace_id": "t1", "span_id": "s1", "parent_span_id": "s0",
+            "name": "gather", "peer": "P1", "start": 1.5,
+            "duration": 0.25, "future_flame_graph": {"deep": [1, 2]},
+            "cpu_ns": 12345,
+        })
+        assert span.name == "gather" and span.peer == "P1"
+        assert span.parent_span_id == "s0"
+        assert span.duration == 0.25
+
+    @pytest.mark.parametrize("peer", ["Pé", "数", "🛰-unit", ""])
+    def test_span_payloads_round_trip_under_unicode_peers(self, peer):
+        spans = (
+            Span("t1", "s1", "", "answer", peer, 0.0, 1.25),
+            Span("t1", "s2", "s1", f"fetch:Rä->{peer}", peer,
+                 0.125, 0.5, note="déjà-vu"),
+        )
+        for message in (
+                Answer(sender=peer, target="P1", in_reply_to=2,
+                       payload=(), spans=spans),
+                Failure(sender=peer, target="P1", in_reply_to=2,
+                        code="relay", detail="boom", spans=spans)):
+            decoded = decode_message(encode_message(message))
+            assert decoded.spans == spans
+
+    def test_traced_and_untraced_query_frames_differ_only_in_trace_keys(self):
+        plain = message_to_dict(PeerQuery(sender="P1", target="P2"))
+        traced = message_to_dict(PeerQuery(sender="P1", target="P2",
+                                           trace_id="t1", span_id="s1"))
+        # correlation ids are process-global and advance per message
+        plain.pop("correlation_id")
+        traced.pop("correlation_id")
+        assert {key: value for key, value in traced.items()
+                if key not in ("trace_id", "span_id")} == plain
